@@ -1,0 +1,67 @@
+"""E9 — Section 4.1: the conflict check runs "in linear time, using a pair
+of hash-tables over node ids".
+
+Measures check_conflict_free on conflict-free Δs of growing size and
+asserts near-linear growth (time per request roughly constant).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.semantics.conflicts import check_conflict_free
+from repro.semantics.update import InsertRequest, RenameRequest
+from repro.xdm.store import Store
+
+
+def make_delta(n: int):
+    store = Store()
+    root = store.create_element("root")
+    delta = []
+    for i in range(n):
+        child = store.create_element(f"c{i}")
+        store.append_child(root, child)
+        if i % 2:
+            delta.append(RenameRequest(child, f"r{i}"))
+        else:
+            fresh = store.create_element(f"f{i}")
+            delta.append(InsertRequest((fresh,), "after", child))
+    return delta
+
+
+@pytest.mark.benchmark(group="conflict-check")
+@pytest.mark.parametrize("n", [1000, 4000, 16000])
+def test_conflict_check(benchmark, n):
+    delta = make_delta(n)
+    benchmark.pedantic(check_conflict_free, args=(delta,), rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="conflict-check-linearity")
+def test_linearity_table(benchmark):
+    """Print per-request cost across a 16x size range and assert it stays
+    within a small factor (linear time)."""
+
+    sizes = [1000, 4000, 16000]
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            delta = make_delta(n)
+            t0 = time.perf_counter()
+            check_conflict_free(delta)
+            rows.append((n, time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print()
+    print("E9: conflict-detection check scaling (two hash tables)")
+    print(f"{'n':>8} {'time[ms]':>10} {'us/request':>12}")
+    per_request = []
+    for n, seconds in rows:
+        per_request.append(seconds / n * 1e6)
+        print(f"{n:>8} {seconds * 1e3:>10.2f} {per_request[-1]:>12.3f}")
+    assert max(per_request) < 8 * min(per_request), (
+        "per-request cost should be ~constant for a linear-time check"
+    )

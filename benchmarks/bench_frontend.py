@@ -1,0 +1,62 @@
+"""Front-end throughput: XML parsing into the store, XQuery! parsing +
+normalization, and serialization.  Supporting measurements for the
+implementation section (the paper's compiler pipeline, Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.normalize import normalize_module
+from repro.lang.parser import parse_module
+from repro.xmark import XMarkConfig, generate_auction_xml
+from repro.xmlio import parse_document, serialize
+
+_XML = generate_auction_xml(XMarkConfig(persons=300, items=200, closed_auctions=300))
+
+_QUERY = """
+declare variable $d := element counter { 0 };
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 }, $d }
+};
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    (snap insert { <logentry id="{nextid()}" user="{$auction//person[@id = $userid]/name}"
+                    itemid="{$itemid}"/> } into { $log },
+     if (count($log/logentry) >= $maxlog)
+     then (archivelog($log, $archive), snap delete { $log/logentry })
+     else ()),
+    $item
+  )
+};
+for $p in $auction//person
+let $a := for $t in $auction//closed_auction
+          where $t/buyer/@person = $p/@id
+          return (insert { <buyer person="{$t/buyer/@person}" /> }
+                  into { $purchasers }, $t)
+return <item person="{ $p/name }">{ count($a) }</item>
+"""
+
+
+@pytest.mark.benchmark(group="frontend")
+def test_xml_parse(benchmark):
+    benchmark.pedantic(parse_document, args=(_XML,), rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="frontend")
+def test_xml_serialize(benchmark):
+    doc = parse_document(_XML)
+    benchmark.pedantic(serialize, args=(doc,), rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="frontend")
+def test_query_parse(benchmark):
+    benchmark.pedantic(parse_module, args=(_QUERY,), rounds=10, iterations=1)
+
+
+@pytest.mark.benchmark(group="frontend")
+def test_query_parse_and_normalize(benchmark):
+    def run():
+        normalize_module(parse_module(_QUERY))
+
+    benchmark.pedantic(run, rounds=10, iterations=1)

@@ -1,0 +1,106 @@
+"""E10 — Section 4.3: the join/group-by optimization.
+
+Paper claim: "Naively evaluated, this query has complexity
+O(|person| * |closed_auction|).  Using an outer join/group by with a typed
+hash join, we can recover the join complexity of
+O(|person| + |closed_auction| + |matches|), resulting in a substantial
+improvement."
+
+The benchmark runs the Q8 variant interpreted (nested loop) and through
+the optimizer (GroupBy(LeftOuterJoin)) and, in the scaling case, prints
+the paper-shaped table: time per scale, naive-vs-optimized ratio, and the
+growth rate that separates quadratic from linear behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import auction_engine
+
+Q8_VARIANT = """
+for $p in $auction//person
+let $a :=
+  for $t in $auction//closed_auction
+  where $t/buyer/@person = $p/@id
+  return (insert { <buyer person="{$t/buyer/@person}"
+                          itemid="{$t/itemref/@item}" /> }
+          into { $purchasers }, $t)
+return <item person="{ $p/name }">{ count($a) }</item>
+"""
+
+
+def run_naive(persons: int, closed: int) -> None:
+    engine = auction_engine(persons, closed)
+    engine.execute(Q8_VARIANT, optimize=False)
+
+
+def run_optimized(persons: int, closed: int) -> None:
+    engine = auction_engine(persons, closed)
+    engine.execute(Q8_VARIANT, optimize=True)
+
+
+@pytest.mark.benchmark(group="q8-small")
+def test_q8_naive_small(benchmark):
+    benchmark.pedantic(run_naive, args=(30, 40), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="q8-small")
+def test_q8_optimized_small(benchmark):
+    benchmark.pedantic(run_optimized, args=(30, 40), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="q8-medium")
+def test_q8_naive_medium(benchmark):
+    benchmark.pedantic(run_naive, args=(60, 80), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="q8-medium")
+def test_q8_optimized_medium(benchmark):
+    benchmark.pedantic(run_optimized, args=(60, 80), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="q8-scaling")
+def test_q8_complexity_table(benchmark):
+    """One-shot sweep printing the paper-shaped comparison table and
+    asserting the complexity *shape*: doubling the input should roughly
+    quadruple naive time (quadratic) but at most ~triple optimized time
+    (linear, with constant-factor noise allowed)."""
+
+    scales = [(30, 40), (60, 80), (120, 160)]
+
+    def sweep():
+        rows = []
+        for persons, closed in scales:
+            t0 = time.perf_counter()
+            run_naive(persons, closed)
+            naive_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            run_optimized(persons, closed)
+            optimized_s = time.perf_counter() - t0
+            rows.append((persons, closed, naive_s, optimized_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("E10: XMark Q8 variant — naive nested loop vs outer-join/group-by")
+    print(f"{'persons':>8} {'closed':>7} {'naive[s]':>10} {'optimized[s]':>13} {'speedup':>8}")
+    for persons, closed, naive_s, optimized_s in rows:
+        print(
+            f"{persons:>8} {closed:>7} {naive_s:>10.3f} {optimized_s:>13.3f} "
+            f"{naive_s / optimized_s:>8.1f}x"
+        )
+    naive_growth = rows[-1][2] / rows[0][2]
+    optimized_growth = rows[-1][3] / rows[0][3]
+    print(
+        f"growth over 4x input: naive {naive_growth:.1f}x, "
+        f"optimized {optimized_growth:.1f}x"
+    )
+    # Shape assertions (generous bounds; we claim shape, not constants).
+    assert rows[-1][2] > rows[-1][3], "optimized must win at the top scale"
+    assert naive_growth > optimized_growth, (
+        "naive time must grow strictly faster than optimized"
+    )

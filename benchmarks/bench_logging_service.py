@@ -1,0 +1,55 @@
+"""E4/E5 — the Section 2 Web service: cost of adding logging to get_item,
+and of the snap-based rollover.
+
+The paper argues first-class updates make this scenario *expressible*; the
+bench quantifies what the expressiveness costs: a logged call does the
+original work plus one insert, an id, and a rollover check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.usecases import AuctionService
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+_XML = generate_auction_xml(XMarkConfig(persons=40, items=25))
+N_CALLS = 25
+
+
+def serve(service: AuctionService, logged: bool) -> None:
+    for i in range(N_CALLS):
+        itemid = f"item{i % 20}"
+        userid = f"person{i % 30}"
+        if logged:
+            service.get_item(itemid, userid)
+        else:
+            service.get_item_nolog(itemid, userid)
+
+
+@pytest.mark.benchmark(group="webservice")
+def test_get_item_without_logging(benchmark):
+    def run():
+        serve(AuctionService(auction_xml=_XML, maxlog=10**9), logged=False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="webservice")
+def test_get_item_with_logging(benchmark):
+    def run():
+        serve(AuctionService(auction_xml=_XML, maxlog=10**9), logged=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="webservice")
+def test_get_item_with_logging_and_rollover(benchmark):
+    """maxlog=5: every fifth call also archives + clears the log."""
+
+    def run():
+        service = AuctionService(auction_xml=_XML, maxlog=5)
+        serve(service, logged=True)
+        assert service.archive_batches() == N_CALLS // 5
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,73 @@
+"""E6/E8 — cost of nested snap scopes and of the nextid() counter pattern
+(Section 2.5).  Snap nesting is the paper's central mechanism; this bench
+shows its overhead is per-scope-linear, not multiplicative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+
+COUNTER_MODULE = """
+declare variable $d := element counter { 0 };
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 }, $d }
+};
+"""
+
+
+@pytest.mark.benchmark(group="nested-snap")
+def test_counter_throughput(benchmark):
+    """nextid() calls — each is a full snap (replace + apply)."""
+    engine = Engine()
+    engine.load_module(COUNTER_MODULE)
+
+    def run():
+        for _ in range(100):
+            engine.execute("nextid()")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="nested-snap")
+def test_flat_inserts_single_snap(benchmark):
+    """Baseline: N inserts, one snap."""
+
+    def run():
+        engine = Engine()
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        engine.execute(
+            "snap { for $i in 1 to 100 return insert { <n/> } into { $x } }"
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="nested-snap")
+def test_inserts_one_snap_each(benchmark):
+    """N inserts, one snap per insert (maximally fragmented scopes)."""
+
+    def run():
+        engine = Engine()
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        engine.execute(
+            "for $i in 1 to 100 return snap insert { <n/> } into { $x }"
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="nested-snap")
+def test_deeply_nested_snaps(benchmark):
+    """Literal nesting depth 20: each level adds one insert then snaps."""
+    query_parts = []
+    for depth in range(20):
+        query_parts.append("snap { insert { <n/> } into { $x },")
+    query = " ".join(query_parts) + " 0 " + "}" * 20
+
+    def run():
+        engine = Engine()
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        engine.execute(query)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

@@ -1,0 +1,68 @@
+"""E11 — Section 4.2/4.3: optimization inside vs outside an innermost snap.
+
+"Inside an innermost snap no side-effect takes place, hence we there
+recover XQuery 1.0 freedom of evaluation order" — the rewriter uses this:
+a query whose updates are merely *collected* gets the join plan, while the
+same query with a `snap insert` (observing its own effects) falls back to
+the nested loop.  The bench measures exactly that price.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import auction_engine
+from repro.algebra.plan import plan_operators
+
+COLLECTING = """
+    for $p in $auction//person
+    for $t in $auction//closed_auction
+    where $t/buyer/@person = $p/@id
+    return insert { <buyer person="{$t/buyer/@person}" /> }
+           into { $purchasers }
+"""
+
+SNAPPING = """
+    for $p in $auction//person
+    for $t in $auction//closed_auction
+    where $t/buyer/@person = $p/@id
+    return snap insert { <buyer person="{$t/buyer/@person}" /> }
+           into { $purchasers }
+"""
+
+SCALE = (50, 70)
+
+
+def run(query: str) -> None:
+    engine = auction_engine(*SCALE)
+    engine.execute(query, optimize=True)
+
+
+@pytest.mark.benchmark(group="purity-rewrites")
+def test_collecting_updates_join_plan(benchmark):
+    engine = auction_engine(*SCALE)
+    assert "HashJoin" in plan_operators(engine.compile(COLLECTING))
+    benchmark.pedantic(run, args=(COLLECTING,), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="purity-rewrites")
+def test_snapping_updates_nested_loop(benchmark):
+    engine = auction_engine(*SCALE)
+    ops = plan_operators(engine.compile(SNAPPING))
+    assert "HashJoin" not in ops
+    benchmark.pedantic(run, args=(SNAPPING,), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="purity-rewrites")
+def test_broad_snap_scope_guidance(benchmark):
+    """Section 2.4's programmer guidance — 'make snap scope as broad as
+    possible, since a broader snap favors optimization' — measured: one
+    broad snap around the whole loop vs one snap per iteration."""
+
+    def broad():
+        engine = auction_engine(*SCALE)
+        engine.execute(
+            "snap { " + COLLECTING + " }", optimize=True
+        )
+
+    benchmark.pedantic(broad, rounds=3, iterations=1)

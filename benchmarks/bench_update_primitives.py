@@ -1,0 +1,81 @@
+"""E14 — micro-costs of the update primitives (insert / delete / replace /
+rename / copy) through the full language pipeline, and of raw update-list
+application at the store level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+
+N = 200
+
+
+def engine_with_rows() -> Engine:
+    engine = Engine()
+    rows = "".join(f'<row id="{i}"><v>{i}</v></row>' for i in range(N))
+    engine.load_document("doc", f"<table>{rows}</table>")
+    return engine
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_insert_per_row(benchmark):
+    def run():
+        engine = engine_with_rows()
+        engine.execute(
+            "for $r in $doc/table/row return insert { <flag/> } into { $r }"
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_delete_all_rows(benchmark):
+    def run():
+        engine = engine_with_rows()
+        engine.execute("delete { $doc/table/row }")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_rename_per_row(benchmark):
+    def run():
+        engine = engine_with_rows()
+        engine.execute(
+            'for $r in $doc/table/row return rename { $r } to { "tuple" }'
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_replace_per_row_value(benchmark):
+    def run():
+        engine = engine_with_rows()
+        engine.execute(
+            "for $r in $doc/table/row return"
+            " replace { $r/v } with { <v>updated</v> }"
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_copy_subtrees(benchmark):
+    def run():
+        engine = engine_with_rows()
+        engine.execute("count(copy { $doc/table/row })")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="update-primitives")
+def test_deep_copy_whole_document(benchmark):
+    engine = engine_with_rows()
+    doc = engine.variable("doc")[0]
+
+    def run():
+        engine.store.deep_copy(doc.nid)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

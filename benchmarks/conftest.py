@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index (the paper has no numeric tables; its measurable
+claims are complexity/architecture statements, and every one of them is
+exercised here).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+
+def auction_engine(
+    persons: int, closed: int, items: int | None = None, seed: int = 20060329
+) -> Engine:
+    """A fresh engine loaded with a generated auction document plus the
+    $purchasers / $log / $archive targets the paper's queries use."""
+    config = XMarkConfig(
+        persons=persons,
+        items=items if items is not None else max(2, persons // 2),
+        open_auctions=max(2, persons // 3),
+        closed_auctions=closed,
+        seed=seed,
+    )
+    engine = Engine()
+    engine.load_document("auction", generate_auction_xml(config))
+    engine.bind("purchasers", engine.parse_fragment("<purchasers/>"))
+    engine.bind("log", engine.parse_fragment("<log/>"))
+    engine.bind("archive", engine.parse_fragment("<archive/>"))
+    engine.bind("maxlog", 10)
+    return engine
+
+
+@pytest.fixture
+def small_engine() -> Engine:
+    return auction_engine(persons=30, closed=40)
+
+
+@pytest.fixture
+def medium_engine() -> Engine:
+    return auction_engine(persons=60, closed=80)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A persistent XQuery! database: state survives process restarts.
+
+Builds a small ledger, saves the engine to disk, 'restarts' (loads a fresh
+engine from the file) and continues — counters, detached audit trails and
+exact decimal balances all intact.
+"""
+
+import os
+import tempfile
+
+from repro import Engine
+from repro.persist import load_engine, save_engine
+
+LEDGER_MODULE = """
+declare function post($account, $amount) {
+  snap {
+    replace { exactly-one($ledger/account[@id = $account]/@balance) }
+            with { attribute balance {
+                     xs:decimal(exactly-one(
+                       $ledger/account[@id = $account])/@balance) + $amount } },
+    insert { <tx account="{$account}" amount="{$amount}"/> }
+           into { $ledger/journal }
+  }
+};
+"""
+
+
+def session_one(path: str) -> None:
+    print("=== session 1: create the ledger, post transactions ===")
+    engine = Engine()
+    engine.bind(
+        "ledger",
+        engine.parse_fragment(
+            '<ledger><account id="alice" balance="100.00"/>'
+            '<account id="bob" balance="50.00"/><journal/></ledger>'
+        ),
+    )
+    engine.load_module(LEDGER_MODULE)
+    engine.execute('post("alice", -19.99)')
+    engine.execute('post("bob", 19.99)')
+    print("alice:", engine.execute(
+        'string($ledger/account[@id="alice"]/@balance)').first_value())
+    print("bob:  ", engine.execute(
+        'string($ledger/account[@id="bob"]/@balance)').first_value())
+    save_engine(engine, path)
+    print(f"saved to {path} ({os.path.getsize(path)} bytes)\n")
+
+
+def session_two(path: str) -> None:
+    print("=== session 2: reload and keep going ===")
+    engine = load_engine(path)
+    # Functions are code, not data: re-declare the module.
+    engine.load_module(LEDGER_MODULE)
+    print("journal entries after reload:",
+          engine.execute("count($ledger/journal/tx)").first_value())
+    engine.execute('post("alice", 5.00)')
+    print("alice after one more posting:",
+          engine.execute(
+              'string($ledger/account[@id="alice"]/@balance)').first_value())
+    total = engine.execute(
+        "sum(for $a in $ledger/account return xs:decimal($a/@balance))"
+    ).serialize()
+    print("total across accounts (exact):", total)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "ledger.db.json")
+        session_one(path)
+        session_two(path)
+
+
+if __name__ == "__main__":
+    main()

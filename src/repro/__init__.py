@@ -1,0 +1,40 @@
+"""XQuery! — an XML query language with side effects.
+
+A complete Python reproduction of Ghelli, Ré & Siméon, *XQuery!: An XML
+query language with side effects* (EDBT 2006): a compositional extension of
+an XQuery 1.0 subset with first-class updates (insert / delete / replace /
+rename / copy) and programmer-controlled update application via the
+``snap`` operator, plus the paper's optimizer architecture (purity-guarded
+rewrites over a nested-relational algebra).
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine()
+    engine.load_document("doc", "<inventory><item id='1'/></inventory>")
+    engine.execute('snap insert { <item id="2"/> } into { $doc/inventory }')
+    print(engine.execute('count($doc/inventory/item)').first_value())  # 2
+"""
+
+from repro.engine import Engine, QueryResult, to_sequence
+from repro.errors import XQueryError
+from repro.xdm import AtomicValue, Node, NodeKind, Store
+from repro.xmlio import parse_document, parse_fragment, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "QueryResult",
+    "to_sequence",
+    "XQueryError",
+    "AtomicValue",
+    "Node",
+    "NodeKind",
+    "Store",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""The nested-relational algebra and optimizer (paper Section 4).
+
+Queries compile from the core language into tuple-stream plans
+(:mod:`repro.algebra.plan`); a rule-based rewriter
+(:mod:`repro.algebra.rewrite`) recovers join and outer-join/group-by plans
+— the paper's XMark Q8 example — guarded by the side-effect judgment of
+:mod:`repro.algebra.properties`; :mod:`repro.algebra.execute` runs plans
+against the store, collecting pending updates exactly like the interpreter.
+"""
+
+from repro.algebra.compile import compile_query
+from repro.algebra.execute import execute_plan
+from repro.algebra.properties import effect_properties, EffectProps
+from repro.algebra.plan import pretty_plan
+
+__all__ = [
+    "compile_query",
+    "execute_plan",
+    "effect_properties",
+    "EffectProps",
+    "pretty_plan",
+]

@@ -1,0 +1,233 @@
+"""Plan execution over the store (the algebra's physical layer).
+
+Tuple streams are Python generators of ``dict[str, Sequence]``; pending
+updates collected while producing tuples accumulate in the execution
+state's Δ, preserving the evaluation order the dynamic semantics
+prescribes.  Hash-based joins use atomized join keys under the general-
+comparison matching rules (untyped values match as strings *and* as
+numbers when both sides parse, mirroring ``=``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.algebra import plan as P
+from repro.errors import DynamicError
+from repro.semantics.context import DynamicContext
+from repro.semantics.update import ApplySemantics, UpdateList, apply_update_list
+from repro.xdm.compare import general_compare
+from repro.xdm.values import AtomicValue, Sequence, atomize, effective_boolean_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine
+
+Tuple_ = dict  # dict[str, Sequence]
+
+
+class _ExecState:
+    """Shared execution state: the engine and the pending update list."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.evaluator = engine.evaluator
+        self.delta: UpdateList = []
+
+    def eval_scalar(self, expr, tup: Tuple_) -> Sequence:
+        """Evaluate an embedded core expression against a tuple's bindings;
+        its pending updates are appended to the plan's Δ."""
+        variables = dict(self.evaluator.globals)
+        variables.update(tup)
+        value, delta = self.evaluator.evaluate(expr, DynamicContext(variables))
+        self.delta.extend(delta)
+        return value
+
+
+def execute_plan(plan: P.Plan, engine: "Engine") -> Sequence:
+    """Execute a compiled plan and return its value sequence."""
+    state = _ExecState(engine)
+    return _items(plan, state)
+
+
+def _items(plan: P.Plan, state: _ExecState) -> Sequence:
+    """Execute a value-producing plan node."""
+    if isinstance(plan, P.Snap):
+        inner = _items(plan.input, state)
+        mode = (
+            ApplySemantics(plan.mode) if plan.mode else ApplySemantics.ORDERED
+        )
+        apply_update_list(
+            state.engine.store,
+            state.delta,
+            mode,
+            atomic=state.evaluator.atomic_snaps,
+        )
+        state.delta = []
+        return inner
+    if isinstance(plan, P.EvalExpr):
+        return state.eval_scalar(plan.expr, {})
+    if isinstance(plan, P.MapFromItem):
+        out: Sequence = []
+        for tup in _tuples(plan.input, state):
+            out.extend(state.eval_scalar(plan.ret, tup))
+        return out
+    raise DynamicError(f"plan node {type(plan).__name__} does not produce items")
+
+
+def _tuples(plan: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
+    """Execute a tuple-stream plan node."""
+    if isinstance(plan, P.UnitTuple):
+        yield {}
+        return
+    if isinstance(plan, P.MapConcat):
+        for tup in _tuples(plan.input, state):
+            source = state.eval_scalar(plan.source, tup)
+            for index, item in enumerate(source, start=1):
+                extended = dict(tup)
+                extended[plan.var] = [item]
+                if plan.position_var:
+                    extended[plan.position_var] = [AtomicValue.integer(index)]
+                yield extended
+        return
+    if isinstance(plan, P.LetBind):
+        for tup in _tuples(plan.input, state):
+            extended = dict(tup)
+            extended[plan.var] = state.eval_scalar(plan.source, tup)
+            yield extended
+        return
+    if isinstance(plan, P.Select):
+        for tup in _tuples(plan.input, state):
+            if effective_boolean_value(state.eval_scalar(plan.predicate, tup)):
+                yield tup
+        return
+    if isinstance(plan, P.OrderBySort):
+        yield from _order_by_sort(plan, state)
+        return
+    if isinstance(plan, P.HashJoin):
+        yield from _hash_join(plan, state)
+        return
+    if isinstance(plan, P.GroupBy):
+        yield from _group_by(plan, state)
+        return
+    if isinstance(plan, P.LeftOuterJoin):
+        raise DynamicError(
+            "LeftOuterJoin must be consumed by GroupBy in this algebra"
+        )
+    raise DynamicError(f"plan node {type(plan).__name__} is not a tuple stream")
+
+
+def _order_by_sort(plan: P.OrderBySort, state: _ExecState) -> Iterator[Tuple_]:
+    """Materialize, key and stable-sort the tuple stream; key-expression
+    deltas accumulate in generation order, matching the interpreter."""
+    from repro.semantics.evaluator import _OrderKey
+    from repro.xdm.values import atomize_optional
+
+    keyed = []
+    for tup in _tuples(plan.input, state):
+        keys = []
+        for spec in plan.specs:
+            key_value = state.eval_scalar(spec.expr, tup)
+            keys.append(atomize_optional(key_value, "order by key"))
+        keyed.append((keys, tup))
+    for index in range(len(plan.specs) - 1, -1, -1):
+        spec = plan.specs[index]
+        keyed.sort(
+            key=lambda pair: _OrderKey(pair[0][index], spec),
+            reverse=spec.descending,
+        )
+    for _, tup in keyed:
+        yield tup
+
+
+def _join_keys(value: Sequence) -> list:
+    """Hashable *candidate* keys of an atomized value.
+
+    Each atomic contributes its string form and, when it parses as a
+    number, its numeric form.  Hash matching on these keys yields a
+    superset of the general-'=' matches (e.g. untyped "01" hashes with 1
+    numerically even though "01" = "1" is false for two untyped values);
+    probes therefore re-verify every candidate with the exact
+    ``general_compare`` semantics before accepting it.
+    """
+    keys = []
+    for av in atomize(value):
+        text = av.lexical()
+        keys.append(("s", text))
+        try:
+            keys.append(("n", float(text)))
+        except ValueError:
+            pass
+    return keys
+
+
+def _probe(
+    table: dict[object, list[Tuple_]], keys: list, left_key_value: Sequence
+) -> list[Tuple_]:
+    """Matching right tuples for a left key, deduplicated and re-verified
+    with the exact general-'=' semantics, in right-stream order."""
+    matches: list[Tuple_] = []
+    seen: set[int] = set()
+    for key in keys:
+        for tup in table.get(key, ()):
+            if id(tup) in seen:
+                continue
+            seen.add(id(tup))
+            if general_compare("eq", left_key_value, tup["__keyval__"]):
+                matches.append(tup)
+    matches.sort(key=lambda tup: tup["__order__"])
+    return matches
+
+
+def _with_order(stream: Iterator[Tuple_]) -> Iterator[Tuple_]:
+    for index, tup in enumerate(stream):
+        tup["__order__"] = index
+        yield tup
+
+
+_INTERNAL_KEYS = ("__order__", "__keyval__")
+
+
+def _strip_order(tup: Tuple_) -> Tuple_:
+    return {k: v for k, v in tup.items() if k not in _INTERNAL_KEYS}
+
+
+def _hash_join(plan: P.HashJoin, state: _ExecState) -> Iterator[Tuple_]:
+    table = _build_hash_ordered(plan.right, plan.right_key, state)
+    for left_tup in _tuples(plan.left, state):
+        left_key_value = state.eval_scalar(plan.left_key, left_tup)
+        keys = _join_keys(left_key_value)
+        for right_tup in _probe(table, keys, left_key_value):
+            merged = dict(left_tup)
+            merged.update(_strip_order(right_tup))
+            yield merged
+
+
+def _group_by(plan: P.GroupBy, state: _ExecState) -> Iterator[Tuple_]:
+    join = plan.input
+    table = _build_hash_ordered(join.right, join.right_key, state)
+    for left_tup in _tuples(join.left, state):
+        left_key_value = state.eval_scalar(join.left_key, left_tup)
+        keys = _join_keys(left_key_value)
+        group: Sequence = []
+        for right_tup in _probe(table, keys, left_key_value):
+            merged = dict(left_tup)
+            merged.update(_strip_order(right_tup))
+            group.extend(state.eval_scalar(plan.per_match, merged))
+        out = dict(left_tup)
+        out[plan.group_var] = group
+        yield out
+
+
+def _build_hash_ordered(
+    plan_right: P.Plan, right_key, state: _ExecState
+) -> dict[object, list[Tuple_]]:
+    """Build the hash table.  Each right tuple is stamped with its stream
+    position (to restore right-stream order across multiple matching keys)
+    and its evaluated key value (for exact probe-time re-verification)."""
+    table: dict[object, list[Tuple_]] = {}
+    for tup in _with_order(_tuples(plan_right, state)):
+        key_value = state.eval_scalar(right_key, _strip_order(tup))
+        tup["__keyval__"] = key_value
+        for key in _join_keys(key_value):
+            table.setdefault(key, []).append(tup)
+    return table

@@ -1,0 +1,174 @@
+"""The side-effect judgment guarding optimizer rewrites (Sections 4.2, 5).
+
+For each core expression we compute:
+
+* ``may_update`` — evaluation may *produce* pending update requests;
+* ``may_snap``  — evaluation may *apply* updates (contains a ``snap``, so
+  the store can visibly change during evaluation);
+* combined: an expression is **pure** iff neither holds ("if they only
+  perform allocations or copies, their evaluation can still be commuted or
+  interleaved" — Section 3.4), and **collecting** iff it may update but
+  never snaps (safe inside an innermost snap: effects are gathered, not
+  observed).
+
+User function calls propagate the flags of their bodies with the monadic
+rule of Section 5 ("a function that calls an updating function is updating
+as well"); recursive cycles are resolved conservatively (assume both
+flags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import core_ast as core
+from repro.semantics.context import FunctionRegistry
+
+
+@dataclass(frozen=True)
+class EffectProps:
+    """Effect flags of an expression."""
+
+    may_update: bool = False
+    may_snap: bool = False
+
+    @property
+    def pure(self) -> bool:
+        """No pending updates and no snaps: full XQuery 1.0 freedom."""
+        return not (self.may_update or self.may_snap)
+
+    @property
+    def collecting_only(self) -> bool:
+        """Produces update requests but never applies them."""
+        return self.may_update and not self.may_snap
+
+    def __or__(self, other: "EffectProps") -> "EffectProps":
+        return EffectProps(
+            self.may_update or other.may_update,
+            self.may_snap or other.may_snap,
+        )
+
+
+_PURE = EffectProps(False, False)
+_UPDATING = EffectProps(True, False)
+_SNAPPING = EffectProps(False, True)
+_BOTH = EffectProps(True, True)
+
+
+class EffectAnalyzer:
+    """Memoizing analyzer over a function registry.
+
+    One analyzer should be created per optimization pass; function bodies
+    are analyzed on demand and cached by (name, arity).
+    """
+
+    def __init__(self, registry: FunctionRegistry | None):
+        self._registry = registry
+        self._function_cache: dict[int, EffectProps] = {}
+        self._in_progress: set[int] = set()
+
+    def analyze(self, expr: core.CoreExpr) -> EffectProps:
+        """Compute the effect flags of *expr*."""
+        props = _PURE
+        if isinstance(
+            expr,
+            (core.CInsert, core.CDelete, core.CReplace,
+             core.CReplaceValue, core.CRename),
+        ):
+            props = _UPDATING
+        elif isinstance(expr, core.CSnap):
+            # The snap applies its body's updates: the body's may_update is
+            # discharged here, surfacing as a store mutation (may_snap).
+            body = self.analyze(expr.body)
+            return EffectProps(False, True) | EffectProps(False, body.may_snap)
+        elif isinstance(expr, core.CCall):
+            props = self._call_props(expr)
+        for child in core.child_exprs(expr):
+            props = props | self.analyze(child)
+        return props
+
+    def _call_props(self, expr: core.CCall) -> EffectProps:
+        if self._registry is None:
+            # Without a registry we cannot see function bodies: assume the
+            # worst for non-built-in names.
+            return _BOTH
+        function = self._registry.lookup_user(expr.name, len(expr.args))
+        if function is None:
+            # Built-ins are pure by construction.
+            if self._registry.lookup_builtin(expr.name, len(expr.args)):
+                return _PURE
+            return _BOTH
+        key = id(function)
+        if key in self._function_cache:
+            return self._function_cache[key]
+        if key in self._in_progress:
+            # Recursive cycle: conservative.
+            return _BOTH
+        self._in_progress.add(key)
+        try:
+            props = self.analyze(function.body)
+        finally:
+            self._in_progress.discard(key)
+        self._function_cache[key] = props
+        return props
+
+
+def effect_properties(
+    expr: core.CoreExpr, registry: FunctionRegistry | None = None
+) -> EffectProps:
+    """One-shot effect analysis of *expr*."""
+    return EffectAnalyzer(registry).analyze(expr)
+
+
+def is_pure(expr: core.CoreExpr, registry: FunctionRegistry | None = None) -> bool:
+    """True when *expr* neither produces nor applies updates."""
+    return effect_properties(expr, registry).pure
+
+
+def free_variables(expr: core.CoreExpr) -> set[str]:
+    """Free variables of a core expression (used by join detection to
+    check which clause bindings a predicate side depends on)."""
+    free: set[str] = set()
+
+    def walk(e: core.CoreExpr, bound: frozenset[str]) -> None:
+        if isinstance(e, core.CVar):
+            if e.name not in bound:
+                free.add(e.name)
+            return
+        if isinstance(e, core.CFor):
+            walk(e.source, bound)
+            inner = bound | {e.var}
+            if e.position_var:
+                inner |= {e.position_var}
+            walk(e.body, frozenset(inner))
+            return
+        if isinstance(e, core.CLet):
+            walk(e.source, bound)
+            walk(e.body, frozenset(bound | {e.var}))
+            return
+        if isinstance(e, core.COrderedFLWOR):
+            scope = set(bound)
+            for clause in e.clauses:
+                walk(clause.source, frozenset(scope))
+                scope.add(clause.var)
+                if isinstance(clause, core.CForClause) and clause.position_var:
+                    scope.add(clause.position_var)
+            frozen = frozenset(scope)
+            if e.where is not None:
+                walk(e.where, frozen)
+            for spec in e.specs:
+                walk(spec.expr, frozen)
+            walk(e.ret, frozen)
+            return
+        if isinstance(e, core.CQuantified):
+            scope = set(bound)
+            for var, source in e.bindings:
+                walk(source, frozenset(scope))
+                scope.add(var)
+            walk(e.satisfies, frozenset(scope))
+            return
+        for child in core.child_exprs(e):
+            walk(child, bound)
+
+    walk(expr, frozenset())
+    return free

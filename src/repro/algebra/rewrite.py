@@ -1,0 +1,344 @@
+"""Rule-based plan rewriting (Sections 4.2–4.3).
+
+Two rewrite rules are implemented, both guarded by the side-effect
+judgment:
+
+* **hash join** — ``for $x in A ... for $y in B ... where f($x) = g($y)``
+  becomes ``HashJoin(A-stream, B-stream)``, replacing the O(|A|·|B|)
+  nested loop by O(|A| + |B| + |matches|);
+* **outer-join/group-by** — the paper's XMark Q8 variant,
+  ``for $p in A let $a := (for $t in B where f($p) = g($t) return E)
+  return R`` becomes
+  ``MapFromItem{R}(GroupBy[$a, E](LeftOuterJoin(A, B) on f = g))``.
+
+Guards (Section 4.3 "the optimization rules must be guarded by appropriate
+preconditions"):
+
+1. **Innermost snap** — no sub-expression of the pipeline may contain a
+   ``snap`` (or call a snapping function): inside the innermost snap the
+   store cannot change, so pure sub-expressions may be reordered freely
+   (Section 4.2).  Any ``snap`` disables rewriting (conservative).
+2. **Purity of restructured inputs** — the inner branch (B) and the join
+   predicate must be pure: the join evaluates B *once* instead of once per
+   outer tuple, which would change how many times B's effects fire ("we
+   must check that the inner branch of a join does not have updates").
+3. **Cardinality preservation for effects** — expressions that may collect
+   updates (E, R, A) are only ever moved to positions where they are still
+   evaluated exactly once per original iteration, in the original order.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import plan as P
+from repro.algebra.compile import (
+    ForStep,
+    LetStep,
+    Pipeline,
+    Step,
+    WhereStep,
+    decompose_pipeline,
+    finish_pipeline,
+)
+from repro.algebra.properties import EffectAnalyzer, free_variables
+from repro.lang import core_ast as core
+from repro.semantics.context import FunctionRegistry
+
+
+def try_optimize(pipeline: Pipeline, registry: FunctionRegistry) -> P.Plan | None:
+    """Attempt the rewrites; None means "no rewrite applies, use the naive
+    plan"."""
+    analyzer = EffectAnalyzer(registry)
+    if _contains_snap(pipeline, analyzer):
+        return None
+    hoisted = hoist_invariant_lets(pipeline, analyzer)
+    plan = _try_groupby(hoisted, analyzer) or _try_hashjoin(hoisted, analyzer)
+    if plan is not None:
+        return plan
+    if hoisted is not pipeline:
+        # No join rewrite, but the hoist alone is worth keeping.
+        from repro.algebra.compile import naive_plan
+
+        return naive_plan(hoisted)
+    return None
+
+
+def hoist_invariant_lets(
+    pipeline: Pipeline, analyzer: EffectAnalyzer
+) -> Pipeline:
+    """Loop-invariant code motion for let clauses.
+
+    A ``let $v := E`` whose source is pure and independent of every
+    variable bound by *preceding* for clauses is evaluated identically on
+    every iteration; moving it in front of those loops evaluates it once.
+    Guarded by purity (an effectful E must keep its per-iteration
+    cardinality) — the same cardinality argument as the join guard.
+    Returns the original pipeline object when nothing moves.
+    """
+    steps = list(pipeline.steps)
+    moved = False
+    for index in range(1, len(steps)):
+        step = steps[index]
+        if not isinstance(step, LetStep):
+            continue
+        if not analyzer.analyze(step.source).pure:
+            continue
+        free = free_variables(step.source)
+        # Find the earliest position where every variable the source needs
+        # is already bound.
+        target = index
+        for position in range(index - 1, -1, -1):
+            previous = steps[position]
+            if isinstance(previous, (ForStep, LetStep)):
+                binds = {previous.var}
+                if isinstance(previous, ForStep) and previous.position_var:
+                    binds.add(previous.position_var)
+                if binds & free:
+                    break
+                # Hoisting above a pure let/for is fine; hoisting above a
+                # WhereStep would change how often E runs only if E were
+                # effectful, which we excluded — but it could *evaluate*
+                # E when the where filters everything out; that is safe
+                # for a pure E.
+            target = position
+        if target < index:
+            steps.insert(target, steps.pop(index))
+            moved = True
+    if not moved:
+        return pipeline
+    return Pipeline(
+        steps=steps, ret=pipeline.ret, order_specs=pipeline.order_specs
+    )
+
+
+def _pipeline_exprs(pipeline: Pipeline) -> list[core.CoreExpr]:
+    exprs: list[core.CoreExpr] = []
+    for step in pipeline.steps:
+        if isinstance(step, (ForStep, LetStep)):
+            exprs.append(step.source)
+        else:
+            exprs.append(step.predicate)
+    for spec in pipeline.order_specs:
+        exprs.append(spec.expr)
+    exprs.append(pipeline.ret)
+    return exprs
+
+
+def _contains_snap(pipeline: Pipeline, analyzer: EffectAnalyzer) -> bool:
+    return any(
+        analyzer.analyze(expr).may_snap for expr in _pipeline_exprs(pipeline)
+    )
+
+
+def _bound_vars(steps: list[Step]) -> set[str]:
+    bound: set[str] = set()
+    for step in steps:
+        if isinstance(step, ForStep):
+            bound.add(step.var)
+            if step.position_var:
+                bound.add(step.position_var)
+        elif isinstance(step, LetStep):
+            bound.add(step.var)
+    return bound
+
+
+def _split_equality(
+    predicate: core.CoreExpr,
+    outer_vars: set[str],
+    inner_var: str,
+    pipeline_vars: set[str],
+) -> tuple[core.CoreExpr, core.CoreExpr] | None:
+    """If *predicate* is a general '=' whose sides separate into an
+    outer-only expression and an inner-only expression, return
+    (outer_key, inner_key); otherwise None."""
+    if not (
+        isinstance(predicate, core.CComparison)
+        and predicate.style == "general"
+        and predicate.op == "eq"
+    ):
+        return None
+    left_free = free_variables(predicate.left) & pipeline_vars
+    right_free = free_variables(predicate.right) & pipeline_vars
+    if left_free <= outer_vars and right_free <= {inner_var} and right_free:
+        return predicate.left, predicate.right
+    if right_free <= outer_vars and left_free <= {inner_var} and left_free:
+        return predicate.right, predicate.left
+    return None
+
+
+def _build_steps(plan: P.Plan, steps: list[Step]) -> P.Plan:
+    for step in steps:
+        if isinstance(step, ForStep):
+            plan = P.MapConcat(
+                input=plan,
+                var=step.var,
+                source=step.source,
+                position_var=step.position_var,
+            )
+        elif isinstance(step, LetStep):
+            plan = P.LetBind(input=plan, var=step.var, source=step.source)
+        else:
+            plan = P.Select(input=plan, predicate=step.predicate)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Rewrite 1: outer-join / group-by (the paper's Section 4.3 plan)
+# ----------------------------------------------------------------------
+
+def _try_groupby(pipeline: Pipeline, analyzer: EffectAnalyzer) -> P.Plan | None:
+    pipeline_vars = _bound_vars(pipeline.steps)
+    for index, step in enumerate(pipeline.steps):
+        if not isinstance(step, LetStep):
+            continue
+        inner = decompose_pipeline(step.source)
+        if inner is None:
+            continue
+        rewritten = _match_inner_join(
+            pipeline, index, step, inner, analyzer, pipeline_vars
+        )
+        if rewritten is not None:
+            return rewritten
+    return None
+
+
+def _match_inner_join(
+    pipeline: Pipeline,
+    let_index: int,
+    let_step: LetStep,
+    inner: Pipeline,
+    analyzer: EffectAnalyzer,
+    pipeline_vars: set[str],
+) -> P.Plan | None:
+    # Inner shape: exactly one for, then where conjuncts; ret is E.
+    if inner.order_specs:
+        return None  # an ordered inner FLWOR keeps its own evaluation
+    fors = [s for s in inner.steps if isinstance(s, ForStep)]
+    lets = [s for s in inner.steps if isinstance(s, LetStep)]
+    wheres = [s for s in inner.steps if isinstance(s, WhereStep)]
+    if len(fors) != 1 or lets or inner.steps[0] is not fors[0]:
+        return None
+    inner_for = fors[0]
+    if inner_for.position_var is not None:
+        return None
+    outer_steps = pipeline.steps[:let_index]
+    outer_vars = _bound_vars(outer_steps)
+    all_vars = pipeline_vars | {inner_for.var}
+    # Guard 2: B and every inner where conjunct must be pure, and B must be
+    # independent of the outer pipeline variables.
+    if not analyzer.analyze(inner_for.source).pure:
+        return None
+    if free_variables(inner_for.source) & pipeline_vars:
+        return None
+    join_keys: tuple[core.CoreExpr, core.CoreExpr] | None = None
+    extra_guards: list[core.CoreExpr] = []
+    right_selects: list[core.CoreExpr] = []
+    for where in wheres:
+        if not analyzer.analyze(where.predicate).pure:
+            return None
+        if join_keys is None:
+            join_keys = _split_equality(
+                where.predicate, outer_vars, inner_for.var, all_vars
+            )
+            if join_keys is not None:
+                continue
+        pred_vars = free_variables(where.predicate) & all_vars
+        if pred_vars <= {inner_for.var}:
+            right_selects.append(where.predicate)
+        else:
+            extra_guards.append(where.predicate)
+    if join_keys is None:
+        return None
+    # Guard 3: E (inner.ret) may collect updates but we checked globally it
+    # cannot snap; it runs once per match in both plans.
+    per_match = inner.ret
+    for guard in reversed(extra_guards):
+        per_match = core.CIf(cond=guard, then=per_match, orelse=core.CEmpty())
+    left = _build_steps(P.UnitTuple(), outer_steps)
+    right: P.Plan = P.MapConcat(
+        input=P.UnitTuple(), var=inner_for.var, source=inner_for.source
+    )
+    for predicate in right_selects:
+        right = P.Select(input=right, predicate=predicate)
+    join = P.LeftOuterJoin(
+        left=left, right=right, left_key=join_keys[0], right_key=join_keys[1]
+    )
+    grouped: P.Plan = P.GroupBy(
+        input=join, group_var=let_step.var, per_match=per_match
+    )
+    grouped = _build_steps(grouped, pipeline.steps[let_index + 1 :])
+    return finish_pipeline(grouped, pipeline)
+
+
+# ----------------------------------------------------------------------
+# Rewrite 2: plain hash join
+# ----------------------------------------------------------------------
+
+def _try_hashjoin(pipeline: Pipeline, analyzer: EffectAnalyzer) -> P.Plan | None:
+    pipeline_vars = _bound_vars(pipeline.steps)
+    steps = pipeline.steps
+    for j, step in enumerate(steps):
+        if not isinstance(step, ForStep) or j == 0:
+            continue
+        if step.position_var is not None:
+            continue
+        inner_var = step.var
+        outer_steps = steps[:j]
+        outer_vars = _bound_vars(outer_steps)
+        if not any(isinstance(s, ForStep) for s in outer_steps):
+            continue
+        # Guard 2: the inner branch must be pure and independent.
+        if not analyzer.analyze(step.source).pure:
+            continue
+        if free_variables(step.source) & pipeline_vars:
+            continue
+        # Find a separable equality among the WhereSteps after j; classify
+        # the other conjuncts in the same block for pushdown.
+        join_keys = None
+        join_where_index = None
+        left_pushdown: list[int] = []
+        right_pushdown: list[int] = []
+        for k in range(j + 1, len(steps)):
+            where = steps[k]
+            if isinstance(where, (ForStep, LetStep)):
+                break  # only rewrite across a contiguous where block
+            assert isinstance(where, WhereStep)
+            if not analyzer.analyze(where.predicate).pure:
+                continue
+            if join_keys is None:
+                join_keys = _split_equality(
+                    where.predicate, outer_vars, inner_var, pipeline_vars
+                )
+                if join_keys is not None:
+                    join_where_index = k
+                    continue
+            # Pure one-sided conjuncts can filter their stream *before*
+            # the join (classic selection pushdown): fewer build rows /
+            # probe rows, identical results.
+            pred_vars = free_variables(where.predicate) & pipeline_vars
+            if pred_vars <= outer_vars:
+                left_pushdown.append(k)
+            elif pred_vars <= {inner_var}:
+                right_pushdown.append(k)
+        if join_keys is None or join_where_index is None:
+            continue
+        left = _build_steps(P.UnitTuple(), outer_steps)
+        for k in left_pushdown:
+            left = P.Select(input=left, predicate=steps[k].predicate)
+        right: P.Plan = P.MapConcat(
+            input=P.UnitTuple(), var=inner_var, source=step.source
+        )
+        for k in right_pushdown:
+            right = P.Select(input=right, predicate=steps[k].predicate)
+        joined: P.Plan = P.HashJoin(
+            left=left,
+            right=right,
+            left_key=join_keys[0],
+            right_key=join_keys[1],
+        )
+        consumed = {join_where_index, *left_pushdown, *right_pushdown}
+        remaining = [
+            s for i, s in enumerate(steps) if i > j and i not in consumed
+        ]
+        joined = _build_steps(joined, remaining)
+        return finish_pipeline(joined, pipeline)
+    return None

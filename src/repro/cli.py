@@ -1,0 +1,233 @@
+"""Command-line interface: run XQuery! queries against XML documents.
+
+Examples::
+
+    # run a query file against a document bound to $doc
+    python -m repro query.xq --doc doc=data.xml
+
+    # inline query, optimized, printing the plan
+    python -m repro -q 'count($doc//item)' --doc doc=data.xml --plan
+
+    # interactive session
+    python -m repro --repl --doc auction=auction.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence as Seq
+
+from repro.algebra.plan import pretty_plan
+from repro.engine import Engine
+from repro.errors import XQueryError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XQuery! — an XML query language with side effects "
+        "(EDBT 2006 reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version="%(prog)s 1.0.0 (XQuery! reproduction, EDBT 2006)",
+    )
+    parser.add_argument(
+        "query_file",
+        nargs="?",
+        help="file containing the query (module) to run",
+    )
+    parser.add_argument(
+        "-q", "--query", help="inline query text (alternative to a file)"
+    )
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="bind $NAME to the document parsed from PATH (repeatable)",
+    )
+    parser.add_argument(
+        "--var",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind $NAME to a string value (repeatable)",
+    )
+    parser.add_argument(
+        "--fragment",
+        action="append",
+        default=[],
+        metavar="NAME=XML",
+        help="bind $NAME to an inline XML fragment (repeatable)",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="compile through the algebra optimizer (Section 4)",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the (optimized) plan instead of running the query",
+    )
+    parser.add_argument(
+        "--semantics",
+        choices=["ordered", "nondeterministic", "conflict-detection"],
+        default="ordered",
+        help="update-application semantics for the implicit top-level snap",
+    )
+    parser.add_argument(
+        "--atomic",
+        action="store_true",
+        help="roll back snaps whose update list fails mid-application",
+    )
+    parser.add_argument(
+        "--indent", action="store_true", help="pretty-print XML output"
+    )
+    parser.add_argument(
+        "--repl", action="store_true", help="start an interactive session"
+    )
+    parser.add_argument(
+        "--load",
+        metavar="PATH",
+        help="load engine state from a repro database dump (see repro.persist)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="save engine state to PATH after the query/session finishes",
+    )
+    return parser
+
+
+def _split_binding(text: str, what: str) -> tuple[str, str]:
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"invalid {what} binding {text!r}; expected NAME=VALUE")
+    return name, value
+
+
+def make_engine(args: argparse.Namespace) -> Engine:
+    if args.load:
+        from repro.persist import load_engine
+
+        engine = load_engine(args.load)
+        engine.default_semantics = type(engine.default_semantics)(args.semantics)
+        engine.evaluator.trace_sink = lambda message: print(
+            f"trace: {message}", file=sys.stderr
+        )
+    else:
+        engine = Engine(
+            default_semantics=args.semantics,
+            atomic_snaps=args.atomic,
+            trace_sink=lambda message: print(f"trace: {message}", file=sys.stderr),
+        )
+    for binding in args.doc:
+        name, path = _split_binding(binding, "--doc")
+        with open(path, encoding="utf-8") as handle:
+            engine.load_document(name, handle.read())
+    for binding in args.fragment:
+        name, xml = _split_binding(binding, "--fragment")
+        engine.bind(name, engine.parse_fragment(xml))
+    for binding in args.var:
+        name, value = _split_binding(binding, "--var")
+        engine.bind(name, value)
+    return engine
+
+
+def run_query(engine: Engine, query: str, args: argparse.Namespace) -> int:
+    if args.plan:
+        print(pretty_plan(engine.compile(query)))
+        return 0
+    result = engine.execute(query, optimize=args.optimize)
+    output = result.serialize(indent=args.indent)
+    if output:
+        print(output)
+    return 0
+
+
+def repl(engine: Engine, args: argparse.Namespace) -> int:
+    """A line-oriented interactive session.
+
+    Enter queries terminated by an empty line; ':quit' exits, ':plan on'
+    toggles plan printing.
+    """
+    print("XQuery! — type a query, finish with an empty line; :quit exits.")
+    show_plan = False
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "xquery! > " if not buffer else "       ... "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped in (":q", ":quit", ":exit"):
+            return 0
+        if not buffer and stripped == ":plan on":
+            show_plan = True
+            continue
+        if not buffer and stripped == ":plan off":
+            show_plan = False
+            continue
+        if stripped:
+            buffer.append(line)
+            continue
+        if not buffer:
+            continue
+        query = "\n".join(buffer)
+        buffer = []
+        try:
+            if show_plan:
+                print(pretty_plan(engine.compile(query)))
+            result = engine.execute(query, optimize=args.optimize)
+            print(result.serialize(indent=args.indent))
+        except XQueryError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+def main(argv: Seq[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        engine = make_engine(args)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    def finish(code: int) -> int:
+        if args.save and code == 0:
+            from repro.persist import save_engine
+
+            save_engine(engine, args.save)
+        return code
+
+    if args.repl:
+        return finish(repl(engine, args))
+    if args.query is not None:
+        query = args.query
+    elif args.query_file:
+        try:
+            with open(args.query_file, encoding="utf-8") as handle:
+                query = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.load or args.save:
+        # State-only invocation: load/save without running a query.
+        return finish(0)
+    else:
+        build_parser().print_usage(sys.stderr)
+        print("error: provide a query file, -q, or --repl", file=sys.stderr)
+        return 2
+    try:
+        return finish(run_query(engine, query, args))
+    except XQueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

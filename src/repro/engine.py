@@ -1,0 +1,364 @@
+"""The public engine facade.
+
+Typical use::
+
+    from repro import Engine
+
+    engine = Engine()
+    engine.load_document("auction", xmark_xml_text)
+    engine.bind("log", engine.parse_fragment("<log/>"))
+    result = engine.execute('count($auction//person)')
+    print(result.first_value())
+
+``execute`` runs the full pipeline of the paper's Section 4.2: parse →
+normalize → (optionally compile to the algebra and optimize) → evaluate,
+with the implicit top-level ``snap`` wrapped around the query body
+(Section 2.3).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional, Union
+
+from repro.errors import DynamicError, XQueryError
+from repro.lang import core_ast as core
+from repro.lang.normalize import normalize, normalize_module
+from repro.lang.simplify import simplify_module
+from repro.lang.parser import parse_module
+from repro.semantics.context import DynamicContext, FunctionRegistry
+from repro.semantics.evaluator import Evaluator
+from repro.semantics.functions import default_registry
+from repro.semantics.update import ApplySemantics
+from repro.xdm.nodes import Node
+from repro.xdm.store import Store
+from repro.xdm.values import AtomicValue, Item, Sequence, item_string
+from repro.xmlio.parser import parse_document, parse_fragment
+from repro.xmlio.serializer import serialize_sequence
+
+
+PythonValue = Union[None, bool, int, float, str, Node, AtomicValue, list, tuple]
+
+
+def to_sequence(value: PythonValue) -> Sequence:
+    """Coerce a Python value into an XDM sequence."""
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        out: Sequence = []
+        for item in value:
+            out.extend(to_sequence(item))
+        return out
+    if isinstance(value, (Node, AtomicValue)):
+        return [value]
+    if isinstance(value, bool):
+        return [AtomicValue.boolean(value)]
+    if isinstance(value, int):
+        return [AtomicValue.integer(value)]
+    if isinstance(value, float):
+        return [AtomicValue.double(value)]
+    from decimal import Decimal
+
+    if isinstance(value, Decimal):
+        return [AtomicValue.decimal(value)]
+    if isinstance(value, str):
+        return [AtomicValue.string(value)]
+    raise XQueryError(f"cannot convert {type(value).__name__} to an XDM value")
+
+
+class QueryResult:
+    """The value of a query, with conveniences for tests and examples."""
+
+    def __init__(self, items: Sequence, engine: "Engine"):
+        self.items = items
+        self._engine = engine
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def serialize(self, indent: bool = False) -> str:
+        """XML serialization of the result sequence."""
+        return serialize_sequence(self.items, indent)
+
+    def strings(self) -> list[str]:
+        """fn:string of every item."""
+        return [item_string(item) for item in self.items]
+
+    def first_value(self):
+        """The Python value of the first item (None when empty)."""
+        if not self.items:
+            return None
+        item = self.items[0]
+        if isinstance(item, AtomicValue):
+            return item.value
+        return item
+
+    def values(self) -> list:
+        """Python values of all atomic items; nodes stay as handles."""
+        return [
+            item.value if isinstance(item, AtomicValue) else item
+            for item in self.items
+        ]
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.serialize()!r})"
+
+
+class Engine:
+    """An XQuery! processor instance: one store, one set of bindings.
+
+    Parameters:
+        default_semantics: update-application semantics for the implicit
+            top-level snap and any ``snap`` without an explicit keyword —
+            'ordered' (default), 'nondeterministic' or 'conflict-detection'.
+        trace_sink: callable receiving fn:trace messages.
+        atomic_snaps: roll the store back when a snap's update list fails
+            a precondition mid-application (failure containment).
+        static_checks: validate variable scoping and function resolution
+            before evaluating (catches typos before any update fires).
+    """
+
+    def __init__(
+        self,
+        default_semantics: str = "ordered",
+        trace_sink: Callable[[str], None] | None = None,
+        atomic_snaps: bool = False,
+        static_checks: bool = False,
+    ):
+        self.store = Store()
+        self.functions: FunctionRegistry = default_registry()
+        self.evaluator = Evaluator(
+            self.store, self.functions, trace_sink, atomic_snaps=atomic_snaps
+        )
+        self.default_semantics = ApplySemantics(default_semantics)
+        self.static_checks = static_checks
+        # Library-module system: uri -> source text, plus load bookkeeping.
+        self._module_library: dict[str, str] = {}
+        self._loaded_modules: dict[str, tuple[list, str | None]] = {}
+        self._loading: set[str] = set()
+
+    def _maybe_check(self, module: core.CModule) -> None:
+        if self.static_checks:
+            from repro.lang.static_check import check_module
+
+            check_module(
+                module, self.functions, set(self.evaluator.globals)
+            )
+
+    # ------------------------------------------------------------------
+    # Data loading and variable binding
+    # ------------------------------------------------------------------
+
+    def load_document(self, name: str, xml_text: str) -> Node:
+        """Parse *xml_text* into the store, bind ``$name`` to the document
+        node and register it in the fn:doc catalog under *name*."""
+        doc = parse_document(xml_text, self.store)
+        self.bind(name, doc)
+        self.evaluator.documents[name] = doc
+        return doc
+
+    def parse_fragment(self, xml_text: str) -> Node:
+        """Parse a single element into this engine's store (parentless)."""
+        return parse_fragment(xml_text, self.store)
+
+    def bind(self, name: str, value: PythonValue) -> None:
+        """Bind the global variable ``$name``."""
+        self.evaluator.globals[name] = to_sequence(value)
+
+    def variable(self, name: str) -> Sequence:
+        """Current value of a global variable."""
+        return self.evaluator.globals[name]
+
+    # ------------------------------------------------------------------
+    # Modules
+    # ------------------------------------------------------------------
+
+    def register_module(self, uri: str, text: str) -> None:
+        """Make a library module available to ``import module namespace
+        p = "uri"``.  The text is parsed lazily on first import."""
+        self._module_library[uri] = text
+
+    def _resolve_imports(self, module: core.CModule) -> None:
+        for prefix, uri in module.imports:
+            self._import_module(prefix, uri)
+
+    def _import_module(self, prefix: str, uri: str) -> None:
+        if uri in self._loading:
+            raise DynamicError(f"circular module import of {uri!r}")
+        if uri not in self._loaded_modules:
+            text = self._module_library.get(uri)
+            if text is None:
+                raise DynamicError(
+                    f"no module registered for namespace {uri!r}; call "
+                    "Engine.register_module(uri, text) first"
+                )
+            self._loading.add(uri)
+            try:
+                library = simplify_module(normalize_module(parse_module(text)))
+                self._resolve_imports(library)
+                functions = []
+                for decl in library.declarations:
+                    if isinstance(decl, core.CFunction):
+                        self.functions.register_user(decl)
+                        functions.append(decl)
+                self._maybe_check(library)
+                for decl in library.declarations:
+                    if isinstance(decl, core.CVarDecl) and decl.expr is not None:
+                        value = self.evaluator.run_snapped(
+                            decl.expr, self._context(), self.default_semantics
+                        )
+                        self.evaluator.globals[decl.name] = value
+                self._loaded_modules[uri] = (functions, library.declared_prefix)
+            finally:
+                self._loading.discard(uri)
+        functions, lib_prefix = self._loaded_modules[uri]
+        # Expose the library's functions and variables under the
+        # *importer's* prefix.
+        for function in functions:
+            local = function.name.split(":")[-1]
+            self.functions.register_user_as(f"{prefix}:{local}", function)
+        if lib_prefix:
+            for name, value in list(self.evaluator.globals.items()):
+                if name.startswith(f"{lib_prefix}:"):
+                    local = name.split(":", 1)[1]
+                    self.evaluator.globals.setdefault(
+                        f"{prefix}:{local}", value
+                    )
+
+    def load_module(self, text: str) -> Optional[QueryResult]:
+        """Load a module: register its functions, evaluate its variable
+        declarations in order (each under the implicit snap), and run the
+        query body if there is one."""
+        module = simplify_module(normalize_module(parse_module(text)))
+        self._resolve_imports(module)
+        result: Optional[QueryResult] = None
+        for decl in module.declarations:
+            if isinstance(decl, core.CFunction):
+                self.functions.register_user(decl)
+        self._maybe_check(module)
+        for decl in module.declarations:
+            if isinstance(decl, core.CVarDecl):
+                if decl.expr is None:
+                    if decl.name not in self.evaluator.globals:
+                        raise DynamicError(
+                            f"external variable ${decl.name} is not bound"
+                        )
+                    continue
+                value = self.evaluator.run_snapped(
+                    decl.expr, self._context(), self.default_semantics
+                )
+                self.evaluator.globals[decl.name] = value
+        if module.body is not None:
+            result = self._run(module.body)
+        return result
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(self, query: str, optimize: bool = False) -> QueryResult:
+        """Parse, normalize and evaluate *query* (which may include a
+        prolog).  With ``optimize=True`` the query body is compiled to the
+        nested-relational algebra and rewritten before execution
+        (Section 4)."""
+        module = simplify_module(normalize_module(parse_module(query)))
+        self._resolve_imports(module)
+        for decl in module.declarations:
+            if isinstance(decl, core.CFunction):
+                self.functions.register_user(decl)
+        self._maybe_check(module)
+        for decl in module.declarations:
+            if isinstance(decl, core.CVarDecl) and decl.expr is not None:
+                value = self.evaluator.run_snapped(
+                    decl.expr, self._context(), self.default_semantics
+                )
+                self.evaluator.globals[decl.name] = value
+        if module.body is None:
+            return QueryResult([], self)
+        return self._run(module.body, optimize)
+
+    def compile(self, query: str):
+        """Compile *query* to an (optimized) algebra plan without running
+        it.  Returns the plan; useful for inspecting rewrites.  Prolog
+        functions are registered (the purity analysis needs their bodies)
+        but variable initializers are *not* evaluated."""
+        from repro.algebra.compile import compile_query
+
+        module = simplify_module(normalize_module(parse_module(query)))
+        self._resolve_imports(module)
+        for decl in module.declarations:
+            if isinstance(decl, core.CFunction):
+                self.functions.register_user(decl)
+        if module.body is None:
+            raise DynamicError("query has no body to compile")
+        return compile_query(module.body, self, optimize=True)
+
+    def _run(self, body: core.CoreExpr, optimize: bool = False) -> QueryResult:
+        if optimize:
+            from repro.algebra.compile import compile_query
+            from repro.algebra.execute import execute_plan
+
+            plan = compile_query(body, self, optimize=True)
+            items = execute_plan(plan, self)
+            return QueryResult(items, self)
+        items = self.evaluator.run_snapped(
+            body, self._context(), self.default_semantics
+        )
+        return QueryResult(items, self)
+
+    def _context(self) -> DynamicContext:
+        return DynamicContext(dict(self.evaluator.globals))
+
+    # ------------------------------------------------------------------
+    # Transactions (multi-query atomicity)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Group several ``execute`` calls into an all-or-nothing unit.
+
+        On any exception the store *and* the global bindings roll back to
+        the state at entry (the paper treats transactions as orthogonal to
+        snap — Section 5 — so this is engine-level plumbing, not language
+        semantics)::
+
+            with engine.transaction():
+                engine.execute('snap delete { $log/logentry }')
+                engine.execute('archive()')   # raise => delete undone
+        """
+        checkpoint = self.store.checkpoint()
+        globals_snapshot = {
+            name: list(value)
+            for name, value in self.evaluator.globals.items()
+        }
+        documents_snapshot = dict(self.evaluator.documents)
+        try:
+            yield self
+        except BaseException:
+            self.store.restore(checkpoint)
+            self.evaluator.globals = globals_snapshot
+            self.evaluator.documents = documents_snapshot
+            raise
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def serialize(self, items: Iterable[Item], indent: bool = False) -> str:
+        """Serialize any sequence of items from this engine's store."""
+        return serialize_sequence(list(items), indent)
+
+    def gc(self) -> int:
+        """Reclaim store records unreachable from any global binding."""
+        live: list[int] = []
+        for value in self.evaluator.globals.values():
+            for item in value:
+                if isinstance(item, Node):
+                    live.append(item.nid)
+        return self.store.gc(live)

@@ -1,0 +1,158 @@
+"""Error hierarchy for the XQuery! engine.
+
+Error codes loosely follow the W3C XQuery convention (``XPST``/``XPDY``/
+``XQDY`` prefixes for static, dynamic and update errors) plus ``XUDY`` codes
+for update-application failures, which the paper leaves implementation
+defined (Section 3.2: "When the preconditions are not met, the update
+application is undefined" — we make it a reported error).
+"""
+
+from __future__ import annotations
+
+
+class XQueryError(Exception):
+    """Base class for every error raised by the engine.
+
+    Attributes:
+        code: a short machine-readable error code (e.g. ``XPST0003``).
+        message: human-readable description.
+    """
+
+    default_code = "FORG0001"
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code or self.default_code
+        self.message = message
+        super().__init__(f"[{self.code}] {message}")
+
+
+class StaticError(XQueryError):
+    """Error detected before evaluation (lexing, parsing, normalization)."""
+
+    default_code = "XPST0003"
+
+
+class LexerError(StaticError):
+    """Raised when the tokenizer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class ParseError(StaticError):
+    """Raised when the parser cannot build an AST from the token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class NormalizationError(StaticError):
+    """Raised when a surface expression has no core-language image."""
+
+    default_code = "XPST0005"
+
+
+class UndefinedVariableError(StaticError):
+    """Reference to a variable not in scope (XPST0008)."""
+
+    default_code = "XPST0008"
+
+
+class UndefinedFunctionError(StaticError):
+    """Call to a function that is not declared (XPST0017)."""
+
+    default_code = "XPST0017"
+
+
+class DynamicError(XQueryError):
+    """Error raised during evaluation of a (core) expression."""
+
+    default_code = "XPDY0002"
+
+
+class TypeError_(DynamicError):
+    """Dynamic type error (e.g. atomizing where a node is required)."""
+
+    default_code = "XPTY0004"
+
+
+class AtomizationError(TypeError_):
+    """A sequence could not be atomized into the required cardinality."""
+
+    default_code = "XPTY0004"
+
+
+class CardinalityError(TypeError_):
+    """A sequence has the wrong number of items for the operation."""
+
+    default_code = "XPTY0004"
+
+
+class ArithmeticError_(DynamicError):
+    """Numeric failure such as division by zero (FOAR0001)."""
+
+    default_code = "FOAR0001"
+
+
+class FunctionError(DynamicError):
+    """A built-in function was called with invalid arguments."""
+
+    default_code = "FORG0006"
+
+
+class UpdateError(DynamicError):
+    """Base class for errors involving update requests."""
+
+    default_code = "XUDY0027"
+
+
+class UpdateTargetError(UpdateError):
+    """An update primitive was given an invalid target node (e.g. delete of
+    a non-node, insert into a text node)."""
+
+    default_code = "XUTY0005"
+
+
+class UpdateApplicationError(UpdateError):
+    """Applying an update list to the store failed a precondition, e.g.
+    inserting a node that still has a parent (Section 3.2)."""
+
+    default_code = "XUDY0027"
+
+
+class ConflictError(UpdateError):
+    """Conflict-detection semantics proved (or failed to disprove) that two
+    update requests in the same snap scope do not commute (Section 3.2)."""
+
+    default_code = "XUDY0024"
+
+
+class StoreError(DynamicError):
+    """Inconsistent access to the node store (bad node id, wrong kind)."""
+
+    default_code = "XQDY0025"
+
+
+class SerializationError(DynamicError):
+    """The data model instance cannot be serialized to XML."""
+
+    default_code = "SENR0001"
+
+
+class XMLParseError(StaticError):
+    """Raised while parsing an XML document into the store."""
+
+    default_code = "FODC0002"
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)

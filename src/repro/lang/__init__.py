@@ -1,0 +1,15 @@
+"""The XQuery! language front end.
+
+Pipeline (paper Section 4.2): source text is tokenized
+(:mod:`repro.lang.lexer`), parsed into a surface AST
+(:mod:`repro.lang.parser` / :mod:`repro.lang.ast` — the grammar of the
+paper's Fig. 1 over an XQuery 1.0 subset), then *normalized*
+(:mod:`repro.lang.normalize`) into the core language
+(:mod:`repro.lang.core_ast`) on which the dynamic semantics and the algebra
+compiler are defined.
+"""
+
+from repro.lang.parser import parse, parse_module
+from repro.lang.normalize import normalize, normalize_module
+
+__all__ = ["parse", "parse_module", "normalize", "normalize_module"]

@@ -1,0 +1,306 @@
+"""Unparser for the *core* language.
+
+Renders core expressions as XQuery!-like source text.  Used by the plan
+printer (:func:`repro.algebra.plan.paper_plan`) so compiled plans display
+their embedded expressions the way the paper's Section 4.3 plan does, and
+by debugging tools.  Core text is denotational, not necessarily
+re-parseable (e.g. the implicit copy shows as an explicit ``copy {}``,
+which is in fact the point of printing it).
+"""
+
+from __future__ import annotations
+
+from repro.lang import core_ast as core
+
+_GENERAL_OPS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+_NODE_OPS = {"is": "is", "precedes": "<<", "follows": ">>"}
+
+
+def core_to_source(expr: core.CoreExpr) -> str:
+    """Render a core expression as source-like text."""
+    return _c(expr)
+
+
+def _c(expr: core.CoreExpr) -> str:
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        return f"<{type(expr).__name__}>"
+    return handler(expr)
+
+
+def _opt(expr: core.CoreExpr | None) -> str:
+    return "" if expr is None else _c(expr)
+
+
+def _literal(e: core.CLiteral) -> str:
+    if e.value.type == "xs:string":
+        escaped = e.value.value.replace('"', '""')
+        return f'"{escaped}"'
+    return e.value.lexical()
+
+
+def _var(e: core.CVar) -> str:
+    return f"${e.name}"
+
+
+def _context(e: core.CContext) -> str:
+    return "."
+
+
+def _empty(e: core.CEmpty) -> str:
+    return "()"
+
+
+def _root(e: core.CRoot) -> str:
+    return "fn:root(.)"
+
+
+def _sequence(e: core.CSequence) -> str:
+    return "(" + ", ".join(_c(item) for item in e.items) + ")"
+
+
+def _sequenced(e: core.CSequenced) -> str:
+    return "(" + "; ".join(_c(item) for item in e.items) + ")"
+
+
+def _range(e: core.CRange) -> str:
+    return f"({_c(e.lo)} to {_c(e.hi)})"
+
+
+def _arith(e: core.CArith) -> str:
+    return f"({_c(e.left)} {e.op} {_c(e.right)})"
+
+
+def _unary(e: core.CUnary) -> str:
+    return f"({e.op}{_c(e.operand)})"
+
+
+def _comparison(e: core.CComparison) -> str:
+    if e.style == "general":
+        op = _GENERAL_OPS[e.op]
+    elif e.style == "value":
+        op = e.op
+    else:
+        op = _NODE_OPS[e.op]
+    return f"({_c(e.left)} {op} {_c(e.right)})"
+
+
+def _bool(e: core.CBool) -> str:
+    return f"({_c(e.left)} {e.op} {_c(e.right)})"
+
+
+def _set(e: core.CSet) -> str:
+    return f"({_c(e.left)} {e.op} {_c(e.right)})"
+
+
+def _if(e: core.CIf) -> str:
+    return f"if ({_c(e.cond)}) then {_c(e.then)} else {_c(e.orelse)}"
+
+
+def _for(e: core.CFor) -> str:
+    at = f" at ${e.position_var}" if e.position_var else ""
+    return f"for ${e.var}{at} in {_c(e.source)} return {_c(e.body)}"
+
+
+def _let(e: core.CLet) -> str:
+    return f"let ${e.var} := {_c(e.source)} return {_c(e.body)}"
+
+
+def _ordered_flwor(e: core.COrderedFLWOR) -> str:
+    parts = []
+    for clause in e.clauses:
+        if isinstance(clause, core.CForClause):
+            at = f" at ${clause.position_var}" if clause.position_var else ""
+            parts.append(f"for ${clause.var}{at} in {_c(clause.source)}")
+        else:
+            parts.append(f"let ${clause.var} := {_c(clause.source)}")
+    if e.where is not None:
+        parts.append(f"where {_c(e.where)}")
+    specs = []
+    for spec in e.specs:
+        text = _c(spec.expr)
+        if spec.descending:
+            text += " descending"
+        specs.append(text)
+    parts.append("order by " + ", ".join(specs))
+    parts.append(f"return {_c(e.ret)}")
+    return " ".join(parts)
+
+
+def _quantified(e: core.CQuantified) -> str:
+    bindings = ", ".join(f"${var} in {_c(src)}" for var, src in e.bindings)
+    return f"{e.kind} {bindings} satisfies {_c(e.satisfies)}"
+
+
+def _typeswitch(e: core.CTypeswitch) -> str:
+    parts = [f"typeswitch ({_c(e.operand)})"]
+    for case in e.cases:
+        var = f"${case.var} as " if case.var else ""
+        parts.append(f"case {var}{case.type_} return {_c(case.ret)}")
+    default_var = f"${e.default_var} " if e.default_var else ""
+    parts.append(f"default {default_var}return {_c(e.default)}")
+    return " ".join(parts)
+
+
+def _node_test(test: core.CNodeTest) -> str:
+    if test.kind == "name":
+        return test.name or "*"
+    inner = test.name or ""
+    return f"{test.kind}({inner})"
+
+
+_ABBREVIATIONS = {"child": "", "attribute": "@"}
+
+
+def _axis_step(e: core.CAxisStep) -> str:
+    if e.axis in _ABBREVIATIONS and e.test.kind == "name":
+        text = _ABBREVIATIONS[e.axis] + _node_test(e.test)
+    else:
+        text = f"{e.axis}::{_node_test(e.test)}"
+    for predicate in e.predicates:
+        text += f"[{_c(predicate)}]"
+    return text
+
+
+def _path(e: core.CPath) -> str:
+    return f"{_c(e.base)}/{_c(e.step)}"
+
+
+def _filter(e: core.CFilter) -> str:
+    text = _c(e.base)
+    for predicate in e.predicates:
+        text += f"[{_c(predicate)}]"
+    return text
+
+
+def _call(e: core.CCall) -> str:
+    return f"{e.name}(" + ", ".join(_c(a) for a in e.args) + ")"
+
+
+def _name_part(name) -> str:
+    return name if isinstance(name, str) else "{" + _c(name) + "}"
+
+
+def _elem(e: core.CElem) -> str:
+    content = ", ".join(_c(item) for item in e.content)
+    return f"element {_name_part(e.name)} {{ {content} }}"
+
+
+def _attr(e: core.CAttr) -> str:
+    parts = []
+    for part in e.parts:
+        parts.append(f'"{part}"' if isinstance(part, str) else _c(part))
+    return f"attribute {_name_part(e.name)} {{ {', '.join(parts)} }}"
+
+
+def _text(e: core.CText) -> str:
+    return f"text {{ {_opt(e.content)} }}"
+
+
+def _comment(e: core.CComment) -> str:
+    return f"comment {{ {_opt(e.content)} }}"
+
+
+def _doc(e: core.CDoc) -> str:
+    return f"document {{ {_opt(e.content)} }}"
+
+
+def _pi(e: core.CPI) -> str:
+    return f"processing-instruction {_name_part(e.target)} {{ {_opt(e.content)} }}"
+
+
+def _copy(e: core.CCopy) -> str:
+    return f"copy {{ {_c(e.source)} }}"
+
+
+_LOCATION = {
+    "first": "as first into",
+    "last": "as last into",
+    "before": "before",
+    "after": "after",
+}
+
+
+def _insert(e: core.CInsert) -> str:
+    return (
+        f"insert {{ {_c(e.source)} }} {_LOCATION[e.position]} "
+        f"{{ {_c(e.target)} }}"
+    )
+
+
+def _delete(e: core.CDelete) -> str:
+    return f"delete {{ {_c(e.target)} }}"
+
+
+def _replace(e: core.CReplace) -> str:
+    return f"replace {{ {_c(e.target)} }} with {{ {_c(e.source)} }}"
+
+
+def _replace_value(e: core.CReplaceValue) -> str:
+    return f"replace value of {{ {_c(e.target)} }} with {{ {_c(e.source)} }}"
+
+
+def _rename(e: core.CRename) -> str:
+    return f"rename {{ {_c(e.target)} }} to {{ {_c(e.name)} }}"
+
+
+def _snap(e: core.CSnap) -> str:
+    mode = f"{e.mode} " if e.mode else ""
+    return f"snap {mode}{{ {_c(e.body)} }}"
+
+
+def _instance_of(e: core.CInstanceOf) -> str:
+    return f"({_c(e.operand)} instance of {e.type_})"
+
+
+def _treat(e: core.CTreat) -> str:
+    return f"({_c(e.operand)} treat as {e.type_})"
+
+
+def _cast(e: core.CCast) -> str:
+    keyword = "castable" if e.castable else "cast"
+    optional = "?" if e.optional else ""
+    return f"({_c(e.operand)} {keyword} as {e.type_name}{optional})"
+
+
+_HANDLERS = {
+    core.CLiteral: _literal,
+    core.CVar: _var,
+    core.CContext: _context,
+    core.CEmpty: _empty,
+    core.CRoot: _root,
+    core.CSequence: _sequence,
+    core.CSequenced: _sequenced,
+    core.CRange: _range,
+    core.CArith: _arith,
+    core.CUnary: _unary,
+    core.CComparison: _comparison,
+    core.CBool: _bool,
+    core.CSet: _set,
+    core.CIf: _if,
+    core.CFor: _for,
+    core.CLet: _let,
+    core.COrderedFLWOR: _ordered_flwor,
+    core.CQuantified: _quantified,
+    core.CTypeswitch: _typeswitch,
+    core.CAxisStep: _axis_step,
+    core.CPath: _path,
+    core.CFilter: _filter,
+    core.CCall: _call,
+    core.CElem: _elem,
+    core.CAttr: _attr,
+    core.CText: _text,
+    core.CComment: _comment,
+    core.CDoc: _doc,
+    core.CPI: _pi,
+    core.CCopy: _copy,
+    core.CInsert: _insert,
+    core.CDelete: _delete,
+    core.CReplace: _replace,
+    core.CReplaceValue: _replace_value,
+    core.CRename: _rename,
+    core.CSnap: _snap,
+    core.CInstanceOf: _instance_of,
+    core.CTreat: _treat,
+    core.CCast: _cast,
+}

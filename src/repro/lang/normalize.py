@@ -1,0 +1,438 @@
+"""Normalization from surface XQuery! to the core language (Section 3.3).
+
+The only semantically non-trivial rule is the paper's copy insertion:
+
+    [insert {Expr1} into {Expr2}]
+        == insert {copy{[Expr1]}} as last into {[Expr2]}
+
+and likewise for the second argument of ``replace``.  Everything else is
+syntax lowering: direct constructors to computed form, ``snap``-prefixed
+update sugar to an explicit ``snap { ... }``, ``where`` clauses to ``if``,
+and FLWOR clause lists to the nested ``for``/``let`` core forms of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NormalizationError
+from repro.lang import ast
+from repro.lang import core_ast as core
+from repro.xdm.values import AtomicValue
+
+
+def normalize(expr: ast.Expr) -> core.CoreExpr:
+    """Normalize a surface expression to core."""
+    return _norm(expr)
+
+
+def normalize_module(module: ast.Module) -> core.CModule:
+    """Normalize a surface module (prolog + body) to core."""
+    out = core.CModule(
+        imports=[(imp.prefix, imp.uri) for imp in module.imports],
+        declared_prefix=module.declared_prefix,
+        declared_uri=module.declared_uri,
+    )
+    for decl in module.declarations:
+        if isinstance(decl, ast.VarDecl):
+            out.declarations.append(
+                core.CVarDecl(
+                    name=decl.name,
+                    expr=None if decl.expr is None else _norm(decl.expr),
+                    type_=decl.type_,
+                )
+            )
+        else:
+            out.declarations.append(
+                core.CFunction(
+                    name=decl.name,
+                    params=[p.name for p in decl.params],
+                    body=_norm(decl.body),
+                    param_types=[p.type_ for p in decl.params],
+                    return_type=decl.return_type,
+                )
+            )
+    if module.body is not None:
+        out.body = _norm(module.body)
+    return out
+
+
+def _norm(expr: ast.Expr) -> core.CoreExpr:
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        raise NormalizationError(
+            f"no normalization rule for {type(expr).__name__}"
+        )
+    return handler(expr)
+
+
+def _norm_opt(expr: ast.Expr | None) -> core.CoreExpr | None:
+    return None if expr is None else _norm(expr)
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+
+def _norm_integer(e: ast.IntegerLit) -> core.CoreExpr:
+    return core.CLiteral(value=AtomicValue.integer(e.value), line=e.line)
+
+
+def _norm_decimal(e: ast.DecimalLit) -> core.CoreExpr:
+    return core.CLiteral(value=AtomicValue.decimal(e.value), line=e.line)
+
+
+def _norm_double(e: ast.DoubleLit) -> core.CoreExpr:
+    return core.CLiteral(value=AtomicValue.double(e.value), line=e.line)
+
+
+def _norm_string(e: ast.StringLit) -> core.CoreExpr:
+    return core.CLiteral(value=AtomicValue.string(e.value), line=e.line)
+
+
+def _norm_var(e: ast.VarRef) -> core.CoreExpr:
+    return core.CVar(name=e.name, line=e.line)
+
+
+def _norm_context(e: ast.ContextItem) -> core.CoreExpr:
+    return core.CContext(line=e.line)
+
+
+def _norm_empty(e: ast.EmptySequence) -> core.CoreExpr:
+    return core.CEmpty(line=e.line)
+
+
+def _norm_root(e: ast.RootExpr) -> core.CoreExpr:
+    return core.CRoot(line=e.line)
+
+
+# ----------------------------------------------------------------------
+# Composition and operators
+# ----------------------------------------------------------------------
+
+def _norm_sequence(e: ast.SequenceExpr) -> core.CoreExpr:
+    return core.CSequence(items=[_norm(item) for item in e.items], line=e.line)
+
+
+def _norm_sequenced(e: ast.SequencedExpr) -> core.CoreExpr:
+    return core.CSequenced(items=[_norm(item) for item in e.items], line=e.line)
+
+
+def _norm_range(e: ast.RangeExpr) -> core.CoreExpr:
+    return core.CRange(lo=_norm(e.lo), hi=_norm(e.hi), line=e.line)
+
+
+def _norm_arith(e: ast.Arith) -> core.CoreExpr:
+    return core.CArith(
+        op=e.op, left=_norm(e.left), right=_norm(e.right), line=e.line
+    )
+
+
+def _norm_unary(e: ast.Unary) -> core.CoreExpr:
+    return core.CUnary(op=e.op, operand=_norm(e.operand), line=e.line)
+
+
+def _norm_comparison(e: ast.Comparison) -> core.CoreExpr:
+    return core.CComparison(
+        style=e.style, op=e.op, left=_norm(e.left), right=_norm(e.right),
+        line=e.line,
+    )
+
+
+def _norm_bool(e: ast.BoolOp) -> core.CoreExpr:
+    return core.CBool(op=e.op, left=_norm(e.left), right=_norm(e.right), line=e.line)
+
+
+def _norm_set(e: ast.SetExpr) -> core.CoreExpr:
+    return core.CSet(op=e.op, left=_norm(e.left), right=_norm(e.right), line=e.line)
+
+
+def _norm_if(e: ast.IfExpr) -> core.CoreExpr:
+    return core.CIf(
+        cond=_norm(e.cond), then=_norm(e.then), orelse=_norm(e.orelse), line=e.line
+    )
+
+
+# ----------------------------------------------------------------------
+# FLWOR and quantifiers
+# ----------------------------------------------------------------------
+
+def _norm_flwor(e: ast.FLWORExpr) -> core.CoreExpr:
+    if e.order_by:
+        clauses: list[core.CForClause | core.CLetClause] = []
+        for clause in e.clauses:
+            if isinstance(clause, ast.ForClause):
+                clauses.append(
+                    core.CForClause(
+                        var=clause.var,
+                        source=_norm(clause.expr),
+                        position_var=clause.position_var,
+                    )
+                )
+            else:
+                clauses.append(
+                    core.CLetClause(var=clause.var, source=_norm(clause.expr))
+                )
+        return core.COrderedFLWOR(
+            clauses=clauses,
+            where=_norm_opt(e.where),
+            specs=[
+                core.COrderSpec(
+                    expr=_norm(s.expr),
+                    descending=s.descending,
+                    empty_least=s.empty_least,
+                )
+                for s in e.order_by
+            ],
+            ret=_norm(e.ret),
+            line=e.line,
+        )
+    # No order by: nest.  'where C return R' becomes 'if (C) then R else ()'.
+    body = _norm(e.ret)
+    if e.where is not None:
+        body = core.CIf(
+            cond=_norm(e.where), then=body, orelse=core.CEmpty(), line=e.line
+        )
+    for clause in reversed(e.clauses):
+        if isinstance(clause, ast.ForClause):
+            body = core.CFor(
+                var=clause.var,
+                position_var=clause.position_var,
+                source=_norm(clause.expr),
+                body=body,
+                line=e.line,
+            )
+        else:
+            body = core.CLet(
+                var=clause.var, source=_norm(clause.expr), body=body, line=e.line
+            )
+    return body
+
+
+def _norm_typeswitch(e: ast.TypeswitchExpr) -> core.CoreExpr:
+    return core.CTypeswitch(
+        operand=_norm(e.operand),
+        cases=[
+            core.CCase(type_=c.type_, ret=_norm(c.ret), var=c.var)
+            for c in e.cases
+        ],
+        default_var=e.default_var,
+        default=_norm(e.default),
+        line=e.line,
+    )
+
+
+def _norm_quantified(e: ast.QuantifiedExpr) -> core.CoreExpr:
+    return core.CQuantified(
+        kind=e.kind,
+        bindings=[(var, _norm(src)) for var, src in e.bindings],
+        satisfies=_norm(e.satisfies),
+        line=e.line,
+    )
+
+
+# ----------------------------------------------------------------------
+# Paths
+# ----------------------------------------------------------------------
+
+def _norm_axis_step(e: ast.AxisStep) -> core.CoreExpr:
+    return core.CAxisStep(
+        axis=e.axis,
+        test=core.CNodeTest(kind=e.test.kind, name=e.test.name),
+        predicates=[_norm(p) for p in e.predicates],
+        line=e.line,
+    )
+
+
+def _norm_path(e: ast.PathExpr) -> core.CoreExpr:
+    return core.CPath(base=_norm(e.base), step=_norm(e.step), line=e.line)
+
+
+def _norm_filter(e: ast.FilterExpr) -> core.CoreExpr:
+    return core.CFilter(
+        base=_norm(e.base),
+        predicates=[_norm(p) for p in e.predicates],
+        line=e.line,
+    )
+
+
+# ----------------------------------------------------------------------
+# Functions
+# ----------------------------------------------------------------------
+
+def _norm_call(e: ast.FunctionCall) -> core.CoreExpr:
+    return core.CCall(
+        name=e.name, args=[_norm(a) for a in e.args], line=e.line
+    )
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+def _norm_direct_element(e: ast.DirectElement) -> core.CoreExpr:
+    content: list[core.CoreExpr] = []
+    for attr in e.attributes:
+        parts: list[str | core.CoreExpr] = []
+        for part in attr.content.parts:
+            parts.append(part if isinstance(part, str) else _norm(part))
+        content.append(core.CAttr(name=attr.name, parts=parts, line=e.line))
+    for item in e.content:
+        if isinstance(item, str):
+            content.append(
+                core.CText(
+                    content=core.CLiteral(value=AtomicValue.string(item)),
+                    line=e.line,
+                )
+            )
+        else:
+            content.append(_norm(item))
+    return core.CElem(name=e.name, content=content, line=e.line)
+
+
+def _norm_comp_element(e: ast.CompElement) -> core.CoreExpr:
+    name = e.name if isinstance(e.name, str) else _norm(e.name)
+    content = [] if e.content is None else [_norm(e.content)]
+    return core.CElem(name=name, content=content, line=e.line)
+
+
+def _norm_comp_attribute(e: ast.CompAttribute) -> core.CoreExpr:
+    name = e.name if isinstance(e.name, str) else _norm(e.name)
+    parts: list[str | core.CoreExpr] = []
+    if e.content is not None:
+        parts.append(_norm(e.content))
+    return core.CAttr(name=name, parts=parts, line=e.line)
+
+
+def _norm_comp_text(e: ast.CompText) -> core.CoreExpr:
+    return core.CText(content=_norm_opt(e.content), line=e.line)
+
+
+def _norm_comp_comment(e: ast.CompComment) -> core.CoreExpr:
+    return core.CComment(content=_norm_opt(e.content), line=e.line)
+
+
+def _norm_comp_document(e: ast.CompDocument) -> core.CoreExpr:
+    return core.CDoc(content=_norm_opt(e.content), line=e.line)
+
+
+def _norm_comp_pi(e: ast.CompPI) -> core.CoreExpr:
+    target = e.target if isinstance(e.target, str) else _norm(e.target)
+    return core.CPI(target=target, content=_norm_opt(e.content), line=e.line)
+
+
+# ----------------------------------------------------------------------
+# XQuery! operations
+# ----------------------------------------------------------------------
+
+def _maybe_snap(expr: core.CoreExpr, snap: bool, line: int) -> core.CoreExpr:
+    """Expand the 'snap insert{}...' sugar of Fig. 1."""
+    if snap:
+        return core.CSnap(mode=None, body=expr, line=line)
+    return expr
+
+
+def _norm_insert(e: ast.InsertExpr) -> core.CoreExpr:
+    # The paper's normalization rule: wrap the source in copy{} and
+    # canonicalize plain 'into' to 'as last into'.
+    position = "last" if e.position == "into" else e.position
+    out = core.CInsert(
+        source=core.CCopy(source=_norm(e.source), line=e.line),
+        position=position,
+        target=_norm(e.target),
+        line=e.line,
+    )
+    return _maybe_snap(out, e.snap, e.line)
+
+
+def _norm_delete(e: ast.DeleteExpr) -> core.CoreExpr:
+    out = core.CDelete(target=_norm(e.target), line=e.line)
+    return _maybe_snap(out, e.snap, e.line)
+
+
+def _norm_replace(e: ast.ReplaceExpr) -> core.CoreExpr:
+    if e.value_of:
+        # 'replace value of' atomizes the source: no copy needed.
+        out: core.CoreExpr = core.CReplaceValue(
+            target=_norm(e.target), source=_norm(e.source), line=e.line
+        )
+    else:
+        out = core.CReplace(
+            target=_norm(e.target),
+            source=core.CCopy(source=_norm(e.source), line=e.line),
+            line=e.line,
+        )
+    return _maybe_snap(out, e.snap, e.line)
+
+
+def _norm_rename(e: ast.RenameExpr) -> core.CoreExpr:
+    out = core.CRename(target=_norm(e.target), name=_norm(e.name), line=e.line)
+    return _maybe_snap(out, e.snap, e.line)
+
+
+def _norm_copy(e: ast.CopyExpr) -> core.CoreExpr:
+    return core.CCopy(source=_norm(e.source), line=e.line)
+
+
+def _norm_snap(e: ast.SnapExpr) -> core.CoreExpr:
+    return core.CSnap(mode=e.mode, body=_norm(e.body), line=e.line)
+
+
+def _norm_instance_of(e: ast.InstanceOf) -> core.CoreExpr:
+    return core.CInstanceOf(operand=_norm(e.operand), type_=e.type_, line=e.line)
+
+
+def _norm_treat(e: ast.TreatExpr) -> core.CoreExpr:
+    return core.CTreat(operand=_norm(e.operand), type_=e.type_, line=e.line)
+
+
+def _norm_cast(e: ast.CastExpr) -> core.CoreExpr:
+    return core.CCast(
+        operand=_norm(e.operand),
+        type_name=e.type_name,
+        optional=e.optional,
+        castable=e.castable,
+        line=e.line,
+    )
+
+
+_HANDLERS = {
+    ast.IntegerLit: _norm_integer,
+    ast.DecimalLit: _norm_decimal,
+    ast.DoubleLit: _norm_double,
+    ast.StringLit: _norm_string,
+    ast.VarRef: _norm_var,
+    ast.ContextItem: _norm_context,
+    ast.EmptySequence: _norm_empty,
+    ast.RootExpr: _norm_root,
+    ast.SequenceExpr: _norm_sequence,
+    ast.SequencedExpr: _norm_sequenced,
+    ast.RangeExpr: _norm_range,
+    ast.Arith: _norm_arith,
+    ast.Unary: _norm_unary,
+    ast.Comparison: _norm_comparison,
+    ast.BoolOp: _norm_bool,
+    ast.SetExpr: _norm_set,
+    ast.IfExpr: _norm_if,
+    ast.FLWORExpr: _norm_flwor,
+    ast.QuantifiedExpr: _norm_quantified,
+    ast.TypeswitchExpr: _norm_typeswitch,
+    ast.AxisStep: _norm_axis_step,
+    ast.PathExpr: _norm_path,
+    ast.FilterExpr: _norm_filter,
+    ast.FunctionCall: _norm_call,
+    ast.DirectElement: _norm_direct_element,
+    ast.CompElement: _norm_comp_element,
+    ast.CompAttribute: _norm_comp_attribute,
+    ast.CompText: _norm_comp_text,
+    ast.CompComment: _norm_comp_comment,
+    ast.CompDocument: _norm_comp_document,
+    ast.CompPI: _norm_comp_pi,
+    ast.InsertExpr: _norm_insert,
+    ast.DeleteExpr: _norm_delete,
+    ast.ReplaceExpr: _norm_replace,
+    ast.RenameExpr: _norm_rename,
+    ast.CopyExpr: _norm_copy,
+    ast.SnapExpr: _norm_snap,
+    ast.InstanceOf: _norm_instance_of,
+    ast.TreatExpr: _norm_treat,
+    ast.CastExpr: _norm_cast,
+}

@@ -1,0 +1,136 @@
+"""Semantics-preserving core-to-core simplifications.
+
+Currently one classic XPath rewrite:
+
+    base/descendant-or-self::node()/child::NAME
+        ==>   base/descendant::NAME
+
+(the expansion of ``//NAME``), which lets the store's element-name index
+answer the step directly.  The rewrite is *only* valid when the child step
+carries no predicates: ``//para[1]`` means "the first para child of each
+descendant", while ``descendant::para[1]`` is "the first para descendant" —
+so any predicate disables it (the conservative guard).
+
+Also provides :func:`transform`, a generic bottom-up rewriter over core
+dataclasses used by this pass (and available for future ones).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.lang import core_ast as core
+
+
+def transform(
+    expr: core.CoreExpr, fn: Callable[[core.CoreExpr], core.CoreExpr]
+) -> core.CoreExpr:
+    """Rebuild *expr* bottom-up, applying *fn* to every core node.
+
+    Children are visited first; *fn* then maps each (possibly rebuilt)
+    node to its replacement.  Nodes are only copied when something
+    underneath actually changed.
+    """
+    changes = {}
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        new_value = _transform_value(value, fn)
+        if new_value is not value:
+            changes[field.name] = new_value
+    rebuilt = dataclasses.replace(expr, **changes) if changes else expr
+    return fn(rebuilt)
+
+
+def _transform_value(value, fn):
+    if isinstance(value, core.CoreExpr):
+        return transform(value, fn)
+    if isinstance(value, list):
+        new_items = [_transform_value(item, fn) for item in value]
+        if any(a is not b for a, b in zip(new_items, value)):
+            return new_items
+        return value
+    if isinstance(value, tuple):
+        new_items = tuple(_transform_value(item, fn) for item in value)
+        if any(a is not b for a, b in zip(new_items, value)):
+            return new_items
+        return value
+    if isinstance(
+        value, (core.CForClause, core.CLetClause, core.COrderSpec, core.CCase)
+    ):
+        changes = {}
+        for field in dataclasses.fields(value):
+            inner = getattr(value, field.name)
+            new_inner = _transform_value(inner, fn)
+            if new_inner is not inner:
+                changes[field.name] = new_inner
+        return dataclasses.replace(value, **changes) if changes else value
+    return value
+
+
+def _is_dos_node_step(expr: core.CoreExpr) -> bool:
+    return (
+        isinstance(expr, core.CAxisStep)
+        and expr.axis == "descendant-or-self"
+        and expr.test.kind == "node"
+        and not expr.predicates
+    )
+
+
+def _collapse_descendant(expr: core.CoreExpr) -> core.CoreExpr:
+    if not isinstance(expr, core.CPath):
+        return expr
+    step = expr.step
+    base = expr.base
+    if (
+        isinstance(base, core.CPath)
+        and _is_dos_node_step(base.step)
+        and isinstance(step, core.CAxisStep)
+        and step.axis == "child"
+        and not step.predicates
+    ):
+        return core.CPath(
+            base=base.base,
+            step=core.CAxisStep(
+                axis="descendant", test=step.test, line=step.line
+            ),
+            line=expr.line,
+        )
+    return expr
+
+
+def simplify(expr: core.CoreExpr) -> core.CoreExpr:
+    """Apply all simplification rules to a core expression."""
+    return transform(expr, _collapse_descendant)
+
+
+def simplify_module(module: core.CModule) -> core.CModule:
+    """Simplify every declaration body and the query body of a module."""
+    declarations = []
+    for decl in module.declarations:
+        if isinstance(decl, core.CVarDecl):
+            declarations.append(
+                core.CVarDecl(
+                    name=decl.name,
+                    expr=None if decl.expr is None else simplify(decl.expr),
+                    type_=decl.type_,
+                )
+            )
+        else:
+            declarations.append(
+                core.CFunction(
+                    name=decl.name,
+                    params=decl.params,
+                    body=simplify(decl.body),
+                    param_types=decl.param_types,
+                    return_type=decl.return_type,
+                )
+            )
+    body = None if module.body is None else simplify(module.body)
+    return core.CModule(
+        declarations=declarations,
+        body=body,
+        imports=list(module.imports),
+        declared_prefix=module.declared_prefix,
+        declared_uri=module.declared_uri,
+    )

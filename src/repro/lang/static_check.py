@@ -1,0 +1,191 @@
+"""Static checks over core modules.
+
+The paper defers static *typing* (Section 6) but Section 5 argues for one
+piece of static knowledge: "the signature of functions coming from other
+modules should contain an **updating flag**, with the 'monadic' rule that a
+function that calls an updating function is updating as well."  This module
+provides:
+
+* :func:`check_module` — pre-evaluation validation: every variable
+  reference is in scope, every function call resolves (name + arity), and
+  snap modes are well-formed.  Catches typos before any update fires.
+* :func:`updating_flags` — the Section 5 inference: for each declared
+  function, whether it is *updating* (may produce pending updates) and
+  whether it *snaps* (may apply them), computed with the monadic
+  propagation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    StaticError,
+    UndefinedFunctionError,
+    UndefinedVariableError,
+)
+from repro.lang import core_ast as core
+from repro.semantics.context import FunctionRegistry
+
+
+@dataclass(frozen=True)
+class FunctionFlags:
+    """The Section 5 signature annotations for one function."""
+
+    name: str
+    arity: int
+    updating: bool
+    snapping: bool
+
+
+_VALID_SNAP_MODES = (None, "ordered", "nondeterministic", "conflict-detection")
+
+
+class StaticChecker:
+    """Scope/arity checker over core expressions."""
+
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        globals_: set[str] | frozenset[str] = frozenset(),
+    ):
+        self._registry = registry
+        self._globals = frozenset(globals_)
+
+    # ------------------------------------------------------------------
+
+    def check_module(self, module: core.CModule) -> None:
+        """Validate a whole module; raises StaticError subclasses."""
+        known = set(self._globals)
+        # Function declarations are mutually visible (forward references
+        # allowed), so register names before checking bodies.
+        local_functions = {
+            (f.name, len(f.params))
+            for f in module.declarations
+            if isinstance(f, core.CFunction)
+        }
+        for decl in module.declarations:
+            if isinstance(decl, core.CVarDecl):
+                if decl.expr is not None:
+                    self._check(decl.expr, frozenset(known), local_functions)
+                known.add(decl.name)
+            else:
+                scope = frozenset(known | set(decl.params))
+                self._check(decl.body, scope, local_functions)
+        if module.body is not None:
+            self._check(module.body, frozenset(known), local_functions)
+
+    def check_expr(self, expr: core.CoreExpr, bound: set[str] = frozenset()) -> None:  # type: ignore[assignment]
+        """Validate a single expression against the known globals."""
+        self._check(expr, frozenset(self._globals | set(bound)), set())
+
+    # ------------------------------------------------------------------
+
+    def _check(
+        self,
+        expr: core.CoreExpr,
+        bound: frozenset[str],
+        local_functions: set[tuple[str, int]],
+    ) -> None:
+        if isinstance(expr, core.CVar):
+            if expr.name not in bound:
+                raise UndefinedVariableError(
+                    f"undefined variable ${expr.name}"
+                    + (f" (line {expr.line})" if expr.line else "")
+                )
+            return
+        if isinstance(expr, core.CCall):
+            self._check_call(expr, local_functions)
+            for arg in expr.args:
+                self._check(arg, bound, local_functions)
+            return
+        if isinstance(expr, core.CSnap):
+            if expr.mode not in _VALID_SNAP_MODES:
+                raise StaticError(f"invalid snap mode {expr.mode!r}")
+            self._check(expr.body, bound, local_functions)
+            return
+        if isinstance(expr, core.CFor):
+            self._check(expr.source, bound, local_functions)
+            inner = bound | {expr.var}
+            if expr.position_var:
+                inner |= {expr.position_var}
+            self._check(expr.body, frozenset(inner), local_functions)
+            return
+        if isinstance(expr, core.CLet):
+            self._check(expr.source, bound, local_functions)
+            self._check(expr.body, frozenset(bound | {expr.var}), local_functions)
+            return
+        if isinstance(expr, core.COrderedFLWOR):
+            scope = set(bound)
+            for clause in expr.clauses:
+                self._check(clause.source, frozenset(scope), local_functions)
+                scope.add(clause.var)
+                if isinstance(clause, core.CForClause) and clause.position_var:
+                    scope.add(clause.position_var)
+            frozen = frozenset(scope)
+            if expr.where is not None:
+                self._check(expr.where, frozen, local_functions)
+            for spec in expr.specs:
+                self._check(spec.expr, frozen, local_functions)
+            self._check(expr.ret, frozen, local_functions)
+            return
+        if isinstance(expr, core.CTypeswitch):
+            self._check(expr.operand, bound, local_functions)
+            for case in expr.cases:
+                case_scope = bound | {case.var} if case.var else bound
+                self._check(case.ret, frozenset(case_scope), local_functions)
+            default_scope = (
+                bound | {expr.default_var} if expr.default_var else bound
+            )
+            self._check(expr.default, frozenset(default_scope), local_functions)
+            return
+        if isinstance(expr, core.CQuantified):
+            scope = set(bound)
+            for var, source in expr.bindings:
+                self._check(source, frozenset(scope), local_functions)
+                scope.add(var)
+            self._check(expr.satisfies, frozenset(scope), local_functions)
+            return
+        for child in core.child_exprs(expr):
+            self._check(child, bound, local_functions)
+
+    def _check_call(
+        self, expr: core.CCall, local_functions: set[tuple[str, int]]
+    ) -> None:
+        arity = len(expr.args)
+        if (expr.name, arity) in local_functions:
+            return
+        if self._registry.lookup_user(expr.name, arity) is not None:
+            return
+        if self._registry.lookup_builtin(expr.name, arity) is not None:
+            return
+        raise UndefinedFunctionError(f"undefined function {expr.name}#{arity}")
+
+
+def check_module(
+    module: core.CModule,
+    registry: FunctionRegistry,
+    globals_: set[str] = frozenset(),  # type: ignore[assignment]
+) -> None:
+    """Convenience wrapper around :class:`StaticChecker`."""
+    StaticChecker(registry, globals_).check_module(module)
+
+
+def updating_flags(registry: FunctionRegistry) -> list[FunctionFlags]:
+    """Infer the Section 5 updating/snapping flags for every user function
+    registered in *registry* (monadic propagation included)."""
+    from repro.algebra.properties import EffectAnalyzer
+
+    analyzer = EffectAnalyzer(registry)
+    flags = []
+    for function in registry.user_functions():
+        props = analyzer.analyze(function.body)
+        flags.append(
+            FunctionFlags(
+                name=function.name,
+                arity=len(function.params),
+                updating=props.may_update,
+                snapping=props.may_snap,
+            )
+        )
+    return flags

@@ -1,0 +1,73 @@
+"""Token definitions for the XQuery! lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories.
+
+    XQuery has no reserved words: keywords are ordinary ``NAME`` tokens that
+    the parser interprets contextually (this is how ``insert`` can still be
+    an element name in a path step).
+    """
+
+    NAME = "name"                 # NCName or prefixed QName (a, a:b)
+    VARNAME = "varname"           # $name
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    DOUBLE = "double"
+    STRING = "string"
+
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    DOT = "."
+    DOTDOT = ".."
+    SLASH = "/"
+    SLASHSLASH = "//"
+    AT = "@"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    PIPE = "|"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    LTLT = "<<"
+    GTGT = ">>"
+    ASSIGN = ":="
+    COLONCOLON = "::"
+    QUESTION = "?"
+
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source span (for error messages and for the
+    parser's char-level hand-off when parsing direct constructors)."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+    start: int
+    end: int
+
+    def is_name(self, *names: str) -> bool:
+        """True if this is a NAME token whose text is one of *names*."""
+        return self.kind is TokenKind.NAME and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}@{self.line}:{self.column})"

@@ -1,0 +1,132 @@
+"""Conflict detection for the conflict-detection snap semantics.
+
+Section 3.2: "the first phase tries to prove, by some simple rules, that the
+update sequence is actually conflict-free, meaning that the ordered
+application of every permutation of Δ would produce the same result";
+Section 4.1: the check runs "in linear time, using a pair of hash-tables
+over node ids".
+
+The rules we implement (each is a sufficient condition for two requests to
+commute; violating any rule raises :class:`~repro.errors.ConflictError`):
+
+1. **rename/rename** — two renames of the same node conflict (the final
+   name depends on order).
+2. **insert/insert** — two inserts resolving to the same symbolic position
+   — same ``(position-class, target)`` — conflict: the relative order of
+   the inserted node groups is order-dependent.  (Two ``as last into`` the
+   same parent conflict; inserts before/after *different* anchors under the
+   same parent commute.)
+3. **insert/delete** — an insert anchored ``before``/``after`` a node that
+   some delete detaches conflicts: one order succeeds, the other violates
+   the "anchor must have a parent" precondition.
+4. **shared subject** — a node appearing in the ``nodes`` of two different
+   inserts conflicts (the second application finds it already parented).
+
+Deleting the same node twice is *not* a conflict: detach is idempotent.
+Rename and delete of the same node commute (rename does not touch the
+parent link) and are allowed.
+
+The check uses exactly two hash tables: ``writes`` keyed by node id (name
+writes, insert subjects, deletions) and ``positions`` keyed by
+``(position-class, target node id)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConflictError
+from repro.semantics.update import (
+    INSERT_AFTER,
+    INSERT_BEFORE,
+    INSERT_FIRST,
+    INSERT_LAST,
+    DeleteRequest,
+    InsertRequest,
+    RenameRequest,
+    SetValueRequest,
+    UpdateList,
+)
+
+
+def check_conflict_free(delta: UpdateList) -> None:
+    """Prove Δ conflict-free or raise :class:`ConflictError`.
+
+    Runs in O(|Δ| + total inserted nodes) time.
+    """
+    # Table 1: per-node write records. Values are sets of tags:
+    #   'name'    — some rename writes this node's name,
+    #   'subject' — some insert attaches this node;
+    # plus, per node, the group tokens of deletes targeting it.
+    writes: dict[int, set[str]] = {}
+    delete_groups: dict[int, list] = {}
+    # Table 2: symbolic insert positions (position, target) -> group.
+    positions: dict[tuple[str, int], object] = {}
+
+    def mark(node: int, tag: str, message: str) -> None:
+        tags = writes.setdefault(node, set())
+        if tag in tags:
+            raise ConflictError(message)
+        tags.add(tag)
+
+    for request in delta:
+        if isinstance(request, RenameRequest):
+            mark(
+                request.node,
+                "name",
+                f"two renames target node #{request.node}; the final name "
+                "is order-dependent",
+            )
+        elif isinstance(request, SetValueRequest):
+            mark(
+                request.node,
+                "content",
+                f"two value replacements target node #{request.node}; the "
+                "final content is order-dependent",
+            )
+        elif isinstance(request, DeleteRequest):
+            # Repeated delete is idempotent: record, do not error.
+            delete_groups.setdefault(request.node, []).append(request.group)
+        elif isinstance(request, InsertRequest):
+            key = (request.position, request.target)
+            if key in positions:
+                raise ConflictError(
+                    f"two inserts resolve to the same position {key}; the "
+                    "relative order of inserted nodes is order-dependent"
+                )
+            positions[key] = request.group
+            for node in request.nodes:
+                mark(
+                    node,
+                    "subject",
+                    f"node #{node} is inserted by two different requests",
+                )
+
+    # Second pass over the two tables: anchor-vs-delete interference.  The
+    # insert/delete pair emitted by a single `replace` shares a group token
+    # and is one logical write — exempt exactly that pairing.
+    for (position, target), group in positions.items():
+        if position in (INSERT_FIRST, INSERT_LAST):
+            # insert-into and a content overwrite of the same parent do not
+            # commute (the overwrite detaches children).
+            if "content" in writes.get(target, ()):
+                raise ConflictError(
+                    f"insert into node #{target} conflicts with a value "
+                    "replacement of that node"
+                )
+            continue
+        if position not in (INSERT_BEFORE, INSERT_AFTER):
+            continue
+        for delete_group in delete_groups.get(target, ()):
+            if group is None or delete_group != group:
+                raise ConflictError(
+                    f"insert {position} node #{target} conflicts with a "
+                    "delete of that node: application orders disagree"
+                )
+
+
+def is_conflict_free(delta: UpdateList) -> bool:
+    """Boolean form of :func:`check_conflict_free`."""
+    try:
+        check_conflict_free(delta)
+    except ConflictError:
+        return False
+    return True

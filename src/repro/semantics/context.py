@@ -1,0 +1,160 @@
+"""Dynamic context and function registry.
+
+The dynamic context (``dynEnv`` in the paper's judgments) carries variable
+bindings and the focus (context item / position / size).  Binding returns a
+*new* context — the store is the only mutable state, exactly as in the
+formal semantics where ``dynEnv + x => value`` extends the environment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import (
+    DynamicError,
+    UndefinedFunctionError,
+    UndefinedVariableError,
+)
+from repro.lang.core_ast import CFunction
+from repro.xdm.values import Item, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.evaluator import Evaluator
+
+
+class DynamicContext:
+    """Immutable-by-convention evaluation context."""
+
+    __slots__ = ("variables", "context_item", "position", "size")
+
+    def __init__(
+        self,
+        variables: dict[str, Sequence] | None = None,
+        context_item: Optional[Item] = None,
+        position: int = 0,
+        size: int = 0,
+    ):
+        self.variables = variables if variables is not None else {}
+        self.context_item = context_item
+        self.position = position
+        self.size = size
+
+    def bind(self, name: str, value: Sequence) -> "DynamicContext":
+        """Return a context extended with ``$name := value``."""
+        variables = dict(self.variables)
+        variables[name] = value
+        return DynamicContext(
+            variables, self.context_item, self.position, self.size
+        )
+
+    def bind_many(self, bindings: dict[str, Sequence]) -> "DynamicContext":
+        """Extend with several bindings at once."""
+        variables = dict(self.variables)
+        variables.update(bindings)
+        return DynamicContext(
+            variables, self.context_item, self.position, self.size
+        )
+
+    def with_focus(self, item: Item, position: int, size: int) -> "DynamicContext":
+        """Return a context whose focus (., position(), last()) is set."""
+        return DynamicContext(self.variables, item, position, size)
+
+    def variable(self, name: str) -> Sequence:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise UndefinedVariableError(f"undefined variable ${name}") from None
+
+    def require_context_item(self) -> Item:
+        if self.context_item is None:
+            raise DynamicError(
+                "the context item is undefined here", code="XPDY0002"
+            )
+        return self.context_item
+
+
+# A built-in function takes (evaluator, context, argument values) and
+# returns a value.  Built-ins are pure: they produce no update requests.
+Builtin = Callable[["Evaluator", DynamicContext, list], Sequence]
+
+
+class FunctionRegistry:
+    """Resolves function names to user declarations or built-ins.
+
+    Lookup is by (local name, arity) with the ``fn:`` prefix optional for
+    built-ins, matching common XQuery usage (``count(...)`` ==
+    ``fn:count(...)``).  User functions are registered under their declared
+    name (including any prefix, e.g. ``local:get_item``).
+    """
+
+    def __init__(self) -> None:
+        self._builtins: dict[tuple[str, int], Builtin] = {}
+        self._variadic_builtins: dict[str, Builtin] = {}
+        self._user: dict[tuple[str, int], CFunction] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register_builtin(self, name: str, arity: int, fn: Builtin) -> None:
+        self._builtins[(name, arity)] = fn
+
+    def register_variadic_builtin(self, name: str, fn: Builtin) -> None:
+        self._variadic_builtins[name] = fn
+
+    def register_user(self, function: CFunction) -> None:
+        key = (function.name, len(function.params))
+        self._user[key] = function
+
+    def register_user_as(self, name: str, function: CFunction) -> None:
+        """Register *function* under an alternate name (used by module
+        imports to expose a library function under the importer's
+        prefix)."""
+        self._user[(name, len(function.params))] = function
+
+    def user_functions(self) -> list[CFunction]:
+        """All registered user functions (used by the purity analysis)."""
+        return list(self._user.values())
+
+    # -- lookup ------------------------------------------------------------
+
+    @staticmethod
+    def _strip_fn(name: str) -> str:
+        return name[3:] if name.startswith("fn:") else name
+
+    def lookup_user(self, name: str, arity: int) -> CFunction | None:
+        direct = self._user.get((name, arity))
+        if direct is not None:
+            return direct
+        # Allow calling 'local:f' as 'f' and vice versa.
+        if ":" not in name:
+            for (qname, a), fn in self._user.items():
+                if a == arity and qname.split(":")[-1] == name:
+                    return fn
+        return None
+
+    def lookup_builtin(self, name: str, arity: int) -> Builtin | None:
+        stripped = self._strip_fn(name)
+        fn = self._builtins.get((stripped, arity))
+        if fn is not None:
+            return fn
+        return self._variadic_builtins.get(stripped)
+
+    def resolve(self, name: str, arity: int) -> CFunction | Builtin:
+        """Resolve a call.
+
+        Precedence: exact user declaration, then built-ins, then the
+        convenience suffix match for unprefixed calls to prefixed user
+        functions — so ``count(...)`` always means fn:count even when a
+        ``my:count`` is declared.
+        """
+        direct = self._user.get((name, arity))
+        if direct is not None:
+            return direct
+        builtin = self.lookup_builtin(name, arity)
+        if builtin is not None:
+            return builtin
+        user = self.lookup_user(name, arity)
+        if user is not None:
+            return user
+        raise UndefinedFunctionError(
+            f"undefined function {name}#{arity}"
+        )

@@ -1,0 +1,104 @@
+"""The update-list rope: the paper's "specialized tree structure".
+
+Section 4.1: "The implementation of the ordered semantics is more
+involved, as we need to rely on a specialized tree structure to represent
+the update list in a way which allows the compiler to retain the order in
+which each update must be applied."
+
+A :class:`Delta` is an immutable binary rope over update requests:
+
+* concatenation is **O(1)** (the Fig. 3 rules concatenate Δs at every
+  sequence, FLWOR iteration and function call — with plain lists that is
+  O(|Δ|·nesting-depth) copying; with the rope it is linear overall),
+* iteration flattens lazily, left-to-right, in exactly the order the
+  semantics rules prescribe,
+* ``len`` is O(1) (size is cached per node).
+
+The evaluator builds Δ exclusively through :data:`EMPTY`,
+:meth:`Delta.leaf` and ``+``; update application flattens once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Delta:
+    """An immutable, O(1)-concatenation update list (rope)."""
+
+    __slots__ = ("_left", "_right", "_request", "_size")
+
+    def __init__(self, left=None, right=None, request=None, size=0):
+        self._left = left
+        self._right = right
+        self._request = request
+        self._size = size
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def leaf(request) -> "Delta":
+        """A one-request Δ."""
+        return Delta(request=request, size=1)
+
+    @staticmethod
+    def from_iterable(requests: Iterable) -> "Delta":
+        """Build a Δ from an iterable of requests (left-to-right)."""
+        out = EMPTY
+        for request in requests:
+            out = out + Delta.leaf(request)
+        return out
+
+    # -- algebra -------------------------------------------------------------
+
+    def __add__(self, other: "Delta") -> "Delta":
+        """Ordered concatenation; O(1)."""
+        if not isinstance(other, Delta):
+            return NotImplemented
+        if self._size == 0:
+            return other
+        if other._size == 0:
+            return self
+        return Delta(left=self, right=other, size=self._size + other._size)
+
+    # -- observation -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator:
+        """Flatten left-to-right, iteratively (no recursion-depth limit)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node._size == 0:
+                continue
+            if node._request is not None:
+                yield node._request
+                continue
+            # Push right first so left is visited first.
+            stack.append(node._right)
+            stack.append(node._left)
+
+    def to_list(self) -> list:
+        return list(self)
+
+    def __repr__(self) -> str:
+        if self._size <= 4:
+            return f"Delta({self.to_list()!r})"
+        return f"Delta(<{self._size} requests>)"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural order-sensitive equality (by flattened contents)."""
+        if isinstance(other, Delta):
+            return self.to_list() == other.to_list()
+        if isinstance(other, list):
+            return self.to_list() == other
+        return NotImplemented
+
+
+#: The empty update list (shared singleton).
+EMPTY = Delta()

@@ -1,0 +1,247 @@
+"""Pending update requests, update lists (Δ) and their application.
+
+Section 3.2 of the paper:
+
+* an *update request* is a tuple ``opname(par1, ..., parn)`` whose
+  application is a partial function from stores to stores;
+* an *update list* Δ is an ordered list of requests, collected during the
+  evaluation inside a ``snap`` scope and applied when the scope closes;
+* application supports three semantics — **ordered**, **nondeterministic**
+  and **conflict-detection** — chosen per ``snap``.
+
+Insert positions are *symbolic* (first/last/before/after a target node) and
+resolve against the store **at application time**.  This realizes the
+paper's Section 3.4 nested-snap example: with
+
+    snap ordered { insert {<a/>} into $x,
+                   snap { insert {<b/>} into $x },
+                   insert {<c/>} into $x }
+
+the inner snap applies ``<b/>`` while ``<a/>`` is still pending, and the
+outer snap then *appends* ``<a/>`` and ``<c/>``, producing
+``<b/><a/><c/>`` "in this order" — which requires ``as last`` to mean
+"last at application time", exactly as in the later W3C XQuery Update
+Facility that this paper influenced.
+
+One deliberate generalization over the paper's Fig. 2: ``delete {Expr}``
+accepts a node *sequence* and emits one request per node — the paper's own
+use case (``snap delete $log/logentry``) requires this.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import UpdateApplicationError
+from repro.xdm.store import NodeKind, Store
+
+# Group tokens tie together the request pair a single `replace` emits
+# (Fig. 2: insert-after + delete of the same node).  The conflict checker
+# exempts a pair sharing a group from the anchor-vs-delete rule — the pair
+# is one logical write.  Tokens are engine-global and never reused.
+_group_counter = itertools.count(1)
+
+
+def next_group() -> int:
+    """A fresh request-group token (see module docstring)."""
+    return next(_group_counter)
+
+# Symbolic insert positions.
+INSERT_FIRST = "first"
+INSERT_LAST = "last"
+INSERT_BEFORE = "before"
+INSERT_AFTER = "after"
+
+_VALID_POSITIONS = (INSERT_FIRST, INSERT_LAST, INSERT_BEFORE, INSERT_AFTER)
+
+
+class ApplySemantics(enum.Enum):
+    """The three update-application semantics of Section 3.2."""
+
+    ORDERED = "ordered"
+    NONDETERMINISTIC = "nondeterministic"
+    CONFLICT_DETECTION = "conflict-detection"
+
+    @staticmethod
+    def from_keyword(keyword: str | None) -> "ApplySemantics":
+        """Map the optional snap keyword to a semantics (default ordered)."""
+        if keyword is None:
+            return ApplySemantics.ORDERED
+        return ApplySemantics(keyword)
+
+
+@dataclass(frozen=True)
+class InsertRequest:
+    """insert(nodeseq, position, target).
+
+    For ``first``/``last`` the target is the future parent; for
+    ``before``/``after`` it is the sibling anchor whose parent is resolved
+    at application time.  Preconditions (checked on apply, per the paper's
+    "partial function" reading): inserted nodes must be parentless, the
+    parent must accept children, a sibling anchor must have a parent.
+    """
+
+    nodes: tuple[int, ...]
+    position: str
+    target: int
+    group: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.position not in _VALID_POSITIONS:
+            raise UpdateApplicationError(
+                f"invalid insert position {self.position!r}"
+            )
+
+    def apply(self, store: Store) -> None:
+        if self.position in (INSERT_FIRST, INSERT_LAST):
+            parent = self.target
+        else:
+            parent = store.parent(self.target)
+            if parent is None:
+                raise UpdateApplicationError(
+                    f"insert {self.position} anchor #{self.target} has no "
+                    "parent at application time"
+                )
+        regular = []
+        for node in self.nodes:
+            if store.kind(node) is NodeKind.ATTRIBUTE:
+                store.set_attribute(parent, node)
+            else:
+                regular.append(node)
+        if not regular:
+            return
+        if self.position == INSERT_LAST:
+            for node in regular:
+                store.append_child(parent, node)
+        elif self.position == INSERT_FIRST:
+            for index, node in enumerate(regular):
+                store.insert_child_at(parent, index, node)
+        elif self.position == INSERT_AFTER:
+            anchor = self.target
+            for node in regular:
+                store.insert_after(parent, anchor, node)
+                anchor = node
+        else:  # before
+            for node in regular:
+                store.insert_before(parent, self.target, node)
+
+    def describe(self) -> str:
+        return f"insert({list(self.nodes)} {self.position} #{self.target})"
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """delete(node): detach *node* from its parent (Section 3.1)."""
+
+    node: int
+    group: Optional[int] = field(default=None, compare=False)
+
+    def apply(self, store: Store) -> None:
+        store.detach(self.node)
+
+    def describe(self) -> str:
+        return f"delete(#{self.node})"
+
+
+@dataclass(frozen=True)
+class SetValueRequest:
+    """replace value of(node, text): overwrite the *content* of a node.
+
+    An extension in the style of the later XQuery Update Facility: for a
+    text/attribute/comment/PI node the string value is replaced; for an
+    element (or document), its children are detached and replaced by one
+    text node (created at application time).
+    """
+
+    node: int
+    text: str
+
+    def apply(self, store: Store) -> None:
+        kind = store.kind(self.node)
+        if kind in (NodeKind.ELEMENT, NodeKind.DOCUMENT):
+            for child in store.children(self.node):
+                store.detach(child)
+            if self.text:
+                store.append_child(self.node, store.create_text(self.text))
+            return
+        store.set_value(self.node, self.text)
+
+    def describe(self) -> str:
+        return f"set-value(#{self.node} to {self.text!r})"
+
+
+@dataclass(frozen=True)
+class RenameRequest:
+    """rename(node, name)."""
+
+    node: int
+    name: str
+
+    def apply(self, store: Store) -> None:
+        store.rename(self.node, self.name)
+
+    def describe(self) -> str:
+        return f"rename(#{self.node} to {self.name!r})"
+
+
+UpdateRequest = Union[
+    InsertRequest, DeleteRequest, RenameRequest, SetValueRequest
+]
+
+# Δ is a plain Python list; order is the one the semantics rules specify.
+UpdateList = list
+
+
+def apply_one(store: Store, request: UpdateRequest) -> None:
+    """Apply a single update request (raises on precondition violation)."""
+    request.apply(store)
+
+
+def apply_update_list(
+    store: Store,
+    delta: UpdateList,
+    semantics: ApplySemantics = ApplySemantics.ORDERED,
+    permutation: list[int] | None = None,
+    atomic: bool = False,
+) -> None:
+    """Apply Δ to the store under the chosen semantics.
+
+    * ORDERED — requests are applied exactly in Δ order.
+    * NONDETERMINISTIC — the engine may pick any order; this implementation
+      applies Δ order by default, or the caller-supplied *permutation*
+      (used by tests to exercise the semantics' full latitude).
+    * CONFLICT_DETECTION — first proves Δ conflict-free (linear time, two
+      hash tables — Section 4.1); raises
+      :class:`~repro.errors.ConflictError` otherwise, then applies in any
+      order (Δ order here, since order is immaterial once verified).
+
+    With ``atomic=True`` a precondition failure mid-application rolls the
+    store back to its pre-Δ state before re-raising — snap as a
+    failure-containment boundary (an extension the paper's Section 5
+    sketches for its full version).
+    """
+    from repro.semantics.conflicts import check_conflict_free
+
+    delta = list(delta)  # accept both plain lists and Delta ropes
+    if semantics is ApplySemantics.CONFLICT_DETECTION:
+        check_conflict_free(delta)
+    order = range(len(delta))
+    if permutation is not None:
+        if semantics is ApplySemantics.ORDERED:
+            raise UpdateApplicationError(
+                "ordered semantics does not permit reordering Δ"
+            )
+        if sorted(permutation) != list(range(len(delta))):
+            raise UpdateApplicationError("invalid permutation of Δ")
+        order = permutation  # type: ignore[assignment]
+    checkpoint = store.checkpoint() if atomic and delta else None
+    try:
+        for index in order:
+            delta[index].apply(store)
+    except UpdateApplicationError:
+        if checkpoint is not None:
+            store.restore(checkpoint)
+        raise

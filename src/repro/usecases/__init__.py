@@ -1,0 +1,5 @@
+"""Packaged use cases from the paper (Section 2)."""
+
+from repro.usecases.webservice import AuctionService
+
+__all__ = ["AuctionService"]

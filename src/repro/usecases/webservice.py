@@ -1,0 +1,118 @@
+"""The paper's Web-service use case (Section 2), as a reusable library.
+
+An XQuery! module implements the service calls; this wrapper owns the
+engine, loads the auction data and exposes Python methods.  The module
+text below is the paper's code (Sections 2.2–2.5) completed with the
+pieces the paper elides (``archivelog``), and exercises every XQuery!
+feature the use case motivates:
+
+* an update (the log insert) *inside a function that also returns a value*
+  — Section 2.2;
+* ``snap`` to make the insert visible to the rollover check in the same
+  call — Section 2.3;
+* a nested-snap counter (``nextid``) usable under any outer snap —
+  Section 2.5.
+"""
+
+from __future__ import annotations
+
+from repro.engine import Engine, QueryResult
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+SERVICE_MODULE = """
+declare variable $d := element counter { 0 };
+
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 },
+         $d }
+};
+
+declare function archivelog($log, $archive) {
+  snap insert { <batch size="{count($log/logentry)}">{ $log/logentry }</batch> }
+       into { $archive }
+};
+
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    (::: Logging code :::)
+    let $name := $auction//person[@id = $userid]/name
+    return
+      (snap insert { <logentry id="{nextid()}"
+                      user="{$name}"
+                      itemid="{$itemid}"/> }
+            into { $log },
+       if (count($log/logentry) >= $maxlog)
+       then (archivelog($log, $archive),
+             snap delete { $log/logentry })
+       else ()),
+    (::: End logging code :::)
+    $item
+  )
+};
+
+declare function get_item_nolog($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return $item
+};
+"""
+
+
+class AuctionService:
+    """A tiny auction 'Web service' whose calls are XQuery! functions.
+
+    Parameters:
+        auction_xml: the auction document; generated at a small default
+            scale when omitted.
+        maxlog: rollover threshold — after this many log entries the log
+            is summarized into the archive (Section 2.3).
+    """
+
+    def __init__(self, auction_xml: str | None = None, maxlog: int = 10):
+        self.engine = Engine()
+        if auction_xml is None:
+            auction_xml = generate_auction_xml(XMarkConfig())
+        self.engine.load_document("auction", auction_xml)
+        self.engine.bind("log", self.engine.parse_fragment("<log/>"))
+        self.engine.bind("archive", self.engine.parse_fragment("<archive/>"))
+        self.engine.bind("maxlog", maxlog)
+        self.engine.load_module(SERVICE_MODULE)
+
+    # -- service calls ----------------------------------------------------
+
+    def get_item(self, itemid: str, userid: str) -> QueryResult:
+        """The logged service call of Section 2.2/2.3."""
+        return self.engine.execute(
+            f'get_item("{itemid}", "{userid}")'
+        )
+
+    def get_item_nolog(self, itemid: str, userid: str) -> QueryResult:
+        """The original, log-free implementation (baseline)."""
+        return self.engine.execute(
+            f'get_item_nolog("{itemid}", "{userid}")'
+        )
+
+    def next_id(self) -> int:
+        """Expose the nested-snap counter of Section 2.5."""
+        return int(self.engine.execute("data(nextid())").strings()[0])
+
+    # -- observability ------------------------------------------------------
+
+    def log_entries(self) -> int:
+        return int(self.engine.execute("count($log/logentry)").first_value())
+
+    def archive_batches(self) -> int:
+        return int(self.engine.execute("count($archive/batch)").first_value())
+
+    def archived_entries(self) -> int:
+        return int(
+            self.engine.execute(
+                "count($archive/batch/logentry)"
+            ).first_value()
+        )
+
+    def log_xml(self) -> str:
+        return self.engine.execute("$log").serialize()
+
+    def archive_xml(self) -> str:
+        return self.engine.execute("$archive").serialize()

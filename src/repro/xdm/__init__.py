@@ -1,0 +1,46 @@
+"""XDM (XQuery Data Model) layer: the node store, node handles, atomic
+values and comparison semantics.
+
+The paper (Section 3.2) models the state of an XQuery! computation as a
+*store* mapping each node id to its kind, parent, name and content.  This
+package implements that store plus the accessors/constructors the dynamic
+semantics needs, the value universe (nodes + atomic values), and the
+comparison operators of XQuery 1.0 that the use cases exercise.
+"""
+
+from repro.xdm.store import NodeKind, Store
+from repro.xdm.nodes import Node
+from repro.xdm.values import (
+    AtomicValue,
+    UntypedAtomic,
+    QName,
+    atomize,
+    atomize_item,
+    effective_boolean_value,
+    sequence_string,
+    singleton,
+)
+from repro.xdm.compare import (
+    value_compare,
+    general_compare,
+    deep_equal,
+    nodes_in_document_order,
+)
+
+__all__ = [
+    "NodeKind",
+    "Store",
+    "Node",
+    "AtomicValue",
+    "UntypedAtomic",
+    "QName",
+    "atomize",
+    "atomize_item",
+    "effective_boolean_value",
+    "sequence_string",
+    "singleton",
+    "value_compare",
+    "general_compare",
+    "deep_equal",
+    "nodes_in_document_order",
+]

@@ -1,0 +1,117 @@
+"""Node handles: the user-facing view of store nodes.
+
+A :class:`Node` is a lightweight, hashable handle pairing a
+:class:`~repro.xdm.store.Store` with a node id.  Node identity (the ``is``
+operator of XQuery) is identity of the ``(store, id)`` pair.  All structural
+accessors delegate to the store, so handles always observe the *current*
+state — exactly the behaviour the paper's compositional updates require.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.xdm.store import NodeKind, Store
+
+
+class Node:
+    """Handle to a node in a :class:`Store`."""
+
+    __slots__ = ("store", "nid")
+
+    def __init__(self, store: Store, nid: int):
+        self.store = store
+        self.nid = nid
+
+    # -- identity ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Node)
+            and other.store is self.store
+            and other.nid == self.nid
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.store), self.nid))
+
+    def __repr__(self) -> str:
+        name = self.name
+        label = f" {name}" if name else ""
+        return f"<Node {self.kind.value}{label} #{self.nid}>"
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def kind(self) -> NodeKind:
+        """The XDM node kind."""
+        return self.store.kind(self.nid)
+
+    @property
+    def name(self) -> str | None:
+        """Element/attribute name or PI target; None for other kinds."""
+        return self.store.name(self.nid)
+
+    @property
+    def parent(self) -> Node | None:
+        """The parent node, or None when detached / a root."""
+        pid = self.store.parent(self.nid)
+        return None if pid is None else Node(self.store, pid)
+
+    @property
+    def children(self) -> list[Node]:
+        """Child nodes in document order."""
+        return [Node(self.store, c) for c in self.store.children(self.nid)]
+
+    @property
+    def attributes(self) -> list[Node]:
+        """Attribute nodes of an element (empty for other kinds)."""
+        return [Node(self.store, a) for a in self.store.attributes(self.nid)]
+
+    @property
+    def string_value(self) -> str:
+        """The XDM string-value accessor."""
+        return self.store.string_value(self.nid)
+
+    @property
+    def root(self) -> Node:
+        """The root of the tree currently containing this node."""
+        return Node(self.store, self.store.root(self.nid))
+
+    def attribute(self, name: str) -> Node | None:
+        """The attribute named *name*, or None."""
+        aid = self.store.attribute_named(self.nid, name)
+        return None if aid is None else Node(self.store, aid)
+
+    def descendants(self, include_self: bool = False) -> Iterator[Node]:
+        """Descendant nodes in document order (attributes excluded)."""
+        for nid in self.store.descendants(self.nid, include_self):
+            yield Node(self.store, nid)
+
+    def ancestors(self, include_self: bool = False) -> Iterator[Node]:
+        """Ancestor nodes, nearest first."""
+        for nid in self.store.ancestors(self.nid, include_self):
+            yield Node(self.store, nid)
+
+    def element_children(self, name: str | None = None) -> list[Node]:
+        """Child elements, optionally filtered by name."""
+        out = []
+        for child in self.children:
+            if child.kind is NodeKind.ELEMENT and (
+                name is None or child.name == name
+            ):
+                out.append(child)
+        return out
+
+    def deep_copy(self) -> Node:
+        """A parentless deep copy of this node (new node ids throughout)."""
+        return Node(self.store, self.store.deep_copy(self.nid))
+
+    def is_ancestor_of(self, other: Node) -> bool:
+        """True if this node is a (proper) ancestor of *other*."""
+        if other.store is not self.store:
+            return False
+        for anc in self.store.ancestors(other.nid):
+            if anc == self.nid:
+                return True
+        return False

@@ -1,0 +1,657 @@
+"""The node store of the XQuery! data model.
+
+Section 3.2 of the paper defines the store as the structure that specifies,
+"for each node id, its kind (element, attribute, text...), parent, name, and
+content".  This module implements that structure together with the accessors
+and constructors corresponding to the XDM, and the mutation primitives the
+update-application layer (``repro.semantics.update``) is built on.
+
+Design notes
+------------
+
+* Node ids are dense integers allocated by the store; a node's identity is
+  its id.  Handles (:class:`repro.xdm.nodes.Node`) pair a store with an id.
+* ``delete`` in XQuery! *detaches* (Section 3.1): the parent link is severed
+  but the record survives, so detached subtrees remain queryable.  The store
+  therefore never frees records implicitly; :meth:`Store.gc` reclaims
+  unreachable detached trees on demand (the paper defers GC, we provide it).
+* Document order is structural: nodes are ordered by (root id, path of
+  sibling positions), with attributes ordered after their owner element and
+  before its children.  Distinct trees are ordered by root node id, which is
+  stable (allocation order), satisfying XDM's "stable, total order".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StoreError, UpdateApplicationError
+
+
+class NodeKind(enum.Enum):
+    """The seven XDM node kinds (we omit namespace nodes)."""
+
+    DOCUMENT = "document"
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+
+
+_HAS_CHILDREN = (NodeKind.DOCUMENT, NodeKind.ELEMENT)
+_HAS_VALUE = (
+    NodeKind.ATTRIBUTE,
+    NodeKind.TEXT,
+    NodeKind.COMMENT,
+    NodeKind.PROCESSING_INSTRUCTION,
+)
+
+
+class _NodeRecord:
+    """Mutable per-node state.  Internal to the store."""
+
+    __slots__ = ("kind", "name", "parent", "children", "attributes", "value")
+
+    def __init__(self, kind: NodeKind, name: str | None, value: str | None):
+        self.kind = kind
+        self.name = name
+        self.parent: int | None = None
+        # children: child node ids in document order (documents/elements).
+        self.children: list[int] = []
+        # attributes: attribute node ids, in stable insertion order.
+        self.attributes: list[int] = []
+        self.value = value
+
+
+class StoreCheckpoint:
+    """An immutable snapshot of a store's full state (see
+    :meth:`Store.checkpoint`)."""
+
+    __slots__ = ("records", "next_id")
+
+    def __init__(self, records: dict, next_id: int):
+        self.records = records
+        self.next_id = next_id
+
+
+class Store:
+    """A mutable XDM node store.
+
+    All structural state lives here; nodes returned to user code are thin
+    handles.  Every mutating method validates its preconditions and raises
+    :class:`~repro.errors.UpdateApplicationError` on violation, mirroring the
+    paper's "partial function from stores to stores".
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[int, _NodeRecord] = {}
+        self._next_id = 0
+        # Structural version: bumped by every mutation that can change
+        # document order; order keys are cached against it.
+        self._version = 0
+        self._order_cache: dict[int, tuple] = {}
+        # Element-name index: name -> ids of elements bearing it, anywhere
+        # in the store (live or detached).  Maintained on create/rename;
+        # used by the descendant-axis fast path.
+        self._name_index: dict[str, set[int]] = {}
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._order_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Constructors (XDM constructor functions)
+    # ------------------------------------------------------------------
+
+    def _alloc(self, kind: NodeKind, name: str | None, value: str | None) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        self._records[nid] = _NodeRecord(kind, name, value)
+        if kind is NodeKind.ELEMENT and name:
+            # Every element enters the name index at birth — including
+            # deep-copy clones, which do not go through create_element.
+            self._name_index.setdefault(name, set()).add(nid)
+        return nid
+
+    def create_document(self) -> int:
+        """Allocate a new, empty document node and return its id."""
+        return self._alloc(NodeKind.DOCUMENT, None, None)
+
+    def create_element(self, name: str) -> int:
+        """Allocate a new parentless element node named *name*."""
+        if not name:
+            raise StoreError("element name must be non-empty")
+        return self._alloc(NodeKind.ELEMENT, name, None)
+
+    def create_attribute(self, name: str, value: str) -> int:
+        """Allocate a new parentless attribute node."""
+        if not name:
+            raise StoreError("attribute name must be non-empty")
+        return self._alloc(NodeKind.ATTRIBUTE, name, value)
+
+    def create_text(self, value: str) -> int:
+        """Allocate a new parentless text node."""
+        return self._alloc(NodeKind.TEXT, None, value)
+
+    def create_comment(self, value: str) -> int:
+        """Allocate a new parentless comment node."""
+        return self._alloc(NodeKind.COMMENT, None, value)
+
+    def create_processing_instruction(self, target: str, value: str) -> int:
+        """Allocate a new parentless processing-instruction node."""
+        return self._alloc(NodeKind.PROCESSING_INSTRUCTION, target, value)
+
+    # ------------------------------------------------------------------
+    # Accessors (XDM accessor functions)
+    # ------------------------------------------------------------------
+
+    def _rec(self, nid: int) -> _NodeRecord:
+        try:
+            return self._records[nid]
+        except KeyError:
+            raise StoreError(f"unknown node id {nid}") from None
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._records
+
+    def __len__(self) -> int:
+        """Number of live records (including detached ones)."""
+        return len(self._records)
+
+    def kind(self, nid: int) -> NodeKind:
+        """Return the node kind of *nid*."""
+        return self._rec(nid).kind
+
+    def name(self, nid: int) -> str | None:
+        """Return the node name (element/attribute name, PI target)."""
+        return self._rec(nid).name
+
+    def parent(self, nid: int) -> int | None:
+        """Return the parent node id, or None for parentless nodes."""
+        return self._rec(nid).parent
+
+    def children(self, nid: int) -> tuple[int, ...]:
+        """Return the child node ids in document order."""
+        return tuple(self._rec(nid).children)
+
+    def attributes(self, nid: int) -> tuple[int, ...]:
+        """Return the attribute node ids of an element, in stable order."""
+        return tuple(self._rec(nid).attributes)
+
+    def value(self, nid: int) -> str | None:
+        """Return the content string of a text/attribute/comment/PI node."""
+        return self._rec(nid).value
+
+    def string_value(self, nid: int) -> str:
+        """The XDM string-value accessor.
+
+        For documents and elements this is the concatenation of the string
+        values of all descendant text nodes, in document order.
+        """
+        rec = self._rec(nid)
+        if rec.kind in _HAS_VALUE:
+            return rec.value or ""
+        parts: list[str] = []
+        stack = list(reversed(rec.children))
+        while stack:
+            cur = self._rec(stack.pop())
+            if cur.kind is NodeKind.TEXT:
+                parts.append(cur.value or "")
+            elif cur.kind in _HAS_CHILDREN:
+                stack.extend(reversed(cur.children))
+        return "".join(parts)
+
+    def attribute_named(self, nid: int, name: str) -> int | None:
+        """Return the id of the attribute named *name* on element *nid*."""
+        rec = self._rec(nid)
+        for aid in rec.attributes:
+            if self._rec(aid).name == name:
+                return aid
+        return None
+
+    def root(self, nid: int) -> int:
+        """Return the id of the root of the tree containing *nid*."""
+        cur = nid
+        while True:
+            parent = self._rec(cur).parent
+            if parent is None:
+                return cur
+            cur = parent
+
+    def descendants_named(self, nid: int, name: str) -> list[int]:
+        """Element descendants of *nid* named *name*, via the name index.
+
+        Returns ids in arbitrary order (callers sort into document order).
+        Equivalent to filtering :meth:`descendants` by name, but touches
+        only index candidates — O(candidates × depth) instead of
+        O(subtree) — which wins on selective names in large trees.
+        """
+        candidates = self._name_index.get(name)
+        if not candidates:
+            return []
+        out = []
+        for candidate in candidates:
+            if candidate == nid:
+                continue
+            cur = self._records[candidate].parent
+            while cur is not None:
+                if cur == nid:
+                    out.append(candidate)
+                    break
+                cur = self._records[cur].parent
+        return out
+
+    def descendants(self, nid: int, include_self: bool = False) -> Iterator[int]:
+        """Yield descendant node ids in document order.
+
+        Attributes are *not* descendants (XPath axis semantics).
+        """
+        if include_self:
+            yield nid
+        stack = list(reversed(self._rec(nid).children))
+        while stack:
+            cur = stack.pop()
+            yield cur
+            rec = self._rec(cur)
+            if rec.kind in _HAS_CHILDREN:
+                stack.extend(reversed(rec.children))
+
+    def ancestors(self, nid: int, include_self: bool = False) -> Iterator[int]:
+        """Yield ancestor node ids, nearest first."""
+        if include_self:
+            yield nid
+        cur = self._rec(nid).parent
+        while cur is not None:
+            yield cur
+            cur = self._rec(cur).parent
+
+    def size(self, nid: int) -> int:
+        """Number of nodes in the subtree rooted at *nid* (incl. attrs)."""
+        total = 0
+        stack = [nid]
+        while stack:
+            current = self._rec(stack.pop())
+            total += 1 + len(current.attributes)
+            stack.extend(current.children)
+        return total
+
+    # ------------------------------------------------------------------
+    # Document order
+    # ------------------------------------------------------------------
+
+    def order_key(self, nid: int) -> tuple:
+        """A sortable key realizing document order.
+
+        The key is ``(root_id, pos_0, pos_1, ...)`` where ``pos_i`` is the
+        child index at depth ``i``; attribute nodes sort between their owner
+        element and its first child via a ``-1`` marker component.  Keys are
+        cached; any structural mutation invalidates the cache.
+        """
+        cached = self._order_cache.get(nid)
+        if cached is not None:
+            return cached
+        rec = self._rec(nid)
+        parent = rec.parent
+        if parent is None:
+            key: tuple = (nid, ())
+        else:
+            prec = self._rec(parent)
+            if rec.kind is NodeKind.ATTRIBUTE:
+                # (-1, k): after the element's own key, before child (0, _).
+                mine = (-1, prec.attributes.index(nid))
+            else:
+                mine = (0, prec.children.index(nid))
+            root, path = self.order_key(parent)
+            key = (root, path + (mine,))
+        self._order_cache[nid] = key
+        return key
+
+    def compare_order(self, a: int, b: int) -> int:
+        """Return -1/0/1 as *a* precedes/equals/follows *b* in doc order."""
+        ka, kb = self.order_key(a), self.order_key(b)
+        if ka == kb:
+            return 0
+        # An ancestor's key is a strict prefix of its descendants' keys and
+        # tuple comparison already places prefixes first, but the attribute
+        # marker (-1) must sort *before* child entries (0); Python tuple
+        # comparison of (-1, i) < (0, j) gives exactly that.
+        return -1 if ka < kb else 1
+
+    def sort_document_order(self, nids: Iterable[int]) -> list[int]:
+        """Sort node ids into document order, removing duplicates."""
+        return sorted(set(nids), key=self.order_key)
+
+    # ------------------------------------------------------------------
+    # Mutators (used by update application and node construction)
+    # ------------------------------------------------------------------
+
+    def _check_can_parent(self, parent: int) -> _NodeRecord:
+        rec = self._rec(parent)
+        if rec.kind not in _HAS_CHILDREN:
+            raise UpdateApplicationError(
+                f"cannot insert children into a {rec.kind.value} node"
+            )
+        return rec
+
+    def _check_insertable(self, nid: int) -> _NodeRecord:
+        rec = self._rec(nid)
+        if rec.parent is not None:
+            raise UpdateApplicationError(
+                f"node {nid} already has a parent; insert requires a "
+                "parentless node (the normalization copy rule guarantees "
+                "this for well-formed programs)"
+            )
+        if rec.kind is NodeKind.DOCUMENT:
+            raise UpdateApplicationError("cannot insert a document node")
+        return rec
+
+    def append_child(self, parent: int, child: int) -> None:
+        """Attach parentless *child* as the last child of *parent*."""
+        prec = self._check_can_parent(parent)
+        crec = self._check_insertable(child)
+        if crec.kind is NodeKind.ATTRIBUTE:
+            raise UpdateApplicationError(
+                "attribute nodes must be attached with set_attribute"
+            )
+        self._check_no_cycle(parent, child)
+        prec.children.append(child)
+        crec.parent = parent
+        self._touch()
+
+    def insert_child_at(self, parent: int, index: int, child: int) -> None:
+        """Attach parentless *child* at position *index* among children."""
+        prec = self._check_can_parent(parent)
+        crec = self._check_insertable(child)
+        if crec.kind is NodeKind.ATTRIBUTE:
+            raise UpdateApplicationError(
+                "attribute nodes must be attached with set_attribute"
+            )
+        if not 0 <= index <= len(prec.children):
+            raise UpdateApplicationError(
+                f"insert position {index} out of range for node {parent}"
+            )
+        self._check_no_cycle(parent, child)
+        prec.children.insert(index, child)
+        crec.parent = parent
+        self._touch()
+
+    def insert_after(self, parent: int, anchor: int, child: int) -> None:
+        """Attach *child* immediately after sibling *anchor*.
+
+        Precondition (paper Section 3.2): *anchor* must be a child of
+        *parent*.
+        """
+        prec = self._check_can_parent(parent)
+        try:
+            idx = prec.children.index(anchor)
+        except ValueError:
+            raise UpdateApplicationError(
+                f"anchor node {anchor} is not a child of {parent}"
+            ) from None
+        self.insert_child_at(parent, idx + 1, child)
+
+    def insert_before(self, parent: int, anchor: int, child: int) -> None:
+        """Attach *child* immediately before sibling *anchor*."""
+        prec = self._check_can_parent(parent)
+        try:
+            idx = prec.children.index(anchor)
+        except ValueError:
+            raise UpdateApplicationError(
+                f"anchor node {anchor} is not a child of {parent}"
+            ) from None
+        self.insert_child_at(parent, idx, child)
+
+    def set_attribute(self, element: int, attr: int) -> None:
+        """Attach parentless attribute node *attr* to *element*.
+
+        Replaces any existing attribute with the same name (the replaced
+        attribute is detached, per the detach philosophy).
+        """
+        erec = self._rec(element)
+        if erec.kind is not NodeKind.ELEMENT:
+            raise UpdateApplicationError("attributes can only go on elements")
+        arec = self._rec(attr)
+        if arec.kind is not NodeKind.ATTRIBUTE:
+            raise UpdateApplicationError(f"node {attr} is not an attribute")
+        if arec.parent is not None:
+            raise UpdateApplicationError(
+                f"attribute {attr} already belongs to element {arec.parent}"
+            )
+        existing = self.attribute_named(element, arec.name or "")
+        if existing is not None:
+            self.detach(existing)
+        erec.attributes.append(attr)
+        arec.parent = element
+        self._touch()
+
+    def detach(self, nid: int) -> None:
+        """Sever the parent link of *nid* (the paper's delete semantics).
+
+        The node and its subtree stay live in the store and remain fully
+        queryable through any variable still holding them (Section 3.1).
+        Detaching an already-parentless node is a no-op, matching the
+        tolerant reading of repeated deletes.
+        """
+        rec = self._rec(nid)
+        parent = rec.parent
+        if parent is None:
+            return
+        prec = self._rec(parent)
+        if rec.kind is NodeKind.ATTRIBUTE:
+            prec.attributes.remove(nid)
+        else:
+            prec.children.remove(nid)
+        rec.parent = None
+        self._touch()
+
+    def rename(self, nid: int, name: str) -> None:
+        """Change the node name of an element, attribute or PI."""
+        rec = self._rec(nid)
+        if rec.kind not in (
+            NodeKind.ELEMENT,
+            NodeKind.ATTRIBUTE,
+            NodeKind.PROCESSING_INSTRUCTION,
+        ):
+            raise UpdateApplicationError(
+                f"cannot rename a {rec.kind.value} node"
+            )
+        if not name:
+            raise UpdateApplicationError("new name must be non-empty")
+        if rec.kind is NodeKind.ELEMENT and rec.name != name:
+            self._name_index.get(rec.name, set()).discard(nid)
+            self._name_index.setdefault(name, set()).add(nid)
+        rec.name = name
+
+    def set_value(self, nid: int, value: str) -> None:
+        """Replace the content of a text/attribute/comment/PI node."""
+        rec = self._rec(nid)
+        if rec.kind not in _HAS_VALUE:
+            raise UpdateApplicationError(
+                f"cannot set the value of a {rec.kind.value} node"
+            )
+        rec.value = value
+
+    def _check_no_cycle(self, parent: int, child: int) -> None:
+        # Inserting a node above itself would create a cycle.  Since the
+        # inserted node must be parentless, a cycle can only arise if
+        # `parent` is inside the subtree of `child`.
+        cur: int | None = parent
+        while cur is not None:
+            if cur == child:
+                raise UpdateApplicationError(
+                    "insert would create a cycle (target is a descendant "
+                    "of the inserted node)"
+                )
+            cur = self._rec(cur).parent
+
+    # ------------------------------------------------------------------
+    # Deep copy (the `copy { ... }` operator and the normalization rule)
+    # ------------------------------------------------------------------
+
+    def deep_copy(self, nid: int) -> int:
+        """Copy the subtree rooted at *nid*; the copy is parentless.
+
+        Implements the ``deepcopy(store, node)`` data-model operation of
+        Fig. 2: new node ids are allocated for every node in the subtree.
+        Iterative, so arbitrarily deep trees copy without hitting the
+        Python recursion limit.
+        """
+        root_rec = self._rec(nid)
+        root_copy = self._alloc(root_rec.kind, root_rec.name, root_rec.value)
+        # Work stack of (source id, copied id) pairs whose attributes and
+        # children still need copying.
+        stack = [(nid, root_copy)]
+        while stack:
+            source, copied = stack.pop()
+            source_rec = self._rec(source)
+            copied_rec = self._rec(copied)
+            for aid in source_rec.attributes:
+                arec = self._rec(aid)
+                acopy = self._alloc(arec.kind, arec.name, arec.value)
+                self._rec(acopy).parent = copied
+                copied_rec.attributes.append(acopy)
+            for cid in source_rec.children:
+                crec = self._rec(cid)
+                ccopy = self._alloc(crec.kind, crec.name, crec.value)
+                self._rec(ccopy).parent = copied
+                copied_rec.children.append(ccopy)
+                stack.append((cid, ccopy))
+        return root_copy
+
+    # ------------------------------------------------------------------
+    # Garbage collection of unreachable detached trees
+    # ------------------------------------------------------------------
+
+    def gc(self, live_roots: Iterable[int]) -> int:
+        """Drop every record not reachable from *live_roots*.
+
+        The caller supplies the node ids still referenced from the outside
+        (bound variables, documents).  Returns the number of reclaimed
+        records.  This implements the "garbage collection of persistent but
+        unreachable nodes" the paper mentions as a consequence of the detach
+        semantics (Section 4.1).
+        """
+        reachable: set[int] = set()
+        stack = [self.root(nid) for nid in live_roots if nid in self._records]
+        while stack:
+            cur = stack.pop()
+            if cur in reachable:
+                continue
+            reachable.add(cur)
+            rec = self._rec(cur)
+            stack.extend(rec.children)
+            stack.extend(rec.attributes)
+        dead = [nid for nid in self._records if nid not in reachable]
+        for nid in dead:
+            rec = self._records[nid]
+            if rec.kind is NodeKind.ELEMENT and rec.name:
+                self._name_index.get(rec.name, set()).discard(nid)
+            del self._records[nid]
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (failure atomicity for snap)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> "StoreCheckpoint":
+        """Capture the full store state.
+
+        Used to make update-list application *atomic*: the paper's full
+        version proposes snap as a failure-containment boundary; with a
+        checkpoint, a Δ that fails a precondition mid-application can be
+        rolled back instead of leaving a partial store.
+        """
+        records = {
+            nid: (
+                rec.kind,
+                rec.name,
+                rec.parent,
+                tuple(rec.children),
+                tuple(rec.attributes),
+                rec.value,
+            )
+            for nid, rec in self._records.items()
+        }
+        return StoreCheckpoint(records=records, next_id=self._next_id)
+
+    def restore(self, checkpoint: "StoreCheckpoint") -> None:
+        """Reset the store to a previously captured checkpoint."""
+        self._records = {}
+        self._name_index = {}
+        for nid, (kind, name, parent, children, attributes, value) in (
+            checkpoint.records.items()
+        ):
+            rec = _NodeRecord(kind, name, value)
+            rec.parent = parent
+            rec.children = list(children)
+            rec.attributes = list(attributes)
+            self._records[nid] = rec
+            if kind is NodeKind.ELEMENT and name:
+                self._name_index.setdefault(name, set()).add(nid)
+        self._next_id = checkpoint.next_id
+        self._touch()
+
+    # ------------------------------------------------------------------
+    # Introspection / debugging helpers
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> tuple[int, ...]:
+        """All live node ids (mainly for tests and invariant checks)."""
+        return tuple(self._records)
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests.
+
+        * every child's parent pointer names the node listing it,
+        * no node is listed as a child twice,
+        * attribute names are unique per element,
+        * parent chains are acyclic.
+        """
+        seen_child_of: dict[int, int] = {}
+        for nid, rec in self._records.items():
+            for cid in rec.children:
+                crec = self._rec(cid)
+                if crec.parent != nid:
+                    raise StoreError(
+                        f"child {cid} of {nid} has parent {crec.parent}"
+                    )
+                if cid in seen_child_of:
+                    raise StoreError(f"node {cid} has two parents")
+                seen_child_of[cid] = nid
+            names = [self._rec(aid).name for aid in rec.attributes]
+            if len(names) != len(set(names)):
+                raise StoreError(f"duplicate attribute names on {nid}")
+            for aid in rec.attributes:
+                if self._rec(aid).parent != nid:
+                    raise StoreError(f"attribute {aid} parent mismatch")
+        for nid in self._records:
+            slow: int | None = nid
+            seen: set[int] = set()
+            while slow is not None:
+                if slow in seen:
+                    raise StoreError(f"parent cycle through {nid}")
+                seen.add(slow)
+                slow = self._rec(slow).parent
+        # Name index: exactly the live elements, under their current name.
+        indexed = {
+            nid for ids in self._name_index.values() for nid in ids
+        }
+        elements = {
+            nid
+            for nid, rec in self._records.items()
+            if rec.kind is NodeKind.ELEMENT
+        }
+        if indexed != elements:
+            raise StoreError(
+                "name index out of sync: "
+                f"{sorted(indexed ^ elements)} differ"
+            )
+        for name, ids in self._name_index.items():
+            for nid in ids:
+                if self._rec(nid).name != name:
+                    raise StoreError(
+                        f"node {nid} indexed under {name!r} but named "
+                        f"{self._rec(nid).name!r}"
+                    )

@@ -1,0 +1,11 @@
+"""XMark-style synthetic data (substitute for the XMark benchmark [23]).
+
+The paper's examples and its Section 4.3 optimization argument run over
+the XMark auction document (persons, items, open and closed auctions).
+This package generates schema-compatible documents of any scale with a
+seeded PRNG, so every experiment is reproducible.
+"""
+
+from repro.xmark.generator import XMarkConfig, generate_auction_xml
+
+__all__ = ["XMarkConfig", "generate_auction_xml"]

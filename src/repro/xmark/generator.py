@@ -1,0 +1,185 @@
+"""Generator for XMark-style auction documents.
+
+Produces the subset of the XMark schema [23] that the paper's queries
+touch::
+
+    <site>
+      <regions>
+        <namerica> <item id="item0"> <name/> <payment/> ... </item> ... </namerica>
+        <europe>   ...                                               </europe>
+      </regions>
+      <people>
+        <person id="person0"> <name/> <emailaddress/> <city/> ... </person> ...
+      </people>
+      <open_auctions>
+        <open_auction id="open_auction0">
+          <itemref item="..."/> <initial/> <bidder><increase/></bidder>* <current/>
+        </open_auction> ...
+      </open_auctions>
+      <closed_auctions>
+        <closed_auction>
+          <seller person="..."/> <buyer person="..."/> <itemref item="..."/> <price/>
+        </closed_auction> ...
+      </closed_auctions>
+    </site>
+
+All randomness is driven by ``random.Random(seed)`` — identical configs
+produce identical documents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_FIRST_NAMES = (
+    "Kasidit", "Vivian", "Takehisa", "Jinpo", "Farrel", "Mehrdad", "Yolanda",
+    "Dilip", "Sibel", "Auric", "Umesh", "Matilde", "Piotr", "Rosalia",
+    "Chenyi", "Amadou", "Ingrid", "Bogdan", "Noriko", "Severin",
+)
+
+_LAST_NAMES = (
+    "Luangjina", "Casareale", "Yamaguchi", "Zhu", "Stemple", "Saberi",
+    "Brender", "Nagarkar", "Ozsoyoglu", "Goldberg", "Dayal", "Santoro",
+    "Kowalczyk", "Ventura", "Feng", "Diallo", "Nyberg", "Ionescu",
+    "Watanabe", "Keller",
+)
+
+_CITIES = (
+    "Pisa", "Seattle", "Hawthorne", "Darmstadt", "Amsterdam", "Lyon",
+    "Bologna", "Kyoto", "Aarhus", "Porto", "Krakow", "Tampere",
+)
+
+_ITEM_WORDS = (
+    "bicycle", "guitar", "teapot", "lamp", "camera", "atlas", "clock",
+    "stamp", "painting", "radio", "violin", "telescope", "globe", "chair",
+)
+
+_REGIONS = ("namerica", "europe")
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Scale knobs.  ``scale(f)`` mimics XMark's scale factor: f=1.0 is
+    around 25,500 persons in real XMark; here the default miniature keeps
+    unit tests fast while benchmarks pass explicit sizes."""
+
+    persons: int = 50
+    items: int = 40
+    open_auctions: int = 20
+    closed_auctions: int = 60
+    max_bidders: int = 4
+    seed: int = 20060329  # EDBT 2006 vintage
+
+    @staticmethod
+    def scale(factor: float, seed: int = 20060329) -> "XMarkConfig":
+        """A config whose table sizes grow linearly with *factor*."""
+        return XMarkConfig(
+            persons=max(1, int(255 * factor)),
+            items=max(1, int(217 * factor)),
+            open_auctions=max(1, int(120 * factor)),
+            closed_auctions=max(1, int(97 * factor)),
+            seed=seed,
+        )
+
+
+def generate_auction_xml(config: XMarkConfig | None = None) -> str:
+    """Generate an auction document; returns the XML text."""
+    config = config or XMarkConfig()
+    rng = random.Random(config.seed)
+    parts: list[str] = ['<site>']
+    _regions(parts, config, rng)
+    _people(parts, config, rng)
+    _open_auctions(parts, config, rng)
+    _closed_auctions(parts, config, rng)
+    parts.append("</site>")
+    return "".join(parts)
+
+
+def _name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def _regions(parts: list[str], config: XMarkConfig, rng: random.Random) -> None:
+    parts.append("<regions>")
+    per_region: dict[str, list[int]] = {region: [] for region in _REGIONS}
+    for index in range(config.items):
+        per_region[rng.choice(_REGIONS)].append(index)
+    for region in _REGIONS:
+        parts.append(f"<{region}>")
+        for index in per_region[region]:
+            word = rng.choice(_ITEM_WORDS)
+            quantity = rng.randint(1, 5)
+            parts.append(
+                f'<item id="item{index}">'
+                f"<name>{word} #{index}</name>"
+                f"<quantity>{quantity}</quantity>"
+                f"<payment>Creditcard</payment>"
+                f"<description><text>A fine {word}.</text></description>"
+                f"</item>"
+            )
+        parts.append(f"</{region}>")
+    parts.append("</regions>")
+
+
+def _people(parts: list[str], config: XMarkConfig, rng: random.Random) -> None:
+    parts.append("<people>")
+    for index in range(config.persons):
+        name = _name(rng)
+        email = name.lower().replace(" ", ".")
+        city = rng.choice(_CITIES)
+        income = round(rng.uniform(9876.0, 98765.0), 2)
+        parts.append(
+            f'<person id="person{index}">'
+            f"<name>{name}</name>"
+            f"<emailaddress>mailto:{email}@example.com</emailaddress>"
+            f"<city>{city}</city>"
+            f"<income>{income}</income>"
+            f"</person>"
+        )
+    parts.append("</people>")
+
+
+def _open_auctions(parts: list[str], config: XMarkConfig, rng: random.Random) -> None:
+    parts.append("<open_auctions>")
+    for index in range(config.open_auctions):
+        item = rng.randrange(config.items)
+        initial = round(rng.uniform(1.0, 100.0), 2)
+        current = initial
+        bidders = []
+        for _ in range(rng.randint(0, config.max_bidders)):
+            increase = round(rng.uniform(1.0, 20.0), 2)
+            current = round(current + increase, 2)
+            person = rng.randrange(config.persons)
+            bidders.append(
+                f'<bidder><personref person="person{person}"/>'
+                f"<increase>{increase}</increase></bidder>"
+            )
+        parts.append(
+            f'<open_auction id="open_auction{index}">'
+            f'<itemref item="item{item}"/>'
+            f"<initial>{initial}</initial>"
+            f"{''.join(bidders)}"
+            f"<current>{current}</current>"
+            f"</open_auction>"
+        )
+    parts.append("</open_auctions>")
+
+
+def _closed_auctions(parts: list[str], config: XMarkConfig, rng: random.Random) -> None:
+    parts.append("<closed_auctions>")
+    for index in range(config.closed_auctions):
+        seller = rng.randrange(config.persons)
+        buyer = rng.randrange(config.persons)
+        item = rng.randrange(config.items)
+        price = round(rng.uniform(5.0, 250.0), 2)
+        parts.append(
+            "<closed_auction>"
+            f'<seller person="person{seller}"/>'
+            f'<buyer person="person{buyer}"/>'
+            f'<itemref item="item{item}"/>'
+            f"<price>{price}</price>"
+            f"<date>{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2005</date>"
+            "</closed_auction>"
+        )
+    parts.append("</closed_auctions>")

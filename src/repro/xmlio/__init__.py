@@ -1,0 +1,14 @@
+"""XML input/output: parsing well-formed documents into the node store and
+serializing store subtrees back to XML text.
+
+The paper's data model focuses on well-formed documents (Section 3.2); this
+package implements a small, dependency-free XML 1.0 subset parser —
+elements, attributes, text, comments, processing instructions, CDATA and the
+five predefined entities — which covers XMark-style data and every example
+in the paper.
+"""
+
+from repro.xmlio.parser import parse_document, parse_fragment
+from repro.xmlio.serializer import serialize, serialize_sequence
+
+__all__ = ["parse_document", "parse_fragment", "serialize", "serialize_sequence"]

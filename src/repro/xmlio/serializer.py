@@ -1,0 +1,103 @@
+"""Serialization of store subtrees (and mixed sequences) to XML text."""
+
+from __future__ import annotations
+
+from repro.errors import SerializationError
+from repro.xdm.nodes import Node
+from repro.xdm.store import NodeKind
+from repro.xdm.values import AtomicValue, Sequence
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def serialize(node: Node, indent: bool = False) -> str:
+    """Serialize the subtree rooted at *node* to XML text.
+
+    With ``indent=True`` element-only content is pretty-printed; mixed
+    content is always emitted verbatim to preserve the string value.
+    """
+    parts: list[str] = []
+    _serialize_node(node, parts, 0, indent)
+    return "".join(parts)
+
+
+def serialize_sequence(seq: Sequence, indent: bool = False) -> str:
+    """Serialize a value: nodes as XML, atomics via their lexical form,
+    adjacent atomics separated by a single space (XSLT/XQuery rules)."""
+    parts: list[str] = []
+    previous_atomic = False
+    for item in seq:
+        if isinstance(item, AtomicValue):
+            if previous_atomic:
+                parts.append(" ")
+            parts.append(_escape_text(item.lexical()))
+            previous_atomic = True
+        else:
+            parts.append(serialize(item, indent))
+            previous_atomic = False
+    return "".join(parts)
+
+
+def _children_are_elements_only(node: Node) -> bool:
+    kids = node.children
+    if not kids:
+        return False
+    return all(
+        child.kind in (NodeKind.ELEMENT, NodeKind.COMMENT, NodeKind.PROCESSING_INSTRUCTION)
+        for child in kids
+    )
+
+
+def _serialize_node(node: Node, parts: list[str], depth: int, indent: bool) -> None:
+    kind = node.kind
+    pad = "  " * depth if indent else ""
+    if kind is NodeKind.DOCUMENT:
+        for child in node.children:
+            _serialize_node(child, parts, depth, indent)
+            if indent:
+                parts.append("\n")
+        return
+    if kind is NodeKind.TEXT:
+        parts.append(_escape_text(node.string_value))
+        return
+    if kind is NodeKind.COMMENT:
+        parts.append(f"<!--{node.string_value}-->")
+        return
+    if kind is NodeKind.PROCESSING_INSTRUCTION:
+        value = node.string_value
+        body = f" {value}" if value else ""
+        parts.append(f"<?{node.name}{body}?>")
+        return
+    if kind is NodeKind.ATTRIBUTE:
+        raise SerializationError(
+            "cannot serialize a free-standing attribute node"
+        )
+    # Element.
+    parts.append(f"<{node.name}")
+    for attr in node.attributes:
+        parts.append(f' {attr.name}="{_escape_attribute(attr.string_value)}"')
+    kids = node.children
+    if not kids:
+        parts.append("/>")
+        return
+    parts.append(">")
+    if indent and _children_are_elements_only(node):
+        for child in kids:
+            parts.append("\n" + "  " * (depth + 1))
+            _serialize_node(child, parts, depth + 1, indent)
+        parts.append("\n" + pad)
+    else:
+        for child in kids:
+            _serialize_node(child, parts, depth + 1, False)
+    parts.append(f"</{node.name}>")

@@ -1,0 +1,166 @@
+"""The W3C Use Cases 'TREE' (recursive structure) and 'SEQ' (document
+order) sections, adapted to this engine's subset.
+
+TREE exercises recursive user functions over arbitrarily nested sections;
+SEQ exercises the node-order operators (<<, >>) over a surgical report.
+"""
+
+import pytest
+
+from repro import Engine
+
+BOOK = """
+<book>
+  <title>Data on the Web</title>
+  <section id="intro" difficulty="easy">
+    <title>Introduction</title>
+    <p>Audience</p>
+    <section>
+      <title>Web Data and the Two Cultures</title>
+      <p>text</p>
+      <figure height="400" width="400"><title>Traditional client/server</title></figure>
+    </section>
+  </section>
+  <section id="syntax" difficulty="medium">
+    <title>A Syntax For Data</title>
+    <p>text</p>
+    <figure height="200" width="500"><title>Graph representations</title></figure>
+    <section>
+      <title>Base Types</title>
+      <p>text</p>
+    </section>
+    <section>
+      <title>Representing Relational Databases</title>
+      <p>text</p>
+      <figure height="250" width="400"><title>Examples of relations</title></figure>
+    </section>
+  </section>
+</book>
+"""
+
+REPORT = """
+<report>
+  <section><title>Procedure</title>
+    <p>The patient was taken to the operating room.</p>
+    <anesthesia>general</anesthesia>
+    <incision>A skin incision was made.</incision>
+    <action>The gallbladder was removed.</action>
+    <incision>A second incision was made.</incision>
+    <action>The appendix was removed.</action>
+    <observation>There were no complications.</observation>
+  </section>
+</report>
+"""
+
+
+@pytest.fixture(scope="module")
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document("book", BOOK)
+    engine.load_document("report", REPORT)
+    return engine
+
+
+class TestTreeUseCases:
+    def test_t1_table_of_contents_recursive(self, e):
+        """TREE Q1: a toc keeping only sections and their titles, with
+        nesting preserved — needs a recursive function."""
+        e.load_module(
+            """
+            declare function toc($section) {
+              <section>{
+                $section/title,
+                for $sub in $section/section return toc($sub)
+              }</section>
+            };
+            """
+        )
+        out = e.execute(
+            "<toc>{ for $s in $book/book/section return toc($s) }</toc>"
+        )
+        xml = out.serialize()
+        assert xml.count("<section>") == 5
+        assert xml.count("<title>") == 5
+        assert "<p>" not in xml and "figure" not in xml
+        # Nesting preserved: Base Types sits inside A Syntax For Data.
+        syntax = xml.index("A Syntax For Data")
+        base = xml.index("Base Types")
+        assert syntax < base
+
+    def test_t2_figure_list(self, e):
+        """TREE Q2: all figures with their titles, flattened."""
+        out = e.execute(
+            """<figlist>{
+                 for $f in $book//figure
+                 return <figure>{ $f/title }</figure>
+               }</figlist>"""
+        )
+        assert out.serialize().count("<figure>") == 3
+
+    def test_t3_counts(self, e):
+        """TREE Q3: how many sections and figures."""
+        assert e.execute("count($book//section)").first_value() == 5
+        assert e.execute("count($book//figure)").first_value() == 3
+
+    def test_t4_top_level_section_titles(self, e):
+        out = e.execute("$book/book/section/title/string()").values()
+        assert out == ["Introduction", "A Syntax For Data"]
+
+    def test_t5_sections_with_figures(self, e):
+        """Sections (at any depth) that directly contain a figure."""
+        out = e.execute(
+            "$book//section[figure]/title[1]/string()"
+        ).values()
+        assert out == [
+            "Web Data and the Two Cultures",
+            "A Syntax For Data",
+            "Representing Relational Databases",
+        ]
+
+    def test_t6_depth_via_recursion(self, e):
+        e.load_module(
+            """
+            declare function depth($node) {
+              if (empty($node/*)) then 1
+              else 1 + max(for $c in $node/* return depth($c))
+            };
+            """
+        )
+        # document -> book -> section -> section -> figure -> title
+        assert e.execute("depth($book)").first_value() == 6
+        assert e.execute("depth($book/book)").first_value() == 5
+
+
+class TestSeqUseCases:
+    def test_s1_actions_between_incisions(self, e):
+        """SEQ Q1: actions after the first and before the second incision."""
+        out = e.execute(
+            """let $i1 := ($report//incision)[1]
+               let $i2 := ($report//incision)[2]
+               for $a in $report//action
+               where $a >> $i1 and $a << $i2
+               return string($a)"""
+        )
+        assert out.values() == ["The gallbladder was removed."]
+
+    def test_s2_everything_after_second_incision(self, e):
+        out = e.execute(
+            """let $i2 := ($report//incision)[2]
+               for $n in $report//section/*
+               where $n >> $i2
+               return name($n)"""
+        )
+        assert out.values() == ["action", "observation"]
+
+    def test_s3_first_action_after_anesthesia(self, e):
+        out = e.execute(
+            """let $an := exactly-one($report//anesthesia)
+               return string(($report//action[. >> $an])[1])"""
+        )
+        assert out.first_value() == "The gallbladder was removed."
+
+    def test_s4_order_operators_consistent_with_position(self, e):
+        assert e.execute(
+            """every $x in $report//section/*, $y in $report//section/*
+               satisfies (($x << $y) or ($y << $x) or ($x is $y))"""
+        ).first_value() is True

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh engine with an empty store."""
+    return Engine()
+
+
+@pytest.fixture
+def library_engine() -> Engine:
+    """An engine with a small library document bound to $doc."""
+    e = Engine()
+    e.load_document(
+        "doc",
+        """<library>
+             <book year="2006" id="b1"><title>XQuery!</title><pages>13</pages></book>
+             <book year="2002" id="b2"><title>XMark</title><pages>12</pages></book>
+             <book year="1997" id="b3"><title>SML</title><pages>114</pages></book>
+           </library>""",
+    )
+    return e
+
+
+@pytest.fixture(scope="session")
+def small_auction_xml() -> str:
+    """A small deterministic XMark-style document (shared, read-only)."""
+    return generate_auction_xml(
+        XMarkConfig(persons=30, items=20, open_auctions=10, closed_auctions=40)
+    )
+
+
+@pytest.fixture
+def auction_engine(small_auction_xml: str) -> Engine:
+    """An engine with the small auction doc plus $purchasers and $log."""
+    e = Engine()
+    e.load_document("auction", small_auction_xml)
+    e.bind("purchasers", e.parse_fragment("<purchasers/>"))
+    e.bind("log", e.parse_fragment("<log/>"))
+    return e
+
+
+def run(engine: Engine, query: str):
+    """Execute and return the result items."""
+    return engine.execute(query).items
+
+
+def val(engine: Engine, query: str):
+    """Execute and return the first item's Python value."""
+    return engine.execute(query).first_value()
+
+
+def xml(engine: Engine, query: str) -> str:
+    """Execute and serialize."""
+    return engine.execute(query).serialize()

@@ -1,0 +1,108 @@
+"""Tests for the library-module system (import module namespace)."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import DynamicError
+
+MATH = """
+module namespace math = "urn:math";
+declare variable $math:pi := 3.14159;
+declare function math:square($x) { $x * $x };
+declare function math:cube($x) { $x * math:square($x) };
+"""
+
+LOGLIB = """
+module namespace lg = "urn:log";
+declare function lg:log($msg) {
+  insert { <entry>{ $msg }</entry> } into { $journal }
+};
+"""
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.register_module("urn:math", MATH)
+    engine.register_module("urn:log", LOGLIB)
+    engine.bind("journal", engine.parse_fragment("<journal/>"))
+    return engine
+
+
+class TestImports:
+    def test_functions_under_import_prefix(self, e):
+        out = e.execute(
+            'import module namespace m = "urn:math"; m:square(5)'
+        )
+        assert out.first_value() == 25
+
+    def test_library_internal_calls(self, e):
+        out = e.execute('import module namespace m = "urn:math"; m:cube(3)')
+        assert out.first_value() == 27
+
+    def test_library_variables(self, e):
+        out = e.execute('import module namespace m = "urn:math"; $m:pi')
+        assert float(out.first_value()) == pytest.approx(3.14159)
+
+    def test_same_prefix_as_library(self, e):
+        out = e.execute(
+            'import module namespace math = "urn:math"; math:square(2)'
+        )
+        assert out.first_value() == 4
+
+    def test_at_location_hint_accepted(self, e):
+        out = e.execute(
+            'import module namespace m = "urn:math" at "math.xq"; m:square(2)'
+        )
+        assert out.first_value() == 4
+
+    def test_unknown_uri_raises(self, e):
+        with pytest.raises(DynamicError):
+            e.execute('import module namespace x = "urn:nope"; 1')
+
+    def test_import_in_load_module(self, e):
+        e.load_module(
+            'import module namespace m = "urn:math";'
+            "declare function area($r) { $m:pi * m:square($r) };"
+        )
+        assert float(e.execute("area(1)").first_value()) == pytest.approx(3.14159)
+
+    def test_updating_library_function(self, e):
+        e.execute('import module namespace l = "urn:log"; l:log("hello")')
+        assert e.execute("string($journal/entry)").first_value() == "hello"
+
+    def test_library_loaded_once(self, e):
+        e.execute('import module namespace m = "urn:math"; $m:pi')
+        e.execute('import module namespace m2 = "urn:math"; $m2:pi')
+        # Only one copy of the library state exists.
+        assert len(e._loaded_modules) == 1
+
+    def test_transitive_imports(self, e):
+        e.register_module(
+            "urn:geom",
+            """
+            module namespace geom = "urn:geom";
+            import module namespace m = "urn:math";
+            declare function geom:circle-area($r) { $m:pi * m:square($r) };
+            """,
+        )
+        out = e.execute(
+            'import module namespace g = "urn:geom"; g:circle-area(2)'
+        )
+        assert float(out.first_value()) == pytest.approx(4 * 3.14159)
+
+    def test_circular_import_detected(self, e):
+        e.register_module(
+            "urn:a",
+            'module namespace a = "urn:a";'
+            'import module namespace b = "urn:b";'
+            "declare function a:f() { 1 };",
+        )
+        e.register_module(
+            "urn:b",
+            'module namespace b = "urn:b";'
+            'import module namespace a = "urn:a";'
+            "declare function b:f() { 1 };",
+        )
+        with pytest.raises(DynamicError):
+            e.execute('import module namespace a = "urn:a"; a:f()')

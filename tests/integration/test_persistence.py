@@ -1,0 +1,131 @@
+"""Tests for engine-state persistence (save/load round trips)."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import XQueryError
+from repro.persist import load_engine, save_engine
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "auction.db.json")
+
+
+def build_engine() -> Engine:
+    engine = Engine()
+    engine.load_document("doc", "<shop><item id='1'>tea</item></shop>")
+    engine.bind("log", engine.parse_fragment("<log/>"))
+    engine.bind("threshold", 5)
+    engine.bind("label", "prod")
+    engine.register_module(
+        "urn:lib",
+        'module namespace lib = "urn:lib";'
+        "declare function lib:tag() { 'v1' };",
+    )
+    return engine
+
+
+class TestRoundTrip:
+    def test_documents_survive(self, db_path):
+        save_engine(build_engine(), db_path)
+        engine = load_engine(db_path)
+        assert engine.execute("string($doc//item)").first_value() == "tea"
+        assert engine.execute("doc-available('doc')").first_value() is True
+
+    def test_atomic_bindings_survive(self, db_path):
+        save_engine(build_engine(), db_path)
+        engine = load_engine(db_path)
+        assert engine.execute("$threshold + 1").first_value() == 6
+        assert engine.execute("$label").first_value() == "prod"
+
+    def test_updates_before_save_survive(self, db_path):
+        original = build_engine()
+        original.execute("snap insert { <item id='2'>jam</item> } into { $doc/shop }")
+        save_engine(original, db_path)
+        engine = load_engine(db_path)
+        assert engine.execute("count($doc//item)").first_value() == 2
+
+    def test_detached_subtrees_survive(self, db_path):
+        original = build_engine()
+        original.execute(
+            "declare variable $orphan := exactly-one($doc//item);"
+            "snap delete { $orphan }"
+        )
+        save_engine(original, db_path)
+        engine = load_engine(db_path)
+        # $orphan is still bound, still detached, still queryable.
+        assert engine.execute("string($orphan)").first_value() == "tea"
+        assert engine.execute("empty($orphan/..)").first_value() is True
+        assert engine.execute("count($doc//item)").first_value() == 0
+
+    def test_registered_modules_survive(self, db_path):
+        save_engine(build_engine(), db_path)
+        engine = load_engine(db_path)
+        out = engine.execute('import module namespace l = "urn:lib"; l:tag()')
+        assert out.first_value() == "v1"
+
+    def test_updates_after_load_work(self, db_path):
+        save_engine(build_engine(), db_path)
+        engine = load_engine(db_path)
+        engine.execute("snap insert { <entry/> } into { $log }")
+        assert engine.execute("count($log/entry)").first_value() == 1
+        engine.store.check_invariants()
+
+    def test_node_ids_do_not_collide_after_load(self, db_path):
+        save_engine(build_engine(), db_path)
+        engine = load_engine(db_path)
+        before = set(engine.store.node_ids())
+        engine.execute("<fresh/>")
+        new = set(engine.store.node_ids()) - before
+        assert new and all(nid not in before for nid in new)
+
+    def test_settings_survive(self, db_path):
+        original = Engine(
+            default_semantics="conflict-detection", atomic_snaps=True
+        )
+        save_engine(original, db_path)
+        engine = load_engine(db_path)
+        assert engine.default_semantics.value == "conflict-detection"
+        assert engine.evaluator.atomic_snaps is True
+
+    def test_counter_state_survives(self, db_path):
+        original = build_engine()
+        original.load_module(
+            "declare variable $d := element counter { 0 };"
+            "declare function nextid() {"
+            " snap { replace { $d/text() } with { $d + 1 }, $d } };"
+        )
+        original.execute("nextid()")
+        original.execute("nextid()")
+        save_engine(original, db_path)
+        engine = load_engine(db_path)
+        # The counter element is persisted with its state; the function
+        # must be re-declared (functions are code, not data).
+        engine.load_module(
+            "declare function nextid() {"
+            " snap { replace { $d/text() } with { $d + 1 }, $d } };"
+        )
+        assert engine.execute("data(nextid())").strings() == ["3"]
+
+
+class TestFormatValidation:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(XQueryError):
+            load_engine(str(path))
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format": "repro-xquerybang-db", "version": 999}'
+        )
+        with pytest.raises(XQueryError):
+            load_engine(str(path))
+
+    def test_atomic_write(self, db_path, tmp_path):
+        save_engine(build_engine(), db_path)
+        import os
+
+        assert not os.path.exists(db_path + ".tmp")

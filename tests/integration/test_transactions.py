@@ -1,0 +1,78 @@
+"""Tests for the engine-level transaction API."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import DynamicError
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.bind("table", engine.parse_fragment("<table><row id='0'/></table>"))
+    return engine
+
+
+class TestCommit:
+    def test_successful_transaction_persists(self, e):
+        with e.transaction():
+            e.execute("snap insert { <row id='1'/> } into { $table }")
+            e.execute("snap insert { <row id='2'/> } into { $table }")
+        assert e.execute("count($table/row)").first_value() == 3
+
+    def test_nested_reads_see_writes(self, e):
+        with e.transaction():
+            e.execute("snap insert { <row id='1'/> } into { $table }")
+            count = e.execute("count($table/row)").first_value()
+            assert count == 2
+
+
+class TestRollback:
+    def test_exception_rolls_back_store(self, e):
+        with pytest.raises(DynamicError):
+            with e.transaction():
+                e.execute("snap insert { <row id='1'/> } into { $table }")
+                e.execute("error('boom')")
+        assert e.execute("count($table/row)").first_value() == 1
+
+    def test_rollback_restores_globals(self, e):
+        with pytest.raises(RuntimeError):
+            with e.transaction():
+                e.execute("declare variable $temp := 99; $temp")
+                e.bind("table", None)  # clobber a binding
+                raise RuntimeError("abort")
+        # Both the declared variable and the clobbered binding roll back.
+        assert "temp" not in e.evaluator.globals
+        assert e.execute("count($table/row)").first_value() == 1
+
+    def test_rollback_restores_renames_and_deletes(self, e):
+        with pytest.raises(RuntimeError):
+            with e.transaction():
+                e.execute('snap rename { $table/row } to { "tuple" }')
+                e.execute("snap delete { $table/tuple }")
+                raise RuntimeError("abort")
+        assert e.execute("count($table/row)").first_value() == 1
+        e.store.check_invariants()
+
+    def test_python_exception_propagates(self, e):
+        with pytest.raises(ZeroDivisionError):
+            with e.transaction():
+                1 / 0
+
+    def test_sequential_transactions_independent(self, e):
+        with pytest.raises(RuntimeError):
+            with e.transaction():
+                e.execute("snap insert { <row id='x'/> } into { $table }")
+                raise RuntimeError
+        with e.transaction():
+            e.execute("snap insert { <row id='y'/> } into { $table }")
+        rows = e.execute("$table/row/@id").strings()
+        assert rows == ["0", "y"]
+
+    def test_queries_after_rollback_work(self, e):
+        with pytest.raises(RuntimeError):
+            with e.transaction():
+                e.execute("snap delete { $table/row }")
+                raise RuntimeError
+        # The restored handles still resolve.
+        assert e.execute("string($table/row/@id)").first_value() == "0"

@@ -1,0 +1,167 @@
+"""E1 — Fig. 1 grammar conformance.
+
+Every production of the paper's XQuery! grammar (Appendix A) must parse to
+the expected surface AST shape, including the snap-prefixed abbreviations
+("snap insert{}into{} abbreviates snap{insert{}into{}}").
+"""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+class TestDeleteExpr:
+    def test_delete(self):
+        e = parse("delete { $x }")
+        assert isinstance(e, ast.DeleteExpr) and not e.snap
+
+    def test_snap_delete(self):
+        e = parse("snap delete { $x }")
+        assert isinstance(e, ast.DeleteExpr) and e.snap
+
+
+class TestInsertExpr:
+    def test_insert_into(self):
+        e = parse("insert { <a/> } into { $x }")
+        assert isinstance(e, ast.InsertExpr)
+        assert e.position == "into" and not e.snap
+
+    def test_insert_as_first_into(self):
+        e = parse("insert { <a/> } as first into { $x }")
+        assert e.position == "first"
+
+    def test_insert_as_last_into(self):
+        e = parse("insert { <a/> } as last into { $x }")
+        assert e.position == "last"
+
+    def test_insert_before(self):
+        e = parse("insert { <a/> } before { $x }")
+        assert e.position == "before"
+
+    def test_insert_after(self):
+        e = parse("insert { <a/> } after { $x }")
+        assert e.position == "after"
+
+    def test_snap_insert(self):
+        e = parse("snap insert { <a/> } into { $x }")
+        assert isinstance(e, ast.InsertExpr) and e.snap
+
+
+class TestReplaceExpr:
+    def test_replace(self):
+        e = parse("replace { $x } with { <a/> }")
+        assert isinstance(e, ast.ReplaceExpr) and not e.snap
+
+    def test_snap_replace(self):
+        e = parse("snap replace { $x } with { <a/> }")
+        assert e.snap
+
+
+class TestRenameExpr:
+    def test_rename(self):
+        e = parse('rename { $x } to { "newname" }')
+        assert isinstance(e, ast.RenameExpr) and not e.snap
+
+    def test_snap_rename(self):
+        e = parse('snap rename { $x } to { "n" }')
+        assert e.snap
+
+    def test_rename_computed_name(self):
+        e = parse("rename { $x } to { concat('a', 'b') }")
+        assert isinstance(e.name, ast.FunctionCall)
+
+
+class TestCopyExpr:
+    def test_copy(self):
+        e = parse("copy { $x }")
+        assert isinstance(e, ast.CopyExpr)
+
+    def test_copy_composes(self):
+        e = parse("count(copy { $x/item })")
+        assert isinstance(e, ast.FunctionCall)
+        assert isinstance(e.args[0], ast.CopyExpr)
+
+
+class TestSnapExpr:
+    def test_plain_snap(self):
+        e = parse("snap { $x }")
+        assert isinstance(e, ast.SnapExpr) and e.mode is None
+
+    def test_snap_ordered(self):
+        e = parse("snap ordered { $x }")
+        assert e.mode == "ordered"
+
+    def test_snap_nondeterministic(self):
+        e = parse("snap nondeterministic { $x }")
+        assert e.mode == "nondeterministic"
+
+    def test_snap_conflict_detection(self):
+        e = parse("snap conflict-detection { $x }")
+        assert e.mode == "conflict-detection"
+
+    def test_nested_snap(self):
+        e = parse("snap { snap { $x } }")
+        assert isinstance(e.body, ast.SnapExpr)
+
+    def test_snap_of_sequence(self):
+        e = parse("snap { insert {<a/>} into {$x}, $x }")
+        assert isinstance(e.body, ast.SequenceExpr)
+
+
+class TestKeywordsRemainUsableAsNames:
+    """XQuery has no reserved words: the new keywords must still parse as
+    element names in paths (compositionality of the grammar extension)."""
+
+    @pytest.mark.parametrize(
+        "word", ["snap", "insert", "delete", "replace", "rename", "copy"]
+    )
+    def test_keyword_as_path_step(self, word):
+        e = parse(f"$doc/{word}")
+        assert isinstance(e, ast.PathExpr)
+        assert isinstance(e.step, ast.AxisStep)
+        assert e.step.test.name == word
+
+    def test_snap_child_standalone(self):
+        # 'snap' not followed by '{' or an update keyword is a name test.
+        e = parse("snap[1]")
+        assert isinstance(e, ast.AxisStep)
+        assert e.test.name == "snap"
+
+    def test_delete_function_like_element(self):
+        # 'delete' followed by parens is a function call, not an update.
+        e = parse("delete($x)")
+        assert isinstance(e, ast.FunctionCall)
+
+
+class TestUpdateComposability:
+    """Updates are ExprSingle: they compose anywhere expressions do."""
+
+    def test_update_in_sequence(self):
+        e = parse("(insert {<a/>} into {$x}, $x)")
+        assert isinstance(e, ast.SequenceExpr)
+        assert isinstance(e.items[0], ast.InsertExpr)
+
+    def test_update_in_function_args(self):
+        e = parse("count((delete { $x }, $y))")
+        assert isinstance(e, ast.FunctionCall)
+
+    def test_update_in_flwor_return(self):
+        e = parse("for $i in $s return insert { $i } into { $t }")
+        assert isinstance(e, ast.FLWORExpr)
+        assert isinstance(e.ret, ast.InsertExpr)
+
+    def test_update_in_if_branch(self):
+        e = parse("if ($c) then delete { $x } else ()")
+        assert isinstance(e.then, ast.DeleteExpr)
+
+    def test_update_in_let_body(self):
+        e = parse("let $v := $x return replace { $v } with { <n/> }")
+        assert isinstance(e, ast.FLWORExpr)
+        assert isinstance(e.ret, ast.ReplaceExpr)
+
+    def test_snap_in_where_clause(self):
+        e = parse(
+            "for $i in $s where snap { exists($i) } return $i"
+        )
+        assert isinstance(e.where, ast.SnapExpr)

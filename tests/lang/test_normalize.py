@@ -1,0 +1,153 @@
+"""Unit tests for normalization to the core language (Section 3.3).
+
+Includes E12: the implicit-copy insertion rule for insert/replace.
+"""
+
+from repro.lang import core_ast as core
+from repro.lang.normalize import normalize, normalize_module
+from repro.lang.parser import parse, parse_module
+from repro.xdm.values import XS_INTEGER, XS_STRING
+
+
+def norm(text: str) -> core.CoreExpr:
+    return normalize(parse(text))
+
+
+class TestCopyInsertionRule:
+    """E12 — the paper's only non-trivial normalization rule:
+    [insert {E1} into {E2}] == insert {copy{[E1]}} as last into {[E2]}."""
+
+    def test_insert_source_wrapped_in_copy(self):
+        e = norm("insert { $a } into { $b }")
+        assert isinstance(e, core.CInsert)
+        assert isinstance(e.source, core.CCopy)
+        assert isinstance(e.source.source, core.CVar)
+
+    def test_into_canonicalized_to_last(self):
+        assert norm("insert { $a } into { $b }").position == "last"
+        assert norm("insert { $a } as last into { $b }").position == "last"
+        assert norm("insert { $a } as first into { $b }").position == "first"
+        assert norm("insert { $a } before { $b }").position == "before"
+        assert norm("insert { $a } after { $b }").position == "after"
+
+    def test_replace_source_wrapped_in_copy(self):
+        e = norm("replace { $a } with { $b }")
+        assert isinstance(e, core.CReplace)
+        assert isinstance(e.source, core.CCopy)
+        assert isinstance(e.target, core.CVar)  # target NOT copied
+
+    def test_delete_and_rename_not_copied(self):
+        d = norm("delete { $a }")
+        assert isinstance(d.target, core.CVar)
+        r = norm('rename { $a } to { "n" }')
+        assert isinstance(r.target, core.CVar)
+
+    def test_explicit_copy_not_doubled(self):
+        e = norm("insert { copy { $a } } into { $b }")
+        # normalization adds its own copy around the (explicit) copy;
+        # harmless but must preserve the user's copy inside.
+        assert isinstance(e.source, core.CCopy)
+        assert isinstance(e.source.source, core.CCopy)
+
+
+class TestSnapSugar:
+    def test_snap_insert_expands(self):
+        e = norm("snap insert { $a } into { $b }")
+        assert isinstance(e, core.CSnap) and e.mode is None
+        assert isinstance(e.body, core.CInsert)
+
+    def test_snap_delete_replace_rename_expand(self):
+        assert isinstance(norm("snap delete { $a }").body, core.CDelete)
+        assert isinstance(norm("snap replace {$a} with {$b}").body, core.CReplace)
+        assert isinstance(norm('snap rename {$a} to {"n"}').body, core.CRename)
+
+    def test_snap_modes_preserved(self):
+        assert norm("snap ordered { 1 }").mode == "ordered"
+        assert norm("snap nondeterministic { 1 }").mode == "nondeterministic"
+        assert norm("snap conflict-detection { 1 }").mode == "conflict-detection"
+
+
+class TestFLWORLowering:
+    def test_for_where_becomes_if(self):
+        e = norm("for $x in $s where $x > 1 return $x")
+        assert isinstance(e, core.CFor)
+        assert isinstance(e.body, core.CIf)
+        assert isinstance(e.body.orelse, core.CEmpty)
+
+    def test_clause_nesting_order(self):
+        e = norm("for $a in $s let $b := $a for $c in $b return $c")
+        assert isinstance(e, core.CFor) and e.var == "a"
+        assert isinstance(e.body, core.CLet) and e.body.var == "b"
+        assert isinstance(e.body.body, core.CFor) and e.body.body.var == "c"
+
+    def test_order_by_kept_whole(self):
+        e = norm("for $x in $s order by $x return $x")
+        assert isinstance(e, core.COrderedFLWOR)
+        assert len(e.specs) == 1
+
+    def test_position_var_preserved(self):
+        e = norm("for $x at $i in $s return $i")
+        assert e.position_var == "i"
+
+
+class TestConstructorLowering:
+    def test_direct_element_to_computed(self):
+        e = norm('<a x="1">text{$v}<b/></a>')
+        assert isinstance(e, core.CElem) and e.name == "a"
+        attr, text, var, child = e.content
+        assert isinstance(attr, core.CAttr) and attr.parts == ["1"]
+        assert isinstance(text, core.CText)
+        assert isinstance(var, core.CVar)
+        assert isinstance(child, core.CElem) and child.name == "b"
+
+    def test_avt_parts(self):
+        e = norm('<a x="p{$v}s"/>')
+        [attr] = e.content
+        assert attr.parts[0] == "p"
+        assert isinstance(attr.parts[1], core.CVar)
+        assert attr.parts[2] == "s"
+
+    def test_literals_typed(self):
+        assert norm("42").value.type == XS_INTEGER
+        assert norm('"x"').value.type == XS_STRING
+
+
+class TestModuleNormalization:
+    def test_declarations_and_body(self):
+        m = normalize_module(
+            parse_module(
+                "declare variable $v := 1;"
+                "declare function f($x) { $x };"
+                "f($v)"
+            )
+        )
+        var, fun = m.declarations
+        assert isinstance(var, core.CVarDecl) and var.name == "v"
+        assert isinstance(fun, core.CFunction) and fun.params == ["x"]
+        assert isinstance(m.body, core.CCall)
+
+    def test_external_variable(self):
+        m = normalize_module(parse_module("declare variable $x external; 1"))
+        assert m.declarations[0].expr is None
+
+
+class TestChildExprsTraversal:
+    def test_child_exprs_covers_every_node(self):
+        # A query touching most constructs; walking it must terminate and
+        # reach all leaves.
+        e = norm(
+            """
+            for $x in (1 to 10)[. mod 2 eq 0]
+            let $y := <a b="{$x}">{ $x + 1 }</a>
+            return snap { insert { $y } into { $t },
+                          if ($x > 5) then delete { $t/a } else (),
+                          some $q in $t/* satisfies $q is $y }
+            """
+        )
+        seen = 0
+        stack = [e]
+        while stack:
+            node = stack.pop()
+            seen += 1
+            stack.extend(core.child_exprs(node))
+        assert seen > 20

@@ -1,0 +1,310 @@
+"""Unit tests for the general XQuery parser (beyond the Fig. 1 grammar)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse, parse_module
+
+
+class TestLiteralsAndPrimaries:
+    def test_integer(self):
+        assert isinstance(parse("42"), ast.IntegerLit)
+
+    def test_decimal_and_double(self):
+        assert isinstance(parse("3.14"), ast.DecimalLit)
+        assert isinstance(parse("1e3"), ast.DoubleLit)
+
+    def test_string(self):
+        e = parse('"hi"')
+        assert isinstance(e, ast.StringLit) and e.value == "hi"
+
+    def test_variable(self):
+        e = parse("$auction")
+        assert isinstance(e, ast.VarRef) and e.name == "auction"
+
+    def test_empty_sequence(self):
+        assert isinstance(parse("()"), ast.EmptySequence)
+
+    def test_context_item(self):
+        assert isinstance(parse("."), ast.ContextItem)
+
+    def test_parenthesized(self):
+        assert isinstance(parse("(1 + 2) * 3"), ast.Arith)
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_comparison_over_arithmetic(self):
+        e = parse("1 + 2 = 3")
+        assert isinstance(e, ast.Comparison)
+
+    def test_and_over_or(self):
+        e = parse("$a or $b and $c")
+        assert e.op == "or" and e.right.op == "and"
+
+    def test_unary_minus(self):
+        e = parse("-$x + 1")
+        assert e.op == "+" and isinstance(e.left, ast.Unary)
+
+    def test_range_expr(self):
+        e = parse("1 to 10")
+        assert isinstance(e, ast.RangeExpr)
+
+    def test_union(self):
+        e = parse("$a | $b union $c")
+        assert isinstance(e, ast.SetExpr)
+
+    def test_intersect_except(self):
+        assert parse("$a intersect $b").op == "intersect"
+        assert parse("$a except $b").op == "except"
+
+    def test_value_comparisons(self):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            e = parse(f"$a {op} $b")
+            assert e.style == "value" and e.op == op
+
+    def test_node_comparisons(self):
+        assert parse("$a is $b").op == "is"
+        assert parse("$a << $b").op == "precedes"
+        assert parse("$a >> $b").op == "follows"
+
+    def test_idiv_mod(self):
+        assert parse("7 idiv 2").op == "idiv"
+        assert parse("7 mod 2").op == "mod"
+
+
+class TestPaths:
+    def test_relative_path(self):
+        e = parse("$a/b/c")
+        assert isinstance(e, ast.PathExpr)
+        assert e.step.test.name == "c"
+
+    def test_descendant_abbreviation(self):
+        e = parse("$a//person")
+        # $a / descendant-or-self::node() / child::person
+        assert e.step.test.name == "person"
+        inner = e.base
+        assert inner.step.axis == "descendant-or-self"
+
+    def test_attribute_abbreviation(self):
+        e = parse("$a/@id")
+        assert e.step.axis == "attribute"
+        assert e.step.test.name == "id"
+
+    def test_parent_abbreviation(self):
+        e = parse("$a/..")
+        assert e.step.axis == "parent"
+
+    def test_explicit_axes(self):
+        for axis in (
+            "child", "descendant", "self", "parent", "ancestor",
+            "following-sibling", "preceding-sibling", "descendant-or-self",
+            "ancestor-or-self", "following", "preceding",
+        ):
+            e = parse(f"$a/{axis}::node()")
+            assert e.step.axis == axis
+
+    def test_wildcard(self):
+        e = parse("$a/*")
+        assert e.step.test.name == "*"
+
+    def test_kind_tests(self):
+        assert parse("$a/text()").step.test.kind == "text"
+        assert parse("$a/node()").step.test.kind == "node"
+        assert parse("$a/comment()").step.test.kind == "comment"
+        assert parse("$a/element(b)").step.test == ast.NodeTest("element", "b")
+
+    def test_rooted_path(self):
+        e = parse("/site/people")
+        assert isinstance(e, ast.PathExpr)
+        base = e.base.base
+        assert isinstance(base, ast.RootExpr)
+
+    def test_leading_descendant(self):
+        e = parse("//person")
+        assert e.step.test.name == "person"
+
+    def test_predicates_on_step(self):
+        e = parse("$a/b[1][@x = 2]")
+        assert len(e.step.predicates) == 2
+
+    def test_predicate_on_primary(self):
+        e = parse("(1,2,3)[2]")
+        assert isinstance(e, ast.FilterExpr)
+
+    def test_path_from_function_call(self):
+        e = parse("root($x)/a")
+        assert isinstance(e.base, ast.FunctionCall)
+
+
+class TestFLWOR:
+    def test_multiple_clauses(self):
+        e = parse(
+            "for $a in $x, $b in $y let $c := $z where $a return $c"
+        )
+        assert isinstance(e, ast.FLWORExpr)
+        assert [type(c).__name__ for c in e.clauses] == [
+            "ForClause", "ForClause", "LetClause",
+        ]
+        assert e.where is not None
+
+    def test_positional_variable(self):
+        e = parse("for $i at $p in $s return $p")
+        assert e.clauses[0].position_var == "p"
+
+    def test_order_by(self):
+        e = parse("for $i in $s order by $i/name descending, $i/@id return $i")
+        assert len(e.order_by) == 2
+        assert e.order_by[0].descending is True
+        assert e.order_by[1].descending is False
+
+    def test_stable_order_by_empty_handling(self):
+        e = parse(
+            "for $i in $s stable order by $i empty least return $i"
+        )
+        assert e.stable is True
+        assert e.order_by[0].empty_least is True
+
+    def test_quantified(self):
+        e = parse("some $x in $s, $y in $t satisfies $x eq $y")
+        assert isinstance(e, ast.QuantifiedExpr)
+        assert e.kind == "some" and len(e.bindings) == 2
+        assert parse("every $x in $s satisfies $x").kind == "every"
+
+
+class TestConstructors:
+    def test_direct_empty(self):
+        e = parse("<a/>")
+        assert isinstance(e, ast.DirectElement) and e.name == "a"
+
+    def test_direct_attributes_literal(self):
+        e = parse('<a x="1" y=\'2\'/>')
+        assert [a.name for a in e.attributes] == ["x", "y"]
+        assert e.attributes[0].content.parts == ["1"]
+
+    def test_attribute_value_template(self):
+        e = parse('<a x="pre{$v}post"/>')
+        parts = e.attributes[0].content.parts
+        assert parts[0] == "pre" and isinstance(parts[1], ast.VarRef)
+        assert parts[2] == "post"
+
+    def test_attribute_brace_escape(self):
+        e = parse('<a x="{{literal}}"/>')
+        assert e.attributes[0].content.parts == ["{literal}"]
+
+    def test_content_text_and_enclosed(self):
+        e = parse("<a>hello {$x} bye</a>")
+        assert e.content[0] == "hello "
+        assert isinstance(e.content[1], ast.VarRef)
+
+    def test_nested_elements(self):
+        e = parse("<a><b>{1}</b><c/></a>")
+        assert isinstance(e.content[0], ast.DirectElement)
+        assert e.content[1].name == "c"
+
+    def test_boundary_whitespace_stripped(self):
+        e = parse("<a>\n  <b/>\n</a>")
+        assert all(not isinstance(c, str) for c in e.content)
+
+    def test_entities_in_content(self):
+        e = parse("<a>&amp;&#65;</a>")
+        assert e.content == ["&A"]
+
+    def test_computed_element_literal_name(self):
+        e = parse("element counter { 0 }")
+        assert isinstance(e, ast.CompElement) and e.name == "counter"
+
+    def test_computed_element_name_expr(self):
+        e = parse("element { concat('a','b') } { () }")
+        assert isinstance(e.name, ast.FunctionCall)
+
+    def test_computed_attribute_text_comment(self):
+        assert isinstance(parse('attribute id { "1" }'), ast.CompAttribute)
+        assert isinstance(parse('text { "x" }'), ast.CompText)
+        assert isinstance(parse('comment { "c" }'), ast.CompComment)
+        assert isinstance(parse('document { <a/> }'), ast.CompDocument)
+
+    def test_element_still_a_name_in_paths(self):
+        e = parse("$x/element")
+        assert e.step.test.name == "element"
+
+    def test_mismatched_end_tag(self):
+        with pytest.raises(ParseError):
+            parse("<a></b>")
+
+
+class TestIfExpr:
+    def test_if_then_else(self):
+        e = parse("if ($c) then 1 else 2")
+        assert isinstance(e, ast.IfExpr)
+
+    def test_if_requires_else(self):
+        with pytest.raises(ParseError):
+            parse("if ($c) then 1")
+
+
+class TestModules:
+    def test_variable_declaration(self):
+        m = parse_module("declare variable $x := 42; $x")
+        assert isinstance(m.declarations[0], ast.VarDecl)
+        assert m.body is not None
+
+    def test_external_variable(self):
+        m = parse_module("declare variable $x external; $x")
+        assert m.declarations[0].expr is None
+
+    def test_function_declaration_with_types(self):
+        m = parse_module(
+            "declare function f($a as xs:integer, $b) as item()* { $a + $b };"
+        )
+        [f] = m.declarations
+        assert f.name == "f"
+        assert f.params[0].type_ == "xs:integer"
+        assert f.return_type == "item()*"
+        assert m.body is None
+
+    def test_xquery_version_skipped(self):
+        m = parse_module('xquery version "1.0"; 1')
+        assert m.body is not None
+
+    def test_unknown_declare_skipped(self):
+        m = parse_module("declare boundary-space preserve; 1")
+        assert m.body is not None
+
+    def test_library_module_decl_skipped(self):
+        m = parse_module(
+            'module namespace ws = "http://example.com/ws";'
+            "declare function ws:f() { 1 };"
+        )
+        assert m.declarations[0].name == "ws:f"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1 +",
+            "for $x return $x",      # missing 'in'
+            "insert { $a } { $b }",  # missing location keyword
+            "snap { }",              # empty snap body
+            "let $x = 1 return $x",  # '=' instead of ':='
+            "(1, )",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_bare_dollar_is_a_static_error(self):
+        from repro.errors import StaticError
+
+        with pytest.raises(StaticError):
+            parse("$")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("1 1")

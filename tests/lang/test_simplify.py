@@ -1,0 +1,121 @@
+"""Tests for core-to-core simplification (the // collapse rewrite)."""
+
+import pytest
+
+from repro import Engine
+from repro.lang import core_ast as core
+from repro.lang.normalize import normalize
+from repro.lang.parser import parse
+from repro.lang.simplify import simplify, transform
+
+
+def simplified(text: str) -> core.CoreExpr:
+    return simplify(normalize(parse(text)))
+
+
+class TestDescendantCollapse:
+    def test_collapses_predicate_free_step(self):
+        expr = simplified("$doc//person")
+        assert isinstance(expr, core.CPath)
+        assert isinstance(expr.step, core.CAxisStep)
+        assert expr.step.axis == "descendant"
+        assert expr.step.test.name == "person"
+        # The intermediate descendant-or-self::node() is gone.
+        assert isinstance(expr.base, core.CVar)
+
+    def test_predicate_blocks_collapse(self):
+        # //para[1] means "first para child of each descendant"; the
+        # rewrite must NOT change it.
+        expr = simplified("$doc//para[1]")
+        assert isinstance(expr.step, core.CAxisStep)
+        assert expr.step.axis == "child"
+        inner = expr.base
+        assert isinstance(inner.step, core.CAxisStep)
+        assert inner.step.axis == "descendant-or-self"
+
+    def test_kind_test_collapses_too(self):
+        # descendant-or-self::node()/child::text() == descendant::text()
+        # (valid for any predicate-free child step).
+        expr = simplified("$doc//text()")
+        assert expr.step.axis == "descendant"
+        assert expr.step.test.kind == "text"
+
+    def test_nested_collapse(self):
+        expr = simplified("$doc//a//b")
+        # both // collapse
+        assert expr.step.axis == "descendant"
+        assert expr.base.step.axis == "descendant"
+
+    def test_collapse_inside_flwor(self):
+        expr = simplified("for $p in $doc//person return $p")
+        assert isinstance(expr, core.CFor)
+        assert expr.source.step.axis == "descendant"
+
+
+class TestSemanticsPreserved:
+    @pytest.fixture
+    def e(self) -> Engine:
+        engine = Engine()
+        engine.load_document(
+            "doc",
+            '<r><s><para n="1"/><para n="2"/></s><s><para n="3"/></s></r>',
+        )
+        return engine
+
+    def test_descendant_results_identical(self, e):
+        assert e.execute("count($doc//para)").first_value() == 3
+
+    def test_positional_semantics_unchanged(self, e):
+        # //para[1]: first para of each s (2 results), NOT 1.
+        assert e.execute("count($doc//para[1])").first_value() == 2
+
+    def test_index_and_walk_agree(self, e):
+        with_index = e.execute("$doc//para/@n").strings()
+        e.evaluator.use_name_index = False
+        without_index = e.execute("$doc//para/@n").strings()
+        assert with_index == without_index == ["1", "2", "3"]
+
+    def test_index_respects_detached_subtrees(self, e):
+        e.execute(
+            "declare variable $s := exactly-one(($doc//s)[1]);"
+            "snap delete { $s }"
+        )
+        assert e.execute("$doc//para/@n").strings() == ["3"]
+        # The detached subtree is still queryable through its own root.
+        assert e.execute("count($s//para)").first_value() == 2
+
+    def test_index_sees_renames(self, e):
+        e.execute('snap rename { ($doc//para)[1] } to { "intro" }')
+        assert e.execute("count($doc//para)").first_value() == 2
+        assert e.execute("count($doc//intro)").first_value() == 1
+
+    def test_index_sees_constructed_elements(self, e):
+        e.execute("snap insert { <para n='9'/> } into { ($doc//s)[2] }")
+        assert e.execute("count($doc//para)").first_value() == 4
+
+
+class TestTransform:
+    def test_identity_returns_same_object(self):
+        expr = normalize(parse("for $x in (1,2) return $x + 1"))
+        assert transform(expr, lambda e: e) is expr
+
+    def test_rewrite_literals(self):
+        expr = normalize(parse("1 + 2"))
+
+        def bump(e):
+            if isinstance(e, core.CLiteral) and e.value.value == 1:
+                from repro.xdm.values import AtomicValue
+
+                return core.CLiteral(value=AtomicValue.integer(10))
+            return e
+
+        rewritten = transform(expr, bump)
+        assert rewritten.left.value.value == 10
+        assert rewritten.right.value.value == 2
+        assert expr.left.value.value == 1  # original untouched
+
+    def test_transform_traverses_ordered_flwor(self):
+        expr = normalize(parse("for $x in $s order by $x return $x"))
+        seen = []
+        transform(expr, lambda e: (seen.append(type(e).__name__), e)[1])
+        assert "CVar" in seen and "COrderedFLWOR" in seen

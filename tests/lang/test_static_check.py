@@ -1,0 +1,150 @@
+"""Tests for the static checker and the Section 5 updating-flag inference."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import UndefinedFunctionError, UndefinedVariableError
+from repro.lang.normalize import normalize_module
+from repro.lang.parser import parse_module
+from repro.lang.static_check import check_module, updating_flags
+from repro.semantics.functions import default_registry
+
+
+def check(text: str, globals_=frozenset()):
+    module = normalize_module(parse_module(text))
+    registry = default_registry()
+    for decl in module.declarations:
+        if hasattr(decl, "params"):
+            registry.register_user(decl)
+    check_module(module, registry, set(globals_))
+
+
+class TestVariableScoping:
+    def test_bound_variables_ok(self):
+        check("for $x in (1,2) let $y := $x return $x + $y")
+
+    def test_undefined_variable(self):
+        with pytest.raises(UndefinedVariableError):
+            check("$nope")
+
+    def test_globals_accepted(self):
+        check("$doc", globals_={"doc"})
+
+    def test_declared_variables_visible_later(self):
+        check("declare variable $v := 1; $v + 1")
+
+    def test_declaration_order_enforced(self):
+        with pytest.raises(UndefinedVariableError):
+            check("declare variable $a := $b; declare variable $b := 1; $a")
+
+    def test_function_params_in_scope(self):
+        check("declare function f($x) { $x * 2 }; f(1)")
+
+    def test_function_body_cannot_see_locals(self):
+        with pytest.raises(UndefinedVariableError):
+            check("declare function f() { $hidden }; let $hidden := 1 return f()")
+
+    def test_positional_var_in_scope(self):
+        check("for $x at $i in (1,2) return $i")
+
+    def test_quantifier_scoping(self):
+        check("some $q in (1,2) satisfies $q = 1")
+        with pytest.raises(UndefinedVariableError):
+            check("(some $q in (1,2) satisfies $q = 1) and $q = 1")
+
+    def test_order_by_scope(self):
+        check("for $x in (1,2) order by $x return $x")
+
+    def test_path_predicate_scope(self):
+        check("$doc//a[@id = $key]", globals_={"doc", "key"})
+        with pytest.raises(UndefinedVariableError):
+            check("$doc//a[@id = $key]", globals_={"doc"})
+
+    def test_update_operands_checked(self):
+        with pytest.raises(UndefinedVariableError):
+            check("insert { <a/> } into { $missing }")
+
+    def test_snap_body_checked(self):
+        with pytest.raises(UndefinedVariableError):
+            check("snap { $missing }")
+
+
+class TestFunctionResolution:
+    def test_builtin_ok(self):
+        check("count((1, 2))")
+
+    def test_unknown_function(self):
+        with pytest.raises(UndefinedFunctionError):
+            check("nope(1)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(UndefinedFunctionError):
+            check("declare function f($x) { $x }; f(1, 2)")
+
+    def test_forward_reference_allowed(self):
+        check(
+            "declare function a() { b() };"
+            "declare function b() { 1 };"
+            "a()"
+        )
+
+    def test_recursion_allowed(self):
+        check("declare function r($n) { if ($n) then r($n - 1) else 0 }; r(3)")
+
+
+class TestEngineIntegration:
+    def test_static_engine_rejects_typo_before_updates(self):
+        engine = Engine(static_checks=True)
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        with pytest.raises(UndefinedVariableError):
+            engine.execute("insert { <a/> } into { $x }, $typo")
+        # Crucially: the insert did NOT happen (check precedes evaluation).
+        assert engine.execute("count($x/a)").first_value() == 0
+
+    def test_default_engine_is_lazy(self):
+        engine = Engine()
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        with pytest.raises(UndefinedVariableError):
+            engine.execute("$typo")
+
+    def test_static_engine_accepts_valid(self):
+        engine = Engine(static_checks=True)
+        engine.bind("x", 2)
+        assert engine.execute("$x * 21").first_value() == 42
+
+    def test_load_module_checked(self):
+        engine = Engine(static_checks=True)
+        with pytest.raises(UndefinedVariableError):
+            engine.load_module("declare function f() { $missing };")
+
+
+class TestUpdatingFlags:
+    """Section 5: the 'updating flag' with monadic propagation."""
+
+    def registry(self, text: str):
+        registry = default_registry()
+        module = normalize_module(parse_module(text))
+        for decl in module.declarations:
+            if hasattr(decl, "params"):
+                registry.register_user(decl)
+        return registry
+
+    def test_flags(self):
+        registry = self.registry(
+            """
+            declare function pure($x) { $x + 1 };
+            declare function logit($v) { insert { <l/> } into { $log } };
+            declare function wrapper($v) { logit($v) };
+            declare function bump() { snap { delete { $d } } };
+            """
+        )
+        flags = {f.name: f for f in updating_flags(registry)}
+        assert not flags["pure"].updating and not flags["pure"].snapping
+        assert flags["logit"].updating and not flags["logit"].snapping
+        assert flags["wrapper"].updating  # monadic propagation
+        assert flags["bump"].snapping and not flags["bump"].updating
+
+    def test_arity_recorded(self):
+        registry = self.registry("declare function f($a, $b) { $a };")
+        [flag] = updating_flags(registry)
+        assert (flag.name, flag.arity) == ("f", 2)

@@ -1,0 +1,128 @@
+"""Property-based tests of the arithmetic semantics."""
+
+from decimal import Decimal
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import ArithmeticError_
+from repro.semantics.arithmetic import arithmetic
+from repro.xdm.compare import atomic_equal, compare_atomic
+from repro.xdm.values import XS_DECIMAL, XS_DOUBLE, XS_INTEGER, AtomicValue
+
+_ints = st.integers(min_value=-10**9, max_value=10**9).map(AtomicValue.integer)
+_decimals = st.decimals(
+    min_value=Decimal("-1e9"),
+    max_value=Decimal("1e9"),
+    allow_nan=False,
+    allow_infinity=False,
+    places=4,
+).map(AtomicValue.decimal)
+_doubles = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+).map(AtomicValue.double)
+_numbers = st.one_of(_ints, _decimals, _doubles)
+_exact = st.one_of(_ints, _decimals)
+
+
+class TestAlgebraicLaws:
+    @given(_numbers, _numbers)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_commutes(self, a, b):
+        assert atomic_equal(arithmetic("+", a, b), arithmetic("+", b, a))
+
+    @given(_numbers, _numbers)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert atomic_equal(arithmetic("*", a, b), arithmetic("*", b, a))
+
+    @given(_exact, _exact, _exact)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_addition_associates(self, a, b, c):
+        left = arithmetic("+", arithmetic("+", a, b), c)
+        right = arithmetic("+", a, arithmetic("+", b, c))
+        assert atomic_equal(left, right)
+
+    @given(_numbers)
+    @settings(max_examples=100, deadline=None)
+    def test_additive_identity(self, a):
+        assert atomic_equal(arithmetic("+", a, AtomicValue.integer(0)), a)
+
+    @given(_numbers)
+    @settings(max_examples=100, deadline=None)
+    def test_subtraction_self_is_zero(self, a):
+        result = arithmetic("-", a, a)
+        assert atomic_equal(result, AtomicValue.integer(0))
+
+
+class TestTypePromotion:
+    @given(_ints, _ints)
+    @settings(max_examples=100, deadline=None)
+    def test_integer_closure(self, a, b):
+        for op in ("+", "-", "*"):
+            assert arithmetic(op, a, b).type == XS_INTEGER
+
+    @given(_ints, _ints)
+    @settings(max_examples=100, deadline=None)
+    def test_integer_div_is_decimal(self, a, b):
+        assume(b.value != 0)
+        assert arithmetic("div", a, b).type == XS_DECIMAL
+
+    @given(_decimals, _ints)
+    @settings(max_examples=100, deadline=None)
+    def test_decimal_absorbs_integer(self, a, b):
+        assert arithmetic("+", a, b).type == XS_DECIMAL
+
+    @given(_doubles, _exact)
+    @settings(max_examples=100, deadline=None)
+    def test_double_absorbs_everything(self, a, b):
+        assert arithmetic("+", a, b).type == XS_DOUBLE
+
+
+class TestDivisionLaws:
+    @given(_exact, _exact)
+    @settings(max_examples=200, deadline=None)
+    def test_idiv_mod_identity(self, a, b):
+        """a eq b*(a idiv b) + (a mod b) — the defining idiv/mod relation."""
+        assume(b.value != 0)
+        q = arithmetic("idiv", a, b)
+        r = arithmetic("mod", a, b)
+        recombined = arithmetic("+", arithmetic("*", b, q), r)
+        assert atomic_equal(recombined, a)
+
+    @given(_exact, _exact)
+    @settings(max_examples=200, deadline=None)
+    def test_mod_sign_follows_dividend(self, a, b):
+        assume(b.value != 0 and a.value != 0)
+        r = arithmetic("mod", a, b)
+        if r.value != 0:
+            assert (r.value > 0) == (a.value > 0)
+
+    @given(_exact)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_division_by_zero_raises(self, a):
+        import pytest
+
+        for op in ("div", "idiv", "mod"):
+            with pytest.raises(ArithmeticError_):
+                arithmetic(op, a, AtomicValue.integer(0))
+
+
+class TestComparisonConsistency:
+    @given(_numbers, _numbers)
+    @settings(max_examples=200, deadline=None)
+    def test_trichotomy(self, a, b):
+        c = compare_atomic(a, b)
+        assert c in (-1, 0, 1)
+        assert compare_atomic(b, a) == -c
+
+    @given(_numbers, _numbers)
+    @settings(max_examples=200, deadline=None)
+    def test_subtraction_agrees_with_comparison(self, a, b):
+        difference = arithmetic("-", a, b)
+        c = compare_atomic(a, b)
+        if c == 0:
+            assert atomic_equal(difference, AtomicValue.integer(0))
+        elif c > 0:
+            assert float(difference.value) >= 0
+        else:
+            assert float(difference.value) <= 0

@@ -1,0 +1,132 @@
+"""Property-based test of the conflict-detection guarantee (Section 3.2):
+
+    "conflict-free, meaning that the ordered application of every
+     permutation of Δ would produce the same result"
+
+We generate random update lists over a random tree; whenever the checker
+declares Δ conflict-free, applying any permutation must yield an identical
+store.  (The converse need not hold: the rules are sufficient, not
+necessary, so a rejected Δ may still happen to commute.)
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UpdateApplicationError
+from repro.semantics.conflicts import is_conflict_free
+from repro.semantics.update import (
+    ApplySemantics,
+    DeleteRequest,
+    InsertRequest,
+    RenameRequest,
+    apply_update_list,
+)
+from repro.xdm.store import Store
+
+
+def build_tree(fanout: int) -> tuple[Store, list[int]]:
+    """root with `fanout` children, each with one grandchild."""
+    store = Store()
+    root = store.create_element("root")
+    nodes = [root]
+    for i in range(fanout):
+        child = store.create_element(f"c{i}")
+        store.append_child(root, child)
+        grand = store.create_element(f"g{i}")
+        store.append_child(child, grand)
+        nodes.extend([child, grand])
+    return store, nodes
+
+
+_REQUEST = st.tuples(
+    st.sampled_from(["rename", "delete", "ins_first", "ins_last", "ins_before", "ins_after"]),
+    st.integers(min_value=0, max_value=999),
+    st.integers(min_value=0, max_value=999),
+)
+
+
+def make_delta(store: Store, nodes: list[int], script) -> list:
+    delta = []
+    for kind, i, j in script:
+        target = nodes[i % len(nodes)]
+        if kind == "rename":
+            delta.append(RenameRequest(target, f"n{j}"))
+        elif kind == "delete":
+            delta.append(DeleteRequest(target))
+        else:
+            fresh = store.create_element(f"new{len(delta)}_{j}")
+            position = kind[4:]
+            if position in ("before", "after") and store.parent(target) is None:
+                continue  # would fail the creation-time check anyway
+            delta.append(InsertRequest((fresh,), position, target))
+    return delta
+
+
+def snapshot(store: Store, root: int) -> tuple:
+    """A structural fingerprint of the tree under *root*."""
+
+    def walk(nid: int):
+        return (
+            store.name(nid),
+            tuple(sorted(store.name(a) or "" for a in store.attributes(nid))),
+            tuple(walk(c) for c in store.children(nid)),
+        )
+
+    return walk(root)
+
+
+class TestConflictFreedomProperty:
+    @given(st.lists(_REQUEST, min_size=1, max_size=5), st.integers(2, 4))
+    @settings(max_examples=120, deadline=None)
+    def test_verified_deltas_commute(self, script, fanout):
+        reference = None
+        base_store, base_nodes = build_tree(fanout)
+        base_delta = make_delta(base_store, base_nodes, script)
+        if not is_conflict_free(base_delta):
+            return
+        permutations = list(itertools.permutations(range(len(base_delta))))
+        if len(permutations) > 24:
+            permutations = random.Random(0).sample(permutations, 24)
+        for perm in permutations:
+            store, nodes = build_tree(fanout)
+            delta = make_delta(store, nodes, script)
+            try:
+                apply_update_list(
+                    store,
+                    delta,
+                    ApplySemantics.NONDETERMINISTIC,
+                    permutation=list(perm),
+                )
+            except UpdateApplicationError:
+                # A conflict-free Δ must apply under every permutation.
+                raise AssertionError(
+                    f"verified conflict-free delta failed under {perm}"
+                )
+            shape = snapshot(store, nodes[0])
+            if reference is None:
+                reference = shape
+            assert shape == reference, f"permutation {perm} diverged"
+
+    @given(st.lists(_REQUEST, min_size=1, max_size=6), st.integers(2, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_checker_is_deterministic(self, script, fanout):
+        store, nodes = build_tree(fanout)
+        delta = make_delta(store, nodes, script)
+        assert is_conflict_free(delta) == is_conflict_free(list(delta))
+
+    @given(st.lists(_REQUEST, min_size=1, max_size=6), st.integers(2, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_ordered_application_always_defined_on_fresh_targets(
+        self, script, fanout
+    ):
+        # Ordered semantics on a Δ whose requests were built against the
+        # current store must not corrupt invariants even when it fails.
+        store, nodes = build_tree(fanout)
+        delta = make_delta(store, nodes, script)
+        try:
+            apply_update_list(store, delta, ApplySemantics.ORDERED)
+        except UpdateApplicationError:
+            pass
+        store.check_invariants()

@@ -1,0 +1,109 @@
+"""Property-based tests: store invariants under random operation sequences
+and document order as a total order."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UpdateApplicationError
+from repro.xdm.store import NodeKind, Store
+
+# An operation script: each entry picks an action and two node indices
+# (interpreted modulo the current node count).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["element", "text", "attach", "detach", "rename", "attr", "copy"]
+        ),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=60,
+)
+
+
+def _run_script(script) -> Store:
+    store = Store()
+    nodes = [store.create_element("root")]
+    for action, i, j in script:
+        a = nodes[i % len(nodes)]
+        b = nodes[j % len(nodes)]
+        try:
+            if action == "element":
+                nodes.append(store.create_element(f"e{len(nodes)}"))
+            elif action == "text":
+                nodes.append(store.create_text(f"t{len(nodes)}"))
+            elif action == "attach":
+                store.append_child(a, b)
+            elif action == "detach":
+                store.detach(a)
+            elif action == "rename":
+                if store.kind(a) is NodeKind.ELEMENT:
+                    store.rename(a, f"r{i}")
+            elif action == "attr":
+                attr = store.create_attribute(f"a{len(nodes)}", str(i))
+                if store.kind(a) is NodeKind.ELEMENT:
+                    store.set_attribute(a, attr)
+                nodes.append(attr)
+            elif action == "copy":
+                nodes.append(store.deep_copy(a))
+        except UpdateApplicationError:
+            # Precondition violations are expected for random scripts; the
+            # property is that *failed* operations leave the store intact.
+            pass
+    return store
+
+
+class TestStoreInvariants:
+    @given(_OPS)
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_hold_after_any_script(self, script):
+        store = _run_script(script)
+        store.check_invariants()
+
+    @given(_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_document_order_is_total_and_consistent(self, script):
+        store = _run_script(script)
+        ids = list(store.node_ids())
+        order = store.sort_document_order(ids)
+        # Total: every node appears exactly once.
+        assert sorted(order) == sorted(set(ids))
+        # Consistent with pairwise comparison.
+        for first, second in zip(order, order[1:]):
+            assert store.compare_order(first, second) == -1
+            assert store.compare_order(second, first) == 1
+
+    @given(_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_ancestors_precede_descendants(self, script):
+        store = _run_script(script)
+        for nid in store.node_ids():
+            for anc in store.ancestors(nid):
+                assert store.compare_order(anc, nid) == -1
+
+    @given(_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_deep_copy_preserves_structure_and_is_fresh(self, script):
+        store = _run_script(script)
+        roots = [n for n in store.node_ids() if store.parent(n) is None]
+        for root in roots[:3]:
+            copy = store.deep_copy(root)
+            assert copy not in set(store.descendants(root, include_self=True))
+            assert store.string_value(copy) == store.string_value(root)
+            assert store.size(copy) == store.size(root)
+        store.check_invariants()
+
+    @given(_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_gc_never_reclaims_reachable(self, script):
+        store = _run_script(script)
+        roots = [n for n in store.node_ids() if store.parent(n) is None]
+        keep = roots[: max(1, len(roots) // 2)]
+        expected_live = set()
+        for root in keep:
+            expected_live.update(store.descendants(root, include_self=True))
+            for nid in list(expected_live):
+                expected_live.update(store.attributes(nid))
+        store.gc(keep)
+        for nid in expected_live:
+            assert nid in store
+        store.check_invariants()

@@ -1,0 +1,76 @@
+"""Property-based XML round-trip: serialize(parse(x)) is a fixpoint and
+preserves the data model (deep-equal)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xdm.compare import deep_equal
+from repro.xdm.nodes import Node
+from repro.xdm.store import Store
+from repro.xmlio import parse_fragment, serialize
+
+_NAMES = st.sampled_from(["a", "b", "item", "ns:elem", "x-y", "_u"])
+_TEXTS = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_characters="\r",  # parsers may normalize CR
+        min_codepoint=9,
+        max_codepoint=0x2FF,
+    ),
+    max_size=12,
+)
+
+
+@st.composite
+def xml_tree(draw, depth=0):
+    """Build a random element in a fresh store."""
+    store = draw(st.just(Store())) if depth == 0 else None
+
+    def build(store: Store, level: int) -> int:
+        element = store.create_element(draw(_NAMES))
+        for index in range(draw(st.integers(0, 2))):
+            name = f"at{index}"
+            store.set_attribute(
+                element, store.create_attribute(name, draw(_TEXTS))
+            )
+        for _ in range(draw(st.integers(0, 3 if level < 2 else 0))):
+            choice = draw(st.integers(0, 3))
+            if choice == 0:
+                text = draw(_TEXTS)
+                if text:
+                    store.append_child(element, store.create_text(text))
+            elif choice == 1:
+                store.append_child(element, build(store, level + 1))
+            elif choice == 2:
+                comment = draw(_TEXTS.filter(lambda t: "--" not in t and not t.endswith("-")))
+                store.append_child(element, store.create_comment(comment))
+            else:
+                data = draw(_TEXTS.filter(lambda t: "?>" not in t))
+                store.append_child(
+                    element,
+                    store.create_processing_instruction("pi", data.strip()),
+                )
+        return element
+
+    return Node(store, build(store, 0))
+
+
+class TestRoundTrip:
+    @given(xml_tree())
+    @settings(max_examples=200, deadline=None)
+    def test_serialize_parse_is_deep_equal(self, node):
+        text = serialize(node)
+        reparsed = parse_fragment(text)
+        assert deep_equal([node], [reparsed]), text
+
+    @given(xml_tree())
+    @settings(max_examples=200, deadline=None)
+    def test_serialization_is_fixpoint(self, node):
+        once = serialize(node)
+        twice = serialize(parse_fragment(once))
+        assert once == twice
+
+    @given(xml_tree())
+    @settings(max_examples=100, deadline=None)
+    def test_string_value_preserved(self, node):
+        reparsed = parse_fragment(serialize(node))
+        assert reparsed.string_value == node.string_value

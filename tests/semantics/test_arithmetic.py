@@ -1,0 +1,124 @@
+"""Unit tests for arithmetic semantics."""
+
+import math
+
+import pytest
+
+from repro import Engine
+from repro.errors import ArithmeticError_, TypeError_
+from repro.semantics.arithmetic import arithmetic
+from repro.xdm.values import XS_DECIMAL, XS_DOUBLE, XS_INTEGER, AtomicValue, UntypedAtomic
+
+
+@pytest.fixture
+def e() -> Engine:
+    return Engine()
+
+
+class TestIntegerArithmetic:
+    def test_basic_ops(self, e):
+        assert e.execute("2 + 3").first_value() == 5
+        assert e.execute("2 - 3").first_value() == -1
+        assert e.execute("2 * 3").first_value() == 6
+
+    def test_integer_div_is_decimal(self, e):
+        r = e.execute("7 div 2")
+        assert r.items[0].type == XS_DECIMAL
+        assert r.first_value() == 3.5
+
+    def test_idiv_truncates_toward_zero(self, e):
+        assert e.execute("7 idiv 2").first_value() == 3
+        assert e.execute("-7 idiv 2").first_value() == -3
+        assert e.execute("7 idiv -2").first_value() == -3
+
+    def test_mod_sign_of_dividend(self, e):
+        assert e.execute("7 mod 3").first_value() == 1
+        assert e.execute("-7 mod 3").first_value() == -1
+        assert e.execute("7 mod -3").first_value() == 1
+
+    def test_division_by_zero(self, e):
+        with pytest.raises(ArithmeticError_):
+            e.execute("1 div 0")
+        with pytest.raises(ArithmeticError_):
+            e.execute("1 idiv 0")
+        with pytest.raises(ArithmeticError_):
+            e.execute("1 mod 0")
+
+
+class TestPromotion:
+    def test_integer_plus_decimal(self, e):
+        r = e.execute("1 + 0.5")
+        assert r.items[0].type == XS_DECIMAL and r.first_value() == 1.5
+
+    def test_integer_plus_double(self, e):
+        r = e.execute("1 + 1e0")
+        assert r.items[0].type == XS_DOUBLE
+
+    def test_result_stays_integer(self, e):
+        assert e.execute("2 * 3").items[0].type == XS_INTEGER
+
+    def test_idiv_always_integer(self):
+        result = arithmetic("idiv", AtomicValue.decimal(7.5), AtomicValue.integer(2))
+        assert result.type == XS_INTEGER and result.value == 3
+
+
+class TestUntypedAndEmpty:
+    def test_untyped_casts_to_number(self, e):
+        e.bind("n", e.parse_fragment("<n>41</n>"))
+        assert e.execute("$n + 1").first_value() == 42
+
+    def test_untyped_decimal_string(self):
+        result = arithmetic("+", UntypedAtomic("1.5"), AtomicValue.integer(1))
+        assert result.value == 2.5
+
+    def test_empty_operand_yields_empty(self, e):
+        assert e.execute("() + 1").values() == []
+        assert e.execute("1 + ()").values() == []
+
+    def test_non_numeric_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("'a' + 1")
+
+
+class TestDoubleEdgeCases:
+    def test_double_div_zero_is_inf(self, e):
+        assert e.execute("1e0 div 0").first_value() == math.inf
+        assert e.execute("-1e0 div 0").first_value() == -math.inf
+
+    def test_zero_over_zero_nan(self, e):
+        assert math.isnan(e.execute("0e0 div 0").first_value())
+
+    def test_double_mod_zero_nan(self, e):
+        assert math.isnan(e.execute("1e0 mod 0").first_value())
+
+
+class TestUnary:
+    def test_negation(self, e):
+        assert e.execute("-(3)").first_value() == -3
+        assert e.execute("--3").first_value() == 3
+        assert e.execute("+3").first_value() == 3
+
+    def test_unary_on_untyped(self, e):
+        e.bind("n", e.parse_fragment("<n>5</n>"))
+        assert e.execute("-$n").first_value() == -5
+
+    def test_unary_empty(self, e):
+        assert e.execute("-()").values() == []
+
+
+class TestRangeExpr:
+    def test_basic(self, e):
+        assert e.execute("1 to 4").values() == [1, 2, 3, 4]
+
+    def test_singleton(self, e):
+        assert e.execute("3 to 3").values() == [3]
+
+    def test_empty_when_descending(self, e):
+        assert e.execute("3 to 1").values() == []
+
+    def test_empty_operand(self, e):
+        assert e.execute("() to 3").values() == []
+
+    def test_non_integer_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("1.5 to 3")

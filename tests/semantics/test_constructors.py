@@ -1,0 +1,121 @@
+"""Unit tests for node constructors (direct and computed)."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import TypeError_
+
+
+@pytest.fixture
+def e() -> Engine:
+    return Engine()
+
+
+class TestDirectElements:
+    def test_empty(self, e):
+        assert e.execute("<a/>").serialize() == "<a/>"
+
+    def test_attributes(self, e):
+        assert e.execute('<a x="1" y="2"/>').serialize() == '<a x="1" y="2"/>'
+
+    def test_text_content(self, e):
+        assert e.execute("<a>hi</a>").serialize() == "<a>hi</a>"
+
+    def test_enclosed_expression(self, e):
+        assert e.execute("<a>{ 1 + 1 }</a>").serialize() == "<a>2</a>"
+
+    def test_avt(self, e):
+        out = e.execute('let $v := 7 return <a x="v={$v}!"/>')
+        assert out.serialize() == '<a x="v=7!"/>'
+
+    def test_avt_sequence_space_joined(self, e):
+        out = e.execute('<a x="{ (1, 2, 3) }"/>')
+        assert out.serialize() == '<a x="1 2 3"/>'
+
+    def test_nested(self, e):
+        out = e.execute("<a><b>{ 'x' }</b><c/></a>")
+        assert out.serialize() == "<a><b>x</b><c/></a>"
+
+    def test_mixed_content_whitespace(self, e):
+        out = e.execute("<a>keep {1} this</a>")
+        assert out.serialize() == "<a>keep 1 this</a>"
+
+    def test_constructed_nodes_are_new(self, e):
+        assert e.execute("<a/> is <a/>").first_value() is False
+
+    def test_construction_copies_content(self, e):
+        e.bind("src", e.parse_fragment("<src><kid/></src>"))
+        e.execute("<wrap>{ $src/kid }</wrap>")
+        # The original kid keeps its parent.
+        assert e.execute("exists($src/kid)").first_value() is True
+
+    def test_document_node_content_unwrapped(self, e):
+        e.load_document("d", "<inner>t</inner>")
+        out = e.execute("<wrap>{ $d }</wrap>")
+        assert out.serialize() == "<wrap><inner>t</inner></wrap>"
+
+
+class TestComputedConstructors:
+    def test_element_with_static_name(self, e):
+        assert e.execute("element item { 'v' }").serialize() == "<item>v</item>"
+
+    def test_element_with_dynamic_name(self, e):
+        out = e.execute("element { concat('it', 'em') } { () }")
+        assert out.serialize() == "<item/>"
+
+    def test_element_empty_content(self, e):
+        assert e.execute("element a { }").serialize() == "<a/>"
+
+    def test_attribute_constructor(self, e):
+        out = e.execute("<holder>{ attribute class { 'big' } }</holder>")
+        assert out.serialize() == '<holder class="big"/>'
+
+    def test_attribute_after_content_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("<a>{ 'text', attribute x { 1 } }</a>")
+
+    def test_text_constructor(self, e):
+        out = e.execute("<a>{ text { 'hi' } }</a>")
+        assert out.serialize() == "<a>hi</a>"
+
+    def test_text_of_empty_is_no_node(self, e):
+        assert e.execute("count(text { () })").first_value() == 0
+
+    def test_comment_constructor(self, e):
+        assert e.execute("comment { 'c' }").serialize() == "<!--c-->"
+
+    def test_document_constructor(self, e):
+        out = e.execute("document { <a/> }")
+        from repro.xdm.store import NodeKind
+
+        assert out.items[0].kind is NodeKind.DOCUMENT
+
+    def test_empty_name_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("element { '' } { () }")
+
+    def test_dynamic_attribute_name(self, e):
+        out = e.execute(
+            "<h>{ attribute { concat('a', 'b') } { 1 } }</h>"
+        )
+        assert out.serialize() == '<h ab="1"/>'
+
+
+class TestConstructionWithUpdates:
+    def test_enclosed_update_collects(self, e):
+        e.bind("log", e.parse_fragment("<log/>"))
+        # Constructor content may request updates (first-class updates).
+        out = e.execute(
+            "<r>{ insert { <entry/> } into { $log }, 'done' }</r>"
+        )
+        assert out.serialize() == "<r>done</r>"
+        assert e.execute("count($log/entry)").first_value() == 1
+
+    def test_copied_content_not_affected_by_later_update(self, e):
+        e.bind("src", e.parse_fragment("<src>old</src>"))
+        out = e.execute(
+            """let $snapshot := <keep>{ $src/text() }</keep>
+               return (snap replace { $src/text() } with { "new" },
+                       string($snapshot))"""
+        )
+        assert out.first_value() == "old"

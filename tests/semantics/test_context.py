@@ -1,0 +1,112 @@
+"""Unit tests for the dynamic context and function registry."""
+
+import pytest
+
+from repro.errors import (
+    DynamicError,
+    UndefinedFunctionError,
+    UndefinedVariableError,
+)
+from repro.lang.core_ast import CFunction, CLiteral
+from repro.semantics.context import DynamicContext, FunctionRegistry
+from repro.semantics.functions import default_registry
+from repro.xdm.values import AtomicValue
+
+
+class TestDynamicContext:
+    def test_bind_returns_new_context(self):
+        base = DynamicContext()
+        bound = base.bind("x", [AtomicValue.integer(1)])
+        assert bound is not base
+        assert "x" not in base.variables
+        assert bound.variable("x")[0].value == 1
+
+    def test_bind_many(self):
+        ctx = DynamicContext().bind_many(
+            {"a": [AtomicValue.integer(1)], "b": [AtomicValue.integer(2)]}
+        )
+        assert ctx.variable("a")[0].value == 1
+        assert ctx.variable("b")[0].value == 2
+
+    def test_undefined_variable(self):
+        with pytest.raises(UndefinedVariableError):
+            DynamicContext().variable("ghost")
+
+    def test_with_focus(self):
+        item = AtomicValue.string("focus")
+        ctx = DynamicContext().with_focus(item, 2, 5)
+        assert ctx.require_context_item() is item
+        assert (ctx.position, ctx.size) == (2, 5)
+
+    def test_focus_preserves_variables(self):
+        ctx = DynamicContext().bind("k", [AtomicValue.integer(9)])
+        focused = ctx.with_focus(AtomicValue.integer(0), 1, 1)
+        assert focused.variable("k")[0].value == 9
+
+    def test_missing_context_item(self):
+        with pytest.raises(DynamicError):
+            DynamicContext().require_context_item()
+
+    def test_rebinding_shadows(self):
+        ctx = DynamicContext().bind("x", [AtomicValue.integer(1)])
+        ctx2 = ctx.bind("x", [AtomicValue.integer(2)])
+        assert ctx.variable("x")[0].value == 1
+        assert ctx2.variable("x")[0].value == 2
+
+
+def fn(name: str, params=()) -> CFunction:
+    return CFunction(
+        name=name, params=list(params), body=CLiteral(value=AtomicValue.integer(0))
+    )
+
+
+class TestFunctionRegistry:
+    def test_exact_user_resolution(self):
+        registry = FunctionRegistry()
+        declared = fn("local:f", ["x"])
+        registry.register_user(declared)
+        assert registry.resolve("local:f", 1) is declared
+
+    def test_arity_distinguishes(self):
+        registry = FunctionRegistry()
+        one = fn("f", ["a"])
+        two = fn("f", ["a", "b"])
+        registry.register_user(one)
+        registry.register_user(two)
+        assert registry.resolve("f", 1) is one
+        assert registry.resolve("f", 2) is two
+
+    def test_builtin_beats_suffix_match(self):
+        registry = default_registry()
+        registry.register_user(fn("my:count", ["s"]))
+        resolved = registry.resolve("count", 1)
+        assert not isinstance(resolved, CFunction)  # the builtin wins
+
+    def test_suffix_fallback_when_no_builtin(self):
+        registry = default_registry()
+        declared = fn("local:thing", [])
+        registry.register_user(declared)
+        assert registry.resolve("thing", 0) is declared
+
+    def test_register_user_as_alias(self):
+        registry = FunctionRegistry()
+        declared = fn("lib:f", ["x"])
+        registry.register_user(declared)
+        registry.register_user_as("m:f", declared)
+        assert registry.resolve("m:f", 1) is declared
+
+    def test_unknown_raises(self):
+        with pytest.raises(UndefinedFunctionError):
+            FunctionRegistry().resolve("nope", 0)
+
+    def test_fn_prefix_stripped_for_builtins(self):
+        registry = default_registry()
+        assert registry.lookup_builtin("fn:count", 1) is not None
+        assert registry.lookup_builtin("count", 1) is not None
+
+    def test_user_functions_listing(self):
+        registry = FunctionRegistry()
+        registry.register_user(fn("a:x", []))
+        registry.register_user(fn("b:y", ["p"]))
+        names = {f.name for f in registry.user_functions()}
+        assert names == {"a:x", "b:y"}

@@ -1,0 +1,90 @@
+"""Tests for the update-list rope (§4.1's specialized tree structure)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.deltarope import EMPTY, Delta
+from repro.semantics.update import RenameRequest
+
+
+def reqs(n: int):
+    return [RenameRequest(i, f"n{i}") for i in range(n)]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert len(EMPTY) == 0
+        assert not EMPTY
+        assert list(EMPTY) == []
+
+    def test_leaf(self):
+        [r] = reqs(1)
+        d = Delta.leaf(r)
+        assert len(d) == 1 and list(d) == [r]
+
+    def test_concatenation_order(self):
+        a, b, c = reqs(3)
+        d = Delta.leaf(a) + Delta.leaf(b) + Delta.leaf(c)
+        assert list(d) == [a, b, c]
+
+    def test_empty_identity(self):
+        [r] = reqs(1)
+        d = Delta.leaf(r)
+        assert (EMPTY + d) is d
+        assert (d + EMPTY) is d
+
+    def test_from_iterable(self):
+        rs = reqs(5)
+        assert list(Delta.from_iterable(rs)) == rs
+
+    def test_len_is_total(self):
+        d = Delta.from_iterable(reqs(4)) + Delta.from_iterable(reqs(3))
+        assert len(d) == 7
+
+    def test_equality_with_lists(self):
+        rs = reqs(3)
+        assert Delta.from_iterable(rs) == rs
+        assert Delta.from_iterable(rs) == Delta.from_iterable(rs)
+        assert Delta.from_iterable(rs) != rs[:2]
+
+    def test_repr(self):
+        assert "Delta" in repr(Delta.from_iterable(reqs(2)))
+        assert "requests" in repr(Delta.from_iterable(reqs(10)))
+
+    def test_immutability_of_parts(self):
+        left = Delta.from_iterable(reqs(2))
+        combined = left + Delta.from_iterable(reqs(2))
+        assert len(left) == 2 and len(combined) == 4
+
+    def test_deep_nesting_iterates_without_recursion_error(self):
+        d = EMPTY
+        for r in reqs(50_000):
+            d = d + Delta.leaf(r)
+        assert len(d) == 50_000
+        assert sum(1 for _ in d) == 50_000
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 5), min_size=0, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_associativity(self, sizes):
+        """Any bracketing of concatenations flattens identically."""
+        import random
+
+        chunks = [Delta.from_iterable(reqs(n)) for n in sizes]
+        expected = [r for n in sizes for r in reqs(n)]
+        # left fold
+        left = EMPTY
+        for chunk in chunks:
+            left = left + chunk
+        # right fold
+        right = EMPTY
+        for chunk in reversed(chunks):
+            right = chunk + right
+        assert list(left) == expected
+        assert list(right) == expected
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_length_homomorphism(self, n, m):
+        assert len(Delta.from_iterable(reqs(n)) + Delta.from_iterable(reqs(m))) == n + m

@@ -1,0 +1,157 @@
+"""Edge-case coverage for evaluator branches not exercised elsewhere."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import (
+    DynamicError,
+    TypeError_,
+    UpdateTargetError,
+)
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document("doc", "<r><a x='1'>t</a><b/></r>")
+    return engine
+
+
+class TestContextErrors:
+    def test_context_item_undefined(self, e):
+        with pytest.raises(DynamicError):
+            e.execute(".")
+
+    def test_root_requires_node_context(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("(1, 2)[/r]")
+
+    def test_axis_step_requires_node_context(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("(1)[a]")
+
+
+class TestSetOperationErrors:
+    def test_union_rejects_atomics(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("(1, 2) | $doc//a")
+
+    def test_intersect_rejects_atomics(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("$doc//a intersect 3")
+
+
+class TestNodeComparisons:
+    def test_empty_operands_give_empty(self, e):
+        assert e.execute("() is $doc").values() == []
+        assert e.execute("$doc << ()").values() == []
+
+    def test_non_singleton_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("$doc//a is $doc/r/*")
+
+
+class TestConstructorEdges:
+    def test_computed_name_must_be_single(self, e):
+        with pytest.raises(Exception):
+            e.execute("element { ('a', 'b') } { () }")
+
+    def test_attribute_replacing_on_insert(self, e):
+        # Inserting an attribute whose name exists replaces it.
+        e.execute('snap insert { attribute x { "9" } } into { $doc//a }')
+        assert e.execute("string($doc//a/@x)").first_value() == "9"
+        assert e.execute("count($doc//a/@x)").first_value() == 1
+
+    def test_mixed_attribute_and_element_insert(self, e):
+        e.execute(
+            'snap insert { (attribute y { "2" }, <kid/>) } into { $doc//b }'
+        )
+        assert e.execute("string($doc//b/@y)").first_value() == "2"
+        assert e.execute("count($doc//b/kid)").first_value() == 1
+
+    def test_comment_and_pi_constructors_in_content(self, e):
+        out = e.execute(
+            "<w>{ comment { 'c' }, processing-instruction p { 'd' } }</w>"
+        )
+        assert out.serialize() == "<w><!--c--><?p d?></w>"
+
+    def test_document_constructor_with_atomics(self, e):
+        out = e.execute("string(document { (1, 2) })")
+        assert out.first_value() == "1 2"
+
+
+class TestUpdateEdges:
+    def test_replace_with_empty_acts_as_delete(self, e):
+        e.execute("replace { $doc//a } with { () }")
+        assert e.execute("count($doc//a)").first_value() == 0
+
+    def test_rename_to_node_derived_name(self, e):
+        e.bind("namesrc", e.parse_fragment("<n>fresh</n>"))
+        e.execute("snap rename { $doc//b } to { $namesrc }")
+        assert e.execute("count($doc//fresh)").first_value() == 1
+
+    def test_rename_empty_name_rejected(self, e):
+        with pytest.raises(UpdateTargetError):
+            e.execute('rename { $doc//b } to { "" }')
+
+    def test_insert_into_document_node(self, e):
+        e.bind("d2", e.parse_fragment("<content/>"))
+        e.execute("snap insert { <extra/> } into { $doc }")
+        # Document now has two children (r and extra).
+        assert e.execute("count($doc/*)").first_value() == 2
+
+    def test_self_insert_cycle_prevented_by_copy(self, e):
+        # insert copies its source, so inserting an ancestor into its own
+        # descendant must NOT cycle — the copy is a distinct tree.
+        e.execute("snap insert { $doc/r } into { $doc//b }")
+        assert e.execute("count($doc/r/b/r)").first_value() == 1
+        e.store.check_invariants()
+
+    def test_update_inside_predicate_collects(self, e):
+        e.bind("sink", e.parse_fragment("<sink/>"))
+        e.execute(
+            "$doc//a[(insert { <p/> } into { $sink }, true())]"
+        )
+        assert e.execute("count($sink/p)").first_value() == 1
+
+
+class TestFunctionCallEdges:
+    def test_variadic_concat_many_args(self, e):
+        out = e.execute("concat('a','b','c','d','e','f','g')")
+        assert out.first_value() == "abcdefg"
+
+    def test_user_function_shadows_nothing_builtin(self, e):
+        e.load_module("declare function my:count($s) { 42 };")
+        assert e.execute("count((1, 2))").first_value() == 2
+        assert e.execute("my:count((1, 2))").first_value() == 42
+
+    def test_zero_arg_user_function(self, e):
+        e.load_module("declare function answer() { 42 };")
+        assert e.execute("answer()").first_value() == 42
+
+    def test_function_with_sequence_param(self, e):
+        e.load_module("declare function second($s) { $s[2] };")
+        assert e.execute("second((10, 20, 30))").first_value() == 20
+
+
+class TestSnapEdges:
+    def test_snap_of_pure_body_is_noop(self, e):
+        assert e.execute("snap { 1 + 1 }").first_value() == 2
+
+    def test_deeply_nested_snaps(self, e):
+        e.bind("x", e.parse_fragment("<x/>"))
+        query = "snap { " * 10 + "insert { <n/> } into { $x } " + "}" * 10
+        e.execute(query)
+        assert e.execute("count($x/n)").first_value() == 1
+
+    def test_snap_value_is_body_value(self, e):
+        out = e.execute("snap { (1, 2, 3) }")
+        assert out.values() == [1, 2, 3]
+
+    def test_update_applied_between_sequenced_items(self, e):
+        e.bind("x", e.parse_fragment("<x/>"))
+        out = e.execute(
+            "(snap insert { <n/> } into { $x }; count($x/n);"
+            " snap insert { <n/> } into { $x }; count($x/n))"
+        )
+        assert out.values() == [1, 2]

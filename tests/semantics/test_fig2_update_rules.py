@@ -1,0 +1,233 @@
+"""E2 — semantics of the update operations (paper Fig. 2).
+
+Each test realizes one judgment: the value returned, the update list
+produced (observed through its effects at snap time), and the evaluation
+order of the premises.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.errors import TypeError_, UpdateTargetError
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.bind("x", engine.parse_fragment("<x><old/><mid/><new/></x>"))
+    return engine
+
+
+class TestCopyRule:
+    """copy{Expr}: deepcopy at the data-model level; fresh node ids."""
+
+    def test_copy_returns_new_node(self, e):
+        same = e.execute("copy { $x } is $x").first_value()
+        assert same is False
+
+    def test_copy_is_deep(self, e):
+        assert e.execute("count(copy { $x }/*)").first_value() == 3
+
+    def test_copy_produces_no_updates(self, e):
+        e.execute("copy { $x }")
+        assert e.execute("count($x/*)").first_value() == 3
+
+    def test_copy_of_atomics_passes_through(self, e):
+        assert e.execute("copy { 1 + 1 }").first_value() == 2
+
+    def test_copy_result_is_parentless(self, e):
+        assert e.execute("empty(copy { $x/old }/..)").first_value() is True
+
+
+class TestSnapRule:
+    """snap{Expr}: value passes through, Δ applied, empty Δ returned."""
+
+    def test_value_passes_through(self, e):
+        r = e.execute("snap { insert {<n/>} into {$x}, 42 }")
+        assert r.first_value() == 42
+
+    def test_delta_applied_at_scope_close(self, e):
+        counts = e.execute(
+            "(count($x/*), snap { insert {<n/>} into {$x} }, count($x/*))"
+        ).values()
+        assert counts == [3, 4]
+
+    def test_outer_snap_sees_empty_delta_from_inner(self, e):
+        # The inner snap consumed its delta: applying the outer adds nothing.
+        e.execute("snap { snap { insert {<n/>} into {$x} } }")
+        assert e.execute("count($x/*)").first_value() == 4
+
+
+class TestRenameRule:
+    """rename{E1}to{E2}: Δ3 = (Δ1, Δ2, rename(node, name)); returns ()."""
+
+    def test_returns_empty_sequence(self, e):
+        assert len(e.execute('rename { $x/old } to { "fresh" }')) == 0
+
+    def test_applied_at_snap(self, e):
+        e.execute('rename { $x/old } to { "fresh" }')
+        assert e.execute("exists($x/fresh)").first_value() is True
+
+    def test_name_may_be_computed(self, e):
+        e.execute("rename { $x/old } to { concat('a', 'b') }")
+        assert e.execute("exists($x/ab)").first_value() is True
+
+    def test_rename_attribute(self, e):
+        e.bind("y", e.parse_fragment('<y id="1"/>'))
+        e.execute('rename { $y/@id } to { "key" }')
+        assert e.execute("string($y/@key)").first_value() == "1"
+
+    def test_target_must_be_single_node(self, e):
+        with pytest.raises(TypeError_):
+            e.execute('rename { $x/* } to { "n" }')
+
+
+class TestReplaceRule:
+    """replace{E1}with{E2}: Δ = (Δ1, Δ2, insert(copy, parent, node),
+    delete(node)); the replacement lands where the target was."""
+
+    def test_returns_empty(self, e):
+        assert len(e.execute("replace { $x/mid } with { <sub/> }")) == 0
+
+    def test_replacement_in_place(self, e):
+        e.execute("replace { $x/mid } with { <sub/> }")
+        assert [c for c in e.execute("$x/*").strings()] == ["", "", ""]
+        assert e.execute("$x").serialize() == "<x><old/><sub/><new/></x>"
+
+    def test_target_detached_but_alive(self, e):
+        e.execute(
+            "declare variable $victim := exactly-one($x/mid);"
+            "replace { $victim } with { <sub/> }"
+        )
+        assert e.execute("empty($victim/..)").first_value() is True
+        assert e.execute("name($victim)").first_value() == "mid"
+
+    def test_replace_with_sequence(self, e):
+        e.execute("replace { $x/mid } with { (<p/>, <q/>) }")
+        assert e.execute("$x").serialize() == "<x><old/><p/><q/><new/></x>"
+
+    def test_replace_with_atomic_becomes_text(self, e):
+        e.execute("replace { $x/mid } with { 1 + 1 }")
+        assert e.execute("string($x)").first_value() == "2"
+
+    def test_replace_source_is_copied(self, e):
+        e.bind("donor", e.parse_fragment("<donor/>"))
+        e.execute("replace { $x/mid } with { $donor }")
+        # The donor itself must still be parentless (a copy was inserted).
+        assert e.execute("empty($donor/..)").first_value() is True
+
+    def test_replace_target_needs_parent(self, e):
+        with pytest.raises(UpdateTargetError):
+            e.execute("replace { $x } with { <y/> }")
+
+    def test_replace_attribute(self, e):
+        e.bind("y", e.parse_fragment('<y id="1"/>'))
+        e.execute('replace { $y/@id } with { attribute id { "2" } }')
+        assert e.execute("string($y/@id)").first_value() == "2"
+
+
+class TestDeleteRule:
+    """delete{Expr}: Δ2 = (Δ1, delete node); detach semantics."""
+
+    def test_returns_empty(self, e):
+        assert len(e.execute("delete { $x/old }")) == 0
+
+    def test_detaches_at_snap(self, e):
+        e.execute("delete { $x/old }")
+        assert e.execute("count($x/*)").first_value() == 2
+
+    def test_sequence_target_deletes_all(self, e):
+        e.execute("delete { $x/* }")
+        assert e.execute("count($x/*)").first_value() == 0
+
+    def test_empty_target_is_noop(self, e):
+        e.execute("delete { $x/nothing }")
+        assert e.execute("count($x/*)").first_value() == 3
+
+    def test_non_node_target_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("delete { 42 }")
+
+
+class TestInsertRule:
+    """insert{E1} Location {E2} with the InsertLocation judgments."""
+
+    def test_into_appends(self, e):
+        e.execute("insert { <z/> } into { $x }")
+        assert e.execute("name($x/*[last()])").first_value() == "z"
+
+    def test_as_first(self, e):
+        e.execute("insert { <z/> } as first into { $x }")
+        assert e.execute("name($x/*[1])").first_value() == "z"
+
+    def test_as_last(self, e):
+        e.execute("insert { <z/> } as last into { $x }")
+        assert e.execute("name($x/*[last()])").first_value() == "z"
+
+    def test_before(self, e):
+        e.execute("insert { <z/> } before { $x/mid }")
+        assert e.execute("$x").serialize() == "<x><old/><z/><mid/><new/></x>"
+
+    def test_after(self, e):
+        e.execute("insert { <z/> } after { $x/mid }")
+        assert e.execute("$x").serialize() == "<x><old/><mid/><z/><new/></x>"
+
+    def test_sequence_order_preserved(self, e):
+        e.execute("insert { (<p/>, <q/>, <r/>) } after { $x/old }")
+        assert (
+            e.execute("$x").serialize()
+            == "<x><old/><p/><q/><r/><mid/><new/></x>"
+        )
+
+    def test_inserted_nodes_are_copies(self, e):
+        e.bind("donor", e.parse_fragment("<donor/>"))
+        e.execute("insert { $donor } into { $x }")
+        assert e.execute("empty($donor/..)").first_value() is True
+        assert e.execute("exists($x/donor)").first_value() is True
+
+    def test_insert_attribute_node(self, e):
+        e.execute('insert { attribute lang { "en" } } into { $x }')
+        assert e.execute("string($x/@lang)").first_value() == "en"
+
+    def test_atomic_source_becomes_text(self, e):
+        e.execute('insert { "hello" } into { $x }')
+        assert e.execute("string($x)").first_value() == "hello"
+
+    def test_into_requires_element_target(self, e):
+        e.bind("t", e.parse_fragment("<t>txt</t>"))
+        with pytest.raises(UpdateTargetError):
+            e.execute("insert { <z/> } into { $t/text() }")
+
+    def test_before_requires_parent(self, e):
+        with pytest.raises(UpdateTargetError):
+            e.execute("insert { <z/> } before { $x }")
+
+    def test_target_must_be_single(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("insert { <z/> } into { $x/* }")
+
+
+class TestEvaluationOrderOfPremises:
+    """The rules evaluate Expr1 before Expr2 (store threading)."""
+
+    def test_insert_source_before_target(self, e):
+        # The source expression snaps an insert that the target expression
+        # then observes: x gains <probe/> and the insert lands inside it.
+        e.execute(
+            """insert { <payload/> }
+               into { (snap insert { <probe/> } into { $x },
+                       exactly-one($x/probe)) }"""
+        )
+        assert e.execute("exists($x/probe/payload)").first_value() is True
+
+    def test_delta_order_is_sequence_order(self, e):
+        e.bind("sink", e.parse_fragment("<sink/>"))
+        e.execute(
+            """insert { <one/> } into { $sink },
+               insert { <two/> } into { $sink },
+               insert { <three/> } into { $sink }"""
+        )
+        assert (
+            e.execute("$sink").serialize()
+            == "<sink><one/><two/><three/></sink>"
+        )

@@ -1,0 +1,167 @@
+"""Unit tests for FLWOR (incl. order by) and quantified expressions."""
+
+import pytest
+
+from repro import Engine
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document(
+        "doc",
+        '<r><p name="carol" age="30"/><p name="alice" age="25"/>'
+        '<p name="bob" age="25"/></r>',
+    )
+    return engine
+
+
+class TestOrderBy:
+    def test_ascending_default(self, e):
+        names = e.execute(
+            "for $p in $doc//p order by $p/@name return string($p/@name)"
+        ).values()
+        assert names == ["alice", "bob", "carol"]
+
+    def test_descending(self, e):
+        names = e.execute(
+            "for $p in $doc//p order by $p/@name descending return string($p/@name)"
+        ).values()
+        assert names == ["carol", "bob", "alice"]
+
+    def test_numeric_keys(self, e):
+        ages = e.execute(
+            "for $p in $doc//p order by number($p/@age) return string($p/@name)"
+        ).values()
+        assert ages == ["alice", "bob", "carol"]
+
+    def test_multiple_keys(self, e):
+        names = e.execute(
+            "for $p in $doc//p order by number($p/@age), $p/@name descending "
+            "return string($p/@name)"
+        ).values()
+        assert names == ["bob", "alice", "carol"]
+
+    def test_stability(self, e):
+        # Equal keys keep binding order (Python sorts are stable).
+        names = e.execute(
+            "for $p in $doc//p order by $p/@age return string($p/@name)"
+        ).values()
+        assert names == ["alice", "bob", "carol"]
+
+    def test_empty_least_default(self, e):
+        out = e.execute(
+            "for $x in (<a k='2'/>, <a/>, <a k='1'/>) "
+            "order by $x/@k return string($x/@k)"
+        ).values()
+        assert out == ["", "1", "2"]
+
+    def test_empty_greatest(self, e):
+        out = e.execute(
+            "for $x in (<a k='2'/>, <a/>, <a k='1'/>) "
+            "order by $x/@k empty greatest return string($x/@k)"
+        ).values()
+        assert out == ["1", "2", ""]
+
+    def test_empty_least_descending(self, e):
+        out = e.execute(
+            "for $x in (<a k='2'/>, <a/>, <a k='1'/>) "
+            "order by $x/@k descending empty least return string($x/@k)"
+        ).values()
+        assert out == ["2", "1", ""]
+
+    def test_order_by_with_where(self, e):
+        names = e.execute(
+            "for $p in $doc//p where $p/@age = 25 "
+            "order by $p/@name descending return string($p/@name)"
+        ).values()
+        assert names == ["bob", "alice"]
+
+    def test_order_by_with_let(self, e):
+        out = e.execute(
+            "for $p in $doc//p let $k := string($p/@name) "
+            "order by $k return $k"
+        ).values()
+        assert out == ["alice", "bob", "carol"]
+
+    def test_order_by_effect_order(self, e):
+        # Return-clause effects fire in SORTED order.
+        e.bind("sink", e.parse_fragment("<sink/>"))
+        e.execute(
+            "for $p in $doc//p order by $p/@name "
+            'return insert { <n v="{$p/@name}"/> } into { $sink }'
+        )
+        assert e.execute("$sink/n/@v").strings() == ["alice", "bob", "carol"]
+
+
+class TestPositionalFor:
+    def test_at_variable(self, e):
+        pairs = e.execute(
+            "for $x at $i in ('a', 'b', 'c') return concat($i, $x)"
+        ).values()
+        assert pairs == ["1a", "2b", "3c"]
+
+    def test_at_with_ordered_flwor(self, e):
+        out = e.execute(
+            "for $x at $i in ('c', 'a', 'b') order by $x return $i"
+        ).values()
+        assert out == [2, 3, 1]
+
+
+class TestQuantified:
+    def test_some_true(self, e):
+        assert e.execute(
+            "some $x in (1, 2, 3) satisfies $x > 2"
+        ).first_value() is True
+
+    def test_some_false(self, e):
+        assert e.execute(
+            "some $x in (1, 2, 3) satisfies $x > 5"
+        ).first_value() is False
+
+    def test_every(self, e):
+        assert e.execute(
+            "every $x in (1, 2, 3) satisfies $x > 0"
+        ).first_value() is True
+        assert e.execute(
+            "every $x in (1, 2, 3) satisfies $x > 1"
+        ).first_value() is False
+
+    def test_empty_domain(self, e):
+        assert e.execute("some $x in () satisfies true()").first_value() is False
+        assert e.execute("every $x in () satisfies false()").first_value() is True
+
+    def test_multiple_bindings(self, e):
+        assert e.execute(
+            "some $x in (1, 2), $y in (3, 4) satisfies $x + $y = 6"
+        ).first_value() is True
+
+    def test_short_circuit_effects(self, e):
+        # 'some' stops at the first witness: only two probes fire.
+        e.bind("sink", e.parse_fragment("<sink/>"))
+        e.execute(
+            "some $x in (1, 2, 3) satisfies "
+            "(snap insert { <probe/> } into { $sink }, $x = 2)"
+        )
+        assert e.execute("count($sink/probe)").first_value() == 2
+
+
+class TestNestedFLWOR:
+    def test_dependent_inner_loop(self, e):
+        out = e.execute(
+            "for $x in (1, 2) for $y in (1 to $x) return concat($x, '.', $y)"
+        ).values()
+        assert out == ["1.1", "2.1", "2.2"]
+
+    def test_let_rebinding_shadowing(self, e):
+        out = e.execute(
+            "let $v := 1 return (let $v := $v + 1 return $v, $v)"
+        ).values()
+        assert out == [2, 1]
+
+    def test_where_with_multiple_fors(self, e):
+        out = e.execute(
+            "for $x in (1, 2, 3), $y in (1, 2, 3) "
+            "where $x + $y = 4 return concat($x, $y)"
+        ).values()
+        assert out == ["13", "22", "31"]

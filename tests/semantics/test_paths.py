@@ -1,0 +1,202 @@
+"""Unit tests for path expressions: axes, node tests, predicates, focus."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import TypeError_
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document(
+        "doc",
+        '<root><section id="s1"><para n="1">first</para>'
+        '<para n="2">second</para><note>aside</note></section>'
+        '<section id="s2"><para n="3">third</para></section></root>',
+    )
+    return engine
+
+
+class TestForwardAxes:
+    def test_child(self, e):
+        assert e.execute("count($doc/root/section)").first_value() == 2
+
+    def test_descendant(self, e):
+        assert e.execute("count($doc/descendant::para)").first_value() == 3
+
+    def test_descendant_or_self(self, e):
+        n = e.execute(
+            "count($doc/root/descendant-or-self::*)"
+        ).first_value()
+        assert n == 7  # root + 2 sections + 3 paras + note
+
+    def test_self(self, e):
+        assert e.execute("count($doc/root/self::root)").first_value() == 1
+        assert e.execute("count($doc/root/self::other)").first_value() == 0
+
+    def test_attribute_axis(self, e):
+        assert e.execute("string($doc/root/section[1]/@id)").first_value() == "s1"
+
+    def test_following_sibling(self, e):
+        names = e.execute(
+            "$doc//para[@n='1']/following-sibling::*/name()"
+        ).strings()
+        assert names == ["para", "note"]
+
+    def test_following(self, e):
+        count = e.execute("count($doc//para[@n='2']/following::para)").first_value()
+        assert count == 1  # para n=3
+
+
+class TestReverseAxes:
+    def test_parent(self, e):
+        assert e.execute("name($doc//para[@n='3']/..)").first_value() == "section"
+
+    def test_ancestor(self, e):
+        names = e.execute("$doc//para[@n='1']/ancestor::*/name()").strings()
+        assert names == ["root", "section"]  # document order
+
+    def test_ancestor_or_self(self, e):
+        count = e.execute(
+            "count($doc//para[@n='1']/ancestor-or-self::*)"
+        ).first_value()
+        assert count == 3
+
+    def test_preceding_sibling(self, e):
+        names = e.execute("$doc//note/preceding-sibling::*/@n").strings()
+        assert names == ["1", "2"]  # delivered in document order
+
+    def test_preceding(self, e):
+        count = e.execute("count($doc//para[@n='3']/preceding::para)").first_value()
+        assert count == 2
+
+    def test_preceding_excludes_ancestors(self, e):
+        names = e.execute("$doc//para[@n='3']/preceding::*/name()").strings()
+        assert "section" in names and "root" not in names
+
+
+class TestNodeTests:
+    def test_wildcard(self, e):
+        assert e.execute("count($doc/root/*)").first_value() == 2
+
+    def test_text_test(self, e):
+        # //para[1] selects the first para of EACH section (XPath trap).
+        assert e.execute("($doc//para)[1]/text()").strings() == ["first"]
+        assert e.execute("count($doc//para[1])").first_value() == 2
+
+    def test_node_test(self, e):
+        assert e.execute("count(($doc//section)[1]/node())").first_value() == 3
+
+    def test_element_test_with_name(self, e):
+        assert e.execute("count($doc//element(para))").first_value() == 3
+
+    def test_attribute_name_test_on_attribute_axis(self, e):
+        assert e.execute("count($doc//@n)").first_value() == 3
+
+    def test_name_test_does_not_match_text(self, e):
+        # child::para only selects elements named para.
+        assert e.execute("count($doc//para/para)").first_value() == 0
+
+
+class TestPredicates:
+    def test_positional(self, e):
+        assert e.execute("string($doc//para[2])").first_value() == "second"
+
+    def test_last(self, e):
+        # last() is per-step: the last para of each section.
+        assert e.execute("$doc//para[last()]/@n").strings() == ["2", "3"]
+        assert e.execute("string(($doc//para)[last()])").first_value() == "third"
+
+    def test_position_function(self, e):
+        # Per-section positions: only section 1 has a para beyond the first.
+        assert e.execute("$doc//para[position() > 1]/@n").strings() == ["2"]
+        globally = e.execute("($doc//para)[position() > 1]/@n").strings()
+        assert globally == ["2", "3"]
+
+    def test_boolean_predicate(self, e):
+        assert e.execute("count($doc//para[@n = '2'])").first_value() == 1
+
+    def test_stacked_predicates(self, e):
+        out = e.execute("(($doc//para)[@n != '2'])[2]/@n").strings()
+        assert out == ["3"]
+
+    def test_predicate_sees_outer_variables(self, e):
+        out = e.execute("let $k := '2' return $doc//para[@n = $k]/@n").strings()
+        assert out == ["2"]
+
+    def test_positional_predicate_per_step_context(self, e):
+        # section/para[1]: first para of EACH section.
+        assert e.execute("count($doc//section/para[1])").first_value() == 2
+
+    def test_filter_on_sequence(self, e):
+        assert e.execute("(10, 20, 30)[2]").first_value() == 20
+        assert e.execute("(10, 20, 30)[. > 15]").values() == [20, 30]
+
+
+class TestReverseAxisPredicates:
+    """Positional predicates on reverse axes count in axis order
+    (nearest-first), while results are delivered in document order."""
+
+    def test_first_ancestor_is_nearest(self, e):
+        name = e.execute("$doc//para[@n='1']/ancestor::*[1]/name()").values()
+        assert name == ["section"]
+
+    def test_second_ancestor(self, e):
+        name = e.execute("$doc//para[@n='1']/ancestor::*[2]/name()").values()
+        assert name == ["root"]
+
+    def test_first_preceding_sibling_is_nearest(self, e):
+        out = e.execute("$doc//note/preceding-sibling::*[1]/@n").strings()
+        assert out == ["2"]
+
+    def test_preceding_axis_position(self, e):
+        out = e.execute("$doc//para[@n='3']/preceding::para[1]/@n").strings()
+        assert out == ["2"]  # nearest preceding para
+
+    def test_last_on_reverse_axis(self, e):
+        out = e.execute(
+            "$doc//note/preceding-sibling::*[last()]/@n"
+        ).strings()
+        assert out == ["1"]  # farthest sibling is last in axis order
+
+    def test_results_still_document_order(self, e):
+        out = e.execute(
+            "$doc//para[@n='3']/ancestor-or-self::*/name()"
+        ).values()
+        assert out == ["root", "section", "para"]
+
+
+class TestPathSemantics:
+    def test_document_order_and_dedup(self, e):
+        # Both sections' paras unioned with all paras: no duplicates,
+        # document order.
+        values = e.execute("($doc//para | $doc//section/para)/@n").strings()
+        assert values == ["1", "2", "3"]
+
+    def test_root_expr(self, e):
+        assert e.execute("$doc//para[1]/root(.)/root/section[1]/@id").strings() == ["s1"]
+
+    def test_leading_slash(self, e):
+        # '/' requires a node context; paths over detached context work via root().
+        assert e.execute("count($doc//note)").first_value() == 1
+
+    def test_atomic_step_result_allowed(self, e):
+        values = e.execute("$doc//para/string(.)").strings()
+        assert values == ["first", "second", "third"]
+
+    def test_mixed_step_result_rejected(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("$doc//section/(., 1)")
+
+    def test_path_base_must_be_nodes(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("(1, 2)/a")
+
+    def test_set_operators(self, e):
+        assert e.execute(
+            "count($doc//para intersect $doc//section[1]/*)"
+        ).first_value() == 2
+        assert e.execute(
+            "count($doc//para except $doc//section[1]/*)"
+        ).first_value() == 1

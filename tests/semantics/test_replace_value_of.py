@@ -1,0 +1,116 @@
+"""Tests for the 'replace value of' extension (XQUF-style)."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import ConflictError, TypeError_
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document("doc", "<r><a x='1'>old</a><b><kid/></b></r>")
+    return engine
+
+
+class TestReplaceValueOf:
+    def test_text_content_of_element(self, e):
+        e.execute('replace value of { $doc//a } with { "new" }')
+        assert e.execute("string($doc//a)").first_value() == "new"
+        # The element itself survives (unlike plain replace).
+        assert e.execute("count($doc//a)").first_value() == 1
+
+    def test_attribute_value(self, e):
+        e.execute('replace value of { $doc//a/@x } with { 42 }')
+        assert e.execute("string($doc//a/@x)").first_value() == "42"
+
+    def test_text_node_value(self, e):
+        e.execute('replace value of { $doc//a/text() } with { "swapped" }')
+        assert e.execute("string($doc//a)").first_value() == "swapped"
+
+    def test_element_children_replaced_by_text(self, e):
+        e.execute('replace value of { $doc//b } with { "flat" }')
+        assert e.execute("count($doc//kid)").first_value() == 0
+        assert e.execute("string($doc//b)").first_value() == "flat"
+
+    def test_empty_source_clears(self, e):
+        e.execute("replace value of { $doc//a } with { () }")
+        assert e.execute("string($doc//a)").first_value() == ""
+        assert e.execute("count($doc//a/node())").first_value() == 0
+
+    def test_sequence_source_space_joined(self, e):
+        e.execute("replace value of { $doc//a } with { (1, 2, 3) }")
+        assert e.execute("string($doc//a)").first_value() == "1 2 3"
+
+    def test_snap_prefix_sugar(self, e):
+        e.execute('snap replace value of { $doc//a } with { "now" }')
+        assert e.execute("string($doc//a)").first_value() == "now"
+
+    def test_pending_until_snap(self, e):
+        out = e.execute(
+            '(replace value of { $doc//a } with { "later" }, string($doc//a))'
+        )
+        assert out.first_value() == "old"
+        assert e.execute("string($doc//a)").first_value() == "later"
+
+    def test_target_must_be_single_node(self, e):
+        with pytest.raises(TypeError_):
+            e.execute('replace value of { $doc//r/* } with { "x" }')
+
+    def test_counter_pattern_simplified(self, e):
+        """The §2.5 counter written with replace value of — no text-node
+        target needed, works even when the counter is empty."""
+        e.load_module(
+            """
+            declare variable $d := element counter { 0 };
+            declare function nextid() {
+              snap { replace value of { $d } with { $d + 1 }, $d }
+            };
+            """
+        )
+        assert [e.execute("data(nextid())").strings()[0] for _ in range(3)] == [
+            "1", "2", "3",
+        ]
+
+    def test_conflict_two_value_replacements(self, e):
+        with pytest.raises(ConflictError):
+            e.execute(
+                """snap conflict-detection {
+                     replace value of { $doc//a } with { "one" },
+                     replace value of { $doc//a } with { "two" } }"""
+            )
+
+    def test_conflict_with_insert_into(self, e):
+        with pytest.raises(ConflictError):
+            e.execute(
+                """snap conflict-detection {
+                     replace value of { $doc//b } with { "t" },
+                     insert { <x/> } into { $doc//b } }"""
+            )
+
+    def test_no_conflict_on_distinct_nodes(self, e):
+        e.execute(
+            """snap conflict-detection {
+                 replace value of { $doc//a } with { "p" },
+                 replace value of { $doc//b } with { "q" } }"""
+        )
+        assert e.execute("string($doc//a)").first_value() == "p"
+
+    def test_purity_analysis_sees_it(self, e):
+        from repro.algebra.properties import effect_properties
+        from repro.lang.normalize import normalize
+        from repro.lang.parser import parse
+
+        props = effect_properties(
+            normalize(parse('replace value of { $x } with { "v" }'))
+        )
+        assert props.may_update and not props.may_snap
+
+    def test_roundtrip(self):
+        from repro.lang.parser import parse
+        from repro.lang.pretty import unparse
+
+        expr = parse('replace value of { $x } with { "v" }')
+        assert parse(unparse(expr)) == expr
+        snapped = parse('snap replace value of { $x } with { 1 }')
+        assert parse(unparse(snapped)) == snapped

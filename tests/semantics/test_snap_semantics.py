@@ -1,0 +1,328 @@
+"""E6/E7/E8/E13 — snap semantics: the paper's examples and the three
+update-application semantics."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import ConflictError, UpdateApplicationError
+from repro.semantics.conflicts import check_conflict_free, is_conflict_free
+from repro.semantics.update import (
+    ApplySemantics,
+    DeleteRequest,
+    InsertRequest,
+    RenameRequest,
+    apply_update_list,
+)
+from repro.xdm.store import Store
+
+
+class TestSnapOrderingExample:
+    """E8 — Section 3.4: snap ordered { insert a, snap { insert b },
+    insert c } yields <b/><a/><c/> 'in this order'."""
+
+    def test_paper_example(self):
+        e = Engine()
+        e.bind("x", e.parse_fragment("<x/>"))
+        e.execute(
+            """snap ordered { insert {<a/>} into {$x},
+                              snap { insert {<b/>} into {$x} },
+                              insert {<c/>} into {$x} }"""
+        )
+        assert e.execute("$x").serialize() == "<x><b/><a/><c/></x>"
+
+    def test_inner_snap_only_applies_its_own_scope(self):
+        e = Engine()
+        e.bind("x", e.parse_fragment("<x/>"))
+        # After the inner snap closes, only <b/> is in the store; <a/> is
+        # still pending.
+        counts = e.execute(
+            """snap { insert {<a/>} into {$x},
+                      snap { insert {<b/>} into {$x} },
+                      count($x/*) }"""
+        )
+        assert counts.first_value() == 1
+
+
+class TestNestedSnapCounter:
+    """E6 — Section 2.5: nextid() works under any outer snap because snap
+    'must not freeze the state when its scope is opened'."""
+
+    COUNTER = """
+        declare variable $d := element counter { 0 };
+        declare function nextid() as xs:integer {
+          snap { replace { $d/text() } with { $d + 1 }, $d }
+        };
+    """
+
+    def test_sequential_ids(self):
+        e = Engine()
+        e.load_module(self.COUNTER)
+        ids = [e.execute("data(nextid())").strings()[0] for _ in range(4)]
+        assert ids == ["1", "2", "3", "4"]
+
+    def test_under_outer_snap(self):
+        e = Engine()
+        e.load_module(self.COUNTER)
+        e.bind("log", e.parse_fragment("<log/>"))
+        e.execute(
+            """snap { insert { <entry id="{nextid()}"/> } into { $log },
+                      insert { <entry id="{nextid()}"/> } into { $log } }"""
+        )
+        ids = e.execute("$log/entry/@id").strings()
+        assert ids == ["1", "2"]
+
+    def test_two_counters_independent(self):
+        e = Engine()
+        e.load_module(self.COUNTER)
+        first = e.execute("data(nextid())").strings()[0]
+        e2 = Engine()
+        e2.load_module(self.COUNTER)
+        second = e2.execute("data(nextid())").strings()[0]
+        assert first == second == "1"
+
+
+class TestDetachSemantics:
+    """E13 — Section 3.1: delete detaches; the node remains accessible."""
+
+    def test_detached_still_queryable(self):
+        e = Engine()
+        e.load_document("doc", "<a><b><c>deep</c></b></a>")
+        e.execute(
+            "declare variable $b := exactly-one($doc/a/b);"
+            "snap delete { $b }"
+        )
+        assert e.execute("exists($doc/a/b)").first_value() is False
+        assert e.execute("string($b/c)").first_value() == "deep"
+
+    def test_detached_can_be_reinserted(self):
+        e = Engine()
+        e.load_document("doc", "<a><b/></a>")
+        e.bind("elsewhere", e.parse_fragment("<elsewhere/>"))
+        e.execute(
+            "declare variable $b := exactly-one($doc/a/b);"
+            "snap delete { $b }, snap insert { $b } into { $elsewhere }"
+        )
+        # insert copies, so a *copy* of b lands in $elsewhere while b
+        # itself stays detached.
+        assert e.execute("count($elsewhere/b)").first_value() == 1
+
+    def test_detached_root_of_path_queries(self):
+        e = Engine()
+        e.load_document("doc", "<a><b x='1'/><b x='2'/></a>")
+        e.execute(
+            "declare variable $bs := $doc/a/b; snap delete { $bs }"
+        )
+        assert e.execute("count($bs[@x = '2'])").first_value() == 1
+
+
+class TestThreeSemanticsAtLanguageLevel:
+    """E7 — the snap keyword selects the application semantics."""
+
+    def make(self):
+        e = Engine()
+        e.bind("x", e.parse_fragment("<x><n/></x>"))
+        return e
+
+    def test_ordered_last_write_wins(self):
+        e = self.make()
+        e.execute(
+            """snap ordered { rename {$x/n} to {"one"},
+                              rename {$x/n} to {"two"} }"""
+        )
+        assert e.execute("name($x/*)").first_value() == "two"
+
+    def test_conflict_detection_rejects_double_rename(self):
+        e = self.make()
+        with pytest.raises(ConflictError):
+            e.execute(
+                """snap conflict-detection { rename {$x/n} to {"one"},
+                                             rename {$x/n} to {"two"} }"""
+            )
+
+    def test_conflict_detection_accepts_disjoint_updates(self):
+        e = self.make()
+        e.execute(
+            """snap conflict-detection {
+                 rename {$x/n} to {"renamed"},
+                 insert {<m/>} before {$x/n} }"""
+        )
+        assert e.execute("$x").serialize() == "<x><m/><renamed/></x>"
+
+    def test_nondeterministic_accepts_everything(self):
+        e = self.make()
+        e.execute(
+            """snap nondeterministic { rename {$x/n} to {"one"},
+                                       rename {$x/n} to {"two"} }"""
+        )
+        assert e.execute("name($x/*)").first_value() in ("one", "two")
+
+    def test_engine_default_semantics(self):
+        e = Engine(default_semantics="conflict-detection")
+        e.bind("x", e.parse_fragment("<x><n/></x>"))
+        with pytest.raises(ConflictError):
+            e.execute('rename {$x/n} to {"a"}, rename {$x/n} to {"b"}')
+
+
+class TestApplyUpdateListAPI:
+    """E7 — the update-list application machinery, used directly."""
+
+    def setup_method(self):
+        self.store = Store()
+        self.root = self.store.create_element("root")
+        self.a = self.store.create_element("a")
+        self.b = self.store.create_element("b")
+        self.store.append_child(self.root, self.a)
+        self.store.append_child(self.root, self.b)
+
+    def test_ordered_application(self):
+        n1 = self.store.create_element("n1")
+        n2 = self.store.create_element("n2")
+        delta = [
+            InsertRequest((n1,), "last", self.root),
+            InsertRequest((n2,), "last", self.root),
+        ]
+        apply_update_list(self.store, delta, ApplySemantics.ORDERED)
+        assert self.store.children(self.root) == (self.a, self.b, n1, n2)
+
+    def test_ordered_rejects_permutation(self):
+        with pytest.raises(UpdateApplicationError):
+            apply_update_list(
+                self.store, [], ApplySemantics.ORDERED, permutation=[]
+            )
+
+    def test_nondeterministic_permutation(self):
+        delta = [
+            RenameRequest(self.a, "one"),
+            RenameRequest(self.b, "two"),
+        ]
+        apply_update_list(
+            self.store, delta, ApplySemantics.NONDETERMINISTIC, permutation=[1, 0]
+        )
+        assert self.store.name(self.a) == "one"
+        assert self.store.name(self.b) == "two"
+
+    def test_invalid_permutation_rejected(self):
+        delta = [RenameRequest(self.a, "x")]
+        with pytest.raises(UpdateApplicationError):
+            apply_update_list(
+                self.store, delta, ApplySemantics.NONDETERMINISTIC,
+                permutation=[0, 0],
+            )
+
+    def test_conflict_detection_passes_then_applies(self):
+        delta = [
+            RenameRequest(self.a, "one"),
+            RenameRequest(self.b, "two"),
+        ]
+        apply_update_list(self.store, delta, ApplySemantics.CONFLICT_DETECTION)
+        assert self.store.name(self.a) == "one"
+
+    def test_from_keyword(self):
+        assert ApplySemantics.from_keyword(None) is ApplySemantics.ORDERED
+        assert (
+            ApplySemantics.from_keyword("conflict-detection")
+            is ApplySemantics.CONFLICT_DETECTION
+        )
+
+
+class TestConflictRules:
+    """The four conflict rules of repro.semantics.conflicts."""
+
+    def setup_method(self):
+        self.store = Store()
+        self.p = self.store.create_element("p")
+        self.c = self.store.create_element("c")
+        self.store.append_child(self.p, self.c)
+
+    def test_double_rename_conflicts(self):
+        delta = [RenameRequest(self.c, "a"), RenameRequest(self.c, "b")]
+        assert not is_conflict_free(delta)
+
+    def test_renames_of_distinct_nodes_ok(self):
+        delta = [RenameRequest(self.p, "a"), RenameRequest(self.c, "b")]
+        check_conflict_free(delta)
+
+    def test_same_position_inserts_conflict(self):
+        n1 = self.store.create_element("n1")
+        n2 = self.store.create_element("n2")
+        delta = [
+            InsertRequest((n1,), "last", self.p),
+            InsertRequest((n2,), "last", self.p),
+        ]
+        assert not is_conflict_free(delta)
+
+    def test_different_anchor_inserts_ok(self):
+        n1 = self.store.create_element("n1")
+        n2 = self.store.create_element("n2")
+        delta = [
+            InsertRequest((n1,), "before", self.c),
+            InsertRequest((n2,), "after", self.c),
+        ]
+        check_conflict_free(delta)
+
+    def test_insert_after_deleted_anchor_conflicts(self):
+        n1 = self.store.create_element("n1")
+        delta = [
+            InsertRequest((n1,), "after", self.c),
+            DeleteRequest(self.c),
+        ]
+        assert not is_conflict_free(delta)
+
+    def test_delete_parent_of_into_target_ok(self):
+        # Deleting (detaching) the parent does not invalidate insert-into.
+        n1 = self.store.create_element("n1")
+        delta = [
+            InsertRequest((n1,), "last", self.c),
+            DeleteRequest(self.c),
+        ]
+        check_conflict_free(delta)
+
+    def test_double_delete_ok(self):
+        delta = [DeleteRequest(self.c), DeleteRequest(self.c)]
+        check_conflict_free(delta)
+
+    def test_rename_plus_delete_ok(self):
+        delta = [RenameRequest(self.c, "n"), DeleteRequest(self.c)]
+        check_conflict_free(delta)
+
+    def test_same_node_inserted_twice_conflicts(self):
+        n1 = self.store.create_element("n1")
+        delta = [
+            InsertRequest((n1,), "last", self.p),
+            InsertRequest((n1,), "before", self.c),
+        ]
+        assert not is_conflict_free(delta)
+
+    def test_conflict_free_permutations_agree(self):
+        """The defining property: every permutation of a verified-free Δ
+        produces the same store."""
+        import itertools
+
+        def build():
+            store = Store()
+            root = store.create_element("root")
+            kid = store.create_element("kid")
+            store.append_child(root, kid)
+            n1 = store.create_element("n1")
+            n2 = store.create_element("n2")
+            delta = [
+                RenameRequest(kid, "renamed"),
+                InsertRequest((n1,), "before", kid),
+                InsertRequest((n2,), "last", root),
+            ]
+            return store, root, delta
+
+        reference = None
+        for perm in itertools.permutations(range(3)):
+            store, root, delta = build()
+            check_conflict_free(delta)
+            apply_update_list(
+                store, delta, ApplySemantics.NONDETERMINISTIC,
+                permutation=list(perm),
+            )
+            shape = tuple(
+                (store.name(c)) for c in store.children(root)
+            )
+            if reference is None:
+                reference = shape
+            assert shape == reference

@@ -1,0 +1,177 @@
+"""Tests for dynamic typing: instance of, castable as, cast as."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import TypeError_
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.load_document("doc", "<r><a>1</a><b x='y'/></r>")
+    return engine
+
+
+class TestInstanceOf:
+    @pytest.mark.parametrize(
+        ("query", "expected"),
+        [
+            ("1 instance of xs:integer", True),
+            ("1 instance of xs:decimal", True),   # derivation
+            ("1 instance of xs:double", False),
+            ("1.5 instance of xs:decimal", True),
+            ("1e0 instance of xs:double", True),
+            ("'x' instance of xs:string", True),
+            ("true() instance of xs:boolean", True),
+            ("1 instance of xs:anyAtomicType", True),
+            ("1 instance of item()", True),
+            ("(1, 2) instance of xs:integer", False),
+            ("(1, 2) instance of xs:integer*", True),
+            ("(1, 2) instance of xs:integer+", True),
+            ("() instance of xs:integer?", True),
+            ("() instance of xs:integer+", False),
+            ("() instance of empty-sequence()", True),
+            ("1 instance of empty-sequence()", False),
+        ],
+    )
+    def test_atomic(self, e, query, expected):
+        assert e.execute(query).first_value() is expected
+
+    @pytest.mark.parametrize(
+        ("query", "expected"),
+        [
+            ("$doc instance of document-node()", True),
+            ("$doc/r instance of element()", True),
+            ("$doc/r instance of element(r)", True),
+            ("$doc/r instance of element(other)", False),
+            ("$doc/r/b/@x instance of attribute()", True),
+            ("$doc/r/a/text() instance of text()", True),
+            ("$doc/r instance of node()", True),
+            ("$doc/r instance of xs:string", False),
+            ("$doc/r/* instance of element()*", True),
+            ("1 instance of node()", False),
+        ],
+    )
+    def test_nodes(self, e, query, expected):
+        assert e.execute(query).first_value() is expected
+
+
+class TestCastAs:
+    def test_string_to_integer(self, e):
+        assert e.execute("'42' cast as xs:integer").first_value() == 42
+
+    def test_double_truncation(self, e):
+        assert e.execute("2.9 cast as xs:integer").first_value() == 2
+
+    def test_to_string(self, e):
+        assert e.execute("12 cast as xs:string").first_value() == "12"
+
+    def test_boolean_lexical(self, e):
+        assert e.execute("'1' cast as xs:boolean").first_value() is True
+        assert e.execute("'false' cast as xs:boolean").first_value() is False
+
+    def test_node_atomizes_first(self, e):
+        assert e.execute("$doc/r/a cast as xs:integer").first_value() == 1
+
+    def test_inf_lexical(self, e):
+        import math
+
+        assert e.execute("'INF' cast as xs:double").first_value() == math.inf
+
+    def test_invalid_cast_raises(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("'abc' cast as xs:integer")
+
+    def test_empty_requires_question_mark(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("() cast as xs:integer")
+        assert e.execute("() cast as xs:integer?").values() == []
+
+    def test_unknown_type(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("'x' cast as xs:nonsense")
+
+
+class TestCastableAs:
+    def test_castable_true_false(self, e):
+        assert e.execute("'42' castable as xs:integer").first_value() is True
+        assert e.execute("'x' castable as xs:integer").first_value() is False
+
+    def test_empty_with_question(self, e):
+        assert e.execute("() castable as xs:integer?").first_value() is True
+        assert e.execute("() castable as xs:integer").first_value() is False
+
+    def test_guarding_pattern(self, e):
+        out = e.execute(
+            "for $v in ('1', 'x', '3') "
+            "return if ($v castable as xs:integer) "
+            "then $v cast as xs:integer else ()"
+        )
+        assert out.values() == [1, 3]
+
+
+class TestTreatAs:
+    def test_identity_on_match(self, e):
+        assert e.execute("5 treat as xs:integer").first_value() == 5
+        assert e.execute("(1, 2) treat as xs:integer*").values() == [1, 2]
+        assert e.execute("() treat as empty-sequence()").values() == []
+
+    def test_error_on_mismatch(self, e):
+        with pytest.raises(TypeError_):
+            e.execute("'x' treat as xs:integer")
+        with pytest.raises(TypeError_):
+            e.execute("(1, 2) treat as xs:integer")
+
+    def test_node_treat(self, e):
+        assert len(e.execute("$doc/r treat as element(r)")) == 1
+        with pytest.raises(TypeError_):
+            e.execute("$doc/r treat as attribute()")
+
+    def test_treat_does_not_cast(self, e):
+        # Unlike cast, treat never converts: an untyped node value is not
+        # an xs:integer even if it looks like one.
+        with pytest.raises(TypeError_):
+            e.execute("$doc/r/a treat as xs:integer")
+
+    def test_roundtrip(self):
+        from repro.lang.parser import parse
+        from repro.lang.pretty import unparse
+
+        expr = parse("$x treat as element(a)+")
+        assert parse(unparse(expr)) == expr
+
+
+class TestIntegration:
+    def test_roundtrip(self):
+        from repro.lang.parser import parse
+        from repro.lang.pretty import unparse
+
+        for text in (
+            "$x instance of element(person)*",
+            "$x cast as xs:integer?",
+            "$x castable as xs:double",
+            "1 instance of empty-sequence()",
+        ):
+            expr = parse(text)
+            assert parse(unparse(expr)) == expr
+
+    def test_purity(self):
+        from repro.algebra.properties import effect_properties
+        from repro.lang.normalize import normalize
+        from repro.lang.parser import parse
+        from repro.semantics.functions import default_registry
+
+        pure = normalize(parse("$x instance of xs:integer"))
+        assert effect_properties(pure, default_registry()).pure
+        impure = normalize(parse("(delete { $x }) instance of empty-sequence()"))
+        assert effect_properties(impure, default_registry()).may_update
+
+    def test_instance_of_with_updates_collects(self):
+        engine = Engine()
+        engine.bind("x", engine.parse_fragment("<x/>"))
+        result = engine.execute(
+            "(insert { <a/> } into { $x }) instance of empty-sequence()"
+        )
+        assert result.first_value() is True
+        assert engine.execute("count($x/a)").first_value() == 1

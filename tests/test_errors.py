@@ -1,0 +1,91 @@
+"""Tests for the error hierarchy: codes, messages, and that user-facing
+failures carry the right exception types."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import (
+    ConflictError,
+    DynamicError,
+    LexerError,
+    ParseError,
+    StaticError,
+    TypeError_,
+    UndefinedFunctionError,
+    UndefinedVariableError,
+    UpdateApplicationError,
+    UpdateError,
+    XMLParseError,
+    XQueryError,
+)
+
+
+class TestHierarchy:
+    def test_all_are_xquery_errors(self):
+        for cls in (
+            LexerError, ParseError, StaticError, DynamicError, TypeError_,
+            UpdateError, UpdateApplicationError, ConflictError,
+            UndefinedVariableError, UndefinedFunctionError, XMLParseError,
+        ):
+            assert issubclass(cls, XQueryError)
+
+    def test_static_vs_dynamic(self):
+        assert issubclass(ParseError, StaticError)
+        assert not issubclass(DynamicError, StaticError)
+        assert issubclass(ConflictError, UpdateError)
+
+    def test_codes(self):
+        assert ParseError("x").code == "XPST0003"
+        assert UndefinedVariableError("x").code == "XPST0008"
+        assert UndefinedFunctionError("x").code == "XPST0017"
+        assert ConflictError("x").code == "XUDY0024"
+        assert TypeError_("x").code == "XPTY0004"
+
+    def test_custom_code(self):
+        assert DynamicError("x", code="FOER0000").code == "FOER0000"
+
+    def test_message_format(self):
+        error = ParseError("unexpected thing", 3, 7)
+        assert "[XPST0003]" in str(error)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+
+class TestErrorsFromQueries:
+    def test_lexer_error(self):
+        with pytest.raises(LexerError):
+            Engine().execute("§")
+
+    def test_parse_error(self):
+        with pytest.raises(ParseError):
+            Engine().execute("for for for")
+
+    def test_undefined_variable_at_runtime(self):
+        with pytest.raises(UndefinedVariableError):
+            Engine().execute("$ghost")
+
+    def test_undefined_function(self):
+        with pytest.raises(UndefinedFunctionError):
+            Engine().execute("ghost()")
+
+    def test_type_error(self):
+        with pytest.raises(TypeError_):
+            Engine().execute("'a' - 1")
+
+    def test_context_item_error_code(self):
+        try:
+            Engine().execute(".")
+        except DynamicError as error:
+            assert error.code == "XPDY0002"
+        else:
+            pytest.fail("expected DynamicError")
+
+    def test_xml_parse_error(self):
+        with pytest.raises(XMLParseError):
+            Engine().load_document("d", "<broken")
+
+    def test_catch_all_base_class(self):
+        # Library users can catch XQueryError for any engine failure.
+        for bad in ("$x +", "$nope", "ghost()", "1 idiv 0"):
+            with pytest.raises(XQueryError):
+                Engine().execute(bad)

@@ -1,0 +1,109 @@
+"""E4/E5 — the Section 2 Web-service use case."""
+
+import pytest
+
+from repro.usecases import AuctionService
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+
+@pytest.fixture(scope="module")
+def xml() -> str:
+    return generate_auction_xml(XMarkConfig(persons=15, items=10))
+
+
+@pytest.fixture
+def service(xml) -> AuctionService:
+    return AuctionService(auction_xml=xml, maxlog=3)
+
+
+class TestGetItem:
+    def test_returns_requested_item(self, service):
+        result = service.get_item("item2", "person1")
+        assert 'id="item2"' in result.serialize()
+
+    def test_unknown_item_returns_empty(self, service):
+        result = service.get_item("item999", "person1")
+        assert len(result) == 0
+
+    def test_nolog_baseline_matches(self, service):
+        logged = service.get_item("item1", "person0").serialize()
+        bare = service.get_item_nolog("item1", "person0").serialize()
+        assert logged == bare
+
+    def test_nolog_does_not_log(self, service):
+        before = service.log_entries()
+        service.get_item_nolog("item1", "person0")
+        assert service.log_entries() == before
+
+
+class TestLogging:
+    """E4 — Section 2.2: an update inside a function that returns a value."""
+
+    def test_each_call_logs_one_entry(self, service):
+        service.get_item("item0", "person0")
+        assert service.log_entries() == 1
+        service.get_item("item1", "person1")
+        assert service.log_entries() == 2
+
+    def test_log_entry_records_user_and_item(self, service):
+        service.get_item("item0", "person0")
+        log = service.log_xml()
+        assert 'itemid="item0"' in log
+        assert "user=" in log
+
+    def test_entries_have_sequential_ids(self, service):
+        service.get_item("item0", "person0")
+        service.get_item("item1", "person1")
+        log = service.log_xml()
+        assert 'id="1"' in log and 'id="2"' in log
+
+
+class TestRollover:
+    """E5 — Section 2.3: the snap makes the insert visible to the rollover
+    check *within the same call*."""
+
+    def test_rollover_at_maxlog(self, service):
+        for i in range(3):  # maxlog = 3
+            service.get_item(f"item{i}", "person0")
+        assert service.archive_batches() == 1
+        assert service.archived_entries() == 3
+        assert service.log_entries() == 0
+
+    def test_multiple_rollovers(self, service):
+        for i in range(8):
+            service.get_item(f"item{i % 5}", f"person{i % 3}")
+        assert service.archive_batches() == 2
+        assert service.archived_entries() == 6
+        assert service.log_entries() == 2
+
+    def test_batch_records_size(self, service):
+        for i in range(3):
+            service.get_item("item0", "person0")
+        assert '<batch size="3">' in service.archive_xml()
+
+    def test_counter_continues_across_rollover(self, service):
+        for i in range(4):
+            service.get_item("item0", "person0")
+        # entry 4 is in the fresh log with the continuing id.
+        assert 'id="4"' in service.log_xml()
+
+
+class TestCounter:
+    """E6 support — nextid() exposed through the service."""
+
+    def test_next_id_increments(self, service):
+        first = service.next_id()
+        assert service.next_id() == first + 1
+
+    def test_ids_shared_with_logging(self, service):
+        nid = service.next_id()  # consumes one id
+        service.get_item("item0", "person0")
+        assert f'id="{nid + 1}"' in service.log_xml()
+
+
+class TestDefaultConstruction:
+    def test_default_document_generated(self):
+        service = AuctionService(maxlog=100)
+        assert service.engine.execute(
+            "count($auction//person)"
+        ).first_value() > 0

@@ -1,0 +1,138 @@
+"""Unit tests for comparison semantics and document-order utilities."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.xdm.compare import (
+    atomic_equal,
+    compare_atomic,
+    deep_equal,
+    general_compare,
+    nodes_in_document_order,
+    value_compare,
+)
+from repro.xdm.nodes import Node
+from repro.xdm.store import Store
+from repro.xdm.values import AtomicValue, UntypedAtomic
+from repro.xmlio import parse_fragment
+
+
+class TestValueComparison:
+    def test_eq_integers(self):
+        [r] = value_compare("eq", [AtomicValue.integer(2)], [AtomicValue.integer(2)])
+        assert r.value is True
+
+    def test_lt_mixed_numeric(self):
+        [r] = value_compare("lt", [AtomicValue.integer(2)], [AtomicValue.double(2.5)])
+        assert r.value is True
+
+    def test_empty_operand_propagates(self):
+        assert value_compare("eq", [], [AtomicValue.integer(1)]) == []
+
+    def test_multi_item_operand_rejected(self):
+        with pytest.raises(TypeError_):
+            value_compare(
+                "eq",
+                [AtomicValue.integer(1), AtomicValue.integer(2)],
+                [AtomicValue.integer(1)],
+            )
+
+    def test_string_ordering(self):
+        [r] = value_compare("ge", [AtomicValue.string("b")], [AtomicValue.string("a")])
+        assert r.value is True
+
+    def test_ne(self):
+        [r] = value_compare("ne", [AtomicValue.string("a")], [AtomicValue.string("b")])
+        assert r.value is True
+
+
+class TestGeneralComparison:
+    def test_existential_equality(self):
+        left = [AtomicValue.integer(i) for i in (1, 2, 3)]
+        right = [AtomicValue.integer(3), AtomicValue.integer(9)]
+        assert general_compare("eq", left, right) is True
+        assert general_compare("eq", left, [AtomicValue.integer(9)]) is False
+
+    def test_untyped_vs_numeric_casts_to_double(self):
+        assert general_compare("eq", [UntypedAtomic("07")], [AtomicValue.integer(7)])
+
+    def test_untyped_vs_untyped_compares_as_string(self):
+        assert not general_compare("eq", [UntypedAtomic("07")], [UntypedAtomic("7")])
+        assert general_compare("eq", [UntypedAtomic("7")], [UntypedAtomic("7")])
+
+    def test_untyped_vs_boolean(self):
+        assert general_compare(
+            "eq", [UntypedAtomic("true")], [AtomicValue.boolean(True)]
+        )
+
+    def test_empty_never_matches(self):
+        assert general_compare("eq", [], [AtomicValue.integer(1)]) is False
+
+    def test_ne_is_existential_not_negation(self):
+        values = [AtomicValue.integer(1), AtomicValue.integer(2)]
+        # 1 != 2 holds for some pair, even though 'eq' also holds.
+        assert general_compare("ne", values, values) is True
+
+    def test_lt_on_untyped_numbers(self):
+        assert general_compare("lt", [UntypedAtomic("9")], [AtomicValue.integer(10)])
+
+
+class TestAtomicHelpers:
+    def test_nan_equals_nothing(self):
+        nan = AtomicValue.double(float("nan"))
+        assert atomic_equal(nan, nan) is False
+
+    def test_compare_rejects_nan(self):
+        nan = AtomicValue.double(float("nan"))
+        with pytest.raises(TypeError_):
+            compare_atomic(nan, AtomicValue.double(1.0))
+
+    def test_incomparable_types(self):
+        with pytest.raises(TypeError_):
+            compare_atomic(AtomicValue.boolean(True), AtomicValue.integer(1))
+
+
+class TestDeepEqual:
+    def test_equal_trees(self):
+        a = parse_fragment('<a x="1"><b>t</b></a>')
+        b = parse_fragment('<a x="1"><b>t</b></a>')
+        assert deep_equal([a], [b]) is True
+
+    def test_attribute_order_ignored(self):
+        a = parse_fragment('<a x="1" y="2"/>')
+        b = parse_fragment('<a y="2" x="1"/>')
+        assert deep_equal([a], [b]) is True
+
+    def test_different_text(self):
+        a = parse_fragment("<a>1</a>")
+        b = parse_fragment("<a>2</a>")
+        assert deep_equal([a], [b]) is False
+
+    def test_length_mismatch(self):
+        a = parse_fragment("<a/>")
+        assert deep_equal([a], [a, a]) is False
+
+    def test_atomics_with_coercion(self):
+        assert deep_equal([AtomicValue.integer(1)], [AtomicValue.double(1.0)])
+
+    def test_comments_ignored_in_elements(self):
+        a = parse_fragment("<a><!--x--><b/></a>")
+        b = parse_fragment("<a><b/><!--y--></a>")
+        assert deep_equal([a], [b]) is True
+
+
+class TestDocumentOrderHelper:
+    def test_sorts_and_dedupes(self):
+        root = parse_fragment("<a><b/><c/></a>")
+        b, c = root.children
+        result = nodes_in_document_order([c, b, c, root])
+        assert result == [root, b, c]
+
+    def test_empty(self):
+        assert nodes_in_document_order([]) == []
+
+    def test_mixed_stores_rejected(self):
+        a = parse_fragment("<a/>")
+        b = parse_fragment("<b/>")  # different store
+        with pytest.raises(TypeError_):
+            nodes_in_document_order([a, b])

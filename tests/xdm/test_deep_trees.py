@@ -1,0 +1,72 @@
+"""Robustness on very deep trees: the store's traversals are iterative and
+must not hit Python's recursion limit."""
+
+import sys
+
+import pytest
+
+from repro.xdm.nodes import Node
+from repro.xdm.store import Store
+
+DEPTH = 5000  # far beyond sys.getrecursionlimit()
+
+
+@pytest.fixture(scope="module")
+def deep() -> tuple[Store, int, int]:
+    store = Store()
+    root = store.create_element("n0")
+    current = root
+    for i in range(1, DEPTH):
+        child = store.create_element(f"n{i}")
+        store.append_child(current, child)
+        current = child
+    store.append_child(current, store.create_text("bottom"))
+    return store, root, current
+
+
+class TestDeepTrees:
+    def test_depth_exceeds_recursion_limit(self):
+        assert DEPTH > sys.getrecursionlimit()
+
+    def test_descendants_iterative(self, deep):
+        store, root, _ = deep
+        assert sum(1 for _ in store.descendants(root)) == DEPTH
+
+    def test_string_value_iterative(self, deep):
+        store, root, _ = deep
+        assert store.string_value(root) == "bottom"
+
+    def test_size_iterative(self, deep):
+        store, root, _ = deep
+        assert store.size(root) == DEPTH + 1  # elements + text
+
+    def test_deep_copy_iterative(self, deep):
+        store, root, _ = deep
+        copy = store.deep_copy(root)
+        assert store.size(copy) == DEPTH + 1
+        assert store.string_value(copy) == "bottom"
+
+    def test_order_key_iterative_enough(self, deep):
+        store, root, leaf = deep
+        # order_key recurses once per ancestor with memoization; prime the
+        # cache root-down to keep each step shallow, as real traversals do.
+        chain = [leaf]
+        while True:
+            parent = store.parent(chain[-1])
+            if parent is None:
+                break
+            chain.append(parent)
+        for nid in reversed(chain):
+            store.order_key(nid)
+        assert store.compare_order(root, leaf) == -1
+
+    def test_ancestors_iterative(self, deep):
+        store, _, leaf = deep
+        assert sum(1 for _ in store.ancestors(leaf)) == DEPTH - 1
+
+    def test_gc_iterative(self, deep):
+        store, root, _ = deep
+        orphan = store.create_element("orphan")
+        reclaimed = store.gc([root])
+        assert reclaimed >= 1
+        assert orphan not in store

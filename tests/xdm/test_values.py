@@ -1,0 +1,155 @@
+"""Unit tests for atomic values, atomization and EBV."""
+
+import math
+
+import pytest
+
+from repro.errors import AtomizationError, CardinalityError, TypeError_
+from repro.xdm.nodes import Node
+from repro.xdm.store import Store
+from repro.xdm.values import (
+    XS_DOUBLE,
+    XS_INTEGER,
+    XS_UNTYPED,
+    AtomicValue,
+    UntypedAtomic,
+    QName,
+    atomize,
+    atomize_optional,
+    atomize_single,
+    cast_to_number,
+    effective_boolean_value,
+    item_string,
+    sequence_string,
+    single_node,
+    singleton,
+)
+
+
+class TestAtomicValue:
+    def test_constructors_and_types(self):
+        assert AtomicValue.integer(3).type == XS_INTEGER
+        assert AtomicValue.double(1.5).type == XS_DOUBLE
+        assert UntypedAtomic("x").type == XS_UNTYPED
+
+    def test_equality_is_typed(self):
+        assert AtomicValue.integer(1) == AtomicValue.integer(1)
+        assert AtomicValue.integer(1) != AtomicValue.string("1")
+
+    def test_hashable(self):
+        assert len({AtomicValue.integer(1), AtomicValue.integer(1)}) == 1
+
+    def test_lexical_forms(self):
+        assert AtomicValue.boolean(True).lexical() == "true"
+        assert AtomicValue.boolean(False).lexical() == "false"
+        assert AtomicValue.integer(-7).lexical() == "-7"
+        assert AtomicValue.double(3.0).lexical() == "3"
+        assert AtomicValue.double(3.25).lexical() == "3.25"
+        assert AtomicValue.double(float("nan")).lexical() == "NaN"
+        assert AtomicValue.double(float("inf")).lexical() == "INF"
+        assert AtomicValue.double(float("-inf")).lexical() == "-INF"
+
+
+class TestQName:
+    def test_parse_prefixed(self):
+        q = QName.parse("fn:count")
+        assert (q.prefix, q.local) == ("fn", "count")
+        assert str(q) == "fn:count"
+
+    def test_parse_unprefixed(self):
+        q = QName.parse("item")
+        assert q.prefix is None and q.local == "item"
+
+
+class TestAtomization:
+    def test_node_atomizes_to_untyped_string_value(self):
+        store = Store()
+        e = store.create_element("n")
+        store.append_child(e, store.create_text("42"))
+        [av] = atomize([Node(store, e)])
+        assert av.type == XS_UNTYPED
+        assert av.value == "42"
+
+    def test_atomics_pass_through(self):
+        av = AtomicValue.integer(5)
+        assert atomize([av]) == [av]
+
+    def test_atomize_single_requires_one(self):
+        with pytest.raises(AtomizationError):
+            atomize_single([])
+        with pytest.raises(AtomizationError):
+            atomize_single([AtomicValue.integer(1), AtomicValue.integer(2)])
+
+    def test_atomize_optional(self):
+        assert atomize_optional([]) is None
+        assert atomize_optional([AtomicValue.integer(1)]).value == 1
+
+    def test_singleton_and_single_node(self):
+        store = Store()
+        node = Node(store, store.create_element("x"))
+        assert singleton([node]) is node
+        assert single_node([node]) is node
+        with pytest.raises(CardinalityError):
+            singleton([])
+        with pytest.raises(TypeError_):
+            single_node([AtomicValue.integer(1)])
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_is_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_node_first_is_true(self):
+        store = Store()
+        node = Node(store, store.create_element("x"))
+        assert effective_boolean_value([node]) is True
+        assert effective_boolean_value([node, node]) is True
+
+    def test_boolean(self):
+        assert effective_boolean_value([AtomicValue.boolean(True)]) is True
+        assert effective_boolean_value([AtomicValue.boolean(False)]) is False
+
+    def test_string_by_emptiness(self):
+        assert effective_boolean_value([AtomicValue.string("")]) is False
+        assert effective_boolean_value([AtomicValue.string("x")]) is True
+
+    def test_numeric_zero_and_nan_false(self):
+        assert effective_boolean_value([AtomicValue.integer(0)]) is False
+        assert effective_boolean_value([AtomicValue.double(float("nan"))]) is False
+        assert effective_boolean_value([AtomicValue.double(0.5)]) is True
+
+    def test_multiple_atomics_error(self):
+        with pytest.raises(TypeError_):
+            effective_boolean_value(
+                [AtomicValue.integer(1), AtomicValue.integer(2)]
+            )
+
+
+class TestCastToNumber:
+    def test_integer_string(self):
+        assert cast_to_number(AtomicValue.string("42")).value == 42
+
+    def test_decimal_string(self):
+        assert cast_to_number(UntypedAtomic("1.5")).value == 1.5
+
+    def test_untyped_garbage_is_nan(self):
+        assert math.isnan(cast_to_number(UntypedAtomic("abc")).value)
+
+    def test_typed_string_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            cast_to_number(AtomicValue.string("abc"))
+
+    def test_boolean_to_number(self):
+        assert cast_to_number(AtomicValue.boolean(True)).value == 1
+
+
+class TestRendering:
+    def test_item_string_of_node(self):
+        store = Store()
+        e = store.create_element("n")
+        store.append_child(e, store.create_text("hello"))
+        assert item_string(Node(store, e)) == "hello"
+
+    def test_sequence_string_space_joins(self):
+        seq = [AtomicValue.integer(1), AtomicValue.string("two")]
+        assert sequence_string(seq) == "1 two"

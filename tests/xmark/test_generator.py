@@ -1,0 +1,87 @@
+"""Tests for the XMark-style data generator."""
+
+import pytest
+
+from repro import Engine
+from repro.xmark import XMarkConfig, generate_auction_xml
+from repro.xmlio import parse_document
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    e = Engine()
+    e.load_document(
+        "auction",
+        generate_auction_xml(
+            XMarkConfig(persons=25, items=15, open_auctions=8, closed_auctions=30)
+        ),
+    )
+    return e
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        config = XMarkConfig(persons=10, items=5, seed=7)
+        assert generate_auction_xml(config) == generate_auction_xml(config)
+
+    def test_different_seed_differs(self):
+        a = generate_auction_xml(XMarkConfig(persons=10, items=5, seed=1))
+        b = generate_auction_xml(XMarkConfig(persons=10, items=5, seed=2))
+        assert a != b
+
+    def test_scale_factor(self):
+        small = XMarkConfig.scale(0.1)
+        large = XMarkConfig.scale(1.0)
+        assert large.persons == 10 * small.persons or large.persons > small.persons
+        assert large.closed_auctions > small.closed_auctions
+
+
+class TestSchemaShape:
+    def test_well_formed(self):
+        xml = generate_auction_xml(XMarkConfig(persons=5, items=3))
+        doc = parse_document(xml)
+        assert doc.children[0].name == "site"
+
+    def test_counts(self, engine):
+        assert engine.execute("count($auction//person)").first_value() == 25
+        assert engine.execute("count($auction//item)").first_value() == 15
+        assert engine.execute("count($auction//open_auction)").first_value() == 8
+        assert engine.execute("count($auction//closed_auction)").first_value() == 30
+
+    def test_ids_unique(self, engine):
+        assert engine.execute(
+            "count(distinct-values($auction//person/@id))"
+        ).first_value() == 25
+
+    def test_referential_integrity_buyers(self, engine):
+        ok = engine.execute(
+            "every $t in $auction//closed_auction satisfies "
+            "exists($auction//person[@id = $t/buyer/@person])"
+        )
+        assert ok.first_value() is True
+
+    def test_referential_integrity_items(self, engine):
+        ok = engine.execute(
+            "every $t in $auction//closed_auction satisfies "
+            "exists($auction//item[@id = $t/itemref/@item])"
+        )
+        assert ok.first_value() is True
+
+    def test_person_fields(self, engine):
+        person = engine.execute("($auction//person)[1]")
+        xml = person.serialize()
+        for field in ("<name>", "<emailaddress>", "<city>", "<income>"):
+            assert field in xml
+
+    def test_open_auction_current_consistent(self, engine):
+        ok = engine.execute(
+            "every $o in $auction//open_auction satisfies "
+            "number($o/current) ge number($o/initial)"
+        )
+        assert ok.first_value() is True
+
+    def test_regions_partition_items(self, engine):
+        in_regions = engine.execute(
+            "count($auction//namerica/item) + count($auction//europe/item)"
+        ).first_value()
+        assert in_regions == 15

@@ -1,0 +1,148 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xdm.store import NodeKind
+from repro.xmlio import parse_document, parse_fragment, serialize
+
+
+class TestBasicParsing:
+    def test_document_node(self):
+        doc = parse_document("<a/>")
+        assert doc.kind is NodeKind.DOCUMENT
+        assert doc.children[0].name == "a"
+
+    def test_xml_declaration_skipped(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.children[0].name == "a"
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        a = doc.children[0]
+        assert a.children[0].children[0].name == "c"
+
+    def test_attributes_single_and_double_quotes(self):
+        root = parse_fragment("""<a x="1" y='2'/>""")
+        assert root.attribute("x").string_value == "1"
+        assert root.attribute("y").string_value == "2"
+
+    def test_text_content(self):
+        root = parse_fragment("<a>hello world</a>")
+        assert root.string_value == "hello world"
+
+    def test_mixed_content(self):
+        root = parse_fragment("<a>pre<b>mid</b>post</a>")
+        kinds = [c.kind for c in root.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+        assert root.string_value == "premidpost"
+
+    def test_self_closing(self):
+        root = parse_fragment("<a><b/><c/></a>")
+        assert [c.name for c in root.children] == ["b", "c"]
+
+    def test_prefixed_names_pass_through(self):
+        root = parse_fragment('<ns:a ns:x="1"/>')
+        assert root.name == "ns:a"
+        assert root.attribute("ns:x").string_value == "1"
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        root = parse_fragment("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert root.string_value == "<>&'\""
+
+    def test_character_references(self):
+        root = parse_fragment("<a>&#65;&#x42;</a>")
+        assert root.string_value == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_fragment('<a x="&amp;&#33;"/>')
+        assert root.attribute("x").string_value == "&!"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("<a>&nope;</a>")
+
+    def test_cdata(self):
+        root = parse_fragment("<a><![CDATA[<not> & parsed]]></a>")
+        assert root.string_value == "<not> & parsed"
+
+    def test_comment(self):
+        root = parse_fragment("<a><!-- a comment --></a>")
+        [comment] = root.children
+        assert comment.kind is NodeKind.COMMENT
+        assert comment.string_value == " a comment "
+
+    def test_processing_instruction(self):
+        root = parse_fragment("<a><?target some data?></a>")
+        [pi] = root.children
+        assert pi.kind is NodeKind.PROCESSING_INSTRUCTION
+        assert pi.name == "target"
+        assert pi.string_value == "some data"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",                      # unterminated
+            "<a></b>",                  # mismatched end tag
+            "<a x=1/>",                 # unquoted attribute
+            '<a x="1" x="2"/>',         # duplicate attribute
+            "<a/><b/>",                 # two roots (fragment)
+            "",                         # nothing
+            "just text",                # no element
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XMLParseError):
+            parse_fragment(text)
+
+    def test_dtd_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<!DOCTYPE a><a/>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/>trailing")
+
+    def test_error_carries_location(self):
+        try:
+            parse_document("<a>\n  <b></c>\n</a>")
+        except XMLParseError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected XMLParseError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            '<a x="1"/>',
+            "<a>text</a>",
+            "<a><b>x</b><c/>tail</a>",
+            "<a>&lt;escaped&gt; &amp; fine</a>",
+            '<a x="&quot;quoted&quot;"/>',
+            "<a><!--note--><?pi data?></a>",
+        ],
+    )
+    def test_parse_serialize_parse(self, text):
+        once = serialize(parse_fragment(text))
+        twice = serialize(parse_fragment(once))
+        assert once == twice
+
+    def test_document_roundtrip_preserves_structure(self):
+        text = '<?xml version="1.0"?><r><a i="1">x</a><b/></r>'
+        doc = parse_document(text)
+        again = parse_document(serialize(doc))
+        from repro.xdm.compare import deep_equal
+
+        assert deep_equal([doc.children[0]], [again.children[0]])
+
+    def test_misc_around_root(self):
+        doc = parse_document("<!--before--><a/><!--after-->")
+        kinds = [c.kind for c in doc.children]
+        assert kinds == [NodeKind.COMMENT, NodeKind.ELEMENT, NodeKind.COMMENT]

@@ -1,0 +1,65 @@
+"""Unit tests for the XML serializer."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.xdm.store import Store
+from repro.xdm.nodes import Node
+from repro.xdm.values import AtomicValue
+from repro.xmlio import parse_fragment, serialize, serialize_sequence
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse_fragment("<a></a>")) == "<a/>"
+
+    def test_attribute_escaping(self):
+        store = Store()
+        e = store.create_element("a")
+        store.set_attribute(e, store.create_attribute("x", 'say "hi" & <go>'))
+        assert (
+            serialize(Node(store, e))
+            == '<a x="say &quot;hi&quot; &amp; &lt;go&gt;"/>'
+        )
+
+    def test_text_escaping(self):
+        store = Store()
+        e = store.create_element("a")
+        store.append_child(e, store.create_text("1 < 2 & 3 > 2"))
+        assert serialize(Node(store, e)) == "<a>1 &lt; 2 &amp; 3 &gt; 2</a>"
+
+    def test_comment_and_pi(self):
+        assert serialize(parse_fragment("<a><!--c--><?p d?></a>")) == (
+            "<a><!--c--><?p d?></a>"
+        )
+
+    def test_free_attribute_rejected(self):
+        store = Store()
+        attr = store.create_attribute("x", "1")
+        with pytest.raises(SerializationError):
+            serialize(Node(store, attr))
+
+    def test_indent_elements_only(self):
+        out = serialize(parse_fragment("<a><b/><c/></a>"), indent=True)
+        assert out == "<a>\n  <b/>\n  <c/>\n</a>"
+
+    def test_indent_preserves_mixed_content(self):
+        out = serialize(parse_fragment("<a>x<b/>y</a>"), indent=True)
+        assert out == "<a>x<b/>y</a>"
+
+
+class TestSerializeSequence:
+    def test_atomics_space_separated(self):
+        seq = [AtomicValue.integer(1), AtomicValue.integer(2)]
+        assert serialize_sequence(seq) == "1 2"
+
+    def test_node_then_atomic_no_space(self):
+        node = parse_fragment("<a/>")
+        seq = [node, AtomicValue.integer(1)]
+        assert serialize_sequence(seq) == "<a/>1"
+
+    def test_atomic_escaping(self):
+        assert serialize_sequence([AtomicValue.string("a<b&c")]) == "a&lt;b&amp;c"
+
+    def test_empty(self):
+        assert serialize_sequence([]) == ""
