@@ -8,7 +8,11 @@ measures what it buys:
 * **// collapse** — the ``descendant-or-self::node()/child::n`` →
   ``descendant::n`` core rewrite (without it the index never fires);
 * **order-key cache** — cached document-order keys vs recomputation
-  (exercised through a sort-heavy query).
+  (exercised through a sort-heavy query);
+* **touch scope** — per-tree order-cache invalidation vs wiping the whole
+  cache on any mutation (the mixed read/update service workload: updates
+  hit $log while sorted reads hit $auction, so scoped invalidation keeps
+  the document's keys warm).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import pytest
 from repro import Engine
 from repro.lang.normalize import normalize_module
 from repro.lang.parser import parse_module
+from repro.xdm.store import Store
 from repro.xmark import XMarkConfig, generate_auction_xml
 
 _XML = generate_auction_xml(
@@ -105,3 +110,40 @@ def test_sort_heavy_query_cold_cache(benchmark):
         )
 
     benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+class _FullWipeStore(Store):
+    """The pre-scoping behaviour: any mutation drops every cached key."""
+
+    def _touch(self, *roots):
+        Store._touch(self)
+
+
+_MIXED_READ = "count($auction//person | $auction//closed_auction/buyer)"
+_MIXED_WRITE = "snap insert { <tick/> } into { $sink }"
+
+
+def _mixed_workload(engine: Engine):
+    def run():
+        for _ in range(5):
+            engine.execute(_MIXED_WRITE)
+            engine.execute(_MIXED_READ)
+
+    return run
+
+
+@pytest.mark.benchmark(group="ablation-touch-scope")
+def test_mixed_workload_scoped_touch(benchmark):
+    """Updates land in $sink; $auction order keys survive them."""
+    engine = scan_engine(True)
+    engine.bind("sink", engine.parse_fragment("<sink/>"))
+    benchmark.pedantic(_mixed_workload(engine), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-touch-scope")
+def test_mixed_workload_full_wipe(benchmark):
+    """Same workload with every mutation wiping the whole order cache."""
+    engine = scan_engine(True)
+    engine.bind("sink", engine.parse_fragment("<sink/>"))
+    engine.store.__class__ = _FullWipeStore
+    benchmark.pedantic(_mixed_workload(engine), rounds=3, iterations=1)

@@ -19,6 +19,7 @@ Quickstart::
 
 from repro.engine import Engine, QueryResult, to_sequence
 from repro.errors import XQueryError
+from repro.prepared import PreparedQuery, PreparedQueryCache
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
@@ -27,6 +28,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Engine",
     "QueryResult",
+    "PreparedQuery",
+    "PreparedQueryCache",
     "to_sequence",
     "XQueryError",
     "AtomicValue",

@@ -1,11 +1,34 @@
 """Plan execution over the store (the algebra's physical layer).
 
-Tuple streams are Python generators of ``dict[str, Sequence]``; pending
+Tuple streams are lazily produced ``dict[str, Sequence]`` values; pending
 updates collected while producing tuples accumulate in the execution
 state's Δ, preserving the evaluation order the dynamic semantics
 prescribes.  Hash-based joins use atomized join keys under the general-
 comparison matching rules (untyped values match as strings *and* as
 numbers when both sides parse, mirroring ``=``).
+
+Streaming discipline
+--------------------
+
+Execution is a pull pipeline: MapConcat / LetBind / Select stages never
+build intermediate tuple lists — each tuple flows from the source through
+the whole chain before the next one is produced.  Materialization happens
+only at the operators whose semantics require seeing the full stream:
+
+* **Snap** — the Δ of the entire inner plan must be complete before
+  application, so the inner value sequence is materialized there (this is
+  also where ``execute_plan`` returns, since the compiler always wraps
+  plans in a top-level snap);
+* **OrderBySort** — sorting needs every tuple (and evaluates key
+  expressions in generation order so key-expression deltas land exactly
+  where the interpreter puts them);
+* **HashJoin / GroupBy** — the build side is hashed in full; the probe
+  (left) side still streams.
+
+Linear operator chains are driven *iteratively* with an explicit iterator
+stack rather than one generator frame per operator, so FLWOR nesting
+depth is bounded by memory, not the Python recursion limit — a
+1000-level-deep nested ``for`` executes fine.
 """
 
 from __future__ import annotations
@@ -50,9 +73,13 @@ def execute_plan(plan: P.Plan, engine: "Engine") -> Sequence:
 
 
 def _items(plan: P.Plan, state: _ExecState) -> Sequence:
-    """Execute a value-producing plan node."""
+    """Execute a value-producing plan node, materialized.
+
+    Snap is the materialization barrier: the inner stream must be fully
+    drained (its Δ complete) before the update list applies.
+    """
     if isinstance(plan, P.Snap):
-        inner = _items(plan.input, state)
+        inner = list(_stream_items(plan.input, state))
         mode = (
             ApplySemantics(plan.mode) if plan.mode else ApplySemantics.ORDERED
         )
@@ -64,51 +91,46 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
         )
         state.delta = []
         return inner
+    return list(_stream_items(plan, state))
+
+
+def _stream_items(plan: P.Plan, state: _ExecState) -> Iterator:
+    """Lazily yield the items of a value-producing plan node."""
+    if isinstance(plan, P.Snap):
+        # A nested plan-level snap is itself a barrier; materialize it.
+        yield from _items(plan, state)
+        return
     if isinstance(plan, P.EvalExpr):
-        return state.eval_scalar(plan.expr, {})
+        yield from state.eval_scalar(plan.expr, {})
+        return
     if isinstance(plan, P.MapFromItem):
-        out: Sequence = []
         for tup in _tuples(plan.input, state):
-            out.extend(state.eval_scalar(plan.ret, tup))
-        return out
+            yield from state.eval_scalar(plan.ret, tup)
+        return
     raise DynamicError(f"plan node {type(plan).__name__} does not produce items")
 
 
+# ----------------------------------------------------------------------
+# Tuple streams
+# ----------------------------------------------------------------------
+
+# The linear (single-input, tuple-in/tuples-out) operators that form FLWOR
+# chains.  These are driven iteratively — see _chain_tuples.
+_CHAIN_OPS = (P.MapConcat, P.LetBind, P.Select)
+
+
 def _tuples(plan: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
-    """Execute a tuple-stream plan node."""
+    """Execute a tuple-stream plan node (lazy)."""
+    if isinstance(plan, _CHAIN_OPS):
+        return _chain_tuples(plan, state)
     if isinstance(plan, P.UnitTuple):
-        yield {}
-        return
-    if isinstance(plan, P.MapConcat):
-        for tup in _tuples(plan.input, state):
-            source = state.eval_scalar(plan.source, tup)
-            for index, item in enumerate(source, start=1):
-                extended = dict(tup)
-                extended[plan.var] = [item]
-                if plan.position_var:
-                    extended[plan.position_var] = [AtomicValue.integer(index)]
-                yield extended
-        return
-    if isinstance(plan, P.LetBind):
-        for tup in _tuples(plan.input, state):
-            extended = dict(tup)
-            extended[plan.var] = state.eval_scalar(plan.source, tup)
-            yield extended
-        return
-    if isinstance(plan, P.Select):
-        for tup in _tuples(plan.input, state):
-            if effective_boolean_value(state.eval_scalar(plan.predicate, tup)):
-                yield tup
-        return
+        return iter(({},))
     if isinstance(plan, P.OrderBySort):
-        yield from _order_by_sort(plan, state)
-        return
+        return _order_by_sort(plan, state)
     if isinstance(plan, P.HashJoin):
-        yield from _hash_join(plan, state)
-        return
+        return _hash_join(plan, state)
     if isinstance(plan, P.GroupBy):
-        yield from _group_by(plan, state)
-        return
+        return _group_by(plan, state)
     if isinstance(plan, P.LeftOuterJoin):
         raise DynamicError(
             "LeftOuterJoin must be consumed by GroupBy in this algebra"
@@ -116,9 +138,68 @@ def _tuples(plan: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
     raise DynamicError(f"plan node {type(plan).__name__} is not a tuple stream")
 
 
+def _chain_tuples(top: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
+    """Stream a linear MapConcat/LetBind/Select chain iteratively.
+
+    The chain is unrolled into source-to-sink order and driven with an
+    explicit stack of iterators — level *k* of the stack yields tuples
+    that have passed the first *k* operators.  Always pulling from the
+    deepest level gives exactly the recursive generators' depth-first
+    nested-loop order (and the same lazy evaluation points), but resuming
+    costs O(1) Python stack regardless of chain length.
+    """
+    ops: list[P.Plan] = []
+    node = top
+    while isinstance(node, _CHAIN_OPS):
+        ops.append(node)
+        node = node.input
+    ops.reverse()
+    n = len(ops)
+    stack: list[Iterator[Tuple_]] = [_tuples(node, state)]
+    while stack:
+        tup = next(stack[-1], None)
+        if tup is None:
+            stack.pop()
+            continue
+        depth = len(stack) - 1  # tup has passed ops[:depth]
+        if depth == n:
+            yield tup
+        else:
+            stack.append(_apply_chain_op(ops[depth], tup, state))
+
+
+def _apply_chain_op(
+    op: P.Plan, tup: Tuple_, state: _ExecState
+) -> Iterator[Tuple_]:
+    """One operator applied to one tuple: an iterator of output tuples."""
+    if isinstance(op, P.MapConcat):
+        source = state.eval_scalar(op.source, tup)
+        return _extend_per_item(op, tup, source)
+    if isinstance(op, P.LetBind):
+        extended = dict(tup)
+        extended[op.var] = state.eval_scalar(op.source, tup)
+        return iter((extended,))
+    # Select
+    if effective_boolean_value(state.eval_scalar(op.predicate, tup)):
+        return iter((tup,))
+    return iter(())
+
+
+def _extend_per_item(
+    op: P.MapConcat, tup: Tuple_, source: Sequence
+) -> Iterator[Tuple_]:
+    for index, item in enumerate(source, start=1):
+        extended = dict(tup)
+        extended[op.var] = [item]
+        if op.position_var:
+            extended[op.position_var] = [AtomicValue.integer(index)]
+        yield extended
+
+
 def _order_by_sort(plan: P.OrderBySort, state: _ExecState) -> Iterator[Tuple_]:
-    """Materialize, key and stable-sort the tuple stream; key-expression
-    deltas accumulate in generation order, matching the interpreter."""
+    """Materialize, key and stable-sort the tuple stream (a required
+    barrier); key-expression deltas accumulate in generation order,
+    matching the interpreter."""
     from repro.semantics.evaluator import _OrderKey
     from repro.xdm.values import atomize_optional
 
@@ -192,6 +273,7 @@ def _strip_order(tup: Tuple_) -> Tuple_:
 
 
 def _hash_join(plan: P.HashJoin, state: _ExecState) -> Iterator[Tuple_]:
+    """Build the right side (a barrier), stream the left side."""
     table = _build_hash_ordered(plan.right, plan.right_key, state)
     for left_tup in _tuples(plan.left, state):
         left_key_value = state.eval_scalar(plan.left_key, left_tup)
@@ -203,6 +285,7 @@ def _hash_join(plan: P.HashJoin, state: _ExecState) -> Iterator[Tuple_]:
 
 
 def _group_by(plan: P.GroupBy, state: _ExecState) -> Iterator[Tuple_]:
+    """Build the right side (a barrier), stream the grouped left side."""
     join = plan.input
     table = _build_hash_ordered(join.right, join.right_key, state)
     for left_tup in _tuples(join.left, state):

@@ -57,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind $NAME to a string value (repeatable)",
     )
     parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind $NAME per execution via the prepared query (like a "
+        "prepared-statement parameter: the value is data, never query "
+        "text; repeatable)",
+    )
+    parser.add_argument(
         "--fragment",
         action="append",
         default=[],
@@ -138,11 +147,19 @@ def make_engine(args: argparse.Namespace) -> Engine:
     return engine
 
 
+def _params(args: argparse.Namespace) -> dict[str, str] | None:
+    bindings = dict(
+        _split_binding(binding, "--param") for binding in args.param
+    )
+    return bindings or None
+
+
 def run_query(engine: Engine, query: str, args: argparse.Namespace) -> int:
     if args.plan:
         print(pretty_plan(engine.compile(query)))
         return 0
-    result = engine.execute(query, optimize=args.optimize)
+    prepared = engine.prepare(query, optimize=args.optimize)
+    result = prepared.execute(bindings=_params(args))
     output = result.serialize(indent=args.indent)
     if output:
         print(output)
@@ -153,7 +170,9 @@ def repl(engine: Engine, args: argparse.Namespace) -> int:
     """A line-oriented interactive session.
 
     Enter queries terminated by an empty line; ':quit' exits, ':plan on'
-    toggles plan printing.
+    toggles plan printing, ':cache' shows prepared-cache statistics.
+    Re-running a query skips the frontend via the prepared-query cache;
+    ``--param`` bindings apply to every query of the session.
     """
     print("XQuery! — type a query, finish with an empty line; :quit exits.")
     show_plan = False
@@ -174,6 +193,9 @@ def repl(engine: Engine, args: argparse.Namespace) -> int:
         if not buffer and stripped == ":plan off":
             show_plan = False
             continue
+        if not buffer and stripped == ":cache":
+            print(engine.prepared_cache)
+            continue
         if stripped:
             buffer.append(line)
             continue
@@ -184,7 +206,8 @@ def repl(engine: Engine, args: argparse.Namespace) -> int:
         try:
             if show_plan:
                 print(pretty_plan(engine.compile(query)))
-            result = engine.execute(query, optimize=args.optimize)
+            prepared = engine.prepare(query, optimize=args.optimize)
+            result = prepared.execute(bindings=_params(args))
             print(result.serialize(indent=args.indent))
         except XQueryError as error:
             print(f"error: {error}", file=sys.stderr)

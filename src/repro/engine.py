@@ -26,6 +26,7 @@ from repro.lang import core_ast as core
 from repro.lang.normalize import normalize, normalize_module
 from repro.lang.simplify import simplify_module
 from repro.lang.parser import parse_module
+from repro.prepared import PreparedQuery, PreparedQueryCache
 from repro.semantics.context import DynamicContext, FunctionRegistry
 from repro.semantics.evaluator import Evaluator
 from repro.semantics.functions import default_registry
@@ -122,6 +123,8 @@ class Engine:
             a precondition mid-application (failure containment).
         static_checks: validate variable scoping and function resolution
             before evaluating (catches typos before any update fires).
+        prepared_cache_size: capacity of the prepared-query LRU that
+            ``execute`` is transparently routed through (see ``prepare``).
     """
 
     def __init__(
@@ -130,6 +133,7 @@ class Engine:
         trace_sink: Callable[[str], None] | None = None,
         atomic_snaps: bool = False,
         static_checks: bool = False,
+        prepared_cache_size: int = 128,
     ):
         self.store = Store()
         self.functions: FunctionRegistry = default_registry()
@@ -142,6 +146,7 @@ class Engine:
         self._module_library: dict[str, str] = {}
         self._loaded_modules: dict[str, tuple[list, str | None]] = {}
         self._loading: set[str] = set()
+        self.prepared_cache = PreparedQueryCache(prepared_cache_size)
 
     def _maybe_check(self, module: core.CModule) -> None:
         if self.static_checks:
@@ -181,8 +186,12 @@ class Engine:
 
     def register_module(self, uri: str, text: str) -> None:
         """Make a library module available to ``import module namespace
-        p = "uri"``.  The text is parsed lazily on first import."""
+        p = "uri"``.  The text is parsed lazily on first import.
+
+        Invalidates the prepared-query cache: a newly available module can
+        change how an ``import`` (and hence name resolution) resolves."""
         self._module_library[uri] = text
+        self.prepared_cache.clear()
 
     def _resolve_imports(self, module: core.CModule) -> None:
         for prefix, uri in module.imports:
@@ -234,7 +243,12 @@ class Engine:
     def load_module(self, text: str) -> Optional[QueryResult]:
         """Load a module: register its functions, evaluate its variable
         declarations in order (each under the implicit snap), and run the
-        query body if there is one."""
+        query body if there is one.
+
+        Invalidates the prepared-query cache: newly declared functions can
+        change name resolution and the optimizer's purity verdicts for
+        queries prepared earlier."""
+        self.prepared_cache.clear()
         module = simplify_module(normalize_module(parse_module(text)))
         self._resolve_imports(module)
         result: Optional[QueryResult] = None
@@ -266,22 +280,54 @@ class Engine:
         """Parse, normalize and evaluate *query* (which may include a
         prolog).  With ``optimize=True`` the query body is compiled to the
         nested-relational algebra and rewritten before execution
-        (Section 4)."""
+        (Section 4).
+
+        Transparently routed through the prepared-query cache: repeating
+        the same query text skips the whole frontend (see ``prepare``).
+        Dynamic prolog steps — variable-declaration initializers under the
+        implicit snap — still run on every call."""
+        return self.prepare(query, optimize=optimize).execute()
+
+    def prepare(self, query: str, optimize: bool = False) -> PreparedQuery:
+        """Run the frontend once — parse → normalize → simplify → static
+        check → (with ``optimize=True``) compile and rewrite to the
+        algebra — and return a reusable :class:`PreparedQuery`.
+
+        Results are cached in a bounded LRU keyed by ``(query text,
+        optimize, default snap semantics)``; ``register_module`` and
+        ``load_module`` invalidate the cache, as does any change to the
+        set of registered user functions.
+
+        Per-call parameters bind free ``$variables`` at execute time::
+
+            pq = engine.prepare('get_item($itemid, $userid)')
+            pq.execute(bindings={"itemid": "item3", "userid": "person7"})
+        """
+        key = (query, optimize, self.default_semantics.value)
+        cached = self.prepared_cache.lookup(key, self.functions.generation)
+        if cached is not None:
+            return cached
         module = simplify_module(normalize_module(parse_module(query)))
         self._resolve_imports(module)
         for decl in module.declarations:
             if isinstance(decl, core.CFunction):
                 self.functions.register_user(decl)
         self._maybe_check(module)
-        for decl in module.declarations:
-            if isinstance(decl, core.CVarDecl) and decl.expr is not None:
-                value = self.evaluator.run_snapped(
-                    decl.expr, self._context(), self.default_semantics
-                )
-                self.evaluator.globals[decl.name] = value
-        if module.body is None:
-            return QueryResult([], self)
-        return self._run(module.body, optimize)
+        plan = None
+        if optimize and module.body is not None:
+            from repro.algebra.compile import compile_query
+
+            plan = compile_query(module.body, self, optimize=True)
+        prepared = PreparedQuery(
+            engine=self,
+            query_text=query,
+            module=module,
+            plan=plan,
+            optimize=optimize,
+            generation=self.functions.generation,
+        )
+        self.prepared_cache.store(key, prepared)
+        return prepared
 
     def compile(self, query: str):
         """Compile *query* to an (optimized) algebra plan without running

@@ -2,14 +2,23 @@
 
 Currently one classic XPath rewrite:
 
-    base/descendant-or-self::node()/child::NAME
-        ==>   base/descendant::NAME
+    base/descendant-or-self::node()/child::NAME[P...]
+        ==>   base/descendant::NAME[P...]
 
 (the expansion of ``//NAME``), which lets the store's element-name index
-answer the step directly.  The rewrite is *only* valid when the child step
-carries no predicates: ``//para[1]`` means "the first para child of each
-descendant", while ``descendant::para[1]`` is "the first para descendant" —
-so any predicate disables it (the conservative guard).
+answer the step directly.  Predicates make the rewrite delicate: the two
+sides group candidates differently, so anything *positional* changes
+meaning — ``//para[1]`` is "the first para child of each descendant"
+while ``descendant::para[1]`` is "the first para descendant".  The
+rewrite therefore fires only when every predicate is provably
+position-insensitive: an expression whose value is always a boolean (a
+comparison, and/or, some/every, or an ``fn:``-prefixed boolean built-in —
+these can never trigger the numeric positional-match rule) that mentions
+neither ``position()`` nor ``last()`` anywhere.  Both sides then evaluate
+the predicate once per candidate in document order, keep the same nodes,
+and emit the same Δ.  This matters for the server hot path: without it,
+``$auction//item[@id = $itemid]`` walks the whole document instead of
+probing the name index.
 
 Also provides :func:`transform`, a generic bottom-up rewriter over core
 dataclasses used by this pass (and available for future ones).
@@ -77,6 +86,58 @@ def _is_dos_node_step(expr: core.CoreExpr) -> bool:
     )
 
 
+# fn:-prefixed built-ins whose value is always xs:boolean.  Only the
+# prefixed form is trusted: an unprefixed call could resolve to a
+# same-named user function returning a number (which would flip the
+# predicate into positional mode), while ``fn:name`` always resolves to
+# the built-in.  Comparison / and / or / some / every are syntax, not
+# calls, so they cannot be shadowed at all.
+_BOOLEAN_FN_BUILTINS = frozenset(
+    {
+        "fn:not",
+        "fn:empty",
+        "fn:exists",
+        "fn:boolean",
+        "fn:contains",
+        "fn:starts-with",
+        "fn:ends-with",
+        "fn:deep-equal",
+        "fn:true",
+        "fn:false",
+    }
+)
+
+
+def _uses_focus_position(expr: core.CoreExpr) -> bool:
+    """Does *expr* mention position()/last() anywhere?
+
+    Conservative: nested predicates introduce their own focus, so an
+    inner position() would actually be safe — but distinguishing focus
+    levels buys little, and over-rejecting is always sound.
+    """
+    if isinstance(expr, core.CCall):
+        name = expr.name[3:] if expr.name.startswith("fn:") else expr.name
+        if name in ("position", "last"):
+            return True
+    return any(_uses_focus_position(child) for child in core.child_exprs(expr))
+
+
+def _position_insensitive(predicate: core.CoreExpr) -> bool:
+    """True when filtering by *predicate* cannot depend on the focus
+    position or size: its value is always boolean (never the numeric
+    positional match) and it never reads position()/last()."""
+    if isinstance(
+        predicate, (core.CComparison, core.CBool, core.CQuantified)
+    ):
+        return not _uses_focus_position(predicate)
+    if (
+        isinstance(predicate, core.CCall)
+        and predicate.name in _BOOLEAN_FN_BUILTINS
+    ):
+        return not _uses_focus_position(predicate)
+    return False
+
+
 def _collapse_descendant(expr: core.CoreExpr) -> core.CoreExpr:
     if not isinstance(expr, core.CPath):
         return expr
@@ -87,12 +148,15 @@ def _collapse_descendant(expr: core.CoreExpr) -> core.CoreExpr:
         and _is_dos_node_step(base.step)
         and isinstance(step, core.CAxisStep)
         and step.axis == "child"
-        and not step.predicates
+        and all(_position_insensitive(p) for p in step.predicates)
     ):
         return core.CPath(
             base=base.base,
             step=core.CAxisStep(
-                axis="descendant", test=step.test, line=step.line
+                axis="descendant",
+                test=step.test,
+                predicates=list(step.predicates),
+                line=step.line,
             ),
             line=expr.line,
         )

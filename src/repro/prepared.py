@@ -1,0 +1,256 @@
+"""Prepared queries: compile once, execute many times.
+
+The paper's motivating workload (Section 2: the auction Web service with
+``get_item``, logging and snap-controlled archiving) is a *server*
+scenario — the same handful of updating queries runs over and over
+against a live store.  Re-running the full frontend (lex → parse →
+normalize → simplify → static check → compile) on every call makes the
+per-request cost frontend-bound instead of store/Δ-bound.
+
+:class:`PreparedQuery` holds the frontend's output — the normalized core
+module and, when requested, the optimized algebra plan — so repeated
+execution pays only the dynamic cost.  :class:`PreparedQueryCache` is the
+bounded LRU the engine routes ``execute()`` through, keyed by
+``(query_text, optimize, snap semantics)``.
+
+Parameter binding follows the prepared-statement idiom (the
+``XQPreparedExpression.bindString`` pattern of XQJ): a query references
+free ``$variables`` and each :meth:`PreparedQuery.execute` call supplies
+their values out-of-band, so user input is never spliced into query text
+and can never change the query's structure::
+
+    pq = engine.prepare('get_item($itemid, $userid)')
+    pq.execute(bindings={"itemid": "item3", "userid": "person7"})
+
+Bindings are scoped to the call: they are installed for the duration of
+the execution (visible to the body *and* to called functions, which read
+module globals) and restored afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.errors import DynamicError
+from repro.lang import core_ast as core
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.plan import Plan
+    from repro.engine import Engine, PythonValue, QueryResult
+
+
+_MISSING = object()
+
+
+class PreparedQuery:
+    """A query with its frontend work done once.
+
+    Instances are created by :meth:`Engine.prepare`; they stay tied to the
+    engine that prepared them (plans embed that engine's store handles and
+    function registry).  Executing re-runs only the *dynamic* prolog steps
+    the paper's semantics require per run — variable-declaration
+    initializers evaluate under the implicit snap on every call, exactly
+    as a fresh ``Engine.execute`` would — while parse trees and plans are
+    reused untouched.
+    """
+
+    __slots__ = (
+        "_engine",
+        "_module",
+        "_plan",
+        "query_text",
+        "optimize",
+        "_generation",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        query_text: str,
+        module: core.CModule,
+        plan: Optional["Plan"],
+        optimize: bool,
+        generation: int,
+    ):
+        self._engine = engine
+        self._module = module
+        self._plan = plan
+        self.query_text = query_text
+        self.optimize = optimize
+        # Function-registry generation at prepare time; the engine cache
+        # re-prepares when new user functions change name resolution.
+        self._generation = generation
+
+    @property
+    def external_variables(self) -> tuple[str, ...]:
+        """Names of ``declare variable $x external;`` declarations (the
+        variables a caller is expected to supply via *bindings*).  Free
+        variables that are never declared do not appear here — they
+        resolve against engine globals or per-call bindings at runtime."""
+        return tuple(
+            decl.name
+            for decl in self._module.declarations
+            if isinstance(decl, core.CVarDecl) and decl.expr is None
+        )
+
+    def execute(
+        self, bindings: Mapping[str, "PythonValue"] | None = None
+    ) -> "QueryResult":
+        """Run the prepared query.
+
+        *bindings* maps variable names (without ``$``) to Python values;
+        they are coerced with :func:`repro.engine.to_sequence`, installed
+        for the duration of this call, and restored afterwards.  The query
+        text is never touched — bound values are data, not syntax.
+        """
+        from repro.engine import QueryResult, to_sequence
+
+        engine = self._engine
+        globals_ = engine.evaluator.globals
+        saved: dict[str, object] = {}
+        if bindings:
+            for name, value in bindings.items():
+                saved[name] = globals_.get(name, _MISSING)
+                globals_[name] = to_sequence(value)
+        declared: set[str] = set()
+        try:
+            # Imports and function registration are idempotent after the
+            # first call (dict writes of the same objects) but keep the
+            # exact visible behavior of a fresh execute: a later module
+            # load that shadowed one of this query's prolog functions is
+            # overridden back for this query, as re-parsing would.
+            engine._resolve_imports(self._module)
+            for decl in self._module.declarations:
+                if isinstance(decl, core.CFunction):
+                    engine.functions.register_user(decl)
+            for decl in self._module.declarations:
+                if not isinstance(decl, core.CVarDecl):
+                    continue
+                if decl.expr is None:
+                    if decl.name not in globals_:
+                        raise DynamicError(
+                            f"external variable ${decl.name} is not bound; "
+                            "pass it via execute(bindings={...}) or "
+                            "Engine.bind()"
+                        )
+                    continue
+                value = engine.evaluator.run_snapped(
+                    decl.expr, engine._context(), engine.default_semantics
+                )
+                globals_[decl.name] = value
+                declared.add(decl.name)
+            if self._module.body is None:
+                return QueryResult([], engine)
+            if self._plan is not None:
+                from repro.algebra.execute import execute_plan
+
+                items = execute_plan(self._plan, engine)
+            else:
+                items = engine.evaluator.run_snapped(
+                    self._module.body,
+                    engine._context(),
+                    engine.default_semantics,
+                )
+            return QueryResult(items, engine)
+        finally:
+            for name, old in saved.items():
+                if name in declared:
+                    # The prolog re-declared a bound name; the declaration
+                    # wins, as it would under plain execute.
+                    continue
+                if old is _MISSING:
+                    globals_.pop(name, None)
+                else:
+                    globals_[name] = old
+
+    def __repr__(self) -> str:
+        head = self.query_text.strip().splitlines()[0][:60]
+        return (
+            f"PreparedQuery({head!r}, optimize={self.optimize}, "
+            f"plan={'yes' if self._plan is not None else 'no'})"
+        )
+
+
+class CacheStats:
+    """Counters for the prepared-query cache (mutable, engine-lifetime)."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations})"
+        )
+
+
+class PreparedQueryCache:
+    """A bounded LRU of :class:`PreparedQuery` objects.
+
+    Keys are ``(query_text, optimize, semantics)`` — the inputs that
+    change what the frontend produces.  Entries also remember the
+    function-registry generation they were built against; a lookup whose
+    entry predates a registry change is treated as a miss (new user
+    functions can change name resolution and the optimizer's purity
+    verdicts), mirroring how ``register_module``/``load_module`` clear the
+    cache wholesale.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        from collections import OrderedDict
+
+        if maxsize < 1:
+            raise ValueError("prepared-query cache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: tuple, generation: int) -> PreparedQuery | None:
+        """Return the cached entry for *key* if still valid, else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry._generation != generation:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: tuple, prepared: PreparedQuery) -> None:
+        self._entries[key] = prepared
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (counted as invalidations); returns how many."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def keys(self) -> list[tuple]:
+        """Cache keys, least- to most-recently used (for tests/REPL)."""
+        return list(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQueryCache(size={len(self)}/{self.maxsize}, "
+            f"{self.stats!r})"
+        )

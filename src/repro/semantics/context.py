@@ -91,6 +91,13 @@ class FunctionRegistry:
         self._builtins: dict[tuple[str, int], Builtin] = {}
         self._variadic_builtins: dict[str, Builtin] = {}
         self._user: dict[tuple[str, int], CFunction] = {}
+        # Bumped whenever the set of user functions *changes* (new name or
+        # a different declaration object under an existing name).  The
+        # prepared-query cache keys its entries against this: stale name
+        # resolution or purity verdicts are re-derived after a bump.
+        # Re-registering the identical declaration — which every prepared
+        # execution does for its own prolog — is generation-neutral.
+        self.generation = 0
 
     # -- registration ----------------------------------------------------
 
@@ -102,13 +109,18 @@ class FunctionRegistry:
 
     def register_user(self, function: CFunction) -> None:
         key = (function.name, len(function.params))
+        if self._user.get(key) is not function:
+            self.generation += 1
         self._user[key] = function
 
     def register_user_as(self, name: str, function: CFunction) -> None:
         """Register *function* under an alternate name (used by module
         imports to expose a library function under the importer's
         prefix)."""
-        self._user[(name, len(function.params))] = function
+        key = (name, len(function.params))
+        if self._user.get(key) is not function:
+            self.generation += 1
+        self._user[key] = function
 
     def user_functions(self) -> list[CFunction]:
         """All registered user functions (used by the purity analysis)."""

@@ -50,8 +50,11 @@ from repro.xdm.nodes import Node
 from repro.xdm.store import NodeKind, Store
 from repro.xdm.values import (
     XS_INTEGER,
+    XS_STRING,
+    XS_UNTYPED,
     AtomicValue,
     Sequence,
+    UntypedAtomic,
     atomize_optional,
     atomize_single,
     cast_to_number,
@@ -432,6 +435,12 @@ class Evaluator:
                 f"axis step {expr.axis}::... requires a node context item"
             )
         candidates = self._axis_candidates(item, expr)
+        if len(expr.predicates) == 1 and candidates:
+            kept = self._attr_compare_filter(
+                expr.predicates[0], candidates, context
+            )
+            if kept is not None:
+                return EvalResult(list(nodes_in_document_order(kept)), _EMPTY)
         delta = _EMPTY
         for predicate in expr.predicates:
             candidates, delta = self._apply_predicate(
@@ -439,6 +448,90 @@ class Evaluator:
             )
         value = list(nodes_in_document_order(candidates))
         return EvalResult(value, delta)
+
+    @staticmethod
+    def _attr_compare_operand(side: core.CoreExpr) -> str | None:
+        """The attribute name when *side* is a bare ``@name`` step."""
+        if (
+            isinstance(side, core.CAxisStep)
+            and side.axis == "attribute"
+            and side.test.kind == "name"
+            and side.test.name not in (None, "*")
+            and not side.predicates
+        ):
+            return side.test.name
+        return None
+
+    def _attr_compare_filter(
+        self,
+        predicate: core.CoreExpr,
+        items: list,
+        context: DynamicContext,
+    ) -> list | None:
+        """Direct-store filtering for the key-lookup predicate shape
+        ``step[@name <op> $var]`` (either operand order; literals too).
+
+        The generic path pays a dynamic-context + dispatch round trip per
+        candidate; here the attribute value is read straight off the store
+        record and compared with the exact ``general_compare`` semantics,
+        so the result (value, Δ = empty, errors) is identical — the
+        comparison is boolean-valued (never positional), both operands are
+        effect-free, and a missing attribute compares as the empty
+        sequence, i.e. false.  Returns None when the shape doesn't apply.
+        """
+        if not (
+            isinstance(predicate, core.CComparison)
+            and predicate.style == "general"
+        ):
+            return None
+        left_name = self._attr_compare_operand(predicate.left)
+        right_name = self._attr_compare_operand(predicate.right)
+        if left_name is not None and isinstance(
+            predicate.right, (core.CVar, core.CLiteral)
+        ):
+            name, other, flipped = left_name, predicate.right, False
+        elif right_name is not None and isinstance(
+            predicate.left, (core.CVar, core.CLiteral)
+        ):
+            name, other, flipped = right_name, predicate.left, True
+        else:
+            return None
+        if any(node.kind is not NodeKind.ELEMENT for node in items):
+            return None
+        other_value, _ = self.evaluate(other, context)
+        store = self.store
+        op = predicate.op
+        kept = []
+        if (
+            op == "eq"  # symmetric: operand order is irrelevant
+            and len(other_value) == 1
+            and isinstance(other_value[0], AtomicValue)
+            and other_value[0].type in (XS_STRING, XS_UNTYPED)
+        ):
+            # The key-lookup case: untyped attribute content against a
+            # string/untyped value compares as raw strings (_coerce_pair),
+            # so the whole comparison collapses to one str equality.
+            target = str(other_value[0].value)
+            for node in items:
+                aid = store.attribute_named(node.nid, name)
+                if aid is None:
+                    continue
+                raw = store.value(aid)
+                if ("" if raw is None else raw) == target:
+                    kept.append(node)
+            return kept
+        for node in items:
+            aid = store.attribute_named(node.nid, name)
+            attr_value: Sequence = (
+                [] if aid is None else [UntypedAtomic(store.value(aid) or "")]
+            )
+            if flipped:
+                matched = general_compare(op, other_value, attr_value)
+            else:
+                matched = general_compare(op, attr_value, other_value)
+            if matched:
+                kept.append(node)
+        return kept
 
     def _axis_candidates(self, item: Node, expr: core.CAxisStep) -> list:
         """Nodes of the step's axis passing its node test, in axis order.

@@ -77,24 +77,33 @@ class AuctionService:
         self.engine.bind("archive", self.engine.parse_fragment("<archive/>"))
         self.engine.bind("maxlog", maxlog)
         self.engine.load_module(SERVICE_MODULE)
+        # Server discipline: each service call is one *prepared*,
+        # parameterized query — the frontend runs once here, and per-call
+        # arguments are bound as data, never spliced into query text (the
+        # XQJ bindString idiom; immune to query injection by construction).
+        self._get_item = self.engine.prepare("get_item($itemid, $userid)")
+        self._get_item_nolog = self.engine.prepare(
+            "get_item_nolog($itemid, $userid)"
+        )
+        self._next_id = self.engine.prepare("data(nextid())")
 
     # -- service calls ----------------------------------------------------
 
     def get_item(self, itemid: str, userid: str) -> QueryResult:
         """The logged service call of Section 2.2/2.3."""
-        return self.engine.execute(
-            f'get_item("{itemid}", "{userid}")'
+        return self._get_item.execute(
+            bindings={"itemid": itemid, "userid": userid}
         )
 
     def get_item_nolog(self, itemid: str, userid: str) -> QueryResult:
         """The original, log-free implementation (baseline)."""
-        return self.engine.execute(
-            f'get_item_nolog("{itemid}", "{userid}")'
+        return self._get_item_nolog.execute(
+            bindings={"itemid": itemid, "userid": userid}
         )
 
     def next_id(self) -> int:
         """Expose the nested-snap counter of Section 2.5."""
-        return int(self.engine.execute("data(nextid())").strings()[0])
+        return int(self._next_id.execute().strings()[0])
 
     # -- observability ------------------------------------------------------
 

@@ -92,14 +92,35 @@ class Store:
         # document order; order keys are cached against it.
         self._version = 0
         self._order_cache: dict[int, tuple] = {}
+        # Secondary index over the order cache: tree root id -> the cached
+        # node ids under it.  A structural mutation invalidates only the
+        # mutated tree's keys (see _touch), so an insert into one tree no
+        # longer destroys cached order keys for every other tree.
+        self._cached_roots: dict[int, set[int]] = {}
         # Element-name index: name -> ids of elements bearing it, anywhere
         # in the store (live or detached).  Maintained on create/rename;
         # used by the descendant-axis fast path.
         self._name_index: dict[str, set[int]] = {}
 
-    def _touch(self) -> None:
+    def _touch(self, *roots: int) -> None:
+        """Invalidate cached order keys.
+
+        With explicit *roots* (the affected trees' **pre-mutation** root
+        ids) only those trees' keys are dropped; mutators compute the
+        roots before restructuring, since a mutation can change which tree
+        a node belongs to.  With no arguments the whole cache is wiped
+        (checkpoint restore, persistence load).
+        """
         self._version += 1
-        self._order_cache.clear()
+        if not roots:
+            self._order_cache.clear()
+            self._cached_roots.clear()
+            return
+        for root in roots:
+            nids = self._cached_roots.pop(root, None)
+            if nids:
+                for nid in nids:
+                    self._order_cache.pop(nid, None)
 
     # ------------------------------------------------------------------
     # Constructors (XDM constructor functions)
@@ -306,6 +327,7 @@ class Store:
             root, path = self.order_key(parent)
             key = (root, path + (mine,))
         self._order_cache[nid] = key
+        self._cached_roots.setdefault(key[0], set()).add(nid)
         return key
 
     def compare_order(self, a: int, b: int) -> int:
@@ -358,7 +380,10 @@ class Store:
         self._check_no_cycle(parent, child)
         prec.children.append(child)
         crec.parent = parent
-        self._touch()
+        # Appending as last child shifts no existing sibling position, so
+        # only the attached subtree's keys (cached under root == child,
+        # since the child was parentless) go stale.
+        self._touch(child)
 
     def insert_child_at(self, parent: int, index: int, child: int) -> None:
         """Attach parentless *child* at position *index* among children."""
@@ -373,9 +398,16 @@ class Store:
                 f"insert position {index} out of range for node {parent}"
             )
         self._check_no_cycle(parent, child)
+        if index == len(prec.children):
+            # Equivalent to append: no sibling shifts.
+            roots: tuple[int, ...] = (child,)
+        else:
+            # Inserting mid-list shifts every following sibling (and its
+            # descendants), so the whole target tree goes stale too.
+            roots = (self.root(parent), child)
         prec.children.insert(index, child)
         crec.parent = parent
-        self._touch()
+        self._touch(*roots)
 
     def insert_after(self, parent: int, anchor: int, child: int) -> None:
         """Attach *child* immediately after sibling *anchor*.
@@ -424,7 +456,9 @@ class Store:
             self.detach(existing)
         erec.attributes.append(attr)
         arec.parent = element
-        self._touch()
+        # Appending to the attribute list shifts nothing; only the
+        # (parentless) attribute's own cached key goes stale.
+        self._touch(attr)
 
     def detach(self, nid: int) -> None:
         """Sever the parent link of *nid* (the paper's delete semantics).
@@ -438,13 +472,16 @@ class Store:
         parent = rec.parent
         if parent is None:
             return
+        # Removal shifts following siblings and reroots the detached
+        # subtree, so the whole (pre-mutation) containing tree goes stale.
+        tree_root = self.root(nid)
         prec = self._rec(parent)
         if rec.kind is NodeKind.ATTRIBUTE:
             prec.attributes.remove(nid)
         else:
             prec.children.remove(nid)
         rec.parent = None
-        self._touch()
+        self._touch(tree_root)
 
     def rename(self, nid: int, name: str) -> None:
         """Change the node name of an element, attribute or PI."""
@@ -549,6 +586,13 @@ class Store:
             if rec.kind is NodeKind.ELEMENT and rec.name:
                 self._name_index.get(rec.name, set()).discard(nid)
             del self._records[nid]
+            key = self._order_cache.pop(nid, None)
+            if key is not None:
+                cached = self._cached_roots.get(key[0])
+                if cached is not None:
+                    cached.discard(nid)
+                    if not cached:
+                        del self._cached_roots[key[0]]
         return len(dead)
 
     # ------------------------------------------------------------------
@@ -607,7 +651,9 @@ class Store:
         * every child's parent pointer names the node listing it,
         * no node is listed as a child twice,
         * attribute names are unique per element,
-        * parent chains are acyclic.
+        * parent chains are acyclic,
+        * every cached order key matches a fresh recomputation (the scoped
+          invalidation of ``_touch`` never leaves a stale key behind).
         """
         seen_child_of: dict[int, int] = {}
         for nid, rec in self._records.items():
@@ -655,3 +701,41 @@ class Store:
                         f"node {nid} indexed under {name!r} but named "
                         f"{self._rec(nid).name!r}"
                     )
+        # Order cache: no stale keys, and the root index mirrors the cache.
+        for nid, key in self._order_cache.items():
+            if nid not in self._records:
+                raise StoreError(f"order key cached for dead node {nid}")
+            if key != self._fresh_order_key(nid):
+                raise StoreError(
+                    f"stale cached order key for node {nid}: {key} != "
+                    f"{self._fresh_order_key(nid)}"
+                )
+            if nid not in self._cached_roots.get(key[0], ()):
+                raise StoreError(
+                    f"cached order key for {nid} missing from the root "
+                    f"index under {key[0]}"
+                )
+        for root, nids in self._cached_roots.items():
+            for nid in nids:
+                cached = self._order_cache.get(nid)
+                if cached is None or cached[0] != root:
+                    raise StoreError(
+                        f"root index lists {nid} under {root} but the "
+                        f"cache has {cached}"
+                    )
+
+    def _fresh_order_key(self, nid: int) -> tuple:
+        """Recompute a node's order key without the cache (verification)."""
+        parts: list[tuple[int, int]] = []
+        cur = nid
+        while True:
+            rec = self._rec(cur)
+            parent = rec.parent
+            if parent is None:
+                return (cur, tuple(reversed(parts)))
+            prec = self._rec(parent)
+            if rec.kind is NodeKind.ATTRIBUTE:
+                parts.append((-1, prec.attributes.index(cur)))
+            else:
+                parts.append((0, prec.children.index(cur)))
+            cur = parent

@@ -52,6 +52,60 @@ class TestDescendantCollapse:
         assert expr.source.step.axis == "descendant"
 
 
+class TestPredicatedCollapse:
+    """Position-insensitive predicates ride along with the collapse."""
+
+    def _collapsed(self, text: str) -> bool:
+        expr = simplified(text)
+        return (
+            isinstance(expr.step, core.CAxisStep)
+            and expr.step.axis == "descendant"
+        )
+
+    def test_comparison_predicate_collapses(self):
+        expr = simplified("$doc//item[@id = $x]")
+        assert expr.step.axis == "descendant"
+        assert len(expr.step.predicates) == 1
+        assert isinstance(expr.step.predicates[0], core.CComparison)
+
+    def test_boolean_connective_collapses(self):
+        assert self._collapsed('$doc//item[@a = "1" and @b = "2"]')
+
+    def test_quantified_predicate_collapses(self):
+        assert self._collapsed('$doc//item[some $b in bid satisfies $b > 5]')
+
+    def test_fn_boolean_builtin_collapses(self):
+        assert self._collapsed("$doc//item[fn:exists(@id)]")
+
+    def test_numeric_literal_blocked(self):
+        assert not self._collapsed("$doc//para[1]")
+
+    def test_position_call_blocked(self):
+        # position() is boolean-shaped via the comparison, but reads the
+        # focus position — meaning differs between the two step forms.
+        assert not self._collapsed("$doc//para[position() = 2]")
+
+    def test_last_call_blocked_even_nested(self):
+        assert not self._collapsed("$doc//para[@n = last()]")
+
+    def test_unprefixed_call_blocked(self):
+        # An unprefixed name could resolve to a user function returning a
+        # number, flipping the predicate into positional mode.
+        assert not self._collapsed("$doc//para[exists(@id)]")
+
+    def test_predicated_collapse_preserves_results(self):
+        engine = Engine()
+        engine.load_document(
+            "doc",
+            '<r><s><para n="1"/><para n="2"/></s><s><para n="2"/></s></r>',
+        )
+        # Same nodes with and without the rewrite (and the name index).
+        fast = engine.execute('$doc//para[@n = "2"]').serialize()
+        engine.evaluator.use_name_index = False
+        slow = engine.execute('$doc//para[@n = "2"]').serialize()
+        assert fast == slow == '<para n="2"/><para n="2"/>'
+
+
 class TestSemanticsPreserved:
     @pytest.fixture
     def e(self) -> Engine:

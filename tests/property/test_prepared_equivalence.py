@@ -1,0 +1,112 @@
+"""Property: preparing a query is semantically invisible.
+
+Executing a :class:`~repro.prepared.PreparedQuery` twice must be
+indistinguishable — values, serialized store state after *each* call, and
+raised errors — from two genuinely cold ``Engine.execute`` calls (cache
+cleared before each) on an identically-loaded engine.  This covers
+updating queries (the store evolves between the two calls, so the second
+execution sees the first one's effects either way), parameter bindings,
+and all three snap application semantics.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine
+from repro.errors import XQueryError
+
+
+def make_doc(seed: int) -> str:
+    rng = random.Random(seed)
+    rows = []
+    for i in range(rng.randint(1, 10)):
+        rows.append(
+            f'<row id="{i}" k="{rng.randint(0, 3)}"><v>{rng.randint(0, 99)}</v></row>'
+        )
+    return "<t>" + "".join(rows) + "</t>"
+
+
+# (query, needs $x) — reads, updates, snaps, and parameterized lookups.
+QUERIES = [
+    ("for $r in $doc//row order by number($r/v) return string($r/@id)", False),
+    ("sum($doc//row/v), count($doc//row[@k = 1])", False),
+    (
+        "for $r in $doc//row where $r/@k = 1 "
+        "return insert { <hit id='{$r/@id}'/> } into { $sink }",
+        False,
+    ),
+    (
+        "snap { for $r in $doc//row return insert { <n/> } into { $sink } },"
+        "count($sink/n)",
+        False,
+    ),
+    ("for $r in $doc//row return snap rename { $r } to { 'item' }", False),
+    ("$doc//row[@id = $x]/v/data(.)", True),
+    (
+        "insert { <got x='{$x}' n='{count($doc//row[@k = $x])}'/> } "
+        "into { $sink }",
+        True,
+    ),
+]
+
+SEMANTICS = ["ordered", "nondeterministic", "conflict-detection"]
+
+
+def _load(engine: Engine, seed: int) -> None:
+    engine.load_document("doc", make_doc(seed))
+    engine.bind("sink", engine.parse_fragment("<sink/>"))
+
+
+def _snapshot(engine: Engine, result) -> tuple[str, str, str]:
+    return (
+        result.serialize(),
+        engine.execute("$doc").serialize(),
+        engine.execute("$sink").serialize(),
+    )
+
+
+def run_prepared(seed: int, query: str, semantics: str, param) -> list:
+    engine = Engine(default_semantics=semantics)
+    _load(engine, seed)
+    out = []
+    prepared = engine.prepare(query)
+    for _ in range(2):
+        try:
+            bindings = {"x": param} if param is not None else None
+            out.append(_snapshot(engine, prepared.execute(bindings=bindings)))
+        except XQueryError as error:
+            out.append(("error", type(error).__name__, str(error)))
+    return out
+
+
+def run_cold(seed: int, query: str, semantics: str, param) -> list:
+    engine = Engine(default_semantics=semantics)
+    _load(engine, seed)
+    if param is not None:
+        engine.bind("x", param)
+    out = []
+    for _ in range(2):
+        engine.prepared_cache.clear()
+        try:
+            out.append(_snapshot(engine, engine.execute(query)))
+        except XQueryError as error:
+            out.append(("error", type(error).__name__, str(error)))
+    return out
+
+
+class TestPreparedEquivalence:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, len(QUERIES) - 1),
+        st.integers(0, len(SEMANTICS) - 1),
+        st.integers(0, 9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_prepared_matches_cold_execution(self, seed, qidx, sidx, xval):
+        query, needs_param = QUERIES[qidx]
+        param = str(xval) if needs_param else None
+        semantics = SEMANTICS[sidx]
+        prepared = run_prepared(seed, query, semantics, param)
+        cold = run_cold(seed, query, semantics, param)
+        assert prepared == cold

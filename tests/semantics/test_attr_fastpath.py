@@ -1,0 +1,82 @@
+"""The ``step[@name <op> value]`` direct-store predicate fast path.
+
+``Evaluator._attr_compare_filter`` must be observably identical to the
+generic per-candidate predicate evaluation — same kept nodes, same
+coercion behaviour (untyped attribute content vs strings and numbers),
+same treatment of missing attributes.  Each case runs both ways: the
+normal engine, and one with the fast path disabled so the generic
+``_apply_predicate`` route answers.
+"""
+
+import pytest
+
+from repro import Engine
+
+DOC = """<root>
+  <item id="a1" n="01"/><item id="a2" n="1"/><item n="2"/>
+  <item id="" n="3"/><sub><item id="a1" n="1.0"/></sub>
+</root>"""
+
+CASES = [
+    # attribute vs string literal / variable, both operand orders
+    '$d//item[@id = "a1"]/@n/data(.)',
+    "$d//item[@id = $x]/@n/data(.)",
+    '$d//item["a1" = @id]/@n/data(.)',
+    # other operators
+    '$d//item[@id != "a1"]/@n/data(.)',
+    "count($d//item[@n > 1])",
+    # untyped-vs-number matches numerically ("01" = 1), vs-string exactly
+    "$d//item[@n = 1]/@id/data(.)",
+    '$d//item[@n = "1"]/@id/data(.)',
+    # empty-string value and missing attribute
+    '$d//item[@id = ""]/@n/data(.)',
+    '$d//item[@missing = "x"]',
+    # non-descendant axis benefits too
+    '$d/root/item[@id = "a1"]/@n/data(.)',
+]
+
+
+def _run(query: str, disable_fast: bool) -> str:
+    engine = Engine()
+    engine.load_document("d", DOC)
+    engine.bind("x", "a1")
+    if disable_fast:
+        engine.evaluator._attr_compare_filter = (
+            lambda predicate, items, context: None
+        )
+    return engine.execute(query).serialize()
+
+
+@pytest.mark.parametrize("query", CASES)
+def test_fast_path_matches_generic_path(query):
+    assert _run(query, False) == _run(query, True)
+
+
+def test_fast_path_actually_fires():
+    """Guard against the fast path silently never applying: the filtered
+    step must not evaluate the predicate through the generic route."""
+    engine = Engine()
+    engine.load_document("d", DOC)
+    calls = []
+    original = engine.evaluator._apply_predicate
+
+    def spy(predicate, items, context, delta):
+        calls.append(predicate)
+        return original(predicate, items, context, delta)
+
+    engine.evaluator._apply_predicate = spy
+    assert engine.execute('count($d//item[@id = "a1"])').first_value() == 2
+    assert calls == []
+
+
+def test_fast_path_respects_updates():
+    engine = Engine()
+    engine.load_document("d", DOC)
+    engine.execute(
+        "snap insert { <item id='a9' n='9'/> } into { exactly-one($d/root) }"
+    )
+    assert engine.execute('count($d//item[@id = "a9"])').first_value() == 1
+    engine.execute(
+        'snap rename { exactly-one($d//item[@id = "a9"]/@id) } to { "idx" }'
+    )
+    assert engine.execute('count($d//item[@id = "a9"])').first_value() == 0

@@ -1,0 +1,135 @@
+"""Scoped order-key cache invalidation.
+
+``Store._touch`` drops cached document-order keys only for the trees a
+mutation actually restructures (computed *before* the mutation moves
+nodes between trees); unrelated trees keep their keys warm.  These tests
+pin the scoping behaviour and the bookkeeping around it; staleness itself
+is policed by ``check_invariants`` (every cached key must equal a fresh
+recomputation), which the shared property suites call after every
+mutation sequence.
+"""
+
+from repro.xdm.store import Store
+
+
+def _build_tree(store: Store, width: int = 4) -> tuple[int, list[int]]:
+    """A root element with *width* children; returns (root, children)."""
+    root = store.create_element("root")
+    children = []
+    for i in range(width):
+        child = store.create_element(f"c{i}")
+        store.append_child(root, child)
+        children.append(child)
+    return root, children
+
+
+def _warm(store: Store, nids: list[int]) -> None:
+    for nid in nids:
+        store.order_key(nid)
+
+
+def _cached(store: Store, nid: int) -> bool:
+    return nid in store._order_cache
+
+
+class TestScopedInvalidation:
+    def test_mutating_one_tree_preserves_the_other(self):
+        store = Store()
+        root_a, kids_a = _build_tree(store)
+        root_b, kids_b = _build_tree(store)
+        _warm(store, kids_a + kids_b)
+        # Mid-list insert restructures tree B only.
+        newcomer = store.create_element("new")
+        store.insert_child_at(root_b, 0, newcomer)
+        assert all(_cached(store, nid) for nid in kids_a)
+        assert not any(_cached(store, nid) for nid in kids_b)
+        store.check_invariants()
+
+    def test_append_as_last_keeps_sibling_keys(self):
+        """Appending never renumbers existing siblings, so only the
+        attached subtree needs (no) invalidation — existing keys stay."""
+        store = Store()
+        root, kids = _build_tree(store)
+        _warm(store, kids)
+        store.append_child(root, store.create_element("tail"))
+        assert all(_cached(store, nid) for nid in kids)
+        store.check_invariants()
+
+    def test_detach_invalidates_the_containing_tree(self):
+        store = Store()
+        root, kids = _build_tree(store)
+        _warm(store, kids)
+        store.detach(kids[1])
+        assert not any(_cached(store, nid) for nid in kids)
+        # Keys recompute correctly for both resulting trees.
+        assert store.order_key(kids[0]) < store.order_key(kids[2])
+        assert store.order_key(kids[1])[0] == kids[1]  # now its own root
+        store.check_invariants()
+
+    def test_moving_subtree_between_trees_invalidates_both(self):
+        store = Store()
+        root_a, kids_a = _build_tree(store)
+        root_b, kids_b = _build_tree(store)
+        other_root, other_kids = _build_tree(store)
+        _warm(store, kids_a + kids_b + other_kids)
+        # Detach from A, insert into B: both trees' keys drop (the moved
+        # node's pre-mutation root is A; the insert's target tree is B)...
+        moved = kids_a[0]
+        store.detach(moved)
+        store.insert_child_at(root_b, 1, moved)
+        assert not any(_cached(store, nid) for nid in kids_a + kids_b)
+        # ...while the bystander tree stays warm.
+        assert all(_cached(store, nid) for nid in other_kids)
+        store.check_invariants()
+
+    def test_set_attribute_keeps_other_trees(self):
+        store = Store()
+        root_a, kids_a = _build_tree(store)
+        root_b, kids_b = _build_tree(store)
+        _warm(store, kids_a + kids_b)
+        store.set_attribute(kids_b[0], store.create_attribute("k", "v"))
+        assert all(_cached(store, nid) for nid in kids_a)
+        store.check_invariants()
+
+
+class TestBookkeeping:
+    def test_gc_drops_dead_cache_entries(self):
+        store = Store()
+        root_a, kids_a = _build_tree(store)
+        root_b, kids_b = _build_tree(store)
+        _warm(store, kids_a + kids_b)
+        reclaimed = store.gc([root_a])
+        assert reclaimed > 0
+        assert not any(_cached(store, nid) for nid in kids_b)
+        assert all(_cached(store, nid) for nid in kids_a)
+        store.check_invariants()
+
+    def test_full_wipe_without_arguments(self):
+        store = Store()
+        root, kids = _build_tree(store)
+        _warm(store, kids)
+        store._touch()
+        assert not store._order_cache
+        assert not store._cached_roots
+        store.check_invariants()
+
+    def test_cached_roots_index_tracks_cache(self):
+        store = Store()
+        root, kids = _build_tree(store)
+        _warm(store, kids)
+        assert set(store._cached_roots) == {root}
+        assert store._cached_roots[root] >= set(kids)
+        store.check_invariants()
+
+    def test_keys_stay_fresh_across_mutation_burst(self):
+        """Interleave queries and mutations; check_invariants recomputes
+        every cached key from scratch and must find no staleness."""
+        store = Store()
+        root, kids = _build_tree(store, width=6)
+        for round_ in range(5):
+            _warm(store, kids)
+            extra = store.create_element(f"x{round_}")
+            store.insert_child_at(root, round_ % 3, extra)
+            kids.append(extra)
+            _warm(store, kids)
+            store.check_invariants()
