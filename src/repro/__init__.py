@@ -17,19 +17,25 @@ Quickstart::
     print(engine.execute('count($doc/inventory/item)').first_value())  # 2
 """
 
-from repro.engine import Engine, QueryResult, to_sequence
+from repro.engine import Engine, ExecutionOptions, QueryResult, to_sequence
 from repro.errors import XQueryError
+from repro.obs import ExplainReport, QueryStats, SlowQueryRecord, Tracer
 from repro.prepared import PreparedQuery, PreparedQueryCache
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Engine",
+    "ExecutionOptions",
     "QueryResult",
     "PreparedQuery",
     "PreparedQueryCache",
+    "QueryStats",
+    "ExplainReport",
+    "SlowQueryRecord",
+    "Tracer",
     "to_sequence",
     "XQueryError",
     "AtomicValue",

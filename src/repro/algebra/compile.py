@@ -23,6 +23,8 @@ from repro.algebra import plan as P
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine
+    from repro.obs.tracer import Tracer
+    from repro.semantics.update import ApplySemantics
 
 
 @dataclass
@@ -134,25 +136,37 @@ def naive_plan(pipeline: Pipeline) -> P.Plan:
 
 
 def compile_query(
-    body: core.CoreExpr, engine: "Engine", optimize: bool = True
+    body: core.CoreExpr,
+    engine: "Engine",
+    optimize: bool = True,
+    semantics: "ApplySemantics | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> P.Plan:
     """Compile a query body to a plan, optionally optimized.
 
-    The result is always ``Snap { ... }`` with the engine's default
-    update-application mode.
+    The result is always ``Snap { ... }`` with the given update-application
+    *semantics* (the engine's default when omitted).  A *tracer* records
+    rewrite-rule firings and per-rule spans (see
+    :mod:`repro.algebra.rewrite`).
     """
-    inner = _compile_body(body, engine, optimize)
-    return P.Snap(input=inner, mode=engine.default_semantics.value)
+    inner = _compile_body(body, engine, optimize, tracer)
+    mode = (semantics or engine.default_semantics).value
+    return P.Snap(input=inner, mode=mode)
 
 
-def _compile_body(body: core.CoreExpr, engine: "Engine", optimize: bool) -> P.Plan:
+def _compile_body(
+    body: core.CoreExpr,
+    engine: "Engine",
+    optimize: bool,
+    tracer: "Tracer | None" = None,
+) -> P.Plan:
     pipeline = decompose_pipeline(body)
     if pipeline is None:
         return P.EvalExpr(expr=body)
     if optimize:
         from repro.algebra.rewrite import try_optimize
 
-        optimized = try_optimize(pipeline, engine.functions)
+        optimized = try_optimize(pipeline, engine.functions, tracer)
         if optimized is not None:
             return optimized
     return naive_plan(pipeline)

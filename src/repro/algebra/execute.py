@@ -44,17 +44,21 @@ from repro.xdm.values import AtomicValue, Sequence, atomize, effective_boolean_v
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine
+    from repro.obs.tracer import Tracer
 
 Tuple_ = dict  # dict[str, Sequence]
 
 
 class _ExecState:
-    """Shared execution state: the engine and the pending update list."""
+    """Shared execution state: the engine, the pending update list, and
+    (when stats are being collected) the tracer fed by the
+    materialization barriers."""
 
-    def __init__(self, engine: "Engine"):
+    def __init__(self, engine: "Engine", tracer: "Tracer | None" = None):
         self.engine = engine
         self.evaluator = engine.evaluator
         self.delta: UpdateList = []
+        self.tracer = tracer
 
     def eval_scalar(self, expr, tup: Tuple_) -> Sequence:
         """Evaluate an embedded core expression against a tuple's bindings;
@@ -66,9 +70,17 @@ class _ExecState:
         return value
 
 
-def execute_plan(plan: P.Plan, engine: "Engine") -> Sequence:
-    """Execute a compiled plan and return its value sequence."""
-    state = _ExecState(engine)
+def execute_plan(
+    plan: P.Plan, engine: "Engine", tracer: "Tracer | None" = None
+) -> Sequence:
+    """Execute a compiled plan and return its value sequence.
+
+    With a *tracer*, each materialization barrier (snap, order-by sort,
+    hash-join build) records a counter when it is hit, snap application
+    records Δ-length observations, and evaluation/application phases get
+    wall-clock spans.
+    """
+    state = _ExecState(engine, tracer)
     return _items(plan, state)
 
 
@@ -79,16 +91,32 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
     drained (its Δ complete) before the update list applies.
     """
     if isinstance(plan, P.Snap):
-        inner = list(_stream_items(plan.input, state))
+        tracer = state.tracer
+        if tracer is None:
+            inner = list(_stream_items(plan.input, state))
+        else:
+            tracer.count("exec.barrier.snap")
+            with tracer.span("evaluate"):
+                inner = list(_stream_items(plan.input, state))
         mode = (
             ApplySemantics(plan.mode) if plan.mode else ApplySemantics.ORDERED
         )
-        apply_update_list(
-            state.engine.store,
-            state.delta,
-            mode,
-            atomic=state.evaluator.atomic_snaps,
-        )
+        if tracer is None:
+            apply_update_list(
+                state.engine.store,
+                state.delta,
+                mode,
+                atomic=state.evaluator.atomic_snaps,
+            )
+        else:
+            with tracer.span("snap-apply"):
+                apply_update_list(
+                    state.engine.store,
+                    state.delta,
+                    mode,
+                    atomic=state.evaluator.atomic_snaps,
+                    tracer=tracer,
+                )
         state.delta = []
         return inner
     return list(_stream_items(plan, state))
@@ -203,6 +231,8 @@ def _order_by_sort(plan: P.OrderBySort, state: _ExecState) -> Iterator[Tuple_]:
     from repro.semantics.evaluator import _OrderKey
     from repro.xdm.values import atomize_optional
 
+    if state.tracer is not None:
+        state.tracer.count("exec.barrier.order_by")
     keyed = []
     for tup in _tuples(plan.input, state):
         keys = []
@@ -308,9 +338,14 @@ def _build_hash_ordered(
     position (to restore right-stream order across multiple matching keys)
     and its evaluated key value (for exact probe-time re-verification)."""
     table: dict[object, list[Tuple_]] = {}
+    rows = 0
     for tup in _with_order(_tuples(plan_right, state)):
         key_value = state.eval_scalar(right_key, _strip_order(tup))
         tup["__keyval__"] = key_value
+        rows += 1
         for key in _join_keys(key_value):
             table.setdefault(key, []).append(tup)
+    if state.tracer is not None:
+        state.tracer.count("exec.barrier.hash_build")
+        state.tracer.observe("exec.hash_build.rows", rows)
     return table

@@ -41,17 +41,76 @@ from repro.algebra.compile import (
 )
 from repro.algebra.properties import EffectAnalyzer, free_variables
 from repro.lang import core_ast as core
+from repro.obs.tracer import Tracer, maybe_span
 from repro.semantics.context import FunctionRegistry
 
+#: The rewrite rules in attempt order, as reported by ``explain``.
+RULE_NAMES = ("hoist-invariant-lets", "outer-join-group-by", "hash-join")
 
-def try_optimize(pipeline: Pipeline, registry: FunctionRegistry) -> P.Plan | None:
+
+def try_optimize(
+    pipeline: Pipeline,
+    registry: FunctionRegistry,
+    tracer: Tracer | None = None,
+) -> P.Plan | None:
     """Attempt the rewrites; None means "no rewrite applies, use the naive
-    plan"."""
+    plan".
+
+    With a *tracer*, every rule records a :class:`RuleFiring` (fired or
+    not, with the guard detail that decided it), each attempt runs under a
+    ``rewrite:<rule>`` span, and the per-clause purity verdicts feeding the
+    guards are captured for ``explain``.
+    """
     analyzer = EffectAnalyzer(registry)
+    if tracer is not None:
+        tracer.record_purity(purity_verdicts(pipeline, analyzer))
     if _contains_snap(pipeline, analyzer):
+        if tracer is not None:
+            blocked = {
+                "reason": "pipeline contains a snap (innermost-snap guard)"
+            }
+            for name in RULE_NAMES:
+                tracer.rule(name, fired=False, detail=blocked)
         return None
-    hoisted = hoist_invariant_lets(pipeline, analyzer)
-    plan = _try_groupby(hoisted, analyzer) or _try_hashjoin(hoisted, analyzer)
+    with maybe_span(tracer, "rewrite:hoist-invariant-lets"):
+        hoisted = hoist_invariant_lets(pipeline, analyzer)
+    if tracer is not None:
+        tracer.rule(
+            "hoist-invariant-lets",
+            fired=hoisted is not pipeline,
+            detail=None
+            if hoisted is not pipeline
+            else {"reason": "no pure loop-invariant let clause"},
+        )
+    with maybe_span(tracer, "rewrite:outer-join-group-by"):
+        plan = _try_groupby(hoisted, analyzer)
+    if tracer is not None:
+        tracer.rule(
+            "outer-join-group-by",
+            fired=plan is not None,
+            detail=None
+            if plan is not None
+            else {"reason": "no pure, independent let-bound inner FLWOR "
+                            "with a separable join equality"},
+        )
+    if plan is None:
+        with maybe_span(tracer, "rewrite:hash-join"):
+            plan = _try_hashjoin(hoisted, analyzer)
+        if tracer is not None:
+            tracer.rule(
+                "hash-join",
+                fired=plan is not None,
+                detail=None
+                if plan is not None
+                else {"reason": "no pure, independent inner for clause "
+                                "with a separable join equality"},
+            )
+    elif tracer is not None:
+        tracer.rule(
+            "hash-join",
+            fired=False,
+            detail={"reason": "not attempted (outer-join-group-by fired)"},
+        )
     if plan is not None:
         return plan
     if hoisted is not pipeline:
@@ -60,6 +119,39 @@ def try_optimize(pipeline: Pipeline, registry: FunctionRegistry) -> P.Plan | Non
 
         return naive_plan(hoisted)
     return None
+
+
+def purity_verdicts(
+    pipeline: Pipeline, analyzer: EffectAnalyzer
+) -> list[dict]:
+    """Per-clause effect verdicts — the evidence the rewrite guards use.
+
+    Each entry labels one pipeline clause (``for $x`` / ``let $v`` /
+    ``where`` / ``order by`` / ``return``) with the analyzer's judgment of
+    its source expression.
+    """
+    verdicts: list[dict] = []
+
+    def verdict(clause: str, expr: core.CoreExpr) -> dict:
+        props = analyzer.analyze(expr)
+        return {
+            "clause": clause,
+            "pure": props.pure,
+            "may_update": props.may_update,
+            "may_snap": props.may_snap,
+        }
+
+    for step in pipeline.steps:
+        if isinstance(step, ForStep):
+            verdicts.append(verdict(f"for ${step.var}", step.source))
+        elif isinstance(step, LetStep):
+            verdicts.append(verdict(f"let ${step.var}", step.source))
+        else:
+            verdicts.append(verdict("where", step.predicate))
+    for spec in pipeline.order_specs:
+        verdicts.append(verdict("order by", spec.expr))
+    verdicts.append(verdict("return", pipeline.ret))
+    return verdicts
 
 
 def hoist_invariant_lets(

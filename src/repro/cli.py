@@ -19,7 +19,7 @@ import sys
 from typing import Sequence as Seq
 
 from repro.algebra.plan import pretty_plan
-from repro.engine import Engine
+from repro.engine import Engine, ExecutionOptions
 from repro.errors import XQueryError
 
 
@@ -32,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version="%(prog)s 1.0.0 (XQuery! reproduction, EDBT 2006)",
+        version="%(prog)s 1.1.0 (XQuery! reproduction, EDBT 2006)",
     )
     parser.add_argument(
         "query_file",
@@ -81,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan",
         action="store_true",
         help="print the (optimized) plan instead of running the query",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimizer's explain report (plans before/after "
+        "rewriting, rule firings, purity verdicts) instead of running",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect execution statistics and print a summary to stderr",
     )
     parser.add_argument(
         "--semantics",
@@ -154,15 +165,42 @@ def _params(args: argparse.Namespace) -> dict[str, str] | None:
     return bindings or None
 
 
+def _print_stats(result) -> None:
+    stats = result.stats
+    if stats is None:
+        return
+    print(f"-- {stats.duration_ms:.3f}ms total", file=sys.stderr)
+    for phase, ms in sorted(
+        stats.phase_times_ms.items(), key=lambda item: -item[1]
+    ):
+        print(f"--   {phase}: {ms:.3f}ms", file=sys.stderr)
+    print(
+        f"-- snaps={stats.snap_count} "
+        f"pending_updates={stats.pending_updates_total} "
+        f"cache={stats.cache_hits}h/{stats.cache_misses}m",
+        file=sys.stderr,
+    )
+    for name, value in sorted(stats.counters.items()):
+        print(f"--   {name}={value}", file=sys.stderr)
+
+
 def run_query(engine: Engine, query: str, args: argparse.Namespace) -> int:
+    if args.explain:
+        print(engine.explain(query).render())
+        return 0
     if args.plan:
         print(pretty_plan(engine.compile(query)))
         return 0
     prepared = engine.prepare(query, optimize=args.optimize)
-    result = prepared.execute(bindings=_params(args))
+    result = prepared.execute(
+        bindings=_params(args),
+        options=ExecutionOptions(collect_stats=args.stats),
+    )
     output = result.serialize(indent=args.indent)
     if output:
         print(output)
+    if args.stats:
+        _print_stats(result)
     return 0
 
 

@@ -18,14 +18,18 @@ with the implicit top-level ``snap`` wrapped around the query body
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from typing import Callable, Iterable, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Mapping, Optional, Union
 
 from repro.errors import DynamicError, XQueryError
 from repro.lang import core_ast as core
 from repro.lang.normalize import normalize, normalize_module
 from repro.lang.simplify import simplify_module
 from repro.lang.parser import parse_module
+from repro.obs.report import ExplainReport, QueryStats, SlowQueryRecord
+from repro.obs.tracer import Tracer, maybe_span
 from repro.prepared import PreparedQuery, PreparedQueryCache
 from repro.semantics.context import DynamicContext, FunctionRegistry
 from repro.semantics.evaluator import Evaluator
@@ -39,6 +43,103 @@ from repro.xmlio.serializer import serialize_sequence
 
 
 PythonValue = Union[None, bool, int, float, str, Node, AtomicValue, list, tuple]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ExecutionOptions:
+    """Per-call execution options, accepted uniformly by
+    :meth:`Engine.execute`, :meth:`Engine.prepare`,
+    :meth:`Engine.compile` and :meth:`PreparedQuery.execute`.
+
+    All fields are keyword-only and the object is immutable, so an options
+    value can be built once and shared across calls::
+
+        opts = ExecutionOptions(optimize=True, collect_stats=True)
+        result = engine.execute(query, options=opts)
+        result.stats.phase_times_ms  # parse/compile/evaluate/snap-apply ...
+
+    Individual keyword arguments on the engine methods override the
+    corresponding field for that one call.
+
+    Attributes:
+        optimize: compile the query body to the nested-relational algebra
+            and apply the side-effect-guarded rewrites (Section 4).
+            ``Engine.compile`` alone defaults this to True when neither an
+            options object nor the keyword is given.
+        semantics: update-application semantics for this call's implicit
+            top-level snap — 'ordered', 'nondeterministic' or
+            'conflict-detection' (None = the engine default).
+        bindings: values for free ``$variables``, installed for the call
+            and restored afterwards (prepared-statement style).
+        collect_stats: record phase spans, counters and observations;
+            the result's ``stats`` is a :class:`~repro.obs.report.QueryStats`.
+        explain: attach an :class:`~repro.obs.report.ExplainReport` to the
+            result (plan before/after rewriting, rule firings, purity).
+    """
+
+    optimize: bool = False
+    semantics: str | ApplySemantics | None = None
+    bindings: Mapping[str, "PythonValue"] | None = None
+    collect_stats: bool = False
+    explain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.semantics is not None and not isinstance(
+            self.semantics, ApplySemantics
+        ):
+            ApplySemantics(self.semantics)  # raises ValueError when invalid
+
+    @property
+    def resolved_semantics(self) -> ApplySemantics | None:
+        """The semantics field as an :class:`ApplySemantics` (or None)."""
+        if self.semantics is None or isinstance(self.semantics, ApplySemantics):
+            return self.semantics
+        return ApplySemantics(self.semantics)
+
+
+_DEFAULT_OPTIONS = ExecutionOptions()
+
+# Sentinel distinguishing "optimize passed positionally" (deprecated) from
+# "not passed at all" in the Engine method shims below.
+_UNSET = object()
+
+
+def _shim_positional_optimize(value, optimize, method: str):
+    """Support the pre-ExecutionOptions positional ``optimize`` argument.
+
+    ``engine.execute(q, True)`` keeps working for now but warns; the
+    keyword form wins when both are given.
+    """
+    if value is _UNSET:
+        return optimize
+    warnings.warn(
+        f"passing 'optimize' positionally to Engine.{method}() is "
+        "deprecated; use optimize=... or "
+        "options=ExecutionOptions(optimize=...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if optimize is None:
+        return value
+    return optimize
+
+
+def _merge_options(
+    options: ExecutionOptions | None, **overrides
+) -> ExecutionOptions:
+    """Resolve an options object against explicit keyword overrides.
+
+    Explicit keywords (non-None) take precedence over the options object;
+    omitted keywords fall back to the options fields, then to the
+    :class:`ExecutionOptions` defaults.
+    """
+    base = options if options is not None else _DEFAULT_OPTIONS
+    updates = {
+        name: value for name, value in overrides.items() if value is not None
+    }
+    if updates:
+        base = replace(base, **updates)
+    return base
 
 
 def to_sequence(value: PythonValue) -> Sequence:
@@ -68,11 +169,24 @@ def to_sequence(value: PythonValue) -> Sequence:
 
 
 class QueryResult:
-    """The value of a query, with conveniences for tests and examples."""
+    """The value of a query, with conveniences for tests and examples.
 
-    def __init__(self, items: Sequence, engine: "Engine"):
+    ``stats`` is a :class:`~repro.obs.report.QueryStats` when the query ran
+    with ``collect_stats=True`` (None otherwise); ``explain`` is an
+    :class:`~repro.obs.report.ExplainReport` when requested.
+    """
+
+    def __init__(
+        self,
+        items: Sequence,
+        engine: "Engine",
+        stats: Optional[QueryStats] = None,
+        explain: Optional[ExplainReport] = None,
+    ):
         self.items = items
         self._engine = engine
+        self.stats = stats
+        self.explain = explain
 
     def __len__(self) -> int:
         return len(self.items)
@@ -125,6 +239,12 @@ class Engine:
             before evaluating (catches typos before any update fires).
         prepared_cache_size: capacity of the prepared-query LRU that
             ``execute`` is transparently routed through (see ``prepare``).
+        on_slow_query: callable receiving a
+            :class:`~repro.obs.report.SlowQueryRecord` whenever a query
+            (prepared or direct) takes at least ``slow_query_ms``
+            milliseconds of wall time.  The record carries the query's
+            stats when the call collected them.
+        slow_query_ms: threshold for ``on_slow_query`` (default 100 ms).
     """
 
     def __init__(
@@ -134,6 +254,8 @@ class Engine:
         atomic_snaps: bool = False,
         static_checks: bool = False,
         prepared_cache_size: int = 128,
+        on_slow_query: Callable[[SlowQueryRecord], None] | None = None,
+        slow_query_ms: float = 100.0,
     ):
         self.store = Store()
         self.functions: FunctionRegistry = default_registry()
@@ -147,6 +269,8 @@ class Engine:
         self._loaded_modules: dict[str, tuple[list, str | None]] = {}
         self._loading: set[str] = set()
         self.prepared_cache = PreparedQueryCache(prepared_cache_size)
+        self.on_slow_query = on_slow_query
+        self.slow_query_ms = slow_query_ms
 
     def _maybe_check(self, module: core.CModule) -> None:
         if self.static_checks:
@@ -177,8 +301,15 @@ class Engine:
         self.evaluator.globals[name] = to_sequence(value)
 
     def variable(self, name: str) -> Sequence:
-        """Current value of a global variable."""
-        return self.evaluator.globals[name]
+        """Current value of a global variable.
+
+        Raises :class:`~repro.errors.DynamicError` (XPDY0002) when the
+        variable is not bound, naming the variable.
+        """
+        try:
+            return self.evaluator.globals[name]
+        except KeyError:
+            raise DynamicError(f"variable ${name} is not bound") from None
 
     # ------------------------------------------------------------------
     # Modules
@@ -276,48 +407,223 @@ class Engine:
     # Query execution
     # ------------------------------------------------------------------
 
-    def execute(self, query: str, optimize: bool = False) -> QueryResult:
+    def execute(
+        self,
+        query: str,
+        _positional_optimize=_UNSET,
+        *,
+        optimize: bool | None = None,
+        semantics: str | ApplySemantics | None = None,
+        bindings: Mapping[str, PythonValue] | None = None,
+        collect_stats: bool | None = None,
+        explain: bool | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> QueryResult:
         """Parse, normalize and evaluate *query* (which may include a
         prolog).  With ``optimize=True`` the query body is compiled to the
         nested-relational algebra and rewritten before execution
         (Section 4).
 
+        All options are keyword-only; an :class:`ExecutionOptions` can be
+        passed via ``options=`` and individual keywords override its
+        fields.  ``bindings`` supplies values for free ``$variables`` for
+        this call only; ``collect_stats=True`` attaches a
+        :class:`~repro.obs.report.QueryStats` to the result and
+        ``explain=True`` an :class:`~repro.obs.report.ExplainReport`.
+
         Transparently routed through the prepared-query cache: repeating
         the same query text skips the whole frontend (see ``prepare``).
         Dynamic prolog steps — variable-declaration initializers under the
         implicit snap — still run on every call."""
-        return self.prepare(query, optimize=optimize).execute()
+        optimize = _shim_positional_optimize(
+            _positional_optimize, optimize, "execute"
+        )
+        opts = _merge_options(
+            options,
+            optimize=optimize,
+            semantics=semantics,
+            bindings=bindings,
+            collect_stats=collect_stats,
+            explain=explain,
+        )
+        tracer = Tracer() if opts.collect_stats else None
+        prepared = self._prepare(
+            query, opts.optimize, opts.resolved_semantics, tracer
+        )
+        return prepared.execute(options=opts, _tracer=tracer)
 
-    def prepare(self, query: str, optimize: bool = False) -> PreparedQuery:
+    def prepare(
+        self,
+        query: str,
+        _positional_optimize=_UNSET,
+        *,
+        optimize: bool | None = None,
+        semantics: str | ApplySemantics | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> PreparedQuery:
         """Run the frontend once — parse → normalize → simplify → static
         check → (with ``optimize=True``) compile and rewrite to the
         algebra — and return a reusable :class:`PreparedQuery`.
 
         Results are cached in a bounded LRU keyed by ``(query text,
-        optimize, default snap semantics)``; ``register_module`` and
+        optimize, snap semantics)``; ``register_module`` and
         ``load_module`` invalidate the cache, as does any change to the
-        set of registered user functions.
+        set of registered user functions.  ``bindings``/``collect_stats``/
+        ``explain`` options take effect per *execution*, so they are
+        accepted here (inside ``options=``) but only read by
+        :meth:`PreparedQuery.execute`.
 
         Per-call parameters bind free ``$variables`` at execute time::
 
             pq = engine.prepare('get_item($itemid, $userid)')
             pq.execute(bindings={"itemid": "item3", "userid": "person7"})
         """
-        key = (query, optimize, self.default_semantics.value)
+        optimize = _shim_positional_optimize(
+            _positional_optimize, optimize, "prepare"
+        )
+        opts = _merge_options(options, optimize=optimize, semantics=semantics)
+        return self._prepare(query, opts.optimize, opts.resolved_semantics)
+
+    def compile(
+        self,
+        query: str,
+        _positional_optimize=_UNSET,
+        *,
+        optimize: bool | None = None,
+        semantics: str | ApplySemantics | None = None,
+        options: ExecutionOptions | None = None,
+    ):
+        """Compile *query* to an algebra plan without running it.  Returns
+        the plan; useful for inspecting rewrites.  Prolog functions are
+        registered (the purity analysis needs their bodies) but variable
+        initializers are *not* evaluated.
+
+        For backward compatibility ``compile`` alone optimizes by default:
+        when neither ``optimize=`` nor ``options=`` is given it behaves as
+        ``optimize=True``."""
+        optimize = _shim_positional_optimize(
+            _positional_optimize, optimize, "compile"
+        )
+        if optimize is None and options is None:
+            optimize = True
+        opts = _merge_options(options, optimize=optimize, semantics=semantics)
+        from repro.algebra.compile import compile_query
+
+        snapshot = self.functions.snapshot()
+        try:
+            module = self._frontend(query, None)
+            self._resolve_imports(module)
+            for decl in module.declarations:
+                if isinstance(decl, core.CFunction):
+                    self.functions.register_user(decl)
+            if module.body is None:
+                raise DynamicError("query has no body to compile")
+            return compile_query(
+                module.body,
+                self,
+                optimize=opts.optimize,
+                semantics=opts.resolved_semantics,
+            )
+        except Exception:
+            # Compilation failed: undo this query's prolog registrations so
+            # a broken query cannot shift name resolution (or bump the
+            # registry generation, evicting every cached prepared query).
+            self.functions.restore(snapshot)
+            raise
+
+    def explain(self, query: str) -> ExplainReport:
+        """The optimizer's decisions for *query*, without running it.
+
+        Returns an :class:`~repro.obs.report.ExplainReport` with the plan
+        before and after rewriting, every rewrite rule considered (fired or
+        not, with the guard detail) and the per-clause purity verdicts the
+        guards were based on.  Side-effect-free: prolog function
+        registrations are rolled back afterwards."""
+        from repro.algebra.compile import compile_query
+        from repro.algebra.plan import plan_operators, pretty_plan
+
+        snapshot = self.functions.snapshot()
+        try:
+            module = self._frontend(query, None)
+            self._resolve_imports(module)
+            for decl in module.declarations:
+                if isinstance(decl, core.CFunction):
+                    self.functions.register_user(decl)
+            self._maybe_check(module)
+            if module.body is None:
+                raise DynamicError("query has no body to explain")
+            naive = compile_query(module.body, self, optimize=False)
+            tracer = Tracer()
+            optimized = compile_query(
+                module.body, self, optimize=True, tracer=tracer
+            )
+        finally:
+            self.functions.restore(snapshot)
+        return ExplainReport(
+            query_text=query,
+            plan_before=pretty_plan(naive),
+            plan_after=pretty_plan(optimized),
+            operators_before=plan_operators(naive),
+            operators_after=plan_operators(optimized),
+            rules=list(tracer.rules),
+            purity=list(tracer.purity),
+        )
+
+    def _frontend(
+        self, query: str, tracer: Tracer | None
+    ) -> core.CModule:
+        """parse → normalize → simplify, with per-phase spans when traced."""
+        with maybe_span(tracer, "parse"):
+            module = parse_module(query)
+        with maybe_span(tracer, "normalize"):
+            module = normalize_module(module)
+        with maybe_span(tracer, "simplify"):
+            module = simplify_module(module)
+        return module
+
+    def _prepare(
+        self,
+        query: str,
+        optimize: bool,
+        semantics: ApplySemantics | None = None,
+        tracer: Tracer | None = None,
+    ) -> PreparedQuery:
+        resolved = semantics or self.default_semantics
+        key = (query, optimize, resolved.value)
         cached = self.prepared_cache.lookup(key, self.functions.generation)
         if cached is not None:
+            if tracer is not None:
+                tracer.count("prepared_cache.hits")
             return cached
-        module = simplify_module(normalize_module(parse_module(query)))
-        self._resolve_imports(module)
-        for decl in module.declarations:
-            if isinstance(decl, core.CFunction):
-                self.functions.register_user(decl)
-        self._maybe_check(module)
-        plan = None
-        if optimize and module.body is not None:
-            from repro.algebra.compile import compile_query
+        if tracer is not None:
+            tracer.count("prepared_cache.misses")
+        snapshot = self.functions.snapshot()
+        try:
+            module = self._frontend(query, tracer)
+            self._resolve_imports(module)
+            for decl in module.declarations:
+                if isinstance(decl, core.CFunction):
+                    self.functions.register_user(decl)
+            with maybe_span(tracer, "static-check"):
+                self._maybe_check(module)
+            plan = None
+            if optimize and module.body is not None:
+                from repro.algebra.compile import compile_query
 
-            plan = compile_query(module.body, self, optimize=True)
+                with maybe_span(tracer, "compile"):
+                    plan = compile_query(
+                        module.body,
+                        self,
+                        optimize=True,
+                        semantics=resolved,
+                        tracer=tracer,
+                    )
+        except Exception:
+            # Scoped prolog registration: a query that fails to prepare
+            # leaves the function registry (and its generation, hence the
+            # prepared cache) exactly as it found them.
+            self.functions.restore(snapshot)
+            raise
         prepared = PreparedQuery(
             engine=self,
             query_text=query,
@@ -325,25 +631,10 @@ class Engine:
             plan=plan,
             optimize=optimize,
             generation=self.functions.generation,
+            semantics=resolved,
         )
         self.prepared_cache.store(key, prepared)
         return prepared
-
-    def compile(self, query: str):
-        """Compile *query* to an (optimized) algebra plan without running
-        it.  Returns the plan; useful for inspecting rewrites.  Prolog
-        functions are registered (the purity analysis needs their bodies)
-        but variable initializers are *not* evaluated."""
-        from repro.algebra.compile import compile_query
-
-        module = simplify_module(normalize_module(parse_module(query)))
-        self._resolve_imports(module)
-        for decl in module.declarations:
-            if isinstance(decl, core.CFunction):
-                self.functions.register_user(decl)
-        if module.body is None:
-            raise DynamicError("query has no body to compile")
-        return compile_query(module.body, self, optimize=True)
 
     def _run(self, body: core.CoreExpr, optimize: bool = False) -> QueryResult:
         if optimize:

@@ -1,0 +1,26 @@
+"""Pipeline observability: phase spans, counters, explain reports.
+
+The instrumentation substrate every layer of the engine reports into —
+see :mod:`repro.obs.tracer` for the collection side and
+:mod:`repro.obs.report` for the user-facing report objects.
+"""
+
+from repro.obs.report import ExplainReport, QueryStats, SlowQueryRecord
+from repro.obs.tracer import (
+    Observation,
+    PhaseSpan,
+    RuleFiring,
+    Tracer,
+    maybe_span,
+)
+
+__all__ = [
+    "ExplainReport",
+    "Observation",
+    "PhaseSpan",
+    "QueryStats",
+    "RuleFiring",
+    "SlowQueryRecord",
+    "Tracer",
+    "maybe_span",
+]

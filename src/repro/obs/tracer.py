@@ -1,0 +1,215 @@
+"""The zero-dependency tracer behind the pipeline observability layer.
+
+A :class:`Tracer` collects three kinds of evidence while a query runs:
+
+* **phase spans** — nested wall-clock intervals named after the pipeline
+  stages (parse, normalize, simplify, static-check, compile,
+  rewrite-per-rule, prolog, evaluate, snap-apply);
+* **counters** — monotonically increasing event counts (snaps applied,
+  prepared-cache hits, store nodes created/detached, materialization
+  barriers hit);
+* **observations** — per-event magnitudes folded into count/total/min/max
+  summaries (pending-update-list lengths per snap, conflict-check table
+  sizes, hash-join build sizes).
+
+Plus two optimizer-specific records: which rewrite **rules** fired (with
+why-not reasons) and the per-clause **purity verdicts** the guards were
+based on — FLUX-style inspectable static analysis results.
+
+Design constraint: instrumentation is *disabled by default* and must cost
+<5% on the hot execution paths.  The discipline throughout the engine is
+therefore *guard on None*: hot code holds a ``tracer`` that is ``None``
+unless the caller asked for stats, and every instrumentation site is
+``if tracer is not None: ...`` — one attribute load and pointer compare
+when disabled, nothing else.  The tracer itself is only ever constructed
+on the stats-collecting path, so its own methods need not be micro-tuned.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Any, Callable, Iterator, Optional
+
+
+class PhaseSpan:
+    """One named wall-clock interval; spans nest to form a phase tree."""
+
+    __slots__ = ("name", "start", "end", "children")
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: list["PhaseSpan"] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": self.duration_ms,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"PhaseSpan({self.name!r}, {self.duration_ms:.3f}ms)"
+
+
+class Observation:
+    """A folded histogram: count / total / min / max of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Observation(count={self.count}, total={self.total}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class RuleFiring:
+    """One optimizer rewrite-rule decision: did it fire, and why (not)."""
+
+    __slots__ = ("rule", "fired", "detail")
+
+    def __init__(self, rule: str, fired: bool, detail: dict | None = None):
+        self.rule = rule
+        self.fired = fired
+        self.detail = detail or {}
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "fired": self.fired, "detail": self.detail}
+
+    def __repr__(self) -> str:
+        return f"RuleFiring({self.rule!r}, fired={self.fired})"
+
+
+class Tracer:
+    """Collects spans, counters, observations and optimizer records.
+
+    One tracer lives for one traced query execution; the engine threads it
+    through the frontend, the optimizer, the evaluator, update application
+    and the store, then folds it into a
+    :class:`~repro.obs.report.QueryStats`.
+    """
+
+    __slots__ = (
+        "clock",
+        "created",
+        "spans",
+        "counters",
+        "observations",
+        "rules",
+        "purity",
+        "_stack",
+    )
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.created = clock()
+        self.spans: list[PhaseSpan] = []
+        self.counters: dict[str, int] = {}
+        self.observations: dict[str, Observation] = {}
+        self.rules: list[RuleFiring] = []
+        self.purity: list[dict] = []
+        self._stack: list[PhaseSpan] = []
+
+    # -- phase spans -----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[PhaseSpan]:
+        """Open a nested phase span for the duration of the ``with`` body."""
+        span = PhaseSpan(name, self.clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self.clock()
+            self._stack.pop()
+
+    # -- counters and observations --------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter *name* by *n*."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold *value* into the observation summary for *name*."""
+        obs = self.observations.get(name)
+        if obs is None:
+            obs = self.observations[name] = Observation()
+        obs.add(value)
+
+    # -- optimizer records -----------------------------------------------
+
+    def rule(self, name: str, fired: bool, detail: dict | None = None) -> None:
+        """Record a rewrite-rule decision."""
+        self.rules.append(RuleFiring(name, fired, detail))
+
+    def record_purity(self, verdicts: list[dict]) -> None:
+        """Record the per-clause purity verdicts of an optimized pipeline."""
+        self.purity.extend(verdicts)
+
+    # -- misc ------------------------------------------------------------
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since this tracer was created."""
+        return (self.clock() - self.created) * 1000.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={len(self.spans)}, counters={len(self.counters)}, "
+            f"rules={len(self.rules)})"
+        )
+
+
+def maybe_span(tracer: Tracer | None, name: str):
+    """``tracer.span(name)`` when tracing, a no-op context otherwise.
+
+    For warm paths where the ``if tracer is not None`` dance would obscure
+    the code; truly hot paths should keep the explicit guard.
+    """
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name)

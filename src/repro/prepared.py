@@ -29,14 +29,17 @@ module globals) and restored afterwards.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.errors import DynamicError
 from repro.lang import core_ast as core
+from repro.obs.tracer import Tracer, maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algebra.plan import Plan
-    from repro.engine import Engine, PythonValue, QueryResult
+    from repro.engine import Engine, ExecutionOptions, PythonValue, QueryResult
+    from repro.semantics.update import ApplySemantics
 
 
 _MISSING = object()
@@ -61,6 +64,7 @@ class PreparedQuery:
         "query_text",
         "optimize",
         "_generation",
+        "_semantics",
     )
 
     def __init__(
@@ -71,6 +75,7 @@ class PreparedQuery:
         plan: Optional["Plan"],
         optimize: bool,
         generation: int,
+        semantics: Optional["ApplySemantics"] = None,
     ):
         self._engine = engine
         self._module = module
@@ -80,6 +85,10 @@ class PreparedQuery:
         # Function-registry generation at prepare time; the engine cache
         # re-prepares when new user functions change name resolution.
         self._generation = generation
+        # Update-application semantics resolved at prepare time (a plan
+        # bakes the snap mode in; the cache key includes it).  None means
+        # "the engine's default at execute time".
+        self._semantics = semantics
 
     @property
     def external_variables(self) -> tuple[str, ...]:
@@ -94,7 +103,11 @@ class PreparedQuery:
         )
 
     def execute(
-        self, bindings: Mapping[str, "PythonValue"] | None = None
+        self,
+        bindings: Mapping[str, "PythonValue"] | None = None,
+        *,
+        options: Optional["ExecutionOptions"] = None,
+        _tracer: Tracer | None = None,
     ) -> "QueryResult":
         """Run the prepared query.
 
@@ -102,10 +115,34 @@ class PreparedQuery:
         they are coerced with :func:`repro.engine.to_sequence`, installed
         for the duration of this call, and restored afterwards.  The query
         text is never touched — bound values are data, not syntax.
+
+        *options* carries the per-execution fields of
+        :class:`~repro.engine.ExecutionOptions`: ``bindings`` (the
+        positional argument wins on a name collision), ``collect_stats``
+        (attach :class:`~repro.obs.report.QueryStats` to the result) and
+        ``explain``.  ``optimize``/``semantics`` were fixed at prepare
+        time and are ignored here.  ``_tracer`` is the engine-internal
+        handoff of a tracer that already recorded the frontend phases.
         """
         from repro.engine import QueryResult, to_sequence
 
         engine = self._engine
+        tracer = _tracer
+        if options is not None:
+            if options.bindings:
+                merged = dict(options.bindings)
+                if bindings:
+                    merged.update(bindings)
+                bindings = merged
+            if tracer is None and options.collect_stats:
+                tracer = Tracer()
+        hook = engine.on_slow_query
+        start = (
+            time.perf_counter()
+            if (hook is not None and tracer is None)
+            else None
+        )
+        semantics = self._semantics or engine.default_semantics
         globals_ = engine.evaluator.globals
         saved: dict[str, object] = {}
         if bindings:
@@ -113,6 +150,12 @@ class PreparedQuery:
                 saved[name] = globals_.get(name, _MISSING)
                 globals_[name] = to_sequence(value)
         declared: set[str] = set()
+        if tracer is not None:
+            # Install the tracer on the two hot components for the span of
+            # this call; both guard on None, so the disabled path stays a
+            # single pointer compare.
+            engine.evaluator.tracer = tracer
+            engine.store._obs = tracer
         try:
             # Imports and function registration are idempotent after the
             # first call (dict writes of the same objects) but keep the
@@ -123,36 +166,41 @@ class PreparedQuery:
             for decl in self._module.declarations:
                 if isinstance(decl, core.CFunction):
                     engine.functions.register_user(decl)
-            for decl in self._module.declarations:
-                if not isinstance(decl, core.CVarDecl):
-                    continue
-                if decl.expr is None:
-                    if decl.name not in globals_:
-                        raise DynamicError(
-                            f"external variable ${decl.name} is not bound; "
-                            "pass it via execute(bindings={...}) or "
-                            "Engine.bind()"
-                        )
-                    continue
-                value = engine.evaluator.run_snapped(
-                    decl.expr, engine._context(), engine.default_semantics
-                )
-                globals_[decl.name] = value
-                declared.add(decl.name)
+            with maybe_span(tracer, "prolog"):
+                for decl in self._module.declarations:
+                    if not isinstance(decl, core.CVarDecl):
+                        continue
+                    if decl.expr is None:
+                        if decl.name not in globals_:
+                            raise DynamicError(
+                                f"external variable ${decl.name} is not "
+                                "bound; pass it via execute(bindings={...}) "
+                                "or Engine.bind()"
+                            )
+                        continue
+                    value = engine.evaluator.run_snapped(
+                        decl.expr, engine._context(), semantics
+                    )
+                    globals_[decl.name] = value
+                    declared.add(decl.name)
             if self._module.body is None:
-                return QueryResult([], engine)
-            if self._plan is not None:
+                result = QueryResult([], engine)
+            elif self._plan is not None:
                 from repro.algebra.execute import execute_plan
 
-                items = execute_plan(self._plan, engine)
+                items = execute_plan(self._plan, engine, tracer=tracer)
+                result = QueryResult(items, engine)
             else:
                 items = engine.evaluator.run_snapped(
                     self._module.body,
                     engine._context(),
-                    engine.default_semantics,
+                    semantics,
                 )
-            return QueryResult(items, engine)
+                result = QueryResult(items, engine)
         finally:
+            if tracer is not None:
+                engine.evaluator.tracer = None
+                engine.store._obs = None
             for name, old in saved.items():
                 if name in declared:
                     # The prolog re-declared a bound name; the declaration
@@ -162,6 +210,35 @@ class PreparedQuery:
                     globals_.pop(name, None)
                 else:
                     globals_[name] = old
+        if tracer is not None:
+            from repro.obs.report import QueryStats
+
+            result.stats = QueryStats.from_tracer(tracer)
+        if (
+            options is not None
+            and options.explain
+            and self._module.body is not None
+        ):
+            result.explain = engine.explain(self.query_text)
+        if hook is not None:
+            elapsed_ms = (
+                tracer.elapsed_ms()
+                if tracer is not None
+                else (time.perf_counter() - start) * 1000.0
+            )
+            if elapsed_ms >= engine.slow_query_ms:
+                from repro.obs.report import SlowQueryRecord
+
+                hook(
+                    SlowQueryRecord(
+                        query_text=self.query_text,
+                        duration_ms=elapsed_ms,
+                        threshold_ms=engine.slow_query_ms,
+                        stats=result.stats,
+                        timestamp=SlowQueryRecord.now(),
+                    )
+                )
+        return result
 
     def __repr__(self) -> str:
         head = self.query_text.strip().splitlines()[0][:60]

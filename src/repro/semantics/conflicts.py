@@ -33,6 +33,8 @@ writes, insert subjects, deletions) and ``positions`` keyed by
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConflictError
 from repro.semantics.update import (
     INSERT_AFTER,
@@ -46,11 +48,20 @@ from repro.semantics.update import (
     UpdateList,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
-def check_conflict_free(delta: UpdateList) -> None:
+
+def check_conflict_free(
+    delta: UpdateList, tracer: "Tracer | None" = None
+) -> None:
     """Prove Δ conflict-free or raise :class:`ConflictError`.
 
-    Runs in O(|Δ| + total inserted nodes) time.
+    Runs in O(|Δ| + total inserted nodes) time.  With a *tracer*, records
+    the check's hash-table sizes (``conflict.table.writes`` /
+    ``conflict.table.positions``) and outcome counters
+    (``conflict.checks`` / ``conflict.ok`` / ``conflict.detected``) — the
+    paper's §4.1 "pair of hash-tables" made measurable.
     """
     # Table 1: per-node write records. Values are sets of tags:
     #   'name'    — some rename writes this node's name,
@@ -60,7 +71,29 @@ def check_conflict_free(delta: UpdateList) -> None:
     delete_groups: dict[int, list] = {}
     # Table 2: symbolic insert positions (position, target) -> group.
     positions: dict[tuple[str, int], object] = {}
+    if tracer is None:
+        _scan(delta, writes, delete_groups, positions)
+        return
+    tracer.count("conflict.checks")
+    try:
+        _scan(delta, writes, delete_groups, positions)
+    except ConflictError:
+        tracer.count("conflict.detected")
+        raise
+    finally:
+        # Table sizes are meaningful on both outcomes: on a conflict they
+        # show how far the scan got before the commutativity proof failed.
+        tracer.observe("conflict.table.writes", len(writes))
+        tracer.observe("conflict.table.positions", len(positions))
+    tracer.count("conflict.ok")
 
+
+def _scan(
+    delta: UpdateList,
+    writes: dict[int, set[str]],
+    delete_groups: dict[int, list],
+    positions: dict[tuple[str, int], object],
+) -> None:
     def mark(node: int, tag: str, message: str) -> None:
         tags = writes.setdefault(node, set())
         if tag in tags:

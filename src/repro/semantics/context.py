@@ -126,6 +126,28 @@ class FunctionRegistry:
         """All registered user functions (used by the purity analysis)."""
         return list(self._user.values())
 
+    # -- scoped registration ---------------------------------------------
+
+    def snapshot(self) -> tuple[dict[tuple[str, int], CFunction], int]:
+        """Capture the user-function table and generation counter.
+
+        ``Engine.prepare``/``compile`` register prolog functions *before*
+        static checks and compilation can still fail; restoring the
+        snapshot on error rolls those registrations back so a failed
+        compilation neither leaks half a prolog into the shared registry
+        nor bumps the generation (which would evict every prepared-cache
+        entry).
+        """
+        return (dict(self._user), self.generation)
+
+    def restore(
+        self, snapshot: tuple[dict[tuple[str, int], CFunction], int]
+    ) -> None:
+        """Reset user functions and generation to a prior snapshot."""
+        users, generation = snapshot
+        self._user = dict(users)
+        self.generation = generation
+
     # -- lookup ------------------------------------------------------------
 
     @staticmethod

@@ -114,6 +114,9 @@ class Evaluator:
         # Use the store's element-name index to answer descendant::name
         # steps (O(candidates x depth) instead of an O(subtree) walk).
         self.use_name_index = use_name_index
+        # Observability: a repro.obs.Tracer while a traced execution is in
+        # flight, else None (the default — hot paths guard on None).
+        self.tracer = None
         self._dispatch = {
             core.CLiteral: self._eval_literal,
             core.CVar: self._eval_var,
@@ -175,8 +178,18 @@ class Evaluator:
     ) -> Sequence:
         """Evaluate under the implicit top-level snap (Section 2.3: "a snap
         is always implicitly present around the top-level query")."""
-        value, delta = self.evaluate(expr, context)
-        apply_update_list(self.store, delta, mode, atomic=self.atomic_snaps)
+        tracer = self.tracer
+        if tracer is None:
+            value, delta = self.evaluate(expr, context)
+            apply_update_list(self.store, delta, mode, atomic=self.atomic_snaps)
+            return value
+        with tracer.span("evaluate"):
+            value, delta = self.evaluate(expr, context)
+        with tracer.span("snap-apply"):
+            apply_update_list(
+                self.store, delta, mode,
+                atomic=self.atomic_snaps, tracer=tracer,
+            )
         return value
 
     # ------------------------------------------------------------------
@@ -894,6 +907,7 @@ class Evaluator:
             delta,
             ApplySemantics.from_keyword(expr.mode),
             atomic=self.atomic_snaps,
+            tracer=self.tracer,
         )
         return EvalResult(value, _EMPTY)
 

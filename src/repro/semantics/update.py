@@ -33,10 +33,13 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import UpdateApplicationError
 from repro.xdm.store import NodeKind, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 # Group tokens tie together the request pair a single `replace` emits
 # (Fig. 2: insert-after + delete of the same node).  The conflict checker
@@ -206,6 +209,7 @@ def apply_update_list(
     semantics: ApplySemantics = ApplySemantics.ORDERED,
     permutation: list[int] | None = None,
     atomic: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> None:
     """Apply Δ to the store under the chosen semantics.
 
@@ -226,8 +230,13 @@ def apply_update_list(
     from repro.semantics.conflicts import check_conflict_free
 
     delta = list(delta)  # accept both plain lists and Delta ropes
+    if tracer is not None:
+        # Every snap closure lands here, so this is *the* place the
+        # "pending-update-list length per snap" histogram is fed.
+        tracer.count("snap.count")
+        tracer.observe("snap.pending_updates", len(delta))
     if semantics is ApplySemantics.CONFLICT_DETECTION:
-        check_conflict_free(delta)
+        check_conflict_free(delta, tracer=tracer)
     order = range(len(delta))
     if permutation is not None:
         if semantics is ApplySemantics.ORDERED:

@@ -101,6 +101,10 @@ class Store:
         # in the store (live or detached).  Maintained on create/rename;
         # used by the descendant-axis fast path.
         self._name_index: dict[str, set[int]] = {}
+        # Observability: a repro.obs.Tracer while a traced execution is in
+        # flight, else None.  Hot paths guard on None so that disabled
+        # instrumentation costs one attribute load per event.
+        self._obs = None
 
     def _touch(self, *roots: int) -> None:
         """Invalidate cached order keys.
@@ -134,6 +138,8 @@ class Store:
             # Every element enters the name index at birth — including
             # deep-copy clones, which do not go through create_element.
             self._name_index.setdefault(name, set()).add(nid)
+        if self._obs is not None:
+            self._obs.count("store.nodes_created")
         return nid
 
     def create_document(self) -> int:
@@ -472,6 +478,8 @@ class Store:
         parent = rec.parent
         if parent is None:
             return
+        if self._obs is not None:
+            self._obs.count("store.nodes_detached")
         # Removal shifts following siblings and reroots the detached
         # subtree, so the whole (pre-mutation) containing tree goes stale.
         tree_root = self.root(nid)

@@ -110,7 +110,7 @@ class TestParameterBinding:
         prepared = engine.prepare('$doc//item[@id = $which]/@price/data(.)')
         assert prepared.execute(bindings={"which": "b"}).first_value() == "20"
         # The binding does not leak into engine globals.
-        with pytest.raises(KeyError):
+        with pytest.raises(DynamicError, match=r"\$which is not bound"):
             engine.variable("which")
 
     def test_bindings_shadow_and_restore_globals(self):
