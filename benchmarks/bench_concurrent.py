@@ -1,0 +1,159 @@
+"""Concurrent serving: what the snapshot read path buys a busy service.
+
+The workload is a read-mostly search service over the auction document:
+each request counts the items whose text mentions a needle drawn from a
+hot set of eight (``count($auction//item[contains(string(.), $needle)])``,
+needle bound as data).  Identical requests recur — the defining property
+of serving workloads — and every row performs the same 64 requests:
+
+* **direct** — the pre-concurrency discipline: one thread, one prepared
+  query, every request re-evaluated on the live store.  This is the
+  baseline the ≥3x acceptance ratio is measured against, and the row
+  compared against the pre-PR tree for the <5% regression check.
+* **snapshot-8-threads** — 8 client threads through a
+  :class:`~repro.concurrent.ConcurrentExecutor` in ``reads="snapshot"``
+  mode: pure queries run lock-free on a shared copy-on-write snapshot,
+  repeats of a request are served from the snapshot's result cache, and
+  simultaneous identical misses are single-flighted.
+* **snapshot-1-thread** — same executor, one client: separates what the
+  snapshot machinery contributes from what threading contributes.  On
+  one CPython interpreter the GIL serializes evaluation, so *all* of
+  the throughput win comes from evaluation reuse on the immutable
+  snapshot — by design, and disclosed: parallel hardware would add its
+  factor on top of, not instead of, this mechanism.
+* **serialized-8-threads** — the executor's degenerate
+  ``reads="serialized"`` mode (every query under the write lock, no
+  snapshot, no result reuse): the control proving the win comes from
+  the snapshot path, not the worker pool.
+
+Record with::
+
+    pytest benchmarks/bench_concurrent.py --benchmark-only \
+        --benchmark-json=/tmp/bench_concurrent.json
+
+``BENCH_concurrent.json`` holds the recorded acceptance evidence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ConcurrentExecutor
+from repro.usecases.webservice import AuctionService
+
+_QUERY = "count($auction//item[contains(string(.), $needle)])"
+_NEEDLES = ["gold", "a", "the", "free", "ship", "b", "c", "d"]
+_REQUESTS = 64
+_THREADS = 8
+_MAXLOG = 10**6
+
+
+def _needles() -> list[str]:
+    return [_NEEDLES[i % len(_NEEDLES)] for i in range(_REQUESTS)]
+
+
+def _service() -> AuctionService:
+    return AuctionService(maxlog=_MAXLOG)
+
+
+def _run_direct(engine) -> None:
+    prepared = engine.prepare(_QUERY)
+    for needle in _needles():
+        prepared.execute(bindings={"needle": needle})
+
+
+def _run_pooled(executor: ConcurrentExecutor, client_threads: int) -> None:
+    requests = _needles()
+    per = _REQUESTS // client_threads
+
+    def client(index: int) -> None:
+        for needle in requests[index * per : (index + 1) * per]:
+            executor.execute(_QUERY, bindings={"needle": needle})
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(client_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+@pytest.mark.benchmark(group="concurrent-serving")
+def test_direct_single_thread(benchmark):
+    engine = _service().engine
+    engine.prepare(_QUERY).execute(bindings={"needle": "warm"})
+    benchmark.pedantic(lambda: _run_direct(engine), rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="concurrent-serving")
+def test_snapshot_8_threads(benchmark):
+    service = _service()
+
+    def round_():
+        # A fresh executor per round: each round pays its own snapshot
+        # build and cold misses, exactly like a service that just saw a
+        # write retire its bundle.
+        with ConcurrentExecutor(
+            service.engine, workers=_THREADS, queue_size=128
+        ) as executor:
+            _run_pooled(executor, _THREADS)
+
+    benchmark.pedantic(round_, rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="concurrent-serving")
+def test_snapshot_single_thread(benchmark):
+    service = _service()
+
+    def round_():
+        with ConcurrentExecutor(
+            service.engine, workers=2, queue_size=128
+        ) as executor:
+            _run_pooled(executor, 1)
+
+    benchmark.pedantic(round_, rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="concurrent-serving")
+def test_serialized_8_threads(benchmark):
+    service = _service()
+
+    def round_():
+        with ConcurrentExecutor(
+            service.engine,
+            workers=_THREADS,
+            queue_size=128,
+            reads="serialized",
+        ) as executor:
+            _run_pooled(executor, _THREADS)
+
+    benchmark.pedantic(round_, rounds=5, iterations=1)
+
+
+def test_snapshot_throughput_floor():
+    """Acceptance guard: aggregate read-only throughput at 8 client
+    threads through the snapshot path must be ≥3x the single-threaded
+    direct baseline on this workload (the recorded run shows ~6-7x)."""
+    engine = _service().engine
+    engine.prepare(_QUERY).execute(bindings={"needle": "warm"})
+
+    start = time.perf_counter()
+    _run_direct(engine)
+    direct = time.perf_counter() - start
+
+    with ConcurrentExecutor(
+        engine, workers=_THREADS, queue_size=128
+    ) as executor:
+        start = time.perf_counter()
+        _run_pooled(executor, _THREADS)
+        pooled = time.perf_counter() - start
+
+    assert pooled < direct / 3, (
+        f"expected >=3x aggregate throughput, got {direct / pooled:.2f}x "
+        f"(direct {direct:.4f}s, snapshot-8-threads {pooled:.4f}s)"
+    )

@@ -17,14 +17,21 @@ Quickstart::
     print(engine.execute('count($doc/inventory/item)').first_value())  # 2
 """
 
+from repro.concurrent.control import CancelToken
+from repro.concurrent.executor import ConcurrentExecutor
 from repro.engine import Engine, ExecutionOptions, QueryResult, to_sequence
-from repro.errors import XQueryError
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    XQueryError,
+)
 from repro.obs import ExplainReport, QueryStats, SlowQueryRecord, Tracer
 from repro.prepared import PreparedQuery, PreparedQueryCache
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Engine",
@@ -37,7 +44,12 @@ __all__ = [
     "SlowQueryRecord",
     "Tracer",
     "to_sequence",
+    "CancelToken",
+    "ConcurrentExecutor",
     "XQueryError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "ServiceOverloadedError",
     "AtomicValue",
     "Node",
     "NodeKind",

@@ -59,6 +59,9 @@ class _ExecState:
         self.evaluator = engine.evaluator
         self.delta: UpdateList = []
         self.tracer = tracer
+        # Execution control (deadline/cancellation), shared with the
+        # evaluator running embedded expressions; None when unused.
+        self.control = engine.evaluator.control
 
     def eval_scalar(self, expr, tup: Tuple_) -> Sequence:
         """Evaluate an embedded core expression against a tuple's bindings;
@@ -101,6 +104,10 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
         mode = (
             ApplySemantics(plan.mode) if plan.mode else ApplySemantics.ORDERED
         )
+        # Last check before committing: an interrupt discards the pending
+        # Δ rather than landing inside (or after) its application.
+        if state.control is not None:
+            state.control.check()
         if tracer is None:
             apply_update_list(
                 state.engine.store,
@@ -183,8 +190,11 @@ def _chain_tuples(top: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
         node = node.input
     ops.reverse()
     n = len(ops)
+    control = state.control
     stack: list[Iterator[Tuple_]] = [_tuples(node, state)]
     while stack:
+        if control is not None:
+            control.check()
         tup = next(stack[-1], None)
         if tup is None:
             stack.pop()

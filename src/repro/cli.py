@@ -32,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version="%(prog)s 1.1.0 (XQuery! reproduction, EDBT 2006)",
+        version="%(prog)s 1.2.0 (XQuery! reproduction, EDBT 2006)",
     )
     parser.add_argument(
         "query_file",
@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--atomic",
         action="store_true",
         help="roll back snaps whose update list fails mid-application",
+    )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="cooperative execution deadline; a query exceeding it fails "
+        "with a QueryTimeoutError and its pending updates are discarded",
     )
     parser.add_argument(
         "--indent", action="store_true", help="pretty-print XML output"
@@ -194,7 +202,9 @@ def run_query(engine: Engine, query: str, args: argparse.Namespace) -> int:
     prepared = engine.prepare(query, optimize=args.optimize)
     result = prepared.execute(
         bindings=_params(args),
-        options=ExecutionOptions(collect_stats=args.stats),
+        options=ExecutionOptions(
+            collect_stats=args.stats, timeout_ms=args.timeout_ms
+        ),
     )
     output = result.serialize(indent=args.indent)
     if output:

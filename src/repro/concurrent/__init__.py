@@ -1,0 +1,54 @@
+"""Concurrent execution subsystem: thread-safe serving of an XQuery! store.
+
+The paper's central semantic guarantee — inside an innermost ``snap`` no
+side effect is observable (Section 1) — means read-only work between
+snapshot boundaries can run concurrently without changing any result.
+This package exploits that dynamically, the way FLUX exploits it
+statically:
+
+* :class:`~repro.concurrent.locks.RWLock` — the reader-writer lock
+  guarding the store (``Store.lock``); updating queries serialize through
+  it while readers share.
+* :class:`~repro.concurrent.snapshot.StoreSnapshot` — a cheap
+  copy-on-write frozen view of the store; read-only queries (as judged by
+  the optimizer's purity analysis) run lock-free against it, with shared
+  memoization that a mutable store can never have.
+* :class:`~repro.concurrent.control.CancelToken` /
+  :class:`~repro.concurrent.control.ExecutionControl` — cooperative
+  timeouts and cancellation, checked at FLWOR-iteration and
+  tuple-pipeline boundaries.
+* :class:`~repro.concurrent.executor.ConcurrentExecutor` — the worker
+  pool front end: bounded queue, per-request deadlines, load shedding,
+  and purity-based routing of queries to the snapshot or the serialized
+  write path.
+
+Submodules import lazily (PEP 562) so that low layers (``repro.xdm``)
+can depend on :mod:`repro.concurrent.locks` without an import cycle
+through the engine.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+_EXPORTS = {
+    "RWLock": "repro.concurrent.locks",
+    "CancelToken": "repro.concurrent.control",
+    "ExecutionControl": "repro.concurrent.control",
+    "StoreSnapshot": "repro.concurrent.snapshot",
+    "ConcurrentExecutor": "repro.concurrent.executor",
+    "ConcurrencyMetrics": "repro.concurrent.executor",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

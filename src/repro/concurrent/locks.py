@@ -1,0 +1,129 @@
+"""A writer-preferring reader-writer lock.
+
+The store's concurrency unit is the query: read-only queries hold the
+read side for their whole execution (or, better, run against a
+:class:`~repro.concurrent.snapshot.StoreSnapshot` and hold nothing),
+while updating queries hold the write side so structural mutation is
+exclusive.
+
+Writer preference: once a writer is waiting, newly arriving readers
+block behind it.  Under sustained read traffic this bounds writer
+starvation — the paper's motivating workload (the auction Web service,
+Section 2) is read-mostly with a steady trickle of logging updates, the
+exact pattern where reader-preferring locks starve writers forever.
+
+The lock is not reentrant on either side; a thread holding the write
+side must not re-acquire either side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+# Signature: (kind, waited_seconds) with kind in {"read", "write"}.
+WaitCallback = Callable[[str, float], None]
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference.
+
+    Parameters:
+        on_wait: optional callback invoked after any acquisition that had
+            to block, with the side ("read"/"write") and the wall-clock
+            seconds spent waiting.  The observability layer uses this to
+            feed lock-wait histograms; the callback runs outside the
+            internal mutex and must not acquire this lock.
+    """
+
+    def __init__(self, on_wait: WaitCallback | None = None):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self.on_wait = on_wait
+
+    # -- read side -------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Acquire the shared side (blocks while a writer holds or waits)."""
+        started: float | None = None
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                if started is None:
+                    started = time.perf_counter()
+                self._cond.wait()
+            self._readers += 1
+        if started is not None and self.on_wait is not None:
+            self.on_wait("read", time.perf_counter() - started)
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Acquire the exclusive side (blocks until all readers drain)."""
+        started: float | None = None
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    if started is None:
+                        started = time.perf_counter()
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        if started is not None and self.on_wait is not None:
+            self.on_wait("write", time.perf_counter() - started)
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests, metrics) ----------------------------------
+
+    @property
+    def readers(self) -> int:
+        """Number of threads currently holding the read side."""
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer_active
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, "
+            f"writer={self._writer_active}, "
+            f"writers_waiting={self._writers_waiting})"
+        )

@@ -18,11 +18,13 @@ with the implicit top-level ``snap`` wrapped around the query body
 
 from __future__ import annotations
 
+import threading
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Mapping, Optional, Union
 
+from repro.concurrent.control import CancelToken
 from repro.errors import DynamicError, XQueryError
 from repro.lang import core_ast as core
 from repro.lang.normalize import normalize, normalize_module
@@ -75,6 +77,16 @@ class ExecutionOptions:
             the result's ``stats`` is a :class:`~repro.obs.report.QueryStats`.
         explain: attach an :class:`~repro.obs.report.ExplainReport` to the
             result (plan before/after rewriting, rule firings, purity).
+        timeout_ms: cooperative execution deadline in milliseconds.  The
+            evaluator and the algebra's tuple pipeline poll the deadline
+            at iteration boundaries; when it fires the call raises
+            :class:`~repro.errors.QueryTimeoutError` and the pending
+            update list is discarded (never half-applied).  None (the
+            default) disables the check entirely.
+        cancel: a :class:`~repro.concurrent.CancelToken`; firing it from
+            any thread makes the call raise
+            :class:`~repro.errors.QueryCancelledError` at its next check
+            point, with the same discard-the-Δ guarantee.
     """
 
     optimize: bool = False
@@ -82,12 +94,16 @@ class ExecutionOptions:
     bindings: Mapping[str, "PythonValue"] | None = None
     collect_stats: bool = False
     explain: bool = False
+    timeout_ms: float | None = None
+    cancel: "CancelToken | None" = None
 
     def __post_init__(self) -> None:
         if self.semantics is not None and not isinstance(
             self.semantics, ApplySemantics
         ):
             ApplySemantics(self.semantics)  # raises ValueError when invalid
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive (or None)")
 
     @property
     def resolved_semantics(self) -> ApplySemantics | None:
@@ -271,6 +287,13 @@ class Engine:
         self.prepared_cache = PreparedQueryCache(prepared_cache_size)
         self.on_slow_query = on_slow_query
         self.slow_query_ms = slow_query_ms
+        # Serializes preparation (frontend + prolog registration) and
+        # module loading.  Two threads preparing the same query must not
+        # each register the prolog's functions — the second registration
+        # would bump the registry generation and evict every cached
+        # prepared query, including the first thread's.  Reentrant:
+        # preparing can recursively load imported modules.
+        self._prepare_lock = threading.RLock()
 
     def _maybe_check(self, module: core.CModule) -> None:
         if self.static_checks:
@@ -321,8 +344,9 @@ class Engine:
 
         Invalidates the prepared-query cache: a newly available module can
         change how an ``import`` (and hence name resolution) resolves."""
-        self._module_library[uri] = text
-        self.prepared_cache.clear()
+        with self._prepare_lock:
+            self._module_library[uri] = text
+            self.prepared_cache.clear()
 
     def _resolve_imports(self, module: core.CModule) -> None:
         for prefix, uri in module.imports:
@@ -379,6 +403,10 @@ class Engine:
         Invalidates the prepared-query cache: newly declared functions can
         change name resolution and the optimizer's purity verdicts for
         queries prepared earlier."""
+        with self._prepare_lock:
+            return self._load_module_locked(text)
+
+    def _load_module_locked(self, text: str) -> Optional[QueryResult]:
         self.prepared_cache.clear()
         module = simplify_module(normalize_module(parse_module(text)))
         self._resolve_imports(module)
@@ -417,6 +445,8 @@ class Engine:
         bindings: Mapping[str, PythonValue] | None = None,
         collect_stats: bool | None = None,
         explain: bool | None = None,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
         options: ExecutionOptions | None = None,
     ) -> QueryResult:
         """Parse, normalize and evaluate *query* (which may include a
@@ -445,6 +475,8 @@ class Engine:
             bindings=bindings,
             collect_stats=collect_stats,
             explain=explain,
+            timeout_ms=timeout_ms,
+            cancel=cancel,
         )
         tracer = Tracer() if opts.collect_stats else None
         prepared = self._prepare(
@@ -590,13 +622,31 @@ class Engine:
     ) -> PreparedQuery:
         resolved = semantics or self.default_semantics
         key = (query, optimize, resolved.value)
-        cached = self.prepared_cache.lookup(key, self.functions.generation)
-        if cached is not None:
+        # The whole lookup-or-build runs under the prepare lock: when two
+        # threads race on the same uncached query, the second must find
+        # the first's entry instead of re-registering the prolog (which
+        # would bump the registry generation and evict every cached
+        # entry).  Uncontended acquisition is noise next to execution.
+        with self._prepare_lock:
+            cached = self.prepared_cache.lookup(key, self.functions.generation)
+            if cached is not None:
+                if tracer is not None:
+                    tracer.count("prepared_cache.hits")
+                return cached
             if tracer is not None:
-                tracer.count("prepared_cache.hits")
-            return cached
-        if tracer is not None:
-            tracer.count("prepared_cache.misses")
+                tracer.count("prepared_cache.misses")
+            return self._prepare_locked(
+                query, optimize, resolved, tracer, key
+            )
+
+    def _prepare_locked(
+        self,
+        query: str,
+        optimize: bool,
+        resolved: ApplySemantics,
+        tracer: Tracer | None,
+        key: tuple,
+    ) -> PreparedQuery:
         snapshot = self.functions.snapshot()
         try:
             module = self._frontend(query, tracer)

@@ -139,6 +139,47 @@ class StoreError(DynamicError):
     default_code = "XQDY0025"
 
 
+class ExecutionControlError(DynamicError):
+    """Base class for cooperative execution-control interruptions.
+
+    Raised at tuple-pipeline and FLWOR iteration boundaries when a query's
+    deadline passes or its cancel token fires.  The pending update list of
+    the interrupted snap scope is discarded, never half-applied — the
+    paper's atomicity-via-snap discipline extends to interruption: a query
+    either commits a snap's Δ in full or leaves the store untouched by it.
+    Codes are implementation defined (the W3C taxonomy has no entry for
+    engine-level interruption).
+    """
+
+    default_code = "REPR0000"
+
+
+class QueryTimeoutError(ExecutionControlError):
+    """A query exceeded its ``timeout_ms`` execution deadline."""
+
+    default_code = "REPR0001"
+
+    def __init__(self, message: str, timeout_ms: float | None = None):
+        self.timeout_ms = timeout_ms
+        super().__init__(message)
+
+
+class QueryCancelledError(ExecutionControlError):
+    """A query's :class:`~repro.concurrent.CancelToken` fired."""
+
+    default_code = "REPR0002"
+
+
+class ServiceOverloadedError(XQueryError):
+    """A bounded request queue is full and the request was shed.
+
+    Raised by the concurrent front ends (graceful degradation: reject
+    fast with a typed error instead of queueing unboundedly).
+    """
+
+    default_code = "REPR0003"
+
+
 class SerializationError(DynamicError):
     """The data model instance cannot be serialized to XML."""
 

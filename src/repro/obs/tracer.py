@@ -27,6 +27,7 @@ on the stats-collecting path, so its own methods need not be micro-tuned.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Iterator, Optional
@@ -202,6 +203,59 @@ class Tracer:
             f"Tracer(spans={len(self.spans)}, counters={len(self.counters)}, "
             f"rules={len(self.rules)})"
         )
+
+
+class SharedTracer(Tracer):
+    """A tracer safe to share across threads — counters and observations
+    only.
+
+    The concurrent front ends (:mod:`repro.concurrent.executor`,
+    :class:`~repro.usecases.webservice.AuctionFrontEnd`) aggregate
+    service-level evidence — queue depth, lock waits, snapshot age,
+    timeout/cancel/shed counts — from every worker into one place.  A
+    plain :class:`Tracer` folds ``count``/``observe`` with unlocked
+    read-modify-write dict updates and keeps an ambient span *stack*,
+    neither of which survives concurrent use; this subclass serializes
+    the folds under a mutex and rejects spans outright (a wall-clock
+    interval belongs to one thread's one execution — per-query tracers
+    still do that job).
+    """
+
+    __slots__ = ("_mutex",)
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        super().__init__(clock)
+        self._mutex = threading.Lock()
+
+    def span(self, name: str):
+        raise RuntimeError(
+            "SharedTracer does not support spans; use a per-query Tracer "
+            "for phase timing"
+        )
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._mutex:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        with self._mutex:
+            obs = self.observations.get(name)
+            if obs is None:
+                obs = self.observations[name] = Observation()
+            obs.add(value)
+
+    def snapshot_counters(self) -> dict[str, int]:
+        """A consistent copy of the counters."""
+        with self._mutex:
+            return dict(self.counters)
+
+    def snapshot_observations(self) -> dict[str, dict]:
+        """A consistent copy of the observation summaries (as dicts)."""
+        with self._mutex:
+            return {
+                name: obs.to_dict()
+                for name, obs in self.observations.items()
+            }
 
 
 def maybe_span(tracer: Tracer | None, name: str):

@@ -174,5 +174,5 @@ def _restore_records(store: Store, records: list, next_id: int) -> None:
         store._records[nid] = record
         if record.kind is NodeKind.ELEMENT and name:
             store._name_index.setdefault(name, set()).add(nid)
-    store._next_id = next_id
+    store._reset_ids(next_id)
     store._touch()

@@ -29,9 +29,11 @@ module globals) and restored afterwards.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Mapping, Optional
 
+from repro.concurrent.control import ExecutionControl
 from repro.errors import DynamicError
 from repro.lang import core_ast as core
 from repro.obs.tracer import Tracer, maybe_span
@@ -65,6 +67,7 @@ class PreparedQuery:
         "optimize",
         "_generation",
         "_semantics",
+        "_readonly",
     )
 
     def __init__(
@@ -89,6 +92,8 @@ class PreparedQuery:
         # bakes the snap mode in; the cache key includes it).  None means
         # "the engine's default at execute time".
         self._semantics = semantics
+        # Lazily computed purity verdict (see is_readonly).
+        self._readonly: bool | None = None
 
     @property
     def external_variables(self) -> tuple[str, ...]:
@@ -101,6 +106,32 @@ class PreparedQuery:
             for decl in self._module.declarations
             if isinstance(decl, core.CVarDecl) and decl.expr is None
         )
+
+    def is_readonly(self) -> bool:
+        """Conservative purity verdict for the whole prepared module.
+
+        True only when the effect analysis (:mod:`repro.algebra.properties`)
+        proves that neither the query body, nor any variable-declaration
+        initializer, may update the store or contain an explicit ``snap``.
+        The concurrent executor uses this to route a query to the
+        lock-free snapshot path; "don't know" safely reports False.
+        """
+        cached = self._readonly
+        if cached is not None:
+            return cached
+        from repro.algebra.properties import EffectAnalyzer
+
+        analyzer = EffectAnalyzer(self._engine.functions)
+        verdict = True
+        for decl in self._module.declarations:
+            if isinstance(decl, core.CVarDecl) and decl.expr is not None:
+                if not analyzer.analyze(decl.expr).pure:
+                    verdict = False
+                    break
+        if verdict and self._module.body is not None:
+            verdict = analyzer.analyze(self._module.body).pure
+        self._readonly = verdict
+        return verdict
 
     def execute(
         self,
@@ -156,6 +187,13 @@ class PreparedQuery:
             # single pointer compare.
             engine.evaluator.tracer = tracer
             engine.store._obs = tracer
+        control = ExecutionControl.from_options(options)
+        if control is not None:
+            # Same install-for-the-call discipline as the tracer: the
+            # evaluator (and the algebra interpreter, which reads it from
+            # there) polls at iteration boundaries.  Covers the dynamic
+            # prolog too — a variable initializer can loop as well.
+            engine.evaluator.control = control
         try:
             # Imports and function registration are idempotent after the
             # first call (dict writes of the same objects) but keep the
@@ -201,6 +239,8 @@ class PreparedQuery:
             if tracer is not None:
                 engine.evaluator.tracer = None
                 engine.store._obs = None
+            if control is not None:
+                engine.evaluator.control = None
             for name, old in saved.items():
                 if name in declared:
                     # The prolog re-declared a bound name; the declaration
@@ -286,6 +326,11 @@ class PreparedQueryCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
         self.stats = CacheStats()
+        # OrderedDict.move_to_end during a concurrent re-link corrupts the
+        # LRU order (unlike plain dict ops it is a multi-step re-link), so
+        # every cache operation takes this mutex.  Uncontended acquisition
+        # is tens of nanoseconds — noise next to a query execution.
+        self._mutex = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -295,36 +340,40 @@ class PreparedQueryCache:
 
     def lookup(self, key: tuple, generation: int) -> PreparedQuery | None:
         """Return the cached entry for *key* if still valid, else None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry._generation != generation:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry._generation != generation:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def store(self, key: tuple, prepared: PreparedQuery) -> None:
-        self._entries[key] = prepared
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._mutex:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> int:
         """Drop every entry (counted as invalidations); returns how many."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._mutex:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     def keys(self) -> list[tuple]:
         """Cache keys, least- to most-recently used (for tests/REPL)."""
-        return list(self._entries)
+        with self._mutex:
+            return list(self._entries)
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,7 @@ formal semantics where ``dynEnv + x => value`` extends the environment.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import (
@@ -98,6 +99,10 @@ class FunctionRegistry:
         # Re-registering the identical declaration — which every prepared
         # execution does for its own prolog — is generation-neutral.
         self.generation = 0
+        # Guards registration, snapshot and restore: the check-then-bump
+        # in register_user is a read-modify-write, and restore swaps the
+        # table and counter as a pair.  Plain dict lookups stay lock-free.
+        self._mutex = threading.Lock()
 
     # -- registration ----------------------------------------------------
 
@@ -109,18 +114,20 @@ class FunctionRegistry:
 
     def register_user(self, function: CFunction) -> None:
         key = (function.name, len(function.params))
-        if self._user.get(key) is not function:
-            self.generation += 1
-        self._user[key] = function
+        with self._mutex:
+            if self._user.get(key) is not function:
+                self.generation += 1
+            self._user[key] = function
 
     def register_user_as(self, name: str, function: CFunction) -> None:
         """Register *function* under an alternate name (used by module
         imports to expose a library function under the importer's
         prefix)."""
         key = (name, len(function.params))
-        if self._user.get(key) is not function:
-            self.generation += 1
-        self._user[key] = function
+        with self._mutex:
+            if self._user.get(key) is not function:
+                self.generation += 1
+            self._user[key] = function
 
     def user_functions(self) -> list[CFunction]:
         """All registered user functions (used by the purity analysis)."""
@@ -138,15 +145,17 @@ class FunctionRegistry:
         nor bumps the generation (which would evict every prepared-cache
         entry).
         """
-        return (dict(self._user), self.generation)
+        with self._mutex:
+            return (dict(self._user), self.generation)
 
     def restore(
         self, snapshot: tuple[dict[tuple[str, int], CFunction], int]
     ) -> None:
         """Reset user functions and generation to a prior snapshot."""
         users, generation = snapshot
-        self._user = dict(users)
-        self.generation = generation
+        with self._mutex:
+            self._user = dict(users)
+            self.generation = generation
 
     # -- lookup ------------------------------------------------------------
 
@@ -158,9 +167,11 @@ class FunctionRegistry:
         direct = self._user.get((name, arity))
         if direct is not None:
             return direct
-        # Allow calling 'local:f' as 'f' and vice versa.
+        # Allow calling 'local:f' as 'f' and vice versa.  list() takes a
+        # GIL-atomic copy so concurrent registration cannot invalidate
+        # the iterator mid-scan.
         if ":" not in name:
-            for (qname, a), fn in self._user.items():
+            for (qname, a), fn in list(self._user.items()):
                 if a == arity and qname.split(":")[-1] == name:
                     return fn
         return None

@@ -117,6 +117,12 @@ class Evaluator:
         # Observability: a repro.obs.Tracer while a traced execution is in
         # flight, else None (the default — hot paths guard on None).
         self.tracer = None
+        # Execution control: a repro.concurrent.ExecutionControl while a
+        # deadline/cancellable execution is in flight, else None.  Polled
+        # at iteration boundaries (guarded on None, same discipline as
+        # the tracer) so a fired deadline stops the query cooperatively
+        # without ever landing inside a snap application.
+        self.control = None
         self._dispatch = {
             core.CLiteral: self._eval_literal,
             core.CVar: self._eval_var,
@@ -181,10 +187,16 @@ class Evaluator:
         tracer = self.tracer
         if tracer is None:
             value, delta = self.evaluate(expr, context)
+            # Last check before committing: a fired deadline discards the
+            # pending Δ here, so a timed-out query never half-applies.
+            if self.control is not None:
+                self.control.check()
             apply_update_list(self.store, delta, mode, atomic=self.atomic_snaps)
             return value
         with tracer.span("evaluate"):
             value, delta = self.evaluate(expr, context)
+        if self.control is not None:
+            self.control.check()
         with tracer.span("snap-apply"):
             apply_update_list(
                 self.store, delta, mode,
@@ -337,7 +349,10 @@ class Evaluator:
         deltas in binding order."""
         source_value, delta = self.evaluate(expr.source, context)
         value: Sequence = []
+        control = self.control
         for index, item in enumerate(source_value):
+            if control is not None:
+                control.check()
             inner = context.bind(expr.var, [item])
             if expr.position_var is not None:
                 inner = inner.bind(
@@ -362,11 +377,14 @@ class Evaluator:
         generation phase come first (generation order), then return-clause
         deltas in sorted order."""
         delta = _EMPTY
+        control = self.control
         tuples: list[DynamicContext] = [context]
         for clause in expr.clauses:
             new_tuples: list[DynamicContext] = []
             if isinstance(clause, core.CForClause):
                 for tup in tuples:
+                    if control is not None:
+                        control.check()
                     source_value, source_delta = self.evaluate(clause.source, tup)
                     delta = delta + source_delta
                     for index, item in enumerate(source_value):
@@ -379,6 +397,8 @@ class Evaluator:
                         new_tuples.append(bound)
             else:
                 for tup in tuples:
+                    if control is not None:
+                        control.check()
                     source_value, source_delta = self.evaluate(clause.source, tup)
                     delta = delta + source_delta
                     new_tuples.append(tup.bind(clause.var, source_value))
@@ -409,6 +429,8 @@ class Evaluator:
             )
         value: Sequence = []
         for _, tup in keyed:
+            if control is not None:
+                control.check()
             ret_value, ret_delta = self.evaluate(expr.ret, tup)
             value.extend(ret_value)
             delta = delta + ret_delta
@@ -428,7 +450,10 @@ class Evaluator:
             var, source = bindings[0]
             source_value, source_delta = self.evaluate(source, ctx)
             delta = delta + source_delta
+            control = self.control
             for item in source_value:
+                if control is not None:
+                    control.check()
                 result = recurse(bindings[1:], ctx.bind(var, [item]))
                 if result == want:
                     return want
@@ -902,6 +927,10 @@ class Evaluator:
         already modified) store, return the value with an empty Δ.  The
         stack-like nesting behaviour falls out of the recursion."""
         value, delta = self.evaluate(expr.body, context)
+        # Check before applying: an interrupt must discard this snap's Δ,
+        # never land mid-application.
+        if self.control is not None:
+            self.control.check()
         apply_update_list(
             self.store,
             delta,

@@ -16,6 +16,10 @@ feature the use case motivates:
 
 from __future__ import annotations
 
+from concurrent.futures import Future
+
+from repro.concurrent.control import CancelToken
+from repro.concurrent.executor import ConcurrentExecutor
 from repro.engine import Engine, QueryResult
 from repro.xmark import XMarkConfig, generate_auction_xml
 
@@ -125,3 +129,93 @@ class AuctionService:
 
     def archive_xml(self) -> str:
         return self.engine.execute("$archive").serialize()
+
+
+class AuctionFrontEnd:
+    """A concurrent serving layer over :class:`AuctionService`.
+
+    The paper frames the auction service as a Web service handling many
+    client requests; this front end adds the serving half the paper
+    leaves implicit: a worker pool with a bounded request queue,
+    per-request deadlines, and graceful degradation under load.
+
+    * ``get_item_nolog`` is provably read-only, so the executor routes
+      it to the lock-free snapshot path — concurrent lookups share one
+      frozen view and its memoized derived data.
+    * ``get_item`` inserts a log entry (and may roll the log over), so
+      it serializes through the store's write lock; its snaps stay
+      atomic and readers never see a torn log.
+    * A full queue sheds requests fast with
+      :class:`~repro.errors.ServiceOverloadedError` instead of building
+      an unbounded backlog, and a request that exceeds its deadline
+      fails with :class:`~repro.errors.QueryTimeoutError` — queued or
+      mid-execution — leaving the store untouched by its pending Δ.
+
+    Aggregated serving evidence (queue depth, lock waits, snapshot age,
+    shed/timeout counts) is at :attr:`metrics`.
+    """
+
+    def __init__(
+        self,
+        service: AuctionService | None = None,
+        workers: int = 4,
+        queue_size: int = 64,
+        default_timeout_ms: float | None = 1000.0,
+        reads: str = "snapshot",
+    ):
+        self.service = service if service is not None else AuctionService()
+        self.executor = ConcurrentExecutor(
+            self.service.engine,
+            workers=workers,
+            queue_size=queue_size,
+            default_timeout_ms=default_timeout_ms,
+            reads=reads,
+        )
+        self.metrics = self.executor.metrics
+
+    # -- asynchronous service calls ---------------------------------------
+
+    def submit_get_item(
+        self,
+        itemid: str,
+        userid: str,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> "Future[QueryResult]":
+        return self.executor.submit(
+            "get_item($itemid, $userid)",
+            bindings={"itemid": itemid, "userid": userid},
+            timeout_ms=timeout_ms,
+            cancel=cancel,
+        )
+
+    def submit_get_item_nolog(
+        self,
+        itemid: str,
+        userid: str,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> "Future[QueryResult]":
+        return self.executor.submit(
+            "get_item_nolog($itemid, $userid)",
+            bindings={"itemid": itemid, "userid": userid},
+            timeout_ms=timeout_ms,
+            cancel=cancel,
+        )
+
+    # -- blocking convenience wrappers ------------------------------------
+
+    def get_item(self, itemid: str, userid: str, **kwargs) -> QueryResult:
+        return self.submit_get_item(itemid, userid, **kwargs).result()
+
+    def get_item_nolog(self, itemid: str, userid: str, **kwargs) -> QueryResult:
+        return self.submit_get_item_nolog(itemid, userid, **kwargs).result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "AuctionFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

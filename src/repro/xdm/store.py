@@ -24,9 +24,16 @@ Design notes
 from __future__ import annotations
 
 import enum
+import itertools
+import threading
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
+from repro.concurrent.locks import RWLock
 from repro.errors import StoreError, UpdateApplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrent.snapshot import StoreSnapshot
 
 
 class NodeKind(enum.Enum):
@@ -105,6 +112,24 @@ class Store:
         # flight, else None.  Hot paths guard on None so that disabled
         # instrumentation costs one attribute load per event.
         self._obs = None
+        # Concurrency: the query-granularity reader-writer lock.  The
+        # store itself does not take it — callers running queries
+        # concurrently do (the ConcurrentExecutor holds the write side
+        # for updating queries; see repro.concurrent).
+        self.lock = RWLock()
+        # Node-id allocation: next() on the C-level counter is atomic
+        # under the GIL, so even unsupported concurrent constructors get
+        # unique ids without a lock on the allocation hot path.
+        # _next_id mirrors the watermark (every id below it is spoken
+        # for) for snapshot ceilings and checkpoints; it is exact under
+        # the supported discipline, where allocation happens
+        # single-threaded or under the store's write lock.
+        self._id_counter = itertools.count()
+        # Active copy-on-write snapshot views; every structural mutation
+        # offers them a pre-image first (see _cow).  Empty in the
+        # single-threaded case, where the whole machinery costs one
+        # truthiness test per mutation.
+        self._snapshots: list["StoreSnapshot"] = []
 
     def _touch(self, *roots: int) -> None:
         """Invalidate cached order keys.
@@ -127,12 +152,64 @@ class Store:
                     self._order_cache.pop(nid, None)
 
     # ------------------------------------------------------------------
+    # Copy-on-write snapshots (repro.concurrent)
+    # ------------------------------------------------------------------
+
+    def _cow(self, *nids: int) -> None:
+        """Offer pre-images of *nids* to every active snapshot.
+
+        Called by every structural mutator **before** it changes a
+        record, so a snapshot always captures the state the record had
+        when the snapshot was taken (first offer wins; later offers of an
+        already-saved record are ignored by the snapshot).
+        """
+        # tuple(): GIL-atomic copy — release_snapshot may run from a
+        # reader thread mid-iteration; a just-released snapshot may still
+        # receive an offer (harmless), an active one is never skipped.
+        for snapshot in tuple(self._snapshots):
+            snapshot._save_preimages(nids, self._records)
+
+    def begin_snapshot(self) -> "StoreSnapshot":
+        """Open a frozen read view of the store's current state.
+
+        Creation is O(1): nothing is copied up front.  Mutations that
+        follow pay one pre-image copy per mutated record per active
+        snapshot.  Callers should :meth:`release_snapshot` when done so
+        later mutations stop paying for it.
+        """
+        from repro.concurrent.snapshot import StoreSnapshot
+
+        snapshot = StoreSnapshot(
+            store=self,
+            records=self._records,
+            ceiling=self._next_id,
+            version=self._version,
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def release_snapshot(self, snapshot: "StoreSnapshot") -> None:
+        """Stop feeding pre-images to *snapshot* (idempotent).
+
+        The snapshot remains readable — whatever it has already captured
+        stays valid — but mutations after release are free again."""
+        try:
+            self._snapshots.remove(snapshot)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     # Constructors (XDM constructor functions)
     # ------------------------------------------------------------------
 
+    def _reset_ids(self, next_id: int) -> None:
+        """Re-seed id allocation (restore / persistence load)."""
+        self._next_id = next_id
+        self._id_counter = itertools.count(next_id)
+
     def _alloc(self, kind: NodeKind, name: str | None, value: str | None) -> int:
-        nid = self._next_id
-        self._next_id += 1
+        nid = next(self._id_counter)
+        self._next_id = nid + 1
         self._records[nid] = _NodeRecord(kind, name, value)
         if kind is NodeKind.ELEMENT and name:
             # Every element enters the name index at birth — including
@@ -259,7 +336,9 @@ class Store:
         if not candidates:
             return []
         out = []
-        for candidate in candidates:
+        # tuple() takes a GIL-atomic copy: concurrent element construction
+        # may add to the index set while a snapshot-less reader iterates.
+        for candidate in tuple(candidates):
             if candidate == nid:
                 continue
             cur = self._records[candidate].parent
@@ -384,6 +463,8 @@ class Store:
                 "attribute nodes must be attached with set_attribute"
             )
         self._check_no_cycle(parent, child)
+        if self._snapshots:
+            self._cow(parent, child)
         prec.children.append(child)
         crec.parent = parent
         # Appending as last child shifts no existing sibling position, so
@@ -411,6 +492,8 @@ class Store:
             # Inserting mid-list shifts every following sibling (and its
             # descendants), so the whole target tree goes stale too.
             roots = (self.root(parent), child)
+        if self._snapshots:
+            self._cow(parent, child)
         prec.children.insert(index, child)
         crec.parent = parent
         self._touch(*roots)
@@ -460,6 +543,8 @@ class Store:
         existing = self.attribute_named(element, arec.name or "")
         if existing is not None:
             self.detach(existing)
+        if self._snapshots:
+            self._cow(element, attr)
         erec.attributes.append(attr)
         arec.parent = element
         # Appending to the attribute list shifts nothing; only the
@@ -483,6 +568,8 @@ class Store:
         # Removal shifts following siblings and reroots the detached
         # subtree, so the whole (pre-mutation) containing tree goes stale.
         tree_root = self.root(nid)
+        if self._snapshots:
+            self._cow(nid, parent)
         prec = self._rec(parent)
         if rec.kind is NodeKind.ATTRIBUTE:
             prec.attributes.remove(nid)
@@ -504,10 +591,13 @@ class Store:
             )
         if not name:
             raise UpdateApplicationError("new name must be non-empty")
+        if self._snapshots:
+            self._cow(nid)
         if rec.kind is NodeKind.ELEMENT and rec.name != name:
             self._name_index.get(rec.name, set()).discard(nid)
             self._name_index.setdefault(name, set()).add(nid)
         rec.name = name
+        self._version += 1
 
     def set_value(self, nid: int, value: str) -> None:
         """Replace the content of a text/attribute/comment/PI node."""
@@ -516,7 +606,10 @@ class Store:
             raise UpdateApplicationError(
                 f"cannot set the value of a {rec.kind.value} node"
             )
+        if self._snapshots:
+            self._cow(nid)
         rec.value = value
+        self._version += 1
 
     def _check_no_cycle(self, parent: int, child: int) -> None:
         # Inserting a node above itself would create a cycle.  Since the
@@ -591,6 +684,8 @@ class Store:
         dead = [nid for nid in self._records if nid not in reachable]
         for nid in dead:
             rec = self._records[nid]
+            if self._snapshots:
+                self._cow(nid)
             if rec.kind is NodeKind.ELEMENT and rec.name:
                 self._name_index.get(rec.name, set()).discard(nid)
             del self._records[nid]
@@ -630,6 +725,13 @@ class Store:
 
     def restore(self, checkpoint: "StoreCheckpoint") -> None:
         """Reset the store to a previously captured checkpoint."""
+        # Rebinding ``_records`` freezes the old dict in place, which is
+        # exactly what active snapshots captured — they need no further
+        # copy-on-write pre-images (and must not receive pre-images from
+        # the restored world), so detach them all.
+        for snapshot in self._snapshots:
+            snapshot._detached = True
+        self._snapshots = []
         self._records = {}
         self._name_index = {}
         for nid, (kind, name, parent, children, attributes, value) in (
@@ -642,7 +744,7 @@ class Store:
             self._records[nid] = rec
             if kind is NodeKind.ELEMENT and name:
                 self._name_index.setdefault(name, set()).add(nid)
-        self._next_id = checkpoint.next_id
+        self._reset_ids(checkpoint.next_id)
         self._touch()
 
     # ------------------------------------------------------------------

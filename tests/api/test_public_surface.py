@@ -29,7 +29,12 @@ EXPECTED_ALL = {
     "SlowQueryRecord",
     "Tracer",
     "to_sequence",
+    "CancelToken",
+    "ConcurrentExecutor",
     "XQueryError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "ServiceOverloadedError",
     "AtomicValue",
     "Node",
     "NodeKind",

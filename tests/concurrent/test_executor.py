@@ -1,0 +1,299 @@
+"""The concurrent executor: routing, deadlines, shedding, metrics."""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    CancelToken,
+    ConcurrentExecutor,
+    Engine,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+)
+from repro.usecases.webservice import AuctionFrontEnd, AuctionService
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.load_document("doc", "<t><c>0</c></t>")
+    return e
+
+
+class TestRouting:
+    def test_pure_read_routes_to_snapshot_path(self, engine):
+        with ConcurrentExecutor(engine, workers=2) as executor:
+            result = executor.execute("count($doc/t)")
+            assert result.first_value() == 1
+            assert executor.metrics.counter("reads_snapshot") == 1
+            assert executor.metrics.counter("writes") == 0
+
+    def test_update_routes_to_write_path(self, engine):
+        with ConcurrentExecutor(engine, workers=2) as executor:
+            executor.execute("insert { <n/> } into { $doc/t }")
+            assert executor.metrics.counter("writes") == 1
+            assert executor.execute("count($doc/t/n)").first_value() == 1
+
+    def test_serialized_mode_skips_snapshots(self, engine):
+        with ConcurrentExecutor(engine, reads="serialized") as executor:
+            executor.execute("count($doc/t)")
+            assert executor.metrics.counter("reads_serialized") == 1
+            assert executor.metrics.counter("snapshots_built") == 0
+
+    def test_write_invalidates_snapshot_for_next_read(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            assert executor.execute("count($doc/t/n)").first_value() == 0
+            executor.execute("insert { <n/> } into { $doc/t }")
+            assert executor.execute("count($doc/t/n)").first_value() == 1
+            assert executor.metrics.counter("snapshots_built") == 2
+
+    def test_reads_between_writes_share_one_snapshot(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            for _ in range(5):
+                executor.execute("count($doc/t)")
+            assert executor.metrics.counter("snapshots_built") == 1
+
+    def test_direct_engine_mutation_needs_invalidate(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            assert executor.execute("count($doc//x)").first_value() == 0
+            # Mutating through the engine bumps the store version, which
+            # the freshness check notices on its own.
+            engine.execute("insert { <x/> } into { $doc/t }")
+            assert executor.execute("count($doc//x)").first_value() == 1
+            # A pure rebind (no node construction) is the case that needs
+            # the explicit hint.
+            engine.bind("limit", 7)
+            executor.invalidate_snapshot()
+            assert executor.execute("$limit + 1").first_value() == 8
+
+    def test_constructed_results_come_back_usable(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            result = executor.execute(
+                "element wrap { count($doc/t/c) }"
+            )
+            assert result.serialize() == "<wrap>1</wrap>"
+
+    def test_live_node_results_point_at_live_store(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            node = executor.execute("($doc/t/c)[1]").items[0]
+            assert node.store is engine.store
+
+
+class TestResultCache:
+    def test_repeated_read_hits_the_cache(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            for _ in range(4):
+                assert executor.execute("count($doc/t)").first_value() == 1
+            assert executor.metrics.counter("result_cache_hits") == 3
+
+    def test_distinct_bindings_miss(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            assert executor.execute(
+                "$x + 1", bindings={"x": 1}
+            ).first_value() == 2
+            assert executor.execute(
+                "$x + 1", bindings={"x": 5}
+            ).first_value() == 6
+            assert executor.metrics.counter("result_cache_hits") == 0
+            assert executor.execute(
+                "$x + 1", bindings={"x": 5}
+            ).first_value() == 6
+            assert executor.metrics.counter("result_cache_hits") == 1
+
+    def test_write_invalidates_cached_results(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            assert executor.execute("count($doc/t/n)").first_value() == 0
+            assert executor.execute("count($doc/t/n)").first_value() == 0
+            executor.execute("insert { <n/> } into { $doc/t }")
+            assert executor.execute("count($doc/t/n)").first_value() == 1
+
+    def test_cache_can_be_disabled(self, engine):
+        with ConcurrentExecutor(engine, result_cache_size=0) as executor:
+            for _ in range(3):
+                executor.execute("count($doc/t)")
+            assert executor.metrics.counter("result_cache_hits") == 0
+
+    def test_identical_concurrent_misses_single_flight(self, engine):
+        """Eight simultaneous identical requests: one evaluation, seven
+        served from it."""
+        query = (
+            "sum(for $a in 1 to 300, $b in 1 to 300 return $a * $b)"
+        )
+        with ConcurrentExecutor(engine, workers=4) as executor:
+            futures = [executor.submit(query) for _ in range(8)]
+            values = {f.result(timeout=120).first_value() for f in futures}
+            assert len(values) == 1
+            assert executor.metrics.counter("result_cache_hits") == 7
+
+    def test_stats_requests_bypass_the_cache(self, engine):
+        from repro import ExecutionOptions
+
+        with ConcurrentExecutor(engine) as executor:
+            options = ExecutionOptions(collect_stats=True)
+            first = executor.execute("count($doc/t)", options=options)
+            second = executor.execute("count($doc/t)", options=options)
+            assert executor.metrics.counter("result_cache_hits") == 0
+            assert first.stats is not None
+            assert second.stats is not None
+
+
+class TestDeadlines:
+    def test_timeout_fails_future_with_typed_error(self, engine):
+        with ConcurrentExecutor(engine, workers=1) as executor:
+            future = executor.submit(
+                "for $a in 1 to 1000, $b in 1 to 1000, $c in 1 to 100 "
+                "return $a*$b*$c",
+                timeout_ms=20,
+            )
+            with pytest.raises(QueryTimeoutError):
+                future.result(timeout=30)
+            assert executor.metrics.counter("timeouts") == 1
+
+    def test_default_timeout_applies(self, engine):
+        with ConcurrentExecutor(
+            engine, workers=1, default_timeout_ms=20
+        ) as executor:
+            with pytest.raises(QueryTimeoutError):
+                executor.execute(
+                    "for $a in 1 to 1000, $b in 1 to 1000, "
+                    "$c in 1 to 100 return $a*$b*$c"
+                )
+
+    def test_timed_out_write_leaves_store_unchanged(self, engine):
+        with ConcurrentExecutor(engine, workers=1) as executor:
+            with pytest.raises(QueryTimeoutError):
+                executor.execute(
+                    "for $i in 1 to 200000 "
+                    "return insert { <n/> } into { $doc/t }",
+                    timeout_ms=20,
+                )
+            assert executor.execute("count($doc/t/n)").first_value() == 0
+
+    def test_cancel_token_stops_queued_request(self, engine):
+        token = CancelToken()
+        token.cancel()
+        with ConcurrentExecutor(engine, workers=1) as executor:
+            future = executor.submit("1 + 1", cancel=token)
+            with pytest.raises(QueryCancelledError):
+                future.result(timeout=30)
+            assert executor.metrics.counter("expired_in_queue") == 1
+
+
+class TestShedding:
+    def test_full_queue_sheds_immediately(self, engine):
+        # One worker wedged on a slow query + a size-2 queue: the third
+        # enqueue must shed rather than buffer.
+        with ConcurrentExecutor(engine, workers=1, queue_size=2) as executor:
+            block = executor.submit(
+                "for $a in 1 to 1000, $b in 1 to 1000 return $a*$b"
+            )
+            queued = []
+            shed = 0
+            for _ in range(8):
+                try:
+                    queued.append(executor.submit("1"))
+                except ServiceOverloadedError:
+                    shed += 1
+            assert shed >= 1
+            assert executor.metrics.counter("shed") == shed
+            block.result(timeout=60)
+            for future in queued:
+                assert future.result(timeout=60).first_value() == 1
+
+    def test_submit_after_shutdown_rejected(self, engine):
+        executor = ConcurrentExecutor(engine)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit("1")
+
+    def test_shutdown_is_idempotent(self, engine):
+        executor = ConcurrentExecutor(engine)
+        executor.shutdown()
+        executor.shutdown()
+
+
+class TestConcurrentReads:
+    def test_parallel_readers_agree(self, engine):
+        with ConcurrentExecutor(engine, workers=4) as executor:
+            futures = [
+                executor.submit("count($doc/t/c) + count($doc/t)")
+                for _ in range(20)
+            ]
+            values = {f.result(timeout=60).first_value() for f in futures}
+            assert values == {2}
+
+    def test_readers_race_one_writer_without_tearing(self, engine):
+        """Each write appends one <n/> AND bumps <c>; a reader must see
+        matching values — count(n) == c — whichever epoch it lands in."""
+        write = (
+            "snap { insert { <n/> } into { $doc/t }, "
+            "replace value of { $doc/t/c } "
+            "with { data($doc/t/c) + 1 } }"
+        )
+        read = "concat(count($doc/t/n), ':', data($doc/t/c))"
+        with ConcurrentExecutor(engine, workers=4) as executor:
+            stop = threading.Event()
+            torn = []
+
+            def reader():
+                while not stop.is_set():
+                    left, _, right = (
+                        executor.execute(read).first_value().partition(":")
+                    )
+                    if left != right:
+                        torn.append((left, right))
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for _ in range(15):
+                executor.execute(write)
+                time.sleep(0.001)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert torn == []
+            assert (
+                executor.execute("number($doc/t/c)").first_value() == 15
+            )
+
+
+class TestMetricsSurface:
+    def test_observations_and_counters_exposed(self, engine):
+        with ConcurrentExecutor(engine) as executor:
+            executor.execute("count($doc/t)")
+            executor.execute("insert { <n/> } into { $doc/t }")
+            counters = executor.metrics.counters()
+            assert counters["concurrent.requests"] == 2
+            observations = executor.metrics.observations()
+            assert "concurrent.queue_depth" in observations
+            assert "concurrent.snapshot_age_ms" in observations
+
+
+class TestAuctionFrontEnd:
+    def test_front_end_serves_and_logs(self):
+        service = AuctionService(maxlog=5)
+        item_ids = service.engine.execute(
+            "for $i in ($auction//item)[position() <= 4] "
+            "return string($i/@id)"
+        ).strings()
+        user_ids = service.engine.execute(
+            "(for $p in $auction//person return string($p/@id))[1]"
+        ).strings()
+        with AuctionFrontEnd(service, workers=3) as front:
+            futures = [
+                front.submit_get_item_nolog(item, user_ids[0])
+                for item in item_ids
+            ]
+            for item, future in zip(item_ids, futures):
+                result = future.result(timeout=60)
+                assert f'id="{item}"' in result.serialize()
+            assert front.metrics.counter("reads_snapshot") == len(item_ids)
+            # Logged calls go through the write path and actually log.
+            for item in item_ids:
+                front.get_item(item, user_ids[0])
+            assert front.metrics.counter("writes") == len(item_ids)
+            assert service.log_entries() == len(item_ids)

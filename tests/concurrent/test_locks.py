@@ -1,0 +1,156 @@
+"""The reader-writer lock: sharing, exclusion, writer preference."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrent.locks import RWLock
+
+
+class TestReadSide:
+    def test_many_readers_share(self):
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        assert lock.readers == 2
+        lock.release_read()
+        lock.release_read()
+        assert lock.readers == 0
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            RWLock().release_read()
+
+    def test_context_manager_balances(self):
+        lock = RWLock()
+        with lock.read_locked():
+            assert lock.readers == 1
+        assert lock.readers == 0
+
+
+class TestWriteSide:
+    def test_writer_is_exclusive_of_readers(self):
+        lock = RWLock()
+        entered = threading.Event()
+        with lock.write_locked():
+            reader = threading.Thread(
+                target=lambda: (lock.acquire_read(), entered.set())
+            )
+            reader.start()
+            assert not entered.wait(0.05)
+            assert lock.readers == 0
+        assert entered.wait(2.0)
+        lock.release_read()
+        reader.join()
+
+    def test_writer_waits_for_readers_to_drain(self):
+        lock = RWLock()
+        lock.acquire_read()
+        wrote = threading.Event()
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(), wrote.set())
+        )
+        writer.start()
+        assert not wrote.wait(0.05)
+        lock.release_read()
+        assert wrote.wait(2.0)
+        lock.release_write()
+        writer.join()
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            RWLock().release_write()
+
+
+class TestWriterPreference:
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_ready = threading.Event()
+        wrote = threading.Event()
+
+        def write():
+            writer_ready.set()
+            lock.acquire_write()
+            wrote.set()
+            lock.release_write()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        writer_ready.wait(2.0)
+        # Give the writer time to register as waiting.
+        deadline = time.monotonic() + 2.0
+        while not lock._writers_waiting and time.monotonic() < deadline:
+            time.sleep(0.005)
+        late_read = threading.Event()
+        reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), late_read.set())
+        )
+        reader.start()
+        # The late reader must queue behind the waiting writer.
+        assert not late_read.wait(0.05)
+        lock.release_read()
+        assert wrote.wait(2.0)
+        assert late_read.wait(2.0)
+        lock.release_read()
+        writer.join()
+        reader.join()
+
+
+class TestWaitCallback:
+    def test_uncontended_acquires_do_not_report(self):
+        waits = []
+        lock = RWLock(on_wait=lambda kind, s: waits.append((kind, s)))
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        assert waits == []
+
+    def test_blocked_acquire_reports_side_and_duration(self):
+        waits = []
+        lock = RWLock(on_wait=lambda kind, s: waits.append((kind, s)))
+        lock.acquire_write()
+        reader = threading.Thread(target=lambda: lock.acquire_read())
+        reader.start()
+        time.sleep(0.05)
+        lock.release_write()
+        reader.join()
+        lock.release_read()
+        assert len(waits) == 1
+        kind, seconds = waits[0]
+        assert kind == "read"
+        assert seconds > 0
+
+
+class TestStress:
+    def test_counter_under_contention_is_exact(self):
+        """The classic lost-update check: increments under the write
+        side and sums under the read side never tear."""
+        lock = RWLock()
+        state = {"n": 0}
+        writes_per_thread = 200
+
+        def bump():
+            for _ in range(writes_per_thread):
+                with lock.write_locked():
+                    state["n"] = state["n"] + 1
+
+        reads = []
+
+        def scan():
+            for _ in range(200):
+                with lock.read_locked():
+                    reads.append(state["n"])
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        threads += [threading.Thread(target=scan) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert state["n"] == 4 * writes_per_thread
+        assert reads == sorted(reads) or all(
+            0 <= value <= 4 * writes_per_thread for value in reads
+        )

@@ -1,0 +1,191 @@
+"""Sustained mixed-workload stress for the concurrent subsystem.
+
+CI runs this module under ``PYTHONFAULTHANDLER=1`` with a hard job
+timeout: a deadlock hangs the job (and faulthandler prints every
+thread's stack), a race shows up as a torn read or a lost update.
+Locally it finishes in a few seconds.
+
+The invariants checked are the strong ones the subsystem promises:
+
+* **Snapshot consistency** — a reader sees some committed store state,
+  never a half-applied Δ (two values updated in one snap always agree).
+* **No lost updates** — every write the service accepted is reflected
+  in the final store exactly once.
+* **Deadline discipline** — timeouts surface as the typed error and
+  leave no partial effects behind.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    ConcurrentExecutor,
+    Engine,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+)
+
+WRITERS = 3
+READERS = 4
+WRITES_PER_WRITER = 25
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.load_document("doc", "<t><n>0</n><sum>0</sum></t>")
+    return e
+
+
+class TestMixedWorkloadStress:
+    def test_mixed_readers_and_writers(self, engine):
+        """The core torture test: concurrent committed increments of a
+        pair of mutually-redundant counters, with readers verifying the
+        pair never disagrees."""
+        # Each write bumps <n> by 1 and <sum> by 2 in ONE snap.
+        write = (
+            "snap { replace value of { $doc/t/n } "
+            "with { data($doc/t/n) + 1 }, "
+            "replace value of { $doc/t/sum } "
+            "with { data($doc/t/sum) + 2 } }"
+        )
+        read = "concat(data($doc/t/n), ':', data($doc/t/sum))"
+        torn = []
+        write_errors = []
+        stop = threading.Event()
+
+        with ConcurrentExecutor(
+            engine, workers=4, queue_size=256
+        ) as executor:
+
+            def writer(index):
+                for _ in range(WRITES_PER_WRITER):
+                    try:
+                        executor.execute(write)
+                    except Exception as exc:  # noqa: BLE001
+                        write_errors.append(exc)
+
+            def reader():
+                while not stop.is_set():
+                    value = executor.execute(read).first_value()
+                    left, _, right = value.partition(":")
+                    if int(right) != 2 * int(left):
+                        torn.append(value)
+
+            threads = [
+                threading.Thread(target=writer, args=(index,))
+                for index in range(WRITERS)
+            ] + [threading.Thread(target=reader) for _ in range(READERS)]
+            for thread in threads[:WRITERS]:
+                thread.start()
+            for thread in threads[WRITERS:]:
+                thread.start()
+            for thread in threads[:WRITERS]:
+                thread.join()
+            stop.set()
+            for thread in threads[WRITERS:]:
+                thread.join()
+
+            assert write_errors == []
+            assert torn == []
+            expected = WRITERS * WRITES_PER_WRITER
+            final = executor.execute(
+                "concat(data($doc/t/n), ':', data($doc/t/sum))"
+            ).first_value()
+            assert final == f"{expected}:{2 * expected}"
+
+    def test_insert_storm_loses_nothing(self, engine):
+        """Structural inserts from many threads: the final child count
+        equals the number of accepted writes."""
+        accepted = []
+        lock = threading.Lock()
+
+        with ConcurrentExecutor(
+            engine, workers=4, queue_size=512
+        ) as executor:
+
+            def writer(index):
+                for round_ in range(WRITES_PER_WRITER):
+                    try:
+                        executor.execute(
+                            "insert { <e/> } into { $doc/t }"
+                        )
+                    except ServiceOverloadedError:
+                        continue
+                    with lock:
+                        accepted.append((index, round_))
+
+            threads = [
+                threading.Thread(target=writer, args=(index,))
+                for index in range(WRITERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            count = executor.execute("count($doc/t/e)").first_value()
+            assert count == len(accepted)
+
+    def test_timeouts_under_load_leave_no_debris(self, engine):
+        """Doomed slow writes race healthy fast writes; the slow ones
+        must all time out cleanly and contribute nothing."""
+        outcomes = {"timeout": 0, "ok": 0}
+        lock = threading.Lock()
+
+        with ConcurrentExecutor(
+            engine, workers=4, queue_size=256
+        ) as executor:
+
+            def doomed():
+                for _ in range(5):
+                    try:
+                        executor.execute(
+                            "for $i in 1 to 200000 return "
+                            "insert { <bad/> } into { $doc/t }",
+                            timeout_ms=15,
+                        )
+                    except QueryTimeoutError:
+                        with lock:
+                            outcomes["timeout"] += 1
+
+            def healthy():
+                for _ in range(10):
+                    executor.execute("insert { <good/> } into { $doc/t }")
+                    with lock:
+                        outcomes["ok"] += 1
+
+            threads = [threading.Thread(target=doomed) for _ in range(2)]
+            threads += [threading.Thread(target=healthy) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert outcomes["timeout"] == 10
+            assert (
+                executor.execute("count($doc/t/bad)").first_value() == 0
+            )
+            assert (
+                executor.execute("count($doc/t/good)").first_value()
+                == outcomes["ok"]
+            )
+
+    def test_snapshot_churn_with_interleaved_binds(self, engine):
+        """Alternating reads, writes and direct engine mutation churns
+        the snapshot-bundle lifecycle (build/retire/refcount) hard."""
+        with ConcurrentExecutor(engine, workers=4) as executor:
+            for round_ in range(20):
+                futures = [
+                    executor.submit("count($doc/t/*)") for _ in range(4)
+                ]
+                executor.execute("insert { <r/> } into { $doc/t }")
+                counts = {f.result(timeout=60).first_value() for f in futures}
+                # Readers saw the pre- or post-insert count, nothing else.
+                assert counts <= {2 + round_, 3 + round_}
+            built = executor.metrics.counter("snapshots_built")
+            assert built >= 1
+            assert executor.execute(
+                "count($doc/t/r)"
+            ).first_value() == 20
