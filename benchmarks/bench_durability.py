@@ -1,0 +1,139 @@
+"""Durability: what the write-ahead journal costs a serving workload.
+
+The workload is the paper's logged service call: 32 ``get_item``
+requests against the XMark auction service.  Each call runs two snaps —
+the ``nextid()`` counter replace and the ``logentry`` insert — so a
+journaled round appends 64 frames; ``maxlog`` is set high enough that
+the archive rollover never fires and every row performs identical
+evaluation work.  Every round gets a fresh service (and, for the
+durable rows, a fresh empty journal directory) via pedantic setup, so
+setup cost is excluded and no round inherits another's journal.
+
+* **unjournaled** — a plain in-memory :class:`AuctionService`: the
+  pre-durability discipline and the baseline for the overhead ratios.
+* **journaled-fsync-always** — ``DurableEngine`` default: one fsync per
+  applied snap, every acknowledged snap on disk.  The cost is the disk
+  flush, not the journaling: this row is storage-bound by design.
+* **journaled-fsync-batch** — ``fsync="batch", fsync_batch=8``: one
+  fsync per 8 snaps amortizes the flush; at most 8 acknowledged snaps
+  can be lost in a crash.
+* **journaled-fsync-never** — ``fsync="never"``: crash-consistent
+  (recovery still yields a prefix of committed snaps) but not
+  crash-durable; flushing is left to the OS.  This row isolates the
+  pure journaling overhead — entry construction, JSON encoding, one
+  unbuffered ``write()`` per snap — from the fsync cost.
+
+Record with::
+
+    pytest benchmarks/bench_durability.py --benchmark-only \
+        --benchmark-json=/tmp/bench_durability.json
+
+``BENCH_durability.json`` holds the recorded acceptance evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.usecases.webservice import AuctionService
+
+_REQUESTS = 32
+_MAXLOG = 10**6
+_counter = itertools.count()
+
+
+def _run_calls(service: AuctionService) -> None:
+    for index in range(_REQUESTS):
+        service.get_item(f"item{index % 5}", f"person{index % 3}")
+
+
+def _fresh_dir(tmp_path) -> str:
+    return str(tmp_path / f"state-{next(_counter)}")
+
+
+def _bench_service(benchmark, tmp_path, **service_kwargs) -> None:
+    services: list[AuctionService] = []
+
+    def setup():
+        kwargs = dict(service_kwargs)
+        if kwargs.pop("durable", False):
+            kwargs["durable_path"] = _fresh_dir(tmp_path)
+        service = AuctionService(maxlog=_MAXLOG, **kwargs)
+        # Warm the prepared-query path so rounds measure serving, not
+        # first-call compilation.
+        service.get_item_nolog("item0", "person0")
+        services.append(service)
+        return (service,), {}
+
+    benchmark.pedantic(_run_calls, setup=setup, rounds=5, iterations=1)
+    for service in services:
+        service.close()
+
+
+@pytest.mark.benchmark(group="durability")
+def test_unjournaled(benchmark, tmp_path):
+    _bench_service(benchmark, tmp_path)
+
+
+@pytest.mark.benchmark(group="durability")
+def test_journaled_fsync_always(benchmark, tmp_path):
+    _bench_service(benchmark, tmp_path, durable=True, fsync="always")
+
+
+@pytest.mark.benchmark(group="durability")
+def test_journaled_fsync_batch(benchmark, tmp_path):
+    _bench_service(
+        benchmark, tmp_path, durable=True, fsync="batch", fsync_batch=8
+    )
+
+
+@pytest.mark.benchmark(group="durability")
+def test_journaled_fsync_never(benchmark, tmp_path):
+    _bench_service(benchmark, tmp_path, durable=True, fsync="never")
+
+
+def test_journaling_overhead_ceiling(tmp_path):
+    """Acceptance guard: with fsync out of the picture the journal's
+    bookkeeping (entry build + JSON encode + one write per snap) must
+    stay small — a journaled ``fsync="never", atomic_snaps=False`` batch
+    within 2x of the unjournaled baseline on best-of-3 timings.
+
+    Two costs are deliberately excluded, because each is a *different*
+    product being bought and each is disclosed in
+    ``BENCH_durability.json`` instead of guarded here:
+
+    * fsync — storage-bound, varies by orders of magnitude across disks;
+    * ``atomic_snaps`` (the ``DurableEngine`` default, so the benchmark
+      rows above all pay it) — an O(store) rollback checkpoint per snap,
+      which profiling shows dominates the journal's own bookkeeping on
+      this workload.  It buys apply-failure rollback, not durability,
+      and the knob exists precisely to trade it off.
+    """
+
+    def best_of(make_service) -> float:
+        times = []
+        for _ in range(3):
+            service = make_service()
+            service.get_item_nolog("item0", "person0")
+            start = time.perf_counter()
+            _run_calls(service)
+            times.append(time.perf_counter() - start)
+            service.close()
+        return min(times)
+
+    plain = best_of(lambda: AuctionService(maxlog=_MAXLOG))
+    journaled = best_of(
+        lambda: AuctionService(
+            maxlog=_MAXLOG,
+            durable_path=_fresh_dir(tmp_path),
+            fsync="never",
+            atomic_snaps=False,
+        )
+    )
+    assert journaled <= plain * 2.0, (
+        f"journaling overhead too high: {journaled:.4f}s journaled vs "
+        f"{plain:.4f}s plain ({journaled / plain:.2f}x)"
+    )

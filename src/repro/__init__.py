@@ -19,8 +19,11 @@ Quickstart::
 
 from repro.concurrent.control import CancelToken
 from repro.concurrent.executor import ConcurrentExecutor
+from repro.durability import DurableEngine, FaultInjector, recover
 from repro.engine import Engine, ExecutionOptions, QueryResult, to_sequence
 from repro.errors import (
+    DurabilityError,
+    JournalCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
     ServiceOverloadedError,
@@ -46,7 +49,12 @@ __all__ = [
     "to_sequence",
     "CancelToken",
     "ConcurrentExecutor",
+    "DurableEngine",
+    "FaultInjector",
+    "recover",
     "XQueryError",
+    "DurabilityError",
+    "JournalCorruptionError",
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceOverloadedError",

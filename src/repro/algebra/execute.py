@@ -114,6 +114,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                 state.delta,
                 mode,
                 atomic=state.evaluator.atomic_snaps,
+                journal=state.evaluator.journal,
             )
         else:
             with tracer.span("snap-apply"):
@@ -123,6 +124,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                     mode,
                     atomic=state.evaluator.atomic_snaps,
                     tracer=tracer,
+                    journal=state.evaluator.journal,
                 )
         state.delta = []
         return inner

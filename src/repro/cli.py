@@ -128,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save engine state to PATH after the query/session finishes",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="run against a durable directory: every snap is write-ahead "
+        "journaled to DIR before the query acknowledges, and an existing "
+        "directory is recovered before the first query (see "
+        "repro.durability; incompatible with --load)",
+    )
     return parser
 
 
@@ -138,7 +146,45 @@ def _split_binding(text: str, what: str) -> tuple[str, str]:
     return name, value
 
 
-def make_engine(args: argparse.Namespace) -> Engine:
+def make_engine(args: argparse.Namespace):
+    trace_sink = lambda message: print(  # noqa: E731
+        f"trace: {message}", file=sys.stderr
+    )
+    if args.journal:
+        if args.load:
+            raise SystemExit(
+                "--journal and --load are mutually exclusive: a durable "
+                "directory already carries its own state"
+            )
+        from repro.durability import DurableEngine
+        from repro.durability.manifest import exists as manifest_exists
+
+        if manifest_exists(args.journal):
+            # Recovery: engine options live in the recovered state; only
+            # the per-invocation knobs are (re)applied.
+            engine = DurableEngine(args.journal)
+            inner = engine.engine
+            inner.default_semantics = type(inner.default_semantics)(
+                args.semantics
+            )
+            inner.evaluator.trace_sink = trace_sink
+        else:
+            engine = DurableEngine(
+                args.journal,
+                default_semantics=args.semantics,
+                trace_sink=trace_sink,
+            )
+        for binding in args.doc:
+            name, path = _split_binding(binding, "--doc")
+            with open(path, encoding="utf-8") as handle:
+                engine.load_document(name, handle.read())
+        for binding in args.fragment:
+            name, xml = _split_binding(binding, "--fragment")
+            engine.bind(name, engine.parse_fragment(xml))
+        for binding in args.var:
+            name, value = _split_binding(binding, "--var")
+            engine.bind(name, value)
+        return engine
     if args.load:
         from repro.persist import load_engine
 
@@ -261,10 +307,54 @@ def repl(engine: Engine, args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
 
 
+def recover_main(argv: Seq[str] | None = None) -> int:
+    """``repro recover DIR`` — offline crash recovery with a report.
+
+    Opens the durable directory's checkpoint+journal pair, truncates a
+    torn tail, replays every committed snap, verifies store invariants
+    and prints a recovery report.  Exit status: 0 on success, 1 when the
+    journal is corrupt mid-file (:class:`JournalCorruptionError` — the
+    store is *not* silently truncated), 2 on I/O errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro recover",
+        description="Recover a durable directory (checkpoint + write-ahead "
+        "journal) and print a report.",
+    )
+    parser.add_argument(
+        "path", help="durable directory (MANIFEST.json + checkpoint + journal)"
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the store invariant check after replay",
+    )
+    args = parser.parse_args(argv)
+    from repro.durability import recover
+    from repro.errors import DurabilityError
+
+    try:
+        result = recover(args.path, verify_invariants=not args.no_verify)
+    except DurabilityError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.report.render())
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist and arglist[0] == "recover":
+        return recover_main(arglist[1:])
+    args = build_parser().parse_args(arglist)
     try:
         engine = make_engine(args)
+    except XQueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -275,29 +365,36 @@ def main(argv: Seq[str] | None = None) -> int:
             save_engine(engine, args.save)
         return code
 
-    if args.repl:
-        return finish(repl(engine, args))
-    if args.query is not None:
-        query = args.query
-    elif args.query_file:
-        try:
-            with open(args.query_file, encoding="utf-8") as handle:
-                query = handle.read()
-        except OSError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-    elif args.load or args.save:
-        # State-only invocation: load/save without running a query.
-        return finish(0)
-    else:
-        build_parser().print_usage(sys.stderr)
-        print("error: provide a query file, -q, or --repl", file=sys.stderr)
-        return 2
     try:
-        return finish(run_query(engine, query, args))
-    except XQueryError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        if args.repl:
+            return finish(repl(engine, args))
+        if args.query is not None:
+            query = args.query
+        elif args.query_file:
+            try:
+                with open(args.query_file, encoding="utf-8") as handle:
+                    query = handle.read()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        elif args.load or args.save or args.journal:
+            # State-only invocation: load/save/recover without a query.
+            return finish(0)
+        else:
+            build_parser().print_usage(sys.stderr)
+            print(
+                "error: provide a query file, -q, or --repl", file=sys.stderr
+            )
+            return 2
+        try:
+            return finish(run_query(engine, query, args))
+        except XQueryError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -404,6 +404,12 @@ class ConcurrentExecutor:
             # order here would deadlock.
             with self._bundle_mutex:
                 self._maybe_refresh_bundle_locked()
+            # Durability hook: a DurableEngine folds its journal into a
+            # fresh checkpoint once it crosses the size bound.  Also
+            # outside the write lock — compaction re-acquires it.
+            maybe_compact = getattr(engine, "maybe_compact", None)
+            if maybe_compact is not None:
+                maybe_compact()
 
     # -- the lock-free read path -------------------------------------------
 

@@ -1,0 +1,48 @@
+"""Durability: write-ahead journaling, crash recovery, fault injection.
+
+The paper's snap is the unit of atomicity (Section 2.3); this package
+makes it the unit of durability.  See :mod:`repro.durability.journal`
+for the commit protocol and file format,
+:mod:`repro.durability.recover` for the recovery algorithm,
+:mod:`repro.durability.durable` for the :class:`DurableEngine` wrapper
+(checkpoint compaction, serving integration) and
+:mod:`repro.durability.faults` for the crash-point harness the tests
+drive.  ``docs/durability.md`` has the full specification, including
+the crash matrix.
+"""
+
+from repro.durability.durable import DurableEngine
+from repro.durability.faults import (
+    ALL_CRASH_POINTS,
+    CRASH_AFTER_JOURNAL,
+    CRASH_BEFORE_FSYNC,
+    CRASH_MID_CHECKPOINT,
+    EIO_ON_WRITE,
+    FaultInjector,
+    FaultyFile,
+    InjectedCrash,
+)
+from repro.durability.journal import Journal, ScanResult, scan_journal
+from repro.durability.recover import (
+    RecoveryReport,
+    RecoveryResult,
+    recover,
+)
+
+__all__ = [
+    "DurableEngine",
+    "Journal",
+    "ScanResult",
+    "scan_journal",
+    "RecoveryReport",
+    "RecoveryResult",
+    "recover",
+    "FaultInjector",
+    "FaultyFile",
+    "InjectedCrash",
+    "ALL_CRASH_POINTS",
+    "CRASH_BEFORE_FSYNC",
+    "CRASH_AFTER_JOURNAL",
+    "CRASH_MID_CHECKPOINT",
+    "EIO_ON_WRITE",
+]

@@ -1,0 +1,319 @@
+"""A crash-safe engine: checkpoint + write-ahead journal + compaction.
+
+:class:`DurableEngine` wraps an :class:`~repro.engine.Engine` and ties
+its snap applications to a journal in a durable directory (see
+:mod:`repro.durability.manifest` for the on-disk layout).  Opening the
+same directory again recovers: checkpoint loaded, journal replayed,
+torn tail truncated — the store comes back equal to a prefix of the
+committed snaps.
+
+The wrapper delegates everything it does not define to the inner engine,
+so it drops into existing call sites — including
+:class:`~repro.concurrent.ConcurrentExecutor`, which serializes updating
+queries (and therefore journal appends) under the store's write lock and
+duck-types :meth:`maybe_compact` to fold the journal into a fresh
+checkpoint once it crosses the configured size.
+
+``atomic_snaps`` defaults to **True** here (unlike the bare engine): a
+snap whose update list fails a precondition mid-application rolls the
+store back *and journals nothing*, keeping memory and disk in lockstep.
+Without it, a failed snap would leave the in-memory store partially
+mutated while the journal (correctly) recorded nothing — recovery would
+then disagree with the process it replaced.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.engine import Engine
+from repro.errors import DurabilityError
+from repro.obs.tracer import SharedTracer
+
+from repro.durability import manifest as manifest_mod
+from repro.durability.faults import CRASH_MID_CHECKPOINT, FaultInjector
+from repro.durability.journal import FSYNC_ALWAYS, Journal
+from repro.durability.recover import RecoveryReport, recover
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import QueryResult
+
+
+class DurableEngine:
+    """An engine whose committed snaps survive process death.
+
+    Parameters:
+        path: the durable directory.  When it holds a manifest the
+            engine is *recovered* from it; otherwise the directory is
+            initialized with a checkpoint of *engine* (or a fresh
+            engine) and an empty journal.
+        engine: an engine to make durable on first open.  Passing one
+            for an existing directory is an error — the recovered state
+            is authoritative.
+        fsync / fsync_batch: journal durability policy (see
+            :class:`~repro.durability.journal.Journal`).
+        compact_max_bytes / compact_max_records: journal size bounds;
+            :meth:`maybe_compact` folds the journal into a new
+            checkpoint once either is crossed.
+        atomic_snaps: roll back (and journal nothing) on a failed snap.
+            Defaults to True — see the module docstring.
+        verify_recovery: run ``store.check_invariants()`` after replay.
+        faults: a :class:`~repro.durability.faults.FaultInjector`
+            (tests only).
+        tracer: tracer for ``journal.*`` counters; a fresh
+            :class:`~repro.obs.tracer.SharedTracer` when omitted.
+
+    Extra keyword arguments are forwarded to the :class:`Engine`
+    constructor when a fresh engine is created.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        engine: Optional[Engine] = None,
+        fsync: str = FSYNC_ALWAYS,
+        fsync_batch: int = 32,
+        compact_max_bytes: int | None = 4 * 1024 * 1024,
+        compact_max_records: int | None = 4096,
+        atomic_snaps: bool = True,
+        verify_recovery: bool = True,
+        faults: FaultInjector | None = None,
+        tracer: Any | None = None,
+        **engine_kwargs: Any,
+    ):
+        self.path = path
+        self.tracer = tracer if tracer is not None else SharedTracer()
+        self.faults = faults
+        self.recovered = False
+        self.last_recovery: RecoveryReport | None = None
+        # Serializes compaction against itself (the store write lock
+        # serializes it against queries).
+        self._compact_lock = threading.Lock()
+        journal_opts = dict(
+            fsync=fsync,
+            fsync_batch=fsync_batch,
+            compact_max_bytes=compact_max_bytes,
+            compact_max_records=compact_max_records,
+            faults=faults,
+            tracer=self.tracer,
+        )
+        if manifest_mod.exists(path):
+            if engine is not None or engine_kwargs:
+                raise DurabilityError(
+                    f"{path!r} already holds a durable engine; opening it "
+                    "recovers that state (drop the engine argument)"
+                )
+            result = recover(
+                path, verify_invariants=verify_recovery, tracer=self.tracer
+            )
+            self.engine = result.engine
+            self.engine.evaluator.atomic_snaps = atomic_snaps
+            self.recovered = True
+            self.last_recovery = result.report
+            self._generation = result.manifest["generation"]
+            self.journal = Journal.reopen(
+                os.path.join(path, result.manifest["journal"]),
+                scan=result.scan,
+                base_next_id=self.engine.store._next_id,
+                next_seq=result.report.next_seq,
+                **journal_opts,
+            )
+            self._drop_orphans(result.manifest)
+        else:
+            os.makedirs(path, exist_ok=True)
+            if engine is None:
+                engine = Engine(atomic_snaps=atomic_snaps, **engine_kwargs)
+            else:
+                engine.evaluator.atomic_snaps = atomic_snaps
+            self.engine = engine
+            self._generation = 1
+            checkpoint = manifest_mod.checkpoint_name(1)
+            journal_file = manifest_mod.journal_name(1)
+            self._write_checkpoint(os.path.join(path, checkpoint))
+            self.journal = Journal.create(
+                os.path.join(path, journal_file),
+                base_next_id=engine.store._next_id,
+                next_seq=1,
+                **journal_opts,
+            )
+            # The manifest is the commit point: before this replace the
+            # directory is not (yet) a durable engine.
+            manifest_mod.write_manifest(
+                path,
+                generation=1,
+                checkpoint=checkpoint,
+                journal=journal_file,
+                seq=0,
+            )
+        self.engine.journal = self.journal
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent).  The directory can
+        be reopened — committed snaps replay from the journal."""
+        self.journal.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- checkpoint compaction -------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Fold the journal into a fresh checkpoint now.
+
+        Writes a new checkpoint + empty journal pair and atomically
+        repoints the manifest; the old pair stays authoritative until
+        the manifest replace, so a crash at any interior point recovers
+        from the old pair (``CRASH_MID_CHECKPOINT`` in the fault
+        matrix).  Serializes against running queries via the store's
+        write lock — do not call while holding it.
+        """
+        with self._compact_lock:
+            with self.engine.store.lock.write_locked():
+                self._compact_unsynchronized()
+
+    def maybe_compact(self) -> bool:
+        """Compact when the journal crossed its size bounds.
+
+        Non-blocking against concurrent compaction (returns False if one
+        is already running); called by the serving layer after write
+        requests, outside the store lock.
+        """
+        if self.journal.closed or not self.journal.needs_compaction:
+            return False
+        if not self._compact_lock.acquire(blocking=False):
+            return False
+        try:
+            if not self.journal.needs_compaction:
+                return False
+            with self.engine.store.lock.write_locked():
+                self._compact_unsynchronized()
+            return True
+        finally:
+            self._compact_lock.release()
+
+    def _compact_unsynchronized(self) -> None:
+        generation = self._generation + 1
+        checkpoint = manifest_mod.checkpoint_name(generation)
+        journal_file = manifest_mod.journal_name(generation)
+        old_checkpoint = manifest_mod.checkpoint_name(self._generation)
+        old_journal = self.journal.path
+        # Everything journaled so far is folded into this checkpoint.
+        seq = self.journal.next_seq - 1
+        self._write_checkpoint(os.path.join(self.path, checkpoint))
+        if self.faults is not None:
+            # The window where the new checkpoint exists but the
+            # manifest still points at the old pair.
+            self.faults.hit(CRASH_MID_CHECKPOINT)
+        self.journal.rotate(
+            os.path.join(self.path, journal_file),
+            base_next_id=self.engine.store._next_id,
+        )
+        manifest_mod.write_manifest(
+            self.path,
+            generation=generation,
+            checkpoint=checkpoint,
+            journal=journal_file,
+            seq=seq,
+        )
+        self._generation = generation
+        if self.tracer is not None:
+            self.tracer.count("journal.compactions")
+        for stale in (
+            os.path.join(self.path, old_checkpoint),
+            old_journal,
+        ):
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    def _write_checkpoint(self, path: str) -> None:
+        from repro.persist import _engine_payload, _write_payload
+
+        # Unlocked internals: compaction already holds the write lock
+        # (and RWLock is not reentrant), first open owns the engine.
+        _write_payload(_engine_payload(self.engine), path, fsync=True)
+
+    def _drop_orphans(self, manifest: dict) -> None:
+        """Remove checkpoint/journal files a crashed compaction left
+        behind (files the manifest does not reference)."""
+        keep = {
+            manifest_mod.MANIFEST_NAME,
+            manifest["checkpoint"],
+            manifest["journal"],
+        }
+        try:
+            entries = os.listdir(self.path)
+        except OSError:
+            return
+        for entry in entries:
+            if entry in keep:
+                continue
+            if entry.startswith(("checkpoint-", "journal-")) or (
+                entry.endswith(".tmp")
+            ):
+                try:
+                    os.unlink(os.path.join(self.path, entry))
+                except OSError:
+                    pass
+
+    # -- engine surface ---------------------------------------------------
+
+    def execute(self, query: str, *args: Any, **kwargs: Any) -> "QueryResult":
+        """Delegate to the inner engine, then compact if due."""
+        result = self.engine.execute(query, *args, **kwargs)
+        self.maybe_compact()
+        return result
+
+    def bind(self, name: str, value: Any) -> None:
+        """Bind a global and checkpoint — bindings live outside the
+        store, so only a checkpoint makes them durable."""
+        self.engine.bind(name, value)
+        self.checkpoint()
+
+    def load_document(self, name: str, xml_text: str) -> Any:
+        """Load a document and checkpoint (document catalog entries are
+        not journaled)."""
+        node = self.engine.load_document(name, xml_text)
+        self.checkpoint()
+        return node
+
+    def register_module(self, uri: str, text: str) -> None:
+        node = self.engine.register_module(uri, text)
+        self.checkpoint()
+        return node
+
+    def load_module(self, text: str) -> Any:
+        """Load a module and checkpoint — function declarations are not
+        part of the persisted store, so the checkpoint's module/global
+        state is what recovery rebuilds from."""
+        result = self.engine.load_module(text)
+        self.checkpoint()
+        return result
+
+    def transaction(self) -> Any:
+        raise DurabilityError(
+            "Engine.transaction() rolls back snaps that the journal has "
+            "already made durable; multi-query atomicity is not "
+            "supported on a DurableEngine"
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything else — prepare, store, evaluator, variable,
+        # serialize, prepared_cache, ... — behaves exactly as on the
+        # inner engine.  (Only called for names not defined above.)
+        return getattr(self.engine, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableEngine(path={self.path!r}, "
+            f"generation={self._generation}, journal={self.journal!r})"
+        )

@@ -1,0 +1,126 @@
+"""Fault injection for the durability subsystem.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  This module gives the test suite a way to *schedule* failures
+at the exact points where the journal/checkpoint protocol is vulnerable:
+
+* ``CRASH_BEFORE_FSYNC`` — the process dies mid-append: only a prefix of
+  the record's bytes reach the file (a torn write).  Recovery must
+  truncate the tail and come back *without* that snap.
+* ``CRASH_AFTER_JOURNAL`` — the process dies right after the record is
+  appended and fsynced, before the caller sees the acknowledgement.
+  Recovery must come back *with* that snap (it is durable).
+* ``CRASH_MID_CHECKPOINT`` — the process dies during compaction, after
+  the new checkpoint file is written but before the manifest points at
+  it.  Recovery must keep using the old checkpoint + journal pair.
+* ``EIO_ON_WRITE`` — the journal append fails with ``OSError`` (disk
+  full, I/O error) but the process survives.  The engine must report a
+  typed :class:`~repro.errors.DurabilityError` and, under
+  ``atomic_snaps``, roll the in-memory store back so memory never runs
+  ahead of disk.
+
+Injected crashes raise :class:`InjectedCrash`, which derives from
+``BaseException`` (like ``KeyboardInterrupt``) so no recovery-relevant
+``except Exception`` handler can swallow it — exactly how a real
+``kill -9`` is invisible to in-process handlers.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Any
+
+CRASH_BEFORE_FSYNC = "crash-before-fsync"
+CRASH_AFTER_JOURNAL = "crash-after-journal"
+CRASH_MID_CHECKPOINT = "crash-mid-checkpoint"
+EIO_ON_WRITE = "eio-on-write"
+
+#: Every crash point the fault-injection tests must cover.
+ALL_CRASH_POINTS = (
+    CRASH_BEFORE_FSYNC,
+    CRASH_AFTER_JOURNAL,
+    CRASH_MID_CHECKPOINT,
+    EIO_ON_WRITE,
+)
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at a registered crash point."""
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"injected crash at {point}")
+
+
+class FaultInjector:
+    """Arms crash points with countdowns.
+
+    ``arm(point, after=n)`` makes the *n*-th subsequent hit of *point*
+    fire (``after=1`` fires on the next hit).  Unarmed points never
+    fire, so production code can call :meth:`hit` unconditionally with a
+    ``None`` injector guard.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        self.fired: list[str] = []
+
+    def arm(self, point: str, after: int = 1) -> None:
+        if point not in ALL_CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._armed[point] = after
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def will_fire(self, point: str) -> bool:
+        """True when the next :meth:`hit` of *point* will fire."""
+        return self._armed.get(point) == 1
+
+    def hit(self, point: str) -> None:
+        """Fire the fault armed at *point*, if its countdown reaches 0.
+
+        ``EIO_ON_WRITE`` raises ``OSError(EIO)`` (survivable); the crash
+        points raise :class:`InjectedCrash` (simulated process death).
+        """
+        remaining = self._armed.get(point)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[point] = remaining - 1
+            return
+        del self._armed[point]
+        self.fired.append(point)
+        if point == EIO_ON_WRITE:
+            raise OSError(errno.EIO, "injected I/O error")
+        raise InjectedCrash(point)
+
+
+class FaultyFile:
+    """A file-object wrapper that fails after a byte budget.
+
+    Wraps a binary file handle and raises ``OSError(EIO)`` once
+    *fail_after_bytes* have been written (mid-write failures truncate
+    the write at the budget first, modelling a partially persisted
+    buffer).  Used by write-layer tests; the engine-level crash points
+    above are driven by :class:`FaultInjector` instead.
+    """
+
+    def __init__(self, handle: Any, fail_after_bytes: int):
+        self._handle = handle
+        self._budget = fail_after_bytes
+
+    def write(self, data: bytes) -> int:
+        if self._budget <= 0:
+            raise OSError(errno.EIO, "injected I/O error (budget exhausted)")
+        if len(data) > self._budget:
+            self._handle.write(data[: self._budget])
+            self._budget = 0
+            raise OSError(errno.EIO, "injected I/O error (short write)")
+        self._budget -= len(data)
+        return self._handle.write(data)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._handle, name)

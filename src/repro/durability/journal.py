@@ -1,0 +1,545 @@
+"""The snap-level write-ahead journal.
+
+The paper makes ``snap`` the unit of atomicity (Section 2.3: "the log
+insert and the rollover must be applied together"); this module makes it
+the unit of *durability* too.  Every update-list application — one per
+snap closure, nested snaps included — appends exactly one journal record
+before the mutation is acknowledged to the caller, so a process crash
+loses at most the snaps whose acknowledgement the caller never saw, and
+never a fraction of one.
+
+Commit protocol (one snap)::
+
+    build entry           # resolved ops + payload subtrees, pre-apply
+    apply Δ to the store  # in memory; a precondition failure discards
+                          # the entry — a failed snap journals nothing
+    append frame + fsync  # the *only* durability point
+    acknowledge
+
+The in-memory store is volatile, so applying before appending cannot
+expose a committed-but-unjournaled snap to a recovering process: a crash
+between the two simply loses an unacknowledged snap, keeping recovery's
+contract — the recovered store equals a *prefix* of the acknowledged
+snaps (plus possibly the final in-flight one when the crash landed after
+the fsync).
+
+File format::
+
+    repro-xquerybang-wal v1\\n      file header (magic line)
+    [frame]*                        frames, back to back
+
+    frame := header(16 bytes) + payload
+    header := little-endian u32 x 4:
+        FRAME_MAGIC, payload length, CRC32(payload),
+        CRC32(first 12 header bytes)
+    payload := UTF-8 JSON {"seq", "pre", "post", "sem", "ops", "nodes"}
+
+* ``seq`` — strictly contiguous record counter, continuing across
+  journal rotations (the manifest stores the last sequence compacted
+  into the checkpoint, so recovery can verify no record went missing).
+* ``pre``/``post`` — the store's id watermark before/after application.
+  Replay re-seeds allocation at ``pre`` (some primitives allocate at
+  application time) and verifies it lands on ``post``; a mismatch means
+  the journal and checkpoint disagree and recovery refuses to guess.
+* ``ops`` — the update requests in their *applied* order (after
+  conflict checking and any nondeterministic permutation), with node
+  ids resolved.
+* ``nodes`` — persist-style rows for every constructed subtree the ops
+  reference (inserted payloads, targets outside the checkpointed
+  world), captured pre-apply so replay can materialize them.
+
+The header CRC makes torn-tail detection unambiguous: a crash mid-append
+leaves a *prefix* of a frame (short header, or short/garbled payload
+ending exactly at EOF) which recovery truncates; damage anywhere else
+cannot be explained by a torn append and raises
+:class:`~repro.errors.JournalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+from zlib import crc32
+
+from repro.errors import JournalCorruptionError
+from repro.semantics.update import (
+    ApplySemantics,
+    DeleteRequest,
+    InsertRequest,
+    RenameRequest,
+    SetValueRequest,
+)
+from repro.xdm.store import NodeKind, Store
+
+from repro.durability.faults import (
+    CRASH_AFTER_JOURNAL,
+    CRASH_BEFORE_FSYNC,
+    EIO_ON_WRITE,
+    FaultInjector,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.update import UpdateRequest
+
+FILE_MAGIC = b"repro-xquerybang-wal v1\n"
+FRAME_MAGIC = 0x4C415752  # "RWAL", little endian
+_HEADER = struct.Struct("<IIII")
+HEADER_SIZE = _HEADER.size
+
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_NEVER = "never"
+_FSYNC_MODES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename/create inside it is durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Request (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request: "UpdateRequest") -> tuple[dict, list[int]]:
+    """Encode a request as a JSON-able op plus the node ids it references."""
+    if isinstance(request, InsertRequest):
+        op = {
+            "op": "insert",
+            "nodes": list(request.nodes),
+            "position": request.position,
+            "target": request.target,
+        }
+        return op, [*request.nodes, request.target]
+    if isinstance(request, DeleteRequest):
+        return {"op": "delete", "node": request.node}, [request.node]
+    if isinstance(request, RenameRequest):
+        op = {"op": "rename", "node": request.node, "name": request.name}
+        return op, [request.node]
+    if isinstance(request, SetValueRequest):
+        op = {"op": "set-value", "node": request.node, "text": request.text}
+        return op, [request.node]
+    raise TypeError(f"cannot journal request {request!r}")
+
+
+def decode_request(op: dict) -> "UpdateRequest":
+    """Rebuild an update request from its journaled op (replay)."""
+    try:
+        kind = op["op"]
+        if kind == "insert":
+            return InsertRequest(
+                nodes=tuple(op["nodes"]),
+                position=op["position"],
+                target=op["target"],
+            )
+        if kind == "delete":
+            return DeleteRequest(node=op["node"])
+        if kind == "rename":
+            return RenameRequest(node=op["node"], name=op["name"])
+        if kind == "set-value":
+            return SetValueRequest(node=op["node"], text=op["text"])
+    except (KeyError, TypeError) as exc:
+        raise JournalCorruptionError(
+            f"malformed journaled op {op!r}: {exc}"
+        ) from exc
+    raise JournalCorruptionError(f"unknown journaled op kind {op!r}")
+
+
+def _subtree_rows(store: Store, root: int) -> list[list]:
+    """Persist-style rows for the whole subtree rooted at *root*."""
+    rows: list[list] = []
+    stack = [root]
+    records = store._records
+    while stack:
+        nid = stack.pop()
+        rec = records[nid]
+        rows.append(
+            [
+                nid,
+                rec.kind.value,
+                rec.name,
+                rec.parent,
+                list(rec.children),
+                list(rec.attributes),
+                rec.value,
+            ]
+        )
+        stack.extend(rec.attributes)
+        stack.extend(rec.children)
+    return rows
+
+
+def materialize_rows(store: Store, rows: list) -> int:
+    """Install journaled node rows that are not in the store yet (replay).
+
+    Rows for ids the store already holds are skipped: a node's links only
+    ever change through journaled update primitives, so an existing
+    record is already at the state the row captured.  Returns the number
+    of records created.
+    """
+    from repro.xdm.store import _NodeRecord
+
+    created = 0
+    for nid, kind, name, parent, children, attributes, value in rows:
+        if nid in store._records:
+            continue
+        record = _NodeRecord(NodeKind(kind), name, value)
+        record.parent = parent
+        record.children = list(children)
+        record.attributes = list(attributes)
+        store._records[nid] = record
+        if record.kind is NodeKind.ELEMENT and name:
+            store._name_index.setdefault(name, set()).add(nid)
+        created += 1
+    if created:
+        store._touch()
+    return created
+
+
+# ---------------------------------------------------------------------------
+# Journal scanning (shared by recovery and reopen)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScanResult:
+    """The readable content of a journal file."""
+
+    records: list[dict]
+    good_offset: int  # file offset just past the last intact frame
+    torn_bytes: int  # bytes after good_offset (partial final frame)
+
+
+def scan_journal(path: str) -> ScanResult:
+    """Read every intact frame of the journal at *path*.
+
+    A partial final frame (any strict prefix of a frame ending at EOF,
+    including one whose payload bytes are present but fail the CRC) is
+    reported as a torn tail.  Damage that a torn append cannot explain —
+    a complete frame with a bad CRC mid-file, a garbled header with more
+    data behind it, undecodable payload JSON — raises
+    :class:`~repro.errors.JournalCorruptionError`.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(FILE_MAGIC):
+        raise JournalCorruptionError(
+            f"{path!r} does not start with the journal magic"
+        )
+    offset = len(FILE_MAGIC)
+    end = len(data)
+    records: list[dict] = []
+    while offset < end:
+        header = data[offset : offset + HEADER_SIZE]
+        if len(header) < HEADER_SIZE:
+            break  # torn: partial header at EOF
+        magic, length, payload_crc, header_crc = _HEADER.unpack(header)
+        if crc32(header[:12]) != header_crc or magic != FRAME_MAGIC:
+            # A torn append writes a *prefix* of a valid frame; a full
+            # 16-byte header that fails its own CRC is damage, not a torn
+            # write — unless it is bytes that a partial payload of a
+            # previous... no: the previous frame was intact (we are at a
+            # frame boundary), so this header was written as a header.
+            raise JournalCorruptionError(
+                f"bad frame header at offset {offset} of {path!r}"
+            )
+        payload = data[offset + HEADER_SIZE : offset + HEADER_SIZE + length]
+        frame_end = offset + HEADER_SIZE + length
+        if len(payload) < length:
+            break  # torn: partial payload at EOF
+        if crc32(payload) != payload_crc:
+            if frame_end == end:
+                break  # torn: final frame's payload never fully landed
+            raise JournalCorruptionError(
+                f"payload CRC mismatch at offset {offset} of {path!r}"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise JournalCorruptionError(
+                f"undecodable journal record at offset {offset} of "
+                f"{path!r}: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise JournalCorruptionError(
+                f"journal record at offset {offset} of {path!r} is not "
+                "an object"
+            )
+        records.append(record)
+        offset = frame_end
+    return ScanResult(
+        records=records, good_offset=offset, torn_bytes=end - offset
+    )
+
+
+# ---------------------------------------------------------------------------
+# The journal proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalEntry:
+    """One snap's worth of durability, built pre-apply."""
+
+    seq: int
+    pre_next_id: int
+    semantics: str
+    ops: list[dict]
+    nodes: list[list]
+    captured_roots: set[int] = field(default_factory=set)
+
+
+class Journal:
+    """An append-only write-ahead journal for one engine's store.
+
+    Parameters:
+        path: journal file.  :meth:`create` writes the file header;
+            :meth:`reopen` appends to an existing (scanned) file.
+        fsync: ``"always"`` (fsync every commit — full durability),
+            ``"batch"`` (fsync every *fsync_batch* commits — bounded
+            loss window), or ``"never"`` (leave flushing to the OS —
+            crash-consistent but not crash-durable).
+        fsync_batch: commit count between fsyncs in batch mode.
+        base_next_id: the store's id watermark at journal start; nodes
+            rooted below it live in the checkpoint and are never
+            re-serialized into entries.
+        next_seq: sequence number the next record will carry.
+        compact_max_bytes / compact_max_records: thresholds consulted by
+            :attr:`needs_compaction` (None disables that bound).
+        faults: optional :class:`~repro.durability.faults.FaultInjector`.
+        tracer: optional tracer fed ``journal.*`` counters.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: str = FSYNC_ALWAYS,
+        fsync_batch: int = 32,
+        base_next_id: int = 0,
+        next_seq: int = 1,
+        compact_max_bytes: int | None = None,
+        compact_max_records: int | None = None,
+        faults: FaultInjector | None = None,
+        tracer: Any | None = None,
+        _create: bool = True,
+        _existing_bytes: int = 0,
+        _existing_records: int = 0,
+    ):
+        if fsync not in _FSYNC_MODES:
+            raise ValueError(
+                f"fsync must be one of {_FSYNC_MODES}, not {fsync!r}"
+            )
+        if fsync_batch < 1:
+            raise ValueError("fsync_batch must be >= 1")
+        self.path = path
+        self.fsync_mode = fsync
+        self.fsync_batch = fsync_batch
+        self.base_next_id = base_next_id
+        self.next_seq = next_seq
+        self.compact_max_bytes = compact_max_bytes
+        self.compact_max_records = compact_max_records
+        self.faults = faults
+        self.tracer = tracer
+        # Evidence counters (also mirrored into the tracer when present).
+        self.records = _existing_records  # records in the current file
+        self.bytes = _existing_bytes or len(FILE_MAGIC)  # file size
+        self.fsyncs = 0
+        self._commits_since_fsync = 0
+        if _create:
+            # Unbuffered: a crash never loses bytes to a Python buffer,
+            # and partial appends are genuine OS-level partial writes.
+            self._handle = open(path, "wb", buffering=0)
+            self._handle.write(FILE_MAGIC)
+            os.fsync(self._handle.fileno())
+            fsync_directory(os.path.dirname(path) or ".")
+            self.bytes = len(FILE_MAGIC)
+        else:
+            self._handle = open(path, "ab", buffering=0)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, **kwargs: Any) -> "Journal":
+        """Create a fresh journal file (header only) at *path*."""
+        return cls(path, _create=True, **kwargs)
+
+    @classmethod
+    def reopen(
+        cls,
+        path: str,
+        *,
+        scan: ScanResult,
+        **kwargs: Any,
+    ) -> "Journal":
+        """Append to an existing journal whose content was just scanned
+        (and whose torn tail, if any, was truncated by recovery)."""
+        journal = cls(
+            path,
+            _create=False,
+            _existing_bytes=scan.good_offset,
+            _existing_records=len(scan.records),
+            **kwargs,
+        )
+        return journal
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def sync(self) -> None:
+        """Force an fsync now (used on close and by batch mode)."""
+        if self._handle.closed:
+            return
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        self._commits_since_fsync = 0
+        if self.tracer is not None:
+            self.tracer.count("journal.fsyncs")
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    @property
+    def needs_compaction(self) -> bool:
+        """True once the journal crosses a configured size bound."""
+        if (
+            self.compact_max_bytes is not None
+            and self.bytes >= self.compact_max_bytes
+        ):
+            return True
+        return (
+            self.compact_max_records is not None
+            and self.records >= self.compact_max_records
+        )
+
+    def rotate(self, path: str, base_next_id: int) -> None:
+        """Switch to a fresh journal file (checkpoint compaction).
+
+        The sequence numbering continues — the manifest records the last
+        sequence folded into the checkpoint, so recovery can prove the
+        new journal picks up exactly where the checkpoint ends.
+        """
+        old = self._handle
+        self._handle = open(path, "wb", buffering=0)
+        self._handle.write(FILE_MAGIC)
+        os.fsync(self._handle.fileno())
+        fsync_directory(os.path.dirname(path) or ".")
+        old.close()
+        self.path = path
+        self.base_next_id = base_next_id
+        self.records = 0
+        self.bytes = len(FILE_MAGIC)
+        self._commits_since_fsync = 0
+
+    # -- the write path --------------------------------------------------
+
+    def build_entry(
+        self,
+        store: Store,
+        requests: list,
+        semantics: ApplySemantics,
+    ) -> JournalEntry | None:
+        """Serialize *requests* (in applied order) into a journal entry.
+
+        Called *before* the requests are applied, so the captured node
+        rows and the ``pre`` watermark describe the store the replayed
+        ops will run against.  Returns None for an empty Δ (an empty
+        snap leaves no record).
+        """
+        if not requests:
+            return None
+        ops: list[dict] = []
+        nodes: list[list] = []
+        captured: set[int] = set()
+        for request in requests:
+            op, refs = encode_request(request)
+            ops.append(op)
+            for ref in refs:
+                root = store.root(ref)
+                if root < self.base_next_id or root in captured:
+                    # Rooted in the checkpointed world (or an earlier
+                    # replayed record): replay already has it.  Links
+                    # into it only change through journaled ops.
+                    continue
+                captured.add(root)
+                nodes.extend(_subtree_rows(store, root))
+        return JournalEntry(
+            seq=self.next_seq,
+            pre_next_id=store._next_id,
+            semantics=semantics.value,
+            ops=ops,
+            nodes=nodes,
+            captured_roots=captured,
+        )
+
+    def commit(self, entry: JournalEntry, store: Store) -> None:
+        """Append *entry* and make it durable per the fsync policy.
+
+        Called after the update list applied cleanly; ``store._next_id``
+        now holds the post-application watermark the replay must land
+        on.  Raises ``OSError`` when the append fails (the caller turns
+        that into a :class:`~repro.errors.DurabilityError`).
+        """
+        payload = json.dumps(
+            {
+                "seq": entry.seq,
+                "pre": entry.pre_next_id,
+                "post": store._next_id,
+                "sem": entry.semantics,
+                "ops": entry.ops,
+                "nodes": entry.nodes,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        header_head = struct.pack(
+            "<III", FRAME_MAGIC, len(payload), crc32(payload)
+        )
+        frame = header_head + struct.pack("<I", crc32(header_head)) + payload
+        faults = self.faults
+        if faults is not None:
+            faults.hit(EIO_ON_WRITE)
+            if faults.will_fire(CRASH_BEFORE_FSYNC):
+                # A genuine torn append: half the frame reaches the OS,
+                # then the process "dies".
+                self._handle.write(frame[: max(1, len(frame) // 2)])
+                faults.hit(CRASH_BEFORE_FSYNC)  # raises InjectedCrash
+            else:
+                faults.hit(CRASH_BEFORE_FSYNC)  # tick a countdown > 1
+        self._handle.write(frame)
+        if self.fsync_mode == FSYNC_ALWAYS:
+            self.sync()
+        elif self.fsync_mode == FSYNC_BATCH:
+            self._commits_since_fsync += 1
+            if self._commits_since_fsync >= self.fsync_batch:
+                self.sync()
+        if faults is not None:
+            # The record is durable; the caller just never hears back.
+            faults.hit(CRASH_AFTER_JOURNAL)
+        self.next_seq = entry.seq + 1
+        self.records += 1
+        self.bytes += len(frame)
+        if self.tracer is not None:
+            self.tracer.count("journal.records")
+            self.tracer.count("journal.bytes", len(frame))
+
+    def __repr__(self) -> str:
+        return (
+            f"Journal(path={self.path!r}, records={self.records}, "
+            f"bytes={self.bytes}, next_seq={self.next_seq}, "
+            f"fsync={self.fsync_mode!r})"
+        )

@@ -1,0 +1,112 @@
+"""The checkpoint+journal pairing manifest.
+
+A durable engine's on-disk state is a directory::
+
+    MANIFEST.json            which checkpoint/journal pair is current
+    checkpoint-<gen>.json    a repro.persist dump
+    journal-<gen>.wal        the write-ahead journal since that dump
+
+The manifest is the *single commit point* of checkpoint compaction: the
+new checkpoint and the new (empty) journal are fully written and fsynced
+first, then the manifest is atomically replaced (``os.replace`` + a
+directory fsync) to point at them.  A crash anywhere before the replace
+leaves the old pair authoritative and the new files as unreferenced
+orphans; a crash after it leaves the new pair authoritative.  There is
+no window in which neither pair is complete.
+
+Manifest fields::
+
+    {"format": "repro-xquerybang-manifest", "version": 1,
+     "generation": 3,
+     "checkpoint": "checkpoint-000003.json",
+     "journal": "journal-000003.wal",
+     "seq": 1042}
+
+``seq`` is the sequence number of the last journal record folded into
+the checkpoint; the journal's first record must carry ``seq + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import DurabilityError
+
+from repro.durability.journal import fsync_directory
+
+MANIFEST_NAME = "MANIFEST.json"
+_FORMAT = "repro-xquerybang-manifest"
+_VERSION = 1
+
+
+def checkpoint_name(generation: int) -> str:
+    return f"checkpoint-{generation:06d}.json"
+
+
+def journal_name(generation: int) -> str:
+    return f"journal-{generation:06d}.wal"
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def read_manifest(directory: str) -> dict:
+    """Load and validate the manifest of a durable directory."""
+    path = manifest_path(directory)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        raise DurabilityError(
+            f"manifest {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise DurabilityError(f"{path!r} is not a {_FORMAT} file")
+    if payload.get("version") != _VERSION:
+        raise DurabilityError(
+            f"unsupported manifest version {payload.get('version')!r}"
+        )
+    for key, type_ in (
+        ("generation", int),
+        ("checkpoint", str),
+        ("journal", str),
+        ("seq", int),
+    ):
+        if not isinstance(payload.get(key), type_):
+            raise DurabilityError(
+                f"manifest {path!r} field {key!r} is missing or malformed"
+            )
+    return payload
+
+
+def write_manifest(
+    directory: str,
+    *,
+    generation: int,
+    checkpoint: str,
+    journal: str,
+    seq: int,
+) -> None:
+    """Atomically (re)write the manifest — the compaction commit point."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "generation": generation,
+        "checkpoint": checkpoint,
+        "journal": journal,
+        "seq": seq,
+    }
+    path = manifest_path(directory)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    fsync_directory(directory)
+
+
+def exists(directory: str) -> bool:
+    return os.path.exists(manifest_path(directory))

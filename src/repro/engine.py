@@ -261,6 +261,11 @@ class Engine:
             milliseconds of wall time.  The record carries the query's
             stats when the call collected them.
         slow_query_ms: threshold for ``on_slow_query`` (default 100 ms).
+        journal: a :class:`~repro.durability.Journal`; every snap
+            application appends one durable record before it is
+            acknowledged.  Usually installed by
+            :class:`~repro.durability.DurableEngine`, which also owns
+            recovery and checkpoint compaction.
     """
 
     def __init__(
@@ -272,12 +277,14 @@ class Engine:
         prepared_cache_size: int = 128,
         on_slow_query: Callable[[SlowQueryRecord], None] | None = None,
         slow_query_ms: float = 100.0,
+        journal=None,
     ):
         self.store = Store()
         self.functions: FunctionRegistry = default_registry()
         self.evaluator = Evaluator(
             self.store, self.functions, trace_sink, atomic_snaps=atomic_snaps
         )
+        self.evaluator.journal = journal
         self.default_semantics = ApplySemantics(default_semantics)
         self.static_checks = static_checks
         # Library-module system: uri -> source text, plus load bookkeeping.
@@ -294,6 +301,20 @@ class Engine:
         # prepared query, including the first thread's.  Reentrant:
         # preparing can recursively load imported modules.
         self._prepare_lock = threading.RLock()
+
+    @property
+    def journal(self):
+        """The write-ahead journal snap applications commit to (or None).
+
+        Lives on the evaluator so every apply path — direct, prepared,
+        algebra-driven — sees it without extra plumbing, the same
+        discipline as the tracer and execution control.
+        """
+        return self.evaluator.journal
+
+    @journal.setter
+    def journal(self, journal) -> None:
+        self.evaluator.journal = journal
 
     def _maybe_check(self, module: core.CModule) -> None:
         if self.static_checks:

@@ -180,6 +180,34 @@ class ServiceOverloadedError(XQueryError):
     default_code = "REPR0003"
 
 
+class DurabilityError(XQueryError):
+    """A durability operation (journal append, checkpoint, manifest
+    update) failed.
+
+    Raised by :mod:`repro.durability` when the write-ahead journal cannot
+    make a committed snap durable — e.g. the underlying file raises
+    ``OSError`` mid-append.  When the engine runs with ``atomic_snaps``
+    the in-memory store is rolled back before this is raised, so memory
+    and disk stay in agreement.  Codes are implementation defined (the
+    W3C taxonomy predates engine-level durability).
+    """
+
+    default_code = "REPR0004"
+
+
+class JournalCorruptionError(DurabilityError):
+    """Recovery found a journal it cannot trust.
+
+    A *torn tail* (an incomplete final record from a crash mid-append) is
+    expected and silently truncated; this error is reserved for damage
+    that truncation cannot explain: a bad CRC on an interior record, a
+    sequence-number gap, or replay diverging from the recorded
+    post-state.  Recovery never silently returns a wrong store.
+    """
+
+    default_code = "REPR0005"
+
+
 class SerializationError(DynamicError):
     """The data model instance cannot be serialized to XML."""
 

@@ -7,7 +7,10 @@ A :class:`Tracer` collects three kinds of evidence while a query runs:
   rewrite-per-rule, prolog, evaluate, snap-apply);
 * **counters** — monotonically increasing event counts (snaps applied,
   prepared-cache hits, store nodes created/detached, materialization
-  barriers hit);
+  barriers hit; a durable engine adds ``journal.records``,
+  ``journal.bytes``, ``journal.fsyncs``, ``journal.compactions``,
+  ``journal.recoveries`` and ``journal.truncated_tails`` — see
+  :mod:`repro.durability`);
 * **observations** — per-event magnitudes folded into count/total/min/max
   summaries (pending-update-list lengths per snap, conflict-check table
   sizes, hash-join build sizes).

@@ -67,27 +67,67 @@ def _dump_item(item) -> list:
 
 
 def _load_item(entry: list, store: Store):
+    # Validate shape and payload types instead of coercing: a corrupt
+    # dump must fail loudly, not round a truthy string into `true`.
+    if (
+        not isinstance(entry, (list, tuple))
+        or len(entry) != 2
+        or not isinstance(entry[0], str)
+    ):
+        raise XQueryError(f"malformed persisted value entry {entry!r}")
     tag, payload = entry
     if tag == "node":
+        if isinstance(payload, bool) or not isinstance(payload, int):
+            raise XQueryError(
+                f"persisted node entry has non-integer id {payload!r}"
+            )
         return Node(store, payload)
     type_ = _TAG_TYPES.get(tag)
     if type_ is None:
         raise XQueryError(f"unknown persisted value tag {tag!r}")
     if tag == "integer":
-        payload = int(payload)
+        if isinstance(payload, bool) or not isinstance(payload, int):
+            raise XQueryError(
+                f"persisted integer has non-integer payload {payload!r}"
+            )
     elif tag == "decimal":
-        from decimal import Decimal
+        from decimal import Decimal, InvalidOperation
 
-        payload = Decimal(payload)
+        if not isinstance(payload, str):
+            raise XQueryError(
+                f"persisted decimal has non-string payload {payload!r}"
+            )
+        try:
+            payload = Decimal(payload)
+        except InvalidOperation:
+            raise XQueryError(
+                f"persisted decimal payload {payload!r} does not parse"
+            ) from None
     elif tag == "double":
+        if isinstance(payload, bool) or not isinstance(
+            payload, (int, float)
+        ):
+            raise XQueryError(
+                f"persisted double has non-numeric payload {payload!r}"
+            )
         payload = float(payload)
     elif tag == "boolean":
-        payload = bool(payload)
+        if not isinstance(payload, bool):
+            raise XQueryError(
+                f"persisted boolean has non-boolean payload {payload!r}"
+            )
+    elif not isinstance(payload, str):  # string / untyped
+        raise XQueryError(
+            f"persisted {tag} has non-string payload {payload!r}"
+        )
     return AtomicValue(type_, payload)
 
 
-def save_engine(engine: Engine, path: str) -> None:
-    """Serialize *engine*'s full state to *path* (a single JSON file)."""
+def _engine_payload(engine: Engine) -> dict[str, Any]:
+    """Build the dump payload.  Reads the store without locking — the
+    caller must hold the store's write lock (or own the engine
+    exclusively, e.g. single-threaded use or checkpoint compaction,
+    which already runs under the write lock)."""
     store = engine.store
     records = []
     for nid in store.node_ids():
@@ -102,7 +142,7 @@ def save_engine(engine: Engine, path: str) -> None:
                 store.value(nid),
             ]
         )
-    payload: dict[str, Any] = {
+    return {
         "format": _FORMAT,
         "version": _VERSION,
         "next_id": store._next_id,
@@ -121,10 +161,40 @@ def save_engine(engine: Engine, path: str) -> None:
             "static_checks": engine.static_checks,
         },
     }
+
+
+def _write_payload(payload: dict, path: str, fsync: bool = False) -> None:
+    """Write a dump payload to *path* atomically (tmp + ``os.replace``).
+
+    With ``fsync=True`` the file's bytes and the directory entry are
+    forced to stable storage before returning — required when the dump
+    is a durability checkpoint rather than a best-effort export.
+    """
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+    if fsync:
+        from repro.durability.journal import fsync_directory
+
+        fsync_directory(os.path.dirname(path) or ".")
+
+
+def save_engine(engine: Engine, path: str) -> None:
+    """Serialize *engine*'s full state to *path* (a single JSON file).
+
+    Takes the store's write lock for the duration of the state capture,
+    so saving while a :class:`~repro.concurrent.ConcurrentExecutor` is
+    live yields a consistent dump — never a half-applied snap.  Must not
+    be called from a thread already holding either side of the store
+    lock (it is not reentrant).
+    """
+    with engine.store.lock.write_locked():
+        payload = _engine_payload(engine)
+    _write_payload(payload, path)
 
 
 def load_engine(path: str) -> Engine:

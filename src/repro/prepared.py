@@ -25,6 +25,13 @@ and can never change the query's structure::
 Bindings are scoped to the call: they are installed for the duration of
 the execution (visible to the body *and* to called functions, which read
 module globals) and restored afterwards.
+
+Durability note: a prepared query needs no extra plumbing to be durable —
+the journal hook lives on the evaluator
+(:attr:`~repro.semantics.evaluator.Evaluator.journal`), which every
+execution path shares, so snaps committed through a
+:class:`~repro.durability.DurableEngine` are journaled whether the query
+went through ``execute()`` or a long-lived :class:`PreparedQuery`.
 """
 
 from __future__ import annotations

@@ -123,6 +123,12 @@ class Evaluator:
         # the tracer) so a fired deadline stops the query cooperatively
         # without ever landing inside a snap application.
         self.control = None
+        # Durability: a repro.durability.Journal while the engine is
+        # journaled, else None (same None-guard discipline).  Every snap
+        # application — top-level, nested, algebra-driven — threads it
+        # into apply_update_list, which appends one record per non-empty
+        # Δ before the snap is acknowledged.
+        self.journal = None
         self._dispatch = {
             core.CLiteral: self._eval_literal,
             core.CVar: self._eval_var,
@@ -191,7 +197,10 @@ class Evaluator:
             # pending Δ here, so a timed-out query never half-applies.
             if self.control is not None:
                 self.control.check()
-            apply_update_list(self.store, delta, mode, atomic=self.atomic_snaps)
+            apply_update_list(
+                self.store, delta, mode,
+                atomic=self.atomic_snaps, journal=self.journal,
+            )
             return value
         with tracer.span("evaluate"):
             value, delta = self.evaluate(expr, context)
@@ -201,6 +210,7 @@ class Evaluator:
             apply_update_list(
                 self.store, delta, mode,
                 atomic=self.atomic_snaps, tracer=tracer,
+                journal=self.journal,
             )
         return value
 
@@ -937,6 +947,7 @@ class Evaluator:
             ApplySemantics.from_keyword(expr.mode),
             atomic=self.atomic_snaps,
             tracer=self.tracer,
+            journal=self.journal,
         )
         return EvalResult(value, _EMPTY)
 

@@ -39,6 +39,7 @@ from repro.errors import UpdateApplicationError
 from repro.xdm.store import NodeKind, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.journal import Journal
     from repro.obs.tracer import Tracer
 
 # Group tokens tie together the request pair a single `replace` emits
@@ -210,6 +211,7 @@ def apply_update_list(
     permutation: list[int] | None = None,
     atomic: bool = False,
     tracer: "Tracer | None" = None,
+    journal: "Journal | None" = None,
 ) -> None:
     """Apply Δ to the store under the chosen semantics.
 
@@ -226,6 +228,15 @@ def apply_update_list(
     store back to its pre-Δ state before re-raising — snap as a
     failure-containment boundary (an extension the paper's Section 5
     sketches for its full version).
+
+    With a *journal*, the applied requests — in their resolved order,
+    after conflict checking — are appended as one durable record before
+    this function returns (snap as the unit of durability; see
+    :mod:`repro.durability.journal`).  A Δ that fails a precondition is
+    never journaled, and a journal append failure rolls the store back
+    (when ``atomic``) and raises
+    :class:`~repro.errors.DurabilityError`, so the in-memory store
+    never acknowledges a snap the disk does not hold.
     """
     from repro.semantics.conflicts import check_conflict_free
 
@@ -246,11 +257,35 @@ def apply_update_list(
         if sorted(permutation) != list(range(len(delta))):
             raise UpdateApplicationError("invalid permutation of Δ")
         order = permutation  # type: ignore[assignment]
+    entry = None
+    if journal is not None and delta:
+        # Built pre-apply: the entry captures the payload subtrees and
+        # the id watermark as the replayed ops will find them.
+        entry = journal.build_entry(
+            store, [delta[index] for index in order], semantics
+        )
     checkpoint = store.checkpoint() if atomic and delta else None
     try:
         for index in order:
             delta[index].apply(store)
     except UpdateApplicationError:
+        # A failed snap journals nothing: the entry is discarded whole.
         if checkpoint is not None:
             store.restore(checkpoint)
         raise
+    if entry is not None:
+        try:
+            journal.commit(entry, store)
+        except OSError as exc:
+            # The append failed but the process lives: un-apply (when we
+            # can) so memory does not run ahead of disk, and surface a
+            # typed error either way.
+            from repro.errors import DurabilityError
+
+            if checkpoint is not None:
+                store.restore(checkpoint)
+            raise DurabilityError(
+                f"journal append failed: {exc}"
+                + ("" if checkpoint is not None else "; the in-memory "
+                   "store kept the snap (atomic_snaps was off)")
+            ) from exc

@@ -1,5 +1,5 @@
 """Packaged use cases from the paper (Section 2)."""
 
-from repro.usecases.webservice import AuctionService
+from repro.usecases.webservice import AuctionFrontEnd, AuctionService
 
-__all__ = ["AuctionService"]
+__all__ = ["AuctionFrontEnd", "AuctionService"]

@@ -17,11 +17,15 @@ feature the use case motivates:
 from __future__ import annotations
 
 from concurrent.futures import Future
+from typing import TYPE_CHECKING
 
 from repro.concurrent.control import CancelToken
 from repro.concurrent.executor import ConcurrentExecutor
 from repro.engine import Engine, QueryResult
 from repro.xmark import XMarkConfig, generate_auction_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability import DurableEngine
 
 SERVICE_MODULE = """
 declare variable $d := element counter { 0 };
@@ -70,17 +74,58 @@ class AuctionService:
             scale when omitted.
         maxlog: rollover threshold — after this many log entries the log
             is summarized into the archive (Section 2.3).
+        durable_path: when given, the service state (auction document,
+            log, archive, counter) lives in a durable directory — every
+            committed snap is journaled before the call returns, and
+            restarting the service against the same path recovers the
+            log and counter exactly where the last acknowledged call
+            left them (see :mod:`repro.durability`).  If the directory
+            already holds a store, *auction_xml* and *maxlog* are
+            ignored in favour of the recovered state.
+        durable_options: forwarded to
+            :class:`~repro.durability.DurableEngine` (``fsync``,
+            compaction thresholds, ...).
     """
 
-    def __init__(self, auction_xml: str | None = None, maxlog: int = 10):
-        self.engine = Engine()
-        if auction_xml is None:
-            auction_xml = generate_auction_xml(XMarkConfig())
-        self.engine.load_document("auction", auction_xml)
-        self.engine.bind("log", self.engine.parse_fragment("<log/>"))
-        self.engine.bind("archive", self.engine.parse_fragment("<archive/>"))
-        self.engine.bind("maxlog", maxlog)
-        self.engine.load_module(SERVICE_MODULE)
+    def __init__(
+        self,
+        auction_xml: str | None = None,
+        maxlog: int = 10,
+        durable_path: str | None = None,
+        **durable_options,
+    ):
+        self.durable: "DurableEngine | None" = None
+        if durable_path is not None:
+            from repro.durability import DurableEngine
+            from repro.durability import manifest as _manifest
+
+            if _manifest.exists(durable_path):
+                # Recovery: the checkpoint+journal pair holds the store,
+                # the documents and the global bindings, but *functions*
+                # are not persisted — re-register them by reloading the
+                # module on the inner engine (no auto-checkpoint), then
+                # put back the recovered bindings that the module's
+                # variable initializers clobbered ($d must keep its
+                # counter, not reset to 0).  The corrected state is then
+                # folded into a fresh checkpoint so a crash right after
+                # restart recovers the same thing.
+                self.durable = DurableEngine(durable_path, **durable_options)
+                inner = self.durable.engine
+                recovered_globals = dict(inner.evaluator.globals)
+                inner.load_module(SERVICE_MODULE)
+                inner.evaluator.globals.update(recovered_globals)
+                self.durable.checkpoint()
+                self.engine = self.durable
+            else:
+                inner = Engine()
+                self._setup(inner, auction_xml, maxlog)
+                self.durable = DurableEngine(
+                    durable_path, engine=inner, **durable_options
+                )
+                self.engine = self.durable
+        else:
+            self.engine = Engine()
+            self._setup(self.engine, auction_xml, maxlog)
         # Server discipline: each service call is one *prepared*,
         # parameterized query — the frontend runs once here, and per-call
         # arguments are bound as data, never spliced into query text (the
@@ -91,13 +136,33 @@ class AuctionService:
         )
         self._next_id = self.engine.prepare("data(nextid())")
 
+    @staticmethod
+    def _setup(engine: Engine, auction_xml: str | None, maxlog: int) -> None:
+        if auction_xml is None:
+            auction_xml = generate_auction_xml(XMarkConfig())
+        engine.load_document("auction", auction_xml)
+        engine.bind("log", engine.parse_fragment("<log/>"))
+        engine.bind("archive", engine.parse_fragment("<archive/>"))
+        engine.bind("maxlog", maxlog)
+        engine.load_module(SERVICE_MODULE)
+
+    def close(self) -> None:
+        """Close the durable backend, if any (no-op otherwise)."""
+        if self.durable is not None:
+            self.durable.close()
+
     # -- service calls ----------------------------------------------------
 
     def get_item(self, itemid: str, userid: str) -> QueryResult:
         """The logged service call of Section 2.2/2.3."""
-        return self._get_item.execute(
+        result = self._get_item.execute(
             bindings={"itemid": itemid, "userid": userid}
         )
+        # Prepared execution bypasses DurableEngine.execute, so the
+        # journal-size check rides on the service call instead.
+        if self.durable is not None:
+            self.durable.maybe_compact()
+        return result
 
     def get_item_nolog(self, itemid: str, userid: str) -> QueryResult:
         """The original, log-free implementation (baseline)."""
@@ -107,7 +172,10 @@ class AuctionService:
 
     def next_id(self) -> int:
         """Expose the nested-snap counter of Section 2.5."""
-        return int(self._next_id.execute().strings()[0])
+        value = int(self._next_id.execute().strings()[0])
+        if self.durable is not None:
+            self.durable.maybe_compact()
+        return value
 
     # -- observability ------------------------------------------------------
 

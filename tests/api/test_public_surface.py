@@ -31,7 +31,12 @@ EXPECTED_ALL = {
     "to_sequence",
     "CancelToken",
     "ConcurrentExecutor",
+    "DurableEngine",
+    "FaultInjector",
+    "recover",
     "XQueryError",
+    "DurabilityError",
+    "JournalCorruptionError",
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceOverloadedError",

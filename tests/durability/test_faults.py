@@ -1,0 +1,106 @@
+"""The fault-injection harness itself: injector countdowns, FaultyFile."""
+
+from __future__ import annotations
+
+import errno
+import io
+
+import pytest
+
+from repro.durability.faults import (
+    ALL_CRASH_POINTS,
+    CRASH_AFTER_JOURNAL,
+    CRASH_BEFORE_FSYNC,
+    EIO_ON_WRITE,
+    FaultInjector,
+    FaultyFile,
+    InjectedCrash,
+)
+
+
+class TestFaultInjector:
+    def test_unarmed_points_never_fire(self):
+        injector = FaultInjector()
+        for point in ALL_CRASH_POINTS:
+            injector.hit(point)  # no exception
+        assert injector.fired == []
+
+    def test_armed_point_fires_once_then_disarms(self):
+        injector = FaultInjector()
+        injector.arm(CRASH_AFTER_JOURNAL)
+        with pytest.raises(InjectedCrash) as excinfo:
+            injector.hit(CRASH_AFTER_JOURNAL)
+        assert excinfo.value.point == CRASH_AFTER_JOURNAL
+        injector.hit(CRASH_AFTER_JOURNAL)  # disarmed now
+        assert injector.fired == [CRASH_AFTER_JOURNAL]
+
+    def test_countdown_fires_on_nth_hit(self):
+        injector = FaultInjector()
+        injector.arm(CRASH_BEFORE_FSYNC, after=3)
+        injector.hit(CRASH_BEFORE_FSYNC)
+        assert not injector.will_fire(CRASH_BEFORE_FSYNC)
+        injector.hit(CRASH_BEFORE_FSYNC)
+        assert injector.will_fire(CRASH_BEFORE_FSYNC)
+        with pytest.raises(InjectedCrash):
+            injector.hit(CRASH_BEFORE_FSYNC)
+
+    def test_eio_raises_survivable_oserror(self):
+        injector = FaultInjector()
+        injector.arm(EIO_ON_WRITE)
+        with pytest.raises(OSError) as excinfo:
+            injector.hit(EIO_ON_WRITE)
+        assert excinfo.value.errno == errno.EIO
+        assert not isinstance(excinfo.value, InjectedCrash)
+
+    def test_injected_crash_is_not_an_exception_subclass(self):
+        # It must sail through `except Exception` and `except OSError`
+        # handlers, the way a real process death would.
+        assert issubclass(InjectedCrash, BaseException)
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_unknown_point_and_bad_countdown_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.arm("crash-on-tuesdays")
+        with pytest.raises(ValueError):
+            injector.arm(EIO_ON_WRITE, after=0)
+
+    def test_disarm(self):
+        injector = FaultInjector()
+        injector.arm(EIO_ON_WRITE)
+        injector.disarm(EIO_ON_WRITE)
+        injector.hit(EIO_ON_WRITE)  # no exception
+        injector.disarm("crash-on-tuesdays")  # unknown: no-op
+
+
+class TestFaultyFile:
+    def test_writes_within_budget_pass_through(self):
+        backing = io.BytesIO()
+        faulty = FaultyFile(backing, fail_after_bytes=10)
+        assert faulty.write(b"12345") == 5
+        assert backing.getvalue() == b"12345"
+
+    def test_mid_write_failure_persists_the_partial_prefix(self):
+        backing = io.BytesIO()
+        faulty = FaultyFile(backing, fail_after_bytes=3)
+        with pytest.raises(OSError) as excinfo:
+            faulty.write(b"abcdef")
+        assert excinfo.value.errno == errno.EIO
+        assert backing.getvalue() == b"abc"  # a genuine torn write
+
+    def test_exhausted_budget_fails_immediately(self):
+        backing = io.BytesIO()
+        faulty = FaultyFile(backing, fail_after_bytes=2)
+        with pytest.raises(OSError):
+            faulty.write(b"abc")
+        with pytest.raises(OSError):
+            faulty.write(b"x")
+        assert backing.getvalue() == b"ab"
+
+    def test_other_attributes_delegate(self):
+        backing = io.BytesIO()
+        faulty = FaultyFile(backing, fail_after_bytes=100)
+        faulty.write(b"ok")
+        assert faulty.getvalue() == b"ok"
+        faulty.seek(0)
+        assert faulty.read() == b"ok"

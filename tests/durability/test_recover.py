@@ -1,0 +1,225 @@
+"""Crash recovery: checkpoint + journal replay, torn tails, corruption.
+
+The contract under test (module docstring of
+:mod:`repro.durability.recover`): recovery rebuilds a store equal to a
+*prefix* of the committed snaps, truncates torn tails in place, verifies
+sequence continuity and the id watermark, and refuses — with a typed
+:class:`JournalCorruptionError` — to guess around interior damage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from zlib import crc32
+
+import pytest
+
+from repro.durability import DurableEngine, recover
+from repro.durability.journal import FILE_MAGIC, FRAME_MAGIC, HEADER_SIZE
+from repro.durability.manifest import read_manifest
+from repro.errors import DurabilityError, JournalCorruptionError
+
+DOC = (
+    "<inventory>"
+    "<item id='a'><name>widget</name></item>"
+    "<item id='b'><name>sprocket</name></item>"
+    "</inventory>"
+)
+
+
+def make_durable(tmp_path, **kwargs):
+    path = str(tmp_path / "d")
+    engine = DurableEngine(path, **kwargs)
+    engine.load_document("doc", DOC)
+    return path, engine
+
+
+def journal_file(path):
+    manifest = read_manifest(path)
+    return os.path.join(path, manifest["journal"])
+
+
+class TestBasicRecovery:
+    def test_empty_journal_recovers_checkpoint_exactly(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        before = engine.execute("$doc").serialize()
+        engine.close()
+        result = recover(path)
+        assert result.engine.execute("$doc").serialize() == before
+        assert result.report.records_replayed == 0
+
+    def test_replay_reproduces_every_update_kind(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute(
+            'snap { insert { <item id="c"><name>gizmo</name></item> } '
+            'into { $doc/inventory } }'
+        )
+        engine.execute(
+            'snap { rename { $doc/inventory/item[@id="b"]/name } '
+            'to { "label" } }'
+        )
+        engine.execute(
+            'snap { replace value of { $doc/inventory/item[@id="a"]/name } '
+            'with { "widget-2" } }'
+        )
+        engine.execute(
+            'snap { delete { $doc/inventory/item[@id="b"]/label } }'
+        )
+        before = engine.execute("$doc").serialize()
+        engine.close()
+
+        result = recover(path)
+        assert result.engine.execute("$doc").serialize() == before
+        assert result.report.records_replayed == 4
+        result.engine.store.check_invariants()
+
+    def test_recovered_engine_continues_the_sequence(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute(
+            'snap { insert { <extra/> } into { $doc/inventory } }'
+        )
+        engine.close()
+        reopened = DurableEngine(path)
+        assert reopened.recovered
+        reopened.execute(
+            'snap { insert { <extra2/> } into { $doc/inventory } }'
+        )
+        before = reopened.execute("$doc").serialize()
+        reopened.close()
+        result = recover(path)
+        assert result.engine.execute("$doc").serialize() == before
+
+    def test_globals_and_documents_survive(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.bind("answer", 42)
+        engine.close()
+        result = recover(path)
+        assert (
+            result.engine.execute("$answer").first_value() == 42
+        )
+        assert result.engine.execute("count($doc)").first_value() == 1
+
+
+class TestTornTails:
+    def test_torn_tail_is_truncated_in_place(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute('snap { insert { <keep/> } into { $doc/inventory } }')
+        engine.close()
+        wal = journal_file(path)
+        intact = os.path.getsize(wal)
+        with open(wal, "ab") as handle:
+            handle.write(struct.pack("<II", FRAME_MAGIC, 10_000))
+        result = recover(path)
+        assert result.report.truncated_bytes == 8
+        assert os.path.getsize(wal) == intact  # truncated on disk
+        assert result.report.records_replayed == 1
+        assert (
+            result.engine.execute("count($doc//keep)").first_value() == 1
+        )
+
+    def test_reopen_after_torn_tail_appends_cleanly(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute('snap { insert { <keep/> } into { $doc/inventory } }')
+        engine.close()
+        with open(journal_file(path), "ab") as handle:
+            handle.write(b"\x52")  # one torn byte
+        reopened = DurableEngine(path)
+        reopened.execute(
+            'snap { insert { <more/> } into { $doc/inventory } }'
+        )
+        reopened.close()
+        result = recover(path)
+        assert result.report.records_replayed == 2
+        assert result.report.truncated_bytes == 0
+
+
+class TestCorruption:
+    def _append_frame(self, wal, payload: bytes):
+        header = struct.pack("<III", FRAME_MAGIC, len(payload), crc32(payload))
+        with open(wal, "ab") as handle:
+            handle.write(header + struct.pack("<I", crc32(header)) + payload)
+
+    def test_mid_file_bit_flip_refuses_to_recover(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute('snap { insert { <a/> } into { $doc/inventory } }')
+        engine.execute('snap { insert { <b/> } into { $doc/inventory } }')
+        engine.close()
+        wal = journal_file(path)
+        data = bytearray(open(wal, "rb").read())
+        # Flip a payload byte of the *first* frame (interior damage).
+        data[len(FILE_MAGIC) + HEADER_SIZE + 3] ^= 0x01
+        open(wal, "wb").write(bytes(data))
+        with pytest.raises(JournalCorruptionError):
+            recover(path)
+
+    def test_sequence_gap_is_corruption(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.execute('snap { insert { <a/> } into { $doc/inventory } }')
+        engine.close()
+        wal = journal_file(path)
+        # Append a well-formed frame whose seq skips ahead.
+        record = {"seq": 99, "pre": 1, "post": 1, "sem": "ordered",
+                  "ops": [], "nodes": []}
+        self._append_frame(wal, json.dumps(record).encode())
+        with pytest.raises(JournalCorruptionError, match="sequence gap"):
+            recover(path)
+
+    def test_watermark_divergence_is_corruption(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.close()
+        wal = journal_file(path)
+        # A frame claiming the store allocator must land on an id it
+        # cannot reach (no ops, post != pre).
+        record = {"seq": 1, "pre": 5, "post": 9_999, "sem": "ordered",
+                  "ops": [], "nodes": []}
+        self._append_frame(wal, json.dumps(record).encode())
+        with pytest.raises(JournalCorruptionError, match="diverged"):
+            recover(path)
+
+    def test_replaying_impossible_op_is_corruption(self, tmp_path):
+        path, engine = make_durable(tmp_path)
+        engine.close()
+        wal = journal_file(path)
+        record = {"seq": 1, "pre": 5, "post": 5, "sem": "ordered",
+                  "ops": [{"op": "delete", "node": 88_888}], "nodes": []}
+        self._append_frame(wal, json.dumps(record).encode())
+        with pytest.raises(JournalCorruptionError, match="replay"):
+            recover(path)
+
+    def test_missing_manifest_is_a_durability_error(self, tmp_path):
+        with pytest.raises((DurabilityError, OSError)):
+            recover(str(tmp_path / "nothing-here"))
+
+    def test_malformed_manifest_is_a_durability_error(self, tmp_path):
+        directory = tmp_path / "d"
+        directory.mkdir()
+        (directory / "MANIFEST.json").write_text('{"format": "wrong"}')
+        with pytest.raises(DurabilityError):
+            recover(str(directory))
+
+
+class TestLargeJournal:
+    def test_ten_thousand_snap_journal_recovers(self, tmp_path):
+        # The acceptance bar: a journal of 10k snaps replays to a store
+        # that passes its structural invariants.  Generated with
+        # fsync="never" and atomic_snaps off — this is a recovery-scale
+        # test, not an fsync benchmark.
+        path = str(tmp_path / "big")
+        engine = DurableEngine(path, fsync="never", atomic_snaps=False)
+        engine.load_document("doc", "<log/>")
+        prepared = engine.prepare(
+            'snap { insert { <e n="{$n}"/> } into { $doc/log } }'
+        )
+        for n in range(10_000):
+            prepared.execute(bindings={"n": n})
+        engine.close()
+
+        result = recover(path)
+        assert result.report.records_replayed == 10_000
+        assert (
+            result.engine.execute("count($doc/log/e)").first_value()
+            == 10_000
+        )
+        result.engine.store.check_invariants()

@@ -1,0 +1,116 @@
+"""Seeded fuzz: random journal damage must never yield a silent wrong store.
+
+Each case takes a known-good durable directory, applies deterministic
+random damage to the journal (bit flips, truncations, garbage appends),
+and asserts the only three legal outcomes of recovery:
+
+1. full recovery (damage hit a part the scan never trusts, e.g. already
+   past a truncation point);
+2. prefix recovery (damage at the tail → truncated, earlier records
+   replayed) — verified against the per-record expected store counts;
+3. a typed :class:`JournalCorruptionError` refusal.
+
+What must **never** happen: recovery "succeeding" with a store that
+matches no prefix of the committed snaps, or a non-durability exception
+escaping.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.durability import DurableEngine, recover
+from repro.durability.journal import FILE_MAGIC
+from repro.durability.manifest import read_manifest
+from repro.errors import DurabilityError
+
+SNAPS = 12
+SEEDS = range(20)
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """A durable directory with SNAPS committed snaps (built once)."""
+    path = str(tmp_path_factory.mktemp("fuzz") / "d")
+    engine = DurableEngine(path, fsync="never")
+    engine.load_document("doc", "<log/>")
+    for n in range(SNAPS):
+        engine.execute(
+            f'snap {{ insert {{ <e n="{n}"/> }} into {{ $doc/log }} }}'
+        )
+    engine.close()
+    return path
+
+
+def damaged_copy(pristine: str, destination: str, rng: random.Random) -> str:
+    shutil.copytree(pristine, destination)
+    wal = os.path.join(destination, read_manifest(destination)["journal"])
+    data = bytearray(open(wal, "rb").read())
+    body_start = len(FILE_MAGIC)
+    mode = rng.choice(["flip", "truncate", "garbage", "multi-flip"])
+    if mode == "flip":
+        index = rng.randrange(body_start, len(data))
+        data[index] ^= 1 << rng.randrange(8)
+    elif mode == "truncate":
+        data = data[: rng.randrange(body_start, len(data))]
+    elif mode == "garbage":
+        data += bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+    else:
+        for _ in range(rng.randrange(2, 6)):
+            index = rng.randrange(body_start, len(data))
+            data[index] ^= 1 << rng.randrange(8)
+    open(wal, "wb").write(bytes(data))
+    return wal
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_damaged_journal_recovers_a_prefix_or_refuses(
+    pristine, tmp_path, seed
+):
+    rng = random.Random(seed)
+    destination = str(tmp_path / f"case-{seed}")
+    damaged_copy(pristine, destination, rng)
+    try:
+        result = recover(destination)
+    except DurabilityError:
+        return  # legal outcome 3: typed refusal, never a silent wrong store
+    # Legal outcomes 1 and 2: the recovered store must be an exact
+    # *prefix* of the committed snaps — entries 0..k-1 for some k.
+    report = result.report
+    count = result.engine.execute("count($doc/log/e)").first_value()
+    assert 0 <= count <= SNAPS
+    assert count == report.records_replayed
+    values = [
+        int(v)
+        for v in result.engine.execute(
+            "for $e in $doc/log/e return data($e/@n)"
+        ).strings()
+    ]
+    assert values == list(range(count)), "recovered store is not a prefix"
+    result.engine.store.check_invariants()
+
+
+def test_fuzz_exercises_both_refusals_and_recoveries(
+    pristine, tmp_path_factory
+):
+    """Meta-check: across the seed set, both outcome families occur —
+    otherwise the fuzz isn't probing the boundary it claims to."""
+    refused = recovered = 0
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        destination = str(
+            tmp_path_factory.mktemp("meta") / f"case-{seed}"
+        )
+        damaged_copy(pristine, destination, rng)
+        try:
+            recover(destination)
+        except DurabilityError:
+            refused += 1
+        else:
+            recovered += 1
+    assert refused > 0
+    assert recovered > 0

@@ -1,0 +1,138 @@
+"""CLI durability: the ``--journal`` option and ``repro recover``."""
+
+import os
+import struct
+
+import pytest
+
+from repro.cli import main
+from repro.durability.journal import FRAME_MAGIC
+from repro.durability.manifest import read_manifest
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.xml"
+    path.write_text('<inv><item id="1"/><item id="2"/></inv>')
+    return str(path)
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    return str(tmp_path / "durable")
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestJournalOption:
+    def test_updates_survive_across_invocations(
+        self, capsys, data_file, journal_dir
+    ):
+        code, _, _ = run_cli(
+            capsys,
+            [
+                "-q",
+                "snap insert { <item id='3'/> } into { $doc/inv }",
+                "--doc",
+                f"doc={data_file}",
+                "--journal",
+                journal_dir,
+            ],
+        )
+        assert code == 0
+        # A second process: no --doc needed, the directory recovers.
+        code, out, _ = run_cli(
+            capsys,
+            ["-q", "count($doc//item)", "--journal", journal_dir],
+        )
+        assert code == 0
+        assert out.strip() == "3"
+
+    def test_state_only_invocation_initializes_directory(
+        self, capsys, data_file, journal_dir
+    ):
+        code, _, _ = run_cli(
+            capsys,
+            ["--doc", f"doc={data_file}", "--journal", journal_dir],
+        )
+        assert code == 0
+        assert os.path.exists(os.path.join(journal_dir, "MANIFEST.json"))
+
+    def test_journal_and_load_are_mutually_exclusive(
+        self, capsys, tmp_path, journal_dir
+    ):
+        dump = tmp_path / "dump.json"
+        dump.write_text("{}")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                ["-q", "1", "--load", str(dump), "--journal", journal_dir]
+            )
+
+
+class TestRecoverSubcommand:
+    def _initialize(self, capsys, data_file, journal_dir):
+        run_cli(
+            capsys,
+            [
+                "-q",
+                "snap insert { <item id='3'/> } into { $doc/inv }",
+                "--doc",
+                f"doc={data_file}",
+                "--journal",
+                journal_dir,
+            ],
+        )
+
+    def test_prints_report(self, capsys, data_file, journal_dir):
+        self._initialize(capsys, data_file, journal_dir)
+        code, out, _ = run_cli(capsys, ["recover", journal_dir])
+        assert code == 0
+        assert "recovered" in out
+        assert "replayed 1 record(s)" in out
+
+    def test_reports_truncated_tail(self, capsys, data_file, journal_dir):
+        self._initialize(capsys, data_file, journal_dir)
+        manifest = read_manifest(journal_dir)
+        with open(
+            os.path.join(journal_dir, manifest["journal"]), "ab"
+        ) as handle:
+            handle.write(struct.pack("<I", FRAME_MAGIC))  # torn header
+        code, out, _ = run_cli(capsys, ["recover", journal_dir])
+        assert code == 0
+        assert "torn tail of 4 byte(s)" in out
+
+    def test_corruption_exits_one(self, capsys, data_file, journal_dir):
+        from repro.durability.journal import FILE_MAGIC, HEADER_SIZE
+
+        self._initialize(capsys, data_file, journal_dir)
+        # A second invocation appends a second record, so damage to the
+        # first frame is unambiguously *mid-file* corruption (a torn
+        # tail could only explain damage to the last frame).
+        run_cli(
+            capsys,
+            [
+                "-q",
+                "snap insert { <item id='4'/> } into { $doc/inv }",
+                "--journal",
+                journal_dir,
+            ],
+        )
+        manifest = read_manifest(journal_dir)
+        wal = os.path.join(journal_dir, manifest["journal"])
+        data = bytearray(open(wal, "rb").read())
+        data[len(FILE_MAGIC) + HEADER_SIZE + 3] ^= 0xFF
+        open(wal, "wb").write(bytes(data))
+        code, _, err = run_cli(capsys, ["recover", journal_dir])
+        assert code == 1
+        assert "error:" in err
+
+    def test_missing_directory_fails_with_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, ["recover", str(tmp_path / "nope")]
+        )
+        assert code != 0
+        assert "error:" in err

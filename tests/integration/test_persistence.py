@@ -109,6 +109,107 @@ class TestRoundTrip:
         assert engine.execute("data(nextid())").strings() == ["3"]
 
 
+class TestValueValidation:
+    """Typed validation of persisted atomic values (no silent coercion)."""
+
+    def _corrupt(self, db_path, tmp_path, name, entry):
+        import json
+
+        with open(db_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["globals"][name] = [entry]
+        target = tmp_path / "corrupt.json"
+        target.write_text(json.dumps(payload))
+        return str(target)
+
+    def test_booleans_round_trip_as_booleans(self, db_path):
+        original = Engine()
+        original.bind("yes", True)
+        original.bind("no", False)
+        save_engine(original, db_path)
+        engine = load_engine(db_path)
+        assert engine.execute("$yes").first_value() is True
+        assert engine.execute("$no").first_value() is False
+        assert engine.execute("not($no)").first_value() is True
+
+    def test_truthy_string_does_not_become_true(self, db_path, tmp_path):
+        original = Engine()
+        original.bind("flag", True)
+        save_engine(original, db_path)
+        # A corrupt dump stores the *string* "true" under a boolean tag;
+        # loading must refuse, not round it into a boolean.
+        path = self._corrupt(db_path, tmp_path, "flag", ["boolean", "true"])
+        with pytest.raises(XQueryError, match="boolean"):
+            load_engine(path)
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            ["integer", "7"],  # string where an int belongs
+            ["integer", True],  # bool is not an integer
+            ["double", "fast"],  # non-numeric double
+            ["decimal", 1.5],  # decimals persist as strings
+            ["decimal", "not-a-number"],
+            ["string", 7],
+            ["node", True],  # bool is not a node id
+            ["node", "12"],
+            ["wat", 1],  # unknown tag
+            ["integer"],  # wrong arity
+            "integer",  # wrong shape
+        ],
+    )
+    def test_malformed_entries_fail_loudly(self, db_path, tmp_path, entry):
+        original = Engine()
+        original.bind("value", 1)
+        save_engine(original, db_path)
+        path = self._corrupt(db_path, tmp_path, "value", entry)
+        with pytest.raises(XQueryError):
+            load_engine(path)
+
+
+class TestConcurrentSave:
+    def test_save_engine_is_consistent_under_concurrent_writes(
+        self, tmp_path
+    ):
+        """save_engine takes the store's write lock, so a dump taken while
+        a ConcurrentExecutor is mid-burst is a consistent point-in-time
+        snapshot — it always loads and passes the store invariants."""
+        from repro.concurrent.executor import ConcurrentExecutor
+
+        engine = Engine()
+        engine.load_document("doc", "<log/>")
+        executor = ConcurrentExecutor(engine, workers=4, queue_size=128)
+        try:
+            futures = [
+                executor.submit(
+                    'snap { insert { <e n="{$n}"/> } into { $doc/log } }',
+                    bindings={"n": n},
+                )
+                for n in range(60)
+            ]
+            snapshots = []
+            for index in range(6):
+                path = str(tmp_path / f"snap-{index}.json")
+                save_engine(engine, path)
+                snapshots.append(path)
+            for future in futures:
+                future.result(timeout=30)
+        finally:
+            executor.shutdown()
+        counts = []
+        for path in snapshots:
+            loaded = load_engine(path)  # load_engine checks invariants
+            counts.append(
+                loaded.execute("count($doc/log/e)").first_value()
+            )
+        assert all(0 <= count <= 60 for count in counts)
+        final = str(tmp_path / "final.json")
+        save_engine(engine, final)
+        assert load_engine(final).execute(
+            "count($doc/log/e)"
+        ).first_value() == 60
+
+
 class TestFormatValidation:
     def test_rejects_wrong_format(self, tmp_path):
         path = tmp_path / "bogus.json"

@@ -1,0 +1,124 @@
+"""The Section 2 Web service on a durable engine: restartable serving.
+
+The paper's auction service keeps its request log, archive and call
+counter in engine state; with ``durable_path`` that state survives
+process death — a restarted service continues the id sequence and keeps
+every acknowledged log entry.
+"""
+
+import pytest
+
+from repro.usecases import AuctionFrontEnd, AuctionService
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+
+@pytest.fixture(scope="module")
+def xml() -> str:
+    return generate_auction_xml(XMarkConfig(persons=15, items=10))
+
+
+@pytest.fixture
+def durable_path(tmp_path) -> str:
+    return str(tmp_path / "service")
+
+
+def ids(service):
+    item = service.engine.execute(
+        "data(($auction//item/@id)[1])"
+    ).strings()[0]
+    user = service.engine.execute(
+        "data(($auction//person/@id)[1])"
+    ).strings()[0]
+    return item, user
+
+
+class TestDurableService:
+    def test_counter_continues_across_restart(self, xml, durable_path):
+        service = AuctionService(
+            auction_xml=xml, maxlog=3, durable_path=durable_path
+        )
+        assert [service.next_id() for _ in range(3)] == [1, 2, 3]
+        service.close()
+
+        restarted = AuctionService(durable_path=durable_path)
+        assert restarted.durable.recovered
+        assert restarted.next_id() == 4
+        restarted.close()
+
+    def test_log_and_archive_survive_restart(self, xml, durable_path):
+        service = AuctionService(
+            auction_xml=xml, maxlog=3, durable_path=durable_path
+        )
+        item, user = ids(service)
+        for _ in range(4):  # 3 trigger a rollover, 1 lands in the new log
+            service.get_item(item, user)
+        log, archived = service.log_entries(), service.archived_entries()
+        assert (log, archived) == (1, 3)
+        service.close()
+
+        restarted = AuctionService(durable_path=durable_path)
+        assert restarted.log_entries() == log
+        assert restarted.archived_entries() == archived
+        restarted.engine.store.check_invariants()
+        # And the restarted service keeps serving.
+        restarted.get_item(item, user)
+        assert restarted.log_entries() == log + 1
+        restarted.close()
+
+    def test_recovery_ignores_constructor_state_arguments(
+        self, xml, durable_path
+    ):
+        service = AuctionService(
+            auction_xml=xml, maxlog=3, durable_path=durable_path
+        )
+        service.next_id()
+        service.close()
+        # A different maxlog (and no auction_xml) on reopen: the
+        # recovered bindings win.
+        restarted = AuctionService(maxlog=99, durable_path=durable_path)
+        assert (
+            restarted.engine.execute("$maxlog").first_value() == 3
+        )
+        restarted.close()
+
+    def test_double_restart_is_stable(self, xml, durable_path):
+        service = AuctionService(
+            auction_xml=xml, maxlog=3, durable_path=durable_path
+        )
+        item, user = ids(service)
+        service.get_item(item, user)
+        first = service.engine.execute("$log").serialize()
+        service.close()
+        for _ in range(2):
+            restarted = AuctionService(durable_path=durable_path)
+            assert restarted.engine.execute("$log").serialize() == first
+            restarted.close()
+
+    def test_frontend_serves_a_durable_service(self, xml, durable_path):
+        service = AuctionService(
+            auction_xml=xml, maxlog=5, durable_path=durable_path
+        )
+        item, user = ids(service)
+        with AuctionFrontEnd(service=service, workers=3) as frontend:
+            futures = [
+                frontend.submit_get_item(item, user) for _ in range(8)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+        total = service.log_entries() + service.archived_entries()
+        assert total == 8
+        service.close()
+
+        restarted = AuctionService(durable_path=durable_path)
+        assert (
+            restarted.log_entries() + restarted.archived_entries() == 8
+        )
+        restarted.close()
+
+    def test_non_durable_service_still_works(self, xml):
+        service = AuctionService(auction_xml=xml, maxlog=3)
+        assert service.durable is None
+        item, user = ids(service)
+        service.get_item(item, user)
+        assert service.log_entries() == 1
+        service.close()  # no-op without a durable backend
