@@ -1,0 +1,171 @@
+"""Resilience layer: what graceful degradation costs when nothing fails.
+
+The acceptance constraint is steady-state overhead — the full
+:class:`~repro.resilience.ResiliencePolicy` (circuit breaker on the
+journal, admission controller with latency-aware shedding, per-query
+limits, retry wiring) enabled but *never exercised* (no faults, no
+overload) must stay within 5% of the resilience-disabled baseline.
+What the policy buys on that path is one ``breaker.admit()`` +
+``record_success()`` per non-empty Δ, one admission check per submit
+and one EWMA fold per dequeue; everything else is off the hot path by
+construction.
+
+Two workload shapes, each measured with the policy off and on:
+
+* **direct writes** — 32 logged ``get_item`` calls straight into a
+  durable :class:`AuctionService` (``fsync="never"`` so the constant
+  disk flush does not drown the delta being measured): the breaker is
+  consulted on every snap commit.
+* **served reads+writes** — the same service behind an
+  :class:`AuctionFrontEnd` (2 workers), 48 requests (2 reads : 1
+  write): admission, queue-wait EWMA and the retry wrapper all ride
+  every request.
+
+Record with::
+
+    pytest benchmarks/bench_resilience.py --benchmark-only \
+        --benchmark-json=/tmp/bench_resilience.json
+
+``BENCH_resilience.json`` holds the recorded acceptance evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.resilience import AdmissionLimits, ResiliencePolicy, RetryPolicy
+from repro.usecases.webservice import AuctionFrontEnd, AuctionService
+
+_WRITE_CALLS = 32
+_SERVED_REQUESTS = 48
+_MAXLOG = 10**6
+_counter = itertools.count()
+
+#: The full-featured policy every "enabled" row runs under.
+FULL_POLICY = ResiliencePolicy(
+    retry=RetryPolicy(max_attempts=3, budget_ms=5000.0),
+    limits=AdmissionLimits(
+        max_depth=128,
+        max_query_bytes=64_000,
+        max_store_nodes=1_000_000,
+        max_pending_delta=100_000,
+    ),
+    max_wait_ms=1000.0,
+)
+
+
+def _fresh_dir(tmp_path) -> str:
+    return str(tmp_path / f"state-{next(_counter)}")
+
+
+def _make_service(tmp_path, policy) -> AuctionService:
+    kwargs = {}
+    if policy is not None:
+        kwargs["resilience"] = policy
+    service = AuctionService(
+        maxlog=_MAXLOG,
+        durable_path=_fresh_dir(tmp_path),
+        fsync="never",
+        **kwargs,
+    )
+    service.get_item_nolog("item0", "person0")  # warm the prepared path
+    return service
+
+
+def _run_writes(service: AuctionService) -> None:
+    for index in range(_WRITE_CALLS):
+        service.get_item(f"item{index % 5}", f"person{index % 3}")
+
+
+def _run_served(front: AuctionFrontEnd) -> None:
+    futures = []
+    for index in range(_SERVED_REQUESTS):
+        item, person = f"item{index % 5}", f"person{index % 3}"
+        if index % 3 == 2:
+            futures.append(front.submit_get_item(item, person))
+        else:
+            futures.append(front.submit_get_item_nolog(item, person))
+    for future in futures:
+        future.result(timeout=60)
+
+
+def _bench_writes(benchmark, tmp_path, policy) -> None:
+    services: list[AuctionService] = []
+
+    def setup():
+        service = _make_service(tmp_path, policy)
+        services.append(service)
+        return (service,), {}
+
+    benchmark.pedantic(_run_writes, setup=setup, rounds=5, iterations=1)
+    for service in services:
+        service.close()
+
+
+def _bench_served(benchmark, tmp_path, policy) -> None:
+    stacks: list[tuple[AuctionFrontEnd, AuctionService]] = []
+
+    def setup():
+        service = _make_service(tmp_path, policy)
+        front = AuctionFrontEnd(
+            service, workers=2, queue_size=64, resilience=policy
+        )
+        stacks.append((front, service))
+        return (front,), {}
+
+    benchmark.pedantic(_run_served, setup=setup, rounds=5, iterations=1)
+    for front, service in stacks:
+        front.shutdown()
+        service.close()
+
+
+@pytest.mark.benchmark(group="resilience-writes")
+def test_writes_resilience_disabled(benchmark, tmp_path):
+    _bench_writes(benchmark, tmp_path, None)
+
+
+@pytest.mark.benchmark(group="resilience-writes")
+def test_writes_resilience_enabled(benchmark, tmp_path):
+    _bench_writes(benchmark, tmp_path, FULL_POLICY)
+
+
+@pytest.mark.benchmark(group="resilience-served")
+def test_served_resilience_disabled(benchmark, tmp_path):
+    _bench_served(benchmark, tmp_path, None)
+
+
+@pytest.mark.benchmark(group="resilience-served")
+def test_served_resilience_enabled(benchmark, tmp_path):
+    _bench_served(benchmark, tmp_path, FULL_POLICY)
+
+
+def test_steady_state_overhead_guard(tmp_path):
+    """Acceptance guard for the CI-friendly half of the <5% claim.
+
+    Best-of-5 direct-write batches, policy off vs on, no faults firing.
+    The guard allows 15% headroom because single-run CI machines jitter
+    more than the 5% being claimed; the recorded evidence in
+    ``BENCH_resilience.json`` (best-of-5 on a quiet machine) is the
+    acceptance artifact for the 5% figure itself.
+    """
+
+    def best_of(policy) -> float:
+        times = []
+        for _ in range(5):
+            service = _make_service(tmp_path, policy)
+            start = time.perf_counter()
+            _run_writes(service)
+            times.append(time.perf_counter() - start)
+            service.close()
+        return min(times)
+
+    baseline = best_of(None)
+    enabled = best_of(FULL_POLICY)
+    assert enabled <= baseline * 1.15, (
+        f"steady-state resilience overhead too high: {enabled:.4f}s "
+        f"enabled vs {baseline:.4f}s baseline "
+        f"({enabled / baseline:.3f}x)"
+    )

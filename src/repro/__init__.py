@@ -22,19 +22,28 @@ from repro.concurrent.executor import ConcurrentExecutor
 from repro.durability import DurableEngine, FaultInjector, recover
 from repro.engine import Engine, ExecutionOptions, QueryResult, to_sequence
 from repro.errors import (
+    CircuitOpenError,
     DurabilityError,
     JournalCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
+    ResourceLimitError,
     ServiceOverloadedError,
     XQueryError,
 )
 from repro.obs import ExplainReport, QueryStats, SlowQueryRecord, Tracer
 from repro.prepared import PreparedQuery, PreparedQueryCache
+from repro.resilience import (
+    AdmissionLimits,
+    CircuitBreaker,
+    HealthReport,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Engine",
@@ -58,6 +67,13 @@ __all__ = [
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceOverloadedError",
+    "CircuitOpenError",
+    "ResourceLimitError",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "AdmissionLimits",
+    "HealthReport",
     "AtomicValue",
     "Node",
     "NodeKind",

@@ -115,6 +115,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                 mode,
                 atomic=state.evaluator.atomic_snaps,
                 journal=state.evaluator.journal,
+                control=state.control,
             )
         else:
             with tracer.span("snap-apply"):
@@ -125,6 +126,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                     atomic=state.evaluator.atomic_snaps,
                     tracer=tracer,
                     journal=state.evaluator.journal,
+                    control=state.control,
                 )
         state.delta = []
         return inner

@@ -32,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version="%(prog)s 1.2.0 (XQuery! reproduction, EDBT 2006)",
+        version="%(prog)s 1.3.0 (XQuery! reproduction, EDBT 2006)",
     )
     parser.add_argument(
         "query_file",
@@ -345,10 +345,56 @@ def recover_main(argv: Seq[str] | None = None) -> int:
     return 0
 
 
+def health_main(argv: Seq[str] | None = None) -> int:
+    """``repro health DIR`` — a readiness probe over a durable directory.
+
+    Opens (recovering if needed) the durable engine at DIR and prints
+    its health report: overall status, store size, journal lag
+    (records/bytes/unflushed batch commits), circuit-breaker state and
+    the last recovery's summary.  Exit status: 0 when HEALTHY or
+    DEGRADED (the service is serving, possibly read-only), 1 when
+    UNHEALTHY or the directory cannot be opened — probe-friendly for
+    scripts and service managers.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro health",
+        description="Open a durable directory and print a health/readiness "
+        "report (circuit state, journal lag, last recovery).",
+    )
+    parser.add_argument(
+        "path", help="durable directory (MANIFEST.json + checkpoint + journal)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    from repro.durability import DurableEngine
+    from repro.errors import DurabilityError
+    from repro.resilience import ResiliencePolicy
+
+    try:
+        with DurableEngine(
+            args.path, resilience=ResiliencePolicy()
+        ) as engine:
+            report = engine.health()
+    except (DurabilityError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Seq[str] | None = None) -> int:
     arglist = list(sys.argv[1:] if argv is None else argv)
     if arglist and arglist[0] == "recover":
         return recover_main(arglist[1:])
+    if arglist and arglist[0] == "health":
+        return health_main(arglist[1:])
     args = build_parser().parse_args(arglist)
     try:
         engine = make_engine(args)

@@ -69,13 +69,14 @@ class ExecutionControl:
     and is a few attribute loads otherwise.
     """
 
-    __slots__ = ("deadline", "timeout_ms", "token", "clock")
+    __slots__ = ("deadline", "timeout_ms", "token", "clock", "guard")
 
     def __init__(
         self,
         timeout_ms: float | None = None,
         token: CancelToken | None = None,
         clock: Callable[[], float] = time.monotonic,
+        guard: "object | None" = None,
     ):
         self.clock = clock
         self.timeout_ms = timeout_ms
@@ -83,18 +84,31 @@ class ExecutionControl:
             None if timeout_ms is None else clock() + timeout_ms / 1000.0
         )
         self.token = token
+        # Optional per-execution resource guard (an object with check()
+        # and check_delta(n) — see repro.resilience.admission).  Riding
+        # the control means every boundary that polls the deadline also
+        # polls the admission budgets, at zero extra plumbing.
+        self.guard = guard
 
     @classmethod
     def from_options(
-        cls, options: "ExecutionOptions | None"
+        cls,
+        options: "ExecutionOptions | None",
+        guard: "object | None" = None,
     ) -> "ExecutionControl | None":
         """An ExecutionControl for *options*, or None when the call asked
-        for neither a timeout nor cancellation (the common, free case)."""
+        for neither a timeout, cancellation nor a resource guard (the
+        common, free case)."""
         if options is None:
-            return None
+            if guard is None:
+                return None
+            return cls(guard=guard)
         if options.timeout_ms is None and options.cancel is None:
-            return None
-        return cls(timeout_ms=options.timeout_ms, token=options.cancel)
+            if guard is None:
+                return None
+        return cls(
+            timeout_ms=options.timeout_ms, token=options.cancel, guard=guard
+        )
 
     def check(self) -> None:
         """Raise the typed error if execution must stop; no-op otherwise."""
@@ -107,6 +121,9 @@ class ExecutionControl:
                 f"query exceeded its {self.timeout_ms:g}ms timeout",
                 timeout_ms=self.timeout_ms,
             )
+        guard = self.guard
+        if guard is not None:
+            guard.check()
 
     def expired(self) -> bool:
         """True when a check() would raise (used to shed queued work)."""

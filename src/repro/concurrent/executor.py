@@ -47,6 +47,8 @@ from repro.xdm.nodes import Node
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine, ExecutionOptions, QueryResult
     from repro.prepared import PreparedQuery
+    from repro.resilience.health import HealthReport
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class ConcurrencyMetrics:
@@ -186,6 +188,15 @@ class ConcurrentExecutor:
             immutable snapshot is deterministic, so the executor serves
             repeats of a hot read from the cache; the cache dies with
             its bundle, so any write invalidates it exactly.
+        resilience: a :class:`~repro.resilience.ResiliencePolicy`.  Its
+            ``limits`` become per-query admission guards (pre-parse text
+            bounds at submit, store-node and pending-Δ budgets riding the
+            request's execution control); its ``max_wait_ms`` turns the
+            binary queue-full shed into latency-aware load shedding; its
+            ``retry`` wraps the write path so transient durability
+            faults are retried with backoff inside the request's
+            deadline.  ``None`` keeps all three off; sheds still carry
+            the structured overload detail either way.
     """
 
     def __init__(
@@ -197,6 +208,7 @@ class ConcurrentExecutor:
         reads: str = "snapshot",
         max_snapshot_age_ms: float | None = None,
         result_cache_size: int = 256,
+        resilience: "ResiliencePolicy | None" = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -209,8 +221,26 @@ class ConcurrentExecutor:
         self.default_timeout_ms = default_timeout_ms
         self.max_snapshot_age_ms = max_snapshot_age_ms
         self.result_cache_size = result_cache_size
+        self.resilience = resilience
         self.tracer = SharedTracer()
         self.metrics = ConcurrencyMetrics(self.tracer)
+        from repro.resilience.admission import AdmissionController
+
+        # Always present: without a policy it degenerates to the old
+        # binary queue-full shed, but the refusal is structured either
+        # way (queue depth, capacity, retry-after hint).
+        self.admission = AdmissionController(
+            queue_size,
+            max_wait_ms=resilience.max_wait_ms if resilience else None,
+            limits=resilience.limits if resilience else None,
+            tracer=self.tracer,
+        )
+        self._limits = (
+            resilience.limits
+            if resilience is not None and resilience.limits.enabled
+            else None
+        )
+        self._retry = resilience.retry if resilience is not None else None
         # Feed store-lock wait times into the shared evidence.
         engine.store.lock.on_wait = self._on_lock_wait
         self._queue: "queue.Queue[_Request | None]" = queue.Queue(queue_size)
@@ -242,7 +272,12 @@ class ConcurrentExecutor:
         """Enqueue *query*; returns a Future resolving to a QueryResult.
 
         Raises :class:`ServiceOverloadedError` right away when the
-        request queue is full (shed load, don't buffer unboundedly).
+        admission controller sheds the request — queue full, or (with a
+        latency target configured) the observed queue wait says the
+        request would miss its deadline anyway.  The refusal carries the
+        queue depth, capacity, the request's wait budget and a
+        ``retry_after_ms`` hint.  With admission limits configured the
+        query text is also bounds-checked here, before any parse work.
         The deadline — explicit, from *options*, or the executor default
         — covers queue wait *plus* execution.
         """
@@ -259,18 +294,38 @@ class ConcurrentExecutor:
             from dataclasses import replace
 
             opts = replace(opts, timeout_ms=self.default_timeout_ms)
-        control = ExecutionControl.from_options(opts)
-        future: "Future[QueryResult]" = Future()
-        request = _Request(query, bindings, opts, control, future)
         tracer = self.tracer
         tracer.count("concurrent.requests")
         try:
+            self.admission.admit(
+                self._queue.qsize(),
+                wait_budget_ms=opts.timeout_ms,
+                query=query,
+            )
+        except ServiceOverloadedError:
+            tracer.count("concurrent.shed")
+            raise
+        guard = (
+            self._limits.guard(self.engine.store)
+            if self._limits is not None
+            else None
+        )
+        control = ExecutionControl.from_options(opts, guard=guard)
+        future: "Future[QueryResult]" = Future()
+        request = _Request(query, bindings, opts, control, future)
+        try:
             self._queue.put_nowait(request)
         except queue.Full:
+            # Raced past the admission check into a queue that filled
+            # meanwhile: same structured refusal.
             tracer.count("concurrent.shed")
             raise ServiceOverloadedError(
                 f"request queue is full ({self._queue.maxsize} pending); "
-                "request shed"
+                "request shed",
+                queue_depth=self._queue.maxsize,
+                queue_capacity=self._queue.maxsize,
+                wait_budget_ms=opts.timeout_ms,
+                retry_after_ms=self.admission.retry_after_ms(),
             ) from None
         tracer.observe("concurrent.queue_depth", self._queue.qsize())
         return future
@@ -293,6 +348,40 @@ class ConcurrentExecutor:
             options=options,
         )
         return future.result()
+
+    def health(self) -> "HealthReport":
+        """A structured readiness report for the serving stack.
+
+        Starts from the wrapped engine's report (``engine`` section,
+        plus ``durability``/``circuit`` for a
+        :class:`~repro.durability.DurableEngine`) and adds a ``serving``
+        section — queue depth/capacity, workers, shed/timeout/expiry
+        counters — and the admission controller's snapshot.  UNHEALTHY
+        once the executor is shut down.
+        """
+        from repro.resilience.health import UNHEALTHY, HealthReport
+
+        health = getattr(self.engine, "health", None)
+        report = health() if health is not None else HealthReport()
+        counters = self.tracer.snapshot_counters()
+        report.sections["serving"] = {
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+            "workers": len(self._workers),
+            "shutdown": self._shutdown,
+            "requests": counters.get("concurrent.requests", 0),
+            "shed": counters.get("concurrent.shed", 0),
+            "timeouts": counters.get("concurrent.timeouts", 0),
+            "cancelled": counters.get("concurrent.cancelled", 0),
+            "expired_in_queue": counters.get(
+                "concurrent.expired_in_queue", 0
+            ),
+            "retries": counters.get("resilience.retry.retries", 0),
+        }
+        report.sections["admission"] = self.admission.to_dict()
+        if self._shutdown:
+            report.worsen(UNHEALTHY)
+        return report
 
     def invalidate_snapshot(self) -> None:
         """Force the next read-only query onto a fresh snapshot.
@@ -336,6 +425,12 @@ class ConcurrentExecutor:
             if request is None:
                 return
             future = request.future
+            waited_ms = (time.perf_counter() - request.enqueued_at) * 1000.0
+            # Measured queue wait feeds the admission controller's EWMA:
+            # the load-shedding decision is driven by what the queue
+            # actually does, not by a static depth threshold.
+            self.admission.observe_wait(waited_ms)
+            self.tracer.observe("concurrent.queue_wait_ms", waited_ms)
             if not future.set_running_or_notify_cancel():
                 continue  # cancelled via the Future while queued
             control = request.control
@@ -388,7 +483,8 @@ class ConcurrentExecutor:
             from dataclasses import replace
 
             options = replace(options, timeout_ms=None, cancel=None)
-        try:
+
+        def attempt() -> "QueryResult":
             with engine.store.lock.write_locked():
                 engine.evaluator.control = request.control
                 try:
@@ -397,6 +493,16 @@ class ConcurrentExecutor:
                     )
                 finally:
                     engine.evaluator.control = None
+
+        try:
+            if self._retry is not None and not prepared.is_readonly():
+                # Transient durability faults (journal EIO, shed load)
+                # are retried with backoff inside the request's own
+                # deadline: each attempt re-acquires the lock and
+                # re-runs the query — safe because a failed snap rolled
+                # the store back and journaled nothing.
+                return self._retry.call(attempt, tracer=self.tracer)
+            return attempt()
         finally:
             # The store may have changed; retire the bundle so readers
             # re-snapshot.  Outside the write lock: bundle building takes

@@ -39,6 +39,9 @@ from repro.durability.recover import RecoveryReport, recover
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import QueryResult
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.health import HealthReport
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class DurableEngine:
@@ -64,6 +67,15 @@ class DurableEngine:
             (tests only).
         tracer: tracer for ``journal.*`` counters; a fresh
             :class:`~repro.obs.tracer.SharedTracer` when omitted.
+        resilience: a :class:`~repro.resilience.ResiliencePolicy`.  When
+            its breaker is enabled (the default policy enables it), a
+            :class:`~repro.resilience.CircuitBreaker` is installed on the
+            journal: repeated commit failures open the circuit and the
+            engine enters *degraded read-only mode* — reads keep serving,
+            non-empty snaps get a typed
+            :class:`~repro.errors.CircuitOpenError` until a half-open
+            probe succeeds.  ``None`` (the default) keeps the breaker
+            off, preserving the pre-resilience fail-every-time behavior.
 
     Extra keyword arguments are forwarded to the :class:`Engine`
     constructor when a fresh engine is created.
@@ -82,11 +94,13 @@ class DurableEngine:
         verify_recovery: bool = True,
         faults: FaultInjector | None = None,
         tracer: Any | None = None,
+        resilience: "ResiliencePolicy | None" = None,
         **engine_kwargs: Any,
     ):
         self.path = path
         self.tracer = tracer if tracer is not None else SharedTracer()
         self.faults = faults
+        self.resilience = resilience
         self.recovered = False
         self.last_recovery: RecoveryReport | None = None
         # Serializes compaction against itself (the store write lock
@@ -149,6 +163,10 @@ class DurableEngine:
                 seq=0,
             )
         self.engine.journal = self.journal
+        self.breaker: "CircuitBreaker | None" = None
+        if resilience is not None:
+            self.breaker = resilience.make_breaker(self.tracer)
+            self.journal.breaker = self.breaker
 
     # -- lifecycle -------------------------------------------------------
 
@@ -298,6 +316,65 @@ class DurableEngine:
         result = self.engine.load_module(text)
         self.checkpoint()
         return result
+
+    @property
+    def degraded(self) -> bool:
+        """True while the durability circuit refuses writes (reads still
+        serve).  Always False without a breaker."""
+        breaker = self.breaker
+        if breaker is None:
+            return False
+        from repro.resilience.breaker import CLOSED
+
+        return breaker.state != CLOSED
+
+    def health(self) -> "HealthReport":
+        """A structured health/readiness report for this engine.
+
+        Sections: the inner engine's report, plus ``durability``
+        (journal lag — records/bytes since the last checkpoint,
+        unflushed batch-mode commits — generation, last recovery) and,
+        with a breaker, ``circuit`` (its state snapshot).  Status is
+        DEGRADED while the circuit is open or half-open, UNHEALTHY once
+        the journal is closed.
+        """
+        from repro.resilience.breaker import CLOSED
+        from repro.resilience.health import (
+            DEGRADED,
+            UNHEALTHY,
+            HealthReport,
+        )
+
+        report = self.engine.health()
+        recovery = None
+        if self.last_recovery is not None:
+            recovery = {
+                "records_replayed": self.last_recovery.records_replayed,
+                "ops_applied": self.last_recovery.ops_applied,
+                "truncated_bytes": self.last_recovery.truncated_bytes,
+                "next_seq": self.last_recovery.next_seq,
+            }
+        report.sections["durability"] = {
+            "path": self.path,
+            "generation": self._generation,
+            "fsync": self.journal.fsync_mode,
+            "journal_records": self.journal.records,
+            "journal_bytes": self.journal.bytes,
+            "unflushed_commits": self.journal._commits_since_fsync,
+            "journal_closed": self.journal.closed,
+            "recovered": self.recovered,
+            "last_recovery": recovery,
+        }
+        if self.journal.closed:
+            report.worsen(UNHEALTHY)
+        breaker = self.breaker
+        if breaker is not None:
+            snapshot = breaker.to_dict()
+            snapshot["retry_after_ms"] = breaker.retry_after_ms()
+            report.sections["circuit"] = snapshot
+            if snapshot["state"] != CLOSED:
+                report.worsen(DEGRADED)
+        return report
 
     def transaction(self) -> Any:
         raise DurabilityError(

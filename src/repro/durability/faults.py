@@ -19,6 +19,15 @@ at the exact points where the journal/checkpoint protocol is vulnerable:
   ``atomic_snaps``, roll the in-memory store back so memory never runs
   ahead of disk.
 
+Beyond the crash points, the chaos harness (:mod:`repro.resilience.chaos`)
+uses *delay points* — places where the injector stalls the caller instead
+of killing it, modelling a saturating device rather than a dying one:
+
+* ``SLOW_FSYNC`` — every journal fsync sleeps for the armed duration
+  (a congested or failing disk: commits still succeed, slowly).
+* ``LOCK_STALL`` — a cooperating harness thread holds the store write
+  lock for the armed duration (writer convoy / stop-the-world pause).
+
 Injected crashes raise :class:`InjectedCrash`, which derives from
 ``BaseException`` (like ``KeyboardInterrupt``) so no recovery-relevant
 ``except Exception`` handler can swallow it — exactly how a real
@@ -28,6 +37,7 @@ Injected crashes raise :class:`InjectedCrash`, which derives from
 from __future__ import annotations
 
 import errno
+import time
 from typing import Any
 
 CRASH_BEFORE_FSYNC = "crash-before-fsync"
@@ -35,12 +45,21 @@ CRASH_AFTER_JOURNAL = "crash-after-journal"
 CRASH_MID_CHECKPOINT = "crash-mid-checkpoint"
 EIO_ON_WRITE = "eio-on-write"
 
+SLOW_FSYNC = "slow-fsync"
+LOCK_STALL = "lock-stall"
+
 #: Every crash point the fault-injection tests must cover.
 ALL_CRASH_POINTS = (
     CRASH_BEFORE_FSYNC,
     CRASH_AFTER_JOURNAL,
     CRASH_MID_CHECKPOINT,
     EIO_ON_WRITE,
+)
+
+#: Points that stall the caller instead of killing it (chaos harness).
+ALL_DELAY_POINTS = (
+    SLOW_FSYNC,
+    LOCK_STALL,
 )
 
 
@@ -63,17 +82,57 @@ class FaultInjector:
 
     def __init__(self) -> None:
         self._armed: dict[str, int] = {}
+        self._persistent: set[str] = set()
+        self._delays: dict[str, float] = {}
         self.fired: list[str] = []
+        self.delayed: list[str] = []
 
-    def arm(self, point: str, after: int = 1) -> None:
+    def arm(self, point: str, after: int = 1, persistent: bool = False) -> None:
+        """Arm *point*; with ``persistent=True`` it fires on *every* hit
+        from the *after*-th on (until disarmed) instead of once — the
+        chaos harness uses this for airtight fault windows.  Only the
+        survivable ``EIO_ON_WRITE`` may be persistent: a crash point
+        that fires ends the simulated process, so re-firing it is
+        meaningless."""
         if point not in ALL_CRASH_POINTS:
             raise ValueError(f"unknown crash point {point!r}")
         if after < 1:
             raise ValueError("after must be >= 1")
+        if persistent and point != EIO_ON_WRITE:
+            raise ValueError("only eio-on-write may be armed persistently")
         self._armed[point] = after
+        if persistent:
+            self._persistent.add(point)
+        else:
+            self._persistent.discard(point)
 
     def disarm(self, point: str) -> None:
         self._armed.pop(point, None)
+        self._persistent.discard(point)
+
+    def arm_delay(self, point: str, seconds: float) -> None:
+        """Arm a delay point: every subsequent :meth:`delay` hit of
+        *point* sleeps for *seconds* until :meth:`disarm_delay`."""
+        if point not in ALL_DELAY_POINTS:
+            raise ValueError(f"unknown delay point {point!r}")
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self._delays[point] = seconds
+
+    def disarm_delay(self, point: str) -> None:
+        self._delays.pop(point, None)
+
+    def delay_of(self, point: str) -> float:
+        """The armed delay for *point* in seconds (0.0 when unarmed)."""
+        return self._delays.get(point, 0.0)
+
+    def delay(self, point: str) -> None:
+        """Stall the caller at *point* when a delay is armed there."""
+        seconds = self._delays.get(point)
+        if not seconds:
+            return
+        self.delayed.append(point)
+        time.sleep(seconds)
 
     def will_fire(self, point: str) -> bool:
         """True when the next :meth:`hit` of *point* will fire."""
@@ -91,7 +150,8 @@ class FaultInjector:
         if remaining > 1:
             self._armed[point] = remaining - 1
             return
-        del self._armed[point]
+        if point not in self._persistent:
+            del self._armed[point]
         self.fired.append(point)
         if point == EIO_ON_WRITE:
             raise OSError(errno.EIO, "injected I/O error")

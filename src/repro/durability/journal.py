@@ -78,6 +78,7 @@ from repro.durability.faults import (
     CRASH_AFTER_JOURNAL,
     CRASH_BEFORE_FSYNC,
     EIO_ON_WRITE,
+    SLOW_FSYNC,
     FaultInjector,
 )
 
@@ -352,6 +353,12 @@ class Journal:
         self.compact_max_records = compact_max_records
         self.faults = faults
         self.tracer = tracer
+        # Circuit breaker protecting the commit path; installed by
+        # DurableEngine when a resilience policy enables it.  The update
+        # applier consults it before journaling a non-empty Δ and feeds
+        # commit outcomes back into it (see
+        # repro.semantics.update.apply_update_list).
+        self.breaker: Any | None = None
         # Evidence counters (also mirrored into the tracer when present).
         self.records = _existing_records  # records in the current file
         self.bytes = _existing_bytes or len(FILE_MAGIC)  # file size
@@ -404,6 +411,8 @@ class Journal:
         """Force an fsync now (used on close and by batch mode)."""
         if self._handle.closed:
             return
+        if self.faults is not None:
+            self.faults.delay(SLOW_FSYNC)
         os.fsync(self._handle.fileno())
         self.fsyncs += 1
         self._commits_since_fsync = 0
@@ -433,8 +442,16 @@ class Journal:
         The sequence numbering continues — the manifest records the last
         sequence folded into the checkpoint, so recovery can prove the
         new journal picks up exactly where the checkpoint ends.
+
+        The old file is fsynced before it is closed: in ``batch`` mode it
+        may hold acknowledged-but-unflushed frames, and until the caller
+        publishes the new manifest a crash recovers from the *old*
+        checkpoint + journal pair — whose tail must therefore be durable.
         """
         old = self._handle
+        if not old.closed and self._commits_since_fsync:
+            os.fsync(old.fileno())
+            self.fsyncs += 1
         self._handle = open(path, "wb", buffering=0)
         self._handle.write(FILE_MAGIC)
         os.fsync(self._handle.fileno())

@@ -758,6 +758,28 @@ class Engine:
     # Utilities
     # ------------------------------------------------------------------
 
+    def health(self):
+        """A structured liveness report for this engine.
+
+        The base engine is in-memory and always HEALTHY; the report
+        carries an ``engine`` section (store size, bindings, prepared
+        cache) that wrappers — :class:`~repro.durability.DurableEngine`,
+        :class:`~repro.concurrent.ConcurrentExecutor` — extend with
+        durability and serving sections and may downgrade.
+        """
+        from repro.resilience.health import HealthReport
+
+        report = HealthReport()
+        report.sections["engine"] = {
+            "store_nodes": len(self.store._records),
+            "next_node_id": self.store._next_id,
+            "globals": len(self.evaluator.globals),
+            "documents": len(self.evaluator.documents),
+            "prepared_cached": len(self.prepared_cache),
+            "journal_attached": self.evaluator.journal is not None,
+        }
+        return report
+
     def serialize(self, items: Iterable[Item], indent: bool = False) -> str:
         """Serialize any sequence of items from this engine's store."""
         return serialize_sequence(list(items), indent)

@@ -171,13 +171,49 @@ class QueryCancelledError(ExecutionControlError):
 
 
 class ServiceOverloadedError(XQueryError):
-    """A bounded request queue is full and the request was shed.
+    """A bounded request queue is full (or shedding early) and the
+    request was refused.
 
     Raised by the concurrent front ends (graceful degradation: reject
-    fast with a typed error instead of queueing unboundedly).
+    fast with a typed error instead of queueing unboundedly).  Carries
+    structured detail so callers can implement informed backoff:
+
+    Attributes:
+        queue_depth: requests pending when the shed decision was made.
+        queue_capacity: the bounded queue's capacity.
+        wait_budget_ms: the request's deadline budget at submit (None
+            when it carried no deadline).
+        retry_after_ms: the service's hint for when a retry has a
+            reasonable chance of being admitted (None when unknown).
     """
 
     default_code = "REPR0003"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        queue_capacity: int | None = None,
+        wait_budget_ms: float | None = None,
+        retry_after_ms: float | None = None,
+    ):
+        self.queue_depth = queue_depth
+        self.queue_capacity = queue_capacity
+        self.wait_budget_ms = wait_budget_ms
+        self.retry_after_ms = retry_after_ms
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        """JSON-able detail (for service responses and logs)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "wait_budget_ms": self.wait_budget_ms,
+            "retry_after_ms": self.retry_after_ms,
+        }
 
 
 class DurabilityError(XQueryError):
@@ -206,6 +242,72 @@ class JournalCorruptionError(DurabilityError):
     """
 
     default_code = "REPR0005"
+
+
+class CircuitOpenError(DurabilityError):
+    """The durability circuit breaker is open: the engine is in degraded
+    read-only mode.
+
+    Raised on any attempt to commit a non-empty update list while the
+    breaker around the journal path is open (or while a half-open probe
+    is already in flight).  Reads keep serving from the last consistent
+    state; writes get this typed refusal instead of an undefined
+    failure.  The store is left untouched by the refused snap's Δ.
+
+    Attributes:
+        reason: why the circuit opened (the triggering fault, summarized).
+        opened_at: ``time.monotonic()`` timestamp of the transition.
+        retry_after_ms: milliseconds until the breaker will admit a
+            half-open probe (0 when a probe is already admissible).
+    """
+
+    default_code = "REPR0006"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str | None = None,
+        opened_at: float | None = None,
+        retry_after_ms: float | None = None,
+    ):
+        self.reason = reason
+        self.opened_at = opened_at
+        self.retry_after_ms = retry_after_ms
+        super().__init__(message)
+
+
+class ResourceLimitError(ExecutionControlError):
+    """A per-query resource guard refused or stopped the query.
+
+    Raised by the admission layer (:mod:`repro.resilience.admission`)
+    either up front — query nesting depth or size over the configured
+    bound — or cooperatively at the same polling boundaries as timeouts,
+    when a running query exceeds its store-node construction budget or
+    its snap exceeds the pending-update-list bound.  As with every
+    execution-control interruption, the pending Δ is discarded whole.
+
+    Attributes:
+        limit_name: which guard tripped (``max_depth``,
+            ``max_store_nodes``, ``max_pending_delta``, ...).
+        limit: the configured bound.
+        observed: the value that exceeded it.
+    """
+
+    default_code = "REPR0007"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit_name: str | None = None,
+        limit: float | None = None,
+        observed: float | None = None,
+    ):
+        self.limit_name = limit_name
+        self.limit = limit
+        self.observed = observed
+        super().__init__(message)
 
 
 class SerializationError(DynamicError):

@@ -1,0 +1,67 @@
+"""Resilience subsystem: specified failure behaviour under faults.
+
+The paper's ``snap`` gives the engine a clean unit of atomicity, and the
+durability layer made it the unit of persistence; this package makes the
+*serving stack around it* degrade in specified, typed, observable ways
+instead of falling over:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  with full jitter and a deadline budget, applied to transient faults
+  only (journal ``EIO``, shed load, wait starvation), never to semantic
+  errors.
+* :class:`~repro.resilience.breaker.CircuitBreaker` — closed / open /
+  half-open protection of the durability path.  An open circuit flips
+  the engine into *degraded read-only mode*: reads keep serving, writes
+  get a typed :class:`~repro.errors.CircuitOpenError` carrying the
+  degradation reason, and recovery is probed half-open.
+* :class:`~repro.resilience.admission.AdmissionController` /
+  :class:`~repro.resilience.admission.AdmissionLimits` — per-query
+  resource guards (nesting depth, query size, store-node budget,
+  pending-Δ bound) enforced at the same polling boundaries as timeouts,
+  plus queue-depth- and latency-aware load shedding.
+* :class:`~repro.resilience.health.HealthReport` — the uniform
+  health/readiness probe shape exposed by ``Engine.health()``,
+  ``DurableEngine.health()``, ``ConcurrentExecutor.health()`` and the
+  ``repro health`` CLI.
+* :class:`~repro.resilience.policy.ResiliencePolicy` — the single
+  configuration value the layers above share.
+* :mod:`repro.resilience.chaos` — the whole-stack chaos harness that
+  injects journal/lock/overload faults under concurrent load and
+  asserts the subsystem's invariant: every request ends in success, a
+  typed refusal or a clean degraded-mode answer; the store is never
+  silently wrong; the service returns to healthy once faults stop.
+
+Submodules import lazily (PEP 562), matching :mod:`repro.concurrent`.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+_EXPORTS = {
+    "RetryPolicy": "repro.resilience.retry",
+    "DEFAULT_TRANSIENT": "repro.resilience.retry",
+    "CircuitBreaker": "repro.resilience.breaker",
+    "AdmissionController": "repro.resilience.admission",
+    "AdmissionLimits": "repro.resilience.admission",
+    "ResourceGuard": "repro.resilience.admission",
+    "nesting_depth": "repro.resilience.admission",
+    "HealthReport": "repro.resilience.health",
+    "ResiliencePolicy": "repro.resilience.policy",
+    "ChaosHarness": "repro.resilience.chaos",
+    "ChaosSchedule": "repro.resilience.chaos",
+    "ChaosReport": "repro.resilience.chaos",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,309 @@
+"""Admission control: per-query resource guards and graceful shedding.
+
+Two layers, both producing *typed* refusals:
+
+**Per-query guards** (:class:`AdmissionLimits` → :class:`ResourceGuard`)
+bound what one admitted query may consume:
+
+* ``max_depth`` — bracket-nesting depth of the query text, checked by a
+  single pre-parse scan (:func:`nesting_depth`) before the frontend
+  spends any work on a pathological input;
+* ``max_query_bytes`` — query text size, same pre-parse refusal;
+* ``max_store_nodes`` — store-node construction budget, enforced
+  *while the query runs* at the same polling boundaries as timeouts:
+  the guard rides the request's
+  :class:`~repro.concurrent.control.ExecutionControl`, so every FLWOR
+  iteration and tuple pull that polls the deadline also polls the
+  budget;
+* ``max_pending_delta`` — pending-update-list length bound, enforced at
+  each snap application before any request applies (the Δ is discarded
+  whole, store untouched).
+
+**Load shedding** (:class:`AdmissionController`) replaces the binary
+queue-full shed with a depth- *and* latency-aware policy: below
+``soft_limit`` everything is admitted; between ``soft_limit`` and
+capacity a request is shed only when the observed queue wait (EWMA)
+says it would likely miss its deadline anyway; at capacity everything
+is shed.  Every refusal is a
+:class:`~repro.errors.ServiceOverloadedError` carrying queue depth,
+capacity, the request's wait budget and a ``retry_after_ms`` hint
+derived from the measured drain rate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ResourceLimitError, ServiceOverloadedError
+
+_OPENERS = {"{": "}", "(": ")", "[": "]"}
+_CLOSERS = frozenset(_OPENERS.values())
+
+
+def nesting_depth(query: str) -> int:
+    """Maximum bracket-nesting depth of *query* (a cheap proxy for parse
+    recursion depth; one linear scan, no tokenization)."""
+    depth = 0
+    deepest = 0
+    for char in query:
+        if char in _OPENERS:
+            depth += 1
+            if depth > deepest:
+                deepest = depth
+        elif char in _CLOSERS and depth > 0:
+            depth -= 1
+    return deepest
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Per-query resource bounds (None disables a bound).
+
+    Immutable and shareable; one limits value typically configures a
+    whole serving stack via
+    :class:`~repro.resilience.ResiliencePolicy`.
+    """
+
+    max_depth: int | None = None
+    max_query_bytes: int | None = None
+    max_store_nodes: int | None = None
+    max_pending_delta: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_depth",
+            "max_query_bytes",
+            "max_store_nodes",
+            "max_pending_delta",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None)")
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            value is not None
+            for value in (
+                self.max_depth,
+                self.max_query_bytes,
+                self.max_store_nodes,
+                self.max_pending_delta,
+            )
+        )
+
+    # -- pre-parse guards -------------------------------------------------
+
+    def check_query_text(self, query: str) -> None:
+        """Refuse a query whose *text* already exceeds the static bounds
+        (runs before parsing — a refusal costs one linear scan)."""
+        if self.max_query_bytes is not None:
+            size = len(query.encode("utf-8"))
+            if size > self.max_query_bytes:
+                raise ResourceLimitError(
+                    f"query is {size} bytes, over the {self.max_query_bytes}"
+                    " byte admission bound",
+                    limit_name="max_query_bytes",
+                    limit=self.max_query_bytes,
+                    observed=size,
+                )
+        if self.max_depth is not None:
+            depth = nesting_depth(query)
+            if depth > self.max_depth:
+                raise ResourceLimitError(
+                    f"query nests {depth} levels deep, over the "
+                    f"{self.max_depth} level admission bound",
+                    limit_name="max_depth",
+                    limit=self.max_depth,
+                    observed=depth,
+                )
+
+    # -- runtime guard ----------------------------------------------------
+
+    def guard(self, store: Any) -> "ResourceGuard | None":
+        """A per-execution :class:`ResourceGuard`, or None when neither
+        runtime bound is configured (the common, free case)."""
+        if self.max_store_nodes is None and self.max_pending_delta is None:
+            return None
+        return ResourceGuard(self, store)
+
+
+class ResourceGuard:
+    """The runtime half of the limits, attached to one execution's
+    :class:`~repro.concurrent.control.ExecutionControl`.
+
+    ``check()`` is called from ``ExecutionControl.check()`` — i.e. at
+    every boundary that already polls the deadline — and compares the
+    store's id watermark against the budget captured at admission.
+    ``check_delta(n)`` is called by ``apply_update_list`` with the snap's
+    Δ length before anything applies.
+    """
+
+    __slots__ = ("limits", "_store", "_start_next_id")
+
+    def __init__(self, limits: AdmissionLimits, store: Any):
+        self.limits = limits
+        self._store = store
+        self._start_next_id = getattr(store, "_next_id", 0)
+
+    def check(self) -> None:
+        """Raise when the query's store-node budget is exhausted."""
+        budget = self.limits.max_store_nodes
+        if budget is None:
+            return
+        created = self._store._next_id - self._start_next_id
+        if created > budget:
+            raise ResourceLimitError(
+                f"query constructed {created} store nodes, over its "
+                f"{budget} node admission budget",
+                limit_name="max_store_nodes",
+                limit=budget,
+                observed=created,
+            )
+
+    def check_delta(self, length: int) -> None:
+        """Raise when a snap's pending-update list is over the bound."""
+        bound = self.limits.max_pending_delta
+        if bound is not None and length > bound:
+            raise ResourceLimitError(
+                f"snap accumulated {length} pending updates, over the "
+                f"{bound} update admission bound; the update list was "
+                "discarded whole",
+                limit_name="max_pending_delta",
+                limit=bound,
+                observed=length,
+            )
+
+
+class AdmissionController:
+    """Queue-depth- and latency-aware load shedding for a bounded queue.
+
+    Parameters:
+        capacity: the request queue's capacity (the hard bound).
+        soft_limit: queue depth at which latency-aware shedding starts
+            (defaults to 75% of capacity).  Below it, every request is
+            admitted without further checks.
+        max_wait_ms: target bound on queue wait.  In the soft region a
+            request is shed when the EWMA'd observed wait already
+            exceeds this (the queue is not keeping up), or when the
+            request's own deadline budget is smaller than the expected
+            wait (it would expire queued — running it is pure waste).
+        limits: per-query :class:`AdmissionLimits` applied to admitted
+            requests (optional).
+        tracer: optional tracer fed ``resilience.admission.*`` counters.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        soft_limit: int | None = None,
+        max_wait_ms: float | None = None,
+        limits: AdmissionLimits | None = None,
+        tracer: Any | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.soft_limit = (
+            soft_limit if soft_limit is not None else max(1, (capacity * 3) // 4)
+        )
+        if not 1 <= self.soft_limit <= capacity:
+            raise ValueError("soft_limit must be in [1, capacity]")
+        self.max_wait_ms = max_wait_ms
+        self.limits = limits
+        self.tracer = tracer
+        self._mutex = threading.Lock()
+        self._ewma_wait_ms = 0.0
+        self._samples = 0
+
+    # -- wait evidence ----------------------------------------------------
+
+    def observe_wait(self, wait_ms: float) -> None:
+        """Fold one measured queue wait into the EWMA (alpha = 0.2)."""
+        with self._mutex:
+            if self._samples == 0:
+                self._ewma_wait_ms = wait_ms
+            else:
+                self._ewma_wait_ms += 0.2 * (wait_ms - self._ewma_wait_ms)
+            self._samples += 1
+
+    @property
+    def expected_wait_ms(self) -> float:
+        with self._mutex:
+            return self._ewma_wait_ms
+
+    def retry_after_ms(self) -> float:
+        """Backoff hint attached to shed responses: the expected time
+        for the backlog to drain to the soft limit (floored at 50ms so
+        clients never busy-spin on a hint of 0)."""
+        return max(50.0, self.expected_wait_ms)
+
+    # -- the admit decision -----------------------------------------------
+
+    def admit(
+        self,
+        queue_depth: int,
+        *,
+        wait_budget_ms: float | None = None,
+        query: str | None = None,
+    ) -> None:
+        """Admit or shed one request arriving at *queue_depth*.
+
+        Raises :class:`ServiceOverloadedError` (structured) on a shed,
+        :class:`ResourceLimitError` when the query text violates the
+        static per-query bounds.  Admission implies nothing about
+        execution: the runtime guards still ride the request.
+        """
+        if queue_depth >= self.capacity:
+            self._shed(
+                "request queue is full",
+                queue_depth,
+                wait_budget_ms,
+            )
+        if queue_depth >= self.soft_limit and self.max_wait_ms is not None:
+            expected = self.expected_wait_ms
+            if expected > self.max_wait_ms:
+                self._shed(
+                    f"queue wait ({expected:.0f}ms observed) exceeds the "
+                    f"{self.max_wait_ms:g}ms service target",
+                    queue_depth,
+                    wait_budget_ms,
+                )
+            if wait_budget_ms is not None and expected > wait_budget_ms:
+                self._shed(
+                    f"expected queue wait ({expected:.0f}ms) exceeds the "
+                    f"request's {wait_budget_ms:g}ms budget; it would "
+                    "expire before running",
+                    queue_depth,
+                    wait_budget_ms,
+                )
+        if self.limits is not None and query is not None:
+            self.limits.check_query_text(query)
+
+    def _shed(
+        self,
+        why: str,
+        queue_depth: int,
+        wait_budget_ms: float | None,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.count("resilience.admission.shed")
+        raise ServiceOverloadedError(
+            f"{why} ({queue_depth}/{self.capacity} pending); request shed",
+            queue_depth=queue_depth,
+            queue_capacity=self.capacity,
+            wait_budget_ms=wait_budget_ms,
+            retry_after_ms=self.retry_after_ms(),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot for health reports."""
+        return {
+            "capacity": self.capacity,
+            "soft_limit": self.soft_limit,
+            "max_wait_ms": self.max_wait_ms,
+            "expected_wait_ms": self.expected_wait_ms,
+        }

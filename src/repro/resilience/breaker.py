@@ -1,0 +1,233 @@
+"""A circuit breaker for the durability path.
+
+When the journal starts failing — disk full, dying device, injected
+``EIO`` — every write request would otherwise ride the full execute →
+apply → journal-append → rollback cycle just to fail, while the cause
+persists.  The breaker converts that into a *specified* degraded mode:
+
+* **closed** — normal operation; failures and successes are recorded
+  into a sliding count window.
+* **open** — entered when the window holds at least ``min_calls``
+  outcomes and the failure rate reaches ``failure_rate`` (or
+  ``failure_threshold`` consecutive failures, whichever trips first).
+  While open, :meth:`admit` refuses instantly with a typed
+  :class:`~repro.errors.CircuitOpenError` carrying the reason and a
+  ``retry_after_ms`` hint.  The engine above this is in *degraded
+  read-only mode*: reads never consult the breaker (an empty Δ commits
+  nothing), writes get the refusal without touching the store.
+* **half-open** — after ``reset_timeout_ms`` one probe is admitted.
+  Its success closes the circuit (window cleared); its failure re-opens
+  it and restarts the clock.  Concurrent requests during the probe are
+  refused like open ones, so a recovering disk sees one canary, not a
+  thundering herd.
+
+State transitions are counted into the tracer
+(``resilience.breaker.opened`` / ``.half_open`` / ``.closed``) and the
+current state is part of every health report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker (closed / open / half-open).
+
+    Parameters:
+        failure_threshold: consecutive failures that trip the circuit
+            regardless of rate (fast trip on a hard-down disk).
+        failure_rate: fraction of failures in the window that trips the
+            circuit once ``min_calls`` outcomes are recorded.
+        window: outcomes kept in the sliding count window.
+        min_calls: outcomes required before the rate rule applies (the
+            consecutive-failure rule is always live).
+        reset_timeout_ms: open-state dwell time before one half-open
+            probe is admitted.
+        clock: injectable monotonic clock (tests).
+        tracer: optional tracer fed ``resilience.breaker.*`` counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        failure_rate: float = 0.5,
+        window: int = 32,
+        min_calls: int = 8,
+        reset_timeout_ms: float = 1000.0,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Any | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in (0, 1]")
+        if window < 1 or min_calls < 1:
+            raise ValueError("window and min_calls must be >= 1")
+        if reset_timeout_ms <= 0:
+            raise ValueError("reset_timeout_ms must be positive")
+        self.failure_threshold = failure_threshold
+        self.failure_rate = failure_rate
+        self.min_calls = min_calls
+        self.reset_timeout_ms = reset_timeout_ms
+        self.clock = clock
+        self.tracer = tracer
+        self._mutex = threading.Lock()
+        self._window: deque[bool] = deque(maxlen=window)  # True = failure
+        self._consecutive = 0
+        self._state = CLOSED
+        self._opened_at: float | None = None
+        self._open_reason: str | None = None
+        self._probe_inflight = False
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half-open`` (time-aware: an open
+        circuit whose reset timeout has passed reports half-open)."""
+        with self._mutex:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and not self._probe_inflight:
+            assert self._opened_at is not None
+            waited_ms = (self.clock() - self._opened_at) * 1000.0
+            if waited_ms >= self.reset_timeout_ms:
+                return HALF_OPEN
+        return self._state
+
+    @property
+    def open_reason(self) -> str | None:
+        with self._mutex:
+            return self._open_reason
+
+    def retry_after_ms(self) -> float:
+        """Milliseconds until a probe becomes admissible (0 when now)."""
+        with self._mutex:
+            if self._state != OPEN or self._opened_at is None:
+                return 0.0
+            waited_ms = (self.clock() - self._opened_at) * 1000.0
+            return max(0.0, self.reset_timeout_ms - waited_ms)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot for health reports."""
+        with self._mutex:
+            failures = sum(self._window)
+            return {
+                "state": self._state_locked(),
+                "failures_in_window": failures,
+                "calls_in_window": len(self._window),
+                "consecutive_failures": self._consecutive,
+                "open_reason": self._open_reason,
+            }
+
+    # -- the protocol -----------------------------------------------------
+
+    def admit(self) -> None:
+        """Refuse (typed) or admit one protected call.
+
+        Closed: always admits.  Open: refuses until the reset timeout,
+        then admits exactly one probe (half-open) and refuses the rest
+        until that probe reports its outcome.
+        """
+        with self._mutex:
+            if self._state == CLOSED:
+                return
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._probe_inflight = True
+                if self.tracer is not None:
+                    self.tracer.count("resilience.breaker.half_open")
+                return
+            retry_ms = None
+            if self._opened_at is not None:
+                waited_ms = (self.clock() - self._opened_at) * 1000.0
+                retry_ms = max(0.0, self.reset_timeout_ms - waited_ms)
+            reason = self._open_reason or "failure rate over threshold"
+            opened_at = self._opened_at
+        raise CircuitOpenError(
+            "durability circuit is open (degraded read-only mode): "
+            f"{reason}; writes are refused, reads keep serving",
+            reason=reason,
+            opened_at=opened_at,
+            retry_after_ms=retry_ms,
+        )
+
+    def record_success(self) -> None:
+        """A protected call succeeded (closes a probing circuit)."""
+        with self._mutex:
+            self._consecutive = 0
+            if self._state == OPEN:
+                # The half-open probe came back clean: full reset.
+                self._window.clear()
+                self._state = CLOSED
+                self._opened_at = None
+                self._open_reason = None
+                self._probe_inflight = False
+                if self.tracer is not None:
+                    self.tracer.count("resilience.breaker.closed")
+                return
+            self._window.append(False)
+
+    def record_failure(self, reason: str | None = None) -> None:
+        """A protected call failed (re-opens a probing circuit)."""
+        with self._mutex:
+            if self._state == OPEN:
+                # The probe failed: stay open, restart the dwell clock.
+                self._opened_at = self.clock()
+                self._probe_inflight = False
+                if reason:
+                    self._open_reason = reason
+                if self.tracer is not None:
+                    self.tracer.count("resilience.breaker.reopened")
+                return
+            self._window.append(True)
+            self._consecutive += 1
+            failures = sum(self._window)
+            rate_tripped = (
+                len(self._window) >= self.min_calls
+                and failures / len(self._window) >= self.failure_rate
+            )
+            if rate_tripped or self._consecutive >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._open_reason = reason or (
+                    f"{failures}/{len(self._window)} recent journal "
+                    "operations failed"
+                )
+                self._probe_inflight = False
+                if self.tracer is not None:
+                    self.tracer.count("resilience.breaker.opened")
+
+    def release_probe(self) -> None:
+        """The admitted call ended without exercising the protected
+        operation (e.g. a precondition failure before the journal was
+        touched): neither a success nor a failure.  Frees the half-open
+        probe slot so the next write can probe instead of being refused
+        forever."""
+        with self._mutex:
+            self._probe_inflight = False
+
+    def reset(self) -> None:
+        """Force-close the circuit (operator override, tests)."""
+        with self._mutex:
+            self._window.clear()
+            self._consecutive = 0
+            self._state = CLOSED
+            self._opened_at = None
+            self._open_reason = None
+            self._probe_inflight = False
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r})"

@@ -1,0 +1,106 @@
+"""Health and readiness probes.
+
+Every serving layer answers the same two questions — *can I serve?* and
+*should you send me traffic?* — through one :class:`HealthReport`
+shape:
+
+* :meth:`Engine.health <repro.engine.Engine.health>` — store size and
+  prepared-cache state (a bare engine is healthy by construction);
+* :meth:`DurableEngine.health <repro.durability.DurableEngine.health>`
+  — adds circuit-breaker state, journal lag (records and commits not
+  yet fsynced under batch mode) and the last recovery report;
+* :meth:`ConcurrentExecutor.health
+  <repro.concurrent.ConcurrentExecutor.health>` — adds queue
+  depth/capacity, worker count and shed/timeout counters;
+* the CLI exposes the same report as ``repro health DIR`` (JSON).
+
+``status`` is three-valued: ``healthy`` (serve everything),
+``degraded`` (circuit open — reads fine, writes refused with
+:class:`~repro.errors.CircuitOpenError`) and ``unhealthy`` (do not
+route traffic: executor shut down, journal closed unexpectedly).
+A report's sections compose: wrapping layers fold the wrapped layer's
+sections into their own, so one probe at the outermost layer sees the
+whole stack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+_RANK = {HEALTHY: 0, DEGRADED: 1, UNHEALTHY: 2}
+
+
+@dataclass
+class HealthReport:
+    """One layer's (or one stack's) health snapshot.
+
+    Attributes:
+        status: ``healthy`` / ``degraded`` / ``unhealthy``.
+        sections: named probe payloads (``store``, ``journal``,
+            ``circuit``, ``queue``, ``recovery``, ...), each JSON-able.
+        generated_at: ``time.time()`` when the probe ran.
+    """
+
+    status: str = HEALTHY
+    sections: dict[str, Any] = field(default_factory=dict)
+    generated_at: float = field(default_factory=time.time)
+
+    @property
+    def ok(self) -> bool:
+        """Readiness: True unless the layer reports unhealthy.  A
+        degraded layer still serves (reads), so it stays ready."""
+        return self.status != UNHEALTHY
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == DEGRADED
+
+    def worsen(self, status: str) -> None:
+        """Fold another verdict in; the worse one wins."""
+        if _RANK[status] > _RANK[self.status]:
+            self.status = status
+
+    def merge(self, other: "HealthReport") -> "HealthReport":
+        """Fold *other* (an inner layer's report) into this one."""
+        self.worsen(other.status)
+        for name, payload in other.sections.items():
+            self.sections.setdefault(name, payload)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "ok": self.ok,
+            "generated_at": self.generated_at,
+            "sections": self.sections,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """A terse human-readable summary (CLI output)."""
+        lines = [f"status: {self.status}"]
+        for name in sorted(self.sections):
+            payload = self.sections[name]
+            if isinstance(payload, dict):
+                inner = ", ".join(
+                    f"{key}={value}" for key, value in sorted(payload.items())
+                )
+                lines.append(f"  {name}: {inner}")
+            else:
+                lines.append(f"  {name}: {payload}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthReport(status={self.status!r}, "
+            f"sections={sorted(self.sections)})"
+        )

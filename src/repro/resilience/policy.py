@@ -1,0 +1,81 @@
+"""The policy object that configures the whole resilience layer.
+
+One :class:`ResiliencePolicy` value bundles the three independent
+defenses — retry/backoff, circuit breaking, admission control — so a
+serving stack is configured in one place and every layer reads the same
+contract::
+
+    from repro.resilience import ResiliencePolicy, AdmissionLimits, RetryPolicy
+
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=3, budget_ms=2000),
+        limits=AdmissionLimits(max_pending_delta=10_000,
+                               max_store_nodes=500_000,
+                               max_depth=128),
+        breaker_failure_threshold=5,
+        breaker_reset_timeout_ms=500,
+        max_wait_ms=250,
+    )
+    engine = DurableEngine(path, resilience=policy)
+    executor = ConcurrentExecutor(engine, resilience=policy)
+
+``ResiliencePolicy()`` (all defaults) enables the circuit breaker with
+conservative settings and nothing else; ``ResiliencePolicy.disabled()``
+is the explicit off switch.  The policy object is immutable — build
+once, share everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.resilience.admission import AdmissionLimits
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Immutable configuration for the resilience layer.
+
+    Attributes:
+        retry: retry/backoff policy for transient faults (None = no
+            retries; the default — retrying is an explicit choice).
+        limits: per-query admission bounds (defaults to no bounds).
+        breaker_enabled: put a circuit breaker on the durability path.
+        breaker_failure_threshold / breaker_failure_rate /
+        breaker_window / breaker_min_calls / breaker_reset_timeout_ms:
+            forwarded to :class:`~repro.resilience.CircuitBreaker`.
+        max_wait_ms: queue-latency target for admission-control load
+            shedding (None = shed only on a full queue, the pre-policy
+            behaviour).
+    """
+
+    retry: RetryPolicy | None = None
+    limits: AdmissionLimits = field(default_factory=AdmissionLimits)
+    breaker_enabled: bool = True
+    breaker_failure_threshold: int = 5
+    breaker_failure_rate: float = 0.5
+    breaker_window: int = 32
+    breaker_min_calls: int = 8
+    breaker_reset_timeout_ms: float = 1000.0
+    max_wait_ms: float | None = None
+
+    @classmethod
+    def disabled(cls) -> "ResiliencePolicy":
+        """A policy with every mechanism off (baseline behaviour)."""
+        return cls(retry=None, breaker_enabled=False)
+
+    def make_breaker(self, tracer: Any | None = None) -> CircuitBreaker | None:
+        """A breaker per this policy (None when disabled)."""
+        if not self.breaker_enabled:
+            return None
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            failure_rate=self.breaker_failure_rate,
+            window=self.breaker_window,
+            min_calls=self.breaker_min_calls,
+            reset_timeout_ms=self.breaker_reset_timeout_ms,
+            tracer=tracer,
+        )

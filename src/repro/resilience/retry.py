@@ -1,0 +1,181 @@
+"""Retry with exponential backoff, full jitter and a deadline budget.
+
+The serving stack distinguishes *transient* faults — a journal append
+that hit a passing ``EIO``, a request shed by a momentarily full queue,
+a lock-wait that exceeded its slice — from *semantic* errors (a parse
+error, a type error, a conflict the semantics proved).  Retrying the
+first class converts blips into latency; retrying the second class
+converts a correct refusal into a livelock.  :class:`RetryPolicy`
+encodes that line once:
+
+* only errors in an explicit transient whitelist are retried — never
+  :class:`~repro.errors.StaticError`, never conflict/type/update errors,
+  never :class:`~repro.errors.JournalCorruptionError` (corruption does
+  not heal on retry) and never
+  :class:`~repro.errors.CircuitOpenError` by default (the breaker's
+  ``retry_after_ms`` is the right signal, not blind backoff);
+* the backoff schedule is exponential with **full jitter**
+  (``delay = uniform(0, min(cap, base * 2**attempt))``), the scheme
+  that minimizes synchronized retry storms across many clients;
+* the whole retry loop runs under one **deadline budget**: a retry that
+  could not complete before the budget expires is not attempted, so
+  retrying never turns a bounded call into an unbounded one.
+
+Attempt evidence feeds the standard tracer counters
+(``resilience.retry.attempts`` / ``.retries`` / ``.exhausted`` /
+``.recovered``), so retry behaviour is visible in the same place as
+every other engine statistic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    JournalCorruptionError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    XQueryError,
+)
+
+#: The default transient whitelist: faults that plausibly pass on retry.
+DEFAULT_TRANSIENT = (
+    DurabilityError,  # journal append EIO (CircuitOpen/Corruption excluded)
+    ServiceOverloadedError,  # shed load — the queue drains
+    QueryTimeoutError,  # lock-wait/queue-wait starvation under a burst
+)
+
+#: Never retried, whatever the whitelist says.
+NEVER_RETRY = (JournalCorruptionError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An immutable, shareable retry policy.
+
+    Parameters:
+        max_attempts: total tries, the first included (1 = no retry).
+        base_delay_ms: first backoff cap; doubles every retry.
+        max_delay_ms: upper bound on any single backoff.
+        budget_ms: wall-clock budget for the whole loop, sleeps
+            included (None = bounded only by ``max_attempts``).
+        transient: exception types eligible for retry.  Kept
+            deliberately explicit — anything outside the tuple
+            (semantic errors above all) propagates immediately.
+        retry_circuit_open: opt in to retrying
+            :class:`~repro.errors.CircuitOpenError`, honouring the
+            error's ``retry_after_ms`` as a floor for the backoff.
+    """
+
+    max_attempts: int = 4
+    base_delay_ms: float = 10.0
+    max_delay_ms: float = 2000.0
+    budget_ms: float | None = 10_000.0
+    transient: tuple[type, ...] = field(default=DEFAULT_TRANSIENT)
+    retry_circuit_open: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.budget_ms is not None and self.budget_ms <= 0:
+            raise ValueError("budget_ms must be positive (or None)")
+
+    # -- classification ---------------------------------------------------
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """True when *exc* is in the transient whitelist.
+
+        :class:`JournalCorruptionError` never is;
+        :class:`CircuitOpenError` only with ``retry_circuit_open``.
+        """
+        if isinstance(exc, NEVER_RETRY):
+            return False
+        if isinstance(exc, CircuitOpenError):
+            return self.retry_circuit_open
+        return isinstance(exc, self.transient)
+
+    # -- backoff schedule -------------------------------------------------
+
+    def backoff_ms(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The full-jitter backoff before retry *attempt* (1-based)."""
+        draw = rng.uniform if rng is not None else random.uniform
+        cap = min(self.max_delay_ms, self.base_delay_ms * (2 ** (attempt - 1)))
+        return draw(0.0, cap)
+
+    def delays_ms(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The backoff sequence for retries 1..max_attempts-1."""
+        for attempt in range(1, self.max_attempts):
+            yield self.backoff_ms(attempt, rng)
+
+    # -- the loop ---------------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        tracer: Any | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> Any:
+        """Run ``fn()`` under this policy and return its value.
+
+        Non-transient errors propagate from the first attempt; a
+        transient error is retried after a jittered backoff until the
+        attempts or the budget run out, at which point the *last* error
+        propagates unchanged (typed, with its original code).
+        ``on_retry(attempt, error, delay_ms)`` is invoked before each
+        sleep — the chaos harness and tests hook it for evidence.
+        """
+        start = clock()
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if tracer is not None:
+                tracer.count("resilience.retry.attempts")
+            try:
+                result = fn()
+            except XQueryError as exc:
+                if not self.is_transient(exc):
+                    raise
+                last_error = exc
+                if attempt == self.max_attempts:
+                    break
+                delay_ms = self.backoff_ms(attempt, rng)
+                if isinstance(exc, CircuitOpenError) and exc.retry_after_ms:
+                    # The breaker knows when a probe becomes admissible;
+                    # sleeping less than that is guaranteed wasted work.
+                    delay_ms = max(delay_ms, exc.retry_after_ms)
+                retry_hint = getattr(exc, "retry_after_ms", None)
+                if (
+                    isinstance(exc, ServiceOverloadedError)
+                    and retry_hint is not None
+                ):
+                    delay_ms = max(delay_ms, retry_hint)
+                if self.budget_ms is not None:
+                    elapsed_ms = (clock() - start) * 1000.0
+                    if elapsed_ms + delay_ms >= self.budget_ms:
+                        # A retry that cannot land inside the budget is
+                        # not attempted: fail now with the real error.
+                        break
+                if tracer is not None:
+                    tracer.count("resilience.retry.retries")
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay_ms)
+                if delay_ms > 0:
+                    sleep(delay_ms / 1000.0)
+            else:
+                if attempt > 1 and tracer is not None:
+                    tracer.count("resilience.retry.recovered")
+                return result
+        if tracer is not None:
+            tracer.count("resilience.retry.exhausted")
+        assert last_error is not None
+        raise last_error

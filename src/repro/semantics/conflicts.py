@@ -53,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def check_conflict_free(
-    delta: UpdateList, tracer: "Tracer | None" = None
+    delta: UpdateList, tracer: "Tracer | None" = None, control=None
 ) -> None:
     """Prove Δ conflict-free or raise :class:`ConflictError`.
 
@@ -62,6 +62,13 @@ def check_conflict_free(
     ``conflict.table.positions``) and outcome counters
     (``conflict.checks`` / ``conflict.ok`` / ``conflict.detected``) — the
     paper's §4.1 "pair of hash-tables" made measurable.
+
+    With a *control* (an
+    :class:`~repro.concurrent.control.ExecutionControl`), the scan polls
+    it periodically so a timeout or cancellation fires inside the check
+    of a very large Δ, not only at the next tuple boundary.  The scan
+    mutates nothing, so interrupting it anywhere is safe — the Δ is
+    simply discarded unapplied.
     """
     # Table 1: per-node write records. Values are sets of tags:
     #   'name'    — some rename writes this node's name,
@@ -72,11 +79,11 @@ def check_conflict_free(
     # Table 2: symbolic insert positions (position, target) -> group.
     positions: dict[tuple[str, int], object] = {}
     if tracer is None:
-        _scan(delta, writes, delete_groups, positions)
+        _scan(delta, writes, delete_groups, positions, control)
         return
     tracer.count("conflict.checks")
     try:
-        _scan(delta, writes, delete_groups, positions)
+        _scan(delta, writes, delete_groups, positions, control)
     except ConflictError:
         tracer.count("conflict.detected")
         raise
@@ -93,6 +100,7 @@ def _scan(
     writes: dict[int, set[str]],
     delete_groups: dict[int, list],
     positions: dict[tuple[str, int], object],
+    control=None,
 ) -> None:
     def mark(node: int, tag: str, message: str) -> None:
         tags = writes.setdefault(node, set())
@@ -100,7 +108,9 @@ def _scan(
             raise ConflictError(message)
         tags.add(tag)
 
-    for request in delta:
+    for position_index, request in enumerate(delta):
+        if control is not None and position_index % 256 == 0:
+            control.check()
         if isinstance(request, RenameRequest):
             mark(
                 request.node,

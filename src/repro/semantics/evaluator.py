@@ -200,6 +200,7 @@ class Evaluator:
             apply_update_list(
                 self.store, delta, mode,
                 atomic=self.atomic_snaps, journal=self.journal,
+                control=self.control,
             )
             return value
         with tracer.span("evaluate"):
@@ -210,7 +211,7 @@ class Evaluator:
             apply_update_list(
                 self.store, delta, mode,
                 atomic=self.atomic_snaps, tracer=tracer,
-                journal=self.journal,
+                journal=self.journal, control=self.control,
             )
         return value
 
@@ -948,6 +949,7 @@ class Evaluator:
             atomic=self.atomic_snaps,
             tracer=self.tracer,
             journal=self.journal,
+            control=self.control,
         )
         return EvalResult(value, _EMPTY)
 

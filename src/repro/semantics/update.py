@@ -35,7 +35,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
-from repro.errors import UpdateApplicationError
+from repro.errors import ExecutionControlError, UpdateApplicationError
 from repro.xdm.store import NodeKind, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -212,6 +212,7 @@ def apply_update_list(
     atomic: bool = False,
     tracer: "Tracer | None" = None,
     journal: "Journal | None" = None,
+    control=None,
 ) -> None:
     """Apply Δ to the store under the chosen semantics.
 
@@ -237,6 +238,19 @@ def apply_update_list(
     (when ``atomic``) and raises
     :class:`~repro.errors.DurabilityError`, so the in-memory store
     never acknowledges a snap the disk does not hold.
+
+    With a *control* (an
+    :class:`~repro.concurrent.control.ExecutionControl`), application
+    stays interruptible even inside a huge Δ: the conflict scan polls it
+    unconditionally (pure reads), and the apply loop polls it when the
+    rollback checkpoint exists — a mid-apply interrupt then restores the
+    pre-Δ store, preserving the all-or-nothing discipline.  Without a
+    checkpoint the loop never polls (an interrupt there would half-apply).
+    The control's admission guard, when present, bounds the Δ length
+    before anything applies and the journal's circuit breaker, when
+    present, refuses the commit with a typed
+    :class:`~repro.errors.CircuitOpenError` while the durability path is
+    known-bad — both refusals leave the store untouched.
     """
     from repro.semantics.conflicts import check_conflict_free
 
@@ -246,8 +260,14 @@ def apply_update_list(
         # "pending-update-list length per snap" histogram is fed.
         tracer.count("snap.count")
         tracer.observe("snap.pending_updates", len(delta))
+    if control is not None and delta:
+        guard = control.guard
+        if guard is not None:
+            # Admission bound on the pending-update-list length; a
+            # refusal discards the Δ whole, store untouched.
+            guard.check_delta(len(delta))
     if semantics is ApplySemantics.CONFLICT_DETECTION:
-        check_conflict_free(delta, tracer=tracer)
+        check_conflict_free(delta, tracer=tracer, control=control)
     order = range(len(delta))
     if permutation is not None:
         if semantics is ApplySemantics.ORDERED:
@@ -257,6 +277,12 @@ def apply_update_list(
         if sorted(permutation) != list(range(len(delta))):
             raise UpdateApplicationError("invalid permutation of Δ")
         order = permutation  # type: ignore[assignment]
+    breaker = journal.breaker if journal is not None else None
+    if breaker is not None and delta:
+        # Degraded read-only mode: while the durability circuit is open
+        # a non-empty Δ is refused before anything touches the store.
+        # Reads carry an empty Δ and never reach this gate.
+        breaker.admit()
     entry = None
     if journal is not None and delta:
         # Built pre-apply: the entry captures the payload subtrees and
@@ -266,12 +292,32 @@ def apply_update_list(
         )
     checkpoint = store.checkpoint() if atomic and delta else None
     try:
-        for index in order:
-            delta[index].apply(store)
+        if checkpoint is None or control is None:
+            for index in order:
+                delta[index].apply(store)
+        else:
+            # Interruptible application: with a rollback checkpoint a
+            # fired deadline/cancel/budget mid-Δ restores the pre-Δ
+            # store, so polling here cannot half-apply a snap.
+            for position, index in enumerate(order):
+                if position % 64 == 0:
+                    control.check()
+                delta[index].apply(store)
     except UpdateApplicationError:
         # A failed snap journals nothing: the entry is discarded whole.
         if checkpoint is not None:
             store.restore(checkpoint)
+        if breaker is not None and delta:
+            # The journal was never exercised; a half-open probe slot
+            # must not stay reserved for an outcome that never comes.
+            breaker.release_probe()
+        raise
+    except ExecutionControlError:
+        # Only reachable from the polling loop, which requires the
+        # checkpoint: the Δ is un-applied whole, never half-applied.
+        store.restore(checkpoint)
+        if breaker is not None and delta:
+            breaker.release_probe()
         raise
     if entry is not None:
         try:
@@ -284,8 +330,16 @@ def apply_update_list(
 
             if checkpoint is not None:
                 store.restore(checkpoint)
+            if breaker is not None:
+                breaker.record_failure(f"journal append failed: {exc}")
             raise DurabilityError(
                 f"journal append failed: {exc}"
                 + ("" if checkpoint is not None else "; the in-memory "
                    "store kept the snap (atomic_snaps was off)")
             ) from exc
+        if breaker is not None:
+            breaker.record_success()
+    elif breaker is not None and delta:
+        # Journal present but entry None cannot happen for a non-empty
+        # Δ today; keep the probe accounting robust regardless.
+        breaker.release_probe()

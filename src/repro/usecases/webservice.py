@@ -84,7 +84,11 @@ class AuctionService:
             ignored in favour of the recovered state.
         durable_options: forwarded to
             :class:`~repro.durability.DurableEngine` (``fsync``,
-            compaction thresholds, ...).
+            compaction thresholds, ``resilience=`` — a
+            :class:`~repro.resilience.ResiliencePolicy` puts a circuit
+            breaker on the journal, so a failing disk degrades the
+            service to read-only instead of failing every call the
+            hard way, ...).
     """
 
     def __init__(
@@ -151,6 +155,10 @@ class AuctionService:
         if self.durable is not None:
             self.durable.close()
 
+    def health(self):
+        """The backing engine's health report (durable or in-memory)."""
+        return self.engine.health()
+
     # -- service calls ----------------------------------------------------
 
     def get_item(self, itemid: str, userid: str) -> QueryResult:
@@ -213,14 +221,22 @@ class AuctionFrontEnd:
     * ``get_item`` inserts a log entry (and may roll the log over), so
       it serializes through the store's write lock; its snaps stay
       atomic and readers never see a torn log.
-    * A full queue sheds requests fast with
-      :class:`~repro.errors.ServiceOverloadedError` instead of building
-      an unbounded backlog, and a request that exceeds its deadline
-      fails with :class:`~repro.errors.QueryTimeoutError` — queued or
-      mid-execution — leaving the store untouched by its pending Δ.
+    * An overloaded queue sheds requests fast with a *structured*
+      :class:`~repro.errors.ServiceOverloadedError` — queue depth,
+      capacity, the request's wait budget and a ``retry_after_ms``
+      backoff hint, all machine-readable via ``to_dict()`` — instead of
+      building an unbounded backlog.  A request that exceeds its
+      deadline fails with :class:`~repro.errors.QueryTimeoutError` —
+      queued or mid-execution — leaving the store untouched by its
+      pending Δ.
+    * With a ``resilience`` policy, admission limits bound what one
+      request may consume, load shedding becomes latency-aware, and
+      transient durability faults are retried with backoff (see
+      :class:`~repro.resilience.ResiliencePolicy`).
 
     Aggregated serving evidence (queue depth, lock waits, snapshot age,
-    shed/timeout counts) is at :attr:`metrics`.
+    shed/timeout counts) is at :attr:`metrics`; :meth:`health` reports
+    the whole stack — serving, admission, durability, circuit state.
     """
 
     def __init__(
@@ -230,6 +246,7 @@ class AuctionFrontEnd:
         queue_size: int = 64,
         default_timeout_ms: float | None = 1000.0,
         reads: str = "snapshot",
+        resilience=None,
     ):
         self.service = service if service is not None else AuctionService()
         self.executor = ConcurrentExecutor(
@@ -238,8 +255,14 @@ class AuctionFrontEnd:
             queue_size=queue_size,
             default_timeout_ms=default_timeout_ms,
             reads=reads,
+            resilience=resilience,
         )
         self.metrics = self.executor.metrics
+
+    def health(self):
+        """Whole-stack health: serving + admission + engine sections
+        (plus durability and circuit state on a durable service)."""
+        return self.executor.health()
 
     # -- asynchronous service calls ---------------------------------------
 

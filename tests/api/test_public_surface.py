@@ -40,6 +40,13 @@ EXPECTED_ALL = {
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceOverloadedError",
+    "CircuitOpenError",
+    "ResourceLimitError",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "AdmissionLimits",
+    "HealthReport",
     "AtomicValue",
     "Node",
     "NodeKind",

@@ -72,6 +72,41 @@ class TestFaultInjector:
         injector.hit(EIO_ON_WRITE)  # no exception
         injector.disarm("crash-on-tuesdays")  # unknown: no-op
 
+    def test_persistent_arm_fires_every_hit_until_disarmed(self):
+        injector = FaultInjector()
+        injector.arm(EIO_ON_WRITE, persistent=True)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                injector.hit(EIO_ON_WRITE)
+        assert injector.fired == [EIO_ON_WRITE] * 3
+        injector.disarm(EIO_ON_WRITE)
+        injector.hit(EIO_ON_WRITE)  # window closed: no exception
+        assert len(injector.fired) == 3
+
+    def test_persistent_arm_honours_the_countdown(self):
+        injector = FaultInjector()
+        injector.arm(EIO_ON_WRITE, after=2, persistent=True)
+        injector.hit(EIO_ON_WRITE)  # countdown: first hit passes
+        with pytest.raises(OSError):
+            injector.hit(EIO_ON_WRITE)
+        with pytest.raises(OSError):
+            injector.hit(EIO_ON_WRITE)  # and keeps firing
+
+    def test_persistent_arm_rejected_on_crash_points(self):
+        # A fired crash ends the simulated process, so persistence is
+        # only meaningful for the survivable EIO point.
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.arm(CRASH_BEFORE_FSYNC, persistent=True)
+
+    def test_rearming_non_persistent_clears_persistence(self):
+        injector = FaultInjector()
+        injector.arm(EIO_ON_WRITE, persistent=True)
+        injector.arm(EIO_ON_WRITE)  # downgrade to one-shot
+        with pytest.raises(OSError):
+            injector.hit(EIO_ON_WRITE)
+        injector.hit(EIO_ON_WRITE)  # one-shot: disarmed after firing
+
 
 class TestFaultyFile:
     def test_writes_within_budget_pass_through(self):

@@ -331,3 +331,58 @@ class TestMaterializeRows:
         journal.close()
         # Every referenced row already exists in this very store.
         assert materialize_rows(store, entry.nodes) == 0
+
+
+class TestBatchModeFlush:
+    """Batch mode may hold acknowledged-but-unflushed frames; every exit
+    path from a journal file (close, rotate) must flush them first."""
+
+    def batch_journal(self, tmp_path):
+        # A batch far larger than the commit count: no mid-run fsync.
+        return journal_at(tmp_path, fsync=FSYNC_BATCH, fsync_batch=1000)
+
+    def test_close_flushes_pending_batch_commits(self, tmp_path):
+        engine = make_store_with_fragment()
+        journal = self.batch_journal(tmp_path)
+        node = engine.execute("$doc/inventory/*").items[0].nid
+        for _ in range(3):
+            commit_one(
+                journal,
+                engine.store,
+                [RenameRequest(node=node, name="renamed")],
+            )
+        assert journal._commits_since_fsync == 3
+        before = journal.fsyncs
+        journal.close()
+        assert journal.fsyncs == before + 1
+        assert journal._commits_since_fsync == 0
+
+    def test_rotate_flushes_the_old_file_before_closing_it(self, tmp_path):
+        # Until the caller publishes the new manifest, a crash recovers
+        # from the OLD pair — so rotate must make the old tail durable.
+        engine = make_store_with_fragment()
+        journal = self.batch_journal(tmp_path)
+        node = engine.execute("$doc/inventory/item").items[0].nid
+        for _ in range(2):
+            commit_one(
+                journal, engine.store, [RenameRequest(node=node, name="x")]
+            )
+        assert journal._commits_since_fsync == 2
+        before = journal.fsyncs
+        journal.rotate(
+            str(tmp_path / "j2.wal"), base_next_id=engine.store._next_id
+        )
+        assert journal.fsyncs == before + 1  # the old handle was fsynced
+        assert journal._commits_since_fsync == 0
+        # The rotated-away file's frames are all intact on disk.
+        assert len(scan_journal(str(tmp_path / "j.wal")).records) == 2
+
+    def test_rotate_with_nothing_pending_skips_the_extra_fsync(
+        self, tmp_path
+    ):
+        journal = journal_at(tmp_path, fsync=FSYNC_ALWAYS)
+        before = journal.fsyncs
+        journal.rotate(
+            str(tmp_path / "j2.wal"), base_next_id=0
+        )
+        assert journal.fsyncs == before  # always-mode left no backlog

@@ -1,0 +1,184 @@
+"""CircuitBreaker: trip rules, half-open probe protocol, recovery.
+
+The clock is injected everywhere, so state transitions are exercised
+without real waiting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.obs import Tracer
+from repro.resilience import CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+def make(clock=None, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("min_calls", 4)
+    kwargs.setdefault("reset_timeout_ms", 100.0)
+    return CircuitBreaker(clock=clock or FakeClock(), **kwargs)
+
+
+class TestTripRules:
+    def test_starts_closed_and_admits(self):
+        breaker = make()
+        assert breaker.state == CLOSED
+        breaker.admit()  # does not raise
+
+    def test_consecutive_failures_trip(self):
+        breaker = make(failure_threshold=3)
+        breaker.record_failure("EIO")
+        breaker.record_failure("EIO")
+        assert breaker.state == CLOSED
+        breaker.record_failure("EIO")
+        assert breaker.state == OPEN
+        assert "EIO" in breaker.open_reason
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make(failure_threshold=3, min_calls=100)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_failure_rate_trips_once_min_calls_reached(self):
+        breaker = make(
+            failure_threshold=100,  # keep the consecutive rule out of play
+            failure_rate=0.5,
+            window=8,
+            min_calls=4,
+        )
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 2/3 failed but only 3 calls seen
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == OPEN  # 3/5 = 60% with min_calls reached
+
+    def test_open_refusal_is_typed_and_structured(self):
+        clock = FakeClock()
+        breaker = make(clock=clock, reset_timeout_ms=100.0)
+        for _ in range(3):
+            breaker.record_failure("disk on fire")
+        clock.advance_ms(40.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.admit()
+        err = info.value
+        assert err.code == "REPR0006"
+        assert err.reason == "disk on fire"
+        assert err.retry_after_ms == pytest.approx(60.0)
+        assert "read-only" in str(err)
+
+    def test_tracer_counts_transitions(self):
+        tracer = Tracer()
+        clock = FakeClock()
+        breaker = make(clock=clock, tracer=tracer)
+        for _ in range(3):
+            breaker.record_failure()
+        assert tracer.counters["resilience.breaker.opened"] == 1
+        clock.advance_ms(150.0)
+        breaker.admit()  # half-open probe
+        assert tracer.counters["resilience.breaker.half_open"] == 1
+        breaker.record_success()
+        assert tracer.counters["resilience.breaker.closed"] == 1
+
+
+class TestHalfOpenProbe:
+    def trip(self, clock):
+        breaker = make(clock=clock)
+        for _ in range(3):
+            breaker.record_failure("EIO")
+        return breaker
+
+    def test_reset_timeout_makes_the_state_half_open(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        assert breaker.state == OPEN
+        clock.advance_ms(100.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.retry_after_ms() == 0.0
+
+    def test_exactly_one_probe_is_admitted(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        clock.advance_ms(150.0)
+        breaker.admit()  # the probe slot
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()  # concurrent request: no thundering herd
+
+    def test_probe_success_closes_and_clears_the_window(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        clock.advance_ms(150.0)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.to_dict()["calls_in_window"] == 0
+        breaker.admit()  # admits freely again
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        tracer = Tracer()
+        clock = FakeClock()
+        breaker = make(clock=clock, tracer=tracer)
+        for _ in range(3):
+            breaker.record_failure("EIO")
+        clock.advance_ms(150.0)
+        breaker.admit()
+        breaker.record_failure("still dead")
+        assert breaker.state == OPEN
+        assert tracer.counters["resilience.breaker.reopened"] == 1
+        assert breaker.retry_after_ms() == pytest.approx(100.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+
+    def test_release_probe_frees_the_slot(self):
+        # An admitted call that never exercised the journal (precondition
+        # failure) must not wedge the half-open state.
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        clock.advance_ms(150.0)
+        breaker.admit()
+        breaker.release_probe()
+        breaker.admit()  # the next write can probe instead
+
+    def test_reset_force_closes(self):
+        breaker = self.trip(FakeClock())
+        breaker.reset()
+        assert breaker.state == CLOSED
+        breaker.admit()
+
+
+class TestIntrospection:
+    def test_to_dict_shape(self):
+        breaker = make()
+        breaker.record_failure("EIO")
+        snapshot = breaker.to_dict()
+        assert snapshot == {
+            "state": "closed",
+            "failures_in_window": 1,
+            "calls_in_window": 1,
+            "consecutive_failures": 1,
+            "open_reason": None,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="failure_rate"):
+            CircuitBreaker(failure_rate=1.5)
+        with pytest.raises(ValueError, match="reset_timeout_ms"):
+            CircuitBreaker(reset_timeout_ms=0)

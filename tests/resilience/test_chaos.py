@@ -1,0 +1,130 @@
+"""The whole-stack chaos suite (the CI quality gate).
+
+Runs the :class:`~repro.resilience.chaos.ChaosHarness` — the full
+durable, concurrent auction stack under injected journal EIO, slow
+fsync, a lock stall and snapshot pressure — and enforces the subsystem
+invariant: every request ends in success or a typed refusal, the store
+is never silently wrong, and the service returns to healthy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    ParseError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+)
+from repro.resilience.chaos import (
+    CIRCUIT_OPEN,
+    DURABILITY,
+    OVERLOADED,
+    SEMANTIC,
+    SUCCESS,
+    TIMEOUT,
+    UNEXPECTED,
+    ChaosHarness,
+    ChaosReport,
+    ChaosSchedule,
+)
+
+
+class TestClassify:
+    def test_every_typed_error_maps_to_its_class(self):
+        classify = ChaosHarness.classify
+        assert classify(None) == SUCCESS
+        assert classify(CircuitOpenError("open")) == CIRCUIT_OPEN
+        assert classify(ServiceOverloadedError("shed")) == OVERLOADED
+        assert classify(QueryTimeoutError("late")) == TIMEOUT
+        assert classify(DurabilityError("EIO")) == DURABILITY
+        assert classify(ParseError("oops")) == SEMANTIC
+
+    def test_untyped_errors_are_flagged(self):
+        assert ChaosHarness.classify(RuntimeError("boom")) == UNEXPECTED
+
+    def test_circuit_open_is_not_misfiled_as_durability(self):
+        # CircuitOpenError subclasses DurabilityError; the degraded-mode
+        # refusal must be counted as its own outcome class.
+        assert ChaosHarness.classify(CircuitOpenError("x")) == CIRCUIT_OPEN
+
+
+class TestReportVerdicts:
+    def healthy_report(self) -> ChaosReport:
+        return ChaosReport(
+            outcomes={SUCCESS: 10},
+            store_invariants_ok=True,
+            accounting_ok=True,
+            durability_consistent=True,
+            recovered_healthy=True,
+        )
+
+    def test_invariant_holds_when_everything_checks_out(self):
+        assert self.healthy_report().invariant_holds
+
+    def test_one_untyped_error_violates(self):
+        report = self.healthy_report()
+        report.unexpected.append("RuntimeError: boom")
+        assert not report.all_typed
+        assert not report.invariant_holds
+        assert "UNTYPED" in report.render()
+
+    def test_failed_recovery_violates(self):
+        report = self.healthy_report()
+        report.recovered_healthy = False
+        assert not report.invariant_holds
+
+
+class TestChaosRuns:
+    @pytest.mark.slow
+    def test_quiet_run_all_success(self, tmp_path):
+        # No fault window at all: the stack under concurrent load with
+        # nothing injected — every request succeeds, service healthy.
+        schedule = ChaosSchedule(
+            duration_s=1.0, eio_start_s=0.0, eio_stop_s=0.0
+        )
+        report = ChaosHarness(
+            schedule,
+            path=str(tmp_path / "state"),
+            readers=2,
+            writers=1,
+            workers=2,
+        ).run()
+        assert report.invariant_holds, report.render()
+        assert report.outcomes.get(SUCCESS, 0) > 0
+        assert UNEXPECTED not in report.outcomes
+        assert report.faults_fired == {}
+
+    @pytest.mark.slow
+    def test_eio_window_degrades_then_recovers(self, tmp_path):
+        # Journal EIO mid-run: the breaker must trip (degraded read-only
+        # mode observed), refusals must stay typed, and the service must
+        # be healthy again by the end.
+        schedule = ChaosSchedule(
+            duration_s=2.0, eio_start_s=0.4, eio_stop_s=1.0
+        )
+        report = ChaosHarness(
+            schedule, path=str(tmp_path / "state")
+        ).run()
+        assert report.invariant_holds, report.render()
+        assert report.degraded_observed
+        assert report.faults_fired.get("eio-on-write", 0) > 0
+        # Writers hit either the raw journal error or the breaker.
+        assert (
+            report.outcomes.get(DURABILITY, 0)
+            + report.outcomes.get(CIRCUIT_OPEN, 0)
+            > 0
+        )
+
+    @pytest.mark.slow
+    def test_everything_schedule(self, tmp_path):
+        # The CI schedule: all four fault families composed.
+        report = ChaosHarness(
+            ChaosSchedule.everything(duration_s=2.5),
+            path=str(tmp_path / "state"),
+        ).run()
+        assert report.invariant_holds, report.render()
+        assert report.degraded_observed
+        assert report.total_entries_live == report.total_entries_recovered

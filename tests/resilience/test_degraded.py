@@ -1,0 +1,151 @@
+"""Degraded read-only mode, end to end through the DurableEngine.
+
+A failing journal (injected EIO) trips the circuit breaker; while it is
+open, reads keep serving from the last consistent state and writes get
+a typed :class:`CircuitOpenError` without touching the store.  Once the
+fault clears and the reset timeout passes, one half-open probe write
+recovers the service to fully healthy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import DurableEngine, FaultInjector, ResiliencePolicy
+from repro.durability.faults import EIO_ON_WRITE
+from repro.errors import CircuitOpenError, DurabilityError
+from repro.resilience.breaker import CLOSED, OPEN
+
+
+POLICY = ResiliencePolicy(
+    breaker_failure_threshold=2,
+    breaker_min_calls=100,  # keep the rate rule out of play
+    breaker_reset_timeout_ms=40.0,
+)
+
+
+def make_engine(tmp_path, injector):
+    engine = DurableEngine(
+        str(tmp_path / "store"),
+        faults=injector,
+        resilience=POLICY,
+    )
+    engine.load_document("doc", "<log/>")
+    engine.execute("snap insert { <item n='0'/> } into { $doc/log }")
+    return engine
+
+
+@pytest.fixture
+def injector():
+    return FaultInjector()
+
+
+def trip(engine, injector):
+    """Drive enough failing writes to open the circuit."""
+    for _ in range(POLICY.breaker_failure_threshold):
+        injector.arm(EIO_ON_WRITE, after=1)
+        with pytest.raises(DurabilityError):
+            engine.execute("snap insert { <item n='x'/> } into { $doc/log }")
+    injector.disarm(EIO_ON_WRITE)
+    assert engine.breaker.state == OPEN
+    assert engine.degraded
+
+
+class TestDegradedMode:
+    def test_fixture_engine_starts_healthy(self, tmp_path, injector):
+        with make_engine(tmp_path, injector) as engine:
+            assert engine.breaker is not None
+            assert engine.breaker.state == CLOSED
+            assert not engine.degraded
+            assert engine.health().status == "healthy"
+
+    def test_journal_failures_open_the_circuit(self, tmp_path, injector):
+        with make_engine(tmp_path, injector) as engine:
+            trip(engine, injector)
+            assert engine.health().status == "degraded"
+            circuit = engine.health().sections["circuit"]
+            assert circuit["state"] in ("open", "half-open")
+
+    def test_open_circuit_refuses_writes_without_applying(
+        self, tmp_path, injector
+    ):
+        with make_engine(tmp_path, injector) as engine:
+            trip(engine, injector)
+            before = engine.execute("count($doc/log/item)").first_value()
+            with pytest.raises(CircuitOpenError) as info:
+                engine.execute(
+                    "snap insert { <item n='y'/> } into { $doc/log }"
+                )
+            assert info.value.code == "REPR0006"
+            # The refused snap's Δ was discarded whole.
+            count = engine.execute("count($doc/log/item)").first_value()
+            assert count == before
+
+    def test_reads_keep_serving_while_degraded(self, tmp_path, injector):
+        with make_engine(tmp_path, injector) as engine:
+            trip(engine, injector)
+            # An empty Δ never consults the breaker: reads are untouched.
+            assert engine.execute("count($doc/log/item)").first_value() == 1
+            assert engine.execute("$doc/log/item/@n").strings() == ["0"]
+
+    def test_probe_write_recovers_to_healthy(self, tmp_path, injector):
+        with make_engine(tmp_path, injector) as engine:
+            trip(engine, injector)
+            time.sleep(POLICY.breaker_reset_timeout_ms / 1000.0 + 0.02)
+            # Fault cleared + reset timeout passed: the next write is the
+            # half-open probe, succeeds, and closes the circuit.
+            engine.execute("snap insert { <item n='z'/> } into { $doc/log }")
+            assert engine.breaker.state == CLOSED
+            assert not engine.degraded
+            assert engine.health().status == "healthy"
+            assert engine.execute("count($doc/log/item)").first_value() == 2
+
+    def test_probe_failure_reopens(self, tmp_path, injector):
+        with make_engine(tmp_path, injector) as engine:
+            trip(engine, injector)
+            time.sleep(POLICY.breaker_reset_timeout_ms / 1000.0 + 0.02)
+            injector.arm(EIO_ON_WRITE, after=1)  # the disk is still dead
+            with pytest.raises(DurabilityError):
+                engine.execute("snap insert { <item/> } into { $doc/log }")
+            injector.disarm(EIO_ON_WRITE)
+            assert engine.breaker.state == OPEN
+            with pytest.raises(CircuitOpenError):
+                engine.execute("snap insert { <item/> } into { $doc/log }")
+
+    def test_degraded_state_survives_until_probe_not_restart(
+        self, tmp_path, injector
+    ):
+        # Closing and reopening the durable directory resets the breaker
+        # (circuit state is process-local, not persisted) and recovers
+        # exactly the committed writes.
+        path = str(tmp_path / "store")
+        engine = DurableEngine(path, faults=injector, resilience=POLICY)
+        engine.load_document("doc", "<log/>")
+        engine.execute("snap insert { <item n='0'/> } into { $doc/log }")
+        trip(engine, injector)
+        engine.close()
+        with DurableEngine(path, resilience=POLICY) as reopened:
+            assert reopened.breaker.state == CLOSED
+            assert not reopened.degraded
+            assert reopened.execute("count($doc/log/item)").first_value() == 1
+
+    def test_disabled_policy_keeps_failing_hard(self, tmp_path, injector):
+        # The explicit off switch: every write rides the full failure
+        # path, no breaker, no degraded mode.
+        engine = DurableEngine(
+            str(tmp_path / "store"),
+            faults=injector,
+            resilience=ResiliencePolicy.disabled(),
+        )
+        engine.load_document("doc", "<log/>")
+        with engine:
+            assert engine.breaker is None
+            for _ in range(4):
+                injector.arm(EIO_ON_WRITE, after=1)
+                with pytest.raises(DurabilityError):
+                    engine.execute("snap insert { <x/> } into { $doc/log }")
+            injector.disarm(EIO_ON_WRITE)
+            engine.execute("snap insert { <x/> } into { $doc/log }")
+            assert engine.execute("count($doc/log/x)").first_value() == 1

@@ -1,0 +1,178 @@
+"""Health/readiness probes at every layer, and the CLI probe.
+
+One HealthReport shape composes across the stack: Engine (store +
+caches), DurableEngine (journal lag + circuit), ConcurrentExecutor
+(serving + admission), AuctionService/AuctionFrontEnd (whole stack),
+and ``repro health DIR`` for scripts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import DurableEngine, Engine, ResiliencePolicy
+from repro.cli import health_main
+from repro.resilience import HealthReport
+from repro.resilience.health import DEGRADED, HEALTHY, UNHEALTHY
+from repro.usecases.webservice import AuctionFrontEnd, AuctionService
+
+
+class TestHealthReport:
+    def test_defaults(self):
+        report = HealthReport()
+        assert report.status == HEALTHY
+        assert report.ok and not report.degraded
+
+    def test_worsen_is_monotone(self):
+        report = HealthReport()
+        report.worsen(DEGRADED)
+        assert report.status == DEGRADED
+        report.worsen(HEALTHY)  # cannot get better by folding
+        assert report.status == DEGRADED
+        report.worsen(UNHEALTHY)
+        assert not report.ok
+
+    def test_degraded_is_still_ready(self):
+        report = HealthReport(status=DEGRADED)
+        assert report.ok  # reads keep serving: don't pull the instance
+
+    def test_merge_folds_status_and_sections(self):
+        outer = HealthReport(sections={"serving": {"queue_depth": 0}})
+        inner = HealthReport(status=DEGRADED, sections={"circuit": {"x": 1}})
+        outer.merge(inner)
+        assert outer.status == DEGRADED
+        assert set(outer.sections) == {"serving", "circuit"}
+
+    def test_json_round_trip(self):
+        report = HealthReport(sections={"engine": {"store_nodes": 3}})
+        payload = json.loads(report.to_json())
+        assert payload == report.to_dict()
+        assert payload["sections"]["engine"]["store_nodes"] == 3
+
+    def test_render_is_human_readable(self):
+        report = HealthReport(sections={"engine": {"store_nodes": 3}})
+        text = report.render()
+        assert text.startswith("status: healthy")
+        assert "store_nodes=3" in text
+
+
+class TestEngineHealth:
+    def test_bare_engine_is_healthy(self):
+        engine = Engine()
+        engine.load_document("doc", "<d><x/></d>")
+        report = engine.health()
+        assert report.status == HEALTHY
+        section = report.sections["engine"]
+        assert section["store_nodes"] > 0
+        assert section["documents"] >= 1
+        assert section["journal_attached"] is False
+
+
+class TestDurableEngineHealth:
+    def test_sections_and_journal_lag(self, tmp_path):
+        path = str(tmp_path / "store")
+        with DurableEngine(
+            path, resilience=ResiliencePolicy(), fsync="batch",
+            fsync_batch=1000,
+        ) as engine:
+            engine.load_document("doc", "<log/>")
+            engine.execute("snap insert { <e/> } into { $doc/log }")
+            report = engine.health()
+            assert report.status == HEALTHY
+            durability = report.sections["durability"]
+            assert durability["journal_records"] >= 1
+            assert durability["unflushed_commits"] >= 1  # batch lag
+            assert durability["journal_closed"] is False
+            circuit = report.sections["circuit"]
+            assert circuit["state"] == "closed"
+            assert circuit["retry_after_ms"] == 0.0
+            assert report.sections["engine"]["journal_attached"] is True
+
+    def test_closed_journal_is_unhealthy(self, tmp_path):
+        engine = DurableEngine(
+            str(tmp_path / "store"), resilience=ResiliencePolicy()
+        )
+        engine.close()
+        report = engine.health()
+        assert report.status == UNHEALTHY
+        assert not report.ok
+
+    def test_recovery_summary_after_reopen(self, tmp_path):
+        path = str(tmp_path / "store")
+        with DurableEngine(path) as engine:
+            engine.load_document("doc", "<log/>")
+            engine.execute("snap insert { <e/> } into { $doc/log }")
+        with DurableEngine(path, resilience=ResiliencePolicy()) as engine:
+            report = engine.health()
+            durability = report.sections["durability"]
+            assert durability["recovered"] is True
+            assert durability["last_recovery"]["records_replayed"] >= 1
+
+    def test_without_policy_health_still_reports(self, tmp_path):
+        with DurableEngine(str(tmp_path / "store")) as engine:
+            report = engine.health()
+            assert report.status == HEALTHY
+            assert "durability" in report.sections
+            assert "circuit" not in report.sections  # no breaker installed
+
+
+class TestServiceHealth:
+    def test_front_end_composes_the_whole_stack(self, tmp_path):
+        service = AuctionService(
+            auction_xml="<site><people><person id='p0'><name>A</name>"
+            "</person></people><regions><item id='i0'/></regions></site>",
+            durable_path=str(tmp_path / "store"),
+            resilience=ResiliencePolicy(),
+        )
+        front = AuctionFrontEnd(service, workers=2, queue_size=8)
+        try:
+            front.get_item_nolog("i0", "p0")
+            report = front.health()
+            assert report.status == HEALTHY
+            assert {"engine", "durability", "circuit", "serving",
+                    "admission"} <= set(report.sections)
+            serving = report.sections["serving"]
+            assert serving["queue_capacity"] == 8
+            assert serving["workers"] == 2
+            assert serving["requests"] >= 1
+        finally:
+            front.shutdown()
+            service.close()
+
+    def test_shutdown_executor_is_unhealthy(self):
+        front = AuctionFrontEnd(AuctionService(
+            auction_xml="<site/>"), workers=1, queue_size=2)
+        front.shutdown()
+        report = front.health()
+        assert report.status == UNHEALTHY
+        assert report.sections["serving"]["shutdown"] is True
+
+
+class TestCliHealth:
+    def make_store(self, tmp_path) -> str:
+        path = str(tmp_path / "store")
+        with DurableEngine(path) as engine:
+            engine.load_document("doc", "<log/>")
+            engine.execute("snap insert { <e/> } into { $doc/log }")
+        return path
+
+    def test_healthy_store_exits_zero(self, tmp_path, capsys):
+        assert health_main([self.make_store(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("status: healthy")
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert health_main([self.make_store(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "healthy"
+        assert payload["ok"] is True
+        assert "durability" in payload["sections"]
+
+    def test_unopenable_path_exits_one(self, tmp_path, capsys):
+        # A regular file where the durable directory should be: the
+        # probe reports the failure and exits nonzero instead of
+        # crashing (or silently creating a store).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert health_main([str(blocker)]) == 1
+        assert "error" in capsys.readouterr().err

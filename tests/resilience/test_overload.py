@@ -1,0 +1,139 @@
+"""Sustained overload: typed shedding, then throughput recovery.
+
+Satellite: a burst far past queue capacity must shed with *structured*
+ServiceOverloadedError (never hang, never crash a worker), and once the
+burst drains the service must be back at full throughput — shedding is
+a mode, not a ratchet.
+"""
+
+from __future__ import annotations
+
+from repro import ConcurrentExecutor, Engine, ResiliencePolicy
+from repro.errors import ServiceOverloadedError
+
+
+SLOW_WRITE = (
+    "snap { for $i in 1 to 40 "
+    "return insert { <e/> } into { $doc/log } }"
+)
+
+
+def make_executor(**kwargs):
+    engine = Engine()
+    engine.load_document("doc", "<log/>")
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("queue_size", 4)
+    kwargs.setdefault("reads", "serialized")
+    return ConcurrentExecutor(engine, **kwargs)
+
+
+def drain(futures):
+    """Resolve every future; return (successes, shed_errors, others)."""
+    ok, shed, other = [], [], []
+    for future in futures:
+        try:
+            ok.append(future.result(timeout=30))
+        except ServiceOverloadedError as exc:
+            shed.append(exc)
+        except Exception as exc:  # noqa: BLE001 - the test sorts them
+            other.append(exc)
+    return ok, shed, other
+
+
+class TestSustainedOverload:
+    def test_burst_sheds_typed_and_structured(self):
+        executor = make_executor()
+        try:
+            submitted, shed_at_submit = [], []
+            for _ in range(60):
+                try:
+                    submitted.append(executor.submit(SLOW_WRITE))
+                except ServiceOverloadedError as exc:
+                    shed_at_submit.append(exc)
+            ok, shed_queued, other = drain(submitted)
+            assert other == []  # nothing untyped escaped
+            assert shed_at_submit  # the burst overran a 4-deep queue
+            for exc in shed_at_submit:
+                assert exc.code == "REPR0003"
+                assert exc.queue_capacity == 4
+                assert exc.queue_depth >= 4
+                assert exc.retry_after_ms >= 50.0
+                payload = exc.to_dict()
+                assert payload["queue_capacity"] == 4
+            assert ok  # admitted requests still completed
+        finally:
+            executor.shutdown()
+
+    def test_throughput_recovers_after_the_burst(self):
+        executor = make_executor()
+        try:
+            futures = []
+            for _ in range(60):
+                try:
+                    futures.append(executor.submit(SLOW_WRITE))
+                except ServiceOverloadedError:
+                    pass
+            drain(futures)  # let the backlog fully drain
+            # Post-burst: sequential submits must all be admitted and
+            # succeed — shedding ended with the overload.
+            for _ in range(10):
+                result = executor.submit("count($doc/log/e)").result(
+                    timeout=30
+                )
+                assert result.first_value() >= 40
+        finally:
+            executor.shutdown()
+
+    def test_shed_counter_is_observable(self):
+        executor = make_executor()
+        try:
+            sheds = 0
+            for _ in range(60):
+                try:
+                    executor.submit(SLOW_WRITE)
+                except ServiceOverloadedError:
+                    sheds += 1
+            assert sheds > 0
+            assert executor.metrics.counter("shed") == sheds
+            assert (
+                executor.metrics.counters()["resilience.admission.shed"]
+                == sheds
+            )
+        finally:
+            executor.shutdown()
+
+    def test_latency_aware_shedding_in_the_soft_region(self):
+        # With a max_wait_ms target and a poisoned EWMA, the controller
+        # sheds above the soft limit even though the queue is not full.
+        policy = ResiliencePolicy(max_wait_ms=10.0)
+        executor = make_executor(queue_size=8, resilience=policy)
+        try:
+            for _ in range(20):
+                executor.admission.observe_wait(500.0)
+            # Park enough slow writes to push the queue into the soft
+            # region (soft limit of 8 is 6).
+            futures, shed = [], []
+            for _ in range(40):
+                try:
+                    futures.append(executor.submit(SLOW_WRITE))
+                except ServiceOverloadedError as exc:
+                    shed.append(exc)
+            assert shed
+            assert any(
+                "service target" in str(exc) or "full" in str(exc)
+                for exc in shed
+            )
+            drain(futures)
+        finally:
+            executor.shutdown()
+
+    def test_never_overloaded_below_capacity(self):
+        executor = make_executor(workers=2, queue_size=64)
+        try:
+            futures = [
+                executor.submit("count($doc/log)") for _ in range(32)
+            ]
+            ok, shed, other = drain(futures)
+            assert len(ok) == 32 and shed == [] and other == []
+        finally:
+            executor.shutdown()

@@ -1,0 +1,208 @@
+"""RetryPolicy: transient classification, jittered backoff, budgets.
+
+All tests are fully deterministic — the clock, the sleep and the RNG are
+injected, so no test actually waits.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    JournalCorruptionError,
+    ParseError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    UpdateError,
+)
+from repro.obs import Tracer
+from repro.resilience import RetryPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def flaky(failures: int, error: Exception):
+    """A callable that fails *failures* times, then returns 'ok'."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error
+        return "ok"
+
+    return fn
+
+
+class TestClassification:
+    def test_transient_whitelist(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(DurabilityError("EIO"))
+        assert policy.is_transient(ServiceOverloadedError("shed"))
+        assert policy.is_transient(QueryTimeoutError("slow"))
+
+    def test_semantic_errors_are_never_transient(self):
+        policy = RetryPolicy()
+        assert not policy.is_transient(ParseError("bad query"))
+        assert not policy.is_transient(UpdateError("conflict"))
+
+    def test_corruption_is_never_transient(self):
+        # Even though JournalCorruptionError subclasses DurabilityError
+        # (which IS whitelisted), corruption does not heal on retry.
+        policy = RetryPolicy()
+        assert not policy.is_transient(JournalCorruptionError("torn frame"))
+
+    def test_circuit_open_opt_in(self):
+        assert not RetryPolicy().is_transient(CircuitOpenError("open"))
+        assert RetryPolicy(retry_circuit_open=True).is_transient(
+            CircuitOpenError("open")
+        )
+
+    def test_semantic_error_propagates_from_first_attempt(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ParseError("nope")
+
+        with pytest.raises(ParseError):
+            RetryPolicy(max_attempts=5).call(fn, sleep=lambda s: None)
+        assert len(calls) == 1
+
+
+class TestBackoff:
+    def test_full_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_ms=10.0, max_delay_ms=100.0)
+        rng = random.Random(42)
+        for attempt in range(1, 12):
+            cap = min(100.0, 10.0 * (2 ** (attempt - 1)))
+            for _ in range(50):
+                delay = policy.backoff_ms(attempt, rng)
+                assert 0.0 <= delay <= cap
+
+    def test_delays_sequence_length(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert len(list(policy.delays_ms(random.Random(1)))) == 3
+
+    def test_circuit_retry_after_is_a_floor(self):
+        # With retry_circuit_open, the breaker's retry_after_ms hint
+        # floors the backoff: sleeping less is guaranteed wasted work.
+        policy = RetryPolicy(
+            max_attempts=2,
+            base_delay_ms=0.0,
+            retry_circuit_open=True,
+            budget_ms=None,
+        )
+        clock = FakeClock()
+        slept = []
+        with pytest.raises(CircuitOpenError):
+            policy.call(
+                flaky(5, CircuitOpenError("open", retry_after_ms=500.0)),
+                sleep=slept.append,
+                clock=clock,
+            )
+        assert slept == [0.5]
+
+    def test_overload_retry_after_is_a_floor(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_ms=0.0, budget_ms=None)
+        slept = []
+        with pytest.raises(ServiceOverloadedError):
+            policy.call(
+                flaky(5, ServiceOverloadedError("shed", retry_after_ms=250.0)),
+                sleep=slept.append,
+                clock=FakeClock(),
+            )
+        assert slept == [0.25]
+
+
+class TestLoop:
+    def test_recovers_after_transient_failures(self):
+        tracer = Tracer()
+        result = RetryPolicy(max_attempts=4, base_delay_ms=1.0).call(
+            flaky(2, DurabilityError("EIO")),
+            tracer=tracer,
+            rng=random.Random(0),
+            sleep=lambda s: None,
+        )
+        assert result == "ok"
+        assert tracer.counters["resilience.retry.attempts"] == 3
+        assert tracer.counters["resilience.retry.retries"] == 2
+        assert tracer.counters["resilience.retry.recovered"] == 1
+        assert "resilience.retry.exhausted" not in tracer.counters
+
+    def test_exhaustion_raises_last_error(self):
+        tracer = Tracer()
+        with pytest.raises(DurabilityError, match="EIO"):
+            RetryPolicy(max_attempts=3, base_delay_ms=1.0).call(
+                flaky(10, DurabilityError("EIO")),
+                tracer=tracer,
+                rng=random.Random(0),
+                sleep=lambda s: None,
+            )
+        assert tracer.counters["resilience.retry.attempts"] == 3
+        assert tracer.counters["resilience.retry.exhausted"] == 1
+
+    def test_budget_stops_retries_early(self):
+        # Budget of 100ms; each backoff draw is ~forced to 80ms, so the
+        # second retry cannot land inside the budget and is not tried.
+        clock = FakeClock()
+
+        class FixedRng:
+            def uniform(self, low, high):
+                return 80.0
+
+        calls = []
+
+        def fn():
+            calls.append(clock.now)
+            raise DurabilityError("EIO")
+
+        with pytest.raises(DurabilityError):
+            RetryPolicy(
+                max_attempts=10, base_delay_ms=80.0, budget_ms=100.0
+            ).call(fn, rng=FixedRng(), sleep=clock.sleep, clock=clock)
+        assert len(calls) == 2  # first try + the one retry that fit
+
+    def test_on_retry_hook_sees_attempt_error_delay(self):
+        seen = []
+        RetryPolicy(max_attempts=3, base_delay_ms=4.0).call(
+            flaky(1, DurabilityError("EIO")),
+            rng=random.Random(7),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc, delay: seen.append(
+                (attempt, type(exc).__name__, delay)
+            ),
+        )
+        assert len(seen) == 1
+        attempt, name, delay = seen[0]
+        assert attempt == 1 and name == "DurabilityError"
+        assert 0.0 <= delay <= 4.0
+
+    def test_single_attempt_policy_never_sleeps(self):
+        slept = []
+        with pytest.raises(DurabilityError):
+            RetryPolicy(max_attempts=1).call(
+                flaky(1, DurabilityError("EIO")), sleep=slept.append
+            )
+        assert slept == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_ms=-1.0)
+        with pytest.raises(ValueError, match="budget_ms"):
+            RetryPolicy(budget_ms=0.0)
