@@ -1,0 +1,197 @@
+"""Value/structural indexes: what the hot read path buys, by scale.
+
+Three access strategies are timed on the same engine and document at
+1x/10x/100x XMark scale (``XMarkConfig.scale``):
+
+* **seq-scan** — every index off: descendant steps walk the subtree
+  (``use_name_index`` disabled) and predicates evaluate against every
+  candidate (``ExecutionOptions(use_indexes=False)``).  This is the
+  pre-index discipline and the denominator of every speedup ratio.
+* **index-scan** — the evaluator's probe fast paths: the structural
+  name index answers ``//name`` steps and the value indexes answer
+  ``[@a = $v]`` / ``[contains(string(.), $v)]`` predicates, each probe
+  re-verified against exact semantics.
+* **cost-chosen** — ``optimize=True``: the plan compiler consults
+  :class:`repro.index.Statistics` and substitutes ``IndexScan``
+  operators where the cost model says they win (it always does at
+  these scales; the MIN_TABLE_NODES gate keeps tiny stores on the
+  sequential plan).
+
+The q8-style join is explained once per scale and the optimizer's
+recorded cost decisions (access path per branch, hash build side) are
+written into the JSON — the acceptance evidence that the cost model
+picks the index plan for the paper's join workload.
+
+Record with::
+
+    PYTHONPATH=src python benchmarks/bench_indexes.py
+
+which rewrites ``benchmarks/BENCH_indexes.json``.  CI runs the fast
+regression gate instead::
+
+    PYTHONPATH=src python benchmarks/bench_indexes.py --smoke
+
+(10x scale only; exits nonzero unless the descendant-search and
+value-equality microbenchmarks keep a >= 10x speedup and the cost model
+picks the index plan for the q8 join).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro import Engine
+from repro.engine import ExecutionOptions
+from repro.xmark import XMarkConfig, generate_auction_xml
+
+_NO_INDEX = ExecutionOptions(use_indexes=False)
+
+DESCENDANT_QUERY = "count($auction//closed_auction)"
+VALUE_EQ_QUERY = '$auction//person[@id = "person7"]'
+CONTAINS_QUERY = '$auction//item[contains(string(.), "officia")]'
+COST_DESCENDANT = "for $t in $auction//closed_auction return count($t)"
+Q8_QUERY = """
+for $p in $auction//person
+let $a := for $t in $auction//closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return count($a)
+"""
+
+SMOKE_FLOOR = 10.0  # required speedup at 10x scale (acceptance bar)
+
+
+def _best_ms(run, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def _load(factor: float) -> Engine:
+    engine = Engine()
+    engine.load_document(
+        "auction", generate_auction_xml(XMarkConfig.scale(factor))
+    )
+    engine.store.token_probe("warm")  # build the value indexes up front
+    return engine
+
+
+def _microbench(engine: Engine, query: str, reps: int) -> dict:
+    evaluator = engine.evaluator
+    evaluator.use_name_index = False
+    try:
+        seq = _best_ms(
+            lambda: engine.execute(query, options=_NO_INDEX), reps
+        )
+    finally:
+        evaluator.use_name_index = True
+    index = _best_ms(lambda: engine.execute(query), reps)
+    cost = _best_ms(lambda: engine.execute(query, optimize=True), reps)
+    return {
+        "seq_scan_ms": round(seq, 3),
+        "index_scan_ms": round(index, 3),
+        "cost_chosen_ms": round(cost, 3),
+        "speedup": round(seq / index, 1) if index else None,
+    }
+
+
+def _join_decisions(engine: Engine) -> dict:
+    report = engine.explain(Q8_QUERY)
+    return {
+        "operators_after": report.operators_after,
+        "decisions": [d.to_dict() for d in report.costs],
+        "index_plan_chosen": report.operators_after.count("IndexScan") >= 2,
+    }
+
+
+def bench_scale(factor: float, reps: int) -> dict:
+    engine = _load(factor)
+    row = {
+        "scale": factor,
+        "nodes": len(engine.store._records),
+        "descendant_search": _microbench(engine, DESCENDANT_QUERY, reps),
+        "value_equality": _microbench(engine, VALUE_EQ_QUERY, reps),
+        "contains_search": _microbench(engine, CONTAINS_QUERY, reps),
+        "q8_join": _join_decisions(engine),
+    }
+    # The cost-chosen descendant plan goes through the compiled
+    # IndexScan operator rather than the evaluator fast path.
+    row["descendant_search"]["cost_chosen_ms"] = round(
+        _best_ms(
+            lambda: engine.execute(COST_DESCENDANT, optimize=True), reps
+        ),
+        3,
+    )
+    return row
+
+
+def smoke() -> int:
+    row = bench_scale(10, reps=3)
+    failures = []
+    for bench in ("descendant_search", "value_equality"):
+        speedup = row[bench]["speedup"]
+        if speedup is None or speedup < SMOKE_FLOOR:
+            failures.append(
+                f"{bench}: speedup {speedup} < {SMOKE_FLOOR}x at 10x scale"
+            )
+    if not row["q8_join"]["index_plan_chosen"]:
+        failures.append(
+            "q8 join: cost model did not substitute IndexScan operators"
+        )
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    if not failures:
+        print(
+            "ok: descendant "
+            f"{row['descendant_search']['speedup']}x, value-eq "
+            f"{row['value_equality']['speedup']}x, q8 index plan chosen"
+        )
+    return 1 if failures else 0
+
+
+def full() -> int:
+    rows = [bench_scale(factor, reps=3) for factor in (1, 10, 100)]
+    ten_x = rows[1]
+    payload = {
+        "description": (
+            "Structural/value index read-path benchmark: seq-scan vs "
+            "index-scan vs cost-chosen plans at 1x/10x/100x XMark scale, "
+            "plus the optimizer's recorded decisions for the q8-style "
+            "join.  Timings are best-of-3 wall clock, indexes pre-built "
+            "(build cost is on the first probe and amortized; "
+            "maintenance is O(|delta|) per snap, measured in "
+            "tests/index)."
+        ),
+        "acceptance": {
+            "floor": f">= {SMOKE_FLOOR}x at 10x scale",
+            "descendant_search_speedup": ten_x["descendant_search"][
+                "speedup"
+            ],
+            "value_equality_speedup": ten_x["value_equality"]["speedup"],
+            "q8_index_plan_chosen": ten_x["q8_join"]["index_plan_chosen"],
+        },
+        "rows": rows,
+        "mechanism_note": (
+            "seq-scan disables both the structural name index and the "
+            "value-index probes; index-scan is the evaluator fast path "
+            "(probe + exact re-verification); cost-chosen compiles to "
+            "an algebra plan where Statistics-driven costing substitutes "
+            "IndexScan operators and picks hash-join build sides."
+        ),
+    }
+    out = os.path.join(os.path.dirname(__file__), "BENCH_indexes.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(smoke() if "--smoke" in sys.argv[1:] else full())

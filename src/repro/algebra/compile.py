@@ -165,8 +165,10 @@ def _compile_body(
         return P.EvalExpr(expr=body)
     if optimize:
         from repro.algebra.rewrite import try_optimize
+        from repro.index import Statistics
 
-        optimized = try_optimize(pipeline, engine.functions, tracer)
+        stats = Statistics.from_store(engine.store)
+        optimized = try_optimize(pipeline, engine.functions, tracer, stats)
         if optimized is not None:
             return optimized
     return naive_plan(pipeline)

@@ -155,7 +155,7 @@ def _stream_items(plan: P.Plan, state: _ExecState) -> Iterator:
 
 # The linear (single-input, tuple-in/tuples-out) operators that form FLWOR
 # chains.  These are driven iteratively — see _chain_tuples.
-_CHAIN_OPS = (P.MapConcat, P.LetBind, P.Select)
+_CHAIN_OPS = (P.MapConcat, P.IndexScan, P.LetBind, P.Select)
 
 
 def _tuples(plan: P.Plan, state: _ExecState) -> Iterator[Tuple_]:
@@ -217,6 +217,8 @@ def _apply_chain_op(
     if isinstance(op, P.MapConcat):
         source = state.eval_scalar(op.source, tup)
         return _extend_per_item(op, tup, source)
+    if isinstance(op, P.IndexScan):
+        return _extend_per_item(op, tup, _index_scan_source(op, tup, state))
     if isinstance(op, P.LetBind):
         extended = dict(tup)
         extended[op.var] = state.eval_scalar(op.source, tup)
@@ -236,6 +238,44 @@ def _extend_per_item(
         if op.position_var:
             extended[op.position_var] = [AtomicValue.integer(index)]
         yield extended
+
+
+def _index_scan_source(
+    op: P.IndexScan, tup: Tuple_, state: _ExecState
+) -> Sequence:
+    """The items of an IndexScan for one input tuple.
+
+    The cost model substituted this operator for a pure ``B//name``
+    MapConcat source; both the index path and the fallback evaluate pure
+    expressions, so either route yields identical items in document
+    order.  Fallback fires when indexes are disabled for the call, when
+    the root produces non-nodes, or when any root node lives outside the
+    engine's base store (snapshot-local construction space).
+    """
+    from repro.xdm.nodes import Node
+
+    evaluator = state.evaluator
+    store = evaluator.store
+    if not getattr(evaluator, "use_indexes", False):
+        return state.eval_scalar(op.source, tup)
+    base = state.eval_scalar(op.root, tup)
+    is_local = getattr(store, "_is_local", None)
+    for item in base:
+        if (
+            not isinstance(item, Node)
+            or item.store is not store
+            or (is_local is not None and is_local(item.nid))
+        ):
+            return state.eval_scalar(op.source, tup)
+    nids: set[int] = set()
+    for item in base:
+        nids.update(store.descendants_named(item.nid, op.name))
+        if op.or_self and store.name(item.nid) == op.name:
+            nids.add(item.nid)
+    if state.tracer is not None:
+        state.tracer.count("exec.index_scan")
+        state.tracer.observe("exec.index_scan.rows", len(nids))
+    return [Node(store, nid) for nid in store.sort_document_order(nids)]
 
 
 def _order_by_sort(plan: P.OrderBySort, state: _ExecState) -> Iterator[Tuple_]:
@@ -317,7 +357,18 @@ def _strip_order(tup: Tuple_) -> Tuple_:
 
 
 def _hash_join(plan: P.HashJoin, state: _ExecState) -> Iterator[Tuple_]:
-    """Build the right side (a barrier), stream the left side."""
+    """Build one side (a barrier), stream the other.
+
+    The classic shape builds on the right; when the cost model estimated
+    the left side smaller it sets ``build="left"`` and the table is
+    built there instead.  Both sides are pure (the rewrite guard), so
+    swapping which one is evaluated first is unobservable; the output is
+    re-sorted to (left position, right position), the exact order the
+    right-build stream produces.
+    """
+    if plan.build == "left":
+        yield from _hash_join_build_left(plan, state)
+        return
     table = _build_hash_ordered(plan.right, plan.right_key, state)
     for left_tup in _tuples(plan.left, state):
         left_key_value = state.eval_scalar(plan.left_key, left_tup)
@@ -326,6 +377,23 @@ def _hash_join(plan: P.HashJoin, state: _ExecState) -> Iterator[Tuple_]:
             merged = dict(left_tup)
             merged.update(_strip_order(right_tup))
             yield merged
+
+
+def _hash_join_build_left(
+    plan: P.HashJoin, state: _ExecState
+) -> Iterator[Tuple_]:
+    table = _build_hash_ordered(plan.left, plan.left_key, state)
+    pairs: list[tuple[int, int, Tuple_]] = []
+    for right_index, right_tup in enumerate(_tuples(plan.right, state)):
+        right_key_value = state.eval_scalar(plan.right_key, right_tup)
+        keys = _join_keys(right_key_value)
+        for left_tup in _probe(table, keys, right_key_value):
+            merged = _strip_order(left_tup)
+            merged.update(right_tup)
+            pairs.append((left_tup["__order__"], right_index, merged))
+    pairs.sort(key=lambda entry: (entry[0], entry[1]))
+    for _, _, merged in pairs:
+        yield merged
 
 
 def _group_by(plan: P.GroupBy, state: _ExecState) -> Iterator[Tuple_]:

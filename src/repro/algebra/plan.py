@@ -66,6 +66,35 @@ class MapConcat(Plan):
 
 
 @dataclass
+class IndexScan(Plan):
+    """A :class:`MapConcat` whose source is a descendant name step,
+    answered from the store's element-name index instead of a subtree
+    walk.  Substituted by the cost-based optimizer when the estimated
+    posting count beats a sequential scan; *source* keeps the original
+    expression so execution can fall back to it verbatim (indexes
+    disabled, non-node roots), guaranteeing identical results.
+    """
+
+    input: Plan = None  # type: ignore[assignment]
+    var: str = ""
+    #: The original path expression (exact fallback).
+    source: core.CoreExpr = None  # type: ignore[assignment]
+    #: The base ``B`` of ``B//name`` — pure, evaluated per input tuple.
+    root: core.CoreExpr = None  # type: ignore[assignment]
+    name: str = ""
+    or_self: bool = False
+    position_var: Optional[str] = None
+    #: Optimizer's estimated row count (surfaced next to actuals in stats).
+    est_rows: int = 0
+
+    def label(self) -> str:
+        return f"IndexScan[{self.var}:{self.name}]"
+
+    def children(self) -> list[Plan]:
+        return [self.input]
+
+
+@dataclass
 class LetBind(Plan):
     """A ``let`` clause: extend each tuple with the whole sequence."""
 
@@ -106,6 +135,10 @@ class HashJoin(Plan):
     right: Plan = None  # type: ignore[assignment]
     left_key: core.CoreExpr = None  # type: ignore[assignment]
     right_key: core.CoreExpr = None  # type: ignore[assignment]
+    #: Which input the hash table is built on ("right" is the classic
+    #: default; the cost model flips to "left" when its estimate is
+    #: smaller).  Output order is identical either way.
+    build: str = "right"
 
     def label(self) -> str:
         return "HashJoin"
@@ -204,6 +237,7 @@ class Snap(Plan):
 PlanNode = Union[
     UnitTuple,
     MapConcat,
+    IndexScan,
     LetBind,
     Select,
     HashJoin,
@@ -274,6 +308,13 @@ def paper_plan(plan: Plan, indent: int = 0) -> str:
     if isinstance(plan, MapConcat):
         return (
             f"{pad}MapConcat{{[{plan.var}:Input]}}({src(plan.source)})"
+            + ("" if isinstance(plan.input, UnitTuple)
+               else "\n" + paper_plan(plan.input, indent + 1))
+        )
+    if isinstance(plan, IndexScan):
+        return (
+            f"{pad}IndexScan{{[{plan.var}:{plan.name}]}}"
+            f"({src(plan.root)}, est={plan.est_rows})"
             + ("" if isinstance(plan.input, UnitTuple)
                else "\n" + paper_plan(plan.input, indent + 1))
         )

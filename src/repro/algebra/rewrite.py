@@ -52,6 +52,7 @@ def try_optimize(
     pipeline: Pipeline,
     registry: FunctionRegistry,
     tracer: Tracer | None = None,
+    stats=None,
 ) -> P.Plan | None:
     """Attempt the rewrites; None means "no rewrite applies, use the naive
     plan".
@@ -60,6 +61,16 @@ def try_optimize(
     not, with the guard detail that decided it), each attempt runs under a
     ``rewrite:<rule>`` span, and the per-clause purity verdicts feeding the
     guards are captured for ``explain``.
+
+    With *stats* (a :class:`repro.index.Statistics`), a cost-based pass
+    follows the rules: MapConcat sources shaped ``B//name`` become
+    :class:`~repro.algebra.plan.IndexScan` when the estimated posting
+    count beats a sequential walk, hash joins build on their estimated
+    smaller side, and the hash-join rule picks the candidate inner
+    branch with the fewest estimated build rows.  Every choice (and
+    every rejected alternative) is recorded on the tracer's ``costs``
+    channel.  Cost decisions never relax a guard — they pick among
+    plans the guards already admitted.
     """
     analyzer = EffectAnalyzer(registry)
     if tracer is not None:
@@ -95,7 +106,7 @@ def try_optimize(
         )
     if plan is None:
         with maybe_span(tracer, "rewrite:hash-join"):
-            plan = _try_hashjoin(hoisted, analyzer)
+            plan = _try_hashjoin(hoisted, analyzer, stats, tracer)
         if tracer is not None:
             tracer.rule(
                 "hash-join",
@@ -111,13 +122,14 @@ def try_optimize(
             fired=False,
             detail={"reason": "not attempted (outer-join-group-by fired)"},
         )
-    if plan is not None:
-        return plan
-    if hoisted is not pipeline:
-        # No join rewrite, but the hoist alone is worth keeping.
+    rules_changed = plan is not None or hoisted is not pipeline
+    if plan is None:
         from repro.algebra.compile import naive_plan
 
-        return naive_plan(hoisted)
+        plan = naive_plan(hoisted)
+    cost_changed = _cost_pass(plan, analyzer, stats, tracer)
+    if rules_changed or cost_changed:
+        return plan
     return None
 
 
@@ -365,9 +377,18 @@ def _match_inner_join(
 # Rewrite 2: plain hash join
 # ----------------------------------------------------------------------
 
-def _try_hashjoin(pipeline: Pipeline, analyzer: EffectAnalyzer) -> P.Plan | None:
+def _hashjoin_candidates(
+    pipeline: Pipeline, analyzer: EffectAnalyzer
+) -> list[dict]:
+    """Every inner for clause the hash-join guards admit.
+
+    Each candidate records the clause index, the separated join keys,
+    and the pushdown classification of the surrounding where block —
+    everything :func:`_build_hashjoin` needs to construct the plan.
+    """
     pipeline_vars = _bound_vars(pipeline.steps)
     steps = pipeline.steps
+    candidates: list[dict] = []
     for j, step in enumerate(steps):
         if not isinstance(step, ForStep) or j == 0:
             continue
@@ -413,24 +434,313 @@ def _try_hashjoin(pipeline: Pipeline, analyzer: EffectAnalyzer) -> P.Plan | None
                 right_pushdown.append(k)
         if join_keys is None or join_where_index is None:
             continue
-        left = _build_steps(P.UnitTuple(), outer_steps)
-        for k in left_pushdown:
-            left = P.Select(input=left, predicate=steps[k].predicate)
-        right: P.Plan = P.MapConcat(
-            input=P.UnitTuple(), var=inner_var, source=step.source
+        candidates.append(
+            {
+                "j": j,
+                "step": step,
+                "join_keys": join_keys,
+                "join_where_index": join_where_index,
+                "left_pushdown": left_pushdown,
+                "right_pushdown": right_pushdown,
+            }
         )
-        for k in right_pushdown:
-            right = P.Select(input=right, predicate=steps[k].predicate)
-        joined: P.Plan = P.HashJoin(
-            left=left,
-            right=right,
-            left_key=join_keys[0],
-            right_key=join_keys[1],
-        )
-        consumed = {join_where_index, *left_pushdown, *right_pushdown}
-        remaining = [
-            s for i, s in enumerate(steps) if i > j and i not in consumed
-        ]
-        joined = _build_steps(joined, remaining)
-        return finish_pipeline(joined, pipeline)
+    return candidates
+
+
+def _build_hashjoin(
+    pipeline: Pipeline, candidate: dict
+) -> P.Plan:
+    steps = pipeline.steps
+    j = candidate["j"]
+    step = candidate["step"]
+    join_keys = candidate["join_keys"]
+    outer_steps = steps[:j]
+    left = _build_steps(P.UnitTuple(), outer_steps)
+    for k in candidate["left_pushdown"]:
+        left = P.Select(input=left, predicate=steps[k].predicate)
+    right: P.Plan = P.MapConcat(
+        input=P.UnitTuple(), var=step.var, source=step.source
+    )
+    for k in candidate["right_pushdown"]:
+        right = P.Select(input=right, predicate=steps[k].predicate)
+    joined: P.Plan = P.HashJoin(
+        left=left,
+        right=right,
+        left_key=join_keys[0],
+        right_key=join_keys[1],
+    )
+    consumed = {
+        candidate["join_where_index"],
+        *candidate["left_pushdown"],
+        *candidate["right_pushdown"],
+    }
+    remaining = [
+        s for i, s in enumerate(steps) if i > j and i not in consumed
+    ]
+    joined = _build_steps(joined, remaining)
+    return finish_pipeline(joined, pipeline)
+
+
+def _try_hashjoin(
+    pipeline: Pipeline,
+    analyzer: EffectAnalyzer,
+    stats=None,
+    tracer: Tracer | None = None,
+) -> P.Plan | None:
+    candidates = _hashjoin_candidates(pipeline, analyzer)
+    if not candidates:
+        return None
+    chosen = candidates[0]
+    if stats is not None and len(candidates) > 1:
+        # Join order: among the admissible inner branches, build on the
+        # one with the fewest estimated rows.  Ties keep textual order
+        # (the deterministic pre-cost behavior).
+        def build_rows(candidate: dict) -> int:
+            return _estimate_source_rows(candidate["step"].source, stats)
+
+        chosen = min(candidates, key=build_rows)
+        if tracer is not None:
+            from repro.index import CostDecision
+
+            alternatives = [
+                {
+                    "plan": f"build ${c['step'].var}",
+                    "est_rows": build_rows(c),
+                }
+                for c in candidates
+            ]
+            tracer.cost(
+                CostDecision(
+                    decision="join-order",
+                    target="hash-join inner branch",
+                    chosen=f"build ${chosen['step'].var}",
+                    alternatives=alternatives,
+                    reason=(
+                        f"fewest estimated build rows "
+                        f"({build_rows(chosen)})"
+                    ),
+                )
+            )
+    return _build_hashjoin(pipeline, chosen)
+
+
+# ----------------------------------------------------------------------
+# Cost-based pass: access paths and hash-join build sides
+# ----------------------------------------------------------------------
+
+def _descendant_name_source(expr: core.CoreExpr):
+    """``(root, name, or_self)`` when *expr* is a predicate-free
+    ``B//name`` (collapsed or uncollapsed), else None."""
+    if not isinstance(expr, core.CPath):
+        return None
+    step = expr.step
+    if not isinstance(step, core.CAxisStep):
+        return None
+    if (
+        step.axis in ("descendant", "descendant-or-self")
+        and step.test.kind == "name"
+        and step.test.name not in (None, "*")
+        and not step.predicates
+    ):
+        return expr.base, step.test.name, step.axis == "descendant-or-self"
+    if (
+        step.axis == "child"
+        and step.test.kind == "name"
+        and step.test.name not in (None, "*")
+        and not step.predicates
+        and isinstance(expr.base, core.CPath)
+    ):
+        dos = expr.base.step
+        if (
+            isinstance(dos, core.CAxisStep)
+            and dos.axis == "descendant-or-self"
+            and dos.test.kind == "node"
+            and not dos.predicates
+        ):
+            # B/descendant-or-self::node()/child::name == B/descendant::name
+            return expr.base.base, step.test.name, False
     return None
+
+
+def _estimate_source_rows(expr: core.CoreExpr, stats) -> int:
+    """Estimated item count of a for-clause source expression."""
+    matched = _descendant_name_source(expr)
+    if matched is not None:
+        return max(1, stats.element_count(matched[1]))
+    # Unknown shape: assume it visits a modest fraction of the store.
+    return max(1, stats.total_nodes() // 10)
+
+
+def _estimate_stream_rows(plan: P.Plan, stats) -> int:
+    """Estimated tuple count of a tuple-stream chain."""
+    if isinstance(plan, P.UnitTuple):
+        return 1
+    if isinstance(plan, P.IndexScan):
+        rows = max(1, plan.est_rows)
+        return _estimate_stream_rows(plan.input, stats) * rows
+    if isinstance(plan, P.MapConcat):
+        rows = _estimate_source_rows(plan.source, stats)
+        return _estimate_stream_rows(plan.input, stats) * rows
+    if isinstance(plan, P.LetBind):
+        return _estimate_stream_rows(plan.input, stats)
+    if isinstance(plan, P.Select):
+        # Default filter selectivity of 1/3 — enough to order
+        # alternatives, not meant to be calibrated.
+        return max(1, _estimate_stream_rows(plan.input, stats) // 3)
+    return max(1, stats.total_nodes() // 10)
+
+
+def _cost_pass(plan: P.Plan, analyzer, stats, tracer) -> bool:
+    """Cost-based physical choices over an already-guarded plan.
+
+    Substitutes IndexScan for pure ``B//name`` MapConcat sources when
+    the index estimate wins, and flips hash-join build sides onto the
+    estimated smaller input.  Mutates *plan* in place; True when
+    anything changed.  No-op without statistics or on stores below
+    :data:`repro.index.MIN_TABLE_NODES` (plan-shape churn on miniature
+    documents buys nothing and would destabilize small-plan tests and
+    renderings).
+    """
+    if stats is None:
+        return False
+    from repro.index import (
+        MIN_TABLE_NODES,
+        CostDecision,
+        hash_join_cost,
+        index_scan_cost,
+        seq_scan_cost,
+    )
+
+    total = stats.total_nodes()
+    if total < MIN_TABLE_NODES:
+        return False
+    changed = False
+
+    def record(decision: CostDecision) -> None:
+        if tracer is not None:
+            tracer.cost(decision)
+
+    def transform(node: P.Plan | None) -> P.Plan | None:
+        nonlocal changed
+        if node is None:
+            return None
+        if isinstance(node, P.MapConcat):
+            node.input = transform(node.input)
+            matched = _descendant_name_source(node.source)
+            if matched is None or not analyzer.analyze(node.source).pure:
+                return node
+            root, name, or_self = matched
+            rows = stats.element_count(name)
+            idx = index_scan_cost(rows)
+            seq = seq_scan_cost(total)
+            alternatives = [
+                {"plan": "index-scan", "cost": idx, "est_rows": rows},
+                {"plan": "seq-scan", "cost": seq, "est_rows": rows},
+            ]
+            target = f"for ${node.var} in …//{name}"
+            if idx < seq:
+                changed = True
+                record(
+                    CostDecision(
+                        decision="access-path",
+                        target=target,
+                        chosen="index-scan",
+                        alternatives=alternatives,
+                        reason=(
+                            f"index cost {idx:.1f} < "
+                            f"sequential cost {seq:.1f}"
+                        ),
+                    )
+                )
+                return P.IndexScan(
+                    input=node.input,
+                    var=node.var,
+                    source=node.source,
+                    root=root,
+                    name=name,
+                    or_self=or_self,
+                    position_var=node.position_var,
+                    est_rows=rows,
+                )
+            record(
+                CostDecision(
+                    decision="access-path",
+                    target=target,
+                    chosen="seq-scan",
+                    alternatives=alternatives,
+                    reason=(
+                        f"sequential cost {seq:.1f} <= "
+                        f"index cost {idx:.1f}"
+                    ),
+                )
+            )
+            return node
+        if isinstance(node, P.HashJoin):
+            node.left = transform(node.left)
+            node.right = transform(node.right)
+            left_rows = _estimate_stream_rows(node.left, stats)
+            right_rows = _estimate_stream_rows(node.right, stats)
+            build_right = hash_join_cost(right_rows, left_rows)
+            build_left = hash_join_cost(left_rows, right_rows)
+            alternatives = [
+                {
+                    "plan": "build-right",
+                    "cost": build_right,
+                    "est_rows": right_rows,
+                },
+                {
+                    "plan": "build-left",
+                    "cost": build_left,
+                    "est_rows": left_rows,
+                },
+            ]
+            if build_left < build_right:
+                node.build = "left"
+                changed = True
+                record(
+                    CostDecision(
+                        decision="hash-build-side",
+                        target="hash-join",
+                        chosen="build-left",
+                        alternatives=alternatives,
+                        reason=(
+                            f"left estimate {left_rows} rows < "
+                            f"right estimate {right_rows} rows"
+                        ),
+                    )
+                )
+            else:
+                record(
+                    CostDecision(
+                        decision="hash-build-side",
+                        target="hash-join",
+                        chosen="build-right",
+                        alternatives=alternatives,
+                        reason=(
+                            f"right estimate {right_rows} rows <= "
+                            f"left estimate {left_rows} rows"
+                        ),
+                    )
+                )
+            return node
+        if isinstance(node, P.LeftOuterJoin):
+            node.left = transform(node.left)
+            node.right = transform(node.right)
+            return node
+        if isinstance(
+            node,
+            (
+                P.LetBind,
+                P.Select,
+                P.OrderBySort,
+                P.MapFromItem,
+                P.GroupBy,
+                P.Snap,
+            ),
+        ):
+            node.input = transform(node.input)
+            return node
+        return node
+
+    transform(plan)
+    return changed

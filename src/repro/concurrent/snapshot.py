@@ -363,6 +363,92 @@ class StoreSnapshot:
             self._descendants_named[(nid, name)] = tuple(out)
         return out
 
+    def attr_eq_probe(self, name: str, value: str) -> tuple[int, ...] | None:
+        """Snapshot-consistent attribute-value probe.
+
+        Candidates come from the live attribute index (filtered to ids
+        below the ceiling — post-snapshot attributes are invisible) plus
+        the overlay (attributes whose value changed, or which were
+        reclaimed, after snapshot time keep their snapshot-time content
+        there); each candidate is then verified against the snapshot's
+        own record resolution, which also rejects attributes revalued
+        *to* the target after snapshot time.  Returns None — caller
+        falls back to scanning — when the live indexes are not built:
+        a snapshot reader never builds them, that is the writer's job.
+        """
+        manager = self.store._indexes
+        if not manager.built:
+            return None
+        ceiling = self._ceiling
+        candidates: set[int] = set()
+        live = manager.attr_index.get((name, value))
+        if live:
+            # tuple(): GIL-atomic copy; the writer may mutate postings
+            # while this reader iterates.
+            for c in tuple(live):
+                if c < ceiling:
+                    candidates.add(c)
+        for c, pre in list(self._overlay.items()):
+            if (
+                pre.kind is NodeKind.ATTRIBUTE
+                and pre.name == name
+                and (pre.value or "") == value
+            ):
+                candidates.add(c)
+        out = []
+        for candidate in candidates:
+            try:
+                rec = self._rec(candidate)
+            except StoreError:
+                continue
+            if (
+                rec.kind is NodeKind.ATTRIBUTE
+                and rec.name == name
+                and (rec.value or "") == value
+            ):
+                out.append(candidate)
+        return tuple(out)
+
+    def token_probe(self, needle: str) -> tuple[int, ...] | None:
+        """Snapshot-consistent ``contains`` candidate probe (superset;
+        callers verify).  Same three-way sourcing as
+        :meth:`attr_eq_probe`; None when the needle cannot be anchored
+        or the live indexes are not built."""
+        from repro.index.manager import token_matcher, tokenize
+
+        matches = token_matcher(needle)
+        if matches is None:
+            return None
+        manager = self.store._indexes
+        if not manager.built:
+            return None
+        ceiling = self._ceiling
+        candidates: set[int] = set()
+        for tok, postings in list(manager.token_index.items()):
+            if matches(tok):
+                for c in tuple(postings):
+                    if c < ceiling:
+                        candidates.add(c)
+        for c, pre in list(self._overlay.items()):
+            if pre.kind is NodeKind.TEXT and any(
+                matches(tok) for tok in tokenize(pre.value)
+            ):
+                candidates.add(c)
+        out = []
+        for candidate in candidates:
+            try:
+                rec = self._rec(candidate)
+            except StoreError:
+                continue
+            # Re-run the matcher on the snapshot-visible value: a text
+            # node revalued *to* a matching content after snapshot time
+            # sits in the live index but must stay invisible here.
+            if rec.kind is NodeKind.TEXT and any(
+                matches(tok) for tok in tokenize(rec.value or "")
+            ):
+                out.append(candidate)
+        return tuple(out)
+
     def descendants(
         self, nid: int, include_self: bool = False
     ) -> Iterator[int]:

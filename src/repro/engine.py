@@ -87,6 +87,11 @@ class ExecutionOptions:
             any thread makes the call raise
             :class:`~repro.errors.QueryCancelledError` at its next check
             point, with the same discard-the-Δ guarantee.
+        use_indexes: answer eligible descendant steps and value
+            predicates from the store's structural and value indexes
+            (see :mod:`repro.index`).  On by default; turning it off
+            forces the sequential paths — results are identical either
+            way (the equivalence the property suite checks).
     """
 
     optimize: bool = False
@@ -96,6 +101,7 @@ class ExecutionOptions:
     explain: bool = False
     timeout_ms: float | None = None
     cancel: "CancelToken | None" = None
+    use_indexes: bool = True
 
     def __post_init__(self) -> None:
         if self.semantics is not None and not isinstance(
@@ -468,6 +474,7 @@ class Engine:
         explain: bool | None = None,
         timeout_ms: float | None = None,
         cancel: CancelToken | None = None,
+        use_indexes: bool | None = None,
         options: ExecutionOptions | None = None,
     ) -> QueryResult:
         """Parse, normalize and evaluate *query* (which may include a
@@ -498,6 +505,7 @@ class Engine:
             explain=explain,
             timeout_ms=timeout_ms,
             cancel=cancel,
+            use_indexes=use_indexes,
         )
         tracer = Tracer() if opts.collect_stats else None
         prepared = self._prepare(
@@ -620,6 +628,7 @@ class Engine:
             operators_after=plan_operators(optimized),
             rules=list(tracer.rules),
             purity=list(tracer.purity),
+            costs=list(tracer.costs),
         )
 
     def _frontend(

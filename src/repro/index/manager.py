@@ -1,0 +1,314 @@
+"""Value indexes over a :class:`~repro.xdm.store.Store`.
+
+Two hash indexes, both keyed by node *content* rather than attachment:
+
+* the **attribute index** maps ``(attribute name, value)`` to the ids of
+  the attribute nodes currently bearing that pair;
+* the **token index** maps each whitespace-delimited token of a text
+  node's value to the ids of the text nodes containing it.
+
+Content keying is what makes incremental maintenance O(1) per value
+operation: creating, revaluing, renaming or reclaiming a node touches
+exactly its own postings, and *structural* mutations (insert, detach,
+reorder) touch none at all — attachment is re-checked at probe time by
+the caller, which walks the candidate's parent chain.  That re-check is
+also what makes probes exact on detached subtrees and on copy-on-write
+snapshots: a candidate set only ever needs to be a *superset* of the
+truth, because every probe site verifies candidates against the actual
+predicate before accepting them.
+
+The token index answers ``contains(string(.), $needle)`` probes.  A
+needle can span token and even text-node boundaries, so a probe scans
+the token vocabulary with a predicate that is *complete*: if the needle
+occurs anywhere in the concatenated text of an element, the first text
+node overlapping the occurrence is guaranteed to hold a matching token
+(see :func:`token_matcher` for the case analysis).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xdm.store import Store, _NodeRecord
+
+
+def tokenize(value: Optional[str]) -> list[str]:
+    """The whitespace-delimited tokens of a text value (case-sensitive)."""
+    return value.split() if value else []
+
+
+def token_matcher(needle: str) -> Callable[[str], bool] | None:
+    """A predicate over index tokens that is complete for *needle*.
+
+    Returns None when the needle cannot be anchored (empty, or starting
+    with whitespace — the occurrence could then begin inside arbitrary
+    whitespace that the token index never sees).
+
+    Let ``x1`` be the needle's first whitespace-delimited token.  If the
+    needle occurs in a text sequence, consider the first text node
+    overlapping the occurrence and the token ``tok`` of that node
+    containing the occurrence's first character (non-whitespace, so the
+    token exists).  Case analysis on how much of ``x1`` fits in that
+    node:
+
+    * all of it, needle is a single token → ``x1 in tok``;
+    * all of it, needle continues with whitespace → the token ends right
+      after ``x1`` (the next needle character is whitespace, or the node
+      ends) → ``tok.endswith(x1)``;
+    * only a proper prefix (the occurrence spills into the next text
+      node) → that prefix reaches the node's end → some non-empty proper
+      prefix of ``x1`` is a suffix of ``tok``.
+
+    The returned predicate accepts exactly those three shapes, so
+    scanning the vocabulary with it can never miss a genuine occurrence;
+    probe sites then verify candidates exactly.
+    """
+    if not needle or needle[0].isspace():
+        return None
+    x1 = needle.split()[0]
+    multi = needle != x1  # any whitespace after the anchor token
+    max_overlap = len(x1) - 1
+
+    def matches(tok: str) -> bool:
+        if multi:
+            if tok.endswith(x1):
+                return True
+        elif x1 in tok:
+            return True
+        for k in range(1, min(len(tok), max_overlap) + 1):
+            if tok[-k:] == x1[:k]:
+                return True
+        return False
+
+    return matches
+
+
+class IndexManager:
+    """The value indexes of one store, plus their maintenance counters.
+
+    Lifecycle: indexes are *lazy* — nothing is built until the first
+    probe against the live store (``ensure_built``).  Once built they are
+    maintained incrementally by the store's mutation hooks; a whole-store
+    invalidation (checkpoint restore, persistence load) drops them, and
+    the next probe rebuilds.  All maintenance happens on the writer's
+    thread; snapshot readers only ever *read* the built dicts (via
+    GIL-atomic copies) and never trigger a build.
+    """
+
+    __slots__ = (
+        "_store",
+        "built",
+        "attr_index",
+        "token_index",
+        "probes",
+        "hits",
+        "maintained",
+        "rebuilds",
+        "rebuild_ms",
+    )
+
+    def __init__(self, store: "Store") -> None:
+        self._store = store
+        self.built = False
+        # (attribute name, value) -> ids of attribute nodes bearing it.
+        self.attr_index: dict[tuple[str, str], set[int]] = {}
+        # token -> ids of text nodes whose value contains it.
+        self.token_index: dict[str, set[int]] = {}
+        self.probes = 0
+        self.hits = 0
+        self.maintained = 0
+        self.rebuilds = 0
+        self.rebuild_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def ensure_built(self) -> None:
+        """Build the indexes from the store's records (idempotent)."""
+        if self.built:
+            return
+        from repro.xdm.store import NodeKind
+
+        start = time.perf_counter()
+        attr: dict[tuple[str, str], set[int]] = {}
+        token: dict[str, set[int]] = {}
+        for nid, rec in self._store._records.items():
+            if rec.kind is NodeKind.ATTRIBUTE:
+                attr.setdefault(
+                    (rec.name or "", rec.value or ""), set()
+                ).add(nid)
+            elif rec.kind is NodeKind.TEXT:
+                for tok in tokenize(rec.value):
+                    token.setdefault(tok, set()).add(nid)
+        self.attr_index = attr
+        self.token_index = token
+        self.built = True
+        self.rebuilds += 1
+        elapsed = (time.perf_counter() - start) * 1000.0
+        self.rebuild_ms += elapsed
+        obs = self._store._obs
+        if obs is not None:
+            obs.count("index.rebuilds")
+            obs.observe("index.rebuild_ms", elapsed)
+
+    def invalidate(self) -> None:
+        """Drop the indexes; the next probe rebuilds from scratch."""
+        if not self.built:
+            return
+        self.built = False
+        self.attr_index = {}
+        self.token_index = {}
+
+    def rebuild(self) -> None:
+        """Force a fresh build (recovery verification, tests)."""
+        self.invalidate()
+        self.ensure_built()
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks (called by the store's mutators, pre-mutation
+    # state in *rec*; no-ops while unbuilt)
+    # ------------------------------------------------------------------
+
+    def _add(self, kind, name: Optional[str], value: Optional[str], nid: int) -> None:
+        from repro.xdm.store import NodeKind
+
+        if kind is NodeKind.ATTRIBUTE:
+            self.attr_index.setdefault(
+                (name or "", value or ""), set()
+            ).add(nid)
+            self.maintained += 1
+        elif kind is NodeKind.TEXT:
+            for tok in tokenize(value):
+                self.token_index.setdefault(tok, set()).add(nid)
+            self.maintained += 1
+
+    def _remove(self, kind, name: Optional[str], value: Optional[str], nid: int) -> None:
+        from repro.xdm.store import NodeKind
+
+        if kind is NodeKind.ATTRIBUTE:
+            key = (name or "", value or "")
+            postings = self.attr_index.get(key)
+            if postings is not None:
+                postings.discard(nid)
+                if not postings:
+                    del self.attr_index[key]
+            self.maintained += 1
+        elif kind is NodeKind.TEXT:
+            for tok in tokenize(value):
+                postings = self.token_index.get(tok)
+                if postings is not None:
+                    postings.discard(nid)
+                    if not postings:
+                        del self.token_index[tok]
+            self.maintained += 1
+
+    def on_alloc(self, nid: int, kind, name: Optional[str], value: Optional[str]) -> None:
+        self._add(kind, name, value, nid)
+
+    def on_set_value(self, nid: int, rec: "_NodeRecord", value: Optional[str]) -> None:
+        self._remove(rec.kind, rec.name, rec.value, nid)
+        self._add(rec.kind, rec.name, value, nid)
+
+    def on_rename(self, nid: int, rec: "_NodeRecord", name: str) -> None:
+        self._remove(rec.kind, rec.name, rec.value, nid)
+        self._add(rec.kind, name, rec.value, nid)
+
+    def on_free(self, nid: int, rec: "_NodeRecord") -> None:
+        self._remove(rec.kind, rec.name, rec.value, nid)
+
+    # ------------------------------------------------------------------
+    # Probes (live store; the snapshot layer has its own, overlay-aware
+    # versions built on the same dicts)
+    # ------------------------------------------------------------------
+
+    def attr_probe(self, name: str, value: str) -> tuple[int, ...]:
+        """Ids of attribute nodes bearing ``name="value"`` (exact)."""
+        self.ensure_built()
+        self.probes += 1
+        out = tuple(self.attr_index.get((name, value), ()))
+        self.hits += len(out)
+        obs = self._store._obs
+        if obs is not None:
+            obs.count("index.probes")
+            obs.count("index.hits", len(out))
+        return out
+
+    def token_probe(self, needle: str) -> tuple[int, ...] | None:
+        """Ids of text nodes that may witness an occurrence of *needle*.
+
+        Complete (see :func:`token_matcher`) but not exact — callers must
+        verify candidates.  None when the needle cannot be anchored.
+        """
+        matches = token_matcher(needle)
+        if matches is None:
+            return None
+        self.ensure_built()
+        self.probes += 1
+        out: set[int] = set()
+        for tok, postings in list(self.token_index.items()):
+            if matches(tok):
+                out.update(postings)
+        self.hits += len(out)
+        obs = self._store._obs
+        if obs is not None:
+            obs.count("index.probes")
+            obs.count("index.hits", len(out))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def distinct_attr_values(self, name: str) -> int:
+        """Distinct values currently indexed for attribute *name*."""
+        self.ensure_built()
+        return sum(1 for key in self.attr_index if key[0] == name)
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "maintained": self.maintained,
+            "rebuilds": self.rebuilds,
+            "rebuild_ms": self.rebuild_ms,
+        }
+
+    def verify(self) -> None:
+        """Compare the maintained indexes against a fresh rebuild.
+
+        Raises :class:`~repro.errors.StoreError` on any divergence — the
+        incremental maintenance hooks must keep the built indexes exactly
+        equal to what a from-scratch build over the current records
+        produces.  No-op while unbuilt.
+        """
+        if not self.built:
+            return
+        from repro.xdm.store import NodeKind
+
+        attr: dict[tuple[str, str], set[int]] = {}
+        token: dict[str, set[int]] = {}
+        for nid, rec in self._store._records.items():
+            if rec.kind is NodeKind.ATTRIBUTE:
+                attr.setdefault(
+                    (rec.name or "", rec.value or ""), set()
+                ).add(nid)
+            elif rec.kind is NodeKind.TEXT:
+                for tok in tokenize(rec.value):
+                    token.setdefault(tok, set()).add(nid)
+        if attr != self.attr_index:
+            diff = set(attr) ^ set(self.attr_index)
+            raise StoreError(
+                f"attribute index out of sync; diverging keys: "
+                f"{sorted(diff)[:5]}"
+            )
+        if token != self.token_index:
+            diff = set(token) ^ set(self.token_index)
+            raise StoreError(
+                f"token index out of sync; diverging tokens: "
+                f"{sorted(diff)[:5]}"
+            )

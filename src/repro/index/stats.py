@@ -1,0 +1,112 @@
+"""Cardinality statistics feeding the cost-based optimizer.
+
+The primary source is the live store: the element-name index gives exact
+per-name cardinalities and ``len(_records)`` the total node count, both
+O(#distinct names) to snapshot.  Before a document is loaded — or when
+estimating for a document about to be generated — the XMark generator's
+known selectivities seed the same numbers analytically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xdm.store import Store
+    from repro.xmark.generator import XMarkConfig
+
+
+class Statistics:
+    """Per-element-name cardinalities and the total node count."""
+
+    __slots__ = ("element_counts", "total", "source")
+
+    def __init__(
+        self,
+        element_counts: Mapping[str, int],
+        total: int,
+        source: str = "manual",
+    ) -> None:
+        self.element_counts = dict(element_counts)
+        self.total = total
+        self.source = source
+
+    @classmethod
+    def from_store(cls, store: "Store") -> "Statistics":
+        """Exact live counts read off the store's element-name index."""
+        counts = {
+            name: len(ids) for name, ids in store._name_index.items() if ids
+        }
+        return cls(counts, len(store._records), source="store")
+
+    @classmethod
+    def from_xmark(cls, config: "XMarkConfig") -> "Statistics":
+        """The XMark generator's analytically known selectivities.
+
+        Every per-item/person/auction child element count follows
+        directly from the generator's templates; ``bidder`` uses the
+        expectation of its uniform 0..max_bidders draw.
+        """
+        bidders = config.open_auctions * config.max_bidders // 2
+        counts = {
+            "site": 1,
+            "regions": 1,
+            "namerica": 1,
+            "europe": 1,
+            "people": 1,
+            "open_auctions": 1,
+            "closed_auctions": 1,
+            "item": config.items,
+            "quantity": config.items,
+            "payment": config.items,
+            "description": config.items,
+            "text": config.items,
+            "person": config.persons,
+            "emailaddress": config.persons,
+            "city": config.persons,
+            "income": config.persons,
+            # <name> appears under both items and persons.
+            "name": config.items + config.persons,
+            "open_auction": config.open_auctions,
+            "initial": config.open_auctions,
+            "current": config.open_auctions,
+            "bidder": bidders,
+            "personref": bidders,
+            "increase": bidders,
+            "closed_auction": config.closed_auctions,
+            "seller": config.closed_auctions,
+            "buyer": config.closed_auctions,
+            "price": config.closed_auctions,
+            "date": config.closed_auctions,
+            "itemref": config.open_auctions + config.closed_auctions,
+        }
+        elements = sum(counts.values())
+        # Attributes (~items + persons + open_auctions + refs) and text
+        # nodes (one per leaf element) roughly double the element count.
+        attributes = (
+            config.items
+            + config.persons
+            + 2 * config.open_auctions
+            + bidders
+            + 3 * config.closed_auctions
+        )
+        texts = (
+            4 * config.items
+            + 4 * config.persons
+            + 2 * config.open_auctions
+            + bidders
+            + 2 * config.closed_auctions
+        )
+        return cls(counts, elements + attributes + texts, source="xmark")
+
+    def element_count(self, name: str) -> int:
+        return self.element_counts.get(name, 0)
+
+    def total_nodes(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"Statistics(source={self.source!r}, total={self.total}, "
+            f"names={len(self.element_counts)})"
+        )

@@ -140,6 +140,11 @@ class ExplainReport:
         purity: per-clause effect verdicts (``pure`` / ``may_update`` /
             ``may_snap``) of the decomposed pipeline — the judgments the
             rule guards consulted.
+        costs: the cost model's decisions
+            (:class:`repro.index.CostDecision`) — chosen access paths,
+            hash-join build sides and join orders, each with its rejected
+            alternatives and estimates.  Empty when the cost pass did not
+            run (small store, rewriting disabled, non-FLWOR body).
     """
 
     __slots__ = (
@@ -150,6 +155,7 @@ class ExplainReport:
         "operators_after",
         "rules",
         "purity",
+        "costs",
     )
 
     def __init__(
@@ -161,6 +167,7 @@ class ExplainReport:
         operators_after: list[str],
         rules: list["RuleFiring"],
         purity: list[dict],
+        costs: list | None = None,
     ):
         self.query_text = query_text
         self.plan_before = plan_before
@@ -169,6 +176,7 @@ class ExplainReport:
         self.operators_after = operators_after
         self.rules = rules
         self.purity = purity
+        self.costs = costs or []
 
     @property
     def fired_rules(self) -> list["RuleFiring"]:
@@ -190,6 +198,7 @@ class ExplainReport:
             "rewritten": self.rewritten,
             "rules": [rule.to_dict() for rule in self.rules],
             "purity": [dict(verdict) for verdict in self.purity],
+            "costs": [decision.to_dict() for decision in self.costs],
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -223,6 +232,13 @@ class ExplainReport:
                 lines.append(
                     f"  {verdict.get('clause', '?')}: "
                     + ("pure" if verdict.get("pure") else " ".join(flags) or "impure")
+                )
+        if self.costs:
+            lines.append("cost decisions:")
+            for decision in self.costs:
+                lines.append(
+                    f"  {decision.decision} ({decision.target}): "
+                    f"{decision.chosen} — {decision.reason}"
                 )
         return "\n".join(lines)
 

@@ -142,6 +142,7 @@ class Tracer:
         "observations",
         "rules",
         "purity",
+        "costs",
         "_stack",
     )
 
@@ -153,6 +154,7 @@ class Tracer:
         self.observations: dict[str, Observation] = {}
         self.rules: list[RuleFiring] = []
         self.purity: list[dict] = []
+        self.costs: list = []  # list[repro.index.cost.CostDecision]
         self._stack: list[PhaseSpan] = []
 
     # -- phase spans -----------------------------------------------------
@@ -194,6 +196,15 @@ class Tracer:
     def record_purity(self, verdicts: list[dict]) -> None:
         """Record the per-clause purity verdicts of an optimized pipeline."""
         self.purity.extend(verdicts)
+
+    def cost(self, decision) -> None:
+        """Record a cost-model decision (a CostDecision).
+
+        Deliberately a separate channel from :meth:`rule`: rules are
+        correctness-guarded plan transformations, cost decisions pick
+        among plans the guards already admitted.
+        """
+        self.costs.append(decision)
 
     # -- misc ------------------------------------------------------------
 

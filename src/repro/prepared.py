@@ -201,6 +201,12 @@ class PreparedQuery:
             # there) polls at iteration boundaries.  Covers the dynamic
             # prolog too — a variable initializer can loop as well.
             engine.evaluator.control = control
+        saved_use_indexes = engine.evaluator.use_indexes
+        if options is not None:
+            # Per-call index switch: the evaluator's fast paths and the
+            # IndexScan executor both read this flag, so one install
+            # point covers interpreted and compiled execution.
+            engine.evaluator.use_indexes = options.use_indexes
         try:
             # Imports and function registration are idempotent after the
             # first call (dict writes of the same objects) but keep the
@@ -248,6 +254,7 @@ class PreparedQuery:
                 engine.store._obs = None
             if control is not None:
                 engine.evaluator.control = None
+            engine.evaluator.use_indexes = saved_use_indexes
             for name, old in saved.items():
                 if name in declared:
                     # The prolog re-declared a bound name; the declaration

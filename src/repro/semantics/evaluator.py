@@ -114,6 +114,12 @@ class Evaluator:
         # Use the store's element-name index to answer descendant::name
         # steps (O(candidates x depth) instead of an O(subtree) walk).
         self.use_name_index = use_name_index
+        # Use the value indexes (repro.index) for equality and contains
+        # probes on descendant steps.  Installed per call from
+        # ExecutionOptions(use_indexes=...); with False the evaluator
+        # runs the generic scan paths — the reference semantics the
+        # equivalence property compares against.
+        self.use_indexes = use_name_index
         # Observability: a repro.obs.Tracer while a traced execution is in
         # flight, else None (the default — hot paths guard on None).
         self.tracer = None
@@ -483,6 +489,12 @@ class Evaluator:
             raise TypeError_(
                 f"axis step {expr.axis}::... requires a node context item"
             )
+        if self.use_indexes and len(expr.predicates) == 1:
+            fast = self._indexed_predicate_step(
+                item, expr.axis, expr.test, expr.predicates[0], context
+            )
+            if fast is not None:
+                return EvalResult(fast, _EMPTY)
         candidates = self._axis_candidates(item, expr)
         if len(expr.predicates) == 1 and candidates:
             kept = self._attr_compare_filter(
@@ -582,6 +594,316 @@ class Evaluator:
                 kept.append(node)
         return kept
 
+    # ------------------------------------------------------------------
+    # Value-index probe fast paths (repro.index)
+    #
+    # Three predicate shapes on descendant(-or-self)::name steps go
+    # through the store's value indexes instead of materializing every
+    # named descendant and filtering:
+    #
+    #   (A)  name[@attr = $v]            — attribute-value hash probe
+    #   (B)  name[contains(string(.), $v)] — token-index probe
+    #   (C)  name[child = $v]            — token-index probe on the
+    #                                      child's full string value
+    #
+    # Each probe yields a candidate *superset* (the indexes are content-
+    # keyed and store-wide); candidates are verified against the exact
+    # predicate semantics before acceptance, so results are identical to
+    # the generic path — only the work is proportional to matches, not
+    # to the subtree.  Every shape falls back (returns None) whenever
+    # any precondition is not met: non-string comparand, unanchorable
+    # needle, snapshot-local context (base indexes do not cover the
+    # snapshot's construction space), or a store without probes.
+    # ------------------------------------------------------------------
+
+    def _indexed_predicate_step(
+        self,
+        item,
+        axis: str,
+        test: core.CNodeTest,
+        predicate: core.CoreExpr,
+        context: DynamicContext,
+    ) -> list | None:
+        if axis not in ("descendant", "descendant-or-self"):
+            return None
+        if test.kind != "name" or test.name in (None, "*"):
+            return None
+        store = self.store
+        if getattr(store, "attr_eq_probe", None) is None:
+            return None
+        is_local = getattr(store, "_is_local", None)
+        if is_local is not None and is_local(item.nid):
+            return None
+        or_self = axis == "descendant-or-self"
+        name = test.name
+        if (
+            isinstance(predicate, core.CComparison)
+            and predicate.style == "general"
+            and predicate.op == "eq"
+        ):
+            out = self._probe_attr_eq(
+                store, item, name, or_self, predicate, context
+            )
+            if out is None:
+                out = self._probe_child_eq(
+                    store, item, name, or_self, predicate, context
+                )
+            return out
+        if (
+            isinstance(predicate, core.CCall)
+            and predicate.name == "contains"
+            and len(predicate.args) == 2
+        ):
+            return self._probe_contains(
+                store, item, name, or_self, predicate, context
+            )
+        return None
+
+    @staticmethod
+    def _eq_comparand(
+        predicate: core.CComparison, operand_of: Callable
+    ) -> tuple[str, core.CoreExpr] | None:
+        """Match one side of a general '=' with *operand_of* (a bare
+        ``@attr`` or ``child`` step recognizer) when the other side is a
+        variable or literal; '=' is symmetric in the collapse case."""
+        left = operand_of(predicate.left)
+        if left is not None and isinstance(
+            predicate.right, (core.CVar, core.CLiteral)
+        ):
+            return left, predicate.right
+        right = operand_of(predicate.right)
+        if right is not None and isinstance(
+            predicate.left, (core.CVar, core.CLiteral)
+        ):
+            return right, predicate.left
+        return None
+
+    def _string_target(
+        self, other: core.CoreExpr, context: DynamicContext
+    ) -> str | None:
+        """The raw-string comparand of the key-lookup collapse case (see
+        _attr_compare_filter): a singleton string/untyped atomic."""
+        other_value, _ = self.evaluate(other, context)
+        if (
+            len(other_value) == 1
+            and isinstance(other_value[0], AtomicValue)
+            and other_value[0].type in (XS_STRING, XS_UNTYPED)
+        ):
+            return str(other_value[0].value)
+        return None
+
+    @staticmethod
+    def _contained(store, nid: int, root: int, or_self: bool) -> bool:
+        if nid == root:
+            return or_self
+        cur = store.parent(nid)
+        while cur is not None:
+            if cur == root:
+                return True
+            cur = store.parent(cur)
+        return False
+
+    @staticmethod
+    def _ancestor_chain(store, tid: int, root: int) -> list[int] | None:
+        """Ancestors of *tid* from its parent up to and including *root*;
+        None when *tid* is not in *root*'s subtree."""
+        chain: list[int] = []
+        cur = store.parent(tid)
+        while cur is not None:
+            chain.append(cur)
+            if cur == root:
+                return chain
+            cur = store.parent(cur)
+        return None
+
+    @staticmethod
+    def _probe_result(store, nids) -> list:
+        return [Node(store, nid) for nid in store.sort_document_order(nids)]
+
+    def _indexed_descendant_path(
+        self, expr: core.CPath, context: DynamicContext
+    ) -> EvalResult | None:
+        """The uncollapsed ``B//name[P]`` shape.
+
+        ``B//name[P]`` compiles to
+        ``CPath(CPath(B, descendant-or-self::node()), child::name[P])``
+        and the simplifier leaves it that way when it cannot prove ``P``
+        non-positional.  The probe shapes recognized by
+        :meth:`_indexed_predicate_step` are all boolean-valued, for
+        which the composition is exactly ``B/descendant::name[P]`` — so
+        the same index fast paths apply.  ``B`` is restricted to
+        variable/context/root references: they are pure and idempotent,
+        so falling back to the generic path after evaluating them here
+        cannot duplicate side effects.
+        """
+        inner = expr.base
+        if not isinstance(inner, core.CPath):
+            return None
+        if not isinstance(inner.base, (core.CVar, core.CContext, core.CRoot)):
+            return None
+        dos = inner.step
+        if not (
+            isinstance(dos, core.CAxisStep)
+            and dos.axis == "descendant-or-self"
+            and dos.test.kind == "node"
+            and not dos.predicates
+        ):
+            return None
+        step = expr.step
+        if not (
+            isinstance(step, core.CAxisStep)
+            and step.axis == "child"
+            and step.test.kind == "name"
+            and len(step.predicates) == 1
+        ):
+            return None
+        base_value, delta = self.evaluate(inner.base, context)
+        base_nodes = node_sequence(base_value, "path step input")
+        base_nodes = list(nodes_in_document_order(base_nodes))
+        results: Sequence = []
+        size = len(base_nodes)
+        for position, node in enumerate(base_nodes, start=1):
+            focus = DynamicContext(context.variables, node, position, size)
+            fast = self._indexed_predicate_step(
+                node, "descendant", step.test, step.predicates[0], focus
+            )
+            if fast is None:
+                return None
+            results.extend(fast)
+        return EvalResult(list(nodes_in_document_order(results)), delta)
+
+    def _probe_attr_eq(
+        self, store, item, name, or_self, predicate, context
+    ) -> list | None:
+        matched = self._eq_comparand(predicate, self._attr_compare_operand)
+        if matched is None:
+            return None
+        attr_name, other = matched
+        target = self._string_target(other, context)
+        if target is None:
+            return None
+        aids = store.attr_eq_probe(attr_name, target)
+        if aids is None:
+            return None
+        out = []
+        for aid in aids:
+            owner = store.parent(aid)
+            if owner is None or store.name(owner) != name:
+                continue
+            if store.kind(owner) is not NodeKind.ELEMENT:
+                continue
+            if self._contained(store, owner, item.nid, or_self):
+                out.append(owner)
+        return self._probe_result(store, out)
+
+    @staticmethod
+    def _child_step_operand(side: core.CoreExpr) -> str | None:
+        """The element name when *side* is a bare ``child`` name step."""
+        if (
+            isinstance(side, core.CAxisStep)
+            and side.axis == "child"
+            and side.test.kind == "name"
+            and side.test.name not in (None, "*")
+            and not side.predicates
+        ):
+            return side.test.name
+        return None
+
+    def _probe_child_eq(
+        self, store, item, name, or_self, predicate, context
+    ) -> list | None:
+        matched = self._eq_comparand(predicate, self._child_step_operand)
+        if matched is None:
+            return None
+        child_name, other = matched
+        target = self._string_target(other, context)
+        if not target:  # empty string: no text to witness it — scan
+            return None
+        tids = store.token_probe(target)
+        if tids is None:
+            return None
+        candidates: set[int] = set()
+        for tid in tids:
+            chain = self._ancestor_chain(store, tid, item.nid)
+            if chain is None:
+                continue
+            for i in range(len(chain) - 1):
+                child, parent = chain[i], chain[i + 1]
+                if (
+                    store.name(child) == child_name
+                    and store.kind(child) is NodeKind.ELEMENT
+                    and store.name(parent) == name
+                    and store.kind(parent) is NodeKind.ELEMENT
+                    and (parent != item.nid or or_self)
+                ):
+                    candidates.add(parent)
+        out = []
+        for nid in candidates:
+            for cid in store.children(nid):
+                if (
+                    store.kind(cid) is NodeKind.ELEMENT
+                    and store.name(cid) == child_name
+                    and store.string_value(cid) == target
+                ):
+                    out.append(nid)
+                    break
+        return self._probe_result(store, out)
+
+    @staticmethod
+    def _is_context_string(expr: core.CoreExpr) -> bool:
+        """``.`` or ``string(.)``/``string()`` — shapes whose value under
+        a node focus is exactly the node's string value."""
+        if isinstance(expr, core.CContext):
+            return True
+        return (
+            isinstance(expr, core.CCall)
+            and expr.name == "string"
+            and (
+                not expr.args
+                or (
+                    len(expr.args) == 1
+                    and isinstance(expr.args[0], core.CContext)
+                )
+            )
+        )
+
+    def _probe_contains(
+        self, store, item, name, or_self, predicate, context
+    ) -> list | None:
+        haystack, needle_expr = predicate.args
+        if not self._is_context_string(haystack):
+            return None
+        if not isinstance(needle_expr, (core.CVar, core.CLiteral)):
+            return None
+        needle_value, _ = self.evaluate(needle_expr, context)
+        if len(needle_value) != 1 or not isinstance(
+            needle_value[0], AtomicValue
+        ):
+            return None
+        needle = needle_value[0].lexical()
+        if not needle:  # contains(s, "") is uniformly true — scan
+            return None
+        tids = store.token_probe(needle)
+        if tids is None:
+            return None
+        candidates: set[int] = set()
+        for tid in tids:
+            chain = self._ancestor_chain(store, tid, item.nid)
+            if chain is None:
+                continue
+            for nid in chain:
+                if nid == item.nid and not or_self:
+                    continue
+                if (
+                    store.kind(nid) is NodeKind.ELEMENT
+                    and store.name(nid) == name
+                ):
+                    candidates.add(nid)
+        out = [
+            nid for nid in candidates if needle in store.string_value(nid)
+        ]
+        return self._probe_result(store, out)
+
     def _axis_candidates(self, item: Node, expr: core.CAxisStep) -> list:
         """Nodes of the step's axis passing its node test, in axis order.
 
@@ -631,6 +953,10 @@ class Evaluator:
         return kept, delta
 
     def _eval_path(self, expr: core.CPath, context: DynamicContext) -> EvalResult:
+        if self.use_indexes:
+            fast = self._indexed_descendant_path(expr, context)
+            if fast is not None:
+                return fast
         base_value, delta = self.evaluate(expr.base, context)
         base_nodes = node_sequence(base_value, "path step input")
         base_nodes = list(nodes_in_document_order(base_nodes))

@@ -108,6 +108,12 @@ class Store:
         # in the store (live or detached).  Maintained on create/rename;
         # used by the descendant-axis fast path.
         self._name_index: dict[str, set[int]] = {}
+        # Value indexes (attribute values, text tokens): lazily built on
+        # first probe, then maintained incrementally by the mutators
+        # below.  Deferred import — repro.index imports store symbols.
+        from repro.index.manager import IndexManager
+
+        self._indexes = IndexManager(self)
         # Observability: a repro.obs.Tracer while a traced execution is in
         # flight, else None.  Hot paths guard on None so that disabled
         # instrumentation costs one attribute load per event.
@@ -144,6 +150,11 @@ class Store:
         if not roots:
             self._order_cache.clear()
             self._cached_roots.clear()
+            # A whole-store invalidation (restore, persistence load) can
+            # rebind records wholesale, bypassing the per-mutator index
+            # hooks — drop the value indexes rather than risk stale
+            # postings; the next probe rebuilds.
+            self._indexes.invalidate()
             return
         for root in roots:
             nids = self._cached_roots.pop(root, None)
@@ -215,6 +226,8 @@ class Store:
             # Every element enters the name index at birth — including
             # deep-copy clones, which do not go through create_element.
             self._name_index.setdefault(name, set()).add(nid)
+        if self._indexes.built:
+            self._indexes.on_alloc(nid, kind, name, value)
         if self._obs is not None:
             self._obs.count("store.nodes_created")
         return nid
@@ -348,6 +361,25 @@ class Store:
                     break
                 cur = self._records[cur].parent
         return out
+
+    @property
+    def indexes(self):
+        """The store's value-index manager (see :mod:`repro.index`)."""
+        return self._indexes
+
+    def attr_eq_probe(self, name: str, value: str) -> tuple[int, ...]:
+        """Ids of attribute nodes bearing ``name="value"``, store-wide.
+
+        Builds the value indexes on first use.  Exact on content; callers
+        re-check attachment (owner element, containment) because the
+        index is content-keyed and also lists detached attributes.
+        """
+        return self._indexes.attr_probe(name, value)
+
+    def token_probe(self, needle: str) -> tuple[int, ...] | None:
+        """Candidate text-node ids for a ``contains`` search (superset;
+        callers verify).  None when the needle cannot use the index."""
+        return self._indexes.token_probe(needle)
 
     def descendants(self, nid: int, include_self: bool = False) -> Iterator[int]:
         """Yield descendant node ids in document order.
@@ -596,6 +628,8 @@ class Store:
         if rec.kind is NodeKind.ELEMENT and rec.name != name:
             self._name_index.get(rec.name, set()).discard(nid)
             self._name_index.setdefault(name, set()).add(nid)
+        if self._indexes.built:
+            self._indexes.on_rename(nid, rec, name)
         rec.name = name
         self._version += 1
 
@@ -608,6 +642,8 @@ class Store:
             )
         if self._snapshots:
             self._cow(nid)
+        if self._indexes.built:
+            self._indexes.on_set_value(nid, rec, value)
         rec.value = value
         self._version += 1
 
@@ -688,6 +724,8 @@ class Store:
                 self._cow(nid)
             if rec.kind is NodeKind.ELEMENT and rec.name:
                 self._name_index.get(rec.name, set()).discard(nid)
+            if self._indexes.built:
+                self._indexes.on_free(nid, rec)
             del self._records[nid]
             key = self._order_cache.pop(nid, None)
             if key is not None:
@@ -811,6 +849,9 @@ class Store:
                         f"node {nid} indexed under {name!r} but named "
                         f"{self._rec(nid).name!r}"
                     )
+        # Value indexes: when built, the incrementally maintained postings
+        # must agree exactly with a from-scratch rebuild.
+        self._indexes.verify()
         # Order cache: no stale keys, and the root index mirrors the cache.
         for nid, key in self._order_cache.items():
             if nid not in self._records:

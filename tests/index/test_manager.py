@@ -1,0 +1,265 @@
+"""The value-index manager: lazy build, O(|op|) maintenance, probe
+supersets, and the stale-index regression the ``_touch`` hook guards
+against."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import StoreError
+from repro.index.manager import IndexManager, token_matcher, tokenize
+from repro.xdm import NodeKind, Store
+
+
+def build_doc(store):
+    """<doc><a k="1">hello world</a><b k="2">goodbye</b></doc>"""
+    root = store.create_element("doc")
+    a = store.create_element("a")
+    store.set_attribute(a, store.create_attribute("k", "1"))
+    ta = store.create_text("hello world")
+    store.append_child(a, ta)
+    b = store.create_element("b")
+    store.set_attribute(b, store.create_attribute("k", "2"))
+    tb = store.create_text("goodbye")
+    store.append_child(b, tb)
+    store.append_child(root, a)
+    store.append_child(root, b)
+    return root, a, b, ta, tb
+
+
+class TestTokenMatcher:
+    def test_single_token_needle_matches_containing_token(self):
+        matcher = token_matcher("ell")
+        assert matcher("hello")
+        assert not matcher("world")
+
+    def test_empty_and_leading_whitespace_needles_unanchorable(self):
+        assert token_matcher("") is None
+        assert token_matcher(" x") is None
+        assert token_matcher("\tx") is None
+
+    def test_multi_token_needle_matches_first_token_suffix(self):
+        # needle "lo wor" inside "hello world": the holding token of the
+        # occurrence start is "hello", which ends with "lo".
+        matcher = token_matcher("lo wor")
+        assert matcher("hello")
+        assert not matcher("world" + "x")
+
+    def test_overlap_catches_tokens_shorter_than_first_word(self):
+        # Token "ab" is shorter than first needle word "abc" but overlaps
+        # its prefix — the occurrence can start inside "ab" and continue
+        # in an adjacent text node.
+        matcher = token_matcher("abc")
+        assert matcher("ab")
+        assert matcher("a")
+        assert not matcher("c")
+
+    def test_tokenize_is_whitespace_split(self):
+        assert tokenize("  a\tb \n c ") == ["a", "b", "c"]
+
+
+class TestLazyBuildAndMaintenance:
+    def test_nothing_built_until_first_probe(self):
+        store = Store()
+        build_doc(store)
+        assert not store.indexes.built
+        store.attr_eq_probe("k", "1")
+        assert store.indexes.built
+        assert store.indexes.rebuilds == 1
+
+    def test_attr_probe_finds_attribute_nodes(self):
+        store = Store()
+        root, a, b, _, _ = build_doc(store)
+        (aid,) = store.attr_eq_probe("k", "1")
+        assert store.kind(aid) is NodeKind.ATTRIBUTE
+        assert store.parent(aid) == a
+
+    def test_token_probe_is_a_verified_superset(self):
+        store = Store()
+        root, a, b, ta, tb = build_doc(store)
+        tids = store.token_probe("hello")
+        assert ta in tids
+        assert tb not in tids
+
+    def test_token_probe_spanning_text_boundary(self):
+        # <p><x>ab</x><y>cd</y></p>: string value "abcd" contains "bc",
+        # but no single text node does — the overlap predicate must keep
+        # the first text node as a candidate.
+        store = Store()
+        p = store.create_element("p")
+        x = store.create_element("x")
+        tx = store.create_text("ab")
+        store.append_child(x, tx)
+        y = store.create_element("y")
+        ty = store.create_text("cd")
+        store.append_child(y, ty)
+        store.append_child(p, x)
+        store.append_child(p, y)
+        tids = store.token_probe("bc")
+        assert tx in tids
+
+    def test_set_value_moves_postings(self):
+        store = Store()
+        root, a, b, ta, tb = build_doc(store)
+        store.token_probe("hello")  # build
+        store.set_value(ta, "changed entirely")
+        assert ta not in store.token_probe("hello")
+        assert ta in store.token_probe("changed")
+        store.indexes.verify()
+
+    def test_attribute_set_value_and_rename_maintained(self):
+        store = Store()
+        root, a, b, _, _ = build_doc(store)
+        (aid,) = store.attr_eq_probe("k", "1")
+        store.set_value(aid, "9")
+        assert store.attr_eq_probe("k", "1") == ()
+        assert store.attr_eq_probe("k", "9") == (aid,)
+        store.rename(aid, "kk")
+        assert store.attr_eq_probe("k", "9") == ()
+        assert store.attr_eq_probe("kk", "9") == (aid,)
+        store.indexes.verify()
+
+    def test_gc_frees_postings(self):
+        store = Store()
+        root, a, b, ta, tb = build_doc(store)
+        store.token_probe("hello")  # build
+        store.detach(a)
+        store.gc([root])
+        assert ta not in store.token_probe("hello")
+        store.indexes.verify()
+
+    def test_maintenance_is_counted(self):
+        store = Store()
+        root, a, b, ta, _ = build_doc(store)
+        store.token_probe("hello")
+        before = store.indexes.maintained
+        store.set_value(ta, "x")
+        assert store.indexes.maintained > before
+
+    def test_verify_detects_corruption(self):
+        store = Store()
+        build_doc(store)
+        store.token_probe("hello")
+        store.indexes.token_index["bogus"] = {999}
+        with pytest.raises(StoreError):
+            store.indexes.verify()
+
+
+class TestStaleIndexRegression:
+    """Satellite: an in-place rename/replace through the update language
+    must never leave stale postings behind, and a full store reload
+    (which bypasses per-op hooks via ``_touch()``) must invalidate."""
+
+    DOC = (
+        "<inventory>"
+        "<item id='a'><name>widget</name></item>"
+        "<item id='b'><name>sprocket</name></item>"
+        "</inventory>"
+    )
+
+    def fresh(self):
+        engine = Engine()
+        engine.load_document("doc", self.DOC)
+        return engine
+
+    def test_replace_value_via_update_language(self):
+        engine = self.fresh()
+        store = engine.store
+        # Build, then mutate through a snap.
+        assert len(store.token_probe("widget")) == 1
+        engine.execute(
+            "snap { replace value of { $doc//item[@id='a']/name } "
+            "with { 'gadget' } }"
+        )
+        assert len(store.token_probe("gadget")) == 1
+        # Replacing an element's value detaches the old text node; once
+        # it is reclaimed its posting must go with it.
+        engine.gc()
+        assert store.token_probe("widget") == ()
+        store.indexes.verify()
+
+    def test_rename_via_update_language(self):
+        engine = self.fresh()
+        store = engine.store
+        (aid,) = store.attr_eq_probe("id", "a")
+        engine.execute(
+            "snap { rename { $doc//item[@id='a']/@id } to { 'ident' } }"
+        )
+        assert store.attr_eq_probe("id", "a") == ()
+        assert store.attr_eq_probe("ident", "a") == (aid,)
+        store.indexes.verify()
+
+    def test_touch_invalidates_whole_index(self):
+        engine = self.fresh()
+        store = engine.store
+        store.token_probe("widget")
+        assert store.indexes.built
+        store._touch()  # restore/reload path: no per-op hooks fired
+        assert not store.indexes.built
+        # The next probe rebuilds from the current records.
+        assert len(store.token_probe("widget")) == 1
+        assert store.indexes.rebuilds == 2
+
+    def test_check_invariants_covers_indexes(self):
+        engine = self.fresh()
+        engine.store.token_probe("widget")
+        engine.store.check_invariants()
+
+
+class TestCounters:
+    def test_probe_and_hit_counters(self):
+        store = Store()
+        build_doc(store)
+        store.attr_eq_probe("k", "1")
+        store.token_probe("hello")
+        counters = store.indexes.counters()
+        assert counters["probes"] == 2
+        assert counters["hits"] >= 2
+        assert counters["rebuilds"] == 1
+        assert counters["rebuild_ms"] >= 0
+
+    def test_index_counters_flow_into_query_stats(self):
+        engine = Engine()
+        engine.load_document(
+            "doc", "<doc><p id='x'>alpha</p><p id='y'>beta</p></doc>"
+        )
+        result = engine.execute(
+            "$doc//p[@id = 'x']", collect_stats=True
+        )
+        assert result.stats.counters.get("index.probes", 0) >= 1
+        assert "index.rebuilds" in result.stats.counters
+
+
+class TestSnapshotProbes:
+    def test_snapshot_reader_never_builds(self):
+        store = Store()
+        build_doc(store)
+        snap = store.begin_snapshot()
+        assert snap.attr_eq_probe("k", "1") is None
+        assert snap.token_probe("hello") is None
+        assert not store.indexes.built
+        store.release_snapshot(snap)
+
+    def test_snapshot_sees_pre_mutation_postings(self):
+        store = Store()
+        root, a, b, ta, _ = build_doc(store)
+        store.token_probe("hello")  # build on the live store
+        snap = store.begin_snapshot()
+        store.set_value(ta, "changed")
+        # Live index moved on; the snapshot probe recovers the pre-image.
+        assert ta not in store.token_probe("hello")
+        assert ta in snap.token_probe("hello")
+        assert ta not in snap.token_probe("changed")
+        store.release_snapshot(snap)
+
+    def test_snapshot_attr_probe_filters_post_ceiling_nodes(self):
+        store = Store()
+        root, a, b, _, _ = build_doc(store)
+        store.attr_eq_probe("k", "1")
+        snap = store.begin_snapshot()
+        c = store.create_element("c")
+        store.set_attribute(c, store.create_attribute("k", "1"))
+        store.append_child(root, c)
+        live = store.attr_eq_probe("k", "1")
+        assert len(live) == 2
+        assert len(snap.attr_eq_probe("k", "1")) == 1
+        store.release_snapshot(snap)

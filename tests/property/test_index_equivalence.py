@@ -1,0 +1,133 @@
+"""Property: indexed execution is observationally equivalent to
+unindexed execution — for randomized XMark-style queries, across random
+update sequences, and for snapshot readers taken mid-update-stream.
+
+The fast paths only ever *narrow* work (probe supersets are re-verified
+against exact semantics), so any divergence is a bug in maintenance,
+probe verification, or snapshot consistency."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Engine, ExecutionOptions
+from repro.semantics.context import DynamicContext
+from repro.semantics.evaluator import Evaluator
+from repro.xdm.nodes import Node
+from repro.xmark.generator import XMarkConfig, generate_auction_xml
+
+_NO_INDEX = ExecutionOptions(use_indexes=False)
+
+WORDS = ["fine", "word", "widget", "rare", "zebra", ""]
+
+
+def fresh_engine(seed: int) -> Engine:
+    engine = Engine()
+    config = XMarkConfig(
+        persons=12, items=10, open_auctions=6, closed_auctions=8, seed=seed
+    )
+    doc = engine.load_document("auction", generate_auction_xml(config))
+    engine.bind("doc", [doc])
+    return engine
+
+
+def query_pool(rng: random.Random) -> list[str]:
+    pid = f"person{rng.randrange(15)}"
+    word = rng.choice(WORDS)
+    return [
+        f'$doc//person[@id = "{pid}"]',
+        f'$doc//item[contains(string(.), "{word}")]',
+        '$doc//closed_auction[price = "draw"]',
+        f'$doc//person[name = "{word}"]',
+        '$doc//bidder[personref = "x"]',
+    ]
+
+
+def updates_pool(rng: random.Random) -> list[str]:
+    n = rng.randrange(20)
+    return [
+        f"snap {{ replace value of {{ ($doc//person)[{1 + n % 5}]/@id }} "
+        f'with {{ "person{n}" }} }}',
+        "snap { replace value of { ($doc//item)[1]/name } "
+        f'with {{ "{rng.choice(WORDS[:-1])} #{n}" }} }}',
+        "snap { delete { ($doc//closed_auction)[1] } }",
+        'snap { insert { <person id="personX"><name>Draw Card</name>'
+        "</person> } into { $doc//people } }",
+        f"snap {{ rename {{ ($doc//item)[{1 + n % 3}]/@id }} "
+        'to { "id" } }',
+    ]
+
+
+def run_both(engine: Engine, query: str):
+    fast = engine.execute(query)
+    slow = engine.execute(query, options=_NO_INDEX)
+    return (
+        [n.nid for n in fast.items],
+        [n.nid for n in slow.items],
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_reads_indexed_equals_unindexed(seed):
+    rng = random.Random(seed)
+    engine = fresh_engine(seed)
+    for query in query_pool(rng):
+        fast, slow = run_both(engine, query)
+        assert fast == slow, query
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.data())
+def test_update_streams_keep_equivalence(seed, data):
+    rng = random.Random(seed)
+    engine = fresh_engine(seed)
+    # Force the index to build before the update stream starts, so the
+    # incremental maintenance path (not rebuild-on-probe) is exercised.
+    engine.store.token_probe("fine")
+    for _ in range(data.draw(st.integers(1, 4), label="rounds")):
+        update = data.draw(
+            st.sampled_from(updates_pool(rng)), label="update"
+        )
+        engine.execute(update)
+        for query in query_pool(rng):
+            fast, slow = run_both(engine, query)
+            assert fast == slow, (update, query)
+    engine.store.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_snapshot_reads_mid_update_stream(seed):
+    """A snapshot taken between updates must answer indexed probes from
+    its own epoch: equal to unindexed evaluation against the snapshot,
+    regardless of how far the live store has moved on."""
+    rng = random.Random(seed)
+    engine = fresh_engine(seed)
+    store = engine.store
+    engine.store.token_probe("fine")  # live index built and maintained
+    queries = query_pool(rng)
+    prepared = [engine.prepare(q) for q in queries]
+    doc_nid = engine.evaluator.globals["doc"][0].nid
+
+    engine.execute(rng.choice(updates_pool(rng)))
+    snap = store.begin_snapshot()
+    # The stream keeps mutating after the snapshot...
+    for update in rng.sample(updates_pool(rng), 2):
+        engine.execute(update)
+
+    # ...while the snapshot reader answers from its epoch, with and
+    # without index probes.
+    for query, pq in zip(queries, prepared):
+        results = []
+        for use_indexes in (True, False):
+            ev = Evaluator(snap, engine.functions)
+            ev.use_indexes = use_indexes
+            ev.globals = {"doc": [Node(snap, doc_nid)]}
+            value, _ = ev.evaluate(
+                pq._module.body, DynamicContext(dict(ev.globals))
+            )
+            results.append([n.nid for n in value])
+        assert results[0] == results[1], query
+    store.release_snapshot(snap)
+    store.check_invariants()
