@@ -29,6 +29,7 @@ from repro.errors import (
     QueryTimeoutError,
     ResourceLimitError,
     ServiceOverloadedError,
+    TransactionConflictError,
     XQueryError,
 )
 from repro.obs import ExplainReport, QueryStats, SlowQueryRecord, Tracer
@@ -40,10 +41,11 @@ from repro.resilience import (
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.txn import Session, Transaction
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Engine",
@@ -69,6 +71,9 @@ __all__ = [
     "ServiceOverloadedError",
     "CircuitOpenError",
     "ResourceLimitError",
+    "TransactionConflictError",
+    "Session",
+    "Transaction",
     "ResiliencePolicy",
     "RetryPolicy",
     "CircuitBreaker",

@@ -116,6 +116,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                 atomic=state.evaluator.atomic_snaps,
                 journal=state.evaluator.journal,
                 control=state.control,
+                txn_log=state.evaluator.txn_log,
             )
         else:
             with tracer.span("snap-apply"):
@@ -127,6 +128,7 @@ def _items(plan: P.Plan, state: _ExecState) -> Sequence:
                     tracer=tracer,
                     journal=state.evaluator.journal,
                     control=state.control,
+                    txn_log=state.evaluator.txn_log,
                 )
         state.delta = []
         return inner

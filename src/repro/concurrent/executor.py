@@ -349,6 +349,31 @@ class ConcurrentExecutor:
         )
         return future.result()
 
+    def session(self, **kwargs):
+        """Open a transactional :class:`~repro.txn.Session` on the
+        wrapped engine.
+
+        Same keyword surface as :meth:`Engine.session`.  The session
+        inherits the executor's shared tracer and admission limits
+        unless overridden, and every commit invalidates the executor's
+        read-snapshot bundle (readers re-snapshot and see the committed
+        state).  Transactions run in the caller's thread — statements
+        read a private MVCC view without touching the worker pool; only
+        the commit itself takes the store write lock, interleaving with
+        the workers' writes.
+        """
+        caller_hook = kwargs.pop("on_commit", None)
+        kwargs.setdefault("tracer", self.tracer)
+        if self._limits is not None:
+            kwargs.setdefault("limits", self._limits)
+
+        def after_commit() -> None:
+            self.invalidate_snapshot()
+            if caller_hook is not None:
+                caller_hook()
+
+        return self.engine.session(on_commit=after_commit, **kwargs)
+
     def health(self) -> "HealthReport":
         """A structured readiness report for the serving stack.
 

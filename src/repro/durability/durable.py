@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.engine import Engine
@@ -376,12 +377,48 @@ class DurableEngine:
                 report.worsen(DEGRADED)
         return report
 
-    def transaction(self) -> Any:
-        raise DurabilityError(
-            "Engine.transaction() rolls back snaps that the journal has "
-            "already made durable; multi-query atomicity is not "
-            "supported on a DurableEngine"
-        )
+    def session(self, **kwargs: Any):
+        """Open a transactional :class:`~repro.txn.Session`.
+
+        Same surface as :meth:`Engine.session`; a commit lands in the
+        journal as one atomic frame group (recovery replays it
+        all-or-nothing), and each commit is followed by a compaction
+        check.  The caller's ``on_commit`` hook, when given, runs after
+        that check.
+        """
+        caller_hook = kwargs.pop("on_commit", None)
+
+        def after_commit() -> None:
+            self.maybe_compact()
+            if caller_hook is not None:
+                caller_hook()
+
+        return self.engine.session(on_commit=after_commit, **kwargs)
+
+    @contextmanager
+    def transaction(self, **kwargs: Any):
+        """Scope one MVCC transaction: commit on clean exit, roll back
+        on exception.
+
+        Historically this raised — the legacy checkpoint/rollback
+        transaction would have un-applied snaps the journal had already
+        made durable.  The session-based transaction has no such
+        problem: statements buffer on a snapshot view and nothing
+        touches the store or the journal until the atomic commit (one
+        journal frame group), so durable engines support multi-query
+        atomicity directly::
+
+            with durable.transaction() as txn:
+                txn.execute('snap insert nodes <bid/> into $bids')
+                txn.execute('snap delete nodes $watch/item[1]')
+            # both journaled as one group — or neither
+        """
+        session = self.session(**kwargs)
+        try:
+            with session.transaction() as txn:
+                yield txn
+        finally:
+            session.close()
 
     def __getattr__(self, name: str) -> Any:
         # Everything else — prepare, store, evaluator, variable,

@@ -220,6 +220,10 @@ class ScanResult:
     records: list[dict]
     good_offset: int  # file offset just past the last intact frame
     torn_bytes: int  # bytes after good_offset (partial final frame)
+    # File offset where records[i] starts.  Recovery uses this to cut an
+    # unterminated commit group back out of the file (group atomicity:
+    # a crash mid-group must lose the *whole* group).
+    offsets: list[int] = field(default_factory=list)
 
 
 def scan_journal(path: str) -> ScanResult:
@@ -241,6 +245,7 @@ def scan_journal(path: str) -> ScanResult:
     offset = len(FILE_MAGIC)
     end = len(data)
     records: list[dict] = []
+    offsets: list[int] = []
     while offset < end:
         header = data[offset : offset + HEADER_SIZE]
         if len(header) < HEADER_SIZE:
@@ -278,9 +283,13 @@ def scan_journal(path: str) -> ScanResult:
                 "an object"
             )
         records.append(record)
+        offsets.append(offset)
         offset = frame_end
     return ScanResult(
-        records=records, good_offset=offset, torn_bytes=end - offset
+        records=records,
+        good_offset=offset,
+        torn_bytes=end - offset,
+        offsets=offsets,
     )
 
 
@@ -299,6 +308,11 @@ class JournalEntry:
     ops: list[dict]
     nodes: list[list]
     captured_roots: set[int] = field(default_factory=set)
+    # Explicit post-application watermark.  The single-snap path leaves
+    # this None and reads the live store at commit time; a transaction
+    # commit group pre-computes each member's watermark (the statements
+    # were applied against the session view, not the live store).
+    post_next_id: int | None = None
 
 
 class Journal:
@@ -504,6 +518,30 @@ class Journal:
             captured_roots=captured,
         )
 
+    @staticmethod
+    def _frame(payload_obj: dict) -> bytes:
+        """Encode one payload object as a CRC-framed journal frame."""
+        payload = json.dumps(payload_obj, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        header_head = struct.pack(
+            "<III", FRAME_MAGIC, len(payload), crc32(payload)
+        )
+        return header_head + struct.pack("<I", crc32(header_head)) + payload
+
+    def _entry_payload(self, entry: JournalEntry, store: Store) -> dict:
+        post = entry.post_next_id
+        if post is None:
+            post = store._next_id
+        return {
+            "seq": entry.seq,
+            "pre": entry.pre_next_id,
+            "post": post,
+            "sem": entry.semantics,
+            "ops": entry.ops,
+            "nodes": entry.nodes,
+        }
+
     def commit(self, entry: JournalEntry, store: Store) -> None:
         """Append *entry* and make it durable per the fsync policy.
 
@@ -512,21 +550,7 @@ class Journal:
         on.  Raises ``OSError`` when the append fails (the caller turns
         that into a :class:`~repro.errors.DurabilityError`).
         """
-        payload = json.dumps(
-            {
-                "seq": entry.seq,
-                "pre": entry.pre_next_id,
-                "post": store._next_id,
-                "sem": entry.semantics,
-                "ops": entry.ops,
-                "nodes": entry.nodes,
-            },
-            separators=(",", ":"),
-        ).encode("utf-8")
-        header_head = struct.pack(
-            "<III", FRAME_MAGIC, len(payload), crc32(payload)
-        )
-        frame = header_head + struct.pack("<I", crc32(header_head)) + payload
+        frame = self._frame(self._entry_payload(entry, store))
         faults = self.faults
         if faults is not None:
             faults.hit(EIO_ON_WRITE)
@@ -553,6 +577,80 @@ class Journal:
         if self.tracer is not None:
             self.tracer.count("journal.records")
             self.tracer.count("journal.bytes", len(frame))
+
+    def commit_group(
+        self, entries: list[JournalEntry], store: Store, txn_id: int
+    ) -> None:
+        """Append *entries* as one atomic commit group.
+
+        Framing: a ``group begin`` marker, one member frame per entry,
+        then a ``group end`` marker; every frame consumes a sequence
+        number.  Durability is group-granular — one fsync after the end
+        marker (batch mode counts the whole group as one commit unit) —
+        and recovery replays a group only when its end marker landed,
+        truncating an unterminated group whole.  On an append failure
+        the file is truncated back to the pre-group offset (best effort)
+        before the ``OSError`` propagates, so a *surviving* process
+        never leaves a half-group for later frames to bury.
+        """
+        seq = self.next_seq
+        count = len(entries)
+        frames = [
+            self._frame(
+                {"seq": seq, "group": "begin", "txn": txn_id, "count": count}
+            )
+        ]
+        for index, entry in enumerate(entries):
+            entry.seq = seq + 1 + index
+            frames.append(self._frame(self._entry_payload(entry, store)))
+        frames.append(
+            self._frame(
+                {
+                    "seq": seq + count + 1,
+                    "group": "end",
+                    "txn": txn_id,
+                    "count": count,
+                }
+            )
+        )
+        blob = b"".join(frames)
+        start_bytes = self.bytes
+        faults = self.faults
+        try:
+            if faults is not None:
+                faults.hit(EIO_ON_WRITE)
+                if faults.will_fire(CRASH_BEFORE_FSYNC):
+                    # Torn group: a strict prefix of the group reaches
+                    # the OS, then the process "dies".  Recovery must
+                    # drop the whole group.
+                    self._handle.write(blob[: max(1, len(blob) // 2)])
+                    faults.hit(CRASH_BEFORE_FSYNC)  # raises InjectedCrash
+                else:
+                    faults.hit(CRASH_BEFORE_FSYNC)  # tick a countdown > 1
+            self._handle.write(blob)
+            if self.fsync_mode == FSYNC_ALWAYS:
+                self.sync()
+            elif self.fsync_mode == FSYNC_BATCH:
+                self._commits_since_fsync += 1
+                if self._commits_since_fsync >= self.fsync_batch:
+                    self.sync()
+        except OSError:
+            try:
+                self._handle.flush()
+                os.ftruncate(self._handle.fileno(), start_bytes)
+            except OSError:
+                pass
+            raise
+        if faults is not None:
+            # The group is durable; the caller just never hears back.
+            faults.hit(CRASH_AFTER_JOURNAL)
+        self.next_seq = seq + count + 2
+        self.records += count + 2
+        self.bytes += len(blob)
+        if self.tracer is not None:
+            self.tracer.count("journal.records", count + 2)
+            self.tracer.count("journal.bytes", len(blob))
+            self.tracer.count("journal.groups")
 
     def __repr__(self) -> str:
         return (

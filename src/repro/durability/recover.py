@@ -60,6 +60,7 @@ class RecoveryReport:
     nodes_materialized: int
     truncated_bytes: int
     next_seq: int
+    groups_replayed: int = 0
 
     def render(self) -> str:
         lines = [
@@ -70,6 +71,11 @@ class RecoveryReport:
             f"{self.ops_applied} op(s), "
             f"{self.nodes_materialized} materialized node(s)",
         ]
+        if self.groups_replayed:
+            lines.append(
+                f"  replayed {self.groups_replayed} commit group(s) "
+                "all-or-nothing"
+            )
         if self.truncated_bytes:
             lines.append(
                 f"  truncated a torn tail of {self.truncated_bytes} byte(s)"
@@ -146,21 +152,98 @@ def recover(
     journal_path = os.path.join(directory, manifest["journal"])
     engine = load_engine(checkpoint_path)
     scan = scan_journal(journal_path)
+    truncated_bytes = scan.torn_bytes
     if scan.torn_bytes:
         with open(journal_path, "r+b") as handle:
             handle.truncate(scan.good_offset)
             os.fsync(handle.fileno())
         if tracer is not None:
             tracer.count("journal.truncated_tails")
+    # Commit-group atomicity: walk the group markers first.  An interior
+    # anomaly (nested begin, end without begin, member-count mismatch)
+    # is damage a crash cannot explain; a *trailing* unterminated group
+    # — a begin whose end never landed, running to the end of the intact
+    # records — is exactly what a crash mid-group leaves, and the whole
+    # group is cut back out of the file before anything replays.
+    open_at: int | None = None
+    open_count = 0
+    members_seen = 0
+    for index, record in enumerate(scan.records):
+        marker = record.get("group")
+        if marker == "begin":
+            if open_at is not None:
+                raise JournalCorruptionError(
+                    f"nested commit-group begin at record {index} of "
+                    f"{journal_path!r}"
+                )
+            count = record.get("count")
+            if not isinstance(count, int) or count < 0:
+                raise JournalCorruptionError(
+                    f"commit-group begin at record {index} of "
+                    f"{journal_path!r} carries a bad member count "
+                    f"{count!r}"
+                )
+            open_at = index
+            open_count = count
+            members_seen = 0
+        elif marker == "end":
+            if open_at is None:
+                raise JournalCorruptionError(
+                    f"commit-group end without begin at record {index} "
+                    f"of {journal_path!r}"
+                )
+            if members_seen != open_count or record.get("count") != open_count:
+                raise JournalCorruptionError(
+                    f"commit group at record {open_at} of "
+                    f"{journal_path!r} declares {open_count} member(s) "
+                    f"but closes after {members_seen}"
+                )
+            open_at = None
+        elif marker is not None:
+            raise JournalCorruptionError(
+                f"unknown commit-group marker {marker!r} at record "
+                f"{index} of {journal_path!r}"
+            )
+        elif open_at is not None:
+            members_seen += 1
+            if members_seen > open_count:
+                raise JournalCorruptionError(
+                    f"commit group at record {open_at} of "
+                    f"{journal_path!r} overran its declared "
+                    f"{open_count} member(s)"
+                )
+    if open_at is not None:
+        cut = scan.offsets[open_at]
+        with open(journal_path, "r+b") as handle:
+            handle.truncate(cut)
+            os.fsync(handle.fileno())
+        truncated_bytes += scan.good_offset - cut
+        # Mutate the scan in place so Journal.reopen(scan=...) and the
+        # sequence accounting below agree with the file on disk.
+        del scan.records[open_at:]
+        del scan.offsets[open_at:]
+        scan.good_offset = cut
+        scan.torn_bytes = 0
+        if tracer is not None:
+            tracer.count("journal.truncated_groups")
     expected_seq = manifest["seq"] + 1
     ops_applied = 0
     nodes_materialized = 0
+    groups_replayed = 0
     for record in scan.records:
         if record.get("seq") != expected_seq:
             raise JournalCorruptionError(
                 f"journal sequence gap: expected record {expected_seq}, "
                 f"found {record.get('seq')!r}"
             )
+        marker = record.get("group")
+        if marker is not None:
+            # Markers consume a sequence number but apply nothing; the
+            # walk above already proved the group well-formed.
+            if marker == "end":
+                groups_replayed += 1
+            expected_seq += 1
+            continue
         applied, created = replay_record(engine.store, record)
         ops_applied += applied
         nodes_materialized += created
@@ -177,8 +260,9 @@ def recover(
         records_replayed=len(scan.records),
         ops_applied=ops_applied,
         nodes_materialized=nodes_materialized,
-        truncated_bytes=scan.torn_bytes,
+        truncated_bytes=truncated_bytes,
         next_seq=expected_seq,
+        groups_replayed=groups_replayed,
     )
     return RecoveryResult(
         engine=engine, report=report, manifest=manifest, scan=scan

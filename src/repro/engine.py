@@ -307,6 +307,8 @@ class Engine:
         # prepared query, including the first thread's.  Reentrant:
         # preparing can recursively load imported modules.
         self._prepare_lock = threading.RLock()
+        # OCC bookkeeping for sessions/transactions, created on first use.
+        self._txn_manager = None
 
     @property
     def journal(self):
@@ -733,22 +735,81 @@ class Engine:
         return DynamicContext(dict(self.evaluator.globals))
 
     # ------------------------------------------------------------------
-    # Transactions (multi-query atomicity)
+    # Sessions and transactions (multi-query atomicity)
     # ------------------------------------------------------------------
 
-    @contextmanager
+    @property
+    def txn_manager(self):
+        """The engine's :class:`~repro.txn.TransactionManager` (lazy).
+
+        Shared by every session opened on this engine; once it exists,
+        autocommitted (non-session) Δs are published to it too, so open
+        transactions validate against direct writes as well.
+        """
+        if self._txn_manager is None:
+            from repro.txn.session import TransactionManager
+
+            self._txn_manager = TransactionManager()
+            self.evaluator.txn_log = self._txn_manager
+        return self._txn_manager
+
+    def session(
+        self,
+        *,
+        semantics: str | ApplySemantics | None = None,
+        tracer: Tracer | None = None,
+        limits=None,
+        on_commit: Callable[[], None] | None = None,
+    ):
+        """Open a :class:`~repro.txn.Session` on this engine.
+
+        The one transactional surface shared by ``Engine``,
+        ``DurableEngine``, ``ConcurrentExecutor`` and the auction
+        service: ``session.execute(...)`` buffers statements on a
+        private MVCC snapshot (read-your-writes), ``session.commit()``
+        validates optimistically (first-committer-wins, §3.2 rules)
+        and applies atomically — as one journal frame group when the
+        engine is durable.  Keyword-only knobs: *semantics* (default
+        snap semantics for the session's statements), *tracer*
+        (receives ``txn.*`` counters and spans), *limits* (an
+        :class:`~repro.resilience.admission.AdmissionLimits` bounding
+        the merged Δ at commit), *on_commit* (post-commit hook, e.g.
+        compaction).
+        """
+        from repro.txn import Session
+
+        return Session(
+            self,
+            semantics=semantics,
+            tracer=tracer,
+            limits=limits,
+            on_commit=on_commit,
+        )
+
     def transaction(self):
         """Group several ``execute`` calls into an all-or-nothing unit.
 
-        On any exception the store *and* the global bindings roll back to
-        the state at entry (the paper treats transactions as orthogonal to
-        snap — Section 5 — so this is engine-level plumbing, not language
-        semantics)::
-
-            with engine.transaction():
-                engine.execute('snap delete { $log/logentry }')
-                engine.execute('archive()')   # raise => delete undone
+        .. deprecated:: 1.4
+            Use :meth:`session` — ``with engine.session() as s:`` plus
+            ``s.transaction()`` — which adds snapshot isolation,
+            optimistic conflict validation and group-atomic journaling.
+            This shim keeps the historical checkpoint/rollback contract
+            (engine-level ``execute`` calls inside the block write the
+            live store immediately; an exception restores store and
+            bindings) and will be removed in a future release.
         """
+        # Warn at call time, not at __enter__, so the warning points at
+        # the caller's `engine.transaction()` line.
+        warnings.warn(
+            "Engine.transaction() is deprecated; use Engine.session() "
+            "for snapshot-isolated, conflict-validated transactions",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_transaction()
+
+    @contextmanager
+    def _legacy_transaction(self):
         checkpoint = self.store.checkpoint()
         globals_snapshot = {
             name: list(value)

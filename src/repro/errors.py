@@ -310,6 +310,46 @@ class ResourceLimitError(ExecutionControlError):
         super().__init__(message)
 
 
+class TransactionConflictError(XQueryError):
+    """First-committer-wins validation aborted an optimistic transaction.
+
+    Raised by :meth:`repro.txn.Transaction.commit` when the §3.2
+    conflict-free proof (:func:`repro.semantics.conflicts.
+    check_conflict_free`) fails between this transaction's buffered Δ and
+    the Δ of some transaction that committed after this one's snapshot
+    was taken — or when a precondition the validation cannot see fails
+    while replaying the Δ against the live store.  Either way the store
+    (and journal) are left exactly as if the transaction never ran.
+
+    The abort is *transient* by design: the snapshot it validated
+    against is simply stale.  Retrying the whole transaction against a
+    fresh session snapshot is the intended response, and
+    :class:`repro.resilience.retry.RetryPolicy` classifies this error as
+    retryable out of the box.  Contrast
+    :class:`ConflictError` (XUDY0024), which is a *semantic* property of
+    one snap's Δ and never goes away on retry.
+
+    Attributes:
+        conflicts_with_seq: commit sequence number of the transaction
+            whose Δ this one collided with (None when the abort came
+            from a live-replay precondition instead of validation).
+        detail: the underlying conflict rule's message, when available.
+    """
+
+    default_code = "REPR0008"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        conflicts_with_seq: int | None = None,
+        detail: str | None = None,
+    ):
+        self.conflicts_with_seq = conflicts_with_seq
+        self.detail = detail
+        super().__init__(message)
+
+
 class SerializationError(DynamicError):
     """The data model instance cannot be serialized to XML."""
 

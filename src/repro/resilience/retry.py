@@ -40,6 +40,7 @@ from repro.errors import (
     JournalCorruptionError,
     QueryTimeoutError,
     ServiceOverloadedError,
+    TransactionConflictError,
     XQueryError,
 )
 
@@ -48,6 +49,7 @@ DEFAULT_TRANSIENT = (
     DurabilityError,  # journal append EIO (CircuitOpen/Corruption excluded)
     ServiceOverloadedError,  # shed load — the queue drains
     QueryTimeoutError,  # lock-wait/queue-wait starvation under a burst
+    TransactionConflictError,  # OCC abort — rerun on a fresh snapshot
 )
 
 #: Never retried, whatever the whitelist says.

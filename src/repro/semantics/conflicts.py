@@ -166,6 +166,102 @@ def _scan(
                 )
 
 
+def _collect(
+    delta: UpdateList,
+) -> tuple[dict[int, set[str]], set[int], set[tuple[str, int]]]:
+    """Build one Δ's conflict tables without judging the Δ itself.
+
+    Same classification as :func:`_scan`, but repeats do not raise:
+    the caller (:func:`check_cross_conflict_free`) examines *pairs* of
+    transactions whose Δs were each already applied internally under
+    their own semantics — intra-Δ order dependence is not re-examined.
+    """
+    writes: dict[int, set[str]] = {}
+    deletes: set[int] = set()
+    positions: set[tuple[str, int]] = set()
+    for request in delta:
+        if isinstance(request, RenameRequest):
+            writes.setdefault(request.node, set()).add("name")
+        elif isinstance(request, SetValueRequest):
+            writes.setdefault(request.node, set()).add("content")
+        elif isinstance(request, DeleteRequest):
+            deletes.add(request.node)
+        elif isinstance(request, InsertRequest):
+            positions.add((request.position, request.target))
+            for node in request.nodes:
+                writes.setdefault(node, set()).add("subject")
+    return writes, deletes, positions
+
+
+def _check_one_way(
+    positions: set[tuple[str, int]],
+    other_writes: dict[int, set[str]],
+    other_deletes: set[int],
+) -> None:
+    for position, target in positions:
+        if position in (INSERT_FIRST, INSERT_LAST):
+            if "content" in other_writes.get(target, ()):
+                raise ConflictError(
+                    f"insert into node #{target} conflicts with the other "
+                    "transaction's value replacement of that node"
+                )
+            continue
+        if position not in (INSERT_BEFORE, INSERT_AFTER):
+            continue
+        if target in other_deletes:
+            raise ConflictError(
+                f"insert {position} node #{target} conflicts with the "
+                "other transaction's delete of that node: application "
+                "orders disagree"
+            )
+
+
+def check_cross_conflict_free(delta_a: UpdateList, delta_b: UpdateList) -> None:
+    """Prove two transactions' Δs pairwise commutative, or raise.
+
+    The OCC validation phase of :mod:`repro.txn` — the paper's §3.2
+    conflict rules replayed *across* transaction boundaries: a
+    committing transaction's merged Δ is checked against the Δ of every
+    transaction that committed after its snapshot was taken.  The rules
+    are exactly those of :func:`check_conflict_free`, restricted to
+    request pairs drawn one from each Δ (each Δ's internal order was
+    already fixed by its own snap semantics), with one tightening: the
+    replace-pair group exemption never applies across transactions —
+    a group token ties together requests of *one* logical write.
+    """
+    writes_a, deletes_a, positions_a = _collect(delta_a)
+    writes_b, deletes_b, positions_b = _collect(delta_b)
+    # Rules 1 and 4 (and the content analogue): the same write tag on
+    # the same node from both sides is order-dependent.
+    small, large = (
+        (writes_a, writes_b)
+        if len(writes_a) <= len(writes_b)
+        else (writes_b, writes_a)
+    )
+    for node, tags in small.items():
+        common = tags & large.get(node, set())
+        if common:
+            tag = sorted(common)[0]
+            raise ConflictError(
+                f"both transactions write {tag!r} of node #{node}; the "
+                "final state is commit-order-dependent"
+            )
+    # Rule 2: two inserts resolving to the same symbolic position.
+    shared = positions_a & positions_b
+    if shared:
+        position, target = next(iter(shared))
+        raise ConflictError(
+            f"both transactions insert at position ({position!r}, "
+            f"#{target}); the relative order of the inserted nodes is "
+            "commit-order-dependent"
+        )
+    # Rule 3 (both directions): an anchored insert against the other
+    # transaction's delete of the anchor, and insert-into against the
+    # other's content overwrite of the parent.
+    _check_one_way(positions_a, writes_b, deletes_b)
+    _check_one_way(positions_b, writes_a, deletes_a)
+
+
 def is_conflict_free(delta: UpdateList) -> bool:
     """Boolean form of :func:`check_conflict_free`."""
     try:

@@ -135,6 +135,12 @@ class Evaluator:
         # into apply_update_list, which appends one record per non-empty
         # Δ before the snap is acknowledged.
         self.journal = None
+        # Transactions: the engine's TransactionManager once sessions are
+        # in use, else None.  A fully applied autocommit Δ is published to
+        # it so open MVCC transactions validate against direct writes.
+        # Session-private evaluators (which apply to a TransactionView,
+        # not the live store) leave this None.
+        self.txn_log = None
         self._dispatch = {
             core.CLiteral: self._eval_literal,
             core.CVar: self._eval_var,
@@ -206,7 +212,7 @@ class Evaluator:
             apply_update_list(
                 self.store, delta, mode,
                 atomic=self.atomic_snaps, journal=self.journal,
-                control=self.control,
+                control=self.control, txn_log=self.txn_log,
             )
             return value
         with tracer.span("evaluate"):
@@ -218,6 +224,7 @@ class Evaluator:
                 self.store, delta, mode,
                 atomic=self.atomic_snaps, tracer=tracer,
                 journal=self.journal, control=self.control,
+                txn_log=self.txn_log,
             )
         return value
 
@@ -1276,6 +1283,7 @@ class Evaluator:
             tracer=self.tracer,
             journal=self.journal,
             control=self.control,
+            txn_log=self.txn_log,
         )
         return EvalResult(value, _EMPTY)
 

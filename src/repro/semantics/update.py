@@ -213,6 +213,7 @@ def apply_update_list(
     tracer: "Tracer | None" = None,
     journal: "Journal | None" = None,
     control=None,
+    txn_log=None,
 ) -> None:
     """Apply Δ to the store under the chosen semantics.
 
@@ -251,6 +252,13 @@ def apply_update_list(
     present, refuses the commit with a typed
     :class:`~repro.errors.CircuitOpenError` while the durability path is
     known-bad — both refusals leave the store untouched.
+
+    With a *txn_log* (the engine's
+    :class:`~repro.txn.TransactionManager`), a fully applied non-empty Δ
+    is published — in its resolved order — as one committed mini-
+    transaction, so open MVCC transactions validate against direct
+    (autocommit) writes too.  Nothing is published for a failed or
+    rolled-back Δ.
     """
     from repro.semantics.conflicts import check_conflict_free
 
@@ -352,3 +360,7 @@ def apply_update_list(
         # Journal present but entry None cannot happen for a non-empty
         # Δ today; keep the probe accounting robust regardless.
         breaker.release_probe()
+    if txn_log is not None and delta:
+        # The Δ is fully applied (and journaled when durable): publish it
+        # for OCC validation by open transactions.
+        txn_log.record_applied([delta[index] for index in order])

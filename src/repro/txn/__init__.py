@@ -1,0 +1,15 @@
+"""Sessions and MVCC transactions with paper-native OCC validation."""
+
+from repro.txn.recorder import BufferedStatement, TxnRecorder
+from repro.txn.session import Session, Transaction, TransactionManager
+from repro.txn.view import TransactionView, begin_transaction_view
+
+__all__ = [
+    "BufferedStatement",
+    "Session",
+    "Transaction",
+    "TransactionManager",
+    "TransactionView",
+    "TxnRecorder",
+    "begin_transaction_view",
+]

@@ -1,0 +1,135 @@
+"""Per-statement Δ buffering for transactions.
+
+A transaction's statements run through the normal snap machinery — the
+session's private evaluator calls
+:func:`~repro.semantics.update.apply_update_list` exactly like any
+other execution — but against the :class:`~repro.txn.view.
+TransactionView` instead of the live store, and with a
+:class:`TxnRecorder` installed where a
+:class:`~repro.durability.journal.Journal` would sit.  The recorder
+duck-types the journal's two-call commit protocol
+(``build_entry`` before the Δ applies, ``commit`` after it applied
+cleanly), so it observes precisely the statements that *succeeded*, in
+order, each with:
+
+* its update requests in applied order (view node ids),
+* persist-style rows for every constructed subtree the requests
+  reference, captured **pre-apply** (the journal's own discipline —
+  replay must materialize payloads in the state the ops will find
+  them), captured at most once per transaction (a later statement
+  referencing the same tree would otherwise capture post-mutation
+  rows), and
+* the view's local id watermark before/after the statement, so commit
+  can replay allocation deterministically against the live store.
+
+A statement that fails a precondition never reaches ``commit`` and
+leaves no trace here — same contract as the real journal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.semantics.update import ApplySemantics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.txn.view import TransactionView
+
+
+class BufferedStatement:
+    """One successfully applied statement's worth of buffered Δ."""
+
+    __slots__ = ("requests", "semantics", "rows", "pre_local", "post_local")
+
+    def __init__(
+        self,
+        requests: list,
+        semantics: ApplySemantics,
+        rows: list[list],
+        pre_local: int,
+        post_local: int | None = None,
+    ):
+        self.requests = requests
+        self.semantics = semantics
+        self.rows = rows
+        self.pre_local = pre_local
+        self.post_local = post_local
+
+
+def view_subtree_rows(view: "TransactionView", root: int) -> list[list]:
+    """Persist-style rows for the whole subtree rooted at *root*,
+    resolved through the view (sees buffered mutations and local
+    construction alike)."""
+    rows: list[list] = []
+    stack = [root]
+    while stack:
+        nid = stack.pop()
+        rec = view._rec(nid)
+        rows.append(
+            [
+                nid,
+                rec.kind.value,
+                rec.name,
+                rec.parent,
+                list(rec.children),
+                list(rec.attributes),
+                rec.value,
+            ]
+        )
+        stack.extend(rec.attributes)
+        stack.extend(rec.children)
+    return rows
+
+
+class TxnRecorder:
+    """Journal-shaped buffer installed on a session's private evaluator."""
+
+    def __init__(self, view: "TransactionView"):
+        self._view = view
+        self.statements: list[BufferedStatement] = []
+        # Payload roots already captured by an earlier statement of this
+        # transaction: commit replays statements in order, so the rows
+        # the first referencing statement captured are the ones replay
+        # must materialize.
+        self._captured: set[int] = set()
+        # Journal-protocol surface consulted by apply_update_list.
+        self.breaker: Any | None = None
+
+    def build_entry(
+        self,
+        store: "TransactionView",
+        requests: list,
+        semantics: ApplySemantics,
+    ) -> BufferedStatement | None:
+        """Capture one statement's Δ pre-apply (None for an empty Δ)."""
+        if not requests:
+            return None
+        view = self._view
+        from repro.durability.journal import encode_request
+
+        rows: list[list] = []
+        for request in requests:
+            _, refs = encode_request(request)
+            for ref in refs:
+                root = view.root(ref)
+                if root < view.ceiling or root in self._captured:
+                    continue
+                self._captured.add(root)
+                rows.extend(view_subtree_rows(view, root))
+        return BufferedStatement(
+            requests=list(requests),
+            semantics=semantics,
+            rows=rows,
+            pre_local=view._local_next,
+        )
+
+    def commit(
+        self, entry: BufferedStatement, store: "TransactionView"
+    ) -> None:
+        """The statement applied cleanly against the view: buffer it."""
+        entry.post_local = self._view._local_next
+        self.statements.append(entry)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(stmt.requests) for stmt in self.statements)

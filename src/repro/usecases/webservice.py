@@ -63,6 +63,19 @@ declare function get_item_nolog($itemid, $userid) {
   let $item := $auction//item[@id = $itemid]
   return $item
 };
+
+declare function bids_for($bids, $itemid) {
+  $bids/bid[@itemid = $itemid]
+};
+
+declare function highest_bid($bids, $itemid) {
+  max(for $b in $bids/bid[@itemid = $itemid]
+      return number($b/@amount))
+};
+
+declare function watchers($watchlist, $itemid) {
+  $watchlist/watch[@itemid = $itemid]
+};
 """
 
 
@@ -118,6 +131,15 @@ class AuctionService:
                 recovered_globals = dict(inner.evaluator.globals)
                 inner.load_module(SERVICE_MODULE)
                 inner.evaluator.globals.update(recovered_globals)
+                # Directories persisted before the bid/watchlist
+                # endpoints existed lack these roots; give them empty
+                # ones so the transactional endpoints work post-upgrade.
+                for name, fragment in (
+                    ("bids", "<bids/>"),
+                    ("watchlist", "<watchlist/>"),
+                ):
+                    if name not in inner.evaluator.globals:
+                        inner.bind(name, inner.parse_fragment(fragment))
                 self.durable.checkpoint()
                 self.engine = self.durable
             else:
@@ -147,6 +169,8 @@ class AuctionService:
         engine.load_document("auction", auction_xml)
         engine.bind("log", engine.parse_fragment("<log/>"))
         engine.bind("archive", engine.parse_fragment("<archive/>"))
+        engine.bind("bids", engine.parse_fragment("<bids/>"))
+        engine.bind("watchlist", engine.parse_fragment("<watchlist/>"))
         engine.bind("maxlog", maxlog)
         engine.load_module(SERVICE_MODULE)
 
@@ -184,6 +208,91 @@ class AuctionService:
         if self.durable is not None:
             self.durable.maybe_compact()
         return value
+
+    # -- transactional endpoints ------------------------------------------
+
+    def place_bid(self, itemid: str, userid: str, amount: float) -> bool:
+        """Place a bid — accepted only if it beats every existing bid.
+
+        The read (current high bid) and the conditional write (the
+        insert) run in **one MVCC transaction**: two racing bidders each
+        see a consistent snapshot, and the first committer wins — the
+        loser's commit aborts with
+        :class:`~repro.errors.TransactionConflictError` (REPR0008,
+        transient: retry re-reads the new high bid).  On a durable
+        service the accepted bid is journaled atomically before this
+        returns True.  Returns False for a bid that does not beat the
+        current high (the transaction rolls back; no trace anywhere).
+        """
+        with self.engine.session() as session:
+            with session.transaction() as txn:
+                beaten = txn.execute(
+                    "count($bids/bid[@itemid = $itemid]"
+                    "[number(@amount) >= $amount])",
+                    bindings={"itemid": itemid, "amount": float(amount)},
+                ).first_value()
+                if int(beaten) > 0:
+                    txn.rollback()
+                    return False
+                txn.execute(
+                    'snap insert { <bid itemid="{$itemid}" '
+                    'user="{$userid}" amount="{$amount}"/> } '
+                    "into { $bids }",
+                    bindings={
+                        "itemid": itemid,
+                        "userid": userid,
+                        "amount": float(amount),
+                    },
+                )
+            return True
+
+    def add_watch(self, itemid: str, userid: str) -> bool:
+        """Add *userid* to *itemid*'s watch list, transactionally.
+
+        Idempotent: returns False (and writes nothing) when the pair is
+        already present.  The duplicate check and the insert share one
+        snapshot, so two racing adds of the same pair cannot both land —
+        the second either sees the first (returns False) or conflicts on
+        commit (REPR0008, retry then sees it).
+        """
+        with self.engine.session() as session:
+            with session.transaction() as txn:
+                present = txn.execute(
+                    "count($watchlist/watch[@itemid = $itemid]"
+                    "[@user = $userid])",
+                    bindings={"itemid": itemid, "userid": userid},
+                ).first_value()
+                if int(present) > 0:
+                    txn.rollback()
+                    return False
+                txn.execute(
+                    'snap insert { <watch itemid="{$itemid}" '
+                    'user="{$userid}"/> } into { $watchlist }',
+                    bindings={"itemid": itemid, "userid": userid},
+                )
+            return True
+
+    def highest_bid(self, itemid: str) -> float | None:
+        """The current high bid for *itemid* (None when no bids)."""
+        value = self.engine.execute(
+            "highest_bid($bids, $itemid)", bindings={"itemid": itemid}
+        ).first_value()
+        return None if value is None else float(value)
+
+    def bid_count(self, itemid: str) -> int:
+        return int(
+            self.engine.execute(
+                "count(bids_for($bids, $itemid))",
+                bindings={"itemid": itemid},
+            ).first_value()
+        )
+
+    def watchers(self, itemid: str) -> list[str]:
+        return self.engine.execute(
+            "for $w in watchers($watchlist, $itemid) "
+            "return string($w/@user)",
+            bindings={"itemid": itemid},
+        ).strings()
 
     # -- observability ------------------------------------------------------
 
@@ -258,6 +367,16 @@ class AuctionFrontEnd:
             resilience=resilience,
         )
         self.metrics = self.executor.metrics
+        from repro.resilience.retry import RetryPolicy
+
+        # Transactional endpoints retry on OCC aborts (REPR0008 is in
+        # the default transient whitelist): each attempt reruns the
+        # whole read-check-write transaction on a fresh snapshot.
+        self._txn_retry = (
+            resilience.retry
+            if resilience is not None and resilience.retry is not None
+            else RetryPolicy()
+        )
 
     def health(self):
         """Whole-stack health: serving + admission + engine sections
@@ -301,6 +420,27 @@ class AuctionFrontEnd:
 
     def get_item_nolog(self, itemid: str, userid: str, **kwargs) -> QueryResult:
         return self.submit_get_item_nolog(itemid, userid, **kwargs).result()
+
+    # -- transactional endpoints -------------------------------------------
+
+    def place_bid(self, itemid: str, userid: str, amount: float) -> bool:
+        """Transactional bid (see :meth:`AuctionService.place_bid`),
+        with OCC aborts retried under the front end's retry policy.
+        Runs in the caller's thread: statements read a private snapshot
+        without occupying a worker; only the commit takes the write
+        lock."""
+        return self._txn_retry.call(
+            lambda: self.service.place_bid(itemid, userid, amount),
+            tracer=self.executor.tracer,
+        )
+
+    def add_watch(self, itemid: str, userid: str) -> bool:
+        """Transactional watch-list add, OCC-retried like
+        :meth:`place_bid`."""
+        return self._txn_retry.call(
+            lambda: self.service.add_watch(itemid, userid),
+            tracer=self.executor.tracer,
+        )
 
     def shutdown(self, wait: bool = True) -> None:
         self.executor.shutdown(wait=wait)

@@ -42,6 +42,9 @@ EXPECTED_ALL = {
     "ServiceOverloadedError",
     "CircuitOpenError",
     "ResourceLimitError",
+    "TransactionConflictError",
+    "Session",
+    "Transaction",
     "ResiliencePolicy",
     "RetryPolicy",
     "CircuitBreaker",

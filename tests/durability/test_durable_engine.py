@@ -212,10 +212,35 @@ class TestEngineSurface:
         with pytest.raises(DurabilityError, match="already holds"):
             DurableEngine(path, engine=Engine())
 
-    def test_transaction_is_refused(self, tmp_path):
+    def test_transaction_commits_atomically_and_survives_recovery(
+        self, tmp_path
+    ):
+        # Historically refused: the legacy checkpoint/rollback transaction
+        # would have un-applied journaled snaps.  The session-based
+        # transaction buffers on a snapshot and journals the commit as
+        # one atomic frame group, so durable engines now support it.
         path, engine = fresh(tmp_path)
-        with pytest.raises(DurabilityError, match="transaction"):
-            engine.transaction()
+        with engine.transaction() as txn:
+            txn.execute(snap_query("ordered", 1))
+            txn.execute(snap_query("ordered", 2))
+        assert entries(engine) == 2
+        engine.close()
+        result = recover(path)
+        assert entries(result.engine) == 2
+        assert result.report.groups_replayed == 1
+
+    def test_transaction_rollback_leaves_store_and_journal_untouched(
+        self, tmp_path
+    ):
+        path, engine = fresh(tmp_path)
+        records_before = engine.journal.records
+        session = engine.session()
+        txn = session.begin()
+        txn.execute(snap_query("ordered", 1))
+        txn.rollback()
+        session.close()
+        assert entries(engine) == 0
+        assert engine.journal.records == records_before
 
     def test_delegation_covers_the_engine_surface(self, tmp_path):
         path, engine = fresh(tmp_path)

@@ -1,4 +1,11 @@
-"""Tests for the engine-level transaction API."""
+"""Engine-level transactions: the deprecated shim and the Session API.
+
+The legacy ``Engine.transaction()`` context manager (checkpoint at
+entry, restore on exception, writes land immediately) survives as a
+deprecation shim — every historical behavior still holds, plus a
+``DeprecationWarning``.  New code goes through ``engine.session()``;
+the deep transactional coverage lives in ``tests/txn/``.
+"""
 
 import pytest
 
@@ -13,31 +20,55 @@ def e() -> Engine:
     return engine
 
 
-class TestCommit:
+def legacy_txn(engine):
+    with pytest.warns(DeprecationWarning, match="session"):
+        return engine.transaction()
+
+
+class TestDeprecation:
+    def test_legacy_transaction_warns(self, e):
+        with pytest.warns(DeprecationWarning, match="Engine.session"):
+            with e.transaction():
+                pass
+
+    def test_session_api_does_not_warn(self, e):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with e.session() as session:
+                with session.transaction() as txn:
+                    txn.execute(
+                        "snap insert { <row id='1'/> } into { $table }"
+                    )
+        assert e.execute("count($table/row)").first_value() == 2
+
+
+class TestLegacyCommit:
     def test_successful_transaction_persists(self, e):
-        with e.transaction():
+        with legacy_txn(e):
             e.execute("snap insert { <row id='1'/> } into { $table }")
             e.execute("snap insert { <row id='2'/> } into { $table }")
         assert e.execute("count($table/row)").first_value() == 3
 
     def test_nested_reads_see_writes(self, e):
-        with e.transaction():
+        with legacy_txn(e):
             e.execute("snap insert { <row id='1'/> } into { $table }")
             count = e.execute("count($table/row)").first_value()
             assert count == 2
 
 
-class TestRollback:
+class TestLegacyRollback:
     def test_exception_rolls_back_store(self, e):
         with pytest.raises(DynamicError):
-            with e.transaction():
+            with legacy_txn(e):
                 e.execute("snap insert { <row id='1'/> } into { $table }")
                 e.execute("error('boom')")
         assert e.execute("count($table/row)").first_value() == 1
 
     def test_rollback_restores_globals(self, e):
         with pytest.raises(RuntimeError):
-            with e.transaction():
+            with legacy_txn(e):
                 e.execute("declare variable $temp := 99; $temp")
                 e.bind("table", None)  # clobber a binding
                 raise RuntimeError("abort")
@@ -47,7 +78,7 @@ class TestRollback:
 
     def test_rollback_restores_renames_and_deletes(self, e):
         with pytest.raises(RuntimeError):
-            with e.transaction():
+            with legacy_txn(e):
                 e.execute('snap rename { $table/row } to { "tuple" }')
                 e.execute("snap delete { $table/tuple }")
                 raise RuntimeError("abort")
@@ -56,22 +87,22 @@ class TestRollback:
 
     def test_python_exception_propagates(self, e):
         with pytest.raises(ZeroDivisionError):
-            with e.transaction():
+            with legacy_txn(e):
                 1 / 0
 
     def test_sequential_transactions_independent(self, e):
         with pytest.raises(RuntimeError):
-            with e.transaction():
+            with legacy_txn(e):
                 e.execute("snap insert { <row id='x'/> } into { $table }")
                 raise RuntimeError
-        with e.transaction():
+        with legacy_txn(e):
             e.execute("snap insert { <row id='y'/> } into { $table }")
         rows = e.execute("$table/row/@id").strings()
         assert rows == ["0", "y"]
 
     def test_queries_after_rollback_work(self, e):
         with pytest.raises(RuntimeError):
-            with e.transaction():
+            with legacy_txn(e):
                 e.execute("snap delete { $table/row }")
                 raise RuntimeError
         # The restored handles still resolve.

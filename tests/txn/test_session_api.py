@@ -1,0 +1,225 @@
+"""The Session/Transaction surface: lifecycle, isolation, the three hosts.
+
+Covers the unified ``session(...)`` entry point on :class:`Engine`,
+:class:`DurableEngine` and :class:`ConcurrentExecutor`, snapshot
+isolation (read-your-writes inside, invisibility outside), rollback
+leaving no trace, and the lifecycle errors (double begin, commit
+without begin, use after close).
+"""
+
+import pytest
+
+from repro import Engine, Session, Transaction
+from repro.concurrent.executor import ConcurrentExecutor
+from repro.durability import DurableEngine
+from repro.errors import (
+    DynamicError,
+    TransactionConflictError,
+    XQueryError,
+)
+
+INSERT = "snap insert { <row id='%s'/> } into { $table }"
+COUNT = "count($table/row)"
+
+
+@pytest.fixture
+def e() -> Engine:
+    engine = Engine()
+    engine.bind("table", engine.parse_fragment("<table><row id='0'/></table>"))
+    return engine
+
+
+class TestIsolation:
+    def test_read_your_writes_inside_txn(self, e):
+        with e.session() as session:
+            txn = session.begin()
+            txn.execute(INSERT % 1)
+            assert txn.execute(COUNT).first_value() == 2
+            # The live store has not seen the write yet.
+            assert e.execute(COUNT).first_value() == 1
+            txn.commit()
+        assert e.execute(COUNT).first_value() == 2
+
+    def test_snapshot_does_not_see_later_autocommits(self, e):
+        session = e.session()
+        txn = session.begin()
+        e.execute(INSERT % "outside")
+        # The txn pinned its snapshot before the autocommit landed.
+        assert txn.execute(COUNT).first_value() == 1
+        txn.rollback()
+        session.close()
+
+    def test_rollback_leaves_no_trace(self, e):
+        before = e.execute("$table").serialize()
+        with e.session() as session:
+            txn = session.begin()
+            txn.execute(INSERT % 1)
+            txn.execute('snap rename { $table/row[1] } to { "tuple" }')
+            txn.rollback()
+        assert e.execute("$table").serialize() == before
+        e.store.check_invariants()
+
+    def test_uncommitted_txn_rolls_back_on_session_close(self, e):
+        session = e.session()
+        txn = session.begin()
+        txn.execute(INSERT % 1)
+        session.close()
+        assert e.execute(COUNT).first_value() == 1
+        assert session.closed
+
+    def test_multi_statement_commit_is_all_or_nothing(self, e):
+        with e.session() as session:
+            with session.transaction() as txn:
+                txn.execute(INSERT % 1)
+                txn.execute(INSERT % 2)
+                txn.execute('snap delete { $table/row[@id = "0"] }')
+        ids = e.execute("$table/row/@id").strings()
+        assert ids == ["1", "2"]
+
+
+class TestLifecycle:
+    def test_empty_commit_is_a_no_op(self, e):
+        with e.session() as session:
+            txn = session.begin()
+            txn.commit()
+        assert e.execute(COUNT).first_value() == 1
+
+    def test_double_begin_is_an_error(self, e):
+        with e.session() as session:
+            session.begin()
+            with pytest.raises(XQueryError, match="already active"):
+                session.begin()
+            session.rollback()
+
+    def test_commit_without_begin_is_an_error(self, e):
+        with e.session() as session:
+            with pytest.raises(XQueryError, match="[Nn]o transaction"):
+                session.commit()
+
+    def test_execute_after_commit_is_an_error(self, e):
+        with e.session() as session:
+            txn = session.begin()
+            txn.commit()
+            with pytest.raises(XQueryError, match="no longer active"):
+                txn.execute(COUNT)
+
+    def test_session_after_close_is_an_error(self, e):
+        session = e.session()
+        session.close()
+        with pytest.raises(XQueryError, match="closed"):
+            session.begin()
+
+    def test_auto_begin_on_session_execute(self, e):
+        with e.session() as session:
+            session.execute(INSERT % 1)
+            assert session.transaction_active
+            session.commit()
+        assert e.execute(COUNT).first_value() == 2
+
+    def test_explicit_rollback_inside_cm_skips_commit(self, e):
+        with e.session() as session:
+            with session.transaction() as txn:
+                txn.execute(INSERT % 1)
+                txn.rollback()
+        assert e.execute(COUNT).first_value() == 1
+
+    def test_exception_inside_cm_rolls_back_and_propagates(self, e):
+        session = e.session()
+        with pytest.raises(RuntimeError):
+            with session.transaction() as txn:
+                txn.execute(INSERT % 1)
+                raise RuntimeError("abort")
+        session.close()
+        assert e.execute(COUNT).first_value() == 1
+
+    def test_unbound_external_variable_is_a_dynamic_error(self, e):
+        with e.session() as session:
+            txn = session.begin()
+            with pytest.raises(DynamicError, match="is not bound"):
+                txn.execute(
+                    "declare variable $missing external; $missing"
+                )
+            txn.rollback()
+
+    def test_bindings_reach_the_transaction(self, e):
+        with e.session() as session:
+            with session.transaction() as txn:
+                result = txn.execute("$n * 2", bindings={"n": 21})
+                assert result.first_value() == 42
+
+    def test_repr_mentions_state(self, e):
+        session = e.session()
+        assert "Session" in repr(session)
+        session.close()
+
+    def test_types_are_the_public_ones(self, e):
+        session = e.session()
+        assert isinstance(session, Session)
+        assert isinstance(session.begin(), Transaction)
+        session.rollback()
+        session.close()
+
+
+class TestConflictErrorShape:
+    def test_code_is_repr0008(self, e):
+        s1, s2 = e.session(), e.session()
+        t1, t2 = s1.begin(), s2.begin()
+        t1.execute('snap rename { $table/row } to { "a" }')
+        t2.execute('snap rename { $table/row } to { "b" }')
+        t1.commit()
+        with pytest.raises(TransactionConflictError) as info:
+            t2.commit()
+        assert info.value.code == "REPR0008"
+        assert "[REPR0008]" in str(info.value)
+        assert info.value.conflicts_with_seq is not None
+        s1.close()
+        s2.close()
+
+
+class TestHosts:
+    def test_durable_engine_session(self, tmp_path):
+        engine = DurableEngine(str(tmp_path / "d"))
+        engine.load_document("doc", "<log/>")
+        with engine.session() as session:
+            with session.transaction() as txn:
+                txn.execute("snap insert { <e/> } into { $doc/log }")
+        assert engine.execute("count($doc/log/e)").first_value() == 1
+        engine.close()
+
+    def test_concurrent_executor_session(self, e):
+        executor = ConcurrentExecutor(e, workers=2)
+        try:
+            with executor.session() as session:
+                with session.transaction() as txn:
+                    txn.execute(INSERT % 1)
+            # The executor invalidated its read snapshot on commit.
+            assert executor.execute(COUNT).first_value() == 2
+        finally:
+            executor.shutdown()
+
+    def test_on_commit_hook_fires_after_commit(self, e):
+        seen = []
+        with e.session(on_commit=lambda: seen.append(True)) as session:
+            with session.transaction() as txn:
+                txn.execute(INSERT % 1)
+        assert seen == [True]
+
+    def test_on_commit_hook_skipped_on_rollback(self, e):
+        seen = []
+        with e.session(on_commit=lambda: seen.append(True)) as session:
+            txn = session.begin()
+            txn.execute(INSERT % 1)
+            txn.rollback()
+        assert seen == []
+
+    def test_txn_counters_reach_the_tracer(self, e):
+        from repro import Tracer
+
+        tracer = Tracer()
+        with e.session(tracer=tracer) as session:
+            with session.transaction() as txn:
+                txn.execute(INSERT % 1)
+        counters = tracer.counters
+        assert counters["txn.begin"] == 1
+        assert counters["txn.commits"] == 1
+        assert counters["txn.statements"] == 1

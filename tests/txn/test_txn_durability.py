@@ -1,0 +1,237 @@
+"""Transaction durability: one commit, one atomic journal frame group.
+
+A durable transaction journals its buffered statements as a *group* —
+a ``begin`` marker, one member frame per statement, an ``end`` marker,
+one fsync.  Recovery replays groups all-or-nothing: a crash mid-group
+truncates the whole group out of the journal; a crash after the fsync
+replays the whole group.  Interior marker damage (an ``end`` with no
+``begin``) is corruption, not a torn write, and recovery refuses.
+"""
+
+import json
+import os
+import struct
+from zlib import crc32
+
+import pytest
+
+from repro.durability import (
+    CRASH_AFTER_JOURNAL,
+    CRASH_BEFORE_FSYNC,
+    EIO_ON_WRITE,
+    DurableEngine,
+    FaultInjector,
+    InjectedCrash,
+    recover,
+)
+from repro.durability.journal import FRAME_MAGIC, scan_journal
+from repro.durability.manifest import read_manifest
+from repro.errors import DurabilityError, JournalCorruptionError
+
+
+def fresh(tmp_path, **kwargs):
+    path = str(tmp_path / "d")
+    engine = DurableEngine(path, **kwargs)
+    engine.load_document("doc", "<log/>")
+    return path, engine
+
+
+def journal_file(path):
+    return os.path.join(path, read_manifest(path)["journal"])
+
+
+def entries(engine):
+    return engine.execute("count($doc/log/e)").first_value()
+
+
+def insert(n):
+    return f'snap insert {{ <e n="{n}"/> }} into {{ $doc/log }}'
+
+
+def run_txn(engine, *queries):
+    with engine.session() as session:
+        with session.transaction() as txn:
+            for query in queries:
+                txn.execute(query)
+
+
+def markers(path):
+    """(group, count) per frame; None for member/autocommit frames."""
+    out = []
+    for record in scan_journal(journal_file(path)).records:
+        if "group" in record:
+            out.append((record["group"], record["count"]))
+        else:
+            out.append(None)
+    return out
+
+
+class TestGroupFraming:
+    def test_commit_is_one_begin_members_end_group(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1), insert(2))
+        engine.close()
+        assert markers(path) == [("begin", 2), None, None, ("end", 2)]
+
+    def test_group_frames_consume_contiguous_seqs(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        engine.execute(insert(0))  # autocommit frame, seq 1
+        run_txn(engine, insert(1), insert(2))
+        engine.close()
+        seqs = [r["seq"] for r in scan_journal(journal_file(path)).records]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_empty_transaction_journals_nothing(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        with engine.session() as session:
+            session.begin().commit()
+        engine.close()
+        assert markers(path) == []
+
+    def test_recovery_replays_the_group(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1), insert(2), insert(3))
+        engine.close()
+        result = recover(path)
+        assert entries(result.engine) == 3
+        assert result.report.groups_replayed == 1
+        assert result.report.records_replayed == 5  # 2 markers + 3 members
+        result.engine.store.check_invariants()
+
+    def test_reopen_after_group_appends_cleanly(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1))
+        engine.close()
+        reopened = DurableEngine(path)
+        run_txn(reopened, insert(2), insert(3))
+        reopened.close()
+        result = recover(path)
+        assert entries(result.engine) == 3
+        assert result.report.groups_replayed == 2
+
+
+class TestCrashMatrix:
+    def test_crash_before_fsync_loses_the_whole_group(self, tmp_path):
+        faults = FaultInjector()
+        path, engine = fresh(tmp_path, faults=faults)
+        engine.execute(insert(1))
+        engine.execute(insert(2))
+        faults.arm(CRASH_BEFORE_FSYNC)
+        with pytest.raises(InjectedCrash):
+            run_txn(engine, insert(3), insert(4))
+        result = recover(path)
+        # The unacknowledged group vanished whole — no half-applied txn.
+        assert entries(result.engine) == 2
+        assert result.report.groups_replayed == 0
+        assert result.report.truncated_bytes > 0
+        result.engine.store.check_invariants()
+
+    def test_crash_after_journal_recovers_the_whole_group(self, tmp_path):
+        faults = FaultInjector()
+        path, engine = fresh(tmp_path, faults=faults)
+        engine.execute(insert(1))
+        faults.arm(CRASH_AFTER_JOURNAL)
+        with pytest.raises(InjectedCrash):
+            run_txn(engine, insert(2), insert(3))
+        result = recover(path)
+        # Durable but unacknowledged: the group is all there, so all of
+        # it replays — never a prefix of it.
+        assert entries(result.engine) == 3
+        assert result.report.groups_replayed == 1
+        result.engine.store.check_invariants()
+
+    def test_eio_on_journal_write_rolls_back_and_engine_survives(
+        self, tmp_path
+    ):
+        # Unlike a crash point (simulated process death), an I/O error
+        # is survivable: the commit raises a typed error, the in-memory
+        # store is restored, and the engine keeps working.
+        faults = FaultInjector()
+        path, engine = fresh(tmp_path, faults=faults)
+        faults.arm(EIO_ON_WRITE)
+        with pytest.raises(DurabilityError):
+            run_txn(engine, insert(1))
+        assert entries(engine) == 0
+        engine.store.check_invariants()
+        engine.execute(insert(7))  # still usable
+        engine.close()
+        result = recover(path)
+        assert entries(result.engine) == 1
+
+
+class TestInteriorDamage:
+    def _append_frame(self, wal, payload: bytes):
+        header = struct.pack("<III", FRAME_MAGIC, len(payload), crc32(payload))
+        with open(wal, "ab") as handle:
+            handle.write(header + struct.pack("<I", crc32(header)) + payload)
+
+    def test_end_without_begin_is_corruption(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1))
+        engine.close()
+        wal = journal_file(path)
+        orphan_end = {"seq": 4, "group": "end", "txn": 7, "count": 1}
+        self._append_frame(wal, json.dumps(orphan_end).encode())
+        with pytest.raises(JournalCorruptionError, match="without begin"):
+            recover(path)
+
+    def test_member_count_mismatch_is_corruption(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1))
+        engine.close()
+        wal = journal_file(path)
+        data = open(wal, "rb").read()
+        # A second, hand-built group claiming two members but holding one.
+        frames = [
+            {"seq": 4, "group": "begin", "txn": 9, "count": 2},
+            {"seq": 5, "pre": 4, "post": 4, "sem": "ordered",
+             "ops": [], "nodes": []},
+            {"seq": 6, "group": "end", "txn": 9, "count": 2},
+        ]
+        for frame in frames:
+            self._append_frame(wal, json.dumps(frame).encode())
+        with pytest.raises(JournalCorruptionError):
+            recover(path)
+        open(wal, "wb").write(data)  # restore for tmp_path hygiene
+
+    def test_trailing_unterminated_group_is_truncated(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(engine, insert(1))
+        engine.close()
+        wal = journal_file(path)
+        # A trailing begin with no end — exactly what a crash between
+        # the group's write and its completion leaves behind.
+        dangling = {"seq": 4, "group": "begin", "txn": 9, "count": 1}
+        self._append_frame(wal, json.dumps(dangling).encode())
+        result = recover(path)
+        assert entries(result.engine) == 1
+        assert result.report.groups_replayed == 1  # the intact one
+        assert result.report.truncated_bytes > 0
+        # The file was cut back: a second recovery sees a clean journal.
+        again = recover(path)
+        assert again.report.truncated_bytes == 0
+        assert entries(again.engine) == 1
+
+
+class TestDurableSemantics:
+    def test_recovered_groups_respect_statement_semantics(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        run_txn(
+            engine,
+            insert(1),
+            'snap conflict-detection { insert { <e n="2"/> } '
+            "into { $doc/log } }",
+        )
+        before = engine.execute("$doc").serialize()
+        engine.close()
+        result = recover(path)
+        assert result.engine.execute("$doc").serialize() == before
+
+    def test_compaction_folds_committed_groups(self, tmp_path):
+        path, engine = fresh(tmp_path, compact_max_records=4)
+        run_txn(engine, insert(1), insert(2))  # 4 frames -> compacts
+        run_txn(engine, insert(3))
+        engine.close()
+        result = recover(path)
+        assert entries(result.engine) == 3
+        result.engine.store.check_invariants()
