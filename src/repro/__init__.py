@@ -45,7 +45,7 @@ from repro.txn import Session, Transaction
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Engine",

@@ -10,6 +10,13 @@ Examples::
 
     # interactive session
     python -m repro --repl --doc auction=auction.xml
+
+Exit codes: 0 — success; 1 — a typed query error (W3C-coded static or
+dynamic language error, e.g. a parse failure); 2 — usage or I/O error;
+3 — a typed engine-level refusal (``REPR``-registry code: timeout,
+overload, circuit open, resource limit, transaction conflict); 4 — an
+internal error (an untyped exception escaped the engine — always a
+bug worth reporting).
 """
 
 from __future__ import annotations
@@ -18,9 +25,16 @@ import argparse
 import sys
 from typing import Sequence as Seq
 
+from repro import __version__
 from repro.algebra.plan import pretty_plan
 from repro.engine import Engine, ExecutionOptions
 from repro.errors import XQueryError
+
+
+def _error_exit(error: XQueryError) -> int:
+    """3 for engine-level (REPR-registry) refusals, 1 for language
+    errors — scripts can tell "retry later" from "fix the query"."""
+    return 3 if (error.code or "").startswith("REPR") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version="%(prog)s 1.3.0 (XQuery! reproduction, EDBT 2006)",
+        version=f"%(prog)s {__version__} (XQuery! reproduction, EDBT 2006)",
     )
     parser.add_argument(
         "query_file",
@@ -396,11 +410,14 @@ def main(argv: Seq[str] | None = None) -> int:
     if arglist and arglist[0] == "health":
         return health_main(arglist[1:])
     args = build_parser().parse_args(arglist)
+    if args.timeout_ms is not None and args.timeout_ms <= 0:
+        print("error: --timeout-ms must be positive", file=sys.stderr)
+        return 2
     try:
         engine = make_engine(args)
     except XQueryError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _error_exit(error)
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -436,7 +453,16 @@ def main(argv: Seq[str] | None = None) -> int:
             return finish(run_query(engine, query, args))
         except XQueryError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 1
+            return _error_exit(error)
+        except Exception as error:  # noqa: BLE001 - the contract's edge
+            # An untyped exception escaping the engine violates the
+            # typed-refusal contract; give it an exit code of its own so
+            # monitoring can separate "engine bug" from "bad query".
+            print(
+                f"internal error: {type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            return 4
     finally:
         close = getattr(engine, "close", None)
         if close is not None:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Mapping, Optional, Union
 
 from repro.concurrent.control import CancelToken
-from repro.errors import DynamicError, XQueryError
+from repro.errors import DynamicError, StaticError, XQueryError
 from repro.lang import core_ast as core
 from repro.lang.normalize import normalize, normalize_module
 from repro.lang.simplify import simplify_module
@@ -587,6 +587,14 @@ class Engine:
                 optimize=opts.optimize,
                 semantics=opts.resolved_semantics,
             )
+        except RecursionError:
+            # Hostile depth: normalize/simplify/compile recurse over the
+            # AST, so a query nested past the interpreter's headroom must
+            # become a typed refusal, not a stack crash.
+            self.functions.restore(snapshot)
+            raise StaticError(
+                "query nests too deeply to compile; refused"
+            ) from None
         except Exception:
             # Compilation failed: undo this query's prolog registrations so
             # a broken query cannot shift name resolution (or bump the
@@ -700,6 +708,15 @@ class Engine:
                         semantics=resolved,
                         tracer=tracer,
                     )
+        except RecursionError:
+            # Hostile depth past the parser's guard: the normalize /
+            # simplify / static-check / compile phases are recursive too,
+            # so depth that survives parsing must still end as a typed
+            # refusal with the registry restored, never a stack crash.
+            self.functions.restore(snapshot)
+            raise StaticError(
+                "query nests too deeply to prepare; refused"
+            ) from None
         except Exception:
             # Scoped prolog registration: a query that fails to prepare
             # leaves the function registry (and its generation, hence the

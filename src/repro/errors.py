@@ -20,10 +20,24 @@ class XQueryError(Exception):
 
     default_code = "FORG0001"
 
+    #: attribute names a subclass folds into :meth:`to_dict` alongside
+    #: ``code`` and ``message`` — the structured detail a service
+    #: response or log line carries (``retry_after_ms`` hints, limit
+    #: observations, source locations).
+    _detail_fields: tuple[str, ...] = ()
+
     def __init__(self, message: str, code: str | None = None):
         self.code = code or self.default_code
         self.message = message
         super().__init__(f"[{self.code}] {message}")
+
+    def to_dict(self) -> dict:
+        """JSON-able refusal payload: registry code, message, and every
+        subclass detail field (for service responses and logs)."""
+        out: dict = {"code": self.code, "message": self.message}
+        for name in self._detail_fields:
+            out[name] = getattr(self, name, None)
+        return out
 
 
 class StaticError(XQueryError):
@@ -35,6 +49,8 @@ class StaticError(XQueryError):
 class LexerError(StaticError):
     """Raised when the tokenizer encounters an invalid character sequence."""
 
+    _detail_fields = ("line", "column")
+
     def __init__(self, message: str, line: int, column: int):
         self.line = line
         self.column = column
@@ -43,6 +59,8 @@ class LexerError(StaticError):
 
 class ParseError(StaticError):
     """Raised when the parser cannot build an AST from the token stream."""
+
+    _detail_fields = ("line", "column")
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
@@ -159,6 +177,8 @@ class QueryTimeoutError(ExecutionControlError):
 
     default_code = "REPR0001"
 
+    _detail_fields = ("timeout_ms",)
+
     def __init__(self, message: str, timeout_ms: float | None = None):
         self.timeout_ms = timeout_ms
         super().__init__(message)
@@ -189,6 +209,13 @@ class ServiceOverloadedError(XQueryError):
 
     default_code = "REPR0003"
 
+    _detail_fields = (
+        "queue_depth",
+        "queue_capacity",
+        "wait_budget_ms",
+        "retry_after_ms",
+    )
+
     def __init__(
         self,
         message: str,
@@ -203,17 +230,6 @@ class ServiceOverloadedError(XQueryError):
         self.wait_budget_ms = wait_budget_ms
         self.retry_after_ms = retry_after_ms
         super().__init__(message)
-
-    def to_dict(self) -> dict:
-        """JSON-able detail (for service responses and logs)."""
-        return {
-            "code": self.code,
-            "message": self.message,
-            "queue_depth": self.queue_depth,
-            "queue_capacity": self.queue_capacity,
-            "wait_budget_ms": self.wait_budget_ms,
-            "retry_after_ms": self.retry_after_ms,
-        }
 
 
 class DurabilityError(XQueryError):
@@ -263,6 +279,8 @@ class CircuitOpenError(DurabilityError):
 
     default_code = "REPR0006"
 
+    _detail_fields = ("reason", "opened_at", "retry_after_ms")
+
     def __init__(
         self,
         message: str,
@@ -295,6 +313,8 @@ class ResourceLimitError(ExecutionControlError):
     """
 
     default_code = "REPR0007"
+
+    _detail_fields = ("limit_name", "limit", "observed")
 
     def __init__(
         self,
@@ -338,6 +358,8 @@ class TransactionConflictError(XQueryError):
 
     default_code = "REPR0008"
 
+    _detail_fields = ("conflicts_with_seq", "detail")
+
     def __init__(
         self,
         message: str,
@@ -360,6 +382,8 @@ class XMLParseError(StaticError):
     """Raised while parsing an XML document into the store."""
 
     default_code = "FODC0002"
+
+    _detail_fields = ("line", "column")
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line

@@ -69,18 +69,36 @@ _COMPUTED_CTORS = {
 
 
 def parse(text: str) -> ast.Expr:
-    """Parse a query body (an Expr) and require end of input."""
+    """Parse a query body (an Expr) and require end of input.
+
+    Input nested beyond the interpreter's recursion headroom gets a
+    typed :class:`~repro.errors.ParseError` instead of an untyped
+    ``RecursionError`` — hostile input must always yield a typed
+    refusal (the admission layer's ``max_depth`` bound refuses such
+    queries before the parser ever sees them; this is the last line of
+    defense for unguarded entry points).
+    """
     parser = Parser(text)
-    expr = parser.parse_expr()
-    parser.expect(TokenKind.EOF)
+    try:
+        expr = parser.parse_expr()
+        parser.expect(TokenKind.EOF)
+    except RecursionError:
+        raise ParseError("query nests too deeply to parse; refused") from None
     return expr
 
 
 def parse_module(text: str) -> ast.Module:
-    """Parse a module: prolog declarations plus optional query body."""
+    """Parse a module: prolog declarations plus optional query body.
+
+    Same hostile-input contract as :func:`parse`: over-deep nesting is
+    a typed refusal, never a stack overflow.
+    """
     parser = Parser(text)
-    module = parser.parse_module()
-    parser.expect(TokenKind.EOF)
+    try:
+        module = parser.parse_module()
+        parser.expect(TokenKind.EOF)
+    except RecursionError:
+        raise ParseError("query nests too deeply to parse; refused") from None
     return module
 
 

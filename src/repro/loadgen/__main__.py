@@ -1,0 +1,113 @@
+"""CLI entry point: ``python -m repro.loadgen``.
+
+Runs one open-loop profile and prints the SLO scoreboard (or the full
+JSON report with ``--json``).  Exit codes: 0 — every SLO passed and no
+internal errors; 1 — at least one SLO failed or an internal error was
+observed; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.loadgen.driver import LoadDriver, LoadProfile
+from repro.loadgen.slo import default_slos, parse_slo_overrides
+from repro.loadgen.workload import MIXES
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description=(
+            "Open-loop load driver: replay a seeded XMark read/write mix "
+            "at a target rate against the auction serving stack and "
+            "score the run against declared SLOs."
+        ),
+    )
+    parser.add_argument(
+        "--rate", type=float, default=100.0,
+        help="target arrival rate, requests/second (default 100)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0,
+        help="run duration in seconds (default 10)",
+    )
+    parser.add_argument(
+        "--mix", default="xmark-rw", choices=sorted(MIXES),
+        help="workload mix (default xmark-rw)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="workload / arrival / service-model seed (default 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="executor worker threads (default 4)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded queue capacity (default 64)",
+    )
+    parser.add_argument(
+        "--timeout-ms", type=float, default=2000.0,
+        help="per-request deadline in milliseconds (default 2000)",
+    )
+    parser.add_argument(
+        "--arrivals", default="uniform", choices=("uniform", "poisson"),
+        help="arrival process (default uniform)",
+    )
+    parser.add_argument(
+        "--virtual", action="store_true",
+        help=(
+            "deterministic virtual-time mode: same seed, same report, "
+            "bit for bit — no wall clock involved"
+        ),
+    )
+    parser.add_argument(
+        "--slo", action="append", default=[], metavar="METRIC=THRESHOLD",
+        help=(
+            "override or add an SLO (repeatable), e.g. "
+            "--slo latency_p99_ms=250"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full JSON report instead of the scoreboard",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        profile = LoadProfile(
+            rate=args.rate,
+            duration_s=args.duration,
+            mix=args.mix,
+            seed=args.seed,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            timeout_ms=args.timeout_ms,
+            arrivals=args.arrivals,
+        )
+        slos = parse_slo_overrides(args.slo, default_slos(profile.rate))
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    driver = LoadDriver(
+        profile,
+        mode="virtual" if args.virtual else "wall",
+        slos=slos,
+    )
+    report = driver.run()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

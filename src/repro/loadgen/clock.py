@@ -1,0 +1,65 @@
+"""Clocks for the load harness: wall time and deterministic virtual time.
+
+The open-loop driver (:mod:`repro.loadgen.driver`) never calls
+``time.monotonic`` or ``time.sleep`` directly — it talks to a clock
+object, so the same scheduling code runs in two modes:
+
+* :class:`WallClock` — real time, for actual load runs;
+* :class:`VirtualClock` — simulated time, for tests and reproducible
+  reports.  ``sleep_until`` *jumps* the clock forward instead of
+  waiting, so a 20-second profile runs in milliseconds and two runs
+  with the same seed produce bit-for-bit identical schedules.
+
+The virtual clock is single-threaded by design: the virtual-time driver
+is an event-ordered simulation, not a thread pool (see
+:class:`~repro.loadgen.driver.LoadDriver`).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Real monotonic time."""
+
+    #: True for clocks whose ``sleep_until`` really waits.
+    real = True
+
+    def now(self) -> float:
+        """Seconds on an arbitrary monotonic timeline."""
+        return time.monotonic()
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until ``now() >= deadline`` (no-op when already past —
+        that lateness is exactly what schedule-lag accounting records)."""
+        delay = deadline - self.now()
+        if delay > 0:
+            time.sleep(delay)
+
+
+class VirtualClock:
+    """Deterministic simulated time starting at 0.0.
+
+    ``sleep_until`` advances the clock instantly; time never moves
+    backwards (sleeping until a past deadline is a no-op, mirroring the
+    wall clock's behaviour — the caller observes lag instead).
+    """
+
+    real = False
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep_until(self, deadline: float) -> None:
+        if deadline > self._now:
+            self._now = deadline
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by *seconds* (negative values are refused)."""
+        if seconds < 0:
+            raise ValueError("virtual time cannot move backwards")
+        self._now += seconds

@@ -1,0 +1,520 @@
+"""The open-loop load driver.
+
+**Open loop** means arrivals are scheduled by the clock, not by
+completions: request *i* is due at ``start + i/rate`` whether or not
+earlier requests have finished.  A closed-loop driver (issue, wait,
+issue) silently backs off whenever the system stalls — the stall
+throttles the driver, the driver stops observing, and the report shows
+a healthy p99 for a system that spent half the run frozen.  That
+failure mode is *coordinated omission*, and this driver defends against
+it twice:
+
+* **schedule-lag accounting** — when the dispatcher itself falls behind
+  its timetable (the run queue is saturated, the GIL is pinned), the
+  lag is recorded into its own histogram and gated by an SLO instead of
+  silently shrinking the offered load;
+* **response-time measurement** — every latency is measured from the
+  request's *scheduled* arrival, not from the moment it was actually
+  submitted, so queueing and dispatcher lag land in the latency tail
+  where an operator would feel them.
+
+Two modes share the scheduling code path:
+
+* **wall mode** drives a real :class:`~repro.usecases.webservice.
+  AuctionFrontEnd` (worker pool, bounded queue, admission control,
+  typed refusals) from a dispatcher thread;
+* **virtual mode** replays the same deterministic workload through an
+  event-ordered simulation on a :class:`~repro.loadgen.clock.
+  VirtualClock`: operations execute for real against an in-process
+  :class:`~repro.usecases.webservice.AuctionService` (so outcomes —
+  successes, typed refusals — are the engine's own), while *durations*
+  come from a seeded service-time model, making the entire report a
+  pure function of the seed: bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush, heapify
+from typing import Any, Callable
+
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    XQueryError,
+)
+from repro.loadgen.clock import VirtualClock, WallClock
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.report import LoadReport, build_report
+from repro.loadgen.slo import SLO, default_slos
+from repro.loadgen.workload import Operation, Workload
+
+#: Synthetic refusal code for requests the driver itself refused to
+#: dispatch (bounded in-flight transactional work) — same registry code
+#: the service's own shed uses.
+SHED_CODE = "REPR0003"
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Everything that defines one load run (and keys its report)."""
+
+    rate: float = 100.0
+    duration_s: float = 10.0
+    mix: str = "xmark-rw"
+    seed: int = 1
+    workers: int = 4
+    queue_size: int = 64
+    timeout_ms: float = 2000.0
+    arrivals: str = "uniform"  # or "poisson"
+    items: int = 40
+    persons: int = 50
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.arrivals not in ("uniform", "poisson"):
+            raise ValueError("arrivals must be 'uniform' or 'poisson'")
+
+    @property
+    def scheduled_requests(self) -> int:
+        return int(self.rate * self.duration_s)
+
+    def arrival_times(self) -> list[float]:
+        """Relative arrival times (seconds from run start), seeded."""
+        n = self.scheduled_requests
+        if self.arrivals == "uniform":
+            return [i / self.rate for i in range(n)]
+        rng = random.Random(f"repro.loadgen.arrivals:{self.seed}")
+        times: list[float] = []
+        t = 0.0
+        for _ in range(n):
+            t += rng.expovariate(self.rate)
+            times.append(t)
+        return times
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "mix": self.mix,
+            "seed": self.seed,
+            "workers": self.workers,
+            "queue_size": self.queue_size,
+            "timeout_ms": self.timeout_ms,
+            "arrivals": self.arrivals,
+            "items": self.items,
+            "persons": self.persons,
+            "scheduled": self.scheduled_requests,
+        }
+
+
+class RunRecorder:
+    """Thread-safe accumulator for one run's outcomes.
+
+    Successful responses land in the latency histogram; refusals are
+    counted per registry code (shed separately flagged) so fast typed
+    refusals can never flatter the latency percentiles; anything
+    untyped is an ``internal_error`` — the outcome class that must stay
+    at zero.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.latency = LatencyHistogram()
+        self.schedule_lag = LatencyHistogram()
+        self.refusals: dict[str, int] = {}
+        self.successes = 0
+        self.shed = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.internal_count = 0
+        self.internal_errors: list[str] = []  # bounded sample of the above
+
+    def record_dispatch(self, lag_s: float) -> None:
+        with self._mutex:
+            self.dispatched += 1
+            self.schedule_lag.record(int(lag_s * 1e6))
+
+    def record_outcome(
+        self, scheduled: float, finished: float, error: BaseException | None
+    ) -> None:
+        latency_us = int(max(0.0, finished - scheduled) * 1e6)
+        with self._mutex:
+            self.completed += 1
+            if error is None:
+                self.successes += 1
+                self.latency.record(latency_us)
+            elif isinstance(error, XQueryError):
+                code = error.code
+                self.refusals[code] = self.refusals.get(code, 0) + 1
+                if isinstance(error, ServiceOverloadedError):
+                    self.shed += 1
+            else:
+                self.internal_count += 1
+                if len(self.internal_errors) < 32:
+                    self.internal_errors.append(repr(error))
+
+    @property
+    def refused_total(self) -> int:
+        return sum(self.refusals.values())
+
+
+class ServiceModel:
+    """Seeded service-time model for virtual-time runs.
+
+    Durations are drawn per dispatched operation from a lognormal
+    around a per-class base cost; the draw order equals the arrival
+    order, so the stream is deterministic for a given seed.
+    """
+
+    BASE_S = {"read": 0.002, "write": 0.006, "txn": 0.010}
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(f"repro.loadgen.service:{seed}")
+
+    def service_s(self, op: Operation) -> float:
+        return self.BASE_S[op.op_class] * self._rng.lognormvariate(0.0, 0.4)
+
+
+class LoadDriver:
+    """Run one :class:`LoadProfile` and produce a :class:`LoadReport`.
+
+    Parameters:
+        profile: the run definition.
+        mode: ``"wall"`` (real front end, real time) or ``"virtual"``
+            (deterministic simulation; see the module docstring).
+        slos: objectives to evaluate (defaults to
+            :func:`~repro.loadgen.slo.default_slos` at the profile's
+            rate).
+        front: an existing :class:`~repro.usecases.webservice.
+            AuctionFrontEnd` to drive (wall mode; one is built and torn
+            down when omitted).
+        service: an existing :class:`~repro.usecases.webservice.
+            AuctionService` for virtual mode's live execution (built
+            when omitted); pass ``live=False`` to skip engine execution
+            entirely and model outcomes as always-successful (pure
+            scheduler/recorder simulation — what the unit tests use).
+    """
+
+    def __init__(
+        self,
+        profile: LoadProfile,
+        *,
+        mode: str = "wall",
+        slos: list[SLO] | None = None,
+        front: Any | None = None,
+        service: Any | None = None,
+        live: bool = True,
+    ):
+        if mode not in ("wall", "virtual"):
+            raise ValueError("mode must be 'wall' or 'virtual'")
+        self.profile = profile
+        self.mode = mode
+        self.slos = slos if slos is not None else default_slos(profile.rate)
+        self._front = front
+        self._service = service
+        self._live = live
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        if self.mode == "virtual":
+            return self._run_virtual()
+        return self._run_wall()
+
+    # -- wall mode ---------------------------------------------------------
+
+    def _run_wall(self) -> LoadReport:
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.resilience.policy import ResiliencePolicy
+        from repro.usecases.webservice import AuctionFrontEnd, AuctionService
+        from repro.xmark import XMarkConfig, generate_auction_xml
+
+        profile = self.profile
+        owned = self._front is None
+        if owned:
+            xml = generate_auction_xml(
+                XMarkConfig(persons=profile.persons, items=profile.items)
+            )
+            service = AuctionService(auction_xml=xml, maxlog=64)
+            front = AuctionFrontEnd(
+                service,
+                workers=profile.workers,
+                queue_size=profile.queue_size,
+                default_timeout_ms=profile.timeout_ms,
+                resilience=ResiliencePolicy(max_wait_ms=profile.timeout_ms),
+            )
+        else:
+            front = self._front
+        tracer = front.executor.tracer
+        recorder = RunRecorder()
+        clock = WallClock()
+        workload = Workload(
+            profile.mix,
+            profile.seed,
+            items=profile.items,
+            persons=profile.persons,
+        )
+        arrivals = profile.arrival_times()
+        # Transactional endpoints are synchronous; a small bounded side
+        # pool keeps the dispatcher non-blocking, and the semaphore is
+        # the pool's admission control: over the bound, the driver sheds
+        # with the same registry code the service's own queue uses.
+        txn_pool = ThreadPoolExecutor(
+            max_workers=max(2, profile.workers // 2),
+            thread_name_prefix="repro-loadgen-txn",
+        )
+        txn_slots = threading.Semaphore(profile.queue_size)
+        start = clock.now()
+        try:
+            for offset in arrivals:
+                scheduled = start + offset
+                clock.sleep_until(scheduled)
+                op = workload.operation()
+                lag_s = clock.now() - scheduled
+                recorder.record_dispatch(lag_s)
+                tracer.count("loadgen.dispatched")
+                self._dispatch_wall(
+                    front, txn_pool, txn_slots, op, scheduled, recorder,
+                    clock, tracer,
+                )
+            self._drain(recorder, clock, start)
+        finally:
+            txn_pool.shutdown(wait=True)
+            if owned:
+                front.shutdown()
+                service.close()
+        elapsed = clock.now() - start
+        return build_report(
+            profile=profile,
+            mode="wall",
+            recorder=recorder,
+            elapsed_s=elapsed,
+            slos=self.slos,
+            counters=_loadgen_counters(tracer),
+        )
+
+    def _dispatch_wall(
+        self,
+        front: Any,
+        txn_pool: Any,
+        txn_slots: threading.Semaphore,
+        op: Operation,
+        scheduled: float,
+        recorder: RunRecorder,
+        clock: WallClock,
+        tracer: Any,
+    ) -> None:
+        def finish(error: BaseException | None) -> None:
+            recorder.record_outcome(scheduled, clock.now(), error)
+            if error is None:
+                tracer.count("loadgen.successes")
+            elif isinstance(error, XQueryError):
+                tracer.count("loadgen.refused")
+            else:
+                tracer.count("loadgen.internal_errors")
+
+        if op.query is not None:
+            try:
+                future = front.submit_query(
+                    op.query, op.bindings, timeout_ms=self.profile.timeout_ms
+                )
+            except XQueryError as error:
+                finish(error)
+                return
+            future.add_done_callback(
+                lambda f: finish(f.exception())
+            )
+            return
+        # Transactional endpoint (place_bid / add_watch).
+        if not txn_slots.acquire(blocking=False):
+            tracer.count("loadgen.txn_shed")
+            finish(
+                ServiceOverloadedError(
+                    "transactional side pool is saturated; request shed",
+                    queue_depth=self.profile.queue_size,
+                    queue_capacity=self.profile.queue_size,
+                    retry_after_ms=50.0,
+                )
+            )
+            return
+
+        def call() -> None:
+            try:
+                if op.name == "place_bid":
+                    front.place_bid(op.itemid, op.userid, op.amount)
+                else:
+                    front.add_watch(op.itemid, op.userid)
+            except BaseException as error:  # noqa: BLE001 - classified
+                finish(error)
+            else:
+                finish(None)
+            finally:
+                txn_slots.release()
+
+        txn_pool.submit(call)
+
+    def _drain(
+        self, recorder: RunRecorder, clock: WallClock, start: float
+    ) -> None:
+        """Wait (bounded) for in-flight requests after the last arrival.
+
+        Every request carries a deadline, so the grace period only has
+        to outlast one timeout plus scheduling noise; anything still
+        unaccounted after that is recorded as an internal error — a
+        hang must show up in the report, not stall the harness.
+        """
+        grace_s = (self.profile.timeout_ms / 1000.0) + 10.0
+        deadline = clock.now() + grace_s
+        while clock.now() < deadline:
+            with recorder._mutex:
+                done = recorder.completed >= recorder.dispatched
+            if done:
+                return
+            time.sleep(0.02)
+        with recorder._mutex:
+            missing = recorder.dispatched - recorder.completed
+            if missing > 0:
+                recorder.internal_count += missing
+                recorder.internal_errors.append(
+                    f"HANG: {missing} request(s) unaccounted after "
+                    f"{grace_s:.0f}s drain"
+                )
+
+    # -- virtual mode ------------------------------------------------------
+
+    def _run_virtual(self) -> LoadReport:
+        profile = self.profile
+        clock = VirtualClock()
+        recorder = RunRecorder()
+        workload = Workload(
+            profile.mix,
+            profile.seed,
+            items=profile.items,
+            persons=profile.persons,
+        )
+        model = ServiceModel(profile.seed)
+        execute = self._virtual_executor()
+        # Worker-availability heap: the simulation's only state.  An
+        # arrival whose estimated backlog exceeds the queue capacity is
+        # shed exactly like the real bounded queue would shed it.
+        free: list[float] = [0.0] * profile.workers
+        heapify(free)
+        last_completion = 0.0
+        try:
+            for offset in profile.arrival_times():
+                clock.sleep_until(offset)
+                op = workload.operation()
+                recorder.record_dispatch(0.0)
+                service_s = model.service_s(op)
+                backlog_s = max(0.0, free[0] - offset)
+                if backlog_s * profile.rate > profile.queue_size:
+                    recorder.record_outcome(
+                        offset,
+                        offset,
+                        ServiceOverloadedError(
+                            "virtual queue backlog over capacity; "
+                            "request shed",
+                            queue_depth=profile.queue_size,
+                            queue_capacity=profile.queue_size,
+                            retry_after_ms=backlog_s * 1000.0,
+                        ),
+                    )
+                    continue
+                begin = max(offset, heappop(free))
+                error = execute(op)
+                completion = begin + service_s
+                # Deadline discipline: a response that took longer than
+                # the timeout budget (queue wait included) is a timeout,
+                # same as the real control would rule.
+                if (completion - offset) * 1000.0 > profile.timeout_ms:
+                    error = QueryTimeoutError(
+                        "virtual deadline exceeded",
+                        timeout_ms=profile.timeout_ms,
+                    )
+                    completion = offset + profile.timeout_ms / 1000.0
+                heappush(free, completion)
+                last_completion = max(last_completion, completion)
+                recorder.record_outcome(offset, completion, error)
+        finally:
+            self._close_virtual_service()
+        elapsed = max(profile.duration_s, last_completion)
+        return build_report(
+            profile=profile,
+            mode="virtual",
+            recorder=recorder,
+            elapsed_s=elapsed,
+            slos=self.slos,
+            counters={},
+        )
+
+    def _virtual_executor(self) -> Callable[[Operation], BaseException | None]:
+        """The per-operation executor for virtual mode.
+
+        Live: run the operation synchronously against a real
+        :class:`AuctionService` — outcomes (success or typed refusal)
+        are the engine's own.  Model: every operation succeeds; only the
+        scheduler and recorder are under test.
+        """
+        if not self._live:
+            return lambda op: None
+        service = self._service
+        if service is None:
+            from repro.usecases.webservice import AuctionService
+            from repro.xmark import XMarkConfig, generate_auction_xml
+
+            profile = self.profile
+            xml = generate_auction_xml(
+                XMarkConfig(persons=profile.persons, items=profile.items)
+            )
+            service = AuctionService(auction_xml=xml, maxlog=64)
+            self._owned_service = service
+        self._service = service
+
+        def execute(op: Operation) -> BaseException | None:
+            try:
+                if op.name == "get_item_nolog":
+                    service.get_item_nolog(op.itemid, op.userid)
+                elif op.name == "get_item":
+                    service.get_item(op.itemid, op.userid)
+                elif op.name == "highest_bid":
+                    service.highest_bid(op.itemid)
+                elif op.name == "watchers":
+                    service.watchers(op.itemid)
+                elif op.name == "place_bid":
+                    service.place_bid(op.itemid, op.userid, op.amount)
+                elif op.name == "add_watch":
+                    service.add_watch(op.itemid, op.userid)
+                else:  # pragma: no cover - workload names are closed
+                    raise ValueError(f"unknown operation {op.name!r}")
+            except XQueryError as error:
+                return error
+            except BaseException as error:  # noqa: BLE001 - reported
+                return error
+            return None
+
+        return execute
+
+    def _close_virtual_service(self) -> None:
+        owned = getattr(self, "_owned_service", None)
+        if owned is not None:
+            owned.close()
+            self._owned_service = None
+
+
+def _loadgen_counters(tracer: Any) -> dict:
+    """The serving-stack counters worth echoing into a wall-mode report."""
+    counters = tracer.snapshot_counters()
+    interesting = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(("loadgen.", "concurrent.", "resilience."))
+    }
+    return interesting

@@ -1,0 +1,480 @@
+"""Seeded hostile-input fuzz campaign over the service boundary.
+
+Three attack channels, mirroring how untrusted bytes actually reach the
+engine:
+
+* **binding** — attacker-controlled *values* cross the parameter-binding
+  boundary of a prepared query (the XQJ ``bindString`` idiom the service
+  uses).  The campaign asserts the boundary is *inert*: every payload —
+  injection fragments, query syntax, quote-breakers, control characters,
+  megabyte blobs — round-trips through ``string($v)`` unchanged, a
+  search probe over the auction document returns a plain count, and the
+  store version is untouched.  A mismatch is an **injection escape**
+  (CWE-652), the one outcome class that fails the campaign outright.
+* **parser** — attacker-controlled *query text* hits the front door:
+  admission control first (:meth:`~repro.resilience.admission.
+  AdmissionLimits.check_query_text`), then a scratch engine ``prepare``
+  — hostile text is parsed and compiled but **never executed**.
+* **document** — attacker-controlled *XML* hits the document parser:
+  deeply-nested and oversized documents, malformed prologs, DOCTYPEs,
+  broken entities, truncated tags.
+
+Every case must end in a success or a **typed refusal** (an
+:class:`~repro.errors.XQueryError` carrying a registered code — the
+``REPR0000``–``REPR0008`` registry for engine-level refusals, W3C
+``XPST``/``FODC``-style codes for language-level ones).  A crash
+(untyped exception), a hang (case over its time budget) or an injection
+escape fails the campaign.
+
+The corpus is a pure function of ``(seed, case index)`` — re-running
+with the same seed replays the identical campaign, and any failure
+message carries the case index so one case can be replayed alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import XQueryError
+from repro.resilience.admission import AdmissionLimits
+
+CHANNELS = ("binding", "parser", "document")
+
+#: Classic XQuery-injection payload shapes (CWE-652): predicate
+#: breakouts, comment trailers, enclosed-expression escapes, update
+#: syntax smuggled inside a value.  Mutated per case.
+INJECTION_TEMPLATES = (
+    "person0'] | $log | $auction//item['x",
+    '" or ""="',
+    "'] , delete { $log/logentry } , $auction//item['",
+    "x') (: chop :) ",
+    "} , snap delete { $log/logentry } , {",
+    "item0\" or @id != \"",
+    "$userid || doc('file:///etc/passwd')",
+    "<bid itemid=\"item0\" amount=\"1e9\"/>",
+    "]]>]]><!--",
+    "&#x27;] | $watchlist | ['",
+    "'; declare variable $pwn := 1; '",
+    "*[1=1]",
+)
+
+#: Token soup alphabet for randomly-assembled query text.
+_QUERY_TOKENS = (
+    "snap", "delete", "insert", "replace", "with", "into", "for", "let",
+    "return", "if", "then", "else", "declare", "function", "variable",
+    "$v", "$auction", "$log", "{", "}", "(", ")", "[", "]", "//", "/",
+    "@id", "item", "::", ",", "'", '"', "<", ">", "</", "/>", "<!--",
+    "-->", "<![CDATA[", "]]>", "&amp;", "&#0;", ";", ":=", "1", "0.5",
+    ".", "*", "=", "!=", "e", " ", "\t", "\n",
+)
+
+#: Malformed XML prologs / document openers.
+_BAD_PROLOGS = (
+    "<?xml",
+    "<?xml version=\"1.0'?><a/>",
+    "<?xml version='1.0' encoding='?><a/>",
+    "<!DOCTYPE a [<!ENTITY x \"y\">]><a>&x;</a>",
+    "<?xml?><?xml?><a/>",
+    "\x00<?xml version='1.0'?><a/>",
+    "<?xml version='1.0'?>",
+    "<?xml version='1.0'?><a b=c></a>",
+)
+
+_CONTROL_CHARS = "\x00\x01\x08\x0b\x1b\x7f  ﻿"
+
+
+class HostileCorpus:
+    """Deterministic hostile-payload stream.
+
+    ``case(i)`` is a pure function of ``(seed, i)`` — no state between
+    cases, so campaigns shard and replay trivially.
+    """
+
+    #: channel weights: binding and parser carry most of the risk.
+    _CUTS = (("binding", 0.40), ("parser", 0.80), ("document", 1.0))
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+
+    def case(self, index: int) -> tuple[str, str]:
+        """The (channel, payload) pair for case *index*."""
+        rng = random.Random(f"repro.loadgen.hostile:{self.seed}:{index}")
+        roll = rng.random()
+        for channel, cut in self._CUTS:
+            if roll < cut:
+                break
+        if channel == "binding":
+            return channel, self._binding_payload(rng)
+        if channel == "parser":
+            return channel, self._query_payload(rng)
+        return channel, self._document_payload(rng)
+
+    # -- payload generators ------------------------------------------------
+
+    def _binding_payload(self, rng: random.Random) -> str:
+        kind = rng.random()
+        if kind < 0.45:
+            return self._mutate(rng.choice(INJECTION_TEMPLATES), rng)
+        if kind < 0.65:
+            return "".join(
+                rng.choice(_QUERY_TOKENS) for _ in range(rng.randrange(1, 40))
+            )
+        if kind < 0.80:
+            # Unicode / control-character soup.
+            return "".join(
+                chr(rng.choice((
+                    rng.randrange(32, 127),
+                    rng.randrange(0x80, 0x2FFF),
+                    ord(rng.choice(_CONTROL_CHARS)),
+                )))
+                for _ in range(rng.randrange(1, 64))
+            )
+        if kind < 0.98:
+            # A plausible-looking id, sometimes a real one.
+            return f"item{rng.randrange(64)}" + rng.choice(
+                ("", "'", '"', "]", "}", "\n")
+            )
+        # Oversized value (bounded: the point is inertness, not OOM).
+        return rng.choice(("A", "'", "{", "<")) * rng.randrange(16384, 65536)
+
+    def _query_payload(self, rng: random.Random) -> str:
+        kind = rng.random()
+        if kind < 0.35:
+            return " ".join(
+                rng.choice(_QUERY_TOKENS) for _ in range(rng.randrange(1, 80))
+            )
+        if kind < 0.55:
+            # Deep homogeneous nesting — the stack-depth attack.
+            depth = rng.choice((64, 256, 1024, 4096, 16384))
+            opener, closer = rng.choice(
+                (("(", ")"), ("<a>", "</a>"), ("if (1) then ", " else 0"))
+            )
+            return opener * depth + "1" + closer * depth
+        if kind < 0.70:
+            # Truncation of a valid query.
+            query = (
+                "for $i in $auction//item[@id = 'item0'] "
+                "return snap insert { <x/> } into { $i }"
+            )
+            return query[: rng.randrange(1, len(query))]
+        if kind < 0.85:
+            # Malformed prolog declarations.
+            return rng.choice((
+                "declare variable $x :=",
+                "declare function f($x) { f",
+                "declare variable $v := $v; $v",
+                "declare function snap() { 1 }; snap()",
+                "import module namespace x = 'y';",
+            ))
+        if kind < 0.98:
+            # Near-valid expression with one corrupted character.
+            query = "count($auction//item[@id = $v])"
+            pos = rng.randrange(len(query))
+            return query[:pos] + rng.choice("\x00{}<'\"&;") + query[pos + 1:]
+        return rng.choice(("(", "'", "\"", "<")) * rng.randrange(16384, 65536)
+
+    def _document_payload(self, rng: random.Random) -> str:
+        kind = rng.random()
+        if kind < 0.25:
+            depth = rng.choice((64, 1024, 8192, 20000))
+            return "<a>" * depth + "x" + "</a>" * depth
+        if kind < 0.45:
+            return rng.choice(_BAD_PROLOGS)
+        if kind < 0.65:
+            # Broken structure: mismatched / truncated / duplicated.
+            return rng.choice((
+                "<a><b></a></b>",
+                "<a",
+                "<a href='x>y</a>",
+                "<a x='1' x='2'/>",
+                "<a>&bogus;</a>",
+                "<a>&#xD800;</a>",
+                "<a><![CDATA[never closed",
+                "<a></a><b></b>",
+                "text outside",
+                "",
+            ))
+        if kind < 0.85:
+            # Tag soup.
+            return "".join(
+                rng.choice(("<", ">", "/", "a", "b", "'", '"', "=", " ",
+                            "&", ";", "-", "!", "[", "]"))
+                for _ in range(rng.randrange(1, 128))
+            )
+        # Oversized but well-formed-ish: wide fan-out, not deep.
+        n = rng.randrange(1000, 4000)
+        return "<r>" + "<i/>" * n + "</r>"
+
+    @staticmethod
+    def _mutate(payload: str, rng: random.Random) -> str:
+        """Light mutation: duplicate, splice, case-flip, pad."""
+        roll = rng.random()
+        if roll < 0.25:
+            return payload * rng.randrange(2, 5)
+        if roll < 0.5 and payload:
+            pos = rng.randrange(len(payload))
+            return payload[:pos] + rng.choice(_QUERY_TOKENS) + payload[pos:]
+        if roll < 0.75:
+            return payload.swapcase()
+        return payload
+
+
+@dataclass
+class FuzzReport:
+    """One campaign's outcome tally and verdict."""
+
+    cases: int
+    seed: int
+    successes: int = 0
+    refused: dict[str, int] = field(default_factory=dict)
+    per_channel: dict[str, int] = field(default_factory=dict)
+    crashes: list[str] = field(default_factory=list)
+    hangs: list[str] = field(default_factory=list)
+    escapes: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def refused_total(self) -> int:
+        return sum(self.refused.values())
+
+    @property
+    def ok(self) -> bool:
+        """Campaign verdict: no crash, no hang, no injection escape,
+        and every case accounted for as success or typed refusal."""
+        return (
+            not self.crashes
+            and not self.hangs
+            and not self.escapes
+            and self.successes + self.refused_total == self.cases
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.loadgen.fuzz/v1",
+            "cases": self.cases,
+            "seed": self.seed,
+            "successes": self.successes,
+            "refused": dict(sorted(self.refused.items())),
+            "refused_total": self.refused_total,
+            "per_channel": dict(sorted(self.per_channel.items())),
+            "crashes": self.crashes[:16],
+            "crash_count": len(self.crashes),
+            "hangs": self.hangs[:16],
+            "hang_count": len(self.hangs),
+            "escapes": self.escapes[:16],
+            "escape_count": len(self.escapes),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            "fuzz campaign: " + ("CLEAN" if self.ok else "FAILED"),
+            f"  {self.cases} cases (seed {self.seed}) in "
+            f"{self.elapsed_s:.1f}s — {self.successes} succeeded, "
+            f"{self.refused_total} typed refusals",
+            f"  channels: {dict(sorted(self.per_channel.items()))}",
+            f"  refusal codes: {dict(sorted(self.refused.items()))}",
+        ]
+        for label, bucket in (
+            ("CRASHES", self.crashes),
+            ("HANGS", self.hangs),
+            ("INJECTION ESCAPES", self.escapes),
+        ):
+            if bucket:
+                lines.append(f"  {label} ({len(bucket)}): {bucket[:3]}")
+        return "\n".join(lines)
+
+
+class FuzzCampaign:
+    """Run *cases* hostile inputs against a real, small service stack.
+
+    Parameters:
+        cases / seed: campaign size and corpus seed.
+        case_budget_s: per-case wall budget; a slower case is a hang
+            finding (the engine must refuse hostile input *quickly*).
+        items / persons: XMark scale of the target document (small — the
+            campaign probes the boundary, not throughput).
+    """
+
+    #: Recreate the scratch parser engine this often so its prepared
+    #: cache cannot grow without bound across a long campaign.
+    _SCRATCH_RECYCLE = 256
+
+    def __init__(
+        self,
+        cases: int = 2000,
+        seed: int = 1,
+        *,
+        case_budget_s: float = 5.0,
+        items: int = 8,
+        persons: int = 8,
+    ):
+        if cases < 1:
+            raise ValueError("cases must be >= 1")
+        self.cases = cases
+        self.seed = seed
+        self.case_budget_s = case_budget_s
+        self.items = items
+        self.persons = persons
+        #: front-door bounds for attacker query text, mirroring a
+        #: production serving stack (oversized corpus payloads exceed
+        #: them on purpose, to exercise the refusal).
+        self.limits = AdmissionLimits(max_query_bytes=32768, max_depth=128)
+
+    def run(self) -> FuzzReport:
+        from repro.engine import Engine
+        from repro.usecases.webservice import AuctionService
+        from repro.xmark import XMarkConfig, generate_auction_xml
+        from repro.xmlio.parser import parse_document, parse_fragment
+
+        corpus = HostileCorpus(self.seed)
+        report = FuzzReport(cases=self.cases, seed=self.seed)
+        xml = generate_auction_xml(
+            XMarkConfig(
+                persons=self.persons,
+                items=self.items,
+                open_auctions=2,
+                closed_auctions=2,
+            )
+        )
+        service = AuctionService(auction_xml=xml, maxlog=64)
+        engine = service.engine
+        # The two prepared probes of the binding boundary: an identity
+        # round-trip and a document search using the bound value.
+        echo = engine.prepare("string($v)")
+        probe = engine.prepare("count($auction//item[@id = $v])")
+        store = engine.store
+        scratch = Engine()
+        started = time.perf_counter()
+        try:
+            for index in range(self.cases):
+                channel, payload = corpus.case(index)
+                report.per_channel[channel] = (
+                    report.per_channel.get(channel, 0) + 1
+                )
+                if channel == "parser" and index % self._SCRATCH_RECYCLE == 0:
+                    scratch = Engine()
+                case_start = time.perf_counter()
+                try:
+                    if channel == "binding":
+                        version_before = store._version
+                        out = echo.execute(
+                            bindings={"v": payload}
+                        ).first_value()
+                        if out != payload:
+                            report.escapes.append(
+                                f"case {index}: string($v) round-trip "
+                                f"mutated the value ({payload!r:.80} -> "
+                                f"{out!r:.80})"
+                            )
+                        count = probe.execute(
+                            bindings={"v": payload}
+                        ).first_value()
+                        if not isinstance(count, int) or count < 0:
+                            report.escapes.append(
+                                f"case {index}: search probe returned "
+                                f"{count!r}, not a count"
+                            )
+                        if store._version != version_before:
+                            report.escapes.append(
+                                f"case {index}: bound value "
+                                f"{payload!r:.80} mutated the store"
+                            )
+                    elif channel == "parser":
+                        # Front-door discipline: admission first, then
+                        # parse+compile on a scratch engine.  Hostile
+                        # text is NEVER executed.
+                        self.limits.check_query_text(payload)
+                        scratch.prepare(payload)
+                    else:
+                        if payload.lstrip().startswith("<?"):
+                            parse_document(payload)
+                        else:
+                            parse_fragment(payload)
+                except XQueryError as error:
+                    code = error.code
+                    if code:
+                        report.refused[code] = (
+                            report.refused.get(code, 0) + 1
+                        )
+                    else:  # a typed class without a code is still a crash
+                        report.crashes.append(
+                            f"case {index} [{channel}]: code-less "
+                            f"{type(error).__name__}: {error}"
+                        )
+                except Exception as error:  # noqa: BLE001 - the finding
+                    report.crashes.append(
+                        f"case {index} [{channel}]: "
+                        f"{type(error).__name__}: {error!s:.160} "
+                        f"(payload {payload!r:.80})"
+                    )
+                else:
+                    report.successes += 1
+                case_s = time.perf_counter() - case_start
+                if case_s > self.case_budget_s:
+                    report.hangs.append(
+                        f"case {index} [{channel}] took {case_s:.1f}s "
+                        f"(budget {self.case_budget_s:g}s)"
+                    )
+        finally:
+            service.close()
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen.hostile",
+        description=(
+            "Seeded hostile-input fuzz campaign over the parameter-"
+            "binding boundary, the query parser and the document parser. "
+            "Exit 0: every case ended in success or a typed refusal. "
+            "Exit 1: a crash, hang or injection escape was found."
+        ),
+    )
+    parser.add_argument(
+        "--cases", type=int, default=2000,
+        help="number of fuzz cases (default 2000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="corpus seed; same seed replays the same campaign (default 1)",
+    )
+    parser.add_argument(
+        "--budget-ms", type=float, default=5000.0,
+        help="per-case time budget; slower is a hang finding (default 5000)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the summary",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        campaign = FuzzCampaign(
+            cases=args.cases,
+            seed=args.seed,
+            case_budget_s=args.budget_ms / 1000.0,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = campaign.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

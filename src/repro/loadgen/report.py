@@ -1,0 +1,257 @@
+"""The load report: schema, assembly, validation, rendering.
+
+One JSON document per run — the SLO scoreboard CI gates on and every
+scale-out PR reports against.  The schema is versioned
+(``repro.loadgen.report/v1``) and validated by :func:`validate_report`
+(hand-rolled; the container deliberately has no jsonschema dependency),
+and a virtual-mode report is a pure function of the profile seed:
+``json.dumps(..., sort_keys=True)`` of two same-seed runs is
+byte-identical (no wall timestamps, no environment echo).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.slo import SLO
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.loadgen.driver import LoadProfile, RunRecorder
+
+SCHEMA = "repro.loadgen.report/v1"
+
+#: required key -> type (or tuple of types) at each level of the report.
+_TOP_KEYS: dict[str, Any] = {
+    "schema": str,
+    "mode": str,
+    "config": dict,
+    "requests": dict,
+    "rates": dict,
+    "latency_ms": dict,
+    "schedule_lag_ms": dict,
+    "slos": list,
+    "passed": bool,
+    "elapsed_s": (int, float),
+    "counters": dict,
+    "internal_errors": list,
+}
+_REQUEST_KEYS = (
+    "scheduled", "dispatched", "completed", "successes",
+    "shed", "refused_total", "internal_errors",
+)
+_RATE_KEYS = (
+    "throughput_rps", "shed_rate", "refusal_rate", "internal_error_rate",
+)
+_LATENCY_KEYS = ("count", "mean", "p50", "p90", "p99", "p999", "max")
+_SLO_KEYS = ("name", "metric", "direction", "threshold", "observed", "passed")
+
+
+def _ms(us: float) -> float:
+    return round(us / 1000.0, 3)
+
+
+def _histogram_ms(histogram: LatencyHistogram) -> dict:
+    return {
+        "count": histogram.count,
+        "mean": _ms(histogram.mean),
+        "p50": _ms(histogram.percentile(50.0)),
+        "p90": _ms(histogram.percentile(90.0)),
+        "p99": _ms(histogram.percentile(99.0)),
+        "p999": _ms(histogram.percentile(99.9)),
+        "max": _ms(histogram.max_recorded or 0),
+    }
+
+
+def observed_metrics(data: dict) -> dict[str, float]:
+    """The flat metric view the SLO layer evaluates against."""
+    latency = data["latency_ms"]
+    lag = data["schedule_lag_ms"]
+    rates = data["rates"]
+    return {
+        "latency_p50_ms": latency["p50"],
+        "latency_p90_ms": latency["p90"],
+        "latency_p99_ms": latency["p99"],
+        "latency_p999_ms": latency["p999"],
+        "latency_max_ms": latency["max"],
+        "schedule_lag_p99_ms": lag["p99"],
+        "throughput_rps": rates["throughput_rps"],
+        "shed_rate": rates["shed_rate"],
+        "refusal_rate": rates["refusal_rate"],
+        "internal_error_rate": rates["internal_error_rate"],
+    }
+
+
+@dataclass
+class LoadReport:
+    """A finished run's scoreboard."""
+
+    data: dict
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.data["passed"])
+
+    @property
+    def ok(self) -> bool:
+        """Passed every SLO *and* saw zero internal errors."""
+        return self.passed and not self.data["internal_errors"]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.data, sort_keys=True, indent=indent)
+
+    def render(self) -> str:
+        data = self.data
+        requests = data["requests"]
+        rates = data["rates"]
+        latency = data["latency_ms"]
+        lines = [
+            f"loadgen {data['mode']} run: "
+            + ("SLOs PASS" if data["passed"] else "SLOs FAIL"),
+            f"  offered: {data['config']['rate']:g} req/s for "
+            f"{data['config']['duration_s']:g}s "
+            f"(mix {data['config']['mix']}, seed {data['config']['seed']})",
+            f"  requests: {requests['scheduled']} scheduled, "
+            f"{requests['successes']} ok, {requests['refused_total']} "
+            f"refused ({requests['shed']} shed), "
+            f"{requests['internal_errors']} internal",
+            f"  throughput: {rates['throughput_rps']:.1f} req/s   "
+            f"shed rate: {rates['shed_rate']:.3%}",
+            f"  latency ms: p50={latency['p50']:g} p90={latency['p90']:g} "
+            f"p99={latency['p99']:g} p999={latency['p999']:g} "
+            f"max={latency['max']:g}",
+            f"  schedule lag ms: p99={data['schedule_lag_ms']['p99']:g} "
+            f"max={data['schedule_lag_ms']['max']:g}",
+        ]
+        for verdict in data["slos"]:
+            mark = "PASS" if verdict["passed"] else "FAIL"
+            lines.append(
+                f"  {mark}  {verdict['name']}: {verdict['metric']} "
+                f"{verdict['observed']:g} {verdict['direction']} "
+                f"{verdict['threshold']:g}"
+            )
+        if data["internal_errors"]:
+            lines.append(
+                f"  INTERNAL ERRORS: {data['internal_errors'][:3]}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    *,
+    profile: "LoadProfile",
+    mode: str,
+    recorder: "RunRecorder",
+    elapsed_s: float,
+    slos: list[SLO],
+    counters: dict,
+) -> LoadReport:
+    """Assemble and judge one run's report."""
+    scheduled = profile.scheduled_requests
+    denominator = max(1, scheduled)
+    data: dict = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "config": profile.to_dict(),
+        "requests": {
+            "scheduled": scheduled,
+            "dispatched": recorder.dispatched,
+            "completed": recorder.completed,
+            "successes": recorder.successes,
+            "shed": recorder.shed,
+            "refused_total": recorder.refused_total,
+            "internal_errors": recorder.internal_count,
+            "refusals": dict(sorted(recorder.refusals.items())),
+        },
+        "rates": {
+            "throughput_rps": round(
+                recorder.successes / elapsed_s if elapsed_s > 0 else 0.0, 3
+            ),
+            "shed_rate": round(recorder.shed / denominator, 6),
+            "refusal_rate": round(recorder.refused_total / denominator, 6),
+            "internal_error_rate": round(
+                recorder.internal_count / denominator, 6
+            ),
+        },
+        "latency_ms": _histogram_ms(recorder.latency),
+        "schedule_lag_ms": _histogram_ms(recorder.schedule_lag),
+        "elapsed_s": round(elapsed_s, 6),
+        "counters": counters,
+        "internal_errors": list(recorder.internal_errors[:8]),
+    }
+    metrics = observed_metrics(data)
+    verdicts = [slo.evaluate(metrics[slo.metric]) for slo in slos]
+    data["slos"] = [verdict.to_dict() for verdict in verdicts]
+    data["passed"] = all(verdict.passed for verdict in verdicts)
+    return LoadReport(data)
+
+
+def validate_report(data: dict) -> list[str]:
+    """Validate *data* against the v1 report schema.
+
+    Returns a list of problems (empty = valid).  The checks cover key
+    presence, types, the schema tag, and cross-field consistency
+    (counts add up, rates in range, SLO entries well-formed).
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["report is not an object"]
+    for key, expected in _TOP_KEYS.items():
+        if key not in data:
+            problems.append(f"missing key: {key}")
+        elif not isinstance(data[key], expected):
+            problems.append(
+                f"{key}: expected {expected}, got {type(data[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if data["schema"] != SCHEMA:
+        problems.append(
+            f"schema: expected {SCHEMA!r}, got {data['schema']!r}"
+        )
+    if data["mode"] not in ("wall", "virtual"):
+        problems.append(f"mode: unknown mode {data['mode']!r}")
+    requests = data["requests"]
+    for key in _REQUEST_KEYS:
+        if not isinstance(requests.get(key), int):
+            problems.append(f"requests.{key}: missing or not an int")
+    if not isinstance(requests.get("refusals"), dict):
+        problems.append("requests.refusals: missing or not an object")
+    for key in _RATE_KEYS:
+        value = data["rates"].get(key)
+        if not isinstance(value, (int, float)):
+            problems.append(f"rates.{key}: missing or not a number")
+        elif key != "throughput_rps" and not 0.0 <= value <= 1.0:
+            problems.append(f"rates.{key}: {value} outside [0, 1]")
+    for section in ("latency_ms", "schedule_lag_ms"):
+        for key in _LATENCY_KEYS:
+            if not isinstance(data[section].get(key), (int, float)):
+                problems.append(f"{section}.{key}: missing or not a number")
+    for index, verdict in enumerate(data["slos"]):
+        if not isinstance(verdict, dict):
+            problems.append(f"slos[{index}]: not an object")
+            continue
+        for key in _SLO_KEYS:
+            if key not in verdict:
+                problems.append(f"slos[{index}].{key}: missing")
+    if not problems:
+        if requests["completed"] > requests["dispatched"]:
+            problems.append("requests: completed exceeds dispatched")
+        accounted = (
+            requests["successes"]
+            + requests["refused_total"]
+            + requests["internal_errors"]
+        )
+        if accounted > requests["dispatched"]:
+            problems.append(
+                "requests: outcomes exceed dispatched "
+                f"({accounted} > {requests['dispatched']})"
+            )
+        if sum(requests["refusals"].values()) != requests["refused_total"]:
+            problems.append("requests.refusals: per-code counts disagree "
+                            "with refused_total")
+        if data["passed"] != all(v["passed"] for v in data["slos"]):
+            problems.append("passed: disagrees with per-SLO verdicts")
+    return problems

@@ -31,6 +31,7 @@ The subsystem invariant the harness asserts (and
 from __future__ import annotations
 
 import os
+import sys
 import tempfile
 import threading
 import time
@@ -107,6 +108,8 @@ class ChaosReport:
     read_successes: int = 0
     write_successes: int = 0
     write_failures: int = 0
+    hostile_cases: int = 0
+    injection_escapes: list[str] = field(default_factory=list)
     total_entries_live: int = 0
     total_entries_recovered: int = 0
     faults_fired: dict[str, int] = field(default_factory=dict)
@@ -127,11 +130,34 @@ class ChaosReport:
         """The whole subsystem invariant (see the module docstring)."""
         return (
             self.all_typed
+            and not self.injection_escapes
             and self.store_invariants_ok
             and self.accounting_ok
             and self.durability_consistent
             and self.recovered_healthy
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.chaos.report/v1",
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "unexpected": self.unexpected[:16],
+            "read_successes": self.read_successes,
+            "write_successes": self.write_successes,
+            "write_failures": self.write_failures,
+            "hostile_cases": self.hostile_cases,
+            "injection_escapes": self.injection_escapes[:16],
+            "total_entries_live": self.total_entries_live,
+            "total_entries_recovered": self.total_entries_recovered,
+            "faults_fired": dict(sorted(self.faults_fired.items())),
+            "degraded_observed": self.degraded_observed,
+            "recovered_healthy": self.recovered_healthy,
+            "store_invariants_ok": self.store_invariants_ok,
+            "accounting_ok": self.accounting_ok,
+            "durability_consistent": self.durability_consistent,
+            "final_status": self.final_status,
+            "invariant_holds": self.invariant_holds,
+        }
 
     def render(self) -> str:
         lines = [
@@ -148,6 +174,15 @@ class ChaosReport:
             f"  returned to healthy: {self.recovered_healthy} "
             f"(final status: {self.final_status})",
         ]
+        if self.hostile_cases:
+            lines.append(
+                f"  hostile cases: {self.hostile_cases} "
+                f"(injection escapes: {len(self.injection_escapes)})"
+            )
+        if self.injection_escapes:
+            lines.append(
+                f"  INJECTION ESCAPES: {self.injection_escapes[:5]}"
+            )
         if self.unexpected:
             lines.append(f"  UNTYPED ERRORS: {self.unexpected[:5]}")
         return "\n".join(lines)
@@ -171,6 +206,15 @@ class ChaosHarness:
         path: durable directory (a temp dir is created — and kept, for
             post-mortems — when omitted).
         readers / writers: client thread counts.
+        hostile: hostile client thread count (0 disables).  Each cycles
+            a :class:`~repro.loadgen.hostile.HostileCorpus` against the
+            stack *while the faults fire*: binding payloads go through
+            the executor's parameter-binding boundary (round-trip
+            checked — a mutation is an injection escape and fails the
+            invariant), hostile query text goes through admission plus
+            a scratch engine's prepare, hostile XML through the
+            document parser.
+        hostile_seed: corpus seed for the hostile clients.
         request_timeout_ms: per-request deadline.
         policy: resilience policy for the stack (defaults to breaker on,
             latency-aware shedding, modest per-query limits).
@@ -184,6 +228,8 @@ class ChaosHarness:
         path: str | None = None,
         readers: int = 3,
         writers: int = 2,
+        hostile: int = 0,
+        hostile_seed: int = 1,
         workers: int = 4,
         queue_size: int = 16,
         request_timeout_ms: float = 2000.0,
@@ -197,6 +243,8 @@ class ChaosHarness:
         )
         self.readers = readers
         self.writers = writers
+        self.hostile = hostile
+        self.hostile_seed = hostile_seed
         self.workers = workers
         self.queue_size = queue_size
         self.request_timeout_ms = request_timeout_ms
@@ -271,7 +319,7 @@ class ChaosHarness:
                 if outcome == SUCCESS:
                     if kind == "read":
                         report.read_successes += 1
-                    else:
+                    elif kind == "write":
                         report.write_successes += 1
                 elif kind == "write":
                     report.write_failures += 1
@@ -296,6 +344,50 @@ class ChaosHarness:
                 # A short breath keeps the queue contended but not
                 # permanently saturated, so sheds and successes mix.
                 time.sleep(0.002 if kind == "read" else 0.005)
+
+        def hostile_client(thread_index: int) -> None:
+            # Hostile traffic mixed into the fault windows: the typed-
+            # refusal and binding-inertness contracts must hold under
+            # load and partial failure, not just in isolation.
+            from repro.engine import Engine
+            from repro.loadgen.hostile import HostileCorpus
+            from repro.resilience.admission import AdmissionLimits
+            from repro.xmlio.parser import parse_fragment
+
+            corpus = HostileCorpus(self.hostile_seed + thread_index)
+            limits = AdmissionLimits(max_query_bytes=32768, max_depth=128)
+            scratch = Engine()
+            index = 0
+            while not stop.is_set():
+                channel, payload = corpus.case(index)
+                index += 1
+                if channel == "parser" and index % 256 == 0:
+                    scratch = Engine()  # bound the prepared-cache growth
+                try:
+                    if channel == "binding":
+                        out = front.submit_query(
+                            "string($v)",
+                            {"v": payload},
+                            timeout_ms=self.request_timeout_ms,
+                        ).result().first_value()
+                        if out != payload:
+                            with mutex:
+                                report.injection_escapes.append(
+                                    f"binding round-trip mutated "
+                                    f"{payload!r:.80} -> {out!r:.80}"
+                                )
+                    elif channel == "parser":
+                        limits.check_query_text(payload)
+                        scratch.prepare(payload)
+                    else:
+                        parse_fragment(payload)
+                except BaseException as error:  # noqa: BLE001 - classified
+                    record("hostile", error)
+                else:
+                    record("hostile", None)
+                with mutex:
+                    report.hostile_cases += 1
+                time.sleep(0.001)
 
         def chaos_driver() -> None:
             sched = self.schedule
@@ -356,6 +448,12 @@ class ChaosHarness:
             threads.append(
                 threading.Thread(
                     target=client, args=("write", index * 13), daemon=True
+                )
+            )
+        for index in range(self.hostile):
+            threads.append(
+                threading.Thread(
+                    target=hostile_client, args=(index,), daemon=True
                 )
             )
         for thread in threads:
@@ -463,10 +561,60 @@ def _count(items: list) -> dict[str, int]:
     return out
 
 
-def main() -> int:  # pragma: no cover - exercised via the CLI/CI job
-    """``python -m repro.resilience.chaos`` — run the full schedule."""
-    report = ChaosHarness().run()
-    print(report.render())
+def main(argv: list | None = None) -> int:
+    """``python -m repro.resilience.chaos`` — run the full schedule.
+
+    Exit codes: 0 — the whole-stack invariant held; 1 — an invariant
+    violation (untyped error, injection escape, store/accounting/
+    durability mismatch, failed recovery); 2 — the harness itself
+    crashed before producing a verdict.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.chaos",
+        description=(
+            "Whole-stack chaos harness: drive the durable auction "
+            "service through overlapping fault windows and assert the "
+            "typed-refusal / consistency / recovery invariants."
+        ),
+    )
+    parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="run duration in seconds (default 4)",
+    )
+    parser.add_argument(
+        "--hostile", type=int, default=0, metavar="N",
+        help="mix in N hostile client threads (fuzz under faults)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="hostile corpus seed (default 1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the summary",
+    )
+    args = parser.parse_args(argv)
+    try:
+        harness = ChaosHarness(
+            ChaosSchedule.everything(duration_s=args.duration),
+            hostile=args.hostile,
+            hostile_seed=args.seed,
+        )
+        report = harness.run()
+    except Exception as error:  # noqa: BLE001 - the harness itself broke
+        print(
+            f"chaos harness crashed before a verdict: "
+            f"{type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.render())
     return 0 if report.invariant_holds else 1
 
 

@@ -385,6 +385,27 @@ class AuctionFrontEnd:
 
     # -- asynchronous service calls ---------------------------------------
 
+    def submit_query(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> "Future[QueryResult]":
+        """Submit arbitrary *query* text through the serving stack.
+
+        Caller-supplied values go in *bindings* — bound as data through
+        the parameter-binding boundary, never spliced into the query
+        text.  This is the load driver's entry point; admission control
+        and queue bounds apply exactly as for the named service calls.
+        """
+        return self.executor.submit(
+            query,
+            bindings=bindings,
+            timeout_ms=timeout_ms,
+            cancel=cancel,
+        )
+
     def submit_get_item(
         self,
         itemid: str,

@@ -111,18 +111,27 @@ def _decode(text: str, sc: _Scanner) -> str:
 def parse_document(text: str, store: Store | None = None) -> Node:
     """Parse an XML document; return the document node handle.
 
-    A fresh store is created unless one is supplied.
+    A fresh store is created unless one is supplied.  Hostile input —
+    however malformed, nested or oversized — yields a typed
+    :class:`~repro.errors.XMLParseError`, never an untyped crash: a
+    document nested beyond the interpreter's recursion headroom is
+    refused, not allowed to blow the stack.
     """
     store = store if store is not None else Store()
     sc = _Scanner(text)
     doc = store.create_document()
-    _parse_prolog(sc)
-    _parse_misc(sc, store, doc)
-    if sc.eof() or sc.peek() != "<":
-        raise sc.error("expected a root element")
-    root = _parse_element(sc, store)
-    store.append_child(doc, root)
-    _parse_misc(sc, store, doc)
+    try:
+        _parse_prolog(sc)
+        _parse_misc(sc, store, doc)
+        if sc.eof() or sc.peek() != "<":
+            raise sc.error("expected a root element")
+        root = _parse_element(sc, store)
+        store.append_child(doc, root)
+        _parse_misc(sc, store, doc)
+    except RecursionError:
+        raise sc.error(
+            "document nests too deeply to parse; refused"
+        ) from None
     sc.skip_whitespace()
     if not sc.eof():
         raise sc.error("content after the root element")
@@ -133,14 +142,21 @@ def parse_fragment(text: str, store: Store | None = None) -> Node:
     """Parse a single element (no XML declaration); return its handle.
 
     The element is parentless — convenient for constructing test fixtures
-    and for the examples' literal data.
+    and for the examples' literal data.  Same hostile-input contract as
+    :func:`parse_document`: malformed or absurdly nested input is a
+    typed refusal, never a crash.
     """
     store = store if store is not None else Store()
     sc = _Scanner(text)
     sc.skip_whitespace()
     if sc.eof() or sc.peek() != "<":
         raise sc.error("expected an element")
-    nid = _parse_element(sc, store)
+    try:
+        nid = _parse_element(sc, store)
+    except RecursionError:
+        raise sc.error(
+            "document nests too deeply to parse; refused"
+        ) from None
     sc.skip_whitespace()
     if not sc.eof():
         raise sc.error("content after the element")

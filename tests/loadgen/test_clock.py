@@ -1,0 +1,61 @@
+"""Clocks: wall time blocks, virtual time jumps, neither goes backwards."""
+
+import time
+
+import pytest
+
+from repro.loadgen import VirtualClock, WallClock
+
+
+class TestWallClock:
+    def test_now_is_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+        assert clock.real is True
+
+    def test_sleep_until_blocks_to_the_deadline(self):
+        clock = WallClock()
+        start = clock.now()
+        clock.sleep_until(start + 0.02)
+        assert clock.now() >= start + 0.02
+
+    def test_sleep_until_past_deadline_is_a_noop(self):
+        clock = WallClock()
+        start = time.monotonic()
+        clock.sleep_until(clock.now() - 10.0)
+        assert time.monotonic() - start < 0.5
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_jumps(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        assert clock.real is False
+        clock.sleep_until(12.5)
+        assert clock.now() == 12.5
+
+    def test_never_moves_backwards(self):
+        clock = VirtualClock()
+        clock.sleep_until(5.0)
+        clock.sleep_until(1.0)  # a past deadline is a no-op
+        assert clock.now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance(3.0)
+        assert clock.now() == 5.0
+
+    def test_advance_refuses_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_no_wall_time_involved(self):
+        # A "20 second" virtual schedule completes instantly.
+        clock = VirtualClock()
+        start = time.monotonic()
+        for i in range(2000):
+            clock.sleep_until(i * 0.01)
+        assert clock.now() == pytest.approx(19.99)
+        assert time.monotonic() - start < 1.0

@@ -1,0 +1,136 @@
+"""Virtual-time driver: determinism, shedding, deadlines, live outcomes.
+
+The acceptance property: a virtual-time run is a *pure function of the
+profile seed* — two same-seed runs serialize to byte-identical JSON.
+"""
+
+import pytest
+
+from repro.loadgen import (
+    LoadDriver,
+    LoadProfile,
+    Workload,
+    validate_report,
+)
+
+
+def run_virtual(profile: LoadProfile, *, live: bool = False):
+    return LoadDriver(profile, mode="virtual", live=live).run()
+
+
+class TestDeterminism:
+    def test_same_seed_bit_for_bit(self):
+        profile = LoadProfile(rate=200.0, duration_s=3.0, seed=42)
+        a = run_virtual(profile).to_json()
+        b = run_virtual(profile).to_json()
+        assert a == b
+
+    def test_same_seed_bit_for_bit_live(self):
+        # Live mode runs real engine operations; outcomes and report
+        # must still be deterministic (single-threaded simulation,
+        # modeled durations).
+        profile = LoadProfile(
+            rate=60.0, duration_s=2.0, seed=7, items=6, persons=6
+        )
+        a = run_virtual(profile, live=True).to_json()
+        b = run_virtual(profile, live=True).to_json()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        base = LoadProfile(rate=200.0, duration_s=3.0, seed=1,
+                           arrivals="poisson")
+        other = LoadProfile(rate=200.0, duration_s=3.0, seed=2,
+                            arrivals="poisson")
+        assert run_virtual(base).to_json() != run_virtual(other).to_json()
+
+    def test_workload_stream_is_seed_deterministic(self):
+        ops_a = [Workload("xmark-rw", 5).operation() for _ in range(50)]
+        ops_b = [Workload("xmark-rw", 5).operation() for _ in range(50)]
+        assert ops_a == ops_b
+        ops_c = [Workload("xmark-rw", 6).operation() for _ in range(50)]
+        assert ops_a != ops_c
+
+
+class TestVirtualSemantics:
+    def test_report_validates_and_counts_add_up(self):
+        profile = LoadProfile(rate=100.0, duration_s=2.0)
+        report = run_virtual(profile)
+        data = report.data
+        assert validate_report(data) == []
+        assert data["mode"] == "virtual"
+        requests = data["requests"]
+        assert requests["scheduled"] == 200
+        assert requests["dispatched"] == 200
+        assert (
+            requests["successes"]
+            + requests["refused_total"]
+            + requests["internal_errors"]
+            == 200
+        )
+
+    def test_overload_sheds_with_registry_code(self):
+        # 2000 req/s against 1 worker with a 4-deep queue: the modeled
+        # backlog must shed most arrivals with the REPR0003 code.
+        profile = LoadProfile(
+            rate=2000.0, duration_s=1.0, workers=1, queue_size=4
+        )
+        data = run_virtual(profile).data
+        assert data["requests"]["shed"] > 0
+        assert data["requests"]["refusals"].get("REPR0003", 0) == \
+            data["requests"]["shed"]
+
+    def test_slow_service_times_out_with_registry_code(self):
+        # A 0.1ms deadline is below every modeled service time: every
+        # dispatched request that is not shed must end REPR0001.
+        profile = LoadProfile(
+            rate=50.0, duration_s=1.0, timeout_ms=0.1
+        )
+        data = run_virtual(profile).data
+        refusals = data["requests"]["refusals"]
+        assert refusals.get("REPR0001", 0) > 0
+        assert data["requests"]["successes"] == 0
+        # Timeouts are not sheds: latency SLOs see the deadline, the
+        # shed SLO stays clean.
+        assert data["requests"]["shed"] == 0
+
+    def test_live_run_produces_real_successes(self):
+        profile = LoadProfile(
+            rate=40.0, duration_s=1.0, items=6, persons=6
+        )
+        data = run_virtual(profile, live=True).data
+        assert data["requests"]["successes"] > 0
+        assert data["requests"]["internal_errors"] == 0
+
+    def test_no_wall_time_in_the_report(self):
+        profile = LoadProfile(rate=500.0, duration_s=20.0)
+        data = run_virtual(profile).data
+        # elapsed is virtual: a 20s schedule reports ~20s regardless of
+        # how fast the simulation actually ran.
+        assert data["elapsed_s"] >= 20.0
+        assert data["elapsed_s"] < 25.0
+
+
+class TestProfileValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            LoadProfile(rate=0.0)
+
+    def test_rejects_unknown_arrivals(self):
+        with pytest.raises(ValueError):
+            LoadProfile(arrivals="bursty")
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            Workload("xmark-nope", 1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            LoadDriver(LoadProfile(), mode="warp")
+
+    def test_poisson_arrivals_are_sorted_and_seeded(self):
+        profile = LoadProfile(rate=100.0, duration_s=2.0,
+                              arrivals="poisson", seed=3)
+        times = profile.arrival_times()
+        assert times == sorted(times)
+        assert len(times) == 200
+        assert times == profile.arrival_times()

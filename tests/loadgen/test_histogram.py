@@ -1,0 +1,146 @@
+"""Histogram percentile math against a sorted-list reference.
+
+The contract under test: bounded relative error (one part in 1024) and
+the HdrHistogram highest-equivalent-value convention — a reported
+percentile never *understates* the observed latency at that rank.
+"""
+
+import random
+
+import pytest
+
+from repro.loadgen import LatencyHistogram
+
+
+def reference_percentile(values: list[int], p: float) -> int:
+    """Nearest-rank percentile on the exact sample list."""
+    ordered = sorted(values)
+    rank = max(1, round(len(ordered) * (p / 100.0)))
+    return ordered[rank - 1]
+
+
+def assert_close(observed: int, exact: int) -> None:
+    """Highest-equivalent convention: never below the exact value, and
+    at most one sub-bucket width (value/1024 + 1) above it."""
+    assert observed >= exact
+    assert observed <= exact + exact // 1024 + 1
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [1, 7, 20060329])
+    def test_uniform_samples(self, seed):
+        rng = random.Random(seed)
+        values = [rng.randrange(0, 5_000_000) for _ in range(5000)]
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        for p in (50.0, 90.0, 99.0, 99.9, 100.0):
+            assert_close(
+                histogram.percentile(p), reference_percentile(values, p)
+            )
+
+    def test_lognormal_samples(self):
+        rng = random.Random(99)
+        values = [
+            int(rng.lognormvariate(9.0, 1.5)) for _ in range(20000)
+        ]
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        for p in (50.0, 99.0, 99.9):
+            assert_close(
+                histogram.percentile(p), reference_percentile(values, p)
+            )
+
+    def test_small_values_are_exact(self):
+        # The bottom bucket is linear at 1us resolution: exact.
+        histogram = LatencyHistogram()
+        for value in (0, 1, 2, 500, 1000, 1023):
+            histogram.record(value)
+        assert histogram.percentile(100.0) == 1023
+        assert histogram.min_recorded == 0
+        assert histogram.max_recorded == 1023
+
+
+class TestRecording:
+    def test_mean_and_count(self):
+        histogram = LatencyHistogram()
+        histogram.record(100, count=3)
+        histogram.record(200)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(125.0)
+
+    def test_negative_values_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-50)
+        assert histogram.count == 1
+        assert histogram.min_recorded == 0
+
+    def test_over_max_values_clamp_and_still_count(self):
+        histogram = LatencyHistogram(max_value_us=1_000_000)
+        histogram.record(5_000_000)
+        assert histogram.count == 1
+        assert histogram.max_recorded == 1_000_000
+
+    def test_record_corrected_synthesizes_missing_samples(self):
+        # A 100ms stall observed under a 10ms expected interval hides
+        # 9 delayed samples; the corrected record restores them.
+        histogram = LatencyHistogram()
+        histogram.record_corrected(100_000, expected_interval_us=10_000)
+        assert histogram.count == 10
+
+    def test_record_corrected_fast_value_records_once(self):
+        histogram = LatencyHistogram()
+        histogram.record_corrected(5_000, expected_interval_us=10_000)
+        assert histogram.count == 1
+
+
+class TestMerge:
+    def test_merge_equals_recording_into_one(self):
+        rng = random.Random(4)
+        values = [rng.randrange(0, 1_000_000) for _ in range(2000)]
+        merged = LatencyHistogram()
+        one = LatencyHistogram()
+        two = LatencyHistogram()
+        for index, value in enumerate(values):
+            (one if index % 2 else two).record(value)
+            merged.record(value)
+        one.merge(two)
+        assert one.count == merged.count
+        assert one.total == merged.total
+        assert one.min_recorded == merged.min_recorded
+        assert one.max_recorded == merged.max_recorded
+        for p in (50.0, 99.0, 99.9):
+            assert one.percentile(p) == merged.percentile(p)
+
+    def test_merge_rejects_different_ranges(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(max_value_us=10_000))
+
+
+class TestQueries:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(99.0) == 0
+        assert histogram.mean == 0.0
+        assert histogram.to_dict()["count"] == 0
+
+    def test_percentile_domain(self):
+        histogram = LatencyHistogram()
+        histogram.record(10)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101.0)
+
+    def test_to_dict_labels(self):
+        histogram = LatencyHistogram()
+        histogram.record(1000)
+        payload = histogram.to_dict()
+        for key in ("count", "min_us", "max_us", "mean_us",
+                    "p50_us", "p90_us", "p99_us", "p999_us"):
+            assert key in payload
+
+    def test_constructor_rejects_tiny_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_value_us=100)

@@ -1,0 +1,92 @@
+"""Hostile corpus determinism and small-campaign behavior."""
+
+import json
+
+from repro.loadgen.hostile import (
+    CHANNELS,
+    FuzzCampaign,
+    FuzzReport,
+    HostileCorpus,
+)
+
+
+class TestCorpusDeterminism:
+    def test_case_is_pure_in_seed_and_index(self):
+        a = HostileCorpus(seed=7)
+        b = HostileCorpus(seed=7)
+        for index in (0, 1, 17, 999, 12345):
+            assert a.case(index) == b.case(index)
+        # Re-querying the same instance out of order changes nothing.
+        assert a.case(17) == b.case(17)
+
+    def test_different_seeds_differ(self):
+        a = [HostileCorpus(seed=1).case(i) for i in range(200)]
+        b = [HostileCorpus(seed=2).case(i) for i in range(200)]
+        assert a != b
+
+    def test_channels_are_the_declared_ones(self):
+        seen = {HostileCorpus(seed=3).case(i)[0] for i in range(400)}
+        assert seen == set(CHANNELS)
+
+    def test_payloads_are_strings(self):
+        corpus = HostileCorpus(seed=5)
+        for index in range(200):
+            channel, payload = corpus.case(index)
+            assert channel in CHANNELS
+            assert isinstance(payload, str)
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        report = FuzzCampaign(cases=150, seed=1).run()
+        assert report.ok, report.render()
+        assert report.crashes == []
+        assert report.hangs == []
+        assert report.escapes == []
+        assert report.successes + report.refused_total == 150
+        # All three channels got exercised even in a small run.
+        assert set(report.per_channel) == set(CHANNELS)
+        assert sum(report.per_channel.values()) == 150
+
+    def test_campaign_is_replayable(self):
+        one = FuzzCampaign(cases=60, seed=9).run().to_dict()
+        two = FuzzCampaign(cases=60, seed=9).run().to_dict()
+        # elapsed_s is wall time; everything else is deterministic.
+        one.pop("elapsed_s")
+        two.pop("elapsed_s")
+        assert one == two
+
+    def test_report_json_round_trips(self):
+        report = FuzzCampaign(cases=40, seed=2).run()
+        data = json.loads(json.dumps(report.to_dict(), sort_keys=True))
+        assert data["schema"] == "repro.loadgen.fuzz/v1"
+        assert data["cases"] == 40
+        assert data["ok"] is True
+        assert data["refused_total"] == sum(data["refused"].values())
+
+    def test_rejects_nonpositive_cases(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FuzzCampaign(cases=0)
+
+
+class TestVerdict:
+    def test_crash_fails_the_campaign(self):
+        report = FuzzReport(cases=1, seed=1, successes=1)
+        assert report.ok
+        report.crashes.append("case 0 [parser]: KeyError: boom")
+        assert not report.ok
+        assert "CRASHES" in report.render()
+        assert report.to_dict()["ok"] is False
+
+    def test_unaccounted_case_fails_the_campaign(self):
+        report = FuzzReport(cases=5, seed=1, successes=3)
+        report.refused["XPST0003"] = 1
+        assert not report.ok  # 3 + 1 != 5
+
+    def test_escape_fails_even_when_counts_add_up(self):
+        report = FuzzReport(cases=2, seed=1, successes=2)
+        report.escapes.append("case 1: store mutated")
+        assert not report.ok
+        assert "INJECTION ESCAPES" in report.render()

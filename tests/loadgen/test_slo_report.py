@@ -1,0 +1,205 @@
+"""SLO verdicts, override parsing, report assembly and schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError, ServiceOverloadedError
+from repro.loadgen import (
+    SLO,
+    LoadProfile,
+    RunRecorder,
+    build_report,
+    default_slos,
+    parse_slo_overrides,
+    validate_report,
+)
+
+
+class TestSLO:
+    def test_upper_bound_metric(self):
+        slo = SLO("p99", "latency_p99_ms", 500.0)
+        assert slo.evaluate(499.0).passed
+        assert slo.evaluate(500.0).passed
+        assert not slo.evaluate(500.1).passed
+
+    def test_lower_bound_metric(self):
+        slo = SLO("tput", "throughput_rps", 90.0)
+        assert slo.evaluate(95.0).passed
+        assert not slo.evaluate(89.9).passed
+
+    def test_unknown_metric_refused(self):
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            SLO("x", "made_up_metric", 1.0)
+
+    def test_verdict_payload(self):
+        verdict = SLO("p99", "latency_p99_ms", 500.0).evaluate(123.4)
+        payload = verdict.to_dict()
+        assert payload == {
+            "name": "p99",
+            "metric": "latency_p99_ms",
+            "direction": "<=",
+            "threshold": 500.0,
+            "observed": 123.4,
+            "passed": True,
+        }
+
+    def test_default_slos_scale_throughput_with_rate(self):
+        slos = {slo.metric: slo for slo in default_slos(200.0)}
+        assert slos["throughput_rps"].threshold == pytest.approx(180.0)
+        assert slos["internal_error_rate"].threshold == 0.0
+
+    def test_overrides_replace_and_append(self):
+        base = default_slos(100.0)
+        out = parse_slo_overrides(
+            ["latency_p99_ms=250", "latency_max_ms=5000"], base
+        )
+        by_metric = {slo.metric: slo for slo in out}
+        assert by_metric["latency_p99_ms"].threshold == 250.0
+        assert by_metric["latency_p99_ms"].name == "p99-latency"
+        assert by_metric["latency_max_ms"].threshold == 5000.0
+        assert len(out) == len(base) + 1
+
+    def test_override_without_equals_refused(self):
+        with pytest.raises(ValueError, match="expected metric=threshold"):
+            parse_slo_overrides(["latency_p99_ms"], default_slos(1.0))
+
+
+def _recorder_with_outcomes() -> RunRecorder:
+    recorder = RunRecorder()
+    for index in range(90):
+        recorder.record_dispatch(0.001)
+        recorder.record_outcome(index * 0.01, index * 0.01 + 0.004, None)
+    for index in range(8):
+        recorder.record_dispatch(0.001)
+        recorder.record_outcome(
+            0.0, 0.0,
+            ServiceOverloadedError("shed", queue_depth=4, queue_capacity=4),
+        )
+    recorder.record_dispatch(0.001)
+    recorder.record_outcome(0.0, 0.01, ParseError("hostile text refused"))
+    recorder.record_dispatch(0.001)
+    recorder.record_outcome(0.0, 0.01, RuntimeError("engine bug"))
+    return recorder
+
+
+class TestBuildReport:
+    def test_assembles_and_judges(self):
+        profile = LoadProfile(rate=10.0, duration_s=10.0)
+        report = build_report(
+            profile=profile,
+            mode="virtual",
+            recorder=_recorder_with_outcomes(),
+            elapsed_s=10.0,
+            slos=default_slos(profile.rate),
+            counters={},
+        )
+        data = report.data
+        assert validate_report(data) == []
+        assert data["requests"]["scheduled"] == 100
+        assert data["requests"]["successes"] == 90
+        assert data["requests"]["shed"] == 8
+        assert data["requests"]["refusals"]["REPR0003"] == 8
+        assert data["requests"]["refusals"]["XPST0003"] == 1
+        assert data["requests"]["internal_errors"] == 1
+        assert data["rates"]["throughput_rps"] == pytest.approx(9.0)
+        # The internal error fails the zero-internal-errors SLO.
+        assert not data["passed"]
+        assert not report.ok
+        assert "engine bug" in data["internal_errors"][0]
+
+    def test_shed_rate_fails_its_slo(self):
+        profile = LoadProfile(rate=10.0, duration_s=10.0)
+        report = build_report(
+            profile=profile,
+            mode="virtual",
+            recorder=_recorder_with_outcomes(),
+            elapsed_s=10.0,
+            slos=[SLO("shed", "shed_rate", 0.05)],
+            counters={},
+        )
+        assert report.data["rates"]["shed_rate"] == pytest.approx(0.08)
+        assert not report.passed
+
+    def test_json_round_trip_is_sorted(self):
+        profile = LoadProfile(rate=10.0, duration_s=1.0)
+        report = build_report(
+            profile=profile,
+            mode="virtual",
+            recorder=RunRecorder(),
+            elapsed_s=1.0,
+            slos=default_slos(10.0),
+            counters={},
+        )
+        text = report.to_json()
+        assert json.loads(text) == report.data
+        assert text == json.dumps(report.data, sort_keys=True, indent=2)
+
+    def test_render_mentions_verdicts(self):
+        profile = LoadProfile(rate=10.0, duration_s=10.0)
+        report = build_report(
+            profile=profile,
+            mode="virtual",
+            recorder=_recorder_with_outcomes(),
+            elapsed_s=10.0,
+            slos=default_slos(10.0),
+            counters={},
+        )
+        text = report.render()
+        assert "SLOs FAIL" in text
+        assert "no-internal-errors" in text
+
+
+def _valid_report() -> dict:
+    profile = LoadProfile(rate=10.0, duration_s=10.0)
+    return build_report(
+        profile=profile,
+        mode="virtual",
+        recorder=_recorder_with_outcomes(),
+        elapsed_s=10.0,
+        slos=default_slos(10.0),
+        counters={},
+    ).data
+
+
+class TestValidateReport:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report(_valid_report()) == []
+
+    def test_not_an_object(self):
+        assert validate_report([]) == ["report is not an object"]
+
+    def test_missing_key(self):
+        data = _valid_report()
+        del data["latency_ms"]
+        assert any("latency_ms" in p for p in validate_report(data))
+
+    def test_wrong_schema_tag(self):
+        data = _valid_report()
+        data["schema"] = "something/else"
+        assert any("schema" in p for p in validate_report(data))
+
+    def test_unknown_mode(self):
+        data = _valid_report()
+        data["mode"] = "dreamtime"
+        assert any("mode" in p for p in validate_report(data))
+
+    def test_rate_out_of_range(self):
+        data = _valid_report()
+        data["rates"]["shed_rate"] = 1.5
+        assert any("outside [0, 1]" in p for p in validate_report(data))
+
+    def test_refusal_counts_must_add_up(self):
+        data = _valid_report()
+        data["requests"]["refusals"]["REPR0003"] += 1
+        assert any("refusals" in p for p in validate_report(data))
+
+    def test_passed_must_agree_with_verdicts(self):
+        data = _valid_report()
+        data["passed"] = not data["passed"]
+        assert any("disagrees" in p for p in validate_report(data))
+
+    def test_outcomes_cannot_exceed_dispatched(self):
+        data = _valid_report()
+        data["requests"]["successes"] += 1000
+        assert any("exceed" in p for p in validate_report(data))

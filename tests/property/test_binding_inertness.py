@@ -1,0 +1,70 @@
+"""Property: the parameter-binding boundary is inert (CWE-652).
+
+Whatever text an attacker supplies as a *bound value*, it stays a value:
+a prepared ``string($v)`` round-trips it byte-for-byte, a prepared
+search probe still returns a plain count, and the store version never
+moves.  This is the injection-resistance claim the hostile fuzz
+campaign (repro.loadgen.hostile) spot-checks with a seeded corpus;
+here hypothesis searches the input space adversarially.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine
+
+_DOC = (
+    "<site><items>"
+    + "".join(f'<item id="item{i}"><name>n{i}</name></item>' for i in range(4))
+    + "</items></site>"
+)
+
+# Module-scope engine: prepare once, execute per example (fast path).
+_ENGINE = Engine()
+_ENGINE.load_document("doc", _DOC)
+_ECHO = _ENGINE.prepare("string($v)")
+_PROBE = _ENGINE.prepare("count($doc//item[@id = $v])")
+
+# Text strategy biased toward the characters that break quoting and
+# query syntax, on top of full-unicode text.
+_HOSTILE_ALPHABET = st.sampled_from(
+    list("'\"{}<>/[]()$&;:=,!*|@ \t\n") + ["item0", "$doc", "delete",
+                                           "snap", "//", "]]>", "<!--"]
+)
+_TEXT = st.one_of(
+    st.text(max_size=200),
+    st.lists(_HOSTILE_ALPHABET, max_size=40).map("".join),
+)
+
+
+class TestBindingInertness:
+    @given(_TEXT)
+    @settings(max_examples=300, deadline=None)
+    def test_string_round_trip_is_identity(self, payload):
+        version_before = _ENGINE.store._version
+        out = _ECHO.execute(bindings={"v": payload}).first_value()
+        assert out == payload
+        assert _ENGINE.store._version == version_before
+
+    @given(_TEXT)
+    @settings(max_examples=300, deadline=None)
+    def test_search_probe_stays_a_count(self, payload):
+        version_before = _ENGINE.store._version
+        count = _PROBE.execute(bindings={"v": payload}).first_value()
+        assert isinstance(count, int)
+        assert 0 <= count <= 4
+        assert _ENGINE.store._version == version_before
+
+    @given(st.sampled_from([
+        "person0'] | $log | $auction//item['x",
+        "'] , delete { $doc//item } , $doc//item['",
+        "} , snap delete { $doc//item } , {",
+        "item0\" or @id != \"",
+        "'; declare variable $pwn := 1; '",
+    ]), st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_injection_templates_stay_inert(self, template, suffix):
+        payload = template + suffix
+        out = _ECHO.execute(bindings={"v": payload}).first_value()
+        assert out == payload
+        count = _PROBE.execute(bindings={"v": payload}).first_value()
+        assert count == 0
