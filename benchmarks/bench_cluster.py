@@ -1,0 +1,313 @@
+"""Replicated read throughput: the loadgen scoreboard over a fleet.
+
+Drives the same open-loop profile the serving-stack baseline uses
+(``benchmarks/BENCH_loadgen.json``: rate 100, ``xmark-rw``, seed 1) —
+but against an :class:`~repro.usecases.webservice.AuctionFrontEnd`
+whose reads route through a live replica fleet: a primary
+:class:`~repro.durability.DurableEngine` plus N worker subprocesses fed
+journal frames by the :class:`~repro.cluster.ClusterSupervisor`.  The
+point of the comparison: offloading the provably read-only calls to
+replica processes must not cost the scoreboard — p99 stays within a
+disclosed factor of the single-process baseline while the write path
+still runs on the primary, and the observed replication lag is
+recorded alongside.
+
+Record a fresh baseline (rewrites ``benchmarks/BENCH_cluster.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+CI runs the regression gate instead (one short 2-replica run)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+
+Tolerances are deliberately loose and disclosed in the baseline's
+``gate`` block: replica reads cross a process boundary (JSON over a
+socketpair), so per-request latency is *expected* to sit above the
+in-process path — the scoreboard's declared SLOs are the correctness
+bound, the gate catches order-of-magnitude regressions only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_cluster.json")
+LOADGEN_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_loadgen.json"
+)
+
+#: Disclosed gate tolerances (echoed into the baseline file).  20x on
+#: p99 vs the *single-process* loadgen baseline: the replica path adds
+#: a process hop per routed read, and shared CI runners add their own
+#: ~5x of noise on top.
+P99_TOLERANCE_FACTOR = 20.0
+SHED_RATE_MARGIN = 0.10
+
+#: The profile both fleet sizes use — identical to the loadgen
+#: baseline's, so the p99 ratio is apples-to-apples.
+PROFILE_ARGS = {
+    "rate": 100.0,
+    "duration_s": 20.0,
+    "mix": "xmark-rw",
+    "seed": 1,
+}
+
+#: Staleness bound handed to the front end: replicas within this many
+#: journal records of the primary may serve reads.  Generous on
+#: purpose — the bench measures throughput, not freshness; the bound
+#: only has to keep a *stalled* replica out of rotation.
+MAX_LAG_SEQ = 512
+
+REPLICA_COUNTS = (2, 4)
+
+
+class _LagSampler:
+    """Samples the fleet's per-replica lag while the driver runs.
+
+    ``max_lag_seq`` in the result is the worst lag any live replica
+    showed at any sample point — the staleness an operator would have
+    observed, not just the end-of-run value (which quiesces to 0).
+    """
+
+    def __init__(self, supervisor, interval_s: float = 0.05):
+        self._supervisor = supervisor
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-bench-lag", daemon=True
+        )
+        self.max_lag_seq = 0
+        self.samples = 0
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            lags = self._supervisor.replication_lag()
+            known = [lag for lag in lags.values() if lag is not None]
+            if known:
+                self.max_lag_seq = max(self.max_lag_seq, max(known))
+                self.samples += 1
+            time.sleep(self._interval_s)
+
+    def __enter__(self) -> "_LagSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _run_fleet(replicas: int, duration_s: float | None = None) -> dict:
+    """One wall-mode profile run against a *replicas*-wide fleet."""
+    from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+    from repro.loadgen import LoadDriver, LoadProfile
+    from repro.resilience.policy import ResiliencePolicy
+    from repro.usecases.webservice import (
+        SERVICE_MODULE,
+        AuctionFrontEnd,
+        AuctionService,
+    )
+    from repro.xmark import XMarkConfig, generate_auction_xml
+
+    args = dict(PROFILE_ARGS)
+    if duration_s is not None:
+        args["duration_s"] = duration_s
+    profile = LoadProfile(**args)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as path:
+        xml = generate_auction_xml(
+            XMarkConfig(persons=profile.persons, items=profile.items)
+        )
+        service = AuctionService(
+            auction_xml=xml, maxlog=64, durable_path=path
+        )
+        supervisor = ClusterSupervisor(
+            path,
+            primary=service.engine,
+            module_source=SERVICE_MODULE,
+            config=ClusterConfig(
+                replicas=replicas,
+                ship_interval_s=0.02,
+                probe_interval_s=0.1,
+            ),
+        )
+        supervisor.start()
+        front = AuctionFrontEnd(
+            service,
+            workers=profile.workers,
+            queue_size=profile.queue_size,
+            default_timeout_ms=profile.timeout_ms,
+            resilience=ResiliencePolicy(max_wait_ms=profile.timeout_ms),
+            cluster=supervisor,
+            max_lag_seq=MAX_LAG_SEQ,
+        )
+        try:
+            with _LagSampler(supervisor) as sampler:
+                data = LoadDriver(
+                    profile, mode="wall", front=front
+                ).run().data
+        finally:
+            front.shutdown()
+            supervisor.shutdown()
+            service.close()
+
+    return {
+        "replicas": replicas,
+        "max_lag_seq_observed": sampler.max_lag_seq,
+        "lag_samples": sampler.samples,
+        "latency_ms": data["latency_ms"],
+        "schedule_lag_ms": data["schedule_lag_ms"],
+        "rates": data["rates"],
+        "requests": data["requests"],
+        "slos": data["slos"],
+        "passed": data["passed"],
+        "_report": data,
+    }
+
+
+def _loadgen_baseline() -> dict | None:
+    try:
+        with open(LOADGEN_BASELINE_PATH, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _summarize(result: dict, baseline_p99: float | None) -> str:
+    ratio = ""
+    if baseline_p99:
+        ratio = (
+            f" ({result['latency_ms']['p99'] / baseline_p99:.1f}x "
+            f"single-process baseline)"
+        )
+    return (
+        f"  replicas={result['replicas']}: "
+        f"throughput={result['rates']['throughput_rps']}rps "
+        f"p99={result['latency_ms']['p99']}ms{ratio} "
+        f"max_lag={result['max_lag_seq_observed']} "
+        f"slos={'PASS' if result['passed'] else 'FAIL'}"
+    )
+
+
+def full() -> int:
+    """Record the fleet scoreboard at each replica count."""
+    from repro.loadgen import validate_report
+
+    loadgen = _loadgen_baseline()
+    baseline_p99 = (
+        loadgen["latency_ms"]["p99"] if loadgen is not None else None
+    )
+    fleets = {}
+    ok = True
+    for replicas in REPLICA_COUNTS:
+        result = _run_fleet(replicas)
+        problems = validate_report(result.pop("_report"))
+        if problems:
+            print(f"FAIL: replicas={replicas} report invalid: {problems}")
+            return 1
+        if baseline_p99:
+            result["p99_vs_loadgen_baseline"] = round(
+                result["latency_ms"]["p99"] / baseline_p99, 3
+            )
+        ok = ok and result["passed"]
+        print(_summarize(result, baseline_p99))
+        fleets[str(replicas)] = result
+    baseline = {
+        "schema": "repro.cluster.bench/v1",
+        "profile": dict(PROFILE_ARGS),
+        "max_lag_seq_bound": MAX_LAG_SEQ,
+        "fleets": fleets,
+        "loadgen_baseline": {
+            "path": os.path.basename(LOADGEN_BASELINE_PATH),
+            "p99_ms": baseline_p99,
+        },
+        "gate": {
+            "p99_tolerance_factor": P99_TOLERANCE_FACTOR,
+            "shed_rate_margin": SHED_RATE_MARGIN,
+        },
+    }
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0 if ok else 1
+
+
+def smoke(duration_s: float = 10.0) -> int:
+    """The CI gate: one short 2-replica run against both baselines."""
+    from repro.loadgen import validate_report
+
+    result = _run_fleet(2, duration_s=duration_s)
+    data = result.pop("_report")
+    failures: list[str] = []
+    problems = validate_report(data)
+    if problems:
+        failures.append(f"report schema: {problems}")
+    else:
+        if not result["passed"]:
+            failed = [
+                v["name"] for v in result["slos"] if not v["passed"]
+            ]
+            failures.append(f"SLO scoreboard failed: {failed}")
+        loadgen = _loadgen_baseline()
+        if loadgen is not None:
+            p99 = result["latency_ms"]["p99"]
+            p99_bound = (
+                loadgen["latency_ms"]["p99"] * P99_TOLERANCE_FACTOR
+            )
+            if p99 > p99_bound:
+                failures.append(
+                    f"p99 regression: {p99}ms > {p99_bound:.1f}ms "
+                    f"(loadgen baseline "
+                    f"{loadgen['latency_ms']['p99']}ms x "
+                    f"{P99_TOLERANCE_FACTOR})"
+                )
+            shed = result["rates"]["shed_rate"]
+            shed_bound = (
+                loadgen["rates"]["shed_rate"] + SHED_RATE_MARGIN
+            )
+            if shed > shed_bound:
+                failures.append(
+                    f"shed-rate regression: {shed} > {shed_bound:.3f}"
+                )
+        if result["max_lag_seq_observed"] > MAX_LAG_SEQ:
+            failures.append(
+                f"lag bound breached: observed "
+                f"{result['max_lag_seq_observed']} > {MAX_LAG_SEQ}"
+            )
+    print(_summarize(result, None))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("PASS: 2-replica fleet within baseline tolerances")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the short CI regression gate instead of recording "
+        "the full 2-and-4-replica baseline",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="override the run duration in seconds",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.duration or 10.0)
+    if args.duration is not None:
+        PROFILE_ARGS["duration_s"] = args.duration
+    return full()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,10 @@ from repro.errors import (
     JournalCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
+    ReplicaLagError,
     ResourceLimitError,
     ServiceOverloadedError,
+    StaleEpochError,
     TransactionConflictError,
     XQueryError,
 )
@@ -45,7 +47,7 @@ from repro.txn import Session, Transaction
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Engine",
@@ -72,6 +74,8 @@ __all__ = [
     "CircuitOpenError",
     "ResourceLimitError",
     "TransactionConflictError",
+    "ReplicaLagError",
+    "StaleEpochError",
     "Session",
     "Transaction",
     "ResiliencePolicy",

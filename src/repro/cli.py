@@ -359,16 +359,69 @@ def recover_main(argv: Seq[str] | None = None) -> int:
     return 0
 
 
+def _merge_cluster_health(path: str, report: "HealthReport") -> "HealthReport":
+    """Fold a supervisor's ``cluster-health.json`` into a local probe.
+
+    The supervisor periodically snapshots its fleet aggregate (one
+    member report per replica plus a ``cluster`` section) next to the
+    journal.  When present, each member is rebuilt and re-aggregated
+    with the local engine's report under the name ``local``, so one
+    ``repro health DIR`` shows the whole fleet: worst status wins and
+    per-replica lag lands in ``replication.lag_by_replica``.  A
+    missing, torn or foreign-format file never fails the probe — the
+    local report stands alone.
+    """
+    import json as _json
+    import os as _os
+
+    from repro.cluster.supervisor import _HEALTH_FORMAT, HEALTH_FILE
+    from repro.resilience.health import HealthReport, aggregate_reports
+
+    cluster_path = _os.path.join(path, HEALTH_FILE)
+    try:
+        with open(cluster_path, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+    except (OSError, ValueError):
+        return report
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _HEALTH_FORMAT
+    ):
+        return report
+    fleet = HealthReport.from_dict(payload.get("report", {}))
+    # "local" cannot collide: the supervisor names members "primary"
+    # and "replica-N".
+    named = {"local": report}
+    for name, section in fleet.sections.items():
+        # Member entries have exactly the {status, sections} shape the
+        # aggregator writes; summary sections (cluster, replication)
+        # are re-derived or copied below.
+        if (
+            isinstance(section, dict)
+            and set(section) == {"status", "sections"}
+        ):
+            named[name] = HealthReport.from_dict(section)
+    merged = aggregate_reports(named)
+    if "cluster" in fleet.sections:
+        merged.sections["cluster"] = fleet.sections["cluster"]
+    return merged
+
+
 def health_main(argv: Seq[str] | None = None) -> int:
     """``repro health DIR`` — a readiness probe over a durable directory.
 
     Opens (recovering if needed) the durable engine at DIR and prints
     its health report: overall status, store size, journal lag
     (records/bytes/unflushed batch commits), circuit-breaker state and
-    the last recovery's summary.  Exit status: 0 when HEALTHY or
-    DEGRADED (the service is serving, possibly read-only), 1 when
-    UNHEALTHY or the directory cannot be opened — probe-friendly for
-    scripts and service managers.
+    the last recovery's summary.  When the directory is replicated
+    (a cluster supervisor left ``cluster-health.json`` behind), the
+    per-replica reports are merged in: each member lands under its own
+    name, the fleet's worst status wins, and per-replica lag surfaces
+    in a top-level ``replication`` section (``--json`` shows
+    ``lag_by_replica``).  Exit status: 0 when HEALTHY or DEGRADED (the
+    service is serving, possibly read-only), 1 when UNHEALTHY or the
+    directory cannot be opened — probe-friendly for scripts and
+    service managers.
     """
     parser = argparse.ArgumentParser(
         prog="repro health",
@@ -396,6 +449,7 @@ def health_main(argv: Seq[str] | None = None) -> int:
     except (DurabilityError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    report = _merge_cluster_health(args.path, report)
     if args.json:
         print(report.to_json(indent=2))
     else:

@@ -1,0 +1,78 @@
+"""Log-shipping replication with supervised, fenced failover.
+
+The durability layer made the paper's ``snap`` the unit of persistence
+(one CRC-framed journal record per committed snap); this package makes
+it the unit of **replication**: a primary process appends to the WAL
+exactly as before, and N read-replica worker processes consume the
+journal's frame groups — validated Δs, the only thing that ever
+crosses between processes — through the same replay machinery crash
+recovery uses.  A replica's store at watermark *s* is definitionally
+what single-process recovery would rebuild at *s*.
+
+The moving parts:
+
+* :class:`~repro.cluster.supervisor.ClusterSupervisor` — spawns and
+  health-probes the worker fleet, ships frames
+  (:class:`~repro.cluster.shipper.ShipBuffer` over one
+  :class:`~repro.durability.journal.JournalFollower`), restarts dead
+  replicas with from-disk catch-up, publishes the aggregated fleet
+  report to ``cluster-health.json``, and on primary death performs
+  fenced failover;
+* :mod:`~repro.cluster.fence` — the monotone fencing-epoch file.
+  Every journal frame carries its epoch; a deposed primary's next
+  append fails with :class:`~repro.errors.StaleEpochError` (REPR0009)
+  instead of interleaving two writers' frames;
+* :class:`~repro.cluster.replica.ReplicaApplier` — the replica-side
+  state machine: strict sequence/epoch discipline, commit groups
+  staged and applied atomically, read-only until promoted;
+* :class:`~repro.cluster.router.QueryRouter` — staleness-bounded read
+  routing (``max_lag_seq``) over interchangeable in-process and
+  replica backends; an unsatisfiable bound is a transient typed
+  :class:`~repro.errors.ReplicaLagError` (REPR0010), never a silent
+  stale read;
+* :mod:`~repro.cluster.chaos` — the fleet-level chaos harness:
+  replica-kill, primary-kill/failover and partition windows under
+  concurrent load, asserting the standing invariant (every request
+  ends in success or typed refusal; the promoted store byte-agrees
+  with single-process replay).
+
+Submodules import lazily (PEP 562), matching :mod:`repro.resilience`.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+_EXPORTS = {
+    "ClusterConfig": "repro.cluster.supervisor",
+    "ClusterSupervisor": "repro.cluster.supervisor",
+    "ReplicaHandle": "repro.cluster.supervisor",
+    "ReplicaApplier": "repro.cluster.replica",
+    "store_fingerprint": "repro.cluster.replica",
+    "ShipBuffer": "repro.cluster.shipper",
+    "QueryRouter": "repro.cluster.router",
+    "InProcessBackend": "repro.cluster.router",
+    "ReplicaBackend": "repro.cluster.router",
+    "RoutedResult": "repro.cluster.router",
+    "FrameChannel": "repro.cluster.protocol",
+    "ChannelClosed": "repro.cluster.protocol",
+    "read_epoch": "repro.cluster.fence",
+    "advance_epoch": "repro.cluster.fence",
+    "make_fence": "repro.cluster.fence",
+    "ClusterChaosHarness": "repro.cluster.chaos",
+    "ClusterChaosReport": "repro.cluster.chaos",
+    "ClusterChaosSchedule": "repro.cluster.chaos",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

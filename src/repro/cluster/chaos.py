@@ -1,0 +1,661 @@
+"""The fleet-level chaos harness: kill, partition, fail over — survive.
+
+:mod:`repro.resilience.chaos` proved one process survives hostile I/O;
+this harness proves the *fleet* does: a primary plus N replica worker
+processes under concurrent read/write load while the chaos driver
+
+* **kills a replica** (SIGKILL) — the supervisor must restart it and
+  catch it up from disk;
+* **opens a partition window** (stalled pipe) — the replica's lag must
+  grow, bounded reads must route around it, and catch-up must resume
+  when the window closes;
+* **kills the primary** — the supervisor must perform *fenced
+  failover*: promote the freshest replica under a bumped epoch, after
+  which writes resume against the promoted node and the resurrected
+  old primary's next append is refused with a typed
+  :class:`~repro.errors.StaleEpochError` (REPR0009).
+
+The standing invariant, asserted at the end of every run (and by
+``tests/cluster/test_chaos.py`` in CI):
+
+1. every request ends in **success or a typed refusal** — lag and
+   failover gaps surface as transient
+   :class:`~repro.errors.ReplicaLagError` (REPR0010), never as an
+   untyped error;
+2. after the dust settles the fleet **converges**: every surviving
+   replica's store fingerprint equals the write side's;
+3. the final store **byte-agrees with single-process replay** — a
+   fresh recovery of the shared directory fingerprints identically to
+   the promoted (or surviving primary's) store;
+4. when the primary was killed: failover completed, writes succeeded
+   *after* it, and the deposed primary's write was fenced.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    QueryTimeoutError,
+    ReplicaLagError,
+    ResourceLimitError,
+    ServiceOverloadedError,
+    StaleEpochError,
+    XQueryError,
+)
+
+#: Outcome classes a request may legally end in.
+SUCCESS = "success"
+OVERLOADED = "overloaded"  # structured ServiceOverloadedError
+CIRCUIT_OPEN = "circuit-open"  # degraded read-only refusal
+DURABILITY = "durability"  # typed journal-append failure
+TIMEOUT = "timeout"
+RESOURCE_LIMIT = "resource-limit"
+REPLICA_LAG = "replica-lag"  # transient lag / failover-gap refusal
+STALE_EPOCH = "stale-epoch"  # fenced deposed-primary refusal
+SEMANTIC = "semantic"  # other typed XQueryError
+UNEXPECTED = "unexpected"  # anything untyped — an invariant violation
+
+
+@dataclass(frozen=True)
+class ClusterChaosSchedule:
+    """When each fault window opens, in seconds from run start.
+
+    ``None`` disables a fault.  The replica killed is always replica 0;
+    the partitioned one is the highest-numbered replica (so the two
+    faults hit different processes when the fleet has at least two).
+    """
+
+    duration_s: float = 6.0
+    kill_replica_at_s: float | None = None
+    stall_start_s: float | None = None
+    stall_stop_s: float | None = None
+    kill_primary_at_s: float | None = None
+
+    @classmethod
+    def everything(cls, duration_s: float = 8.0) -> "ClusterChaosSchedule":
+        """All three faults, staggered: replica kill early, a partition
+        window through the middle, primary kill at the halfway mark
+        (leaving the second half for failover and post-failover load)."""
+        return cls(
+            duration_s=duration_s,
+            kill_replica_at_s=duration_s * 0.15,
+            stall_start_s=duration_s * 0.30,
+            stall_stop_s=duration_s * 0.45,
+            kill_primary_at_s=duration_s * 0.50,
+        )
+
+
+@dataclass
+class ClusterChaosReport:
+    """What a chaos run observed, and whether the invariant held."""
+
+    outcomes: dict = field(default_factory=dict)
+    unexpected: list = field(default_factory=list)
+    read_successes: int = 0
+    write_successes: int = 0
+    write_failures: int = 0
+    replica_reads: int = 0  # reads served by a replica process
+    primary_killed: bool = False
+    failover_performed: bool = False
+    promoted: str | None = None
+    post_failover_write_successes: int = 0
+    fenced_refusal_ok: bool | None = None  # None: primary never killed
+    restarts: dict = field(default_factory=dict)
+    fingerprints: dict = field(default_factory=dict)
+    reference_fingerprint: str | None = None
+    recovered_fingerprint: str | None = None
+    replicas_converged: bool = False
+    byte_agreement_ok: bool = False
+    final_epoch: int = 0
+    final_watermarks: dict = field(default_factory=dict)
+
+    @property
+    def invariant_holds(self) -> bool:
+        ok = (
+            not self.unexpected
+            and self.read_successes > 0
+            and self.write_successes > 0
+            and self.replicas_converged
+            and self.byte_agreement_ok
+        )
+        if self.primary_killed:
+            ok = (
+                ok
+                and self.failover_performed
+                and self.post_failover_write_successes > 0
+                and bool(self.fenced_refusal_ok)
+            )
+        return ok
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.cluster.chaos-report/v1",
+            "outcomes": dict(self.outcomes),
+            "unexpected": list(self.unexpected),
+            "read_successes": self.read_successes,
+            "write_successes": self.write_successes,
+            "write_failures": self.write_failures,
+            "replica_reads": self.replica_reads,
+            "primary_killed": self.primary_killed,
+            "failover_performed": self.failover_performed,
+            "promoted": self.promoted,
+            "post_failover_write_successes": (
+                self.post_failover_write_successes
+            ),
+            "fenced_refusal_ok": self.fenced_refusal_ok,
+            "restarts": dict(self.restarts),
+            "fingerprints": dict(self.fingerprints),
+            "reference_fingerprint": self.reference_fingerprint,
+            "recovered_fingerprint": self.recovered_fingerprint,
+            "replicas_converged": self.replicas_converged,
+            "byte_agreement_ok": self.byte_agreement_ok,
+            "final_epoch": self.final_epoch,
+            "final_watermarks": dict(self.final_watermarks),
+            "invariant_holds": self.invariant_holds,
+        }
+
+    def render(self) -> str:
+        lines = ["cluster chaos report", "--------------------"]
+        for outcome in sorted(self.outcomes):
+            lines.append(f"  {outcome:>14}: {self.outcomes[outcome]}")
+        lines.append(
+            f"  reads ok={self.read_successes} "
+            f"(via replicas: {self.replica_reads})  "
+            f"writes ok={self.write_successes} "
+            f"failed={self.write_failures}"
+        )
+        lines.append(
+            f"  restarts={self.restarts}  epoch={self.final_epoch}"
+        )
+        if self.primary_killed:
+            lines.append(
+                f"  failover={'yes' if self.failover_performed else 'NO'} "
+                f"promoted={self.promoted} "
+                f"post-failover writes={self.post_failover_write_successes} "
+                f"fenced refusal="
+                f"{'ok' if self.fenced_refusal_ok else 'MISSING'}"
+            )
+        lines.append(
+            f"  converged={'yes' if self.replicas_converged else 'NO'}  "
+            f"byte-agreement="
+            f"{'yes' if self.byte_agreement_ok else 'NO'}"
+        )
+        for item in self.unexpected[:10]:
+            lines.append(f"  UNEXPECTED: {item}")
+        lines.append(
+            "invariant: "
+            + ("HELD" if self.invariant_holds else "VIOLATED")
+        )
+        return "\n".join(lines)
+
+
+class ClusterChaosHarness:
+    """Drive a replicated auction fleet through the fault schedule.
+
+    Parameters:
+        path: durable directory (a fresh temp dir when omitted).
+        schedule: a :class:`ClusterChaosSchedule`.
+        replicas: worker-process count.
+        readers / writers: client-thread counts.
+        max_lag_seq: staleness bound applied to every *other* read
+            (bounded and unbounded reads interleave, so both routing
+            paths are exercised).
+        items / persons: auction-document scale.
+        request_timeout_ms: per-request deadline.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        schedule: ClusterChaosSchedule | None = None,
+        *,
+        replicas: int = 2,
+        readers: int = 3,
+        writers: int = 2,
+        max_lag_seq: int = 64,
+        items: int = 8,
+        persons: int = 8,
+        request_timeout_ms: float = 4000.0,
+    ):
+        self.path = (
+            path
+            if path is not None
+            else tempfile.mkdtemp(prefix="repro-cluster-chaos-")
+        )
+        self.schedule = (
+            schedule if schedule is not None else ClusterChaosSchedule()
+        )
+        self.replicas = replicas
+        self.readers = readers
+        self.writers = writers
+        self.max_lag_seq = max_lag_seq
+        self.items = items
+        self.persons = persons
+        self.request_timeout_ms = request_timeout_ms
+
+    # -- outcome classification -------------------------------------------
+
+    @staticmethod
+    def classify(error: BaseException | None) -> str:
+        """Map a request's terminal error (or None) to an outcome class."""
+        if error is None:
+            return SUCCESS
+        if isinstance(error, StaleEpochError):
+            return STALE_EPOCH
+        if isinstance(error, ReplicaLagError):
+            return REPLICA_LAG
+        if isinstance(error, CircuitOpenError):
+            return CIRCUIT_OPEN
+        if isinstance(error, ServiceOverloadedError):
+            return OVERLOADED
+        if isinstance(error, QueryTimeoutError):
+            return TIMEOUT
+        if isinstance(error, ResourceLimitError):
+            return RESOURCE_LIMIT
+        if isinstance(error, DurabilityError):
+            return DURABILITY
+        if isinstance(error, XQueryError):
+            return SEMANTIC
+        return UNEXPECTED
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self) -> ClusterChaosReport:
+        from repro.cluster.replica import store_fingerprint
+        from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+        from repro.usecases.webservice import (
+            SERVICE_MODULE,
+            AuctionFrontEnd,
+            AuctionService,
+        )
+        from repro.xmark import XMarkConfig, generate_auction_xml
+
+        report = ClusterChaosReport()
+        xml = generate_auction_xml(
+            XMarkConfig(
+                persons=self.persons,
+                items=self.items,
+                open_auctions=4,
+                closed_auctions=4,
+            )
+        )
+        service = AuctionService(
+            auction_xml=xml, maxlog=8, durable_path=self.path
+        )
+        supervisor = ClusterSupervisor(
+            self.path,
+            primary=service.engine,
+            module_source=SERVICE_MODULE,
+            config=ClusterConfig(
+                replicas=self.replicas,
+                ship_interval_s=0.02,
+                probe_interval_s=0.1,
+            ),
+        )
+        supervisor.start()
+        front = AuctionFrontEnd(
+            service,
+            workers=4,
+            queue_size=64,
+            default_timeout_ms=self.request_timeout_ms,
+            cluster=supervisor,
+        )
+        mutex = threading.Lock()
+        stop = threading.Event()
+        started = time.monotonic()
+
+        def record(kind: str, error: BaseException | None) -> None:
+            outcome = self.classify(error)
+            with mutex:
+                report.outcomes[outcome] = (
+                    report.outcomes.get(outcome, 0) + 1
+                )
+                if outcome == SUCCESS:
+                    if kind == "read":
+                        report.read_successes += 1
+                    elif kind == "write":
+                        report.write_successes += 1
+                        if report.primary_killed:
+                            report.post_failover_write_successes += 1
+                elif kind == "write":
+                    report.write_failures += 1
+                if outcome == UNEXPECTED:
+                    report.unexpected.append(repr(error))
+
+        def reader(seed: int) -> None:
+            index = seed
+            while not stop.is_set():
+                index += 1
+                itemid = f"item{index % self.items}"
+                userid = f"person{index % self.persons}"
+                bound = self.max_lag_seq if index % 2 else None
+                try:
+                    result = front.submit_get_item_nolog(
+                        itemid,
+                        userid,
+                        timeout_ms=self.request_timeout_ms,
+                        max_lag_seq=bound,
+                    ).result()
+                except BaseException as error:  # noqa: BLE001 - classified
+                    record("read", error)
+                else:
+                    record("read", None)
+                    backend = getattr(result, "backend", "")
+                    if backend.startswith("replica"):
+                        with mutex:
+                            report.replica_reads += 1
+                time.sleep(0.002)
+
+        def writer(seed: int) -> None:
+            index = seed
+            while not stop.is_set():
+                index += 1
+                itemid = f"item{index % self.items}"
+                userid = f"person{index % self.persons}"
+                try:
+                    front.get_item(itemid, userid)
+                except BaseException as error:  # noqa: BLE001 - classified
+                    record("write", error)
+                else:
+                    record("write", None)
+                time.sleep(0.005)
+
+        def chaos_driver() -> None:
+            sched = self.schedule
+            stall_target = len(supervisor.handles) - 1
+            replica_killed = False
+            stall_opened = False
+            stall_closed = False
+            while not stop.is_set():
+                now = time.monotonic() - started
+                if (
+                    sched.kill_replica_at_s is not None
+                    and not replica_killed
+                    and now >= sched.kill_replica_at_s
+                ):
+                    replica_killed = True
+                    supervisor.kill_replica(0)
+                if (
+                    sched.stall_start_s is not None
+                    and not stall_opened
+                    and now >= sched.stall_start_s
+                ):
+                    stall_opened = True
+                    supervisor.stall_replica(stall_target, True)
+                if (
+                    stall_opened
+                    and not stall_closed
+                    and sched.stall_stop_s is not None
+                    and now >= sched.stall_stop_s
+                ):
+                    stall_closed = True
+                    supervisor.stall_replica(stall_target, False)
+                if (
+                    sched.kill_primary_at_s is not None
+                    and not report.primary_killed
+                    and now >= sched.kill_primary_at_s
+                ):
+                    with mutex:
+                        report.primary_killed = True
+                    supervisor.kill_primary()
+                time.sleep(0.01)
+
+        threads = [threading.Thread(target=chaos_driver, daemon=True)]
+        for index in range(self.readers):
+            threads.append(
+                threading.Thread(
+                    target=reader, args=(index * 7,), daemon=True
+                )
+            )
+        for index in range(self.writers):
+            threads.append(
+                threading.Thread(
+                    target=writer, args=(index * 13,), daemon=True
+                )
+            )
+        for thread in threads:
+            thread.start()
+        time.sleep(self.schedule.duration_s)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=15.0)
+
+        # Close any partition window left open so catch-up can finish.
+        for handle in supervisor.handles:
+            supervisor.stall_replica(handle.id, False)
+
+        # -- failover must complete when the primary was killed.
+        if report.primary_killed:
+            deadline = time.monotonic() + 30.0
+            while (
+                supervisor.promoted_handle is None
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.1)
+            promoted = supervisor.promoted_handle
+            report.failover_performed = promoted is not None
+            report.promoted = promoted.name if promoted else None
+            # Writes must resume against the promoted node.
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                try:
+                    front.get_item("item0", "person0")
+                except XQueryError:
+                    time.sleep(0.1)
+                    continue
+                with mutex:
+                    report.write_successes += 1
+                    report.post_failover_write_successes += 1
+                break
+            # The deposed primary's next write must be fenced.
+            if report.failover_performed:
+                try:
+                    service.engine.execute(
+                        "get_item($itemid, $userid)",
+                        bindings={
+                            "itemid": "item0",
+                            "userid": "person0",
+                        },
+                    )
+                except StaleEpochError:
+                    report.fenced_refusal_ok = True
+                except BaseException as error:  # noqa: BLE001
+                    report.fenced_refusal_ok = False
+                    report.unexpected.append(
+                        f"deposed-primary write raised {error!r} "
+                        "instead of StaleEpochError"
+                    )
+                else:
+                    report.fenced_refusal_ok = False
+                    report.unexpected.append(
+                        "deposed-primary write succeeded past the fence"
+                    )
+
+        # -- quiesce the write path before judging convergence.  A
+        # request that timed out at its caller may still be queued in
+        # the front end's pool; letting it commit *between* the
+        # convergence check and fingerprint collection would make a
+        # fully-caught-up follower look divergent.  Draining the pool
+        # here guarantees the committed watermark is final.
+        front.shutdown()
+
+        # -- convergence: every surviving follower catches up.  The
+        # committed watermark is observed through the shipper's tail
+        # cursor and the health prober, both asynchronous — a target
+        # read the instant after the last commit can lag the journal's
+        # true end.  With writes quiesced the journal is frozen, so
+        # demanding the condition hold across several consecutive
+        # polls (spanning many ship/probe intervals) rules out a
+        # stale-target false positive.
+        deadline = time.monotonic() + 30.0
+        stable = 0
+        while time.monotonic() < deadline:
+            target = supervisor.last_committed_seq()
+            followers = [
+                h
+                for h in supervisor.handles
+                if h.alive and not h.promoted
+            ]
+            if (
+                target is not None
+                and followers
+                and all(h.acked_seq >= target for h in followers)
+            ):
+                stable += 1
+                if stable >= 5:
+                    break
+            else:
+                stable = 0
+            time.sleep(0.1)
+
+        # -- fingerprints from every live worker (promoted included).
+        # The live primary's in-memory store is deliberately *not* a
+        # reference: result construction leaves transient nodes in it
+        # that neither replay nor recovery materializes — the replicated
+        # state is what the journal describes, and the arbiter of that
+        # is single-process recovery of the shared directory.
+        for handle in supervisor.handles:
+            if not handle.alive:
+                continue
+            try:
+                report.fingerprints[handle.name] = (
+                    supervisor.fingerprint_of(handle)
+                )
+            except (XQueryError, ConnectionError):
+                pass
+        report.replicas_converged = (
+            bool(report.fingerprints)
+            and len(set(report.fingerprints.values())) == 1
+        )
+        report.restarts = {
+            h.name: h.restarts for h in supervisor.handles
+        }
+        report.final_epoch = supervisor.epoch
+        report.final_watermarks = {
+            "target": supervisor.last_committed_seq(),
+            **{h.name: h.acked_seq for h in supervisor.handles},
+        }
+
+        # -- teardown, then byte-agreement with single-process replay.
+        supervisor.shutdown()
+        try:
+            service.close()
+        except XQueryError:
+            pass  # a deposed primary's close may be refused; that's fine
+        from repro.durability.recover import recover
+
+        try:
+            recovered = recover(self.path, readonly=True)
+            report.recovered_fingerprint = store_fingerprint(
+                recovered.engine
+            )
+        except XQueryError as error:
+            report.unexpected.append(f"post-run recovery failed: {error!r}")
+        report.reference_fingerprint = report.recovered_fingerprint
+        report.byte_agreement_ok = (
+            report.recovered_fingerprint is not None
+            and bool(report.fingerprints)
+            and all(
+                fp == report.recovered_fingerprint
+                for fp in report.fingerprints.values()
+            )
+        )
+        return report
+
+
+def main(argv: list | None = None) -> int:
+    """``python -m repro.cluster.chaos`` — run the fleet chaos schedule.
+
+    Exit codes: 0 — the fleet invariant held; 1 — a violation (untyped
+    error, missed failover, unfenced deposed primary, divergent or
+    disagreeing stores); 2 — the harness itself crashed.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.chaos",
+        description=(
+            "Fleet chaos harness: kill replicas, partition pipes and "
+            "fail the primary over while concurrent clients read and "
+            "write; assert the typed-refusal / convergence / "
+            "byte-agreement invariants."
+        ),
+    )
+    parser.add_argument(
+        "--duration", type=float, default=6.0,
+        help="run duration in seconds (default 6)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica process count (default 2)",
+    )
+    parser.add_argument(
+        "--readers", type=int, default=3,
+        help="reader client threads (default 3)",
+    )
+    parser.add_argument(
+        "--writers", type=int, default=2,
+        help="writer client threads (default 2)",
+    )
+    parser.add_argument(
+        "--max-lag-seq", type=int, default=64,
+        help="staleness bound applied to half the reads (default 64)",
+    )
+    parser.add_argument(
+        "--kill-replica", action="store_true",
+        help="SIGKILL replica 0 partway through the run",
+    )
+    parser.add_argument(
+        "--kill-primary", action="store_true",
+        help="kill the primary at the halfway mark (forces failover)",
+    )
+    parser.add_argument(
+        "--stall", action="store_true",
+        help="open a partition window on the last replica",
+    )
+    parser.add_argument(
+        "--dir", default=None,
+        help="durable directory (default: fresh temp dir)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    duration = args.duration
+    schedule = ClusterChaosSchedule(
+        duration_s=duration,
+        kill_replica_at_s=duration * 0.15 if args.kill_replica else None,
+        stall_start_s=duration * 0.30 if args.stall else None,
+        stall_stop_s=duration * 0.45 if args.stall else None,
+        kill_primary_at_s=duration * 0.50 if args.kill_primary else None,
+    )
+    harness = ClusterChaosHarness(
+        path=args.dir,
+        schedule=schedule,
+        replicas=args.replicas,
+        readers=args.readers,
+        writers=args.writers,
+        max_lag_seq=args.max_lag_seq,
+    )
+    try:
+        report = harness.run()
+    except Exception as error:  # noqa: BLE001 - harness crash is exit 2
+        print(f"harness crashed: {error!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.invariant_holds else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

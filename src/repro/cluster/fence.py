@@ -1,0 +1,120 @@
+"""Fencing epochs: making failover safe against a resurrected primary.
+
+Promotion has a classic split-brain hazard: the old primary is declared
+dead, a replica is promoted, and then the "dead" process wakes up (a GC
+pause, a stalled disk, a debugger) and keeps appending to the journal —
+interleaving two writers' frames in one file.  The cluster prevents
+that with a monotone **fencing epoch** persisted next to the journal:
+
+* every journal frame carries the epoch it was written under (``"ep"``
+  in the payload — see :class:`~repro.durability.journal.Journal`);
+* the ``EPOCH`` file in the durable directory publishes the highest
+  epoch ever granted.  It only moves forward, through the same
+  ``.tmp`` + ``os.replace`` + directory-fsync protocol the manifest
+  uses, so a crash mid-advance leaves the old epoch, never garbage;
+* :func:`make_fence` builds the check the journal runs **before every
+  append**: when the published epoch exceeds the writer's own, the
+  write is refused with a typed
+  :class:`~repro.errors.StaleEpochError` (REPR0009) — permanently
+  fatal, never retried (see :data:`repro.resilience.retry.NEVER_RETRY`).
+
+Promotion order matters and is enforced here: the supervisor advances
+the epoch *first* (fencing the old primary out), and only then lets the
+promoted replica recover and reopen the journal under the new epoch.
+:func:`advance_epoch` refuses to move the file backwards, so two racing
+promotions cannot both win — the second one dies with the same typed
+error a deposed primary gets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable
+
+from repro.errors import DurabilityError, StaleEpochError
+
+from repro.durability.journal import fsync_directory
+
+EPOCH_NAME = "EPOCH"
+
+_FORMAT = "repro.cluster.epoch/v1"
+
+
+def _epoch_path(directory: str) -> str:
+    return os.path.join(directory, EPOCH_NAME)
+
+
+def read_epoch(directory: str) -> int:
+    """The published fencing epoch for *directory* (0 when none has
+    ever been granted — a single-process engine never writes one)."""
+    try:
+        with open(_epoch_path(directory), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return 0
+    except (OSError, ValueError) as exc:
+        raise DurabilityError(
+            f"unreadable epoch file in {directory!r}: {exc}"
+        ) from exc
+    epoch = payload.get("epoch") if isinstance(payload, dict) else None
+    if not isinstance(epoch, int) or epoch < 0:
+        raise DurabilityError(
+            f"malformed epoch file in {directory!r}: {payload!r}"
+        )
+    return epoch
+
+
+def advance_epoch(directory: str, epoch: int) -> int:
+    """Publish *epoch* as the new fencing epoch (the promotion grant).
+
+    Strictly monotone: an attempt to publish an epoch at or below the
+    current one loses the race and raises
+    :class:`~repro.errors.StaleEpochError` — exactly one promotion can
+    win any given epoch.  Durable before return (tmp + replace +
+    directory fsync).  Returns the published epoch.
+    """
+    current = read_epoch(directory)
+    if epoch <= current:
+        raise StaleEpochError(
+            f"cannot advance fencing epoch to {epoch}: epoch {current} "
+            "is already published (a newer promotion won)",
+            stale_epoch=epoch,
+            fence_epoch=current,
+        )
+    path = _epoch_path(directory)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"format": _FORMAT, "epoch": epoch}, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_directory(directory)
+    return epoch
+
+
+def check_fence(directory: str, epoch: int) -> None:
+    """Refuse the caller when its *epoch* has been superseded."""
+    published = read_epoch(directory)
+    if published > epoch:
+        raise StaleEpochError(
+            f"fencing epoch {published} has been published; writes under "
+            f"epoch {epoch} are refused (this process was deposed)",
+            stale_epoch=epoch,
+            fence_epoch=published,
+        )
+
+
+def make_fence(directory: str, epoch: int) -> Callable[[], None]:
+    """The per-append fence for a journal owned under *epoch*.
+
+    Installed as ``journal.fence``; runs before every append.  One
+    ``stat``-and-read of a tiny file per commit — cheap next to the
+    fsync that follows, and it turns a resurrected old primary's first
+    post-failover write into a typed refusal instead of split-brain.
+    """
+
+    def fence() -> None:
+        check_fence(directory, epoch)
+
+    return fence

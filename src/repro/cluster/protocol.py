@@ -1,0 +1,256 @@
+"""The replication wire protocol: WAL frames over a byte stream.
+
+The journal already solved "detect a torn or damaged record" once —
+length-prefixed frames with separate header and payload CRCs (see
+:mod:`repro.durability.journal`).  The replication channel reuses that
+exact frame format over a socket, so one framing implementation guards
+both the disk and the wire:
+
+    frame := header(16 bytes) + payload
+    header := little-endian u32 x 4:
+        FRAME_MAGIC, payload length, CRC32(payload),
+        CRC32(first 12 header bytes)
+    payload := UTF-8 JSON message object with a ``"t"`` type tag
+
+Message types (``MSG_*``): the supervisor ships journal records
+(``frames``), probes health, routes reads, and drives failover
+(``promote``); the worker answers with ``ack``/``result``/
+``health-report``/``promoted`` or a serialized typed error
+(``error`` — :func:`raise_remote` rebuilds the original exception
+class from its registered code, so a replica's typed refusal crosses
+the process boundary without losing its type).
+
+Transport failures (peer died, pipe reset) raise
+:class:`ChannelClosed`; callers map that to the cluster's typed
+vocabulary — the supervisor treats it as a dead replica, the router as
+:class:`~repro.errors.ReplicaLagError` (transient: the supervisor
+restarts the replica and the fleet heals).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+from zlib import crc32
+
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    JournalCorruptionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReplicaLagError,
+    ServiceOverloadedError,
+    StaleEpochError,
+    TransactionConflictError,
+    XQueryError,
+)
+
+from repro.durability.journal import FRAME_MAGIC, HEADER_SIZE
+
+_HEADER = struct.Struct("<IIII")
+
+#: Refuse to allocate for a length field no sane message can carry
+#: (a corrupted or hostile header must not become a giant allocation).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+# -- message type tags -----------------------------------------------------
+
+MSG_INIT = "init"  # supervisor -> worker: module source, fault config
+MSG_HELLO = "hello"  # worker -> supervisor: ready, watermark, epoch
+MSG_FRAMES = "frames"  # supervisor -> worker: journal records to apply
+MSG_ACK = "ack"  # worker -> supervisor: applied watermark
+MSG_QUERY = "query"  # supervisor -> worker: read-only query
+MSG_EXEC = "exec"  # supervisor -> worker: write query (promoted only)
+MSG_RESULT = "result"  # worker -> supervisor: query answer
+MSG_HEALTH = "health"  # supervisor -> worker: probe
+MSG_HEALTH_REPORT = "health-report"  # worker -> supervisor: report dict
+MSG_PROMOTE = "promote"  # supervisor -> worker: take over as primary
+MSG_PROMOTED = "promoted"  # worker -> supervisor: promotion done
+MSG_FINGERPRINT = "fingerprint"  # supervisor -> worker: store digest?
+MSG_FINGERPRINT_REPORT = "fingerprint-report"
+MSG_SHUTDOWN = "shutdown"  # supervisor -> worker: exit cleanly
+MSG_BYE = "bye"  # worker -> supervisor: exiting
+MSG_ERROR = "error"  # worker -> supervisor: typed failure
+
+
+class ChannelClosed(ConnectionError):
+    """The peer is gone (EOF, reset, or a garbled frame).
+
+    A transport-level condition, not a typed engine error: what it
+    *means* depends on who saw it (dead replica vs. unreachable
+    primary), so callers translate it at the routing layer.
+    """
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as a CRC-framed blob (same framing as the WAL)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    head = struct.pack("<III", FRAME_MAGIC, len(payload), crc32(payload))
+    return head + struct.pack("<I", crc32(head)) + payload
+
+
+class FrameChannel:
+    """A message channel over a connected socket.
+
+    Both ends speak the same framed-JSON protocol; the channel itself is
+    direction-agnostic.  Not thread-safe — the supervisor serializes
+    per-replica RPCs under a per-handle lock, and the worker is a
+    single-threaded request loop.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._recv_buffer = b""
+        self.closed = False
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._sock.settimeout(timeout)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        """Send one message; :class:`ChannelClosed` when the peer died."""
+        if self.closed:
+            raise ChannelClosed("channel is closed")
+        try:
+            self._sock.sendall(encode_message(message))
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            self.close()
+            raise ChannelClosed(f"peer went away during send: {exc}") from exc
+
+    # -- receiving ---------------------------------------------------------
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._recv_buffer) < count:
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                raise ChannelClosed(
+                    f"peer went away during recv: {exc}"
+                ) from exc
+            if not chunk:
+                self.close()
+                raise ChannelClosed("peer closed the channel (EOF)")
+            self._recv_buffer += chunk
+        data = self._recv_buffer[:count]
+        self._recv_buffer = self._recv_buffer[count:]
+        return data
+
+    def recv(self, timeout: float | None = None) -> dict:
+        """Receive one message.
+
+        Raises :class:`ChannelClosed` on EOF/reset and on a frame that
+        fails its CRCs — on a reliable local transport a garbled frame
+        means a dead or insane peer, and resynchronizing mid-stream
+        would risk applying a half-message; ``socket.timeout`` when
+        *timeout* elapses with no complete message.
+        """
+        self._sock.settimeout(timeout)
+        header = self._read_exact(HEADER_SIZE)
+        magic, length, payload_crc, header_crc = _HEADER.unpack(header)
+        if crc32(header[:12]) != header_crc or magic != FRAME_MAGIC:
+            self.close()
+            raise ChannelClosed("garbled frame header on channel")
+        if length > MAX_MESSAGE_BYTES:
+            self.close()
+            raise ChannelClosed(
+                f"frame declares {length} bytes (limit {MAX_MESSAGE_BYTES})"
+            )
+        payload = self._read_exact(length)
+        if crc32(payload) != payload_crc:
+            self.close()
+            raise ChannelClosed("frame payload failed its CRC on channel")
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.close()
+            raise ChannelClosed(f"undecodable frame payload: {exc}") from exc
+        if not isinstance(message, dict):
+            self.close()
+            raise ChannelClosed("frame payload is not a message object")
+        return message
+
+    def request(self, message: dict, timeout: float | None = None) -> dict:
+        """Send *message* and return the peer's next reply."""
+        self.send(message)
+        return self.recv(timeout)
+
+
+# -- typed errors across the process boundary ------------------------------
+
+#: Error classes a worker may legitimately hand back; keyed by their
+#: registered REPR codes so the supervisor side re-raises the *same*
+#: type (retry classification and chaos accounting stay exact).
+_CODE_TO_CLASS: dict[str, type[XQueryError]] = {
+    cls.default_code: cls  # type: ignore[misc]
+    for cls in (
+        DurabilityError,
+        JournalCorruptionError,
+        QueryTimeoutError,
+        QueryCancelledError,
+        ServiceOverloadedError,
+        CircuitOpenError,
+        TransactionConflictError,
+        StaleEpochError,
+        ReplicaLagError,
+    )
+}
+
+
+def error_payload(exc: XQueryError) -> dict:
+    """Serialize a typed error for an ``error`` message."""
+    payload = exc.to_dict()
+    payload.setdefault("code", exc.code)
+    return payload
+
+
+def raise_remote(payload: dict) -> None:
+    """Re-raise the typed error a worker serialized.
+
+    The registered class for the error's code is reconstructed with its
+    message and detail fields; an unregistered code (a semantic error —
+    parse, type, update) comes back as a bare
+    :class:`~repro.errors.XQueryError` carrying the original code.
+    """
+    code = payload.get("code", "")
+    message = payload.get("message", "remote error")
+    cls = _CODE_TO_CLASS.get(code)
+    if cls is None:
+        raise XQueryError(message, code=code or None)
+    error = cls(message)
+    error.code = code
+    for name, value in payload.items():
+        if name in ("code", "message", "type"):
+            continue
+        if hasattr(error, name):
+            setattr(error, name, value)
+    raise error
+
+
+def socketpair_channel() -> tuple[FrameChannel, socket.socket]:
+    """A channel plus the raw peer socket to hand a child process.
+
+    The supervisor keeps the :class:`FrameChannel`; the peer socket's
+    file descriptor is passed to the worker via ``pass_fds`` and
+    wrapped in the worker's own channel (see
+    :func:`repro.cluster.worker.main`).
+    """
+    parent, child = socket.socketpair()
+    return FrameChannel(parent), child

@@ -1,0 +1,379 @@
+"""Staleness-bounded read routing over interchangeable backends.
+
+:class:`QueryRouter` is the single read path the serving layer uses
+whether or not a replica fleet exists.  Backends implement one small
+protocol — ``name``, ``ready()``, ``lag_seq()``, ``execute_read()`` —
+and come in two transports:
+
+* :class:`InProcessBackend` — the primary's
+  :class:`~repro.concurrent.ConcurrentExecutor` (lag 0 by
+  definition).  With no cluster configured this is the only backend
+  and routing degenerates to exactly the pre-cluster behaviour;
+* :class:`ReplicaBackend` — one replica process, reached through the
+  supervisor's framed channel.
+
+Routing policy: prefer the **freshest healthy replica** within the
+request's staleness bound (``max_lag_seq``, per call or from
+:class:`~repro.engine.ExecutionOptions`), falling back through staler
+candidates and finally the primary; a backend that fails transiently
+mid-read (connection reset — the supervisor will restart it) is
+skipped, not fatal.  When nothing qualifies the caller gets a typed
+:class:`~repro.errors.ReplicaLagError` (REPR0010) carrying the best
+observed lag and a ``retry_after_ms`` hint of one shipping interval —
+transient by classification, so standard retry policies do the right
+thing while the fleet catches up.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReplicaLagError, StaleEpochError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.supervisor import ClusterSupervisor, ReplicaHandle
+    from repro.concurrent.executor import ConcurrentExecutor
+
+
+class RoutedResult:
+    """A query answer that crossed (or could have crossed) a process
+    boundary: the stringified items plus the serialized XML.
+
+    Duck-compatible with the read-side surface of
+    :class:`~repro.engine.QueryResult` (``strings()``, ``serialize()``,
+    ``first_value()``), so callers do not care which transport served
+    them.
+    """
+
+    def __init__(
+        self,
+        strings: list[str] | None = None,
+        xml: str | None = None,
+        backend: str = "",
+    ):
+        self.strings_list = list(strings) if strings else []
+        self.xml = xml
+        self.backend = backend
+
+    def strings(self) -> list[str]:
+        return list(self.strings_list)
+
+    def serialize(self, indent: bool = False) -> str:
+        return self.xml if self.xml is not None else ""
+
+    def first_value(self) -> str | None:
+        return self.strings_list[0] if self.strings_list else None
+
+    def __len__(self) -> int:
+        return len(self.strings_list)
+
+
+class InProcessBackend:
+    """The primary's executor as a routing backend (lag 0).
+
+    ``is_ready`` lets a cluster-aware front end tie this backend's
+    availability to the supervisor's view of the primary (a dead
+    primary's executor must not serve, even though the pool threads
+    are still running).
+    """
+
+    def __init__(
+        self,
+        executor: "ConcurrentExecutor",
+        name: str = "primary",
+        is_ready: Any | None = None,
+    ):
+        self.executor = executor
+        self.name = name
+        self.alive = True
+        self._is_ready = is_ready
+
+    def ready(self) -> bool:
+        if self._is_ready is not None and not self._is_ready():
+            return False
+        return self.alive
+
+    def lag_seq(self) -> int | None:
+        return 0
+
+    def execute_read(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+    ):
+        return self.executor.submit(
+            query, bindings=bindings, timeout_ms=timeout_ms
+        ).result()
+
+    def submit_read(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+        cancel: Any | None = None,
+    ) -> Future:
+        return self.executor.submit(
+            query, bindings=bindings, timeout_ms=timeout_ms, cancel=cancel
+        )
+
+
+class ReplicaBackend:
+    """One replica process as a routing backend."""
+
+    def __init__(
+        self, supervisor: "ClusterSupervisor", handle: "ReplicaHandle"
+    ):
+        self.supervisor = supervisor
+        self.handle = handle
+        self.name = handle.name
+
+    def ready(self) -> bool:
+        return (
+            self.handle.alive
+            and not self.handle.stalled
+            and not self.handle.promoted
+        )
+
+    def lag_seq(self) -> int | None:
+        return self.supervisor.lag_of(self.handle)
+
+    def execute_read(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+    ):
+        return self.supervisor.query_replica(
+            self.handle, query, bindings, timeout_ms=timeout_ms
+        )
+
+
+class QueryRouter:
+    """Route reads to the freshest backend within a staleness bound.
+
+    Parameters:
+        primary: the in-process backend (None once the primary died).
+        supervisor: when given, replica backends are derived live from
+            the fleet (restarts and promotions are picked up
+            automatically); ``replicas`` offers a static list instead
+            (unit tests).
+        default_max_lag_seq: bound applied when a call specifies none.
+        retry_after_ms: the hint stamped on lag refusals (defaults to
+            the supervisor's shipping interval).
+    """
+
+    def __init__(
+        self,
+        primary: InProcessBackend | None = None,
+        *,
+        supervisor: "ClusterSupervisor | None" = None,
+        replicas: list[Any] | None = None,
+        default_max_lag_seq: int | None = None,
+        retry_after_ms: float | None = None,
+    ):
+        self.primary = primary
+        self.supervisor = supervisor
+        self._static_replicas = replicas
+        self.default_max_lag_seq = (
+            default_max_lag_seq
+            if default_max_lag_seq is not None
+            else (
+                supervisor.config.default_max_lag_seq
+                if supervisor is not None
+                else None
+            )
+        )
+        self.retry_after_ms = (
+            retry_after_ms
+            if retry_after_ms is not None
+            else (
+                supervisor.config.ship_interval_s * 1000.0
+                if supervisor is not None
+                else 50.0
+            )
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- backend discovery -------------------------------------------------
+
+    def replica_backends(self) -> list[Any]:
+        if self._static_replicas is not None:
+            return list(self._static_replicas)
+        if self.supervisor is None:
+            return []
+        return [
+            ReplicaBackend(self.supervisor, handle)
+            for handle in self.supervisor.handles
+        ]
+
+    def _candidates(
+        self, max_lag_seq: int | None
+    ) -> tuple[list[Any], int | None]:
+        """(ordered candidate backends, best observed lag)."""
+        bound = (
+            max_lag_seq
+            if max_lag_seq is not None
+            else self.default_max_lag_seq
+        )
+        scored: list[tuple[int, Any]] = []
+        best_lag: int | None = None
+        for backend in self.replica_backends():
+            if not backend.ready():
+                continue
+            lag = backend.lag_seq()
+            if lag is not None and (best_lag is None or lag < best_lag):
+                best_lag = lag
+            if bound is not None and (lag is None or lag > bound):
+                continue
+            scored.append((lag if lag is not None else 1 << 62, backend))
+        scored.sort(key=lambda pair: pair[0])
+        ordered = [backend for _, backend in scored]
+        # The primary is the freshest possible answer but the point of
+        # replicas is to take read traffic off it: it goes last, as the
+        # fallback that keeps reads serving while the fleet heals.
+        if self.primary is not None and self.primary.ready():
+            ordered.append(self.primary)
+            if best_lag is None:
+                best_lag = 0
+        return ordered, best_lag
+
+    # -- the read path -----------------------------------------------------
+
+    def execute_read(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+        max_lag_seq: int | None = None,
+        options: Any | None = None,
+    ):
+        """Execute a read on the best qualifying backend.
+
+        ``options`` may carry ``max_lag_seq`` / ``timeout_ms``
+        (:class:`~repro.engine.ExecutionOptions`); explicit keyword
+        arguments win.  Transient backend failures fall through to the
+        next candidate; semantic/typed errors (and
+        :class:`~repro.errors.StaleEpochError`) propagate — they would
+        fail identically anywhere.
+        """
+        if options is not None:
+            if max_lag_seq is None:
+                max_lag_seq = getattr(options, "max_lag_seq", None)
+            if timeout_ms is None:
+                timeout_ms = getattr(options, "timeout_ms", None)
+        candidates, best_lag = self._candidates(max_lag_seq)
+        last_lag_error: ReplicaLagError | None = None
+        for backend in candidates:
+            try:
+                return backend.execute_read(
+                    query, bindings, timeout_ms=timeout_ms
+                )
+            except ReplicaLagError as exc:
+                last_lag_error = exc  # that backend fell over; try next
+            except StaleEpochError:
+                raise  # fencing is never routed around
+        bound = (
+            max_lag_seq
+            if max_lag_seq is not None
+            else self.default_max_lag_seq
+        )
+        if last_lag_error is not None:
+            raise last_lag_error
+        raise ReplicaLagError(
+            "no backend satisfies the staleness bound "
+            f"(max_lag_seq={bound}, best observed lag={best_lag})",
+            lag_seq=best_lag,
+            max_lag_seq=bound,
+            retry_after_ms=self.retry_after_ms,
+        )
+
+    def submit_read(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+        cancel: Any | None = None,
+        max_lag_seq: int | None = None,
+    ) -> Future:
+        """The asynchronous read path the front end uses.
+
+        With no qualifying replica the in-process executor's native
+        future is returned — byte-for-byte the pre-cluster behaviour,
+        admission control included.  Replica-served reads run on a
+        small router pool (the replica process does the work; the pool
+        thread just waits on the channel).
+        """
+        bound = (
+            max_lag_seq
+            if max_lag_seq is not None
+            else self.default_max_lag_seq
+        )
+        replicas = [b for b in self.replica_backends() if b.ready()]
+        if not replicas:
+            if self.primary is not None and self.primary.ready():
+                return self.primary.submit_read(
+                    query, bindings, timeout_ms=timeout_ms, cancel=cancel
+                )
+            future: Future = Future()
+            future.set_exception(
+                ReplicaLagError(
+                    "no backend is ready",
+                    max_lag_seq=bound,
+                    retry_after_ms=self.retry_after_ms,
+                )
+            )
+            return future
+        return self._pool_submit(
+            self.execute_read,
+            query,
+            bindings,
+            timeout_ms=timeout_ms,
+            max_lag_seq=max_lag_seq,
+        )
+
+    def submit_call(self, fn: Any, *args: Any, **kwargs: Any) -> Future:
+        """Run an arbitrary call on the router pool (the front end's
+        post-failover write path: the promoted replica is reached over
+        a channel, so the call blocks a pool thread, not a caller)."""
+        return self._pool_submit(fn, *args, **kwargs)
+
+    def _pool_submit(self, fn: Any, *args: Any, **kwargs: Any) -> Future:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=8, thread_name_prefix="router"
+                )
+            return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the router pool.  ``wait=True`` (the default) drains
+        queued work first — a caller that timed out may have left a
+        write in the queue, and quiescence means letting it finish,
+        not letting it commit after the caller decided we stopped."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryRouter(replicas={len(self.replica_backends())}, "
+            f"default_max_lag_seq={self.default_max_lag_seq})"
+        )
+
+
+__all__ = [
+    "InProcessBackend",
+    "QueryRouter",
+    "ReplicaBackend",
+    "RoutedResult",
+]

@@ -1,0 +1,112 @@
+"""The shipping buffer: one journal tail-follow feeding many replicas.
+
+The supervisor reads the journal exactly once per poll
+(:class:`~repro.durability.journal.JournalFollower`) and fans the
+records out to replicas at different watermarks through a bounded
+in-memory window:
+
+* records enter the window in strict sequence order (the follower
+  already enforces contiguity and holds back unterminated groups);
+* :meth:`records_after` slices the window for one replica's ACK
+  watermark — or returns None when the replica has fallen *out* of the
+  window (its next record was evicted), in which case the supervisor
+  restarts it with a full from-disk catch-up rather than shipping a
+  gap;
+* :meth:`trim` evicts everything at or below the slowest live
+  replica's watermark, and :attr:`capacity` bounds the window against
+  a stalled replica pinning unbounded memory — the same
+  restart-with-resync path handles a replica that out-stalls the
+  window.
+
+A checkpoint compaction that folds undelivered records into the
+checkpoint surfaces as
+:class:`~repro.durability.journal.FollowerResyncRequired` from
+:meth:`poll`; the supervisor answers it by restarting the follower at
+the manifest watermark and resyncing the replicas that were behind it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.durability.journal import JournalFollower
+
+
+class ShipBuffer:
+    """A bounded, seq-contiguous window over the journal tail."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        after_seq: int = 0,
+        capacity: int = 8192,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.directory = directory
+        self.capacity = capacity
+        self.follower = JournalFollower(directory, after_seq=after_seq)
+        self._window: deque[dict] = deque()
+        #: Sequence number of the first record still in the window
+        #: (meaningful only when the window is non-empty).
+        self.first_seq = after_seq + 1
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def last_seq(self) -> int:
+        """The highest sequence number ever pulled from the journal."""
+        return self.follower.watermark
+
+    def poll(self) -> int:
+        """Pull newly durable records into the window; returns count.
+
+        Propagates :class:`FollowerResyncRequired` /
+        :class:`~repro.errors.JournalCorruptionError` from the
+        follower untouched — the supervisor owns the recovery decision.
+        """
+        records = self.follower.poll()
+        for record in records:
+            self._window.append(record)
+        while len(self._window) > self.capacity:
+            evicted = self._window.popleft()
+            self.first_seq = evicted["seq"] + 1
+        if self._window:
+            self.first_seq = self._window[0]["seq"]
+        return len(records)
+
+    def resync(self, after_seq: int) -> None:
+        """Restart the underlying follower (post-compaction resync)."""
+        self.follower = JournalFollower(self.directory, after_seq=after_seq)
+        self._window.clear()
+        self.first_seq = after_seq + 1
+
+    def records_after(self, acked_seq: int) -> list[dict] | None:
+        """The records a replica acked through *acked_seq* still needs.
+
+        None means the replica's next record was evicted from the
+        window (or predates it): frame-granular shipping cannot
+        continue and the replica must resync from disk.
+        """
+        if acked_seq >= self.last_seq:
+            return []
+        if not self._window or acked_seq + 1 < self._window[0]["seq"]:
+            return None
+        return [r for r in self._window if r["seq"] > acked_seq]
+
+    def trim(self, min_acked_seq: int) -> None:
+        """Evict records every live replica has acknowledged."""
+        while self._window and self._window[0]["seq"] <= min_acked_seq:
+            self._window.popleft()
+        if self._window:
+            self.first_seq = self._window[0]["seq"]
+        else:
+            self.first_seq = min_acked_seq + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ShipBuffer(window={len(self._window)}, "
+            f"first_seq={self.first_seq}, last_seq={self.last_seq})"
+        )

@@ -1,0 +1,766 @@
+"""The cluster supervisor: primary + replica fleet + fenced failover.
+
+:class:`ClusterSupervisor` owns one durable directory and the process
+fleet around it:
+
+* the **primary** is a :class:`~repro.durability.DurableEngine` in the
+  supervisor's own process (writes execute in-process, exactly as in
+  the single-process stack — replication adds no write-path hop);
+* each **replica** is a separate OS process
+  (``python -m repro.cluster.worker``) connected over an inherited
+  socketpair and fed journal frame groups by a pump thread
+  (:class:`~repro.cluster.shipper.ShipBuffer` over one
+  :class:`~repro.durability.journal.JournalFollower`);
+* the pump thread also **health-probes** every replica each probe
+  interval, publishes the fleet's aggregated report to
+  ``cluster-health.json`` (what ``repro health DIR`` merges in), and
+  **restarts** dead or out-of-window replicas with a full from-disk
+  catch-up;
+* on primary death (:meth:`kill_primary` in the chaos harness, or a
+  probe observing a closed journal) the supervisor performs **fenced
+  failover**: the live replica with the highest acknowledged watermark
+  is told to promote under ``epoch + 1``.  The epoch file advances
+  *before* the promoted node recovers, so a resurrected old primary's
+  very next append is refused with a typed
+  :class:`~repro.errors.StaleEpochError` (REPR0009) instead of
+  interleaving two writers in one journal.
+
+Reads route through :class:`~repro.cluster.router.QueryRouter`
+(staleness-bounded via ``max_lag_seq``); writes go to the primary
+while it lives, to the promoted replica after failover, and get a
+transient typed :class:`~repro.errors.ReplicaLagError` (REPR0010,
+``retry_after_ms`` hinted) during the failover gap itself — the
+standing invariant (every request ends in success or typed refusal)
+holds across the transition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    JournalCorruptionError,
+    ReplicaLagError,
+    StaleEpochError,
+    XQueryError,
+)
+from repro.resilience.health import (
+    UNHEALTHY,
+    HealthReport,
+    aggregate_reports,
+)
+
+from repro.cluster.fence import make_fence, read_epoch
+from repro.cluster.protocol import (
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_EXEC,
+    MSG_FINGERPRINT,
+    MSG_FINGERPRINT_REPORT,
+    MSG_FRAMES,
+    MSG_HEALTH,
+    MSG_HEALTH_REPORT,
+    MSG_HELLO,
+    MSG_INIT,
+    MSG_PROMOTE,
+    MSG_PROMOTED,
+    MSG_QUERY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    ChannelClosed,
+    FrameChannel,
+    raise_remote,
+    socketpair_channel,
+)
+from repro.cluster.shipper import ShipBuffer
+from repro.durability.journal import FollowerResyncRequired
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability import DurableEngine
+
+HEALTH_FILE = "cluster-health.json"
+_HEALTH_FORMAT = "repro.cluster.health/v1"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet policy knobs.
+
+    Attributes:
+        replicas: read-replica process count.
+        ship_interval_s: pump-thread poll period for new journal
+            records (also the ``retry_after_ms`` hint on lag refusals).
+        probe_interval_s: health-probe and ``cluster-health.json``
+            publish period.
+        restart_dead: respawn dead replicas (chaos turns this off to
+            observe a shrinking fleet).
+        max_restarts: per-replica respawn budget; a replica that
+            crash-loops past it stays down (typed lag refusals instead
+            of a restart storm).
+        auto_failover: promote on observed primary death.  Explicit
+            :meth:`ClusterSupervisor.failover` works regardless.
+        rpc_timeout_s: per-RPC reply deadline (frames, queries,
+            probes).
+        promote_timeout_s: reply deadline for ``promote`` (covers a
+            full from-disk recovery on the chosen replica).
+        hello_timeout_s: worker startup deadline (interpreter start +
+            recovery of the current checkpoint).
+        window_records: ship-buffer capacity; a replica that falls out
+            of the window is restarted with a full catch-up.
+        default_max_lag_seq: fleet-default staleness bound for routed
+            reads (None = any healthy replica qualifies).
+    """
+
+    replicas: int = 2
+    ship_interval_s: float = 0.02
+    probe_interval_s: float = 0.25
+    restart_dead: bool = True
+    max_restarts: int = 8
+    auto_failover: bool = True
+    rpc_timeout_s: float = 30.0
+    promote_timeout_s: float = 120.0
+    hello_timeout_s: float = 120.0
+    window_records: int = 8192
+    default_max_lag_seq: int | None = None
+
+
+class ReplicaHandle:
+    """The supervisor's view of one replica process."""
+
+    def __init__(self, replica_id: int):
+        self.id = replica_id
+        self.name = f"replica-{replica_id}"
+        self.proc: subprocess.Popen | None = None
+        self.channel: FrameChannel | None = None
+        self.lock = threading.RLock()  # serializes RPCs on the channel
+        self.alive = False
+        self.stalled = False  # chaos: partition window, pump skips it
+        self.promoted = False
+        self.acked_seq = 0
+        self.epoch = 0
+        self.restarts = 0
+        self.last_report: HealthReport | None = None
+        self.last_error: str | None = None
+
+    def rpc(self, message: dict, timeout: float) -> dict:
+        """One request/reply on the channel; marks the handle dead on
+        transport loss and re-raises :class:`ChannelClosed`."""
+        with self.lock:
+            channel = self.channel
+            if channel is None or not self.alive:
+                raise ChannelClosed(f"{self.name} is down")
+            try:
+                return channel.request(message, timeout)
+            except (ChannelClosed, OSError) as exc:
+                self.alive = False
+                self.last_error = str(exc)
+                raise ChannelClosed(f"{self.name}: {exc}") from exc
+
+    def mark_dead(self, reason: str) -> None:
+        self.alive = False
+        self.last_error = reason
+
+
+class ClusterSupervisor:
+    """Supervise a primary engine and its replica fleet (see module
+    docstring).
+
+    Parameters:
+        directory: the durable directory (shared storage).
+        primary: the primary :class:`~repro.durability.DurableEngine`.
+            The supervisor installs the fencing hook on its journal.
+        module_source: XQuery! module text replicas re-register after
+            recovery (e.g. ``SERVICE_MODULE`` — functions are not
+            persisted).
+        config: a :class:`ClusterConfig`.
+        tracer: optional tracer (``cluster.*`` counters).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        primary: "DurableEngine",
+        module_source: str | None = None,
+        config: ClusterConfig | None = None,
+        tracer: Any | None = None,
+    ):
+        self.directory = directory
+        self.primary = primary
+        self.module_source = module_source
+        self.config = config if config is not None else ClusterConfig()
+        self.tracer = tracer
+        self.epoch = read_epoch(directory)
+        # Fence the primary under the current epoch: from here on, any
+        # promotion's epoch advance turns the old primary's next append
+        # into a typed StaleEpochError.
+        primary.journal.epoch = self.epoch
+        primary.journal.fence = make_fence(directory, self.epoch)
+        self.primary_alive = True
+        self.promoted_handle: ReplicaHandle | None = None
+        self.handles: list[ReplicaHandle] = [
+            ReplicaHandle(i) for i in range(self.config.replicas)
+        ]
+        self._buffer = ShipBuffer(
+            directory,
+            after_seq=primary.journal.next_seq - 1,
+            capacity=self.config.window_records,
+        )
+        self._failover_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._pump_thread: threading.Thread | None = None
+        self._started = False
+        self._last_probe = 0.0
+        self._last_health: HealthReport | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterSupervisor":
+        """Spawn the replica fleet and the pump thread."""
+        if self._started:
+            return self
+        self._started = True
+        for handle in self.handles:
+            self._spawn(handle)
+        self._probe_round()
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="cluster-pump", daemon=True
+        )
+        self._pump_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the pump, shut the workers down, publish a last report."""
+        self._stop.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=10.0)
+        for handle in self.handles:
+            self._retire(handle, shutdown=True)
+        self._write_health_file(self._aggregate())
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- process management ------------------------------------------------
+
+    def _worker_env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        import repro
+
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        parts = [src_root]
+        if env.get("PYTHONPATH"):
+            parts.append(env["PYTHONPATH"])
+        env["PYTHONPATH"] = os.pathsep.join(parts)
+        return env
+
+    def _spawn(
+        self, handle: ReplicaHandle, *, crash_after_frames: int | None = None
+    ) -> bool:
+        """Launch (or relaunch) one replica worker; True on success."""
+        channel, child_sock = socketpair_channel()
+        try:
+            child_sock.set_inheritable(True)
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.worker",
+                    "--dir",
+                    self.directory,
+                    "--id",
+                    str(handle.id),
+                    "--fd",
+                    str(child_sock.fileno()),
+                ],
+                pass_fds=(child_sock.fileno(),),
+                env=self._worker_env(),
+                stdout=subprocess.DEVNULL,
+            )
+        except OSError as exc:
+            channel.close()
+            child_sock.close()
+            handle.mark_dead(f"spawn failed: {exc}")
+            return False
+        finally:
+            # The parent's copy of the child end must close so EOF
+            # propagates when the worker dies.
+            try:
+                child_sock.close()
+            except OSError:
+                pass
+        handle.proc = proc
+        handle.channel = channel
+        handle.alive = True
+        handle.promoted = False
+        handle.last_error = None
+        try:
+            init: dict[str, Any] = {"t": MSG_INIT}
+            if self.module_source is not None:
+                init["module"] = self.module_source
+            if crash_after_frames is not None:
+                init["crash_after_frames"] = crash_after_frames
+            channel.send(init)
+            hello = channel.recv(self.config.hello_timeout_s)
+        except (ChannelClosed, OSError) as exc:
+            handle.mark_dead(f"handshake failed: {exc}")
+            return False
+        if hello.get("t") != MSG_HELLO:
+            handle.mark_dead(f"bad hello: {hello.get('t')!r}")
+            return False
+        handle.acked_seq = int(hello.get("applied_seq", 0))
+        handle.epoch = int(hello.get("epoch", 0))
+        if self.tracer is not None:
+            self.tracer.count("cluster.spawns")
+        return True
+
+    def _retire(
+        self, handle: ReplicaHandle, *, shutdown: bool = False
+    ) -> None:
+        """Tear one replica process down (best effort)."""
+        if shutdown and handle.alive and handle.channel is not None:
+            try:
+                handle.rpc({"t": MSG_SHUTDOWN}, timeout=5.0)
+            except (ChannelClosed, OSError, TimeoutError):
+                pass
+        if handle.channel is not None:
+            handle.channel.close()
+            handle.channel = None
+        proc = handle.proc
+        if proc is not None:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        handle.alive = False
+
+    def _restart(self, handle: ReplicaHandle) -> None:
+        """Respawn a dead/out-of-window replica with from-disk catch-up."""
+        if handle.restarts >= self.config.max_restarts:
+            return
+        handle.restarts += 1
+        with handle.lock:
+            self._retire(handle)
+            self._spawn(handle)
+        if self.tracer is not None:
+            self.tracer.count("cluster.restarts")
+
+    # -- the pump thread ---------------------------------------------------
+
+    def _pump(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._ship_round()
+            except Exception:  # pragma: no cover - pump must survive
+                pass
+            now = time.monotonic()
+            if now - self._last_probe >= self.config.probe_interval_s:
+                self._last_probe = now
+                try:
+                    self._probe_round()
+                except Exception:  # pragma: no cover - pump must survive
+                    pass
+            self._stop.wait(self.config.ship_interval_s)
+
+    def _ship_round(self) -> None:
+        try:
+            self._buffer.poll()
+        except FollowerResyncRequired:
+            # Compaction folded undelivered records into the checkpoint:
+            # restart the follower at the manifest watermark and resync
+            # every replica that was behind it.
+            from repro.durability import manifest as manifest_mod
+
+            manifest = manifest_mod.read_manifest(self.directory)
+            self._buffer.resync(manifest["seq"])
+            for handle in self.handles:
+                if handle.alive and handle.acked_seq < manifest["seq"]:
+                    self._restart(handle)
+            return
+        except (JournalCorruptionError, OSError):
+            return  # transient mid-rotation read; next round re-polls
+        min_acked: int | None = None
+        for handle in self.handles:
+            if not handle.alive or handle.stalled or handle.promoted:
+                continue
+            records = self._buffer.records_after(handle.acked_seq)
+            if records is None:
+                self._restart(handle)
+                continue
+            # Bound one FRAMES message; the rest ships next round.
+            records = records[:256]
+            if records:
+                try:
+                    reply = handle.rpc(
+                        {"t": MSG_FRAMES, "records": records},
+                        timeout=self.config.rpc_timeout_s,
+                    )
+                except (ChannelClosed, TimeoutError, OSError):
+                    continue
+                if reply.get("t") == MSG_ACK:
+                    handle.acked_seq = int(reply.get("applied_seq", 0))
+                elif reply.get("t") == MSG_ERROR:
+                    # A typed apply failure (stale epoch, corruption):
+                    # the replica's store cannot follow this stream;
+                    # restart it with a full catch-up.
+                    handle.mark_dead(
+                        str(reply.get("error", {}).get("message"))
+                    )
+            if min_acked is None or handle.acked_seq < min_acked:
+                min_acked = handle.acked_seq
+        if min_acked is not None:
+            self._buffer.trim(min_acked)
+
+    def _probe_round(self) -> None:
+        primary_seq = self.last_committed_seq()
+        for handle in self.handles:
+            if handle.proc is not None and handle.proc.poll() is not None:
+                handle.mark_dead(
+                    f"process exited with {handle.proc.returncode}"
+                )
+            if not handle.alive:
+                if self.config.restart_dead and not self._stop.is_set():
+                    self._restart(handle)
+                continue
+            if handle.stalled:
+                continue  # partitioned: no traffic, report goes stale
+            try:
+                reply = handle.rpc(
+                    {"t": MSG_HEALTH, "primary_seq": primary_seq},
+                    timeout=self.config.rpc_timeout_s,
+                )
+            except (ChannelClosed, TimeoutError, OSError):
+                continue
+            if reply.get("t") == MSG_HEALTH_REPORT:
+                handle.last_report = HealthReport.from_dict(
+                    reply.get("report", {})
+                )
+        if (
+            not self.primary_alive
+            and self.promoted_handle is None
+            and self.config.auto_failover
+            and not self._stop.is_set()
+        ):
+            try:
+                self.failover()
+            except (XQueryError, ChannelClosed):
+                pass  # no candidate yet; next probe retries
+        self._write_health_file(self._aggregate())
+
+    # -- watermarks --------------------------------------------------------
+
+    def last_committed_seq(self) -> int | None:
+        """The write side's current watermark (None mid-failover)."""
+        if self.primary_alive:
+            return self.primary.journal.next_seq - 1
+        promoted = self.promoted_handle
+        if promoted is not None:
+            return max(promoted.acked_seq, self._buffer.last_seq)
+        return None
+
+    def lag_of(self, handle: ReplicaHandle) -> int | None:
+        primary_seq = self.last_committed_seq()
+        if primary_seq is None:
+            return None
+        return max(0, primary_seq - handle.acked_seq)
+
+    def replication_lag(self) -> dict[str, int | None]:
+        """Per-replica lag watermark, the fleet's headline metric."""
+        return {h.name: self.lag_of(h) for h in self.handles}
+
+    # -- serving -----------------------------------------------------------
+
+    def execute_write(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+    ):
+        """Route an updating query to whoever currently owns the journal.
+
+        Primary while it lives; the promoted replica after failover
+        (over the channel); a transient typed
+        :class:`~repro.errors.ReplicaLagError` during the failover gap.
+        """
+        if self.primary_alive:
+            return self.primary.execute(
+                query, bindings=bindings, timeout_ms=timeout_ms
+            )
+        promoted = self.promoted_handle
+        if promoted is None:
+            raise ReplicaLagError(
+                "no write target: primary is down and failover has not "
+                "completed",
+                retry_after_ms=self.config.probe_interval_s * 1000.0,
+            )
+        return self.query_replica(
+            promoted, query, bindings, timeout_ms=timeout_ms, write=True
+        )
+
+    def query_replica(
+        self,
+        handle: ReplicaHandle,
+        query: str,
+        bindings: dict | None = None,
+        *,
+        timeout_ms: float | None = None,
+        write: bool = False,
+    ):
+        """Run a query on one replica; typed errors re-raise in-process.
+
+        Returns a :class:`~repro.cluster.router.RoutedResult`.  A dead
+        channel maps to :class:`~repro.errors.ReplicaLagError`
+        (transient — the supervisor restarts the replica).
+        """
+        from repro.cluster.router import RoutedResult
+
+        message = {
+            "t": MSG_EXEC if write else MSG_QUERY,
+            "query": query,
+            "bindings": bindings,
+            "timeout_ms": timeout_ms,
+        }
+        timeout = self.config.rpc_timeout_s
+        if timeout_ms is not None:
+            timeout = max(timeout, timeout_ms / 1000.0 + 5.0)
+        try:
+            reply = handle.rpc(message, timeout=timeout)
+        except (ChannelClosed, OSError) as exc:
+            raise ReplicaLagError(
+                f"{handle.name} is unreachable: {exc}",
+                retry_after_ms=self.config.probe_interval_s * 1000.0,
+            ) from exc
+        except TimeoutError as exc:
+            handle.mark_dead(f"rpc timeout: {exc}")
+            raise ReplicaLagError(
+                f"{handle.name} did not answer in time",
+                retry_after_ms=self.config.probe_interval_s * 1000.0,
+            ) from exc
+        if reply.get("t") == MSG_ERROR:
+            raise_remote(reply.get("error", {}))
+        if reply.get("t") != MSG_RESULT:
+            raise ReplicaLagError(
+                f"{handle.name} answered {reply.get('t')!r} to a query"
+            )
+        return RoutedResult(
+            strings=list(reply.get("strings", [])),
+            xml=reply.get("xml"),
+            backend=handle.name,
+        )
+
+    def read_candidates(
+        self, max_lag_seq: int | None = None
+    ) -> list[ReplicaHandle]:
+        """Live, unstalled replicas within the staleness bound,
+        freshest first."""
+        bound = (
+            max_lag_seq
+            if max_lag_seq is not None
+            else self.config.default_max_lag_seq
+        )
+        out: list[ReplicaHandle] = []
+        for handle in self.handles:
+            if not handle.alive or handle.stalled or handle.promoted:
+                continue
+            lag = self.lag_of(handle)
+            if bound is not None and (lag is None or lag > bound):
+                continue
+            out.append(handle)
+        out.sort(key=lambda h: -h.acked_seq)
+        return out
+
+    # -- chaos hooks -------------------------------------------------------
+
+    def kill_replica(self, replica_id: int) -> None:
+        """SIGKILL one replica process (chaos: replica death)."""
+        handle = self.handles[replica_id]
+        proc = handle.proc
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+        handle.mark_dead("killed by chaos")
+        if self.tracer is not None:
+            self.tracer.count("cluster.chaos.replica_kills")
+
+    def stall_replica(self, replica_id: int, stalled: bool = True) -> None:
+        """Open/close a partition window: the pump stops shipping to
+        (and probing) the replica; its lag grows until the window
+        closes and catch-up resumes over the same channel."""
+        self.handles[replica_id].stalled = stalled
+
+    def kill_primary(self) -> None:
+        """Simulate primary process death (chaos: failover trigger).
+
+        The primary engine stops being routed to and its journal handle
+        is closed mid-flight — from the fleet's point of view the
+        process died.  (The supervisor process itself survives: it is
+        the control plane, the primary was just one engine inside it.)
+        """
+        self.primary_alive = False
+        try:
+            # Close under the store's write lock: a write already past
+            # admission finishes its append first, so in-flight requests
+            # still end in success or typed refusal — never a torn frame
+            # or an untyped closed-handle error.
+            with self.primary.engine.store.lock.write_locked():
+                self.primary.journal.close()
+        except OSError:
+            pass
+        if self.tracer is not None:
+            self.tracer.count("cluster.chaos.primary_kills")
+
+    # -- failover ----------------------------------------------------------
+
+    def failover(self) -> ReplicaHandle:
+        """Promote the freshest live replica under a bumped epoch.
+
+        Raises :class:`~repro.errors.ReplicaLagError` when no live
+        candidate exists (transient: restarts may yet produce one).
+        """
+        with self._failover_lock:
+            if self.promoted_handle is not None:
+                return self.promoted_handle
+            candidates = [
+                h
+                for h in self.handles
+                if h.alive and not h.stalled and not h.promoted
+            ]
+            if not candidates:
+                raise ReplicaLagError(
+                    "failover: no live replica to promote",
+                    retry_after_ms=self.config.probe_interval_s * 1000.0,
+                )
+            chosen = max(candidates, key=lambda h: h.acked_seq)
+            new_epoch = self.epoch + 1
+            reply = chosen.rpc(
+                {"t": MSG_PROMOTE, "epoch": new_epoch},
+                timeout=self.config.promote_timeout_s,
+            )
+            if reply.get("t") == MSG_ERROR:
+                raise_remote(reply.get("error", {}))
+            if reply.get("t") != MSG_PROMOTED:
+                raise StaleEpochError(
+                    f"{chosen.name} answered {reply.get('t')!r} to "
+                    "promote",
+                    stale_epoch=self.epoch,
+                    fence_epoch=new_epoch,
+                )
+            chosen.promoted = True
+            chosen.acked_seq = int(reply.get("applied_seq", 0))
+            chosen.epoch = new_epoch
+            self.epoch = new_epoch
+            self.primary_alive = False
+            self.promoted_handle = chosen
+            if self.tracer is not None:
+                self.tracer.count("cluster.failovers")
+            return chosen
+
+    def fingerprint_of(self, handle: ReplicaHandle) -> str:
+        """A replica's store digest (byte-agreement checks)."""
+        reply = handle.rpc(
+            {"t": MSG_FINGERPRINT}, timeout=self.config.promote_timeout_s
+        )
+        if reply.get("t") == MSG_ERROR:
+            raise_remote(reply.get("error", {}))
+        if reply.get("t") != MSG_FINGERPRINT_REPORT:
+            raise ReplicaLagError(
+                f"{handle.name} answered {reply.get('t')!r} to "
+                "fingerprint"
+            )
+        return str(reply.get("sha256"))
+
+    # -- health ------------------------------------------------------------
+
+    def _aggregate(self) -> HealthReport:
+        named: dict[str, HealthReport] = {}
+        if self.primary_alive:
+            named["primary"] = self.primary.health()
+        else:
+            role = (
+                "promoted to "
+                f"{self.promoted_handle.name}"
+                if self.promoted_handle is not None
+                else "failover pending"
+            )
+            named["primary"] = HealthReport(
+                status=UNHEALTHY, sections={"process": {"state": role}}
+            )
+        primary_seq = self.last_committed_seq()
+        for handle in self.handles:
+            report = handle.last_report
+            if not handle.alive:
+                report = HealthReport(
+                    status=UNHEALTHY,
+                    sections={
+                        "process": {
+                            "state": "dead",
+                            "reason": handle.last_error,
+                            "restarts": handle.restarts,
+                        }
+                    },
+                )
+            elif report is None:
+                report = HealthReport(sections={})
+            # The supervisor's acked watermark is the authoritative lag
+            # view (a stalled replica cannot self-report growing lag).
+            replication = dict(report.sections.get("replication", {}))
+            replication.update(
+                {
+                    "applied_seq": handle.acked_seq,
+                    "lag_seq": self.lag_of(handle),
+                    "stalled": handle.stalled,
+                    "promoted": handle.promoted,
+                    "restarts": handle.restarts,
+                }
+            )
+            report.sections["replication"] = replication
+            named[handle.name] = report
+        fleet = aggregate_reports(named)
+        fleet.sections["cluster"] = {
+            "epoch": self.epoch,
+            "primary_alive": self.primary_alive,
+            "promoted": (
+                self.promoted_handle.name
+                if self.promoted_handle is not None
+                else None
+            ),
+            "last_committed_seq": primary_seq,
+            "replicas": len(self.handles),
+        }
+        self._last_health = fleet
+        return fleet
+
+    def health(self) -> HealthReport:
+        """The fleet's aggregated health report (fresh probe views)."""
+        return self._aggregate()
+
+    def _write_health_file(self, report: HealthReport) -> None:
+        path = os.path.join(self.directory, HEALTH_FILE)
+        tmp = path + ".tmp"
+        payload = {"format": _HEALTH_FORMAT, "report": report.to_dict()}
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - health file is best effort
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSupervisor(directory={self.directory!r}, "
+            f"epoch={self.epoch}, replicas={len(self.handles)}, "
+            f"primary_alive={self.primary_alive})"
+        )

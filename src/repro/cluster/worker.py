@@ -1,0 +1,202 @@
+"""The replica worker process: ``python -m repro.cluster.worker``.
+
+One OS process per replica.  The supervisor launches this module with
+an inherited socketpair fd (``--fd``, via ``Popen(pass_fds=...)``) and
+drives it over the framed protocol of :mod:`repro.cluster.protocol`:
+
+1. the supervisor sends ``init`` (module source to re-register, an
+   optional crash-injection countdown for the fault tests);
+2. the worker recovers its read-only view and answers ``hello`` with
+   its applied watermark, witnessed epoch and pid;
+3. a single-threaded request loop serves ``frames`` / ``query`` /
+   ``health`` / ``promote`` / ``fingerprint`` / ``exec`` / ``shutdown``.
+
+The loop is deliberately single-threaded: frame application and query
+execution interleave at message granularity, so no store lock is
+needed inside the worker and a reader can never observe a half-applied
+commit group.  Typed failures cross back as ``error`` messages
+(:func:`~repro.cluster.protocol.error_payload`); a dead supervisor
+(EOF on the channel) exits the worker, so replicas cannot outlive
+their fleet.
+
+Exit codes: 0 clean shutdown, 1 transport loss, 2 bad invocation,
+3 injected crash (the fault tests' simulated process death).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+from typing import Any
+
+from repro.errors import XQueryError
+
+from repro.cluster.protocol import (
+    MSG_ACK,
+    MSG_BYE,
+    MSG_ERROR,
+    MSG_EXEC,
+    MSG_FINGERPRINT,
+    MSG_FINGERPRINT_REPORT,
+    MSG_FRAMES,
+    MSG_HEALTH,
+    MSG_HEALTH_REPORT,
+    MSG_HELLO,
+    MSG_INIT,
+    MSG_PROMOTE,
+    MSG_PROMOTED,
+    MSG_QUERY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    ChannelClosed,
+    FrameChannel,
+    error_payload,
+)
+from repro.cluster.replica import ReplicaApplier
+from repro.durability.faults import (
+    CRASH_MID_REPLAY,
+    FaultInjector,
+    InjectedCrash,
+)
+
+
+def _result_payload(result: Any) -> dict:
+    """Flatten a query result for the wire (strings + serialized XML)."""
+    try:
+        xml: str | None = result.serialize()
+    except XQueryError:  # pragma: no cover - non-serializable items
+        xml = None
+    return {"t": MSG_RESULT, "strings": result.strings(), "xml": xml}
+
+
+def serve(channel: FrameChannel, replica_id: int, directory: str) -> int:
+    """The worker request loop (factored out for in-process tests)."""
+    init = channel.recv(None)
+    if init.get("t") != MSG_INIT:
+        channel.send(
+            {
+                "t": MSG_ERROR,
+                "error": {"code": "REPR0000", "message": "expected init"},
+            }
+        )
+        return 2
+    faults: FaultInjector | None = None
+    crash_after = init.get("crash_after_frames")
+    if isinstance(crash_after, int) and crash_after > 0:
+        faults = FaultInjector()
+        faults.arm(CRASH_MID_REPLAY, after=crash_after)
+    applier = ReplicaApplier(
+        directory,
+        module_source=init.get("module"),
+        faults=faults,
+    )
+    channel.send(
+        {
+            "t": MSG_HELLO,
+            "id": replica_id,
+            "applied_seq": applier.applied_seq,
+            "epoch": applier.epoch,
+            "pid": os.getpid(),
+        }
+    )
+    while True:
+        message = channel.recv(None)
+        kind = message.get("t")
+        try:
+            if kind == MSG_FRAMES:
+                watermark = applier.apply_records(message.get("records", []))
+                channel.send({"t": MSG_ACK, "applied_seq": watermark})
+            elif kind == MSG_QUERY:
+                result = applier.execute(
+                    message.get("query", ""),
+                    bindings=message.get("bindings"),
+                    timeout_ms=message.get("timeout_ms"),
+                )
+                channel.send(_result_payload(result))
+            elif kind == MSG_EXEC:
+                if not applier.promoted:
+                    raise XQueryError(
+                        "replica has not been promoted; writes must go "
+                        "to the primary",
+                        code="REPR0010",
+                    )
+                result = applier.execute(
+                    message.get("query", ""),
+                    bindings=message.get("bindings"),
+                    timeout_ms=message.get("timeout_ms"),
+                )
+                channel.send(_result_payload(result))
+            elif kind == MSG_HEALTH:
+                report = applier.health(message.get("primary_seq"))
+                channel.send(
+                    {"t": MSG_HEALTH_REPORT, "report": report.to_dict()}
+                )
+            elif kind == MSG_PROMOTE:
+                watermark = applier.promote(int(message["epoch"]))
+                channel.send(
+                    {"t": MSG_PROMOTED, "applied_seq": watermark}
+                )
+            elif kind == MSG_FINGERPRINT:
+                channel.send(
+                    {
+                        "t": MSG_FINGERPRINT_REPORT,
+                        "sha256": applier.fingerprint(),
+                        "applied_seq": applier.applied_seq,
+                    }
+                )
+            elif kind == MSG_SHUTDOWN:
+                channel.send({"t": MSG_BYE})
+                applier.close()
+                return 0
+            else:
+                channel.send(
+                    {
+                        "t": MSG_ERROR,
+                        "error": {
+                            "code": "REPR0000",
+                            "message": f"unknown message type {kind!r}",
+                        },
+                    }
+                )
+        except XQueryError as exc:
+            # A failed frame batch leaves a half-received group pending;
+            # drop it so a re-ship from the ACK watermark starts clean.
+            if kind == MSG_FRAMES:
+                applier.reset_pending()
+            channel.send({"t": MSG_ERROR, "error": error_payload(exc)})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="repro cluster replica worker (supervisor-launched)",
+    )
+    parser.add_argument("--dir", required=True, help="durable directory")
+    parser.add_argument("--id", type=int, required=True, help="replica id")
+    parser.add_argument(
+        "--fd",
+        type=int,
+        required=True,
+        help="inherited socketpair file descriptor to the supervisor",
+    )
+    args = parser.parse_args(argv)
+    try:
+        sock = socket.socket(fileno=args.fd)
+    except OSError as exc:
+        print(f"worker: cannot adopt fd {args.fd}: {exc}", file=sys.stderr)
+        return 2
+    channel = FrameChannel(sock)
+    try:
+        return serve(channel, args.id, args.dir)
+    except ChannelClosed:
+        return 1  # the supervisor died; a replica must not outlive it
+    except InjectedCrash:
+        return 3  # simulated process death (fault tests)
+    finally:
+        channel.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

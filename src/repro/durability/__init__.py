@@ -17,12 +17,19 @@ from repro.durability.faults import (
     CRASH_AFTER_JOURNAL,
     CRASH_BEFORE_FSYNC,
     CRASH_MID_CHECKPOINT,
+    CRASH_MID_REPLAY,
     EIO_ON_WRITE,
     FaultInjector,
     FaultyFile,
     InjectedCrash,
 )
-from repro.durability.journal import Journal, ScanResult, scan_journal
+from repro.durability.journal import (
+    FollowerResyncRequired,
+    Journal,
+    JournalFollower,
+    ScanResult,
+    scan_journal,
+)
 from repro.durability.recover import (
     RecoveryReport,
     RecoveryResult,
@@ -32,6 +39,8 @@ from repro.durability.recover import (
 __all__ = [
     "DurableEngine",
     "Journal",
+    "JournalFollower",
+    "FollowerResyncRequired",
     "ScanResult",
     "scan_journal",
     "RecoveryReport",
@@ -44,5 +53,6 @@ __all__ = [
     "CRASH_BEFORE_FSYNC",
     "CRASH_AFTER_JOURNAL",
     "CRASH_MID_CHECKPOINT",
+    "CRASH_MID_REPLAY",
     "EIO_ON_WRITE",
 ]

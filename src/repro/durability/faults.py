@@ -56,6 +56,12 @@ ALL_CRASH_POINTS = (
     EIO_ON_WRITE,
 )
 
+#: A replica process dying mid-catch-up-replay (repro.cluster).  Kept
+#: out of ALL_CRASH_POINTS: the single-process durable-engine crash
+#: matrix never reaches a replica apply loop, so parametrizing it there
+#: would arm a point that cannot fire.
+CRASH_MID_REPLAY = "crash-mid-replay"
+
 #: Points that stall the caller instead of killing it (chaos harness).
 ALL_DELAY_POINTS = (
     SLOW_FSYNC,
@@ -94,7 +100,7 @@ class FaultInjector:
         survivable ``EIO_ON_WRITE`` may be persistent: a crash point
         that fires ends the simulated process, so re-firing it is
         meaningless."""
-        if point not in ALL_CRASH_POINTS:
+        if point not in ALL_CRASH_POINTS and point != CRASH_MID_REPLAY:
             raise ValueError(f"unknown crash point {point!r}")
         if after < 1:
             raise ValueError("after must be >= 1")

@@ -226,7 +226,7 @@ class ScanResult:
     offsets: list[int] = field(default_factory=list)
 
 
-def scan_journal(path: str) -> ScanResult:
+def scan_journal(path: str, *, from_offset: int = 0) -> ScanResult:
     """Read every intact frame of the journal at *path*.
 
     A partial final frame (any strict prefix of a frame ending at EOF,
@@ -235,6 +235,14 @@ def scan_journal(path: str) -> ScanResult:
     a complete frame with a bad CRC mid-file, a garbled header with more
     data behind it, undecodable payload JSON — raises
     :class:`~repro.errors.JournalCorruptionError`.
+
+    ``from_offset`` resumes an *incremental* scan at a byte offset a
+    previous scan reported (``good_offset`` — always a frame boundary):
+    only frames at or past the offset are decoded, so a tail-follower
+    does not re-read the whole log each poll.  The file header is still
+    verified; an offset before the header or past EOF (the file was
+    rotated/truncated underneath the follower) raises
+    :class:`~repro.errors.JournalCorruptionError` rather than guessing.
     """
     with open(path, "rb") as handle:
         data = handle.read()
@@ -244,6 +252,14 @@ def scan_journal(path: str) -> ScanResult:
         )
     offset = len(FILE_MAGIC)
     end = len(data)
+    if from_offset:
+        if from_offset < len(FILE_MAGIC) or from_offset > end:
+            raise JournalCorruptionError(
+                f"resume offset {from_offset} is outside {path!r} "
+                f"(header {len(FILE_MAGIC)}, size {end}) — the journal "
+                "was rotated or truncated underneath the follower"
+            )
+        offset = from_offset
     records: list[dict] = []
     offsets: list[int] = []
     while offset < end:
@@ -293,6 +309,109 @@ def scan_journal(path: str) -> ScanResult:
     )
 
 
+class FollowerResyncRequired(JournalCorruptionError):
+    """The follower's position was compacted out from under it.
+
+    Raised by :meth:`JournalFollower.poll` when a checkpoint compaction
+    folded records the follower never handed out into the checkpoint
+    (its watermark is behind the new manifest ``seq``): the frames are
+    gone, so frame-granular shipping cannot continue.  Not damage — the
+    consumer must resynchronize from the checkpoint (a replica restarts
+    with a full catch-up replay).  Subclasses
+    :class:`~repro.errors.JournalCorruptionError` so retry policies
+    already classify it as never-retryable.
+    """
+
+
+class JournalFollower:
+    """Incremental, read-only tail-follow over a durable directory.
+
+    The shipper's half of log-shipping replication: each :meth:`poll`
+    re-reads the manifest, resumes the journal scan at the byte offset
+    the previous poll ended on (never rescanning the whole log), and
+    returns the records past the ``after_seq`` watermark — whole commit
+    groups only, in strict sequence order.
+
+    Invariants the follower enforces:
+
+    * **torn tail at the offset** — a partial final frame is simply not
+      returned yet; the next poll resumes at the same boundary.  The
+      follower never truncates (it does not own the file);
+    * **unterminated trailing group** — a ``begin`` whose ``end`` has
+      not landed is held back whole (group atomicity extends to the
+      wire); the offset stays at the group's first frame;
+    * **resume across rotation** — a manifest generation change switches
+      the follower to the new journal file.  When the compaction folded
+      records the follower never delivered into the checkpoint,
+      :class:`FollowerResyncRequired` is raised instead of silently
+      skipping them;
+    * **sequence discipline** — delivered records are strictly
+      contiguous from the watermark; a gap or regression raises
+      :class:`~repro.errors.JournalCorruptionError` (permanently fatal,
+      never retried).
+    """
+
+    def __init__(self, directory: str, *, after_seq: int = 0):
+        self.directory = directory
+        self.watermark = after_seq
+        self.generation: int | None = None
+        self.path: str | None = None
+        self.offset = 0
+
+    def poll(self) -> list[dict]:
+        """Return the new complete records since the last poll."""
+        from repro.durability import manifest as manifest_mod
+
+        manifest = manifest_mod.read_manifest(self.directory)
+        if manifest["generation"] != self.generation:
+            if manifest["seq"] > self.watermark:
+                raise FollowerResyncRequired(
+                    f"compaction folded records up to seq "
+                    f"{manifest['seq']} into the checkpoint but the "
+                    f"follower only delivered up to {self.watermark}; "
+                    "resynchronize from the checkpoint"
+                )
+            self.generation = manifest["generation"]
+            self.path = os.path.join(self.directory, manifest["journal"])
+            self.offset = 0
+        assert self.path is not None
+        scan = scan_journal(self.path, from_offset=self.offset)
+        records = scan.records
+        offsets = scan.offsets
+        # Hold back a trailing unterminated commit group whole.
+        open_at: int | None = None
+        for index, record in enumerate(records):
+            marker = record.get("group")
+            if marker == "begin":
+                open_at = index
+            elif marker == "end":
+                open_at = None
+        if open_at is not None:
+            next_offset = offsets[open_at]
+            records = records[:open_at]
+        else:
+            next_offset = scan.good_offset
+        out: list[dict] = []
+        for record in records:
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                raise JournalCorruptionError(
+                    f"journal record without a sequence number in "
+                    f"{self.path!r}"
+                )
+            if seq <= self.watermark:
+                continue  # already delivered (re-attach mid-journal)
+            if seq != self.watermark + 1:
+                raise JournalCorruptionError(
+                    f"journal sequence gap while following {self.path!r}: "
+                    f"expected {self.watermark + 1}, found {seq}"
+                )
+            out.append(record)
+            self.watermark = seq
+        self.offset = next_offset
+        return out
+
+
 # ---------------------------------------------------------------------------
 # The journal proper
 # ---------------------------------------------------------------------------
@@ -332,6 +451,10 @@ class Journal:
         next_seq: sequence number the next record will carry.
         compact_max_bytes / compact_max_records: thresholds consulted by
             :attr:`needs_compaction` (None disables that bound).
+        epoch: the fencing epoch stamped into every frame payload
+            (``"ep"``).  0 outside a cluster; a promoted replica opens
+            the journal with the bumped epoch so replicas can refuse
+            frames from a deposed primary (:mod:`repro.cluster`).
         faults: optional :class:`~repro.durability.faults.FaultInjector`.
         tracer: optional tracer fed ``journal.*`` counters.
     """
@@ -346,6 +469,7 @@ class Journal:
         next_seq: int = 1,
         compact_max_bytes: int | None = None,
         compact_max_records: int | None = None,
+        epoch: int = 0,
         faults: FaultInjector | None = None,
         tracer: Any | None = None,
         _create: bool = True,
@@ -365,8 +489,14 @@ class Journal:
         self.next_seq = next_seq
         self.compact_max_bytes = compact_max_bytes
         self.compact_max_records = compact_max_records
+        self.epoch = epoch
         self.faults = faults
         self.tracer = tracer
+        # Fencing hook (see repro.cluster.fence): called before every
+        # append; raises StaleEpochError when a newer epoch has been
+        # published, refusing writes from a deposed primary *before*
+        # they can interleave with the promoted one's.
+        self.fence: Any | None = None
         # Circuit breaker protecting the commit path; installed by
         # DurableEngine when a resilience policy enables it.  The update
         # applier consults it before journaling a non-empty Δ and feeds
@@ -535,6 +665,7 @@ class Journal:
             post = store._next_id
         return {
             "seq": entry.seq,
+            "ep": self.epoch,
             "pre": entry.pre_next_id,
             "post": post,
             "sem": entry.semantics,
@@ -550,6 +681,12 @@ class Journal:
         on.  Raises ``OSError`` when the append fails (the caller turns
         that into a :class:`~repro.errors.DurabilityError`).
         """
+        if self.fence is not None:
+            self.fence()
+        if self._handle.closed:
+            # A deposed/shut-down owner's append must be a typed
+            # durability refusal, not a ValueError from the file object.
+            raise OSError("journal is closed")
         frame = self._frame(self._entry_payload(entry, store))
         faults = self.faults
         if faults is not None:
@@ -561,7 +698,10 @@ class Journal:
                 faults.hit(CRASH_BEFORE_FSYNC)  # raises InjectedCrash
             else:
                 faults.hit(CRASH_BEFORE_FSYNC)  # tick a countdown > 1
-        self._handle.write(frame)
+        try:
+            self._handle.write(frame)
+        except ValueError as exc:  # closed between the check and the write
+            raise OSError(str(exc)) from exc
         if self.fsync_mode == FSYNC_ALWAYS:
             self.sync()
         elif self.fsync_mode == FSYNC_BATCH:
@@ -593,11 +733,21 @@ class Journal:
         before the ``OSError`` propagates, so a *surviving* process
         never leaves a half-group for later frames to bury.
         """
+        if self.fence is not None:
+            self.fence()
+        if self._handle.closed:
+            raise OSError("journal is closed")
         seq = self.next_seq
         count = len(entries)
         frames = [
             self._frame(
-                {"seq": seq, "group": "begin", "txn": txn_id, "count": count}
+                {
+                    "seq": seq,
+                    "ep": self.epoch,
+                    "group": "begin",
+                    "txn": txn_id,
+                    "count": count,
+                }
             )
         ]
         for index, entry in enumerate(entries):
@@ -607,6 +757,7 @@ class Journal:
             self._frame(
                 {
                     "seq": seq + count + 1,
+                    "ep": self.epoch,
                     "group": "end",
                     "txn": txn_id,
                     "count": count,
@@ -634,12 +785,15 @@ class Journal:
                 self._commits_since_fsync += 1
                 if self._commits_since_fsync >= self.fsync_batch:
                     self.sync()
-        except OSError:
+        except (OSError, ValueError) as exc:
             try:
                 self._handle.flush()
                 os.ftruncate(self._handle.fileno(), start_bytes)
-            except OSError:
+            except (OSError, ValueError):
                 pass
+            if isinstance(exc, ValueError):
+                # Closed between the fence check and the write.
+                raise OSError(str(exc)) from exc
             raise
         if faults is not None:
             # The group is durable; the caller just never hears back.

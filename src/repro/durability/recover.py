@@ -134,6 +134,7 @@ def recover(
     directory: str,
     *,
     verify_invariants: bool = True,
+    readonly: bool = False,
     tracer: Any | None = None,
 ) -> RecoveryResult:
     """Rebuild the engine persisted in durable *directory*.
@@ -144,6 +145,13 @@ def recover(
     manifest or checkpoint and
     :class:`~repro.errors.JournalCorruptionError` for journal damage a
     torn append cannot explain.
+
+    ``readonly=True`` (a replica catching up on a journal it does not
+    own — :mod:`repro.cluster`) never writes: a torn tail or an
+    unterminated trailing commit group is *skipped* during replay but
+    left on disk for the journal's owner to truncate.  The returned
+    scan still reflects only the replayed prefix, so the caller's
+    watermark and resume offset agree with what was applied.
     """
     from repro.persist import load_engine
 
@@ -153,7 +161,7 @@ def recover(
     engine = load_engine(checkpoint_path)
     scan = scan_journal(journal_path)
     truncated_bytes = scan.torn_bytes
-    if scan.torn_bytes:
+    if scan.torn_bytes and not readonly:
         with open(journal_path, "r+b") as handle:
             handle.truncate(scan.good_offset)
             os.fsync(handle.fileno())
@@ -214,12 +222,14 @@ def recover(
                 )
     if open_at is not None:
         cut = scan.offsets[open_at]
-        with open(journal_path, "r+b") as handle:
-            handle.truncate(cut)
-            os.fsync(handle.fileno())
+        if not readonly:
+            with open(journal_path, "r+b") as handle:
+                handle.truncate(cut)
+                os.fsync(handle.fileno())
         truncated_bytes += scan.good_offset - cut
         # Mutate the scan in place so Journal.reopen(scan=...) and the
-        # sequence accounting below agree with the file on disk.
+        # sequence accounting below agree with the file on disk (in
+        # readonly mode: with the prefix that was actually replayed).
         del scan.records[open_at:]
         del scan.offsets[open_at:]
         scan.good_offset = cut

@@ -92,6 +92,16 @@ class ExecutionOptions:
             (see :mod:`repro.index`).  On by default; turning it off
             forces the sequential paths — results are identical either
             way (the equivalence the property suite checks).
+        max_lag_seq: staleness bound for routed reads, in journal
+            records behind the primary's committed watermark.  Only
+            consulted by :class:`~repro.cluster.QueryRouter`: a read
+            may be served by a replica at most this many records
+            stale; when no backend qualifies the call fails with a
+            transient :class:`~repro.errors.ReplicaLagError` rather
+            than silently serving staler data.  ``0`` demands
+            fully-caught-up state; None (the default) accepts any
+            healthy backend.  Ignored on the in-process path (lag is
+            zero by definition).
     """
 
     optimize: bool = False
@@ -102,6 +112,7 @@ class ExecutionOptions:
     timeout_ms: float | None = None
     cancel: "CancelToken | None" = None
     use_indexes: bool = True
+    max_lag_seq: int | None = None
 
     def __post_init__(self) -> None:
         if self.semantics is not None and not isinstance(
@@ -110,6 +121,8 @@ class ExecutionOptions:
             ApplySemantics(self.semantics)  # raises ValueError when invalid
         if self.timeout_ms is not None and self.timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive (or None)")
+        if self.max_lag_seq is not None and self.max_lag_seq < 0:
+            raise ValueError("max_lag_seq must be >= 0 (or None)")
 
     @property
     def resolved_semantics(self) -> ApplySemantics | None:

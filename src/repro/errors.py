@@ -372,6 +372,82 @@ class TransactionConflictError(XQueryError):
         super().__init__(message)
 
 
+class StaleEpochError(XQueryError):
+    """A write carried a fencing epoch older than the cluster's.
+
+    Raised on the replication path (:mod:`repro.cluster`) when a
+    deposed primary — one that missed its own failover — tries to
+    append to the journal, or when a shipped frame is stamped with an
+    epoch below the replica's fence.  Fencing makes split-brain a typed
+    refusal instead of silent divergence: the supervisor bumps the
+    epoch file at promotion, every journal frame is stamped with its
+    writer's epoch, and anything older than the fence is refused.
+
+    Permanently fatal: a stale epoch never heals on retry — the old
+    primary must rejoin as a replica (re-recover from the manifest +
+    journal under the new epoch).  :class:`repro.resilience.retry.
+    RetryPolicy` never retries it.
+
+    Attributes:
+        stale_epoch: the epoch the refused writer/frame carried.
+        fence_epoch: the cluster's current fencing epoch.
+    """
+
+    default_code = "REPR0009"
+
+    _detail_fields = ("stale_epoch", "fence_epoch")
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stale_epoch: int | None = None,
+        fence_epoch: int | None = None,
+    ):
+        self.stale_epoch = stale_epoch
+        self.fence_epoch = fence_epoch
+        super().__init__(message)
+
+
+class ReplicaLagError(XQueryError):
+    """No replica could serve a read inside its staleness bound.
+
+    Raised by the cluster read router when every healthy replica lags
+    behind the caller's ``ExecutionOptions(max_lag_seq=...)`` bound (and
+    the primary is not available to fall back to), or when the chosen
+    replica's connection reset mid-request with no alternative left.
+
+    Transient by design: replicas catch up, restarted replicas replay
+    the journal, partitions heal.  Carries ``retry_after_ms`` so callers
+    back off for roughly one shipping interval instead of hammering;
+    :class:`repro.resilience.retry.RetryPolicy` retries it out of the
+    box and honours the hint as a backoff floor.
+
+    Attributes:
+        lag_seq: the smallest lag among live replicas (None when none
+            were reachable at all).
+        max_lag_seq: the staleness bound the request carried.
+        retry_after_ms: hint for when a retry may find a fresh replica.
+    """
+
+    default_code = "REPR0010"
+
+    _detail_fields = ("lag_seq", "max_lag_seq", "retry_after_ms")
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lag_seq: int | None = None,
+        max_lag_seq: int | None = None,
+        retry_after_ms: float | None = None,
+    ):
+        self.lag_seq = lag_seq
+        self.max_lag_seq = max_lag_seq
+        self.retry_after_ms = retry_after_ms
+        super().__init__(message)
+
+
 class SerializationError(DynamicError):
     """The data model instance cannot be serialized to XML."""
 

@@ -47,6 +47,7 @@ _EXPORTS = {
     "ResourceGuard": "repro.resilience.admission",
     "nesting_depth": "repro.resilience.admission",
     "HealthReport": "repro.resilience.health",
+    "aggregate_reports": "repro.resilience.health",
     "ResiliencePolicy": "repro.resilience.policy",
     "ChaosHarness": "repro.resilience.chaos",
     "ChaosSchedule": "repro.resilience.chaos",

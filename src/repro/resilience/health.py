@@ -82,6 +82,21 @@ class HealthReport:
             "sections": self.sections,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthReport":
+        """Rebuild a report from :meth:`to_dict` output (a report that
+        crossed a process boundary — replica workers serialize theirs
+        over the replication channel / into ``cluster-health.json``)."""
+        status = payload.get("status", HEALTHY)
+        if status not in _RANK:
+            status = UNHEALTHY  # an unknown verdict is not a healthy one
+        sections = payload.get("sections")
+        return cls(
+            status=status,
+            sections=dict(sections) if isinstance(sections, dict) else {},
+            generated_at=payload.get("generated_at", 0.0) or 0.0,
+        )
+
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
@@ -104,3 +119,42 @@ class HealthReport:
             f"HealthReport(status={self.status!r}, "
             f"sections={sorted(self.sections)})"
         )
+
+
+def aggregate_reports(named: dict[str, "HealthReport"]) -> "HealthReport":
+    """Compose many *processes'* reports into one fleet report.
+
+    :meth:`HealthReport.merge` folds a wrapped layer's sections into the
+    wrapper's flat namespace — right for one process's stack, wrong for
+    a fleet where every member has its own ``store``/``durability``/
+    ``circuit`` sections that must not shadow each other.  Here each
+    member's whole report lands under its own name (status included),
+    while the fleet status keeps the same monotone worsen semantics:
+    the worst member wins.
+
+    A ``replication`` summary section surfaces per-member lag at the
+    top level (what ``repro health --json`` shows): for every member
+    that carries a ``replication`` section, its ``lag_seq`` is copied
+    into ``replication.lag_by_replica``.
+    """
+    fleet = HealthReport()
+    lag_by_replica: dict[str, Any] = {}
+    for name in sorted(named):
+        report = named[name]
+        fleet.worsen(report.status)
+        fleet.sections[name] = {
+            "status": report.status,
+            "sections": report.sections,
+        }
+        replication = report.sections.get("replication")
+        if isinstance(replication, dict) and "lag_seq" in replication:
+            lag_by_replica[name] = replication["lag_seq"]
+    if lag_by_replica:
+        fleet.sections["replication"] = {
+            "lag_by_replica": lag_by_replica,
+            "max_lag_seq": max(
+                (v for v in lag_by_replica.values() if isinstance(v, int)),
+                default=None,
+            ),
+        }
+    return fleet

@@ -39,7 +39,9 @@ from repro.errors import (
     DurabilityError,
     JournalCorruptionError,
     QueryTimeoutError,
+    ReplicaLagError,
     ServiceOverloadedError,
+    StaleEpochError,
     TransactionConflictError,
     XQueryError,
 )
@@ -50,10 +52,14 @@ DEFAULT_TRANSIENT = (
     ServiceOverloadedError,  # shed load — the queue drains
     QueryTimeoutError,  # lock-wait/queue-wait starvation under a burst
     TransactionConflictError,  # OCC abort — rerun on a fresh snapshot
+    ReplicaLagError,  # replicas catch up / restart / partitions heal
 )
 
-#: Never retried, whatever the whitelist says.
-NEVER_RETRY = (JournalCorruptionError,)
+#: Never retried, whatever the whitelist says.  Journal corruption does
+#: not heal on retry (and a follower needing resync subclasses it); a
+#: stale fencing epoch marks a deposed primary — retrying a fenced
+#: write would be split-brain by persistence.
+NEVER_RETRY = (JournalCorruptionError, StaleEpochError)
 
 
 @dataclass(frozen=True)
@@ -157,9 +163,11 @@ class RetryPolicy:
                     delay_ms = max(delay_ms, exc.retry_after_ms)
                 retry_hint = getattr(exc, "retry_after_ms", None)
                 if (
-                    isinstance(exc, ServiceOverloadedError)
+                    isinstance(exc, (ServiceOverloadedError, ReplicaLagError))
                     and retry_hint is not None
                 ):
+                    # The service's own backoff hint (queue drain time,
+                    # one shipping interval) floors the jittered delay.
                     delay_ms = max(delay_ms, retry_hint)
                 if self.budget_ms is not None:
                     elapsed_ms = (clock() - start) * 1000.0

@@ -339,12 +339,21 @@ def apply_update_list(
     if entry is not None:
         try:
             journal.commit(entry, store)
-        except OSError as exc:
+        except Exception as exc:
+            from repro.errors import DurabilityError, StaleEpochError
+
+            if isinstance(exc, StaleEpochError):
+                # A deposed primary's fenced append: un-apply so the
+                # dead engine's memory does not silently diverge, and
+                # let the typed refusal through unwrapped.
+                if checkpoint is not None:
+                    store.restore(checkpoint)
+                raise
+            if not isinstance(exc, OSError):
+                raise
             # The append failed but the process lives: un-apply (when we
             # can) so memory does not run ahead of disk, and surface a
             # typed error either way.
-            from repro.errors import DurabilityError
-
             if checkpoint is not None:
                 store.restore(checkpoint)
             if breaker is not None:

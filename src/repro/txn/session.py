@@ -42,6 +42,7 @@ from repro.errors import (
     ConflictError,
     DurabilityError,
     DynamicError,
+    StaleEpochError,
     TransactionConflictError,
     UpdateApplicationError,
     XQueryError,
@@ -524,6 +525,12 @@ class Transaction:
                         raise DurabilityError(
                             f"journal group append failed: {exc}"
                         ) from exc
+                    except StaleEpochError:
+                        # A deposed primary's fenced group commit:
+                        # un-apply and let the typed refusal through.
+                        store.restore(checkpoint)
+                        tracer.count("txn.aborts")
+                        raise
                     if breaker is not None:
                         breaker.record_success()
                 elif breaker is not None:

@@ -342,6 +342,14 @@ class AuctionFrontEnd:
       request may consume, load shedding becomes latency-aware, and
       transient durability faults are retried with backoff (see
       :class:`~repro.resilience.ResiliencePolicy`).
+    * Reads flow through a transport-agnostic
+      :class:`~repro.cluster.QueryRouter`: with no ``cluster`` the
+      router holds a single in-process backend and behaves
+      byte-for-byte like the pre-cluster executor path; with a
+      :class:`~repro.cluster.ClusterSupervisor` the provably read-only
+      calls may be served by replica processes within a staleness
+      bound (``max_lag_seq``), and after a failover writes are routed
+      to the promoted replica — one code path for both topologies.
 
     Aggregated serving evidence (queue depth, lock waits, snapshot age,
     shed/timeout counts) is at :attr:`metrics`; :meth:`health` reports
@@ -356,6 +364,8 @@ class AuctionFrontEnd:
         default_timeout_ms: float | None = 1000.0,
         reads: str = "snapshot",
         resilience=None,
+        cluster=None,
+        max_lag_seq: int | None = None,
     ):
         self.service = service if service is not None else AuctionService()
         self.executor = ConcurrentExecutor(
@@ -367,6 +377,24 @@ class AuctionFrontEnd:
             resilience=resilience,
         )
         self.metrics = self.executor.metrics
+        self.cluster = cluster
+        from repro.cluster.router import InProcessBackend, QueryRouter
+
+        # One read path for both topologies: the in-process backend's
+        # readiness tracks the supervisor's view of the primary, so a
+        # dead primary's (still-running) worker pool never serves.
+        self.router = QueryRouter(
+            InProcessBackend(
+                self.executor,
+                is_ready=(
+                    (lambda: cluster.primary_alive)
+                    if cluster is not None
+                    else None
+                ),
+            ),
+            supervisor=cluster,
+            default_max_lag_seq=max_lag_seq,
+        )
         from repro.resilience.retry import RetryPolicy
 
         # Transactional endpoints retry on OCC aborts (REPR0008 is in
@@ -391,6 +419,7 @@ class AuctionFrontEnd:
         bindings: dict | None = None,
         timeout_ms: float | None = None,
         cancel: CancelToken | None = None,
+        max_lag_seq: int | None = None,
     ) -> "Future[QueryResult]":
         """Submit arbitrary *query* text through the serving stack.
 
@@ -398,7 +427,17 @@ class AuctionFrontEnd:
         the parameter-binding boundary, never spliced into the query
         text.  This is the load driver's entry point; admission control
         and queue bounds apply exactly as for the named service calls.
+        A *max_lag_seq* bound marks the query as a routable read: it
+        may then be served by a replica within that staleness bound.
         """
+        if max_lag_seq is not None:
+            return self.router.submit_read(
+                query,
+                bindings,
+                timeout_ms=timeout_ms,
+                cancel=cancel,
+                max_lag_seq=max_lag_seq,
+            )
         return self.executor.submit(
             query,
             bindings=bindings,
@@ -413,6 +452,15 @@ class AuctionFrontEnd:
         timeout_ms: float | None = None,
         cancel: CancelToken | None = None,
     ) -> "Future[QueryResult]":
+        if self.cluster is not None and not self.cluster.primary_alive:
+            # Failover write path: the promoted replica serves writes
+            # over its channel; a router-pool thread waits on it.
+            return self.router.submit_call(
+                self.cluster.execute_write,
+                "get_item($itemid, $userid)",
+                {"itemid": itemid, "userid": userid},
+                timeout_ms=timeout_ms,
+            )
         return self.executor.submit(
             "get_item($itemid, $userid)",
             bindings={"itemid": itemid, "userid": userid},
@@ -426,12 +474,14 @@ class AuctionFrontEnd:
         userid: str,
         timeout_ms: float | None = None,
         cancel: CancelToken | None = None,
+        max_lag_seq: int | None = None,
     ) -> "Future[QueryResult]":
-        return self.executor.submit(
+        return self.router.submit_read(
             "get_item_nolog($itemid, $userid)",
-            bindings={"itemid": itemid, "userid": userid},
+            {"itemid": itemid, "userid": userid},
             timeout_ms=timeout_ms,
             cancel=cancel,
+            max_lag_seq=max_lag_seq,
         )
 
     # -- blocking convenience wrappers ------------------------------------
@@ -464,6 +514,7 @@ class AuctionFrontEnd:
         )
 
     def shutdown(self, wait: bool = True) -> None:
+        self.router.shutdown(wait=wait)
         self.executor.shutdown(wait=wait)
 
     def __enter__(self) -> "AuctionFrontEnd":

@@ -43,6 +43,8 @@ EXPECTED_ALL = {
     "CircuitOpenError",
     "ResourceLimitError",
     "TransactionConflictError",
+    "ReplicaLagError",
+    "StaleEpochError",
     "Session",
     "Transaction",
     "ResiliencePolicy",

@@ -1,0 +1,123 @@
+"""The fleet chaos gate: a short real run plus verdict/classify pins.
+
+The short run is the CI quality gate for the tentpole: a live fleet
+under concurrent load with a replica kill *and* a primary kill must end
+with only typed outcomes, a completed fenced failover, convergence and
+byte agreement with single-process recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.chaos import (
+    REPLICA_LAG,
+    STALE_EPOCH,
+    SUCCESS,
+    UNEXPECTED,
+    ClusterChaosHarness,
+    ClusterChaosReport,
+    ClusterChaosSchedule,
+)
+from repro.errors import (
+    CircuitOpenError,
+    DurabilityError,
+    ReplicaLagError,
+    StaleEpochError,
+)
+
+
+class TestClassify:
+    def test_replication_errors_have_their_own_outcome_classes(self):
+        classify = ClusterChaosHarness.classify
+        assert classify(None) == SUCCESS
+        assert classify(ReplicaLagError("behind")) == REPLICA_LAG
+        assert classify(StaleEpochError("deposed")) == STALE_EPOCH
+        assert classify(RuntimeError("boom")) == UNEXPECTED
+
+    def test_replication_errors_are_not_misfiled(self):
+        # Ordering matters: the fleet-specific refusals must be
+        # recognized before the broader durability/circuit buckets.
+        classify = ClusterChaosHarness.classify
+        assert classify(StaleEpochError("x")) != "durability"
+        assert classify(CircuitOpenError("x")) == "circuit-open"
+        assert classify(DurabilityError("x")) == "durability"
+
+
+class TestVerdict:
+    def base_report(self) -> ClusterChaosReport:
+        return ClusterChaosReport(
+            outcomes={SUCCESS: 100},
+            read_successes=60,
+            write_successes=40,
+            replicas_converged=True,
+            byte_agreement_ok=True,
+        )
+
+    def test_quiet_run_holds(self):
+        assert self.base_report().invariant_holds
+
+    def test_untyped_error_violates(self):
+        report = self.base_report()
+        report.unexpected.append("RuntimeError('boom')")
+        assert not report.invariant_holds
+
+    def test_divergence_violates(self):
+        report = self.base_report()
+        report.replicas_converged = False
+        assert not report.invariant_holds
+        report = self.base_report()
+        report.byte_agreement_ok = False
+        assert not report.invariant_holds
+
+    def test_primary_kill_demands_fenced_failover(self):
+        report = self.base_report()
+        report.primary_killed = True
+        report.failover_performed = True
+        report.post_failover_write_successes = 1
+        report.fenced_refusal_ok = True
+        assert report.invariant_holds
+        for breakage in (
+            {"failover_performed": False},
+            {"post_failover_write_successes": 0},
+            {"fenced_refusal_ok": False},
+        ):
+            broken = self.base_report()
+            broken.primary_killed = True
+            broken.failover_performed = True
+            broken.post_failover_write_successes = 1
+            broken.fenced_refusal_ok = True
+            for key, value in breakage.items():
+                setattr(broken, key, value)
+            assert not broken.invariant_holds, breakage
+
+    def test_report_serializes(self):
+        payload = self.base_report().to_dict()
+        assert payload["schema"] == "repro.cluster.chaos-report/v1"
+        assert payload["invariant_holds"] is True
+        assert "fenced_refusal_ok" in payload
+        assert "final_watermarks" in payload
+
+
+@pytest.mark.slow
+class TestShortRun:
+    def test_kill_replica_and_primary_invariant_holds(self, tmp_path):
+        schedule = ClusterChaosSchedule(
+            duration_s=4.0,
+            kill_replica_at_s=0.6,
+            kill_primary_at_s=2.0,
+        )
+        harness = ClusterChaosHarness(
+            path=str(tmp_path / "d"),
+            schedule=schedule,
+            replicas=2,
+            readers=2,
+            writers=2,
+        )
+        report = harness.run()
+        assert report.invariant_holds, report.render()
+        assert report.primary_killed
+        assert report.failover_performed
+        assert report.fenced_refusal_ok
+        assert report.outcomes.get(UNEXPECTED, 0) == 0
+        assert report.byte_agreement_ok

@@ -1,0 +1,93 @@
+"""Fencing epochs: monotone grants and the per-append journal fence.
+
+The split-brain defence in isolation: the EPOCH file only moves
+forward, exactly one promotion can win an epoch, and a journal owned
+under a superseded epoch refuses its next append with a typed
+:class:`~repro.errors.StaleEpochError` — with the in-memory store
+rolled back, so the deposed engine never runs ahead of disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.fence import (
+    EPOCH_NAME,
+    advance_epoch,
+    check_fence,
+    make_fence,
+    read_epoch,
+)
+from repro.durability import DurableEngine
+from repro.errors import DurabilityError, StaleEpochError
+
+
+class TestEpochFile:
+    def test_unfenced_directory_reads_epoch_zero(self, tmp_path):
+        assert read_epoch(str(tmp_path)) == 0
+
+    def test_advance_publishes_durably(self, tmp_path):
+        assert advance_epoch(str(tmp_path), 1) == 1
+        assert read_epoch(str(tmp_path)) == 1
+        assert advance_epoch(str(tmp_path), 5) == 5
+        assert read_epoch(str(tmp_path)) == 5
+
+    def test_advance_is_strictly_monotone(self, tmp_path):
+        advance_epoch(str(tmp_path), 2)
+        for losing in (2, 1, 0):
+            with pytest.raises(StaleEpochError) as info:
+                advance_epoch(str(tmp_path), losing)
+            assert info.value.fence_epoch == 2
+        assert read_epoch(str(tmp_path)) == 2  # the file never moved
+
+    def test_malformed_epoch_file_is_typed(self, tmp_path):
+        with open(
+            os.path.join(str(tmp_path), EPOCH_NAME), "w"
+        ) as handle:
+            json.dump({"epoch": "six"}, handle)
+        with pytest.raises(DurabilityError):
+            read_epoch(str(tmp_path))
+
+    def test_check_fence_refuses_only_superseded_writers(self, tmp_path):
+        check_fence(str(tmp_path), 0)  # no epoch granted: everyone writes
+        advance_epoch(str(tmp_path), 3)
+        check_fence(str(tmp_path), 3)  # the current owner passes
+        with pytest.raises(StaleEpochError):
+            check_fence(str(tmp_path), 2)
+
+
+class TestJournalFence:
+    def test_deposed_primary_append_is_refused_and_rolled_back(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "d")
+        engine = DurableEngine(path)
+        engine.load_document("doc", "<log/>")
+        engine.execute(
+            'snap { insert { <e n="0"/> } into { $doc/log } }'
+        )
+        engine.journal.fence = make_fence(path, 0)
+        advance_epoch(path, 1)  # a promotion happened elsewhere
+        with pytest.raises(StaleEpochError):
+            engine.execute(
+                'snap { insert { <e n="1"/> } into { $doc/log } }'
+            )
+        # The refused snap must not survive in memory: the deposed
+        # engine's view still equals what the journal holds.
+        assert engine.execute("count($doc/log/e)").first_value() == 1
+
+    def test_fenced_refusal_is_never_masked_as_durability(self, tmp_path):
+        path = str(tmp_path / "d")
+        engine = DurableEngine(path)
+        engine.load_document("doc", "<log/>")
+        engine.journal.fence = make_fence(path, 0)
+        advance_epoch(path, 7)
+        with pytest.raises(StaleEpochError) as info:
+            engine.execute(
+                'snap { insert { <e/> } into { $doc/log } }'
+            )
+        assert info.value.code == "REPR0009"
+        assert not isinstance(info.value, DurabilityError)

@@ -1,0 +1,169 @@
+"""Incremental journal tail-follow: the shipper's half of replication.
+
+Satellite coverage for :class:`~repro.durability.journal.JournalFollower`
+and :func:`~repro.durability.journal.scan_journal`'s ``from_offset``
+resume: a follower must resume at a byte offset (never rescanning the
+whole log), hold back torn tails and unterminated groups, survive a
+checkpoint rotation when caught up, and demand a resync — never skip —
+when compaction folded undelivered records away.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster.protocol import encode_message
+from repro.durability import DurableEngine
+from repro.durability.journal import (
+    FollowerResyncRequired,
+    JournalFollower,
+    scan_journal,
+)
+from repro.durability.manifest import read_manifest
+from repro.errors import JournalCorruptionError
+
+
+def fresh(tmp_path) -> tuple[str, DurableEngine]:
+    path = str(tmp_path / "d")
+    engine = DurableEngine(path)
+    engine.load_document("doc", "<log/>")
+    return path, engine
+
+
+def append(engine: DurableEngine, n: int) -> None:
+    engine.execute(
+        f'snap {{ insert {{ <e n="{n}"/> }} into {{ $doc/log }} }}'
+    )
+
+
+def journal_path(path: str) -> str:
+    return os.path.join(path, read_manifest(path)["journal"])
+
+
+class TestScanFromOffset:
+    def test_resume_skips_already_decoded_frames(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        append(engine, 1)
+        first = scan_journal(journal_path(path))
+        append(engine, 2)
+        resumed = scan_journal(
+            journal_path(path), from_offset=first.good_offset
+        )
+        assert [r["seq"] for r in resumed.records] == [
+            first.records[-1]["seq"] + 1
+        ]
+        assert resumed.offsets[0] == first.good_offset
+
+    def test_offset_outside_the_file_is_typed(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        append(engine, 1)
+        with pytest.raises(JournalCorruptionError):
+            scan_journal(journal_path(path), from_offset=3)
+        with pytest.raises(JournalCorruptionError):
+            scan_journal(journal_path(path), from_offset=1 << 30)
+
+    def test_torn_tail_at_resume_offset_is_reported_not_decoded(
+        self, tmp_path
+    ):
+        path, engine = fresh(tmp_path)
+        append(engine, 1)
+        scan = scan_journal(journal_path(path))
+        frame = encode_message({"seq": 99, "ep": 0})
+        with open(journal_path(path), "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        resumed = scan_journal(
+            journal_path(path), from_offset=scan.good_offset
+        )
+        assert resumed.records == []
+        assert resumed.good_offset == scan.good_offset
+        assert resumed.torn_bytes == len(frame) // 2
+
+
+class TestFollower:
+    def test_poll_is_incremental(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        append(engine, 2)
+        first = follower.poll()
+        assert [r["seq"] for r in first] == [1, 2]
+        assert follower.poll() == []  # nothing new, no rescan
+        append(engine, 3)
+        assert [r["seq"] for r in follower.poll()] == [3]
+
+    def test_resume_from_watermark_skips_delivered_records(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        append(engine, 1)
+        append(engine, 2)
+        late = JournalFollower(path, after_seq=1)
+        assert [r["seq"] for r in late.poll()] == [2]
+
+    def test_torn_tail_is_held_back_then_delivered_whole(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        follower.poll()
+        frame = encode_message({"seq": 2, "ep": 0})
+        with open(journal_path(path), "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        assert follower.poll() == []  # partial frame: not yet durable
+        offset_before = follower.offset
+        with open(journal_path(path), "ab") as handle:
+            handle.write(frame[len(frame) // 2 :])
+        delivered = follower.poll()
+        assert [r["seq"] for r in delivered] == [2]
+        assert follower.offset > offset_before
+
+    def test_unterminated_group_is_held_back_whole(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        follower.poll()
+        with open(journal_path(path), "ab") as handle:
+            handle.write(
+                encode_message({"seq": 2, "ep": 0, "group": "begin"})
+            )
+            handle.write(encode_message({"seq": 3, "ep": 0}))
+        assert follower.poll() == []  # begin without end: held back
+        with open(journal_path(path), "ab") as handle:
+            handle.write(
+                encode_message({"seq": 4, "ep": 0, "group": "end"})
+            )
+        assert [r["seq"] for r in follower.poll()] == [2, 3, 4]
+
+    def test_sequence_gap_is_permanently_fatal(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        follower.poll()
+        with open(journal_path(path), "ab") as handle:
+            handle.write(encode_message({"seq": 7, "ep": 0}))
+        with pytest.raises(JournalCorruptionError):
+            follower.poll()
+
+    def test_resume_across_rotation_when_caught_up(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        append(engine, 2)
+        follower.poll()
+        engine.checkpoint()  # rotates the journal generation
+        append(engine, 3)
+        delivered = follower.poll()
+        assert [r["seq"] for r in delivered] == [3]
+        assert follower.generation == read_manifest(path)["generation"]
+
+    def test_compacted_past_the_follower_demands_resync(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        follower.poll()
+        append(engine, 1)  # never delivered to the follower
+        engine.checkpoint()  # folds seq 1 into the checkpoint
+        with pytest.raises(FollowerResyncRequired):
+            follower.poll()
+        # FollowerResyncRequired is corruption-classified: retry
+        # policies must never spin on it.
+        with pytest.raises(JournalCorruptionError):
+            follower.poll()

@@ -1,0 +1,121 @@
+"""``repro health DIR`` over a replicated directory.
+
+The supervisor leaves ``cluster-health.json`` next to the journal; the
+CLI must fold it in — each member under its own name, worst status
+winning, per-replica lag surfaced in a top-level ``replication``
+section — and must never fail the probe over a missing or torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import health_main
+from repro.cluster.supervisor import HEALTH_FILE, _HEALTH_FORMAT
+from repro.durability import DurableEngine
+
+
+def durable_dir(tmp_path) -> str:
+    path = str(tmp_path / "d")
+    engine = DurableEngine(path)
+    engine.load_document("doc", "<log/>")
+    engine.execute('snap { insert { <e/> } into { $doc/log } }')
+    engine.close()
+    return path
+
+
+def write_fleet_file(path: str, *, status: str = "healthy") -> None:
+    fleet = {
+        "status": status,
+        "ok": status != "unhealthy",
+        "generated_at": 0.0,
+        "sections": {
+            "replica-0": {
+                "status": status,
+                "sections": {
+                    "replication": {
+                        "applied_seq": 41,
+                        "lag_seq": 1,
+                        "promoted": False,
+                        "stalled": False,
+                        "restarts": 0,
+                    }
+                },
+            },
+            "replica-1": {
+                "status": "healthy",
+                "sections": {
+                    "replication": {
+                        "applied_seq": 42,
+                        "lag_seq": 0,
+                        "promoted": False,
+                        "stalled": False,
+                        "restarts": 0,
+                    }
+                },
+            },
+            "cluster": {
+                "epoch": 0,
+                "primary_alive": True,
+                "promoted": None,
+                "last_committed_seq": 42,
+                "replicas": 2,
+            },
+        },
+    }
+    with open(os.path.join(path, HEALTH_FILE), "w") as handle:
+        json.dump({"format": _HEALTH_FORMAT, "report": fleet}, handle)
+
+
+class TestClusterMerge:
+    def test_per_replica_lag_shows_in_json(self, tmp_path, capsys):
+        path = durable_dir(tmp_path)
+        write_fleet_file(path)
+        assert health_main([path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["sections"]) >= {
+            "local",
+            "replica-0",
+            "replica-1",
+            "cluster",
+            "replication",
+        }
+        replication = payload["sections"]["replication"]
+        assert replication["lag_by_replica"] == {
+            "replica-0": 1,
+            "replica-1": 0,
+        }
+        assert replication["max_lag_seq"] == 1
+
+    def test_worst_member_status_wins(self, tmp_path, capsys):
+        path = durable_dir(tmp_path)
+        write_fleet_file(path, status="unhealthy")
+        assert health_main([path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "unhealthy"
+        # The local engine's own sections survive, under "local".
+        assert "durability" in payload["sections"]["local"]["sections"]
+
+    def test_missing_file_means_single_process_report(self, tmp_path, capsys):
+        path = durable_dir(tmp_path)
+        assert health_main([path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "replication" not in payload["sections"]
+        assert "durability" in payload["sections"]
+
+    def test_torn_fleet_file_never_fails_the_probe(self, tmp_path, capsys):
+        path = durable_dir(tmp_path)
+        with open(os.path.join(path, HEALTH_FILE), "w") as handle:
+            handle.write('{"format": "repro.cluster.health/v1", "rep')
+        assert health_main([path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "durability" in payload["sections"]
+
+    def test_foreign_format_is_ignored(self, tmp_path, capsys):
+        path = durable_dir(tmp_path)
+        with open(os.path.join(path, HEALTH_FILE), "w") as handle:
+            json.dump({"format": "someone-else/v9", "report": {}}, handle)
+        assert health_main([path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "local" not in payload["sections"]

@@ -1,0 +1,178 @@
+"""The replication wire protocol: framing, CRCs, typed-error transit.
+
+The channel reuses the WAL's frame format (magic + length + payload CRC
++ header CRC) over a socket; these tests pin the roundtrip, the refusal
+of garbled or hostile frames, and :func:`raise_remote` rebuilding the
+exact typed error class (with its detail fields) on the supervisor
+side.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_MESSAGE_BYTES,
+    ChannelClosed,
+    FrameChannel,
+    encode_message,
+    error_payload,
+    raise_remote,
+    socketpair_channel,
+)
+from repro.errors import (
+    DurabilityError,
+    QueryTimeoutError,
+    ReplicaLagError,
+    StaleEpochError,
+    XQueryError,
+)
+
+
+def channel_pair() -> tuple[FrameChannel, FrameChannel]:
+    left, right = socket.socketpair()
+    return FrameChannel(left), FrameChannel(right)
+
+
+class TestRoundtrip:
+    def test_message_survives_the_wire(self):
+        a, b = channel_pair()
+        a.send({"t": "frames", "records": [{"seq": 1, "ep": 0}]})
+        message = b.recv(timeout=5.0)
+        assert message == {"t": "frames", "records": [{"seq": 1, "ep": 0}]}
+        a.close()
+        b.close()
+
+    def test_many_messages_preserve_order_and_boundaries(self):
+        a, b = channel_pair()
+        for index in range(50):
+            a.send({"t": "ack", "applied_seq": index})
+        for index in range(50):
+            assert b.recv(timeout=5.0)["applied_seq"] == index
+        a.close()
+        b.close()
+
+    def test_request_is_send_plus_reply(self):
+        a, b = channel_pair()
+
+        def responder():
+            message = b.recv(timeout=5.0)
+            b.send({"t": "ack", "echo": message["t"]})
+
+        thread = threading.Thread(target=responder)
+        thread.start()
+        reply = a.request({"t": "health"}, timeout=5.0)
+        thread.join()
+        assert reply == {"t": "ack", "echo": "health"}
+        a.close()
+        b.close()
+
+    def test_socketpair_channel_hands_out_a_raw_peer(self):
+        channel, peer = socketpair_channel()
+        worker_side = FrameChannel(peer)
+        channel.send({"t": "init"})
+        assert worker_side.recv(timeout=5.0) == {"t": "init"}
+        channel.close()
+        worker_side.close()
+
+
+class TestGarbledFrames:
+    def test_eof_raises_channel_closed(self):
+        a, b = channel_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=5.0)
+
+    def test_corrupt_header_crc_is_refused(self):
+        a, b = channel_pair()
+        frame = bytearray(encode_message({"t": "ack"}))
+        frame[2] ^= 0xFF  # damage the magic inside the CRC'd header
+        a._sock.sendall(bytes(frame))
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=5.0)
+        assert b.closed
+
+    def test_corrupt_payload_crc_is_refused(self):
+        a, b = channel_pair()
+        frame = bytearray(encode_message({"t": "ack", "applied_seq": 7}))
+        frame[-1] ^= 0xFF
+        a._sock.sendall(bytes(frame))
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=5.0)
+
+    def test_hostile_length_never_allocates(self):
+        from zlib import crc32
+
+        from repro.durability.journal import FRAME_MAGIC
+
+        a, b = channel_pair()
+        head = struct.pack(
+            "<III", FRAME_MAGIC, MAX_MESSAGE_BYTES + 1, 0
+        )
+        a._sock.sendall(head + struct.pack("<I", crc32(head)))
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=5.0)
+
+    def test_non_object_payload_is_refused(self):
+        import json
+        from zlib import crc32
+
+        from repro.durability.journal import FRAME_MAGIC
+
+        a, b = channel_pair()
+        payload = json.dumps([1, 2, 3]).encode()
+        head = struct.pack(
+            "<III", FRAME_MAGIC, len(payload), crc32(payload)
+        )
+        a._sock.sendall(head + struct.pack("<I", crc32(head)) + payload)
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=5.0)
+
+    def test_send_after_close_is_typed(self):
+        a, _ = channel_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send({"t": "ack"})
+
+
+class TestTypedErrorsAcrossTheBoundary:
+    def test_stale_epoch_rebuilds_with_detail_fields(self):
+        original = StaleEpochError(
+            "deposed", stale_epoch=1, fence_epoch=3
+        )
+        with pytest.raises(StaleEpochError) as info:
+            raise_remote(error_payload(original))
+        assert info.value.code == "REPR0009"
+        assert info.value.stale_epoch == 1
+        assert info.value.fence_epoch == 3
+
+    def test_replica_lag_keeps_its_retry_hint(self):
+        original = ReplicaLagError(
+            "behind", lag_seq=12, max_lag_seq=4, retry_after_ms=20.0
+        )
+        with pytest.raises(ReplicaLagError) as info:
+            raise_remote(error_payload(original))
+        assert info.value.retry_after_ms == 20.0
+        assert info.value.lag_seq == 12
+        assert info.value.max_lag_seq == 4
+
+    @pytest.mark.parametrize(
+        "original",
+        [
+            DurabilityError("disk gone"),
+            QueryTimeoutError("too slow"),
+        ],
+    )
+    def test_registered_classes_come_back_as_themselves(self, original):
+        with pytest.raises(type(original)):
+            raise_remote(error_payload(original))
+
+    def test_unregistered_code_degrades_to_base_xquery_error(self):
+        with pytest.raises(XQueryError) as info:
+            raise_remote({"code": "REPR9999", "message": "weird"})
+        assert type(info.value) is XQueryError
+        assert info.value.code == "REPR9999"

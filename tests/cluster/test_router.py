@@ -1,0 +1,179 @@
+"""QueryRouter: staleness-bounded routing over stub backends.
+
+Pins the routing policy without any processes: freshest qualifying
+replica first, primary last as the fallback, transient backend
+failures skipped, fencing never routed around, and a typed
+:class:`~repro.errors.ReplicaLagError` (with its retry hint) when
+nothing qualifies.  Also pins the :class:`~repro.engine.
+ExecutionOptions` ``max_lag_seq`` contract the router consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.router import QueryRouter, RoutedResult
+from repro.engine import ExecutionOptions
+from repro.errors import ReplicaLagError, StaleEpochError
+
+
+class StubBackend:
+    def __init__(
+        self,
+        name: str,
+        lag: int | None = 0,
+        ready: bool = True,
+        error: BaseException | None = None,
+    ):
+        self.name = name
+        self._lag = lag
+        self._ready = ready
+        self._error = error
+        self.calls = 0
+
+    def ready(self) -> bool:
+        return self._ready
+
+    def lag_seq(self) -> int | None:
+        return self._lag
+
+    def execute_read(self, query, bindings=None, *, timeout_ms=None):
+        self.calls += 1
+        if self._error is not None:
+            raise self._error
+        return RoutedResult(strings=[self.name], backend=self.name)
+
+
+def served_by(router: QueryRouter, **kwargs) -> str:
+    return router.execute_read("q", **kwargs).backend
+
+
+class TestRoutingPolicy:
+    def test_freshest_qualifying_replica_wins(self):
+        fresh = StubBackend("replica-fresh", lag=1)
+        stale = StubBackend("replica-stale", lag=9)
+        router = QueryRouter(replicas=[stale, fresh])
+        assert served_by(router, max_lag_seq=10) == "replica-fresh"
+
+    def test_bound_excludes_laggards(self):
+        near = StubBackend("replica-near", lag=3)
+        far = StubBackend("replica-far", lag=50)
+        router = QueryRouter(replicas=[near, far])
+        assert served_by(router, max_lag_seq=5) == "replica-near"
+        assert far.calls == 0
+
+    def test_primary_is_the_last_resort(self):
+        primary = StubBackend("primary", lag=0)
+        replica = StubBackend("replica-0", lag=2)
+        router = QueryRouter(primary=primary, replicas=[replica])
+        assert served_by(router, max_lag_seq=10) == "replica-0"
+        assert primary.calls == 0
+
+    def test_primary_serves_when_no_replica_qualifies(self):
+        primary = StubBackend("primary", lag=0)
+        replica = StubBackend("replica-0", lag=99)
+        router = QueryRouter(primary=primary, replicas=[replica])
+        assert served_by(router, max_lag_seq=5) == "primary"
+
+    def test_zero_bound_demands_fully_caught_up(self):
+        caught_up = StubBackend("replica-0", lag=0)
+        behind = StubBackend("replica-1", lag=1)
+        router = QueryRouter(replicas=[behind, caught_up])
+        assert served_by(router, max_lag_seq=0) == "replica-0"
+
+    def test_unknown_lag_never_qualifies_under_a_bound(self):
+        unknown = StubBackend("replica-0", lag=None)
+        router = QueryRouter(replicas=[unknown])
+        with pytest.raises(ReplicaLagError):
+            served_by(router, max_lag_seq=100)
+
+    def test_default_bound_applies_when_call_has_none(self):
+        near = StubBackend("replica-near", lag=1)
+        far = StubBackend("replica-far", lag=50)
+        router = QueryRouter(
+            replicas=[far, near], default_max_lag_seq=5
+        )
+        assert served_by(router) == "replica-near"
+
+    def test_options_carry_the_bound(self):
+        replica = StubBackend("replica-0", lag=10)
+        router = QueryRouter(replicas=[replica])
+        options = ExecutionOptions(max_lag_seq=5)
+        with pytest.raises(ReplicaLagError):
+            router.execute_read("q", options=options)
+
+
+class TestFailureHandling:
+    def test_transient_failure_falls_through_to_the_next(self):
+        flaky = StubBackend(
+            "replica-flaky", lag=0, error=ReplicaLagError("reset")
+        )
+        healthy = StubBackend("replica-healthy", lag=1)
+        router = QueryRouter(replicas=[flaky, healthy])
+        assert served_by(router, max_lag_seq=10) == "replica-healthy"
+
+    def test_fencing_is_never_routed_around(self):
+        fenced = StubBackend(
+            "replica-fenced",
+            lag=0,
+            error=StaleEpochError("deposed", stale_epoch=1, fence_epoch=2),
+        )
+        healthy = StubBackend("replica-healthy", lag=1)
+        router = QueryRouter(replicas=[fenced, healthy])
+        with pytest.raises(StaleEpochError):
+            served_by(router, max_lag_seq=10)
+        assert healthy.calls == 0
+
+    def test_nothing_qualifying_is_a_typed_refusal_with_hint(self):
+        behind = StubBackend("replica-0", lag=40)
+        router = QueryRouter(replicas=[behind], retry_after_ms=25.0)
+        with pytest.raises(ReplicaLagError) as info:
+            served_by(router, max_lag_seq=5)
+        assert info.value.code == "REPR0010"
+        assert info.value.max_lag_seq == 5
+        assert info.value.lag_seq == 40  # best observed lag, reported
+        assert info.value.retry_after_ms == 25.0
+
+    def test_not_ready_backends_are_invisible(self):
+        down = StubBackend("replica-down", lag=0, ready=False)
+        router = QueryRouter(replicas=[down])
+        with pytest.raises(ReplicaLagError):
+            served_by(router, max_lag_seq=10)
+
+
+class TestRoutedResult:
+    def test_duck_compatibility_with_query_result(self):
+        result = RoutedResult(
+            strings=["a", "b"], xml="<r/>", backend="replica-0"
+        )
+        assert result.strings() == ["a", "b"]
+        assert result.serialize() == "<r/>"
+        assert result.first_value() == "a"
+        assert len(result) == 2
+        assert result.backend == "replica-0"
+
+    def test_empty_result(self):
+        result = RoutedResult()
+        assert result.strings() == []
+        assert result.serialize() == ""
+        assert result.first_value() is None
+        assert len(result) == 0
+
+
+class TestExecutionOptionsMaxLag:
+    def test_default_is_unbounded(self):
+        assert ExecutionOptions().max_lag_seq is None
+
+    def test_zero_is_a_legal_bound(self):
+        assert ExecutionOptions(max_lag_seq=0).max_lag_seq == 0
+
+    def test_negative_bound_is_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionOptions(max_lag_seq=-1)
+
+    def test_options_stay_immutable(self):
+        options = ExecutionOptions(max_lag_seq=4)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.max_lag_seq = 8

@@ -1,0 +1,71 @@
+"""ShipBuffer: one journal tail-follow fanned out to many watermarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.shipper import ShipBuffer
+from repro.durability import DurableEngine
+
+
+def fresh(tmp_path) -> tuple[str, DurableEngine]:
+    path = str(tmp_path / "d")
+    engine = DurableEngine(path)
+    engine.load_document("doc", "<log/>")
+    return path, engine
+
+
+def append(engine: DurableEngine, n: int) -> None:
+    engine.execute(
+        f'snap {{ insert {{ <e n="{n}"/> }} into {{ $doc/log }} }}'
+    )
+
+
+class TestWindow:
+    def test_records_after_slices_per_replica_watermark(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        buffer = ShipBuffer(path)
+        for n in range(4):
+            append(engine, n)
+        buffer.poll()
+        assert [r["seq"] for r in buffer.records_after(0)] == [1, 2, 3, 4]
+        assert [r["seq"] for r in buffer.records_after(2)] == [3, 4]
+        assert buffer.records_after(4) == []
+        assert buffer.records_after(9) == []  # ahead of the tail: nothing
+
+    def test_trim_keeps_the_slowest_replica_served(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        buffer = ShipBuffer(path)
+        for n in range(4):
+            append(engine, n)
+        buffer.poll()
+        buffer.trim(2)  # slowest live replica acked 2
+        assert [r["seq"] for r in buffer.records_after(2)] == [3, 4]
+        # A replica behind the trimmed window cannot be frame-served.
+        assert buffer.records_after(0) is None
+
+    def test_capacity_eviction_forces_resync_for_laggards(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        buffer = ShipBuffer(path, capacity=2)
+        for n in range(5):
+            append(engine, n)
+        buffer.poll()
+        assert len(buffer) == 2
+        assert buffer.records_after(0) is None  # fell out of the window
+        assert [r["seq"] for r in buffer.records_after(3)] == [4, 5]
+
+    def test_resync_restarts_the_follower(self, tmp_path):
+        path, engine = fresh(tmp_path)
+        buffer = ShipBuffer(path)
+        for n in range(3):
+            append(engine, n)
+        buffer.poll()
+        buffer.resync(after_seq=2)
+        assert len(buffer) == 0
+        buffer.poll()
+        assert [r["seq"] for r in buffer.records_after(2)] == [3]
+
+    def test_capacity_must_be_positive(self, tmp_path):
+        path, _ = fresh(tmp_path)
+        with pytest.raises(ValueError):
+            ShipBuffer(path, capacity=0)

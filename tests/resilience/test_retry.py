@@ -16,7 +16,9 @@ from repro.errors import (
     JournalCorruptionError,
     ParseError,
     QueryTimeoutError,
+    ReplicaLagError,
     ServiceOverloadedError,
+    StaleEpochError,
     UpdateError,
 )
 from repro.obs import Tracer
@@ -64,6 +66,34 @@ class TestClassification:
         # (which IS whitelisted), corruption does not heal on retry.
         policy = RetryPolicy()
         assert not policy.is_transient(JournalCorruptionError("torn frame"))
+
+    def test_replica_lag_is_transient(self):
+        # Replication lag heals: replicas catch up, restarted replicas
+        # replay the journal, partition windows close.
+        policy = RetryPolicy()
+        assert policy.is_transient(
+            ReplicaLagError("behind", lag_seq=9, max_lag_seq=4)
+        )
+        assert policy.is_transient(
+            ReplicaLagError("replica-0 is unreachable: reset")
+        )
+
+    def test_stale_epoch_is_permanently_fatal(self):
+        # A deposed primary's fenced write must never be retried —
+        # success on retry would be split-brain by persistence.
+        policy = RetryPolicy()
+        assert not policy.is_transient(
+            StaleEpochError("deposed", stale_epoch=1, fence_epoch=2)
+        )
+
+    def test_follower_resync_is_never_retried(self):
+        # FollowerResyncRequired subclasses JournalCorruptionError:
+        # the shipped frames are gone, only a resync helps.
+        from repro.durability.journal import FollowerResyncRequired
+
+        assert not RetryPolicy().is_transient(
+            FollowerResyncRequired("compacted past the follower")
+        )
 
     def test_circuit_open_opt_in(self):
         assert not RetryPolicy().is_transient(CircuitOpenError("open"))
@@ -126,6 +156,19 @@ class TestBackoff:
                 clock=FakeClock(),
             )
         assert slept == [0.25]
+
+    def test_replica_lag_retry_after_is_a_floor(self):
+        # The router stamps one shipping interval on lag refusals;
+        # retrying sooner cannot find a fresher replica.
+        policy = RetryPolicy(max_attempts=2, base_delay_ms=0.0, budget_ms=None)
+        slept = []
+        with pytest.raises(ReplicaLagError):
+            policy.call(
+                flaky(5, ReplicaLagError("behind", retry_after_ms=40.0)),
+                sleep=slept.append,
+                clock=FakeClock(),
+            )
+        assert slept == [0.04]
 
 
 class TestLoop:
