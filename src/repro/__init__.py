@@ -47,7 +47,7 @@ from repro.txn import Session, Transaction
 from repro.xdm import AtomicValue, Node, NodeKind, Store
 from repro.xmlio import parse_document, parse_fragment, serialize
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Engine",

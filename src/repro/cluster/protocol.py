@@ -92,6 +92,43 @@ def encode_message(message: dict) -> bytes:
     return head + struct.pack("<I", crc32(head)) + payload
 
 
+def decode_message(blob: bytes) -> dict:
+    """Validate and decode one complete framed blob.
+
+    The exact checks :meth:`FrameChannel.recv` performs on a socket
+    stream — magic, header CRC, length bound, payload CRC, JSON object
+    — applied to an in-memory frame (the :class:`SimChannel` receive
+    path).  Raises :class:`ChannelClosed` on any violation, so both
+    transports refuse garbled frames with the same vocabulary.
+    """
+    if len(blob) < HEADER_SIZE:
+        raise ChannelClosed(
+            f"truncated frame: {len(blob)} bytes < {HEADER_SIZE}-byte header"
+        )
+    header = blob[:HEADER_SIZE]
+    magic, length, payload_crc, header_crc = _HEADER.unpack(header)
+    if crc32(header[:12]) != header_crc or magic != FRAME_MAGIC:
+        raise ChannelClosed("garbled frame header on channel")
+    if length > MAX_MESSAGE_BYTES:
+        raise ChannelClosed(
+            f"frame declares {length} bytes (limit {MAX_MESSAGE_BYTES})"
+        )
+    payload = blob[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ChannelClosed(
+            f"frame declares {length} payload bytes, carries {len(payload)}"
+        )
+    if crc32(payload) != payload_crc:
+        raise ChannelClosed("frame payload failed its CRC on channel")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ChannelClosed(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ChannelClosed("frame payload is not a message object")
+    return message
+
+
 class FrameChannel:
     """A message channel over a connected socket.
 
@@ -191,6 +228,105 @@ class FrameChannel:
         """Send *message* and return the peer's next reply."""
         self.send(message)
         return self.recv(timeout)
+
+
+class SimChannel:
+    """An in-memory channel endpoint with the wire frame discipline.
+
+    The deterministic simulator's stand-in for :class:`FrameChannel`:
+    every ``send`` still round-trips through
+    :func:`encode_message`/:func:`decode_message`, so the CRC framing
+    is genuinely exercised — but the bytes travel through a *transport*
+    object instead of a socket, and the transport owns delivery
+    (seeded delay, loss, partition, per-link FIFO; see
+    :class:`repro.sim.net.SimNetwork`).
+
+    The transport contract is one method::
+
+        transmit(source: SimChannel, blob: bytes) -> None
+
+    called at send time; the transport later calls
+    :meth:`deliver` on the *peer* endpoint with the (possibly dropped,
+    always whole) blob.  Receive is event-driven: a delivered message
+    lands in :attr:`on_message` when set, else queues for a
+    non-blocking :meth:`recv` — the simulator's hosts never block,
+    the event scheduler owns all waiting.
+    """
+
+    def __init__(self, name: str, transport: Any):
+        self.name = name
+        self._transport = transport
+        self.peer: "SimChannel | None" = None
+        self.closed = False
+        self.on_message: Any | None = None
+        self._inbox: list[dict] = []
+
+    @staticmethod
+    def pair(
+        transport: Any, a_name: str, b_name: str
+    ) -> tuple["SimChannel", "SimChannel"]:
+        """Two connected endpoints over one transport."""
+        a = SimChannel(a_name, transport)
+        b = SimChannel(b_name, transport)
+        a.peer, b.peer = b, a
+        return a, b
+
+    def close(self) -> None:
+        self.closed = True
+
+    def send(self, message: dict) -> None:
+        """Frame *message* and hand the bytes to the transport.
+
+        Raises :class:`ChannelClosed` when either endpoint is closed —
+        the same contract a dead socket gives the real channel.
+        """
+        if self.closed:
+            raise ChannelClosed("channel is closed")
+        if self.peer is None or self.peer.closed:
+            self.close()
+            raise ChannelClosed("peer went away during send")
+        self._transport.transmit(self, encode_message(message))
+
+    def deliver(self, blob: bytes) -> None:
+        """Transport callback: one whole frame arrived at this endpoint.
+
+        A garbled frame closes the channel (exactly like
+        :meth:`FrameChannel.recv`); deliveries after close are dropped
+        on the floor, as a dead process's socket buffer would be.
+        """
+        if self.closed:
+            return
+        try:
+            message = decode_message(blob)
+        except ChannelClosed:
+            self.close()
+            return
+        if self.on_message is not None:
+            self.on_message(message)
+        else:
+            self._inbox.append(message)
+
+    def recv(self, timeout: float | None = None) -> dict:
+        """Pop one queued message; never blocks.
+
+        Simulated hosts are event-driven — an empty inbox means the
+        caller scheduled its receive wrong, so it raises
+        :class:`ChannelClosed` rather than wait on virtual time.
+        """
+        if self._inbox:
+            return self._inbox.pop(0)
+        raise ChannelClosed(
+            "no message pending on simulated channel (recv would block)"
+        )
+
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimChannel(name={self.name!r}, closed={self.closed}, "
+            f"pending={len(self._inbox)})"
+        )
 
 
 # -- typed errors across the process boundary ------------------------------

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import subprocess
 import sys
 import threading
@@ -80,7 +81,8 @@ from repro.cluster.protocol import (
     socketpair_channel,
 )
 from repro.cluster.shipper import ShipBuffer
-from repro.durability.journal import FollowerResyncRequired
+from repro.durability.journal import FollowerResyncRequired, fsync_directory
+from repro.resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.durability import DurableEngine
@@ -116,6 +118,13 @@ class ClusterConfig:
             of the window is restarted with a full catch-up.
         default_max_lag_seq: fleet-default staleness bound for routed
             reads (None = any healthy replica qualifies).
+        restart_backoff_base_ms: first restart backoff cap; doubles
+            with every respawn of the same replica (full jitter — see
+            :meth:`~repro.resilience.retry.RetryPolicy.backoff_ms`),
+            so a crash-looping fleet's restarts cannot synchronize
+            into a spawn storm.
+        restart_backoff_max_ms: upper bound on any single restart
+            backoff.
     """
 
     replicas: int = 2
@@ -129,6 +138,8 @@ class ClusterConfig:
     hello_timeout_s: float = 120.0
     window_records: int = 8192
     default_max_lag_seq: int | None = None
+    restart_backoff_base_ms: float = 50.0
+    restart_backoff_max_ms: float = 2000.0
 
 
 class ReplicaHandle:
@@ -146,6 +157,7 @@ class ReplicaHandle:
         self.acked_seq = 0
         self.epoch = 0
         self.restarts = 0
+        self.next_restart_at = 0.0  # earliest allowed respawn (clock time)
         self.last_report: HealthReport | None = None
         self.last_error: str | None = None
 
@@ -181,6 +193,12 @@ class ClusterSupervisor:
             persisted).
         config: a :class:`ClusterConfig`.
         tracer: optional tracer (``cluster.*`` counters).
+        rng: randomness source for restart-backoff jitter.  Injectable
+            so tests (and the deterministic simulator) pin the draws;
+            defaults to a private :class:`random.Random`.
+        clock: monotonic-time callable for probe/backoff scheduling.
+            Injectable for the same reason; defaults to
+            :func:`time.monotonic`.
     """
 
     def __init__(
@@ -191,12 +209,24 @@ class ClusterSupervisor:
         module_source: str | None = None,
         config: ClusterConfig | None = None,
         tracer: Any | None = None,
+        rng: random.Random | None = None,
+        clock: Any | None = None,
     ):
         self.directory = directory
         self.primary = primary
         self.module_source = module_source
         self.config = config if config is not None else ClusterConfig()
         self.tracer = tracer
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock if clock is not None else time.monotonic
+        # Restart pacing reuses the retry module's full-jitter schedule:
+        # backoff_ms(attempt=restarts) with uniform jitter over the
+        # doubling cap — the scheme that de-synchronizes retry storms.
+        self._restart_policy = RetryPolicy(
+            base_delay_ms=self.config.restart_backoff_base_ms,
+            max_delay_ms=self.config.restart_backoff_max_ms,
+            budget_ms=None,
+        )
         self.epoch = read_epoch(directory)
         # Fence the primary under the current epoch: from here on, any
         # promotion's epoch advance turns the old primary's next append
@@ -348,10 +378,24 @@ class ClusterSupervisor:
         handle.alive = False
 
     def _restart(self, handle: ReplicaHandle) -> None:
-        """Respawn a dead/out-of-window replica with from-disk catch-up."""
+        """Respawn a dead/out-of-window replica with from-disk catch-up.
+
+        Respawns are paced by a full-jitter exponential backoff (the
+        :mod:`repro.resilience.retry` schedule, seeded by the injected
+        rng): a call before the handle's jittered deadline is a no-op
+        and the next pump/probe round retries — the pump never sleeps,
+        so pacing cannot stall shipping to the healthy fleet.
+        """
         if handle.restarts >= self.config.max_restarts:
             return
+        now = self._clock()
+        if now < handle.next_restart_at:
+            return  # still inside the backoff window; retried next round
         handle.restarts += 1
+        handle.next_restart_at = now + (
+            self._restart_policy.backoff_ms(handle.restarts, self._rng)
+            / 1000.0
+        )
         with handle.lock:
             self._retire(handle)
             self._spawn(handle)
@@ -366,7 +410,7 @@ class ClusterSupervisor:
                 self._ship_round()
             except Exception:  # pragma: no cover - pump must survive
                 pass
-            now = time.monotonic()
+            now = self._clock()
             if now - self._last_probe >= self.config.probe_interval_s:
                 self._last_probe = now
                 try:
@@ -748,13 +792,23 @@ class ClusterSupervisor:
         return self._aggregate()
 
     def _write_health_file(self, report: HealthReport) -> None:
+        """Publish the fleet report atomically (manifest.py discipline).
+
+        Write-to-temp + fsync + ``os.replace`` + directory fsync: a
+        reader racing the supervisor sees the old report or the new
+        one, never a torn JSON file — and the rename itself is durable
+        across a crash of the host.
+        """
         path = os.path.join(self.directory, HEALTH_FILE)
         tmp = path + ".tmp"
         payload = {"format": _HEALTH_FORMAT, "report": report.to_dict()}
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            fsync_directory(self.directory)
         except OSError:  # pragma: no cover - health file is best effort
             pass
 

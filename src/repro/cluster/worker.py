@@ -71,6 +71,102 @@ def _result_payload(result: Any) -> dict:
     return {"t": MSG_RESULT, "strings": result.strings(), "xml": xml}
 
 
+def build_applier(init: dict, directory: str) -> ReplicaApplier:
+    """Construct the replica state machine an ``init`` message asks for.
+
+    Shared by the worker process and the deterministic simulator's
+    replica hosts, so both start a replica the exact same way
+    (module re-registration, crash-countdown injection included).
+    """
+    faults: FaultInjector | None = None
+    crash_after = init.get("crash_after_frames")
+    if isinstance(crash_after, int) and crash_after > 0:
+        faults = FaultInjector()
+        faults.arm(CRASH_MID_REPLAY, after=crash_after)
+    return ReplicaApplier(
+        directory,
+        module_source=init.get("module"),
+        faults=faults,
+    )
+
+
+def hello_payload(applier: ReplicaApplier, replica_id: int) -> dict:
+    """The ``hello`` handshake reply for a freshly recovered applier."""
+    return {
+        "t": MSG_HELLO,
+        "id": replica_id,
+        "applied_seq": applier.applied_seq,
+        "epoch": applier.epoch,
+        "pid": os.getpid(),
+    }
+
+
+def handle_message(
+    applier: ReplicaApplier, message: dict
+) -> tuple[dict, bool]:
+    """Dispatch one protocol message; returns ``(reply, done)``.
+
+    The single definition of replica request semantics: the worker's
+    socket loop and the simulator's replica host both feed messages
+    through here, so the simulated cluster cannot drift from the real
+    one.  Typed failures become ``error`` replies (a failed frame
+    batch drops its half-received group first, so a re-ship from the
+    ACK watermark starts clean); :class:`InjectedCrash` propagates —
+    it is a simulated process death, not a reply.
+    """
+    kind = message.get("t")
+    try:
+        if kind == MSG_FRAMES:
+            watermark = applier.apply_records(message.get("records", []))
+            return {"t": MSG_ACK, "applied_seq": watermark}, False
+        if kind == MSG_QUERY:
+            result = applier.execute(
+                message.get("query", ""),
+                bindings=message.get("bindings"),
+                timeout_ms=message.get("timeout_ms"),
+            )
+            return _result_payload(result), False
+        if kind == MSG_EXEC:
+            if not applier.promoted:
+                raise XQueryError(
+                    "replica has not been promoted; writes must go "
+                    "to the primary",
+                    code="REPR0010",
+                )
+            result = applier.execute(
+                message.get("query", ""),
+                bindings=message.get("bindings"),
+                timeout_ms=message.get("timeout_ms"),
+            )
+            return _result_payload(result), False
+        if kind == MSG_HEALTH:
+            report = applier.health(message.get("primary_seq"))
+            return {"t": MSG_HEALTH_REPORT, "report": report.to_dict()}, False
+        if kind == MSG_PROMOTE:
+            watermark = applier.promote(int(message["epoch"]))
+            return {"t": MSG_PROMOTED, "applied_seq": watermark}, False
+        if kind == MSG_FINGERPRINT:
+            return {
+                "t": MSG_FINGERPRINT_REPORT,
+                "sha256": applier.fingerprint(),
+                "applied_seq": applier.applied_seq,
+            }, False
+        if kind == MSG_SHUTDOWN:
+            applier.close()
+            return {"t": MSG_BYE}, True
+        return {
+            "t": MSG_ERROR,
+            "error": {
+                "code": "REPR0000",
+                "message": f"unknown message type {kind!r}",
+            },
+        }, False
+    except XQueryError as exc:
+        if kind == MSG_FRAMES:
+            applier.reset_pending()
+        return {"t": MSG_ERROR, "error": error_payload(exc)}, False
+
+
 def serve(channel: FrameChannel, replica_id: int, directory: str) -> int:
     """The worker request loop (factored out for in-process tests)."""
     init = channel.recv(None)
@@ -82,90 +178,14 @@ def serve(channel: FrameChannel, replica_id: int, directory: str) -> int:
             }
         )
         return 2
-    faults: FaultInjector | None = None
-    crash_after = init.get("crash_after_frames")
-    if isinstance(crash_after, int) and crash_after > 0:
-        faults = FaultInjector()
-        faults.arm(CRASH_MID_REPLAY, after=crash_after)
-    applier = ReplicaApplier(
-        directory,
-        module_source=init.get("module"),
-        faults=faults,
-    )
-    channel.send(
-        {
-            "t": MSG_HELLO,
-            "id": replica_id,
-            "applied_seq": applier.applied_seq,
-            "epoch": applier.epoch,
-            "pid": os.getpid(),
-        }
-    )
+    applier = build_applier(init, directory)
+    channel.send(hello_payload(applier, replica_id))
     while True:
         message = channel.recv(None)
-        kind = message.get("t")
-        try:
-            if kind == MSG_FRAMES:
-                watermark = applier.apply_records(message.get("records", []))
-                channel.send({"t": MSG_ACK, "applied_seq": watermark})
-            elif kind == MSG_QUERY:
-                result = applier.execute(
-                    message.get("query", ""),
-                    bindings=message.get("bindings"),
-                    timeout_ms=message.get("timeout_ms"),
-                )
-                channel.send(_result_payload(result))
-            elif kind == MSG_EXEC:
-                if not applier.promoted:
-                    raise XQueryError(
-                        "replica has not been promoted; writes must go "
-                        "to the primary",
-                        code="REPR0010",
-                    )
-                result = applier.execute(
-                    message.get("query", ""),
-                    bindings=message.get("bindings"),
-                    timeout_ms=message.get("timeout_ms"),
-                )
-                channel.send(_result_payload(result))
-            elif kind == MSG_HEALTH:
-                report = applier.health(message.get("primary_seq"))
-                channel.send(
-                    {"t": MSG_HEALTH_REPORT, "report": report.to_dict()}
-                )
-            elif kind == MSG_PROMOTE:
-                watermark = applier.promote(int(message["epoch"]))
-                channel.send(
-                    {"t": MSG_PROMOTED, "applied_seq": watermark}
-                )
-            elif kind == MSG_FINGERPRINT:
-                channel.send(
-                    {
-                        "t": MSG_FINGERPRINT_REPORT,
-                        "sha256": applier.fingerprint(),
-                        "applied_seq": applier.applied_seq,
-                    }
-                )
-            elif kind == MSG_SHUTDOWN:
-                channel.send({"t": MSG_BYE})
-                applier.close()
-                return 0
-            else:
-                channel.send(
-                    {
-                        "t": MSG_ERROR,
-                        "error": {
-                            "code": "REPR0000",
-                            "message": f"unknown message type {kind!r}",
-                        },
-                    }
-                )
-        except XQueryError as exc:
-            # A failed frame batch leaves a half-received group pending;
-            # drop it so a re-ship from the ACK watermark starts clean.
-            if kind == MSG_FRAMES:
-                applier.reset_pending()
-            channel.send({"t": MSG_ERROR, "error": error_payload(exc)})
+        reply, done = handle_message(applier, message)
+        channel.send(reply)
+        if done:
+            return 0
 
 
 def main(argv: list[str] | None = None) -> int:

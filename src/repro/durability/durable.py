@@ -219,6 +219,16 @@ class DurableEngine:
             self._compact_lock.release()
 
     def _compact_unsynchronized(self) -> None:
+        # Compaction is fenced exactly like an append: it rewrites the
+        # manifest, so a deposed primary running it would repoint the
+        # fleet at a checkpoint+journal pair that lacks everything the
+        # promoted node has acked since — orphaning durable writes
+        # without ever touching the (fenced) commit path.  Found by the
+        # deterministic simulator (repro.sim): a zombie primary's
+        # forced checkpoint after failover vaporized the new primary's
+        # acked tail.
+        if self.journal.fence is not None:
+            self.journal.fence()
         generation = self._generation + 1
         checkpoint = manifest_mod.checkpoint_name(generation)
         journal_file = manifest_mod.journal_name(generation)

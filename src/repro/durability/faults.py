@@ -86,12 +86,16 @@ class FaultInjector:
     ``None`` injector guard.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sleep: Any | None = None) -> None:
         self._armed: dict[str, int] = {}
         self._persistent: set[str] = set()
         self._delays: dict[str, float] = {}
         self.fired: list[str] = []
         self.delayed: list[str] = []
+        # The stall primitive for delay points.  Injectable so the
+        # deterministic simulator can advance virtual time instead of
+        # blocking the whole single-process cluster on a real sleep.
+        self._sleep = sleep if sleep is not None else time.sleep
 
     def arm(self, point: str, after: int = 1, persistent: bool = False) -> None:
         """Arm *point*; with ``persistent=True`` it fires on *every* hit
@@ -138,7 +142,7 @@ class FaultInjector:
         if not seconds:
             return
         self.delayed.append(point)
-        time.sleep(seconds)
+        self._sleep(seconds)
 
     def will_fire(self, point: str) -> bool:
         """True when the next :meth:`hit` of *point* will fire."""

@@ -1,0 +1,53 @@
+"""Deterministic cluster simulation (:mod:`repro.sim`).
+
+The whole replicated fleet — primary, replicas, supervisor, router —
+runs as cooperatively scheduled hosts in one process on virtual time,
+with every source of nondeterminism (network delay, loss, partitions,
+fault timing, workload arrivals, tie-breaks) owned by a single seed.
+An oracle judges each run against the cluster's core promises:
+acked-write durability, fencing safety, staleness honesty, and
+quiesced convergence with single-process recovery.
+
+The same seed replays byte-for-byte (asserted via SHA-256 trace
+digests), so a failing sweep seed is a one-line repro::
+
+    python -m repro.sim --seed 1337
+
+See ``docs/sim.md`` for the architecture and the invariant catalogue.
+"""
+
+from repro.sim.cluster import SimConfig, SimReport, Simulation, run_seed
+from repro.sim.faults import FaultEvent, FaultSchedule
+from repro.sim.minimize import MinimizeResult, minimize
+from repro.sim.net import SimNetwork
+from repro.sim.oracle import (
+    CONVERGENCE,
+    DURABILITY,
+    FENCING,
+    STALENESS,
+    Oracle,
+    Violation,
+)
+from repro.sim.scheduler import Event, EventScheduler
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "CONVERGENCE",
+    "DURABILITY",
+    "FENCING",
+    "STALENESS",
+    "Event",
+    "EventScheduler",
+    "FaultEvent",
+    "FaultSchedule",
+    "MinimizeResult",
+    "Oracle",
+    "SimConfig",
+    "SimNetwork",
+    "SimReport",
+    "Simulation",
+    "TraceRecorder",
+    "Violation",
+    "minimize",
+    "run_seed",
+]

@@ -1,0 +1,179 @@
+"""``python -m repro.sim`` — run, sweep, replay, and minimize.
+
+Usage::
+
+    python -m repro.sim --seed 1337              # one seeded run
+    python -m repro.sim --seed 1337 --verify     # run twice, compare digests
+    python -m repro.sim --sweep 200              # seeds 0..199
+    python -m repro.sim --sweep 200 --start 400  # seeds 400..599
+    python -m repro.sim --seed 7 --minimize      # shrink a failing schedule
+    python -m repro.sim --seed 7 --schedule '<json>'   # replay exact faults
+
+Exit status: 0 when every run passed its oracle (and, under
+``--verify``, replayed to an identical digest); 1 otherwise.  A
+failing seed prints a one-line repro command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.cluster import SimConfig, SimReport, run_seed
+from repro.sim.faults import FaultSchedule
+from repro.sim.minimize import minimize
+
+
+def _build_config(args: argparse.Namespace) -> SimConfig:
+    return SimConfig(
+        replicas=args.replicas,
+        horizon_s=args.horizon,
+        skip_fence=args.skip_fence,
+    )
+
+
+def _print_failure(report: SimReport) -> None:
+    print(report.summary_line())
+    for violation in report.violations:
+        print(f"  {violation}")
+    if report.trace_tail:
+        print("  trace tail:")
+        print(report.trace_tail)
+    print(f"  schedule: {report.schedule_json}")
+
+
+def _run_one(
+    seed: int,
+    config: SimConfig,
+    schedule: FaultSchedule | None,
+    *,
+    verify: bool,
+    quiet: bool = False,
+) -> bool:
+    report = run_seed(seed, config=config, schedule=schedule)
+    ok = report.ok
+    if verify and ok:
+        replay = run_seed(seed, config=config, schedule=schedule)
+        if replay.digest != report.digest:
+            ok = False
+            print(
+                f"seed {seed} NONDETERMINISTIC: digest {report.digest[:16]} "
+                f"!= replay {replay.digest[:16]} "
+                f"repro: python -m repro.sim --seed {seed} --verify"
+            )
+    if not report.ok:
+        _print_failure(report)
+    elif ok and not quiet:
+        print(report.summary_line())
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Deterministic cluster simulation with a fault "
+        "oracle: seeded runs, sweeps, replay verification, and "
+        "schedule minimization.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="run this single seed"
+    )
+    parser.add_argument(
+        "--sweep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N consecutive seeds (default start 0)",
+    )
+    parser.add_argument(
+        "--start", type=int, default=0, help="first seed of a sweep"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run each seed twice and require identical trace digests",
+    )
+    parser.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedily shrink a failing seed's fault schedule",
+    )
+    parser.add_argument(
+        "--schedule",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="replay an explicit fault schedule (JSON) instead of the "
+        "seed-generated one",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="fleet size (default 2)"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=8.0,
+        help="virtual seconds of faulted load before quiesce",
+    )
+    parser.add_argument(
+        "--skip-fence",
+        action="store_true",
+        help="reintroduce the skipped-fence bug (the oracle regression "
+        "knob; expect fencing-safety violations)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only failures and the final summary",
+    )
+    args = parser.parse_args(argv)
+
+    if args.seed is None and args.sweep is None:
+        parser.error("one of --seed or --sweep is required")
+    if args.minimize and args.seed is None:
+        parser.error("--minimize needs --seed")
+
+    config = _build_config(args)
+    schedule = (
+        FaultSchedule.from_json(args.schedule)
+        if args.schedule is not None
+        else None
+    )
+
+    if args.minimize:
+        try:
+            result = minimize(
+                args.seed, config=config, schedule=schedule
+            )
+        except ValueError as exc:
+            print(str(exc))
+            return 1
+        print(
+            f"seed {args.seed}: {result.removed} event(s) removed in "
+            f"{result.runs} run(s); {len(result.schedule)} remain"
+        )
+        _print_failure(result.report)
+        return 1  # a successful minimize still ends on a failing run
+
+    if args.seed is not None and args.sweep is None:
+        return 0 if _run_one(
+            args.seed, config, schedule, verify=args.verify
+        ) else 1
+
+    failures = 0
+    seeds = range(args.start, args.start + args.sweep)
+    for seed in seeds:
+        if not _run_one(
+            seed, config, schedule, verify=args.verify, quiet=args.quiet
+        ):
+            failures += 1
+    print(
+        f"sweep: {len(seeds)} seed(s) [{seeds.start}..{seeds.stop - 1}], "
+        f"{failures} failure(s)"
+        + (", digests verified" if args.verify else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Seeded fault schedules: what goes wrong, and exactly when.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`\\ s —
+``(virtual_time, kind, args)`` — derived purely from the simulation
+seed, composing the durability layer's crash points
+(:mod:`repro.durability.faults`) with cluster-level failures:
+
+========================  ==================================================
+kind                      effect at its virtual-time offset
+========================  ==================================================
+``kill-primary``          primary process death (journal handle closed
+                          mid-flight, exactly like the chaos harness's
+                          ``ClusterSupervisor.kill_primary``)
+``presume-primary-dead``  the supervisor *believes* the primary died but
+                          the process lives on — the zombie-primary
+                          scenario fencing exists for: stale clients keep
+                          writing to the old primary while failover
+                          promotes a new one
+``kill-replica``          one replica process dies (restart path)
+``partition-replica``     one replica's links are blackholed for a
+                          duration (timeout → restart → catch-up; long
+                          enough partitions push it out of the ship
+                          window into a full resync)
+``crash-point``           arm a :class:`~repro.durability.faults.FaultInjector`
+                          crash point on the primary (torn append,
+                          durable-but-unacked append, mid-checkpoint
+                          death)
+``eio``                   a persistent disk-error window on the primary's
+                          journal (survivable typed refusals)
+``slow-fsync``            every primary fsync stalls for a virtual
+                          duration (saturated device)
+``checkpoint``            force a compaction (journal rotation under the
+                          follower — the resync path)
+========================  ==================================================
+
+Schedules serialize to/from JSON so the greedy minimizer
+(:mod:`repro.sim.minimize`) can re-run edited subsets and a minimal
+failing schedule can be pasted into a bug report.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.durability.faults import (
+    CRASH_AFTER_JOURNAL,
+    CRASH_BEFORE_FSYNC,
+    CRASH_MID_CHECKPOINT,
+)
+
+KILL_PRIMARY = "kill-primary"
+PRESUME_PRIMARY_DEAD = "presume-primary-dead"
+KILL_REPLICA = "kill-replica"
+PARTITION_REPLICA = "partition-replica"
+CRASH_POINT = "crash-point"
+EIO_WINDOW = "eio"
+SLOW_FSYNC_WINDOW = "slow-fsync"
+FORCE_CHECKPOINT = "checkpoint"
+
+ALL_KINDS = (
+    KILL_PRIMARY,
+    PRESUME_PRIMARY_DEAD,
+    KILL_REPLICA,
+    PARTITION_REPLICA,
+    CRASH_POINT,
+    EIO_WINDOW,
+    SLOW_FSYNC_WINDOW,
+    FORCE_CHECKPOINT,
+)
+
+#: Relative draw weights for schedule generation.  Partition and
+#: process-death faults dominate because they drive the failover and
+#: catch-up machinery the oracle exists to check.
+_WEIGHTS = {
+    KILL_PRIMARY: 15,
+    PRESUME_PRIMARY_DEAD: 8,
+    KILL_REPLICA: 20,
+    PARTITION_REPLICA: 25,
+    CRASH_POINT: 15,
+    EIO_WINDOW: 6,
+    SLOW_FSYNC_WINDOW: 5,
+    FORCE_CHECKPOINT: 6,
+}
+
+_CRASH_POINTS = (
+    CRASH_BEFORE_FSYNC,
+    CRASH_AFTER_JOURNAL,
+    CRASH_MID_CHECKPOINT,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure: *kind* fires at virtual time *at*."""
+
+    at: float
+    kind: str
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"at": self.at, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        kind = payload["kind"]
+        if kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return cls(
+            at=float(payload["at"]),
+            kind=kind,
+            args=dict(payload.get("args", {})),
+        )
+
+
+class FaultSchedule:
+    """An ordered, serializable list of fault events."""
+
+    def __init__(self, events: list[FaultEvent]):
+        self.events = sorted(events, key=lambda e: (e.at, e.kind))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the *index*-th event removed (minimizer step)."""
+        kept = [e for i, e in enumerate(self.events) if i != index]
+        return FaultSchedule(kept)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [event.to_dict() for event in self.events],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        payload = json.loads(text)
+        if not isinstance(payload, list):
+            raise ValueError("fault schedule JSON must be a list")
+        return cls([FaultEvent.from_dict(item) for item in payload])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        replicas: int,
+        horizon_s: float,
+    ) -> "FaultSchedule":
+        """The seed's fault schedule — pure function of its arguments.
+
+        Draws come from a dedicated stream (``"{seed}:faults"``) so the
+        schedule is stable under changes to network or workload
+        parameters, and an explicitly supplied schedule replays with
+        the exact same network delays the generated one saw.
+        """
+        rng = random.Random(f"{seed}:faults")
+        count = rng.randint(2, 5)
+        kinds = list(_WEIGHTS)
+        weights = [_WEIGHTS[k] for k in kinds]
+        events: list[FaultEvent] = []
+        for _ in range(count):
+            at = rng.uniform(0.5, horizon_s * 0.8)
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            args: dict = {}
+            if kind in (KILL_REPLICA, PARTITION_REPLICA):
+                args["replica"] = rng.randrange(replicas)
+            if kind == PARTITION_REPLICA:
+                args["duration_s"] = round(rng.uniform(0.2, 3.0), 3)
+            if kind == CRASH_POINT:
+                args["point"] = rng.choice(_CRASH_POINTS)
+                args["after"] = 1
+            if kind == EIO_WINDOW:
+                args["duration_s"] = round(rng.uniform(0.1, 1.0), 3)
+            if kind == SLOW_FSYNC_WINDOW:
+                args["delay_s"] = round(rng.uniform(0.01, 0.2), 3)
+                args["duration_s"] = round(rng.uniform(0.2, 2.0), 3)
+            events.append(FaultEvent(at=round(at, 3), kind=kind, args=args))
+        return cls(events)
+
+    def __repr__(self) -> str:
+        kinds = [f"{e.kind}@{e.at:g}" for e in self.events]
+        return f"FaultSchedule({', '.join(kinds)})"

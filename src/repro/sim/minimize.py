@@ -1,0 +1,92 @@
+"""Greedy fault-schedule minimization for failing seeds.
+
+A failing seed usually carries more faults than the bug needs.  The
+minimizer replays the seed with single events deleted from its
+:class:`~repro.sim.faults.FaultSchedule` — the seed (and hence the
+network/workload/tie-break streams) stays fixed, only the fault list
+shrinks — and keeps any deletion that still fails.  One pass of
+single-event deletions repeats until a fixpoint: the result is
+1-minimal (removing any single remaining event makes the run pass),
+which in practice reduces a 5-fault schedule to the 1–2 faults that
+matter.
+
+The minimized schedule serializes to JSON
+(:meth:`~repro.sim.faults.FaultSchedule.to_json`) so it can be pasted
+into a bug report and replayed exactly with
+``python -m repro.sim --seed N --schedule '<json>'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import SimConfig, SimReport, run_seed
+from repro.sim.faults import FaultSchedule
+
+
+@dataclass
+class MinimizeResult:
+    """The outcome of one minimization: schedule + the run it fails."""
+
+    seed: int
+    schedule: FaultSchedule
+    report: SimReport
+    runs: int
+    removed: int
+
+    @property
+    def schedule_json(self) -> str:
+        return self.schedule.to_json()
+
+
+def minimize(
+    seed: int,
+    *,
+    config: SimConfig | None = None,
+    schedule: FaultSchedule | None = None,
+    max_runs: int = 64,
+) -> MinimizeResult:
+    """Shrink *seed*'s failing fault schedule to a 1-minimal one.
+
+    Raises :class:`ValueError` when the starting run does not fail —
+    there is nothing to minimize.  ``max_runs`` bounds the total number
+    of replays (greedy passes stop early when the budget runs out; the
+    schedule returned is still a *failing* one, just possibly not yet
+    1-minimal).
+    """
+    if schedule is None:
+        cfg = config if config is not None else SimConfig()
+        schedule = FaultSchedule.generate(
+            seed, replicas=cfg.replicas, horizon_s=cfg.horizon_s
+        )
+    report = run_seed(seed, config=config, schedule=schedule)
+    runs = 1
+    if report.ok:
+        raise ValueError(f"seed {seed} does not fail; nothing to minimize")
+    removed = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        index = 0
+        while index < len(schedule) and runs < max_runs:
+            candidate = schedule.without(index)
+            attempt = run_seed(seed, config=config, schedule=candidate)
+            runs += 1
+            if not attempt.ok:
+                schedule = candidate
+                report = attempt
+                removed += 1
+                improved = True
+                # Do not advance: index now names the next event.
+            else:
+                index += 1
+    return MinimizeResult(
+        seed=seed,
+        schedule=schedule,
+        report=report,
+        runs=runs,
+        removed=removed,
+    )
+
+
+__all__ = ["MinimizeResult", "minimize"]

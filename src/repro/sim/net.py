@@ -1,0 +1,149 @@
+"""The simulated network: seeded delay, loss, partition, per-link FIFO.
+
+:class:`SimNetwork` is the transport behind every
+:class:`~repro.cluster.protocol.SimChannel` pair in a simulation.  A
+``send`` hands the framed bytes here; the network decides — from its
+own seeded stream, independent of the scheduler's — whether the frame
+is dropped (loss or partition) and when it arrives, then schedules the
+delivery on the event loop.
+
+Delivery discipline mirrors the real transport's semantics:
+
+* **per-link FIFO** — the real channel is a byte stream over a
+  socketpair, so frames on one link can never overtake each other.
+  Each directed link tracks its last delivery time and a later frame
+  is delivered no earlier than an epsilon after it.  *Across* links,
+  independent random delays reorder freely — exactly the interleaving
+  a multi-process fleet exhibits;
+* **partitions drop silently** — a partitioned link loses frames
+  without an error, as a blackholed route would; the sender discovers
+  the problem by timeout, never by notification;
+* **endpoint death is immediate** — sending to a closed peer raises
+  :class:`~repro.cluster.protocol.ChannelClosed` at the channel layer,
+  and frames already in flight to a closed endpoint are dropped on
+  delivery (a dead process's socket buffer).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.protocol import SimChannel
+
+from repro.sim.scheduler import EventScheduler
+
+#: Minimum spacing between two deliveries on one directed link — keeps
+#: the per-link stream FIFO even when random delays would invert it.
+_FIFO_EPSILON = 1e-9
+
+
+class SimNetwork:
+    """Seeded message transport for one simulation.
+
+    Parameters:
+        scheduler: the simulation's event loop.
+        seed: the simulation seed; the network derives its own stream
+            (``"{seed}:net"``) so hand-editing the fault schedule does
+            not perturb delivery delays.
+        min_delay_s / max_delay_s: uniform one-way latency range.
+        loss: background frame-loss probability (partitions are
+            modelled separately and drop with certainty).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        seed: int,
+        *,
+        min_delay_s: float = 0.001,
+        max_delay_s: float = 0.02,
+        loss: float = 0.0,
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if min_delay_s < 0 or max_delay_s < min_delay_s:
+            raise ValueError("need 0 <= min_delay_s <= max_delay_s")
+        self.scheduler = scheduler
+        self.rng = random.Random(f"{seed}:net")
+        self.min_delay_s = min_delay_s
+        self.max_delay_s = max_delay_s
+        self.loss = loss
+        self._isolated: set[str] = set()
+        self._partitions: set[frozenset[str]] = set()
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def channel_pair(
+        self, a_name: str, b_name: str
+    ) -> tuple[SimChannel, SimChannel]:
+        """Two connected endpoints routed through this network."""
+        return SimChannel.pair(self, a_name, b_name)
+
+    def isolate(self, name: str) -> None:
+        """Partition every link touching endpoint *name*."""
+        self._isolated.add(name)
+
+    def heal(self, name: str) -> None:
+        self._isolated.discard(name)
+
+    def partition(self, a_name: str, b_name: str) -> None:
+        """Partition the specific link between two endpoint names."""
+        self._partitions.add(frozenset((a_name, b_name)))
+
+    def heal_link(self, a_name: str, b_name: str) -> None:
+        self._partitions.discard(frozenset((a_name, b_name)))
+
+    def heal_all(self) -> None:
+        """Drop every partition (the quiesce step heals the world)."""
+        self._isolated.clear()
+        self._partitions.clear()
+
+    def is_cut(self, a_name: str, b_name: str) -> bool:
+        return (
+            a_name in self._isolated
+            or b_name in self._isolated
+            or frozenset((a_name, b_name)) in self._partitions
+        )
+
+    # -- the transport contract (SimChannel calls this) --------------------
+
+    def transmit(self, source: SimChannel, blob: bytes) -> None:
+        """Route one framed blob from *source* toward its peer."""
+        peer = source.peer
+        if peer is None:
+            return
+        self.sent += 1
+        # The loss draw happens even on cut links so the seeded stream
+        # consumes the same number of draws whether or not a partition
+        # is active at this instant — replays with an edited fault
+        # schedule keep their delay sequence aligned.
+        lost = self.loss > 0.0 and self.rng.random() < self.loss
+        delay = self.rng.uniform(self.min_delay_s, self.max_delay_s)
+        if lost or self.is_cut(source.name, peer.name):
+            self.dropped += 1
+            return
+        key = (id(source), id(peer))
+        at = max(
+            self.scheduler.clock.now() + delay,
+            self._last_delivery.get(key, 0.0) + _FIFO_EPSILON,
+        )
+        self._last_delivery[key] = at
+
+        def _deliver(target: SimChannel = peer, frame: bytes = blob) -> None:
+            self.delivered += 1
+            target.deliver(frame)
+
+        self.scheduler.call_at(
+            at, _deliver, label=f"net:{source.name}->{peer.name}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimNetwork(sent={self.sent}, delivered={self.delivered}, "
+            f"dropped={self.dropped}, partitions={len(self._partitions)}, "
+            f"isolated={sorted(self._isolated)})"
+        )

@@ -1,0 +1,245 @@
+"""The simulation oracle: machine-checked cluster invariants.
+
+The point of the simulator is not that faulted runs *finish* — it is
+that every run is judged against invariants strong enough to catch the
+bug classes replication history is made of.  The oracle collects
+witnesses online (appends, acks, reads, promotions) and renders four
+verdicts at the end of a quiesced run:
+
+1. **Acked-write durability** — every write the cluster acknowledged
+   is present in what a fresh single-process recovery of the shared
+   directory rebuilds: the recovered watermark covers every acked
+   sequence number, and the recovered insert count covers every acked
+   insert (content, not just bookkeeping).
+
+2. **Fencing safety** — the epoch witness is monotone: once any node
+   successfully appends under epoch *e* (or a promotion publishes
+   *e*), no *other* node may ever append under an epoch ``<= e``.  At
+   no virtual instant do two writers share the journal.
+
+3. **Staleness honesty** — a read admitted under a ``max_lag_seq``
+   bound was served by a store no further behind the write watermark
+   than the bound promised, measured at execution time against the
+   replica's *actual* applied watermark (not the router's belief).
+
+4. **Convergence** — after the fault schedule ends and the fleet
+   quiesces, every live replica's
+   :func:`~repro.cluster.replica.store_fingerprint` equals the
+   fingerprint of a fresh single-process recovery: replication agreed
+   byte-for-byte with the recovery semantics it claims to mirror.
+
+Violations carry a stable ``[invariant-name]`` tag (asserted by the
+regression tests) and enough witness detail to read the failing trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DURABILITY = "acked-write-durability"
+FENCING = "fencing-safety"
+STALENESS = "staleness-honesty"
+CONVERGENCE = "convergence"
+
+
+@dataclass
+class AppendWitness:
+    """One successful journal append observed by the oracle."""
+
+    vtime: float
+    node: str
+    epoch: int
+    seq: int
+
+
+@dataclass
+class Violation:
+    """One invariant breach, tagged with its invariant name."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+@dataclass
+class Oracle:
+    """Witness collector + invariant judge for one simulation run."""
+
+    appends: list[AppendWitness] = field(default_factory=list)
+    #: (seq, epoch, vtime, inserts) per acknowledged write.
+    acked: list[tuple[int, int, float, int]] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    reads_checked: int = 0
+    _max_epoch: int = 0
+    _epoch_owner: dict[int, str] = field(default_factory=dict)
+    _max_seq: int = 0
+
+    # -- online witnesses --------------------------------------------------
+
+    def record_promotion(self, epoch: int, vtime: float, node: str) -> None:
+        """A promotion published *epoch*: it is the fencing floor now.
+
+        Claiming the epoch also claims authorship — any *other* node
+        appending under it afterwards is a second writer.
+        """
+        if epoch > self._max_epoch:
+            self._max_epoch = epoch
+        self._epoch_owner.setdefault(epoch, node)
+
+    def record_append(
+        self, node: str, epoch: int, seq: int, vtime: float
+    ) -> None:
+        """One node successfully appended; check the fencing witness."""
+        self.appends.append(AppendWitness(vtime, node, epoch, seq))
+        owner = self._epoch_owner.setdefault(epoch, node)
+        if owner != node:
+            self.violations.append(
+                Violation(
+                    FENCING,
+                    f"epoch {epoch} has two writers: {owner} and {node} "
+                    f"(seq {seq} at t={vtime:.4f})",
+                )
+            )
+        if epoch < self._max_epoch:
+            self.violations.append(
+                Violation(
+                    FENCING,
+                    f"{node} appended seq {seq} under deposed epoch "
+                    f"{epoch} after epoch {self._max_epoch} was published "
+                    f"(t={vtime:.4f})",
+                )
+            )
+        if seq <= self._max_seq and epoch >= self._max_epoch:
+            self.violations.append(
+                Violation(
+                    FENCING,
+                    f"{node} re-used sequence number {seq} (journal "
+                    f"watermark already {self._max_seq}, t={vtime:.4f})",
+                )
+            )
+        if epoch > self._max_epoch:
+            self._max_epoch = epoch
+        if seq > self._max_seq:
+            self._max_seq = seq
+
+    def record_ack(
+        self, seq: int, epoch: int, vtime: float, inserts: int
+    ) -> None:
+        """The cluster acknowledged a write ending at *seq*."""
+        self.acked.append((seq, epoch, vtime, inserts))
+
+    def record_read(
+        self,
+        *,
+        backend: str,
+        bound: int | None,
+        watermark: int | None,
+        applied_seq: int,
+        vtime: float,
+    ) -> None:
+        """A bounded read was served; check the staleness promise."""
+        self.reads_checked += 1
+        if bound is None or watermark is None:
+            return
+        staleness = watermark - applied_seq
+        if staleness > bound:
+            self.violations.append(
+                Violation(
+                    STALENESS,
+                    f"read served by {backend} at t={vtime:.4f} was "
+                    f"{staleness} records stale (applied {applied_seq}, "
+                    f"watermark {watermark}) against a bound of {bound}",
+                )
+            )
+
+    # -- final verdicts ----------------------------------------------------
+
+    def check_durability(
+        self,
+        recovered_watermark: int | None,
+        recovered_inserts: int | None,
+        attempted_inserts: int,
+    ) -> None:
+        """Judge acked-write durability against a fresh recovery."""
+        if not self.acked:
+            return
+        max_acked = max(seq for seq, _, _, _ in self.acked)
+        if recovered_watermark is None:
+            self.violations.append(
+                Violation(
+                    DURABILITY,
+                    f"recovery failed outright but {len(self.acked)} "
+                    "write(s) were acknowledged",
+                )
+            )
+            return
+        if recovered_watermark < max_acked:
+            self.violations.append(
+                Violation(
+                    DURABILITY,
+                    f"recovered watermark {recovered_watermark} is below "
+                    f"acknowledged seq {max_acked}",
+                )
+            )
+        acked_inserts = sum(n for _, _, _, n in self.acked)
+        if recovered_inserts is not None:
+            if recovered_inserts < acked_inserts:
+                self.violations.append(
+                    Violation(
+                        DURABILITY,
+                        f"recovery holds {recovered_inserts} insert(s) "
+                        f"but {acked_inserts} were acknowledged",
+                    )
+                )
+            if recovered_inserts > attempted_inserts:
+                self.violations.append(
+                    Violation(
+                        DURABILITY,
+                        f"recovery holds {recovered_inserts} insert(s) "
+                        f"but only {attempted_inserts} were ever "
+                        "attempted (phantom replay)",
+                    )
+                )
+
+    def check_convergence(
+        self,
+        recovered_fingerprint: str | None,
+        live_fingerprints: dict[str, str | None],
+    ) -> None:
+        """Judge quiesced byte-agreement with single-process recovery."""
+        if recovered_fingerprint is None:
+            if live_fingerprints:
+                self.violations.append(
+                    Violation(
+                        CONVERGENCE,
+                        "recovery produced no store to compare "
+                        f"{len(live_fingerprints)} live node(s) against",
+                    )
+                )
+            return
+        for node, fingerprint in sorted(live_fingerprints.items()):
+            if fingerprint != recovered_fingerprint:
+                self.violations.append(
+                    Violation(
+                        CONVERGENCE,
+                        f"{node} diverged from single-process recovery "
+                        f"(node {str(fingerprint)[:12]}..., recovery "
+                        f"{recovered_fingerprint[:12]}...)",
+                    )
+                )
+
+    def record_violation(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, detail))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"Oracle(appends={len(self.appends)}, acked={len(self.acked)}, "
+            f"reads_checked={self.reads_checked}, "
+            f"violations={len(self.violations)})"
+        )

@@ -1,0 +1,71 @@
+"""The simulation trace: a canonical event log with a replay digest.
+
+Every semantically meaningful step of a simulation — write outcomes,
+frame acks, spawns, promotions, fault injections, oracle verdicts —
+lands here as ``(virtual_time, kind, details)``.  The trace serves two
+jobs:
+
+* **the determinism gate** — :meth:`TraceRecorder.digest` is a SHA-256
+  over the canonical JSON of the whole log.  Two runs of the same seed
+  must produce byte-identical digests; any divergence means wall-clock
+  state, process ids, or unseeded randomness leaked into the cluster's
+  interleaving;
+* **debugging a failing seed** — the tail of the trace around a
+  violation is the minimized story of what happened, in virtual-time
+  order.
+
+Hygiene rules for recorded details (enforced by convention, checked by
+the determinism sweep): no filesystem paths, no PIDs, no wall-clock
+times, no exception *message text* (messages embed paths) — record
+error **codes** and classes instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+class TraceRecorder:
+    """An append-only, canonically-serializable event log."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+
+    def record(self, vtime: float, kind: str, **details: Any) -> None:
+        """Append one event at virtual time *vtime*.
+
+        Details must be JSON-serializable and deterministic across
+        runs of the same seed (codes, counts, watermarks, host names —
+        never paths, pids or message text).
+        """
+        self.events.append((round(vtime, 9), kind, details))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def canonical(self) -> str:
+        """The whole trace as canonical JSON (sorted keys, no spaces)."""
+        return json.dumps(
+            self.events, sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical trace — the replay fingerprint."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def tail(self, count: int = 20) -> list[tuple[float, str, dict]]:
+        return self.events[-count:]
+
+    def format_tail(self, count: int = 20) -> str:
+        lines = []
+        for vtime, kind, details in self.tail(count):
+            packed = " ".join(
+                f"{key}={details[key]!r}" for key in sorted(details)
+            )
+            lines.append(f"  t={vtime:9.4f} {kind} {packed}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(events={len(self.events)})"

@@ -167,3 +167,50 @@ class TestFollower:
         # policies must never spin on it.
         with pytest.raises(JournalCorruptionError):
             follower.poll()
+
+
+class TestRotationOnFrameBoundary:
+    def test_rotation_lands_exactly_on_the_held_back_tail(self, tmp_path):
+        """Satellite: the torn-tail holdback edge across a rotation.
+
+        The follower is caught up to a frame boundary with a torn
+        half-frame beyond it (held back, never delivered).  The
+        journal's owner then recovers — truncating the torn tail to
+        *exactly* the follower's boundary — and checkpoints, rotating
+        the generation at that precise offset.  The follower must
+        switch generations without a resync (nothing it missed was
+        folded away), deliver nothing twice, and resume cleanly in the
+        new journal.
+        """
+        from repro.durability import DurableEngine
+
+        path, engine = fresh(tmp_path)
+        follower = JournalFollower(path)
+        append(engine, 1)
+        append(engine, 2)
+        assert [r["seq"] for r in follower.poll()] == [1, 2]
+        boundary = follower.offset
+        assert boundary == os.path.getsize(journal_path(path))
+        # A crash mid-append leaves a torn half-frame past the boundary.
+        frame = encode_message({"seq": 3, "ep": 0})
+        engine.close()
+        with open(journal_path(path), "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        assert follower.poll() == []  # held back, offset unmoved
+        assert follower.offset == boundary
+        # The owner recovers (truncates the torn tail back to the
+        # follower's exact frame boundary) and rotates.
+        reopened = DurableEngine(path)
+        reopened.checkpoint()
+        # manifest seq == follower watermark: the rotation landed
+        # exactly on the boundary — switch generations, no resync.
+        manifest = read_manifest(path)
+        assert manifest["seq"] == follower.watermark == 2
+        assert follower.poll() == []
+        assert follower.generation == manifest["generation"]
+        # The resume offset tracks the *new* file now.
+        assert follower.offset == os.path.getsize(journal_path(path))
+        append(reopened, 3)
+        delivered = follower.poll()
+        assert [r["seq"] for r in delivered] == [3]
+        assert follower.watermark == 3

@@ -69,3 +69,57 @@ class TestWindow:
         path, _ = fresh(tmp_path)
         with pytest.raises(ValueError):
             ShipBuffer(path, capacity=0)
+
+
+class TestPartitionResync:
+    def test_compaction_during_partition_forces_full_catch_up(
+        self, tmp_path
+    ):
+        """Satellite: a replica partitioned past the window resyncs.
+
+        The replica acks 3, then its link partitions: the buffer keeps
+        following the journal while the primary writes on and compacts.
+        The buffer's next poll must demand a resync (the undelivered
+        tail was folded into the checkpoint), frame-granular shipping
+        must refuse to resume for the partitioned replica, and the
+        supervisor's answer — a restart into from-disk recovery — must
+        reach the primary's watermark and byte-agree with
+        single-process recovery.
+        """
+        from repro.cluster.replica import ReplicaApplier, store_fingerprint
+        from repro.durability import recover
+        from repro.durability.journal import FollowerResyncRequired
+        from repro.durability.manifest import read_manifest
+
+        path, engine = fresh(tmp_path)
+        buffer = ShipBuffer(path, capacity=4)
+        for n in range(3):
+            append(engine, n)
+        buffer.poll()
+        assert [r["seq"] for r in buffer.records_after(3)] == []
+        # Partition: the replica stops acking at 3 while the primary
+        # keeps writing, then compacts the journal away.
+        for n in range(3, 9):
+            append(engine, n)
+        engine.checkpoint()
+        with pytest.raises(FollowerResyncRequired):
+            buffer.poll()
+        manifest = read_manifest(path)
+        buffer.resync(manifest["seq"])
+        # Frame-granular shipping cannot serve the partitioned
+        # replica: its next record predates the new generation.
+        assert buffer.records_after(3) is None
+        # Full catch-up (what the supervisor's restart does): a fresh
+        # from-disk recovery reaches the primary's watermark...
+        applier = ReplicaApplier(path)
+        assert applier.applied_seq == engine.journal.next_seq - 1
+        assert buffer.records_after(applier.applied_seq) == []
+        # ...and converges byte-for-byte with single-process recovery.
+        assert applier.fingerprint() == store_fingerprint(
+            recover(path, readonly=True).engine
+        )
+        # Post-resync shipping serves the caught-up replica normally.
+        append(engine, 9)
+        buffer.poll()
+        records = buffer.records_after(applier.applied_seq)
+        assert [r["seq"] for r in records] == [10]

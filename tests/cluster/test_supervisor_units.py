@@ -1,0 +1,145 @@
+"""Supervisor satellites, unit-level: atomic health file, jittered
+restart backoff.  No subprocesses — these test the two supervisor
+mechanisms directly on a bare instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+
+from repro.cluster.supervisor import (
+    HEALTH_FILE,
+    ClusterConfig,
+    ClusterSupervisor,
+    ReplicaHandle,
+)
+from repro.resilience.health import HealthReport
+from repro.resilience.retry import RetryPolicy
+
+
+def bare_supervisor(tmp_path, **config_kwargs) -> ClusterSupervisor:
+    """A supervisor shell with no fleet: directory + restart machinery
+    only, no worker subprocesses spawned."""
+    supervisor = ClusterSupervisor.__new__(ClusterSupervisor)
+    supervisor.directory = str(tmp_path)
+    supervisor.config = ClusterConfig(**config_kwargs)
+    supervisor.tracer = None
+    supervisor._rng = random.Random(7)
+    supervisor._clock = lambda: supervisor.now  # test-controlled time
+    supervisor.now = 0.0
+    supervisor._restart_policy = RetryPolicy(
+        base_delay_ms=supervisor.config.restart_backoff_base_ms,
+        max_delay_ms=supervisor.config.restart_backoff_max_ms,
+        budget_ms=None,
+    )
+    return supervisor
+
+
+class TestAtomicHealthFile:
+    def test_reader_never_sees_a_torn_file(self, tmp_path, monkeypatch):
+        supervisor = bare_supervisor(tmp_path)
+        observed: list[dict] = []
+        real_replace = os.replace
+
+        def checked_replace(src: str, dst: str) -> None:
+            # At replace time the temp file must already be complete,
+            # parseable JSON — the reader can never observe a prefix.
+            with open(src, "r", encoding="utf-8") as handle:
+                observed.append(json.load(handle))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", checked_replace)
+        supervisor._write_health_file(HealthReport())
+        assert len(observed) == 1
+        assert observed[0]["report"]["status"] == "healthy"
+        # The published file parses and the temp file is gone.
+        path = os.path.join(str(tmp_path), HEALTH_FILE)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == observed[0]
+        assert not os.path.exists(path + ".tmp")
+
+    def test_rewrite_replaces_whole_content(self, tmp_path):
+        supervisor = bare_supervisor(tmp_path)
+        supervisor._write_health_file(HealthReport())
+        long_report = HealthReport()
+        long_report.sections["padding"] = {"x": "y" * 256}
+        supervisor._write_health_file(long_report)
+        supervisor._write_health_file(HealthReport())  # shorter again
+        path = os.path.join(str(tmp_path), HEALTH_FILE)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)  # a truncating write would tear
+        assert "padding" not in payload["report"]["sections"]
+
+
+class TestRestartBackoff:
+    def make(self, tmp_path, **config_kwargs):
+        supervisor = bare_supervisor(tmp_path, **config_kwargs)
+        spawns: list[float] = []
+        supervisor._retire = lambda handle: None
+        supervisor._spawn = lambda handle: spawns.append(supervisor.now)
+        handle = ReplicaHandle(0)
+        handle.lock = threading.RLock()
+        return supervisor, handle, spawns
+
+    def test_restart_inside_the_backoff_window_is_a_noop(self, tmp_path):
+        supervisor, handle, spawns = self.make(
+            tmp_path, restart_backoff_base_ms=100.0
+        )
+        supervisor._restart(handle)
+        assert spawns == [0.0]
+        assert handle.restarts == 1
+        # Immediately retried (a crash loop): paced, not respawned.
+        supervisor._restart(handle)
+        supervisor._restart(handle)
+        assert spawns == [0.0]
+        assert handle.restarts == 1
+        # Past the jittered deadline the respawn goes through.
+        supervisor.now = handle.next_restart_at + 0.001
+        supervisor._restart(handle)
+        assert len(spawns) == 2
+        assert handle.restarts == 2
+
+    def test_backoff_is_full_jitter_exponential(self, tmp_path):
+        supervisor, handle, spawns = self.make(
+            tmp_path,
+            restart_backoff_base_ms=100.0,
+            restart_backoff_max_ms=400.0,
+            max_restarts=64,
+        )
+        delays = []
+        for _ in range(8):
+            supervisor.now = handle.next_restart_at + 0.001
+            supervisor._restart(handle)
+            delays.append(handle.next_restart_at - supervisor.now)
+        # Full jitter: every delay is uniform in [0, cap(attempt)] with
+        # cap doubling from base_ms up to max_ms.
+        for attempt, delay in enumerate(delays, start=1):
+            cap_s = min(0.4, 0.1 * (2 ** (attempt - 1)))
+            assert 0.0 <= delay <= cap_s
+        # Jitter actually jitters: the draws are not all equal.
+        assert len({round(d, 6) for d in delays}) > 1
+
+    def test_injected_rng_makes_the_schedule_deterministic(self, tmp_path):
+        def schedule(seed: int) -> list[float]:
+            supervisor, handle, _ = self.make(tmp_path)
+            supervisor._rng = random.Random(seed)
+            deadlines = []
+            for _ in range(5):
+                supervisor.now = handle.next_restart_at + 0.001
+                supervisor._restart(handle)
+                deadlines.append(handle.next_restart_at)
+            return deadlines
+
+        assert schedule(3) == schedule(3)
+        assert schedule(3) != schedule(4)
+
+    def test_restart_budget_is_respected(self, tmp_path):
+        supervisor, handle, spawns = self.make(tmp_path, max_restarts=2)
+        for _ in range(5):
+            supervisor.now = handle.next_restart_at + 0.001
+            supervisor._restart(handle)
+        assert len(spawns) == 2
+        assert handle.restarts == 2

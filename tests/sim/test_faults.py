@@ -1,0 +1,75 @@
+"""FaultSchedule: seeded generation, serialization, minimizer steps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.faults import (
+    ALL_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    KILL_PRIMARY,
+    PARTITION_REPLICA,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.generate(42, replicas=2, horizon_s=8.0)
+        b = FaultSchedule.generate(42, replicas=2, horizon_s=8.0)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            FaultSchedule.generate(seed, replicas=2, horizon_s=8.0).to_json()
+            for seed in range(25)
+        }
+        assert len(schedules) > 20
+
+    def test_events_land_inside_the_horizon(self):
+        for seed in range(20):
+            schedule = FaultSchedule.generate(
+                seed, replicas=3, horizon_s=8.0
+            )
+            assert 2 <= len(schedule) <= 5
+            for event in schedule:
+                assert 0.5 <= event.at <= 8.0 * 0.8
+                assert event.kind in ALL_KINDS
+                if "replica" in event.args:
+                    assert 0 <= event.args["replica"] < 3
+
+    def test_schedule_is_time_sorted(self):
+        schedule = FaultSchedule.generate(7, replicas=2, horizon_s=8.0)
+        times = [event.at for event in schedule]
+        assert times == sorted(times)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        schedule = FaultSchedule.generate(3, replicas=2, horizon_s=8.0)
+        again = FaultSchedule.from_json(schedule.to_json())
+        assert again.to_json() == schedule.to_json()
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"at": 1.0, "kind": "meteor-strike"})
+        with pytest.raises(ValueError):
+            FaultSchedule.from_json('{"not": "a list"}')
+
+
+class TestWithout:
+    def test_without_removes_exactly_one_event(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=1.0, kind=KILL_PRIMARY),
+                FaultEvent(
+                    at=2.0,
+                    kind=PARTITION_REPLICA,
+                    args={"replica": 0, "duration_s": 1.0},
+                ),
+            ]
+        )
+        shrunk = schedule.without(0)
+        assert len(shrunk) == 1
+        assert shrunk.events[0].kind == PARTITION_REPLICA
+        assert len(schedule) == 2  # original untouched

@@ -1,0 +1,169 @@
+"""SimChannel + SimNetwork: framing, FIFO links, loss, partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.protocol import (
+    ChannelClosed,
+    SimChannel,
+    decode_message,
+    encode_message,
+)
+from repro.sim.net import SimNetwork
+from repro.sim.scheduler import EventScheduler
+
+
+class DirectTransport:
+    """Delivers every frame immediately (channel-layer unit tests)."""
+
+    def transmit(self, source: SimChannel, blob: bytes) -> None:
+        assert source.peer is not None
+        source.peer.deliver(blob)
+
+
+class TestSimChannel:
+    def test_round_trip_preserves_the_message(self):
+        a, b = SimChannel.pair(DirectTransport(), "a", "b")
+        a.send({"t": "hello", "n": 42})
+        assert b.recv() == {"t": "hello", "n": 42}
+
+    def test_callback_delivery(self):
+        a, b = SimChannel.pair(DirectTransport(), "a", "b")
+        got: list[dict] = []
+        b.on_message = got.append
+        a.send({"t": "x"})
+        assert got == [{"t": "x"}]
+        assert b.pending() == 0
+
+    def test_send_on_closed_endpoint_raises(self):
+        a, b = SimChannel.pair(DirectTransport(), "a", "b")
+        b.close()
+        with pytest.raises(ChannelClosed):
+            a.send({"t": "x"})
+        with pytest.raises(ChannelClosed):
+            b.send({"t": "y"})
+
+    def test_recv_on_empty_closed_channel_raises(self):
+        a, b = SimChannel.pair(DirectTransport(), "a", "b")
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.recv()
+
+    def test_garbled_frame_closes_the_endpoint(self):
+        _, b = SimChannel.pair(DirectTransport(), "a", "b")
+        blob = bytearray(encode_message({"t": "x"}))
+        blob[-1] ^= 0xFF  # corrupt the payload
+        b.deliver(bytes(blob))
+        assert b.closed
+
+    def test_decode_rejects_header_and_payload_damage(self):
+        blob = encode_message({"t": "x", "k": [1, 2]})
+        assert decode_message(blob) == {"t": "x", "k": [1, 2]}
+        with pytest.raises(ChannelClosed):
+            decode_message(blob[:10])  # short header
+        damaged = bytearray(blob)
+        damaged[0] ^= 0xFF  # magic
+        with pytest.raises(ChannelClosed):
+            decode_message(bytes(damaged))
+        damaged = bytearray(blob)
+        damaged[-1] ^= 0xFF  # payload CRC mismatch
+        with pytest.raises(ChannelClosed):
+            decode_message(bytes(damaged))
+
+
+def network(seed: int = 1, **kwargs) -> tuple[EventScheduler, SimNetwork]:
+    scheduler = EventScheduler(seed)
+    return scheduler, SimNetwork(scheduler, seed, **kwargs)
+
+
+class TestSimNetwork:
+    def test_one_link_is_fifo_despite_random_delays(self):
+        scheduler, net = network(3, min_delay_s=0.001, max_delay_s=0.5)
+        a, b = net.channel_pair("a", "b")
+        got: list[int] = []
+        b.on_message = lambda m: got.append(m["n"])
+        for n in range(20):
+            a.send({"n": n})
+        scheduler.run()
+        assert got == list(range(20))
+
+    def test_partition_drops_silently_and_heals(self):
+        scheduler, net = network(3)
+        a, b = net.channel_pair("a", "b")
+        got: list[int] = []
+        b.on_message = lambda m: got.append(m["n"])
+        net.isolate("b")
+        a.send({"n": 1})  # no error: a blackhole, not a refusal
+        scheduler.run()
+        assert got == []
+        assert net.dropped == 1
+        net.heal("b")
+        a.send({"n": 2})
+        scheduler.run()
+        assert got == [2]
+
+    def test_pairwise_partition_cuts_only_that_link(self):
+        scheduler, net = network(3)
+        a, b = net.channel_pair("a", "b")
+        c, d = net.channel_pair("c", "d")
+        got: list[str] = []
+        b.on_message = lambda m: got.append("b")
+        d.on_message = lambda m: got.append("d")
+        net.partition("a", "b")
+        a.send({})
+        c.send({})
+        scheduler.run()
+        assert got == ["d"]
+        net.heal_all()
+        a.send({})
+        scheduler.run()
+        assert got == ["d", "b"]
+
+    def test_frames_in_flight_to_a_dead_endpoint_are_dropped(self):
+        scheduler, net = network(3)
+        a, b = net.channel_pair("a", "b")
+        got: list[dict] = []
+        b.on_message = got.append
+        a.send({})  # in flight...
+        b.close()  # ...receiver dies before delivery
+        scheduler.run()
+        assert got == []
+
+    def test_loss_draw_keeps_the_stream_aligned_across_partitions(self):
+        # The delay stream must not depend on whether a partition was
+        # active: a run where some frames were cut must give the SAME
+        # delays to the surviving frames as a run where none were.
+        def delivery_times(cut: bool) -> dict[int, float]:
+            scheduler, net = network(9, loss=0.0)
+            times: dict[int, float] = {}
+            # Three independent links so FIFO clamping cannot couple
+            # the delivery times — each frame's time IS its delay draw.
+            senders = []
+            for name in ("ab", "cd", "ef"):
+                src, dst = net.channel_pair(name + ":s", name + ":r")
+                dst.on_message = lambda m: times.__setitem__(
+                    m["n"], scheduler.clock.now()
+                )
+                senders.append(src)
+            senders[0].send({"n": 0})
+            if cut:
+                net.isolate("cd:r")
+            senders[1].send({"n": 1})  # dropped in the cut run
+            if cut:
+                net.heal("cd:r")
+            senders[2].send({"n": 2})
+            scheduler.run()
+            return times
+
+        clean = delivery_times(cut=False)
+        cut = delivery_times(cut=True)
+        assert set(clean) == {0, 1, 2}
+        assert cut == {0: clean[0], 2: clean[2]}
+
+    def test_loss_probability_validation(self):
+        scheduler = EventScheduler(1)
+        with pytest.raises(ValueError):
+            SimNetwork(scheduler, 1, loss=1.0)
+        with pytest.raises(ValueError):
+            SimNetwork(scheduler, 1, min_delay_s=0.5, max_delay_s=0.1)

@@ -1,0 +1,144 @@
+"""Oracle unit tests: each invariant fires on its witness pattern."""
+
+from __future__ import annotations
+
+from repro.sim.oracle import (
+    CONVERGENCE,
+    DURABILITY,
+    FENCING,
+    STALENESS,
+    Oracle,
+)
+
+
+def tags(oracle: Oracle) -> list[str]:
+    return [v.invariant for v in oracle.violations]
+
+
+class TestFencing:
+    def test_single_writer_per_epoch_is_clean(self):
+        oracle = Oracle()
+        oracle.record_append("primary", 0, 1, 0.1)
+        oracle.record_append("primary", 0, 2, 0.2)
+        oracle.record_promotion(1, 0.3, "replica-0")
+        oracle.record_append("replica-0", 1, 3, 0.4)
+        assert oracle.ok
+
+    def test_two_writers_in_one_epoch(self):
+        oracle = Oracle()
+        oracle.record_append("primary", 0, 1, 0.1)
+        oracle.record_append("replica-0", 0, 2, 0.2)
+        assert tags(oracle) == [FENCING]
+
+    def test_append_under_deposed_epoch(self):
+        oracle = Oracle()
+        oracle.record_append("primary", 0, 1, 0.1)
+        oracle.record_promotion(1, 0.2, "replica-0")
+        oracle.record_append("primary", 0, 2, 0.3)
+        assert FENCING in tags(oracle)
+
+    def test_sequence_reuse_is_flagged(self):
+        oracle = Oracle()
+        oracle.record_append("primary", 0, 5, 0.1)
+        oracle.record_promotion(1, 0.2, "replica-0")
+        oracle.record_append("replica-0", 1, 5, 0.3)  # 5 again
+        assert FENCING in tags(oracle)
+
+    def test_promotion_claims_epoch_authorship(self):
+        oracle = Oracle()
+        oracle.record_promotion(1, 0.1, "replica-0")
+        oracle.record_append("replica-1", 1, 1, 0.2)
+        assert tags(oracle) == [FENCING]
+
+
+class TestStaleness:
+    def test_read_within_bound_is_clean(self):
+        oracle = Oracle()
+        oracle.record_read(
+            backend="replica-0", bound=2, watermark=10, applied_seq=8,
+            vtime=0.1,
+        )
+        assert oracle.ok
+        assert oracle.reads_checked == 1
+
+    def test_read_past_bound_is_flagged(self):
+        oracle = Oracle()
+        oracle.record_read(
+            backend="replica-0", bound=2, watermark=10, applied_seq=7,
+            vtime=0.1,
+        )
+        assert tags(oracle) == [STALENESS]
+
+    def test_unbounded_reads_are_not_judged(self):
+        oracle = Oracle()
+        oracle.record_read(
+            backend="replica-0", bound=None, watermark=10, applied_seq=0,
+            vtime=0.1,
+        )
+        oracle.record_read(
+            backend="replica-0", bound=1, watermark=None, applied_seq=0,
+            vtime=0.2,
+        )
+        assert oracle.ok
+
+
+class TestDurability:
+    def test_recovery_covering_every_ack_is_clean(self):
+        oracle = Oracle()
+        oracle.record_ack(3, 0, 0.1, inserts=3)
+        oracle.check_durability(5, 4, attempted_inserts=5)
+        assert oracle.ok
+
+    def test_lost_acked_write_is_flagged(self):
+        oracle = Oracle()
+        oracle.record_ack(7, 0, 0.1, inserts=1)
+        oracle.check_durability(5, 1, attempted_inserts=1)
+        assert tags(oracle) == [DURABILITY]
+
+    def test_lost_acked_content_is_flagged(self):
+        # Watermark covers the seq but the *content* went missing.
+        oracle = Oracle()
+        oracle.record_ack(3, 0, 0.1, inserts=3)
+        oracle.check_durability(3, 2, attempted_inserts=3)
+        assert tags(oracle) == [DURABILITY]
+
+    def test_phantom_replay_is_flagged(self):
+        oracle = Oracle()
+        oracle.record_ack(3, 0, 0.1, inserts=1)
+        oracle.check_durability(3, 9, attempted_inserts=4)
+        assert tags(oracle) == [DURABILITY]
+
+    def test_failed_recovery_with_acks_is_flagged(self):
+        oracle = Oracle()
+        oracle.record_ack(1, 0, 0.1, inserts=1)
+        oracle.check_durability(None, None, attempted_inserts=1)
+        assert tags(oracle) == [DURABILITY]
+
+    def test_no_acks_means_nothing_to_judge(self):
+        oracle = Oracle()
+        oracle.check_durability(None, None, attempted_inserts=0)
+        assert oracle.ok
+
+
+class TestConvergence:
+    def test_agreement_is_clean(self):
+        oracle = Oracle()
+        oracle.check_convergence("f00d", {"replica-0": "f00d"})
+        assert oracle.ok
+
+    def test_divergent_live_node_is_flagged(self):
+        oracle = Oracle()
+        oracle.check_convergence(
+            "f00d", {"replica-0": "f00d", "replica-1": "dead"}
+        )
+        assert tags(oracle) == [CONVERGENCE]
+
+    def test_no_recovery_with_live_nodes_is_flagged(self):
+        oracle = Oracle()
+        oracle.check_convergence(None, {"replica-0": "f00d"})
+        assert tags(oracle) == [CONVERGENCE]
+
+    def test_violation_str_carries_the_invariant_tag(self):
+        oracle = Oracle()
+        oracle.record_violation(CONVERGENCE, "fleet failed to quiesce")
+        assert str(oracle.violations[0]).startswith("[convergence]")

@@ -1,0 +1,170 @@
+"""End-to-end simulation: determinism, failover, oracle regressions.
+
+These are the tentpole's acceptance tests:
+
+* the determinism gate — one seed, two runs, byte-identical trace
+  digests;
+* a pinned fenced failover — a primary kill mid-workload must promote
+  a replica, resume writes under the bumped epoch, and pass every
+  oracle invariant;
+* the known-class regression — reintroducing the skipped-fence bug
+  (``skip_fence=True``: the primary appends and checkpoints without
+  ``check_fence``) must be *caught* by the oracle, reproducibly;
+* the unfenced-checkpoint regression the simulator itself found — a
+  deposed primary's forced checkpoint used to repoint the manifest and
+  orphan the promoted node's acked writes (seeds 178/194 of the
+  original sweep); compaction is fenced now, and the zombie scenario
+  must stay clean;
+* greedy schedule minimization — a failing multi-fault schedule
+  shrinks to the fault that matters and still fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cluster import SimConfig, Simulation, run_seed
+from repro.sim.faults import (
+    FaultEvent,
+    FaultSchedule,
+    FORCE_CHECKPOINT,
+    KILL_PRIMARY,
+    KILL_REPLICA,
+    PRESUME_PRIMARY_DEAD,
+    SLOW_FSYNC_WINDOW,
+)
+from repro.sim.minimize import minimize
+
+pytestmark = pytest.mark.slow
+
+FAST = SimConfig(horizon_s=3.0)
+FAST_BUGGY = SimConfig(horizon_s=3.0, skip_fence=True)
+
+ZOMBIE = FaultSchedule([FaultEvent(at=1.0, kind=PRESUME_PRIMARY_DEAD)])
+
+
+class TestDeterminism:
+    def test_same_seed_replays_byte_for_byte(self):
+        first = run_seed(11, config=FAST)
+        again = run_seed(11, config=FAST)
+        assert first.ok, first.violations
+        assert first.digest == again.digest
+        assert first.acked_writes == again.acked_writes
+        assert first.fingerprint == again.fingerprint
+        assert first.watermark == again.watermark
+
+    def test_different_seeds_interleave_differently(self):
+        digests = {run_seed(seed, config=FAST).digest for seed in (1, 2, 3)}
+        assert len(digests) == 3
+
+    def test_failure_summary_is_a_one_line_repro(self):
+        report = run_seed(5, config=FAST_BUGGY, schedule=ZOMBIE)
+        assert not report.ok
+        assert "python -m repro.sim --seed 5" in report.summary_line()
+
+
+class TestFencedFailover:
+    def test_primary_kill_promotes_and_writes_resume_fenced(self, tmp_path):
+        schedule = FaultSchedule(
+            [FaultEvent(at=1.0, kind=KILL_PRIMARY)]
+        )
+        sim = Simulation(
+            21, str(tmp_path / "d"), config=FAST, schedule=schedule
+        )
+        report = sim.run()
+        assert report.ok, report.violations
+        assert report.failovers >= 1
+        assert report.converged
+        # Writes resumed on the promoted node, under a bumped epoch.
+        promoted_acks = [
+            details
+            for _, kind, details in sim.trace.events
+            if kind == "write-ack"
+            and details["target"].startswith("replica-")
+        ]
+        assert promoted_acks
+        assert all(d["epoch"] >= 1 for d in promoted_acks)
+        # And all of it survived into single-process recovery.
+        assert report.watermark == max(
+            seq for seq, _, _, _ in sim.oracle.acked
+        )
+
+    def test_zombie_primary_is_fenced_off(self):
+        # Supervisor *believes* the primary died; the process lives.
+        # Stale clients keep writing to it.  With fencing on, those
+        # writes become typed refusals after the promotion — and every
+        # invariant holds.
+        report = run_seed(5, config=FAST, schedule=ZOMBIE)
+        assert report.ok, report.violations
+        assert report.failovers >= 1
+        # The fence did real work: stale-epoch refusals were served.
+        assert report.refused_writes.get("REPR0009", 0) >= 1
+
+
+class TestKnownClassRegressions:
+    def test_skipped_fence_bug_is_caught_and_replayable(self):
+        # The known bug class: appending (and compacting) without
+        # check_fence.  The zombie-primary schedule turns that into a
+        # split-brain the oracle must flag.
+        report = run_seed(5, config=FAST_BUGGY, schedule=ZOMBIE)
+        assert not report.ok
+        assert any("[fencing-safety]" in v for v in report.violations)
+        # The failing seed replays byte-for-byte: same digest, same
+        # violations.
+        again = run_seed(5, config=FAST_BUGGY, schedule=ZOMBIE)
+        assert again.digest == report.digest
+        assert again.violations == report.violations
+
+    def test_zombie_checkpoint_cannot_orphan_acked_writes(self):
+        # Found by the simulator (sweep seeds 178/194): a deposed
+        # primary's forced checkpoint rewrote the manifest from its
+        # stale state, orphaning everything the promoted node had
+        # acked.  Compaction is fenced now; the schedule that used to
+        # lose acked writes must pass every invariant.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=1.0, kind=PRESUME_PRIMARY_DEAD),
+                FaultEvent(at=2.0, kind=FORCE_CHECKPOINT),
+            ]
+        )
+        report = run_seed(9, config=FAST, schedule=schedule)
+        assert report.ok, report.violations
+        assert report.failovers >= 1
+
+    def test_unfenced_zombie_checkpoint_is_caught(self):
+        # ...and with the fence knocked out, the same schedule is a
+        # durability loss the oracle reports.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=1.0, kind=PRESUME_PRIMARY_DEAD),
+                FaultEvent(at=2.0, kind=FORCE_CHECKPOINT),
+            ]
+        )
+        report = run_seed(9, config=FAST_BUGGY, schedule=schedule)
+        assert not report.ok
+
+
+class TestMinimizer:
+    def test_greedy_minimize_keeps_only_the_fault_that_matters(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=1.0, kind=PRESUME_PRIMARY_DEAD),
+                FaultEvent(at=1.5, kind=KILL_REPLICA, args={"replica": 0}),
+                FaultEvent(
+                    at=2.0,
+                    kind=SLOW_FSYNC_WINDOW,
+                    args={"delay_s": 0.05, "duration_s": 0.5},
+                ),
+            ]
+        )
+        result = minimize(5, config=FAST_BUGGY, schedule=schedule)
+        assert result.removed >= 1
+        assert len(result.schedule) < 3
+        assert not result.report.ok
+        # The surviving schedule still contains the seed fault.
+        kinds = {event.kind for event in result.schedule}
+        assert PRESUME_PRIMARY_DEAD in kinds
+
+    def test_minimize_refuses_a_passing_seed(self):
+        with pytest.raises(ValueError):
+            minimize(1, config=FAST, schedule=FaultSchedule([]))

@@ -1,0 +1,51 @@
+"""Locks the ``repro.sim`` public surface.
+
+Mirrors ``tests/api/test_public_surface.py``: the simulator is driven
+by CI sweeps and by one-line repro commands pasted from failure logs,
+so its import surface is a compatibility contract — a name change here
+breaks every recorded repro.  Changing this set is an API break and
+should be deliberate.
+"""
+
+from __future__ import annotations
+
+import repro.sim
+
+
+EXPECTED_ALL = {
+    "CONVERGENCE",
+    "DURABILITY",
+    "FENCING",
+    "STALENESS",
+    "Event",
+    "EventScheduler",
+    "FaultEvent",
+    "FaultSchedule",
+    "MinimizeResult",
+    "Oracle",
+    "SimConfig",
+    "SimNetwork",
+    "SimReport",
+    "Simulation",
+    "TraceRecorder",
+    "Violation",
+    "minimize",
+    "run_seed",
+}
+
+
+class TestSimSurface:
+    def test_all_is_exactly_the_documented_surface(self):
+        assert set(repro.sim.__all__) == EXPECTED_ALL
+
+    def test_every_all_name_resolves(self):
+        for name in repro.sim.__all__:
+            assert getattr(repro.sim, name, None) is not None, name
+
+    def test_top_level_surface_is_untouched(self):
+        # The simulator is a test harness, not an engine feature: it
+        # must not leak into ``import repro``.
+        import repro
+
+        assert "sim" not in repro.__all__
+        assert not any(name.startswith("Sim") for name in repro.__all__)
